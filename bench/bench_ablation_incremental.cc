@@ -1,0 +1,90 @@
+// Ablation for the incremental extension (the paper's Section 7 future
+// work): cost of maintaining the optimum under object churn with
+// IncrementalPrimeLS versus re-solving from scratch with PIN-VO after each
+// batch of updates.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/incremental.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("ablation_incremental");
+
+  const CheckinDataset dataset = MakeGowalla(ctx);
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const CandidateSample sample = SampleCandidates(dataset, m, ctx.seed);
+  const SolverConfig config = DefaultConfig();
+
+  // Start from 80% of the objects; stream the rest in batches, retiring an
+  // equal number of old objects (a sliding-window workload).
+  const size_t warm = dataset.objects.size() * 8 / 10;
+  IncrementalPrimeLS inc(sample.points, config);
+  Stopwatch warm_watch;
+  for (size_t k = 0; k < warm; ++k) inc.AddObject(dataset.objects[k]);
+  std::cout << "  warm start: " << warm << " objects in "
+            << FormatSeconds(warm_watch.ElapsedSeconds()) << " ("
+            << FormatSeconds(warm_watch.ElapsedSeconds() /
+                             static_cast<double>(warm))
+            << "/object)\n";
+
+  TablePrinter table(
+      "Incremental vs re-solve (Gowalla sliding window)",
+      {"batch", "updates", "incremental", "re-solve (PIN-VO)", "speedup",
+       "best influence agrees"});
+
+  const size_t batches = 5;
+  const size_t batch_size = (dataset.objects.size() - warm) / batches;
+  std::vector<MovingObject> window(dataset.objects.begin(),
+                                   dataset.objects.begin() +
+                                       static_cast<ptrdiff_t>(warm));
+  for (size_t b = 0; b < batches; ++b) {
+    // Apply the batch incrementally.
+    Stopwatch inc_watch;
+    for (size_t i = 0; i < batch_size; ++i) {
+      const MovingObject& incoming =
+          dataset.objects[warm + b * batch_size + i];
+      inc.AddObject(incoming);
+      inc.RemoveObject(window[b * batch_size + i].id);
+    }
+    const auto inc_best = inc.Best();
+    const double inc_s = inc_watch.ElapsedSeconds();
+
+    // Re-solve from scratch on the equivalent window.
+    ProblemInstance instance;
+    instance.candidates = sample.points;
+    for (size_t k = (b + 1) * batch_size; k < warm; ++k) {
+      instance.objects.push_back(window[k]);
+    }
+    for (size_t k = 0; k < (b + 1) * batch_size; ++k) {
+      instance.objects.push_back(dataset.objects[warm + k]);
+    }
+    Stopwatch solve_watch;
+    const SolverResult fresh = PinocchioVOSolver().Solve(instance, config);
+    const double solve_s = solve_watch.ElapsedSeconds();
+
+    table.AddRow(
+        {std::to_string(b + 1), std::to_string(2 * batch_size),
+         FormatSeconds(inc_s), FormatSeconds(solve_s),
+         FormatDouble(solve_s / std::max(1e-9, inc_s), 1) + "x",
+         (inc_best.has_value() && inc_best->second == fresh.best_influence)
+             ? "yes"
+             : "NO"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

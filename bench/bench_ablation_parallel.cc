@@ -1,0 +1,65 @@
+// Parallel-solver ablation: speedup of the multi-threaded NA and PINOCCHIO
+// variants over their sequential counterparts across thread counts.
+// (An engineering extension; the paper's prototype is single-threaded.)
+
+#include <iostream>
+#include <thread>
+
+#include "bench_common.h"
+#include "parallel/parallel_solvers.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("ablation_parallel");
+  std::cout << "  hardware concurrency: "
+            << std::thread::hardware_concurrency() << "\n";
+
+  const CheckinDataset dataset = MakeGowalla(ctx);
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const ProblemInstance instance = MakeInstance(dataset, m, ctx.seed);
+  const SolverConfig config = DefaultConfig();
+
+  const SolverResult na_seq = NaiveSolver().Solve(instance, config);
+  const SolverResult pin_seq = PinocchioSolver().Solve(instance, config);
+
+  TablePrinter table("Parallel speedup (Gowalla)",
+                     {"threads", "NA-P", "speedup", "PIN-P", "speedup",
+                      "results agree"});
+  table.AddRow({"1 (seq)", FormatSeconds(na_seq.stats.elapsed_seconds), "1.0x",
+                FormatSeconds(pin_seq.stats.elapsed_seconds), "1.0x", "-"});
+  for (size_t threads : {2u, 4u, 8u}) {
+    const SolverResult na_par =
+        ParallelNaiveSolver(threads).Solve(instance, config);
+    const SolverResult pin_par =
+        ParallelPinocchioSolver(threads).Solve(instance, config);
+    const bool agree = na_par.influence == na_seq.influence &&
+                       pin_par.influence == pin_seq.influence;
+    table.AddRow(
+        {std::to_string(threads),
+         FormatSeconds(na_par.stats.elapsed_seconds),
+         FormatDouble(na_seq.stats.elapsed_seconds /
+                          std::max(1e-9, na_par.stats.elapsed_seconds),
+                      1) +
+             "x",
+         FormatSeconds(pin_par.stats.elapsed_seconds),
+         FormatDouble(pin_seq.stats.elapsed_seconds /
+                          std::max(1e-9, pin_par.stats.elapsed_seconds),
+                      1) +
+             "x",
+         agree ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

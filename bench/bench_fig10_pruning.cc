@@ -1,0 +1,58 @@
+// Reproduces Fig. 10: pruning effect of the two rules as tau varies.
+// For each tau the table reports the fraction of object-candidate pairs
+// resolved by the influence-arcs rule (IA certifies influence), by the
+// non-influence boundary (NIB certifies non-influence), and the fraction
+// left for validation.
+//
+// Expected shape (paper): ~2/3 of candidates pruned on average; as tau
+// increases (minMaxRadius shrinks) the IA share falls while the NIB share
+// grows.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& name, const CheckinDataset& dataset,
+                const BenchContext& ctx) {
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const ProblemInstance instance = MakeInstance(dataset, m, ctx.seed);
+  const auto total_pairs = static_cast<double>(instance.objects.size() *
+                                               instance.candidates.size());
+
+  TablePrinter table("Fig. 10 (" + name + "): pruning effect vs tau",
+                     {"tau", "pruned by IA", "pruned by NIB", "pruned total",
+                      "validated"});
+  for (double tau : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const SolverResult r =
+        PinocchioSolver().Solve(instance, DefaultConfig(tau));
+    const double ia = static_cast<double>(r.stats.pairs_pruned_by_ia);
+    const double nib = static_cast<double>(r.stats.pairs_pruned_by_nib);
+    const double val = static_cast<double>(r.stats.pairs_validated);
+    auto pct = [&](double x) {
+      return FormatDouble(100.0 * x / total_pairs, 1) + "%";
+    };
+    table.AddRow({FormatDouble(tau, 1), pct(ia), pct(nib), pct(ia + nib),
+                  pct(val)});
+  }
+  table.Print(std::cout);
+}
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("fig10_pruning");
+  RunDataset("Foursquare", MakeFoursquare(ctx), ctx);
+  RunDataset("Gowalla", MakeGowalla(ctx), ctx);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

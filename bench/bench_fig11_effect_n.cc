@@ -1,0 +1,151 @@
+// Reproduces Fig. 11: effect of the number of positions n.
+//
+// (a) Gowalla objects split into the five natural groups of Table 5 by
+//     their position counts; per group: NA and PIN-VO runtime, the maximum
+//     influence as a fraction of the group size, and the spread of the
+//     resulting optimal locations across groups.
+// (b) Objects with > 50 positions, subsampled to instances of exactly
+//     10..50 positions; same measurements.
+//
+// Expected shape (paper): groups with more positions have a higher
+// influenced fraction (>60% for n >= 70 vs ~20% for n < 10); the chosen
+// optimal locations across groups stay within a few hundred metres of each
+// other (distance error < ~8% of the typical candidate spacing).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+struct GroupResult {
+  std::string label;
+  size_t objects = 0;
+  double na_seconds = 0.0;
+  double vo_seconds = 0.0;
+  int64_t max_influence = 0;
+  Point optimum;
+};
+
+GroupResult RunGroup(const std::string& label,
+                     std::vector<MovingObject> objects,
+                     const std::vector<Point>& candidates,
+                     const SolverConfig& config) {
+  GroupResult out;
+  out.label = label;
+  out.objects = objects.size();
+  ProblemInstance instance;
+  instance.objects = std::move(objects);
+  instance.candidates = candidates;
+  const SolverResult na = NaiveSolver().Solve(instance, config);
+  const SolverResult vo = PinocchioVOSolver().Solve(instance, config);
+  out.na_seconds = na.stats.elapsed_seconds;
+  out.vo_seconds = vo.stats.elapsed_seconds;
+  out.max_influence = vo.best_influence;
+  out.optimum = instance.candidates[vo.best_candidate];
+  return out;
+}
+
+void PrintGroups(const std::string& title,
+                 const std::vector<GroupResult>& groups) {
+  TablePrinter table(title, {"group (n)", "#objects", "NA", "PIN-VO",
+                             "max influence", "influenced %"});
+  for (const GroupResult& g : groups) {
+    const double pct =
+        g.objects == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(g.max_influence) /
+                  static_cast<double>(g.objects);
+    table.AddRow({g.label, std::to_string(g.objects),
+                  FormatSeconds(g.na_seconds), FormatSeconds(g.vo_seconds),
+                  std::to_string(g.max_influence), FormatDouble(pct, 1)});
+  }
+  table.Print(std::cout);
+
+  // Spread of the optima across groups (paper: avg 0.22 km, max 0.69 km).
+  double max_d = 0.0, sum_d = 0.0;
+  int pairs = 0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    for (size_t j = i + 1; j < groups.size(); ++j) {
+      if (groups[i].objects == 0 || groups[j].objects == 0) continue;
+      const double d = Distance(groups[i].optimum, groups[j].optimum);
+      max_d = std::max(max_d, d);
+      sum_d += d;
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    std::cout << "  optima spread: avg "
+              << FormatDouble(sum_d / pairs / 1000.0, 2) << " km, max "
+              << FormatDouble(max_d / 1000.0, 2) << " km\n";
+  }
+}
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("fig11_effect_n");
+
+  const CheckinDataset dataset = MakeGowalla(ctx);
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const CandidateSample sample = SampleCandidates(dataset, m, ctx.seed);
+  const SolverConfig config = DefaultConfig();
+
+  // ---- (a) natural groups of Table 5.
+  const std::vector<std::pair<size_t, size_t>> bands = {
+      {1, 10}, {10, 30}, {30, 50}, {50, 70},
+      {70, std::numeric_limits<size_t>::max()}};
+  std::vector<GroupResult> natural;
+  for (const auto& [lo, hi] : bands) {
+    std::vector<MovingObject> group;
+    for (const MovingObject& o : dataset.objects) {
+      if (o.positions.size() >= lo && o.positions.size() < hi) {
+        group.push_back(o);
+      }
+    }
+    const std::string label =
+        "[" + std::to_string(lo) + "," +
+        (hi == std::numeric_limits<size_t>::max() ? "max" : std::to_string(hi)) +
+        ")";
+    natural.push_back(RunGroup(label, std::move(group), sample.points, config));
+  }
+  PrintGroups("Fig. 11a (Gowalla): natural position-count groups", natural);
+
+  // ---- (b) the same objects with controlled position counts.
+  std::vector<const MovingObject*> rich;
+  for (const MovingObject& o : dataset.objects) {
+    if (o.positions.size() > 50) rich.push_back(&o);
+  }
+  std::vector<GroupResult> controlled;
+  Rng rng(ctx.seed * 13 + 1);
+  for (size_t n : {10u, 20u, 30u, 40u, 50u}) {
+    std::vector<MovingObject> group;
+    group.reserve(rich.size());
+    for (const MovingObject* o : rich) {
+      MovingObject instance_obj;
+      instance_obj.id = o->id;
+      const auto chosen = rng.SampleWithoutReplacement(o->positions.size(), n);
+      for (size_t idx : chosen) {
+        instance_obj.positions.push_back(o->positions[idx]);
+      }
+      group.push_back(std::move(instance_obj));
+    }
+    controlled.push_back(RunGroup("n=" + std::to_string(n), std::move(group),
+                                  sample.points, config));
+  }
+  PrintGroups(
+      "Fig. 11b (Gowalla): same objects subsampled to fixed position counts",
+      controlled);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

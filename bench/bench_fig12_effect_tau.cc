@@ -1,0 +1,53 @@
+// Reproduces Fig. 12: effect of the probability threshold tau on PIN-VO
+// runtime and on the maximum influence, for Foursquare and Gowalla.
+//
+// Expected shape (paper): PIN-VO runtime falls then rises as tau grows
+// (small tau -> many near-tied candidates weaken Strategy 1; large tau ->
+// longer position scans weaken Strategy 2); the maximum influence drops
+// monotonically as tau grows.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& name, const CheckinDataset& dataset,
+                const BenchContext& ctx) {
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const ProblemInstance instance = MakeInstance(dataset, m, ctx.seed);
+  TablePrinter table("Fig. 12 (" + name + "): effect of tau",
+                     {"tau", "NA", "PIN-VO", "max influence",
+                      "influenced %", "early stops", "heap pops"});
+  for (double tau : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const SolverConfig config = DefaultConfig(tau);
+    const SolverResult na = NaiveSolver().Solve(instance, config);
+    const SolverResult vo = PinocchioVOSolver().Solve(instance, config);
+    const double pct = 100.0 * static_cast<double>(vo.best_influence) /
+                       static_cast<double>(instance.objects.size());
+    table.AddRow({FormatDouble(tau, 1), FormatSeconds(na.stats.elapsed_seconds),
+                  FormatSeconds(vo.stats.elapsed_seconds),
+                  std::to_string(vo.best_influence), FormatDouble(pct, 1),
+                  std::to_string(vo.stats.early_stops),
+                  std::to_string(vo.stats.heap_pops)});
+  }
+  table.Print(std::cout);
+}
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("fig12_effect_tau");
+  RunDataset("Foursquare", MakeFoursquare(ctx), ctx);
+  RunDataset("Gowalla", MakeGowalla(ctx), ctx);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Reproduces Fig. 13: the <n, tau> level curve of equal maximum influence.
+//
+// Following the paper: take Gowalla objects with > 50 positions, build
+// instances with exactly n in {10, 20, 30, 40, 50} positions each, fix the
+// reference maximum influence at (n = 20, tau = 0.7), and for every other n
+// tune tau until the maximum influence matches the reference. The <n, tau>
+// pairs form a level curve; a polynomial fit (the paper's Matlab polyfit)
+// is evaluated at held-out n in {15, 25, 35, 45}.
+//
+// Expected shape: the level-curve tau grows with n; optima of all tuned
+// instances nearly coincide; the fitted curve predicts the held-out pairs'
+// maximum influence within ~1-2%.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/polyfit.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+std::vector<MovingObject> Subsample(
+    const std::vector<const MovingObject*>& rich, size_t n, Rng& rng) {
+  std::vector<MovingObject> group;
+  group.reserve(rich.size());
+  for (const MovingObject* o : rich) {
+    MovingObject obj;
+    obj.id = o->id;
+    const auto chosen = rng.SampleWithoutReplacement(o->positions.size(), n);
+    for (size_t idx : chosen) obj.positions.push_back(o->positions[idx]);
+    group.push_back(std::move(obj));
+  }
+  return group;
+}
+
+struct SolveOutcome {
+  int64_t max_influence = 0;
+  Point optimum;
+  double vo_seconds = 0.0;
+  double na_seconds = 0.0;
+};
+
+SolveOutcome SolveAt(const std::vector<MovingObject>& objects,
+                     const std::vector<Point>& candidates, double tau,
+                     bool also_na = false) {
+  ProblemInstance instance;
+  instance.objects = objects;
+  instance.candidates = candidates;
+  SolveOutcome out;
+  const SolverResult vo =
+      PinocchioVOSolver().Solve(instance, DefaultConfig(tau));
+  out.max_influence = vo.best_influence;
+  out.optimum = candidates[vo.best_candidate];
+  out.vo_seconds = vo.stats.elapsed_seconds;
+  if (also_na) {
+    out.na_seconds =
+        NaiveSolver().Solve(instance, DefaultConfig(tau)).stats.elapsed_seconds;
+  }
+  return out;
+}
+
+// Binary search for the tau whose maximum influence matches `target`
+// (maximum influence is non-increasing in tau).
+double TuneTau(const std::vector<MovingObject>& objects,
+               const std::vector<Point>& candidates, int64_t target) {
+  double lo = 0.01, hi = 0.99;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const SolveOutcome out = SolveAt(objects, candidates, mid);
+    if (out.max_influence > target) {
+      lo = mid;  // influence too high -> raise tau
+    } else if (out.max_influence < target) {
+      hi = mid;
+    } else {
+      return mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("fig13_n_tau_levelcurve");
+
+  const CheckinDataset dataset = MakeGowalla(ctx);
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const CandidateSample sample = SampleCandidates(dataset, m, ctx.seed);
+
+  std::vector<const MovingObject*> rich;
+  for (const MovingObject& o : dataset.objects) {
+    if (o.positions.size() > 50) rich.push_back(&o);
+  }
+  std::cout << "  objects with >50 positions: " << rich.size() << "\n";
+  if (rich.size() < 10) {
+    std::cout << "  too few rich objects at this scale; raise "
+                 "PINOCCHIO_BENCH_SCALE\n";
+    return;
+  }
+
+  Rng rng(ctx.seed * 101 + 3);
+  // Reference: n = 20, tau = 0.7.
+  const auto ref_objects = Subsample(rich, 20, rng);
+  const SolveOutcome ref = SolveAt(ref_objects, sample.points, 0.7, true);
+  std::cout << "  reference (n=20, tau=0.7): max influence "
+            << ref.max_influence << "\n";
+
+  TablePrinter curve("Fig. 13a: tuned <n, tau> level curve",
+                     {"n", "tuned tau", "max influence", "PIN-VO", "NA",
+                      "optimum drift (km)"});
+  std::vector<double> ns, taus;
+  for (size_t n : {10u, 20u, 30u, 40u, 50u}) {
+    const auto objects = Subsample(rich, n, rng);
+    const double tau =
+        (n == 20) ? 0.7 : TuneTau(objects, sample.points, ref.max_influence);
+    const SolveOutcome out = SolveAt(objects, sample.points, tau, true);
+    ns.push_back(static_cast<double>(n));
+    taus.push_back(tau);
+    curve.AddRow({std::to_string(n), FormatDouble(tau, 4),
+                  std::to_string(out.max_influence),
+                  FormatSeconds(out.vo_seconds), FormatSeconds(out.na_seconds),
+                  FormatDouble(Distance(out.optimum, ref.optimum) / 1000.0, 3)});
+  }
+  curve.Print(std::cout);
+
+  // Fit tau(n) with a quadratic (the paper does not state the degree; the
+  // curve is smooth and monotone, and degree 2 reproduces it well).
+  const auto coef = PolyFit(ns, taus, 2);
+  std::cout << "  polyfit tau(n) = " << FormatDouble(coef[0], 5) << " + "
+            << FormatDouble(coef[1], 5) << "*n + " << FormatDouble(coef[2], 7)
+            << "*n^2\n";
+
+  TablePrinter fit("Fig. 13b: fitted tau at held-out n",
+                   {"n", "fitted tau", "max influence", "error vs ref"});
+  for (size_t n : {15u, 25u, 35u, 45u}) {
+    const double tau =
+        std::clamp(PolyEval(coef, static_cast<double>(n)), 0.01, 0.99);
+    const auto objects = Subsample(rich, n, rng);
+    const SolveOutcome out = SolveAt(objects, sample.points, tau);
+    const double err =
+        100.0 *
+        std::abs(static_cast<double>(out.max_influence - ref.max_influence)) /
+        std::max<double>(1.0, static_cast<double>(ref.max_influence));
+    fit.AddRow({std::to_string(n), FormatDouble(tau, 4),
+                std::to_string(out.max_influence), FormatDouble(err, 2) + "%"});
+  }
+  fit.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Fig. 14: effect of the power-law decay factor lambda on
+// PIN-VO runtime and maximum influence (rho fixed at 0.9, tau at 0.7).
+//
+// Expected shape (paper): runtimes stay in the same ballpark across lambda;
+// the maximum influence falls as lambda grows (steeper decay -> lower
+// cumulative probabilities), with Foursquare (more positions per object)
+// declining more slowly than Gowalla.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& name, const CheckinDataset& dataset,
+                const BenchContext& ctx) {
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const ProblemInstance instance = MakeInstance(dataset, m, ctx.seed);
+  TablePrinter table("Fig. 14 (" + name + "): effect of lambda",
+                     {"lambda", "NA", "PIN-VO", "max influence",
+                      "influenced %"});
+  for (double lambda : {0.75, 1.0, 1.25}) {
+    const SolverConfig config = DefaultConfig(kDefaultTau, kDefaultRho, lambda);
+    const SolverResult na = NaiveSolver().Solve(instance, config);
+    const SolverResult vo = PinocchioVOSolver().Solve(instance, config);
+    const double pct = 100.0 * static_cast<double>(vo.best_influence) /
+                       static_cast<double>(instance.objects.size());
+    table.AddRow({FormatDouble(lambda, 2),
+                  FormatSeconds(na.stats.elapsed_seconds),
+                  FormatSeconds(vo.stats.elapsed_seconds),
+                  std::to_string(vo.best_influence), FormatDouble(pct, 1)});
+  }
+  table.Print(std::cout);
+}
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("fig14_effect_lambda");
+  RunDataset("Foursquare", MakeFoursquare(ctx), ctx);
+  RunDataset("Gowalla", MakeGowalla(ctx), ctx);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

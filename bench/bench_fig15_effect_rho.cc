@@ -1,0 +1,51 @@
+// Reproduces Fig. 15: effect of the behaviour factor rho (the influence
+// probability at distance zero) on PIN-VO runtime and maximum influence
+// (lambda fixed at 1.0, tau at 0.7).
+//
+// Expected shape (paper): performance improves as rho grows; the maximum
+// influence decreases quickly as rho declines (nearer positions contribute
+// less probability), more sharply on Gowalla whose objects have fewer
+// positions.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& name, const CheckinDataset& dataset,
+                const BenchContext& ctx) {
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const ProblemInstance instance = MakeInstance(dataset, m, ctx.seed);
+  TablePrinter table("Fig. 15 (" + name + "): effect of rho",
+                     {"rho", "NA", "PIN-VO", "max influence", "influenced %"});
+  for (double rho : {0.5, 0.7, 0.9}) {
+    const SolverConfig config = DefaultConfig(kDefaultTau, rho, kDefaultLambda);
+    const SolverResult na = NaiveSolver().Solve(instance, config);
+    const SolverResult vo = PinocchioVOSolver().Solve(instance, config);
+    const double pct = 100.0 * static_cast<double>(vo.best_influence) /
+                       static_cast<double>(instance.objects.size());
+    table.AddRow({FormatDouble(rho, 1), FormatSeconds(na.stats.elapsed_seconds),
+                  FormatSeconds(vo.stats.elapsed_seconds),
+                  std::to_string(vo.best_influence), FormatDouble(pct, 1)});
+  }
+  table.Print(std::cout);
+}
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("fig15_effect_rho");
+  RunDataset("Foursquare", MakeFoursquare(ctx), ctx);
+  RunDataset("Gowalla", MakeGowalla(ctx), ctx);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 8: running time of NA / PIN / PIN-VO / PIN-VO* as the
+// number of candidates grows (paper: 200..1000 on Foursquare and Gowalla).
+//
+// Expected shape (paper Section 6.2): cost grows with the candidate count;
+// PIN-VO is fastest by orders of magnitude over NA; PIN is slightly better
+// than PIN-VO*; all three beat NA everywhere.
+//
+// The table is produced under both PF distance-unit readings (see
+// DESIGN.md): the 0.1 km calibration that reproduces the influenced
+// fractions of Figs. 11-12, and the literal 1 km reading under which the
+// pruning regions are extent-sized and the orders-of-magnitude NA/PIN-VO
+// gap of the paper's plot appears.
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& name, const CheckinDataset& dataset,
+                const BenchContext& ctx, double unit_km) {
+  std::ostringstream title;
+  title << "Fig. 8 (" << name << ", PF unit " << unit_km
+        << " km): runtime vs #candidates";
+  TablePrinter table(
+      title.str(),
+      {"#candidates", "NA", "PIN", "PIN-VO", "PIN-VO*", "speedup NA/PIN-VO"});
+
+  const NaiveSolver na;
+  const PinocchioSolver pin;
+  const PinocchioVOSolver vo;
+  const PinocchioVOStarSolver star;
+  SolverConfig config = DefaultConfig();
+  config.pf = std::make_shared<PowerLawPF>(kDefaultRho, kDefaultLambda, 1.0,
+                                           unit_km * 1000.0);
+
+  for (size_t paper_count : {200u, 400u, 600u, 800u, 1000u}) {
+    const size_t m = ScaledCandidates(ctx, paper_count);
+    const ProblemInstance instance = MakeInstance(dataset, m, ctx.seed + m);
+    const SolverResult r_na = na.Solve(instance, config);
+    const SolverResult r_pin = pin.Solve(instance, config);
+    const SolverResult r_vo = vo.Solve(instance, config);
+    const SolverResult r_star = star.Solve(instance, config);
+    table.AddRow({std::to_string(m), FormatSeconds(r_na.stats.elapsed_seconds),
+                  FormatSeconds(r_pin.stats.elapsed_seconds),
+                  FormatSeconds(r_vo.stats.elapsed_seconds),
+                  FormatSeconds(r_star.stats.elapsed_seconds),
+                  FormatDouble(r_na.stats.elapsed_seconds /
+                                   std::max(1e-9, r_vo.stats.elapsed_seconds),
+                               1) +
+                      "x"});
+  }
+  table.Print(std::cout);
+}
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("fig8_scalability_candidates");
+  const CheckinDataset foursquare = MakeFoursquare(ctx);
+  const CheckinDataset gowalla = MakeGowalla(ctx);
+  for (double unit_km : {kPFUnitMeters / 1000.0, 1.0}) {
+    RunDataset("Foursquare", foursquare, ctx, unit_km);
+    RunDataset("Gowalla", gowalla, ctx, unit_km);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Fig. 9: running time of NA / PIN / PIN-VO / PIN-VO* as the
+// number of objects grows (paper: 2k..10k objects chosen randomly from
+// Gowalla, fixed 600 candidates).
+//
+// Expected shape: near-linear growth in the object count for every solver,
+// with PIN-VO best, then PIN, PIN-VO*, NA. As in the Fig. 8 harness, the
+// sweep is reported under both PF distance-unit readings (see DESIGN.md).
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "bench_common.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+void RunUnit(const CheckinDataset& dataset, const CandidateSample& sample,
+             const BenchContext& ctx, double unit_km) {
+  SolverConfig config = DefaultConfig();
+  config.pf = std::make_shared<PowerLawPF>(kDefaultRho, kDefaultLambda, 1.0,
+                                           unit_km * 1000.0);
+
+  std::ostringstream title;
+  title << "Fig. 9 (Gowalla, PF unit " << unit_km << " km): runtime vs "
+        << "#objects, " << sample.points.size() << " candidates";
+  TablePrinter table(
+      title.str(),
+      {"#objects", "NA", "PIN", "PIN-VO", "PIN-VO*", "speedup NA/PIN-VO"});
+
+  const size_t total = dataset.objects.size();
+  Rng rng(ctx.seed * 31 + 5);
+  for (int fraction = 1; fraction <= 5; ++fraction) {
+    const size_t r = total * static_cast<size_t>(fraction) / 5;
+    // Random subset of objects, as the paper draws random subsets of
+    // Gowalla users.
+    const auto chosen = rng.SampleWithoutReplacement(total, r);
+    ProblemInstance instance;
+    instance.candidates = sample.points;
+    instance.objects.reserve(r);
+    for (size_t idx : chosen) instance.objects.push_back(dataset.objects[idx]);
+
+    const SolverResult r_na = NaiveSolver().Solve(instance, config);
+    const SolverResult r_pin = PinocchioSolver().Solve(instance, config);
+    const SolverResult r_vo = PinocchioVOSolver().Solve(instance, config);
+    const SolverResult r_star =
+        PinocchioVOStarSolver().Solve(instance, config);
+    table.AddRow({std::to_string(r), FormatSeconds(r_na.stats.elapsed_seconds),
+                  FormatSeconds(r_pin.stats.elapsed_seconds),
+                  FormatSeconds(r_vo.stats.elapsed_seconds),
+                  FormatSeconds(r_star.stats.elapsed_seconds),
+                  FormatDouble(r_na.stats.elapsed_seconds /
+                                   std::max(1e-9, r_vo.stats.elapsed_seconds),
+                               1) +
+                      "x"});
+  }
+  table.Print(std::cout);
+}
+
+void Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("fig9_scalability_objects");
+
+  const CheckinDataset dataset = MakeGowalla(ctx);
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const CandidateSample sample = SampleCandidates(dataset, m, ctx.seed);
+  for (double unit_km : {kPFUnitMeters / 1000.0, 1.0}) {
+    RunUnit(dataset, sample, ctx, unit_km);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() {
+  pinocchio::bench::Main();
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Google-benchmark microbenchmarks for the building blocks: R-tree
+// construction and queries, cumulative influence evaluation, minMaxRadius
+// computation, and the pruning-region containment tests.
+
+#include <benchmark/benchmark.h>
+
+#include "core/object_store.h"
+#include "geo/regions.h"
+#include "geo/convex_hull.h"
+#include "index/grid_index.h"
+#include "index/kdtree.h"
+#include "index/rtree.h"
+#include "prob/influence.h"
+#include "prob/power_law.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+std::vector<RTreeEntry> MakeEntries(size_t n) {
+  Rng rng(42);
+  std::vector<RTreeEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries.push_back({{rng.Uniform(0, 39220), rng.Uniform(0, 27030)},
+                       static_cast<uint32_t>(i)});
+  }
+  return entries;
+}
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RTree tree = RTree::BulkLoad(entries, 8);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(200)->Arg(1000)->Arg(10000);
+
+void BM_RTreeInsertLoad(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RTree tree(8);
+    for (const auto& e : entries) tree.Insert(e.point, e.id);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsertLoad)->Arg(200)->Arg(1000);
+
+void BM_RTreeRectQuery(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  const RTree tree = RTree::BulkLoad(entries, 8);
+  Rng rng(7);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, 30000), y = rng.Uniform(0, 20000);
+    const Mbr rect(x, y, x + 5000, y + 5000);
+    int64_t hits = 0;
+    tree.QueryRect(rect, [&](const RTreeEntry&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_RTreeRectQuery)->Arg(1000)->Arg(10000);
+
+void BM_GridRectQuery(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  const GridIndex grid(entries, 4096);
+  Rng rng(7);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, 30000), y = rng.Uniform(0, 20000);
+    const Mbr rect(x, y, x + 5000, y + 5000);
+    int64_t hits = 0;
+    grid.QueryRect(rect, [&](const RTreeEntry&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_GridRectQuery)->Arg(1000)->Arg(10000);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    KdTree tree(entries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_KdTreeRectQuery(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  const KdTree tree(entries);
+  Rng rng(7);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, 30000), y = rng.Uniform(0, 20000);
+    const Mbr rect(x, y, x + 5000, y + 5000);
+    int64_t hits = 0;
+    tree.QueryRect(rect, [&](const RTreeEntry&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_KdTreeRectQuery)->Arg(1000)->Arg(10000);
+
+void BM_ConvexHullBuild(benchmark::State& state) {
+  Rng rng(19);
+  std::vector<Point> points;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    points.push_back({rng.Uniform(0, 39220), rng.Uniform(0, 27030)});
+  }
+  for (auto _ : state) {
+    ConvexPolygon hull(points);
+    benchmark::DoNotOptimize(hull.vertices().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConvexHullBuild)->Arg(37)->Arg(72)->Arg(780);
+
+void BM_HullVsMbrMaxDist(benchmark::State& state) {
+  Rng rng(23);
+  std::vector<Point> points;
+  for (int i = 0; i < 72; ++i) {
+    points.push_back({rng.Uniform(0, 20000), rng.Uniform(0, 15000)});
+  }
+  const ConvexPolygon hull(points);
+  const Mbr mbr = Mbr::Of(points);
+  for (auto _ : state) {
+    const Point q{rng.Uniform(-5000, 25000), rng.Uniform(-5000, 20000)};
+    benchmark::DoNotOptimize(hull.MaxDist(q));
+    benchmark::DoNotOptimize(mbr.MaxDist(q));
+  }
+}
+BENCHMARK(BM_HullVsMbrMaxDist);
+
+void BM_RTreeKnn(benchmark::State& state) {
+  const auto entries = MakeEntries(10000);
+  const RTree tree = RTree::BulkLoad(entries, 8);
+  Rng rng(9);
+  for (auto _ : state) {
+    const Point q{rng.Uniform(0, 39220), rng.Uniform(0, 27030)};
+    benchmark::DoNotOptimize(
+        tree.NearestNeighbors(q, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RTreeKnn)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_CumulativeInfluence(benchmark::State& state) {
+  const PowerLawPF pf(0.9, 1.0);
+  Rng rng(11);
+  std::vector<Point> positions;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    positions.push_back({rng.Uniform(0, 39220), rng.Uniform(0, 27030)});
+  }
+  const Point c{20000, 13000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CumulativeInfluenceProbability(pf, c, positions));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CumulativeInfluence)->Arg(10)->Arg(72)->Arg(780);
+
+void BM_PartialEvaluatorEarlyStop(benchmark::State& state) {
+  const PowerLawPF pf(0.9, 1.0);
+  Rng rng(13);
+  std::vector<Point> positions;
+  for (int i = 0; i < 100; ++i) {
+    positions.push_back({rng.Uniform(0, 3000), rng.Uniform(0, 3000)});
+  }
+  const Point c{1500, 1500};
+  for (auto _ : state) {
+    PartialInfluenceEvaluator eval(0.7);
+    for (const Point& p : positions) {
+      eval.Add(pf(Distance(c, p)));
+      if (eval.InfluenceDecided()) break;
+    }
+    benchmark::DoNotOptimize(eval.positions_seen());
+  }
+}
+BENCHMARK(BM_PartialEvaluatorEarlyStop);
+
+void BM_MinMaxRadius(benchmark::State& state) {
+  const PowerLawPF pf(0.9, 1.0);
+  size_t n = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf.MinMaxRadius(0.7, 1 + (n++ % 780)));
+  }
+}
+BENCHMARK(BM_MinMaxRadius);
+
+void BM_RegionContainment(benchmark::State& state) {
+  const Mbr mbr(0, 0, 22510, 14990);
+  const InfluenceArcsRegion ia(mbr, 16000);
+  const NonInfluenceBoundary nib(mbr, 16000);
+  Rng rng(15);
+  for (auto _ : state) {
+    const Point p{rng.Uniform(-20000, 42000), rng.Uniform(-20000, 35000)};
+    benchmark::DoNotOptimize(ia.Contains(p));
+    benchmark::DoNotOptimize(nib.Contains(p));
+  }
+}
+BENCHMARK(BM_RegionContainment);
+
+void BM_ObjectStoreBuild(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<MovingObject> objects;
+  for (uint32_t k = 0; k < 1000; ++k) {
+    MovingObject o;
+    o.id = k;
+    const auto n = static_cast<size_t>(rng.UniformInt(2, 80));
+    for (size_t i = 0; i < n; ++i) {
+      o.positions.push_back({rng.Uniform(0, 39220), rng.Uniform(0, 27030)});
+    }
+    objects.push_back(std::move(o));
+  }
+  const PowerLawPF pf(0.9, 1.0);
+  for (auto _ : state) {
+    ObjectStore store(objects, pf, 0.7);
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ObjectStoreBuild);
+
+}  // namespace
+}  // namespace pinocchio
+
+BENCHMARK_MAIN();

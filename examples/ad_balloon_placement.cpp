@@ -1,0 +1,89 @@
+// Advertising-balloon placement — the paper's motivating scenario.
+//
+// A company wants to place an outdoor advertising balloon where it will be
+// observed by the most potential customers. Customers are mobile (their
+// check-in histories describe where they spend time) and observe a balloon
+// from any of their positions with a distance-decaying probability.
+//
+// This example generates a Singapore-like check-in dataset, selects the
+// best of 300 candidate sites with PINOCCHIO-VO, contrasts the choice with
+// what a classical nearest-neighbour method would pick, and prints the
+// top-5 sites with their expected audiences.
+//
+// Run:  ./ad_balloon_placement
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/brnn_star.h"
+#include "core/pinocchio_solver.h"
+#include "data/checkin_dataset.h"
+#include "eval/report.h"
+#include "util/string_utils.h"
+#include "prob/power_law.h"
+
+using namespace pinocchio;
+
+int main() {
+  // A small Singapore: 500 customers, 1200 venues, ~25k check-ins.
+  DatasetSpec spec = DatasetSpec::Foursquare();
+  spec.num_users = 500;
+  spec.num_venues = 1200;
+  spec.target_checkins = 25000;
+  spec.seed = 2026;
+  std::cout << "Generating " << spec.name << "-like check-in data: "
+            << spec.num_users << " customers, " << spec.num_venues
+            << " venues...\n";
+  const CheckinDataset city = GenerateCheckinDataset(spec);
+
+  // Candidate balloon sites: 300 venue locations sampled uniformly.
+  const CandidateSample sites = SampleCandidates(city, 300, /*seed=*/7);
+  ProblemInstance instance = MakeInstance(city, sites);
+
+  // A customer at distance d km observes the balloon with probability
+  // 0.9 * (1 + d)^-1; we call her "reached" if her cumulative observation
+  // probability over all her positions is at least 0.7.
+  SolverConfig config;
+  config.pf = std::make_shared<PowerLawPF>(0.9, 1.0);
+  config.tau = 0.7;
+  config.top_k = 5;
+
+  // PIN keeps the full influence vector exact, so we can also report the
+  // audience of the site a classical method would have chosen.
+  const SolverResult best = PinocchioSolver().Solve(instance, config);
+  const SolverResult nn = BrnnStarSolver().Solve(instance, config);
+
+  const Projection proj = city.MakeProjection();
+  TablePrinter table("Top balloon sites by expected audience",
+                     {"rank", "site", "lat", "lon", "customers reached",
+                      "audience %"});
+  const auto top = best.TopK(5);
+  for (size_t i = 0; i < top.size(); ++i) {
+    const Point& p = instance.candidates[top[i]];
+    const LatLon geo = proj.Unproject(p);
+    const double pct = 100.0 * static_cast<double>(best.influence[top[i]]) /
+                       static_cast<double>(instance.objects.size());
+    table.AddRow({std::to_string(i + 1), "#" + std::to_string(top[i]),
+                  FormatDouble(geo.lat, 4), FormatDouble(geo.lon, 4),
+                  std::to_string(best.influence[top[i]]),
+                  FormatDouble(pct, 1)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPRIME-LS site:        #" << best.best_candidate
+            << " reaching " << best.best_influence << " of "
+            << instance.objects.size() << " customers\n";
+  std::cout << "Nearest-neighbour pick: #" << nn.best_candidate
+            << " (classical BRNN voting)\n";
+  if (nn.best_candidate != best.best_candidate) {
+    std::cout << "The NN method's site reaches only "
+              << best.influence[nn.best_candidate]
+              << " customers under the probabilistic model — "
+              << "mobility and cumulative influence change the answer.\n";
+  }
+  std::cout << "\nSolve statistics: " << best.stats.PairsPruned()
+            << " object-site pairs pruned, " << best.stats.pairs_validated
+            << " validated, in "
+            << FormatSeconds(best.stats.elapsed_seconds) << "\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Billboard placement over commuter trajectories.
+//
+// Unlike the check-in examples, here the moving objects come from
+// continuous trajectories: a fleet of commuters with periodic home-work
+// days (plus evening detours) is discretised by uniform time sampling —
+// the paper's Section 3.1 pipeline — and the solver picks the billboard
+// site that is probabilistically seen by the most commuters.
+//
+// The example also sweeps the sampling interval. Two of the paper's
+// findings show up: at a fixed threshold tau the audience grows with the
+// number of positions (the Fig. 11 effect — cumulative probability only
+// accumulates), and the *site quality* achieved by coarser discretisations
+// saturates once an object carries a few dozen positions (the Section 6.2
+// "24-48 positions suffice" trade-off), which we score by re-evaluating
+// every chosen site under the finest model.
+//
+// Run:  ./commuter_billboard
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/pinocchio_solver.h"
+#include "core/pinocchio_vo_solver.h"
+#include "eval/report.h"
+#include "prob/power_law.h"
+#include "traj/generators.h"
+#include "util/random.h"
+#include "util/string_utils.h"
+
+using namespace pinocchio;
+
+int main() {
+  Rng rng(2468);
+  const Mbr city(0, 0, 30000, 20000);
+
+  // 800 commuters, one simulated day each, finely sampled.
+  CommuterSpec base;
+  base.days = 1;
+  base.sample_interval_s = 300.0;
+  base.leisure = {{15000, 16000}, {6000, 4000}, {24000, 9000}};
+  base.leisure_probability = 0.4;
+  const auto fleet = GenerateCommuterFleet(base, city, 800, rng);
+  std::cout << "Simulated " << fleet.size() << " commuter days ("
+            << fleet.front().size() << " raw samples each, "
+            << FormatDouble(fleet.front().Length() / 1000.0, 1)
+            << " km travelled by commuter 0)\n";
+
+  // Billboard sites along two arterial roads (y = 7 km and x = 12 km).
+  std::vector<Point> sites;
+  for (double x = 1000; x < 30000; x += 1500) sites.push_back({x, 7000});
+  for (double y = 1000; y < 20000; y += 1500) sites.push_back({12000, y});
+  std::cout << "Candidate billboard sites: " << sites.size() << "\n";
+
+  // Visibility model: a commuter at distance d notices the billboard with
+  // probability 0.8 * (1 + d/300m)^-2; "reached" means cumulative >= 0.6.
+  SolverConfig config;
+  config.pf = std::make_shared<PowerLawPF>(0.8, 2.0, 1.0, 300.0);
+  config.tau = 0.6;
+  config.top_k = 3;
+
+  const auto build_instance = [&](double minutes) {
+    ProblemInstance instance;
+    instance.candidates = sites;
+    for (size_t i = 0; i < fleet.size(); ++i) {
+      instance.objects.push_back(fleet[i]
+                                     .Resample(minutes * 60.0)
+                                     .ToMovingObject(static_cast<uint32_t>(i)));
+    }
+    return instance;
+  };
+
+  // Reference scoring model: the finest discretisation with exact
+  // influences for every site.
+  const ProblemInstance finest = build_instance(5.0);
+  const SolverResult finest_exact = PinocchioSolver().Solve(finest, config);
+
+  TablePrinter sweep("Effect of the sampling interval",
+                     {"interval", "positions", "best site",
+                      "audience at this n", "site scored at finest n",
+                      "solve time"});
+  for (double minutes : {120.0, 60.0, 30.0, 15.0, 5.0}) {
+    const ProblemInstance instance = build_instance(minutes);
+    const SolverResult r = PinocchioVOSolver().Solve(instance, config);
+    std::ostringstream label;
+    label << minutes << " min";
+    sweep.AddRow({label.str(),
+                  std::to_string(instance.objects.front().positions.size()),
+                  "#" + std::to_string(r.best_candidate),
+                  std::to_string(r.best_influence),
+                  std::to_string(finest_exact.influence[r.best_candidate]) +
+                      " / " + std::to_string(finest_exact.best_influence),
+                  FormatSeconds(r.stats.elapsed_seconds)});
+  }
+  sweep.Print(std::cout);
+
+  std::cout
+      << "\nAt a fixed threshold the audience grows with the number of\n"
+         "positions (cumulative probability only accumulates — the paper's\n"
+         "Fig. 11 effect), while the *site quality*, scored under the\n"
+         "finest model, saturates once objects carry a few dozen positions\n"
+         "— the Section 6.2 trade-off that makes 24-48 samples a sweet\n"
+         "spot.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Live pop-up store placement over a stream of location pings.
+//
+// A pop-up retailer watches anonymised location pings and wants, at any
+// moment, the best spot among pre-approved sites for *the crowd of the
+// last hour*. This drives StreamingPrimeLS: pings stream in, old pings
+// expire, and exact influence counters are maintained incrementally — no
+// re-solving. The simulated day has a morning commute near the transit
+// hub, a lunchtime surge downtown, and an evening shift to the
+// entertainment district; the recommended site follows the crowd.
+//
+// Run:  ./popup_store_stream
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "core/streaming.h"
+#include "eval/report.h"
+#include "prob/power_law.h"
+#include "util/random.h"
+#include "util/string_utils.h"
+
+using namespace pinocchio;
+
+namespace {
+
+// Crowd centres by hour of day: transit hub -> downtown -> entertainment.
+Point CrowdCentre(double hour) {
+  const Point hub{2000, 2000};
+  const Point downtown{10000, 8000};
+  const Point nightlife{16000, 3000};
+  if (hour < 10.0) return hub;
+  if (hour < 16.0) return downtown;
+  return nightlife;
+}
+
+}  // namespace
+
+int main() {
+  // Pre-approved pop-up sites.
+  const std::vector<Point> sites = {
+      {2100, 2100},    // near the transit hub
+      {9900, 8100},    // downtown
+      {15900, 3100},   // entertainment district
+      {7000, 12000},   // park (never busy in this scenario)
+  };
+  const std::vector<std::string> site_names = {
+      "Transit Hub", "Downtown", "Entertainment", "Park"};
+
+  StreamingPrimeLS::Options options;
+  options.config.pf = std::make_shared<PowerLawPF>(0.9, 1.5, 1.0, 500.0);
+  options.config.tau = 0.6;
+  options.window_seconds = 3600.0;  // the last hour of pings
+  StreamingPrimeLS engine(sites, options);
+
+  Rng rng(99);
+  TablePrinter timeline("Best pop-up site through the day (1 h window)",
+                        {"time", "live people", "pings in window",
+                         "best site", "crowd reached"});
+
+  // 600 people ping every ~6 minutes across an 18-hour day.
+  constexpr int kPeople = 600;
+  constexpr double kDay = 18.0;
+  for (double hour = 6.0; hour <= 6.0 + kDay; hour += 0.1) {
+    const double t = hour * 3600.0;
+    // ~1/10 of the crowd pings in each 6-minute tick (the stream API
+    // requires non-decreasing timestamps, so pings are spaced evenly
+    // within the tick).
+    const int pings = kPeople / 10;
+    for (int i = 0; i < pings; ++i) {
+      const auto person = static_cast<uint32_t>(rng.UniformInt(0, kPeople - 1));
+      const Point centre = CrowdCentre(hour);
+      engine.Observe(person, t + 300.0 * i / pings,
+                     {centre.x + rng.Gaussian(0, 700),
+                      centre.y + rng.Gaussian(0, 700)});
+    }
+    // Report on the hour.
+    if (std::abs(hour - std::round(hour)) < 1e-9) {
+      const auto best = engine.Best();
+      timeline.AddRow(
+          {FormatDouble(hour, 0) + ":00",
+           std::to_string(engine.NumLiveObjects()),
+           std::to_string(engine.NumLivePositions()),
+           best ? site_names[best->first] : "-",
+           best ? std::to_string(best->second) : "0"});
+    }
+  }
+  timeline.Print(std::cout);
+
+  std::cout << "\nEvery row is maintained incrementally: pings enter, hour-"
+               "old pings expire,\nand the influence counters stay exactly "
+               "equal to a from-scratch solve of the\nwindow contents (see "
+               "StreamingTest.MatchesBatchRecomputeUnderRandomStream).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the full PINOCCHIO API on a ten-line problem.
+//
+// Builds the tiny scenario of the paper's Fig. 1 / Example 1 — two moving
+// objects, two candidate locations — and shows that cumulative influence
+// can prefer a candidate that is *not* the nearest neighbour of any single
+// position.
+//
+// Run:  ./quickstart
+
+#include <iostream>
+#include <memory>
+
+#include "core/naive_solver.h"
+#include "core/pinocchio_vo_solver.h"
+#include "prob/influence.h"
+#include "prob/power_law.h"
+
+using namespace pinocchio;
+
+int main() {
+  // --- 1. Moving objects: each is just a set of 2-D positions (metres).
+  // O1 has one position close to c1 but four positions clustered near c2;
+  // O2 has one position at c2 and the rest scattered far away.
+  MovingObject o1;
+  o1.id = 1;
+  o1.positions = {{0, 200},       // p11: near c1
+                  {4800, 100},    // p12..p15: clustered around c2
+                  {5200, -150},
+                  {5100, 250},
+                  {4900, -100}};
+
+  MovingObject o2;
+  o2.id = 2;
+  o2.positions = {{5000, 0},      // p21: exactly at c2
+                  {20000, 9000},  // the rest far from both candidates
+                  {-14000, 12000},
+                  {18000, -11000},
+                  {-16000, -9000}};
+
+  ProblemInstance instance;
+  instance.objects = {o1, o2};
+
+  // --- 2. Candidate locations.
+  const Point c1{0, 0};
+  const Point c2{5000, 0};
+  instance.candidates = {c1, c2};
+
+  // --- 3. Influence model: the power-law check-in probability of the
+  // paper (rho = 0.9, lambda = 1.0, distances in km) and threshold tau.
+  SolverConfig config;
+  config.pf = std::make_shared<PowerLawPF>(/*rho=*/0.9, /*lambda=*/1.0);
+  config.tau = 0.55;
+
+  // --- 4. Inspect cumulative influence probabilities (Definition 1).
+  std::cout << "Cumulative influence probabilities (tau = " << config.tau
+            << "):\n";
+  for (const MovingObject& o : instance.objects) {
+    for (size_t j = 0; j < instance.candidates.size(); ++j) {
+      const double pr = CumulativeInfluenceProbability(
+          *config.pf, instance.candidates[j], o.positions);
+      std::cout << "  Pr_c" << j + 1 << "(O" << o.id << ") = " << pr
+                << (pr >= config.tau ? "  -> influenced" : "") << "\n";
+    }
+  }
+
+  // --- 5. Solve PRIME-LS with PINOCCHIO-VO (and verify against NA).
+  const SolverResult result = PinocchioVOSolver().Solve(instance, config);
+  const SolverResult check = NaiveSolver().Solve(instance, config);
+
+  std::cout << "\nPINOCCHIO-VO selects candidate c" << result.best_candidate + 1
+            << " with influence " << result.best_influence << " (NA agrees: "
+            << (check.best_influence == result.best_influence ? "yes" : "no")
+            << ")\n";
+  std::cout << "Note: every single position of O1 except p11 is closer to c2,"
+            << "\nbut a nearest-neighbour method would credit O1 to c1 — "
+            << "cumulative probability does not.\n";
+  return 0;
+}

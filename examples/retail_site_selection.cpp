@@ -1,0 +1,113 @@
+// Retail site selection over real or synthetic check-in data.
+//
+// Usage:
+//   ./retail_site_selection                 # synthetic Gowalla-like data
+//   ./retail_site_selection checkins.csv    # your own data:
+//                                           #   user_id,lat,lon[,venue_id]
+//
+// The example ranks 400 candidate sites for a new store under the
+// power-law visit model, shows how the answer responds to the influence
+// threshold tau, and reports how much work the pruning rules saved
+// compared to exhaustive evaluation.
+
+#include <iostream>
+#include <memory>
+
+#include "core/naive_solver.h"
+#include "core/pinocchio_solver.h"
+#include "core/pinocchio_vo_solver.h"
+#include "data/checkin_dataset.h"
+#include "data/csv_io.h"
+#include "eval/report.h"
+#include "util/string_utils.h"
+#include "prob/power_law.h"
+
+using namespace pinocchio;
+
+int main(int argc, char** argv) {
+  CheckinDataset dataset;
+  if (argc > 1) {
+    std::cout << "Loading check-ins from " << argv[1] << "...\n";
+    size_t skipped = 0;
+    dataset = LoadCheckinsCsvFile(argv[1], /*strict=*/false, &skipped);
+    if (skipped > 0) {
+      std::cout << "  (skipped " << skipped << " malformed rows)\n";
+    }
+    if (dataset.objects.empty()) {
+      std::cerr << "No usable check-ins found.\n";
+      return 1;
+    }
+  } else {
+    DatasetSpec spec = DatasetSpec::Gowalla().Scaled(0.15);
+    spec.seed = 99;
+    std::cout << "No CSV given; generating " << spec.name
+              << "-like data (" << spec.num_users << " customers)...\n";
+    dataset = GenerateCheckinDataset(spec);
+  }
+  std::cout << "Customers: " << dataset.objects.size() << ", check-ins: "
+            << dataset.TotalCheckins() << "\n";
+
+  // Candidate sites: venue coordinates when available, else customer
+  // positions.
+  ProblemInstance instance;
+  instance.objects = dataset.objects;
+  if (dataset.venues.size() >= 400) {
+    const CandidateSample sample = SampleCandidates(dataset, 400, 5);
+    instance.candidates = sample.points;
+  } else {
+    for (const MovingObject& o : dataset.objects) {
+      for (const Point& p : o.positions) {
+        instance.candidates.push_back(p);
+        if (instance.candidates.size() >= 400) break;
+      }
+      if (instance.candidates.size() >= 400) break;
+    }
+  }
+  std::cout << "Candidate sites: " << instance.candidates.size() << "\n";
+
+  SolverConfig config;
+  config.pf = std::make_shared<PowerLawPF>(0.9, 1.0);
+  config.top_k = 5;
+
+  // --- Sensitivity of the answer to the influence threshold.
+  TablePrinter sweep("Best site vs influence threshold tau",
+                     {"tau", "best site", "customers influenced",
+                      "share of customers", "solve time"});
+  for (double tau : {0.3, 0.5, 0.7, 0.9}) {
+    config.tau = tau;
+    const SolverResult r = PinocchioVOSolver().Solve(instance, config);
+    const double pct = 100.0 * static_cast<double>(r.best_influence) /
+                       static_cast<double>(instance.objects.size());
+    sweep.AddRow({FormatDouble(tau, 1), "#" + std::to_string(r.best_candidate),
+                  std::to_string(r.best_influence), FormatDouble(pct, 1) + "%",
+                  FormatSeconds(r.stats.elapsed_seconds)});
+  }
+  sweep.Print(std::cout);
+
+  // --- Full ranking (exact) at the default threshold + work accounting.
+  config.tau = 0.7;
+  const SolverResult pin = PinocchioSolver().Solve(instance, config);
+  const SolverResult na = NaiveSolver().Solve(instance, config);
+
+  TablePrinter top("Top-5 sites at tau = 0.7",
+                   {"rank", "site", "customers influenced"});
+  const auto ranking = pin.TopK(5);
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    top.AddRow({std::to_string(i + 1), "#" + std::to_string(ranking[i]),
+                std::to_string(pin.influence[ranking[i]])});
+  }
+  top.Print(std::cout);
+
+  const auto pairs = static_cast<double>(instance.objects.size() *
+                                         instance.candidates.size());
+  std::cout << "\nWork saved by pruning: "
+            << FormatDouble(100.0 * static_cast<double>(
+                                        pin.stats.PairsPruned()) / pairs,
+                            1)
+            << "% of " << static_cast<int64_t>(pairs)
+            << " customer-site pairs decided geometrically ("
+            << FormatSeconds(pin.stats.elapsed_seconds) << " vs "
+            << FormatSeconds(na.stats.elapsed_seconds)
+            << " for exhaustive evaluation)\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full reproduction run: configure, build, test, and regenerate every
+# table/figure of the paper plus the ablations.
+#
+# Usage:
+#   scripts/reproduce.sh [scale]
+# `scale` is the fraction of the paper's Table-2 dataset sizes (default
+# 0.25; use 1.0 for paper-scale, which takes considerably longer).
+#
+# Outputs:
+#   test_output.txt   — full ctest log
+#   bench_output.txt  — all benchmark tables
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.25}"
+
+echo "== configuring and building =="
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== running tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+echo "== running benchmarks (PINOCCHIO_BENCH_SCALE=${SCALE}) =="
+export PINOCCHIO_BENCH_SCALE="${SCALE}"
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
+done
+
+echo "== done: see test_output.txt and bench_output.txt =="

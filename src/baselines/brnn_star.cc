@@ -1,0 +1,70 @@
+#include "baselines/brnn_star.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "index/rtree.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+
+BrnnStarSolver::BrnnStarSolver(size_t k) : k_(k) { PINO_CHECK_GE(k, 1u); }
+
+std::string BrnnStarSolver::Name() const {
+  if (k_ == 1) return "BRNN*";
+  std::ostringstream os;
+  os << "BR" << k_ << "NN*";
+  return os.str();
+}
+
+SolverResult BrnnStarSolver::Solve(const ProblemInstance& instance,
+                                   const SolverConfig& config) const {
+  Stopwatch watch;
+  SolverResult result;
+  const size_t m = instance.candidates.size();
+  result.influence.assign(m, 0);
+  result.influence_exact = true;
+  if (m == 0) {
+    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  std::vector<RTreeEntry> entries;
+  entries.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
+  }
+  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+
+  std::unordered_map<uint32_t, int64_t> position_votes;
+  for (const MovingObject& o : instance.objects) {
+    position_votes.clear();
+    for (const Point& p : o.positions) {
+      const auto nn = rtree.NearestNeighbors(p, k_);
+      ++result.stats.positions_scanned;
+      for (const auto& [candidate, distance] : nn) {
+        (void)distance;
+        ++position_votes[candidate];
+      }
+    }
+    // The object selects the candidate that is the NN of the most of its
+    // positions; ties towards the smaller candidate index.
+    uint32_t best = 0;
+    int64_t best_votes = -1;
+    for (const auto& [candidate, votes] : position_votes) {
+      if (votes > best_votes ||
+          (votes == best_votes && candidate < best)) {
+        best = candidate;
+        best_votes = votes;
+      }
+    }
+    if (best_votes > 0) ++result.influence[best];
+  }
+
+  internal::FinalizeResultFromInfluence(&result);
+  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pinocchio

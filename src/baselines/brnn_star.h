@@ -1,0 +1,42 @@
+// BRNN* — the nearest-neighbour-semantics baseline of Section 6.1/6.2.
+//
+// The paper extends the state-of-the-art MaxBRNN technique (MaxOverlap,
+// Wong et al. [16]) to the mobile setting: for each moving object, run the
+// NN semantics over its positions and select the candidate that "influences
+// the most positions" (i.e. is the nearest candidate of the most positions);
+// then return the candidate selected by the most objects. With a discrete
+// candidate set this per-object step reduces exactly to nearest-candidate
+// voting, which is what we implement (the continuous-space region machinery
+// of MaxOverlap is unnecessary when C is finite).
+
+#ifndef PINOCCHIO_BASELINES_BRNN_STAR_H_
+#define PINOCCHIO_BASELINES_BRNN_STAR_H_
+
+#include "core/solver.h"
+
+namespace pinocchio {
+
+/// BRNN* baseline. The returned `influence` vector holds, per candidate,
+/// the number of objects that selected it (its vote count); `config.pf` and
+/// `config.tau` are ignored — the semantics is purely distance-based.
+///
+/// `k > 1` generalises to the MaxBRkNN semantics of Wong et al. [16] /
+/// Zhou et al. [17]: every one of a position's k nearest candidates
+/// receives a positional vote, and the object still selects the candidate
+/// with the most votes.
+class BrnnStarSolver : public Solver {
+ public:
+  explicit BrnnStarSolver(size_t k = 1);
+
+  std::string Name() const override;
+
+  SolverResult Solve(const ProblemInstance& instance,
+                     const SolverConfig& config) const override;
+
+ private:
+  size_t k_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_BASELINES_BRNN_STAR_H_

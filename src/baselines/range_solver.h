@@ -1,0 +1,38 @@
+// RANGE — the range-semantics baseline of Section 6.1/6.2: an object is
+// influenced by a candidate iff at least `min_proportion` of its positions
+// lie within `range_meters` of it. The paper evaluates nine parameter
+// combinations (proportion in {25%, 50%, 75%} x range in {default/2,
+// default, 2*default}, default = 5 per mille of the complete scale) and
+// averages their precision; the bench harness instantiates this solver for
+// each combination.
+
+#ifndef PINOCCHIO_BASELINES_RANGE_SOLVER_H_
+#define PINOCCHIO_BASELINES_RANGE_SOLVER_H_
+
+#include "core/solver.h"
+
+namespace pinocchio {
+
+/// RANGE baseline with fixed (proportion, range) parameters.
+class RangeSolver : public Solver {
+ public:
+  /// `min_proportion` in (0, 1]; `range_meters` > 0.
+  RangeSolver(double min_proportion, double range_meters);
+
+  std::string Name() const override;
+
+  SolverResult Solve(const ProblemInstance& instance,
+                     const SolverConfig& config) const override;
+
+  /// The paper's default range: 5 per mille of the instance's complete
+  /// scale (the diagonal-dominant extent dimension of all positions).
+  static double DefaultRangeMeters(const ProblemInstance& instance);
+
+ private:
+  double min_proportion_;
+  double range_meters_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_BASELINES_RANGE_SOLVER_H_

@@ -1,0 +1,58 @@
+// Continuous location selection — place the facility anywhere in a query
+// region, not just at one of m candidates. This adapts the MaxFirst
+// quadrant branch-and-bound of Zhou et al. (the paper's ref [17], designed
+// for MaxBRkNN) to the probabilistic cumulative-influence semantics of
+// PRIME-LS.
+//
+// For a rectangular cell Q and an object O with MBR B and n positions:
+//   max_{c in Q} Pr_c(O) <= 1 - (1 - PF(minDist(Q, B)))^n
+// (every position is at least minDist(Q, B) from any c in Q), so counting
+// objects whose bound clears tau upper-bounds the influence attainable
+// inside Q; evaluating the cell centre gives a lower bound. Cells are
+// explored best-first by upper bound and split into quadrants until the
+// optimal cell is smaller than a resolution limit — at which point the
+// best evaluated centre is provably within the bound gap of optimal.
+
+#ifndef PINOCCHIO_CORE_CONTINUOUS_PLACEMENT_H_
+#define PINOCCHIO_CORE_CONTINUOUS_PLACEMENT_H_
+
+#include <cstdint>
+
+#include "core/moving_object.h"
+#include "core/solver.h"
+
+namespace pinocchio {
+
+/// Outcome of continuous placement.
+struct ContinuousPlacementResult {
+  /// The best location found (centre of the winning cell).
+  Point location;
+  /// Exact influence of `location`.
+  int64_t influence = 0;
+  /// Largest cell upper bound still open when the search stopped; the
+  /// true continuous optimum lies in [influence, upper_bound].
+  int64_t upper_bound = 0;
+  /// Cells popped / influence evaluations performed.
+  int64_t cells_explored = 0;
+  int64_t evaluations = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Options for the search.
+struct ContinuousPlacementOptions {
+  /// Cells smaller than this side length (metres) are not split further.
+  double resolution_meters = 50.0;
+  /// Safety cap on explored cells.
+  int64_t max_cells = 100000;
+};
+
+/// Finds a location inside `region` maximising the number of influenced
+/// objects. When `region` is empty, the tight bounds of all object
+/// positions are used.
+ContinuousPlacementResult PlaceAnywhere(
+    const std::vector<MovingObject>& objects, const Mbr& region,
+    const SolverConfig& config, const ContinuousPlacementOptions& options = {});
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_CORE_CONTINUOUS_PLACEMENT_H_

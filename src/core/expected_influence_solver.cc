@@ -1,0 +1,125 @@
+#include "core/expected_influence_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "prob/influence.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+namespace {
+
+// 1 - (1 - p)^n, stable for small p.
+double CumulativeAt(double p, size_t n) {
+  if (p >= 1.0) return 1.0;
+  return -std::expm1(static_cast<double>(n) * std::log1p(-p));
+}
+
+double ExactScore(const ProbabilityFunction& pf, const Point& c,
+                  const std::vector<MovingObject>& objects) {
+  double score = 0.0;
+  for (const MovingObject& o : objects) {
+    score += CumulativeInfluenceProbability(pf, c, o.positions);
+  }
+  return score;
+}
+
+}  // namespace
+
+ExpectedInfluenceResult SolveExpectedInfluenceNaive(
+    const ProblemInstance& instance, const SolverConfig& config) {
+  PINO_CHECK(config.pf != nullptr);
+  Stopwatch watch;
+  ExpectedInfluenceResult result;
+  const size_t m = instance.candidates.size();
+  result.score.assign(m, 0.0);
+  result.score_exact.assign(m, true);
+  for (size_t j = 0; j < m; ++j) {
+    result.score[j] =
+        ExactScore(*config.pf, instance.candidates[j], instance.objects);
+    ++result.candidates_refined;
+  }
+  const auto best =
+      std::max_element(result.score.begin(), result.score.end());
+  if (best != result.score.end()) {
+    result.best_candidate =
+        static_cast<uint32_t>(best - result.score.begin());
+    result.best_score = *best;
+  }
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+ExpectedInfluenceResult SolveExpectedInfluence(const ProblemInstance& instance,
+                                               const SolverConfig& config) {
+  PINO_CHECK(config.pf != nullptr);
+  Stopwatch watch;
+  ExpectedInfluenceResult result;
+  const size_t m = instance.candidates.size();
+  result.score.assign(m, 0.0);
+  result.score_exact.assign(m, false);
+  if (m == 0) {
+    result.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+  const ProbabilityFunction& pf = *config.pf;
+
+  // Cheap per-object geometry.
+  struct Bounded {
+    Mbr mbr;
+    size_t n;
+  };
+  std::vector<Bounded> objects;
+  objects.reserve(instance.objects.size());
+  for (const MovingObject& o : instance.objects) {
+    PINO_CHECK(!o.positions.empty());
+    objects.push_back({o.ActivityMbr(), o.positions.size()});
+  }
+
+  // Upper and lower score bounds per candidate, O(m * r) with O(1) work
+  // per pair (versus O(n) for the exact score).
+  std::vector<double> upper(m, 0.0);
+  std::vector<double> lower(m, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    const Point& c = instance.candidates[j];
+    for (const Bounded& b : objects) {
+      upper[j] += CumulativeAt(pf(b.mbr.MinDist(c)), b.n);
+      lower[j] += CumulativeAt(pf(b.mbr.MaxDist(c)), b.n);
+    }
+  }
+
+  // Refine in decreasing upper-bound order until no unrefined candidate's
+  // upper bound can beat the best exact score.
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return upper[a] > upper[b];
+  });
+
+  double best_exact = -1.0;
+  uint32_t best_candidate = order.front();
+  for (uint32_t j : order) {
+    if (upper[j] <= best_exact) break;  // nobody later can win either
+    const double exact =
+        ExactScore(pf, instance.candidates[j], instance.objects);
+    ++result.candidates_refined;
+    result.score[j] = exact;
+    result.score_exact[j] = true;
+    if (exact > best_exact) {
+      best_exact = exact;
+      best_candidate = j;
+    }
+  }
+  // Unrefined candidates report their (losing) upper bound.
+  for (size_t j = 0; j < m; ++j) {
+    if (!result.score_exact[j]) result.score[j] = upper[j];
+  }
+  result.best_candidate = best_candidate;
+  result.best_score = best_exact;
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pinocchio

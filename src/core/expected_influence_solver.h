@@ -1,0 +1,51 @@
+// Expected-influence location selection — an extension beyond the paper.
+//
+// PRIME-LS counts objects whose cumulative probability clears a threshold
+// tau; the threshold-free alternative maximises the *expected number of
+// influenced objects*, score(c) = sum_O Pr_c(O), in the spirit of the
+// influence-maximisation objective of Kempe et al. (the paper's ref [4])
+// that motivated Definition 1. The two objectives agree on obvious
+// instances but can diverge: the expectation rewards many medium-probability
+// objects that a high tau would all reject.
+//
+// Bounds used for pruning (per object O with n positions and MBR B):
+//   Pr_c(O) >= 1 - (1 - PF(maxDist(c,B)))^n   (all positions at the far bound)
+//   Pr_c(O) <= 1 - (1 - PF(minDist(c,B)))^n   (all positions at the near bound)
+// The branch-and-bound solver accumulates these per candidate, then
+// refines candidates whose upper bound still exceeds the best exact score.
+
+#ifndef PINOCCHIO_CORE_EXPECTED_INFLUENCE_SOLVER_H_
+#define PINOCCHIO_CORE_EXPECTED_INFLUENCE_SOLVER_H_
+
+#include "core/moving_object.h"
+#include "core/solver.h"
+
+namespace pinocchio {
+
+/// Result of expected-influence selection (scores are real-valued, so it
+/// does not reuse SolverResult's integer influence vector).
+struct ExpectedInfluenceResult {
+  uint32_t best_candidate = 0;
+  double best_score = 0.0;
+  /// Exact score per candidate index; candidates eliminated by the bound
+  /// test carry their upper bound instead (flagged below).
+  std::vector<double> score;
+  std::vector<bool> score_exact;
+  /// Candidates whose exact score was computed.
+  int64_t candidates_refined = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Exhaustive reference: exact expected influence for every candidate.
+ExpectedInfluenceResult SolveExpectedInfluenceNaive(
+    const ProblemInstance& instance, const SolverConfig& config);
+
+/// Branch-and-bound: MBR-based upper/lower bounds first, exact refinement
+/// in decreasing upper-bound order until the bound drops below the best
+/// exact score. The returned best candidate is exactly optimal.
+ExpectedInfluenceResult SolveExpectedInfluence(const ProblemInstance& instance,
+                                               const SolverConfig& config);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_CORE_EXPECTED_INFLUENCE_SOLVER_H_

@@ -1,0 +1,167 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "geo/regions.h"
+#include "prob/influence.h"
+#include "util/logging.h"
+
+namespace pinocchio {
+
+IncrementalPrimeLS::IncrementalPrimeLS(std::vector<Point> candidates,
+                                       SolverConfig config)
+    : config_(std::move(config)),
+      candidates_(std::move(candidates)),
+      active_(candidates_.size(), true),
+      live_candidates_(candidates_.size()),
+      influence_(candidates_.size(), 0),
+      rtree_(config_.rtree_fanout) {
+  PINO_CHECK(config_.pf != nullptr);
+  std::vector<RTreeEntry> entries;
+  entries.reserve(candidates_.size());
+  for (size_t j = 0; j < candidates_.size(); ++j) {
+    entries.push_back({candidates_[j], static_cast<uint32_t>(j)});
+  }
+  rtree_ = RTree::BulkLoad(entries, config_.rtree_fanout);
+}
+
+double IncrementalPrimeLS::RadiusFor(size_t n) {
+  auto it = radius_by_n_.find(n);
+  if (it == radius_by_n_.end()) {
+    it = radius_by_n_.emplace(n, config_.pf->MinMaxRadius(config_.tau, n))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<uint32_t> IncrementalPrimeLS::InfluencedCandidates(
+    const std::vector<Point>& positions, const Mbr& mbr, double radius) const {
+  const InfluenceArcsRegion ia(mbr, radius);
+  const NonInfluenceBoundary nib(mbr, radius);
+  std::vector<uint32_t> influenced;
+  rtree_.QueryRect(nib.BoundingBox(), [&](const RTreeEntry& e) {
+    if (!active_[e.id]) return;
+    if (!nib.Contains(e.point)) return;
+    if (!ia.IsEmpty() && ia.Contains(e.point)) {
+      influenced.push_back(e.id);
+      return;
+    }
+    if (Influences(*config_.pf, e.point, positions, config_.tau)) {
+      influenced.push_back(e.id);
+    }
+  });
+  return influenced;
+}
+
+size_t IncrementalPrimeLS::AddObject(const MovingObject& object) {
+  PINO_CHECK(!object.positions.empty())
+      << "object " << object.id << " has no positions";
+  PINO_CHECK(objects_.find(object.id) == objects_.end())
+      << "object id " << object.id << " already live";
+  LiveObject live;
+  live.positions = object.positions;
+  live.mbr = object.ActivityMbr();
+  live.min_max_radius = RadiusFor(object.positions.size());
+  live.influenced =
+      InfluencedCandidates(live.positions, live.mbr, live.min_max_radius);
+  for (uint32_t j : live.influenced) ++influence_[j];
+  const size_t count = live.influenced.size();
+  objects_.emplace(object.id, std::move(live));
+  return count;
+}
+
+bool IncrementalPrimeLS::RemoveObject(uint32_t object_id) {
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) return false;
+  for (uint32_t j : it->second.influenced) --influence_[j];
+  objects_.erase(it);
+  return true;
+}
+
+bool IncrementalPrimeLS::UpdateObject(uint32_t object_id,
+                                      std::vector<Point> positions) {
+  PINO_CHECK(!positions.empty()) << "object " << object_id
+                                 << " would have no positions";
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) return false;
+  LiveObject& live = it->second;
+  for (uint32_t j : live.influenced) --influence_[j];
+  live.positions = std::move(positions);
+  live.mbr = Mbr::Of(live.positions);
+  live.min_max_radius = RadiusFor(live.positions.size());
+  live.influenced =
+      InfluencedCandidates(live.positions, live.mbr, live.min_max_radius);
+  for (uint32_t j : live.influenced) ++influence_[j];
+  return true;
+}
+
+size_t IncrementalPrimeLS::AddCandidate(const Point& location) {
+  const auto j = static_cast<uint32_t>(candidates_.size());
+  candidates_.push_back(location);
+  active_.push_back(true);
+  influence_.push_back(0);
+  ++live_candidates_;
+  rtree_.Insert(location, j);
+  // Account the new candidate into every live object's influence, using the
+  // object's cached pruning geometry before paying for validation.
+  for (auto& [id, live] : objects_) {
+    (void)id;
+    if (live.mbr.MinDist(location) > live.min_max_radius) continue;  // NIB
+    bool influenced;
+    if (live.mbr.MaxDist(location) <= live.min_max_radius) {  // IA
+      influenced = true;
+    } else {
+      influenced =
+          Influences(*config_.pf, location, live.positions, config_.tau);
+    }
+    if (influenced) {
+      live.influenced.push_back(j);
+      ++influence_[j];
+    }
+  }
+  return j;
+}
+
+bool IncrementalPrimeLS::RetireCandidate(size_t candidate_index) {
+  if (candidate_index >= candidates_.size() || !active_[candidate_index]) {
+    return false;
+  }
+  active_[candidate_index] = false;
+  --live_candidates_;
+  // Physically remove from the index so future object insertions stop
+  // paying for it; the influence counters keep their slot (reported as 0).
+  rtree_.Remove(candidates_[candidate_index],
+                static_cast<uint32_t>(candidate_index));
+  return true;
+}
+
+int64_t IncrementalPrimeLS::InfluenceOf(size_t candidate_index) const {
+  PINO_CHECK_LT(candidate_index, influence_.size());
+  return active_[candidate_index] ? influence_[candidate_index] : 0;
+}
+
+std::optional<std::pair<size_t, int64_t>> IncrementalPrimeLS::Best() const {
+  std::optional<std::pair<size_t, int64_t>> best;
+  for (size_t j = 0; j < candidates_.size(); ++j) {
+    if (!active_[j]) continue;
+    if (!best || influence_[j] > best->second) {
+      best = {j, influence_[j]};
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<size_t, int64_t>> IncrementalPrimeLS::TopK(
+    size_t k) const {
+  std::vector<std::pair<size_t, int64_t>> live;
+  for (size_t j = 0; j < candidates_.size(); ++j) {
+    if (active_[j]) live.emplace_back(j, influence_[j]);
+  }
+  std::stable_sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (live.size() > k) live.resize(k);
+  return live;
+}
+
+}  // namespace pinocchio

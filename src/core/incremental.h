@@ -1,0 +1,99 @@
+// Incremental PRIME-LS — the dynamic scenario the paper names as future
+// work (Section 7): candidate locations, objects and their positions keep
+// changing. This maintains exact influence counts under object insertion
+// and removal and candidate insertion and retirement, reusing the IA/NIB
+// pruning rules per update instead of re-solving from scratch.
+
+#ifndef PINOCCHIO_CORE_INCREMENTAL_H_
+#define PINOCCHIO_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/moving_object.h"
+#include "core/solver.h"
+#include "index/rtree.h"
+#include "prob/probability_function.h"
+
+namespace pinocchio {
+
+/// Maintains exact inf(c) for a dynamic set of objects and candidates.
+///
+/// Each live object caches which candidates it currently influences, so
+/// removal is a pure counter update. Object insertion runs the IA/NIB
+/// pruning rules against the candidate R-tree and validates only the
+/// remnant set — the same work PINOCCHIO spends per object, but on demand.
+class IncrementalPrimeLS {
+ public:
+  /// `config.pf` and `config.tau` fix the influence semantics for the
+  /// lifetime of the structure (changing tau invalidates every cached
+  /// radius, which is exactly a rebuild).
+  IncrementalPrimeLS(std::vector<Point> candidates, SolverConfig config);
+
+  /// Inserts `object` (its id must be unused among live objects) and
+  /// updates all influence counters. Returns the number of candidates the
+  /// object influences.
+  size_t AddObject(const MovingObject& object);
+
+  /// Removes a live object by id; returns false if unknown.
+  bool RemoveObject(uint32_t object_id);
+
+  /// Replaces a live object's positions (the paper's dynamic scenario also
+  /// lets positions change); equivalent to remove + re-add but keeps the
+  /// id. Returns false if the object is unknown.
+  bool UpdateObject(uint32_t object_id, std::vector<Point> positions);
+
+  /// Adds a candidate location; returns its index. Its influence over all
+  /// live objects is computed immediately.
+  size_t AddCandidate(const Point& location);
+
+  /// Retires a candidate (its slot stays allocated but it no longer
+  /// participates in queries); returns false if already retired or out of
+  /// range.
+  bool RetireCandidate(size_t candidate_index);
+
+  /// Exact inf(c) of a live candidate (0 for retired slots).
+  int64_t InfluenceOf(size_t candidate_index) const;
+
+  /// Current optimum: (candidate index, influence). Nullopt when no live
+  /// candidate exists.
+  std::optional<std::pair<size_t, int64_t>> Best() const;
+
+  /// Exact top-k live candidates by influence (ties by index).
+  std::vector<std::pair<size_t, int64_t>> TopK(size_t k) const;
+
+  size_t NumLiveObjects() const { return objects_.size(); }
+  size_t NumLiveCandidates() const { return live_candidates_; }
+
+ private:
+  struct LiveObject {
+    std::vector<Point> positions;
+    double min_max_radius = 0.0;
+    Mbr mbr;
+    /// Candidate indices this object currently influences.
+    std::vector<uint32_t> influenced;
+  };
+
+  /// Computes the candidate set influenced by (positions, mbr, radius)
+  /// using IA certificates, NIB exclusion and validation of the remnant.
+  std::vector<uint32_t> InfluencedCandidates(const std::vector<Point>& positions,
+                                             const Mbr& mbr,
+                                             double radius) const;
+
+  double RadiusFor(size_t n);
+
+  SolverConfig config_;
+  std::vector<Point> candidates_;
+  std::vector<bool> active_;
+  size_t live_candidates_ = 0;
+  std::vector<int64_t> influence_;
+  RTree rtree_;
+  std::unordered_map<uint32_t, LiveObject> objects_;
+  std::unordered_map<size_t, double> radius_by_n_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_CORE_INCREMENTAL_H_

@@ -1,0 +1,116 @@
+#include "core/influence_query.h"
+
+#include <algorithm>
+
+#include "prob/influence.h"
+#include "util/logging.h"
+
+namespace pinocchio {
+
+int64_t InfluenceOfCandidate(const ObjectStore& store, const Point& candidate,
+                             const ProbabilityFunction& pf) {
+  int64_t influence = 0;
+  for (const ObjectRecord& rec : store.records()) {
+    if (!rec.nib.Contains(candidate)) continue;  // Lemma 3
+    if (!rec.ia.IsEmpty() && rec.ia.Contains(candidate)) {  // Lemma 2
+      ++influence;
+      continue;
+    }
+    if (Influences(pf, candidate, rec.positions, store.tau())) ++influence;
+  }
+  return influence;
+}
+
+int64_t InfluenceOfCandidate(const std::vector<MovingObject>& objects,
+                             const Point& candidate,
+                             const SolverConfig& config) {
+  PINO_CHECK(config.pf != nullptr);
+  const ObjectStore store(objects, *config.pf, config.tau);
+  return InfluenceOfCandidate(store, candidate, *config.pf);
+}
+
+double WeightedInfluenceOfCandidate(const ObjectStore& store,
+                                    std::span<const double> weights,
+                                    const Point& candidate,
+                                    const ProbabilityFunction& pf) {
+  PINO_CHECK_EQ(weights.size(), store.records().size());
+  double score = 0.0;
+  for (size_t k = 0; k < store.records().size(); ++k) {
+    const ObjectRecord& rec = store.records()[k];
+    if (!rec.nib.Contains(candidate)) continue;
+    if ((!rec.ia.IsEmpty() && rec.ia.Contains(candidate)) ||
+        Influences(pf, candidate, rec.positions, store.tau())) {
+      score += weights[k];
+    }
+  }
+  return score;
+}
+
+std::pair<size_t, double> SelectWeighted(
+    const std::vector<MovingObject>& objects,
+    std::span<const double> weights, std::span<const Point> candidates,
+    const SolverConfig& config) {
+  PINO_CHECK(config.pf != nullptr);
+  PINO_CHECK_EQ(weights.size(), objects.size());
+  if (candidates.empty()) return {0, 0.0};
+  const ObjectStore store(objects, *config.pf, config.tau);
+  size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < candidates.size(); ++j) {
+    const double score =
+        WeightedInfluenceOfCandidate(store, weights, candidates[j],
+                                     *config.pf);
+    if (score > best_score) {
+      best = j;
+      best_score = score;
+    }
+  }
+  return {best, best_score};
+}
+
+InfluenceExplanation ExplainInfluence(const std::vector<MovingObject>& objects,
+                                      const Point& candidate,
+                                      const SolverConfig& config) {
+  PINO_CHECK(config.pf != nullptr);
+  const ProbabilityFunction& pf = *config.pf;
+  const ObjectStore store(objects, pf, config.tau);
+
+  InfluenceExplanation explanation;
+  for (const ObjectRecord& rec : store.records()) {
+    const bool nib_excludes = !rec.nib.Contains(candidate);
+    const bool ia_certifies =
+        !rec.ia.IsEmpty() && rec.ia.Contains(candidate);
+    if (nib_excludes) {
+      ++explanation.decided_by_nib;
+      continue;
+    }
+    if (ia_certifies) ++explanation.decided_by_ia;
+
+    const double probability =
+        CumulativeInfluenceProbability(pf, candidate, rec.positions);
+    const bool influenced = ia_certifies || probability >= config.tau;
+    if (!influenced) continue;
+
+    InfluencedObject entry;
+    entry.object_id = rec.object_id;
+    entry.probability = probability;
+    const double radius_sq = rec.min_max_radius * rec.min_max_radius;
+    if (rec.min_max_radius >= 0.0) {
+      for (const Point& p : rec.positions) {
+        if (SquaredDistance(candidate, p) <= radius_sq) {
+          ++entry.positions_in_radius;
+        }
+      }
+    }
+    explanation.influenced.push_back(entry);
+  }
+  explanation.influence = static_cast<int64_t>(explanation.influenced.size());
+  std::stable_sort(explanation.influenced.begin(),
+                   explanation.influenced.end(),
+                   [](const InfluencedObject& a, const InfluencedObject& b) {
+                     return a.probability > b.probability;
+                   });
+  return explanation;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,11 @@
+#include "core/moving_object.h"
+
+namespace pinocchio {
+
+size_t ProblemInstance::TotalPositions() const {
+  size_t total = 0;
+  for (const MovingObject& o : objects) total += o.positions.size();
+  return total;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,42 @@
+// Moving objects and the PRIME-LS problem instance.
+
+#ifndef PINOCCHIO_CORE_MOVING_OBJECT_H_
+#define PINOCCHIO_CORE_MOVING_OBJECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace pinocchio {
+
+/// A moving object O = {p_1, ..., p_n}: an id plus the set of its sampled
+/// positions in planar metre space (Section 3.1). Positions are unordered —
+/// the cumulative influence probability is permutation-invariant.
+struct MovingObject {
+  uint32_t id = 0;
+  std::vector<Point> positions;
+
+  size_t NumPositions() const { return positions.size(); }
+
+  /// Tight MBR of the activity region.
+  Mbr ActivityMbr() const { return Mbr::Of(positions); }
+};
+
+/// A full PRIME-LS instance: the moving objects Omega and the candidate
+/// locations C. PF and tau live in SolverConfig so one instance can be
+/// solved under many parameterisations (as the experiments do).
+struct ProblemInstance {
+  std::vector<MovingObject> objects;
+  std::vector<Point> candidates;
+
+  size_t NumObjects() const { return objects.size(); }
+  size_t NumCandidates() const { return candidates.size(); }
+  /// Total number of positions across all objects (the paper's r*n).
+  size_t TotalPositions() const;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_CORE_MOVING_OBJECT_H_

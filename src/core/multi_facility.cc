@@ -1,0 +1,110 @@
+#include "core/multi_facility.h"
+
+#include <queue>
+
+#include "core/object_store.h"
+#include "index/rtree.h"
+#include "prob/influence.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+
+MultiFacilityResult SelectFacilities(const ProblemInstance& instance,
+                                     size_t k, const SolverConfig& config) {
+  PINO_CHECK(config.pf != nullptr);
+  PINO_CHECK_GT(k, 0u);
+  Stopwatch watch;
+  MultiFacilityResult result;
+  const size_t m = instance.candidates.size();
+  const size_t r = instance.objects.size();
+  if (m == 0) {
+    result.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  // Build each candidate's influence set once, via the pruning machinery
+  // (object-major, as in PINOCCHIO, then transposed).
+  const ProbabilityFunction& pf = *config.pf;
+  const ObjectStore store(instance.objects, pf, config.tau);
+  std::vector<RTreeEntry> entries;
+  entries.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
+  }
+  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+
+  std::vector<std::vector<uint32_t>> influenced(m);  // candidate -> objects
+  for (size_t idx = 0; idx < store.records().size(); ++idx) {
+    const ObjectRecord& rec = store.records()[idx];
+    rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
+      if (!rec.nib.Contains(e.point)) return;
+      if ((!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) ||
+          Influences(pf, e.point, rec.positions, config.tau)) {
+        influenced[e.id].push_back(static_cast<uint32_t>(idx));
+      }
+    });
+  }
+
+  // CELF lazy greedy: a max-heap of (cached gain, candidate, round the
+  // gain was computed in). A popped entry with a stale round is
+  // recomputed against the current coverage and pushed back.
+  std::vector<char> covered(r, 0);
+  int64_t covered_count = 0;
+
+  struct HeapEntry {
+    int64_t gain;
+    uint32_t candidate;
+    size_t round;
+    bool operator<(const HeapEntry& other) const {
+      return gain < other.gain;
+    }
+  };
+  std::priority_queue<HeapEntry> heap;
+  for (size_t j = 0; j < m; ++j) {
+    // Initial gains are exact (round 0, nothing covered yet).
+    heap.push({static_cast<int64_t>(influenced[j].size()),
+               static_cast<uint32_t>(j), 0});
+    ++result.gain_evaluations;
+  }
+
+  const auto recompute_gain = [&](uint32_t j) {
+    int64_t gain = 0;
+    for (uint32_t obj : influenced[j]) {
+      if (!covered[obj]) ++gain;
+    }
+    ++result.gain_evaluations;
+    return gain;
+  };
+
+  std::vector<char> selected(m, 0);
+  const size_t target = std::min(k, m);
+  for (size_t round = 1; result.selected.size() < target && !heap.empty();) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (selected[top.candidate]) continue;
+    if (top.round != round) {
+      // Stale: refresh and reinsert (submodularity guarantees the true
+      // gain is <= the cached one, so the heap order stays valid).
+      top.gain = recompute_gain(top.candidate);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    // Fresh maximum: select it.
+    selected[top.candidate] = 1;
+    result.selected.push_back(top.candidate);
+    for (uint32_t obj : influenced[top.candidate]) {
+      if (!covered[obj]) {
+        covered[obj] = 1;
+        ++covered_count;
+      }
+    }
+    result.coverage.push_back(covered_count);
+    ++round;
+  }
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,35 @@
+#include "core/naive_solver.h"
+
+#include "prob/influence.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+
+SolverResult NaiveSolver::Solve(const ProblemInstance& instance,
+                                const SolverConfig& config) const {
+  PINO_CHECK(config.pf != nullptr);
+  Stopwatch watch;
+  SolverResult result;
+  result.influence.assign(instance.candidates.size(), 0);
+  result.influence_exact = true;
+
+  const ProbabilityFunction& pf = *config.pf;
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    const Point& c = instance.candidates[j];
+    for (const MovingObject& o : instance.objects) {
+      result.stats.positions_scanned +=
+          static_cast<int64_t>(o.positions.size());
+      ++result.stats.pairs_validated;
+      if (Influences(pf, c, o.positions, config.tau)) {
+        ++result.influence[j];
+      }
+    }
+  }
+
+  internal::FinalizeResultFromInfluence(&result);
+  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pinocchio

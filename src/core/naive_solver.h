@@ -1,0 +1,23 @@
+// NA — the exhaustive baseline (Section 6.1): computes the cumulative
+// influence probability for every object-candidate pair.
+
+#ifndef PINOCCHIO_CORE_NAIVE_SOLVER_H_
+#define PINOCCHIO_CORE_NAIVE_SOLVER_H_
+
+#include "core/solver.h"
+
+namespace pinocchio {
+
+/// Exhaustive PRIME-LS solver; O(m * r * n), exact for every candidate.
+/// Serves as the correctness oracle for the property tests.
+class NaiveSolver : public Solver {
+ public:
+  std::string Name() const override { return "NA"; }
+
+  SolverResult Solve(const ProblemInstance& instance,
+                     const SolverConfig& config) const override;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_CORE_NAIVE_SOLVER_H_

@@ -1,0 +1,26 @@
+#include "core/object_store.h"
+
+#include "util/logging.h"
+
+namespace pinocchio {
+
+ObjectStore::ObjectStore(const std::vector<MovingObject>& objects,
+                         const ProbabilityFunction& pf, double tau)
+    : tau_(tau) {
+  PINO_CHECK_GT(tau, 0.0);
+  PINO_CHECK_LT(tau, 1.0);
+  records_.reserve(objects.size());
+  for (const MovingObject& o : objects) {
+    PINO_CHECK(!o.positions.empty())
+        << "object " << o.id << " has no positions";
+    const size_t n = o.positions.size();
+    auto it = radius_by_n_.find(n);
+    if (it == radius_by_n_.end()) {
+      it = radius_by_n_.emplace(n, pf.MinMaxRadius(tau, n)).first;
+    }
+    const double radius = it->second;
+    records_.emplace_back(o.id, o.positions, o.ActivityMbr(), radius);
+  }
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,63 @@
+#include "core/pinocchio_grid_solver.h"
+
+#include "core/object_store.h"
+#include "index/grid_index.h"
+#include "prob/influence.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+
+SolverResult PinocchioGridSolver::Solve(const ProblemInstance& instance,
+                                        const SolverConfig& config) const {
+  PINO_CHECK(config.pf != nullptr);
+  Stopwatch watch;
+  SolverResult result;
+  const size_t m = instance.candidates.size();
+  result.influence.assign(m, 0);
+  result.influence_exact = true;
+  if (m == 0) {
+    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  const ProbabilityFunction& pf = *config.pf;
+  const ObjectStore store(instance.objects, pf, config.tau);
+
+  std::vector<RTreeEntry> entries;
+  entries.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
+  }
+  const GridIndex grid(entries, target_cells_);
+
+  for (const ObjectRecord& rec : store.records()) {
+    if (!rec.ia.IsEmpty()) {
+      grid.QueryRect(rec.ia.BoundingBox(), [&](const RTreeEntry& e) {
+        if (rec.ia.Contains(e.point)) {
+          ++result.influence[e.id];
+          ++result.stats.pairs_pruned_by_ia;
+        }
+      });
+    }
+    int64_t inside_nib = 0;
+    grid.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
+      if (!rec.nib.Contains(e.point)) return;
+      ++inside_nib;
+      if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) return;
+      ++result.stats.pairs_validated;
+      result.stats.positions_scanned +=
+          static_cast<int64_t>(rec.positions.size());
+      if (Influences(pf, e.point, rec.positions, config.tau)) {
+        ++result.influence[e.id];
+      }
+    });
+    result.stats.pairs_pruned_by_nib += static_cast<int64_t>(m) - inside_nib;
+  }
+
+  internal::FinalizeResultFromInfluence(&result);
+  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pinocchio

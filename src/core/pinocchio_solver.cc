@@ -1,0 +1,71 @@
+#include "core/pinocchio_solver.h"
+
+#include "core/object_store.h"
+#include "index/rtree.h"
+#include "prob/influence.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+
+SolverResult PinocchioSolver::Solve(const ProblemInstance& instance,
+                                    const SolverConfig& config) const {
+  PINO_CHECK(config.pf != nullptr);
+  Stopwatch watch;
+  SolverResult result;
+  const size_t m = instance.candidates.size();
+  result.influence.assign(m, 0);
+  result.influence_exact = true;
+
+  const ProbabilityFunction& pf = *config.pf;
+
+  // Algorithm 1: initialise A_2D.
+  const ObjectStore store(instance.objects, pf, config.tau);
+
+  // Candidate R-tree (bulk-loaded; leaves carry candidate ids that index
+  // into result.influence).
+  std::vector<RTreeEntry> entries;
+  entries.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
+  }
+  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+
+  for (const ObjectRecord& rec : store.records()) {
+    // Lemma 2: candidates inside IA(O_k) influence O_k outright. The R-tree
+    // is probed with the conservative bounding box; the exact arc test
+    // filters the hits.
+    if (!rec.ia.IsEmpty()) {
+      rtree.QueryRect(rec.ia.BoundingBox(), [&](const RTreeEntry& e) {
+        if (rec.ia.Contains(e.point)) {
+          ++result.influence[e.id];
+          ++result.stats.pairs_pruned_by_ia;
+        }
+      });
+    }
+
+    // Lemma 3: candidates outside NIB(O_k) cannot influence O_k; they are
+    // pruned implicitly by never being visited. The remnant set C'' (inside
+    // NIB but not inside IA) is validated by a full sequential scan
+    // (Algorithm 2 lines 10-15).
+    int64_t inside_nib = 0;
+    rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
+      if (!rec.nib.Contains(e.point)) return;
+      ++inside_nib;
+      if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) return;  // already credited
+      ++result.stats.pairs_validated;
+      result.stats.positions_scanned +=
+          static_cast<int64_t>(rec.positions.size());
+      if (Influences(pf, e.point, rec.positions, config.tau)) {
+        ++result.influence[e.id];
+      }
+    });
+    result.stats.pairs_pruned_by_nib += static_cast<int64_t>(m) - inside_nib;
+  }
+
+  internal::FinalizeResultFromInfluence(&result);
+  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pinocchio

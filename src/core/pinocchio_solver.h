@@ -1,0 +1,28 @@
+// PINOCCHIO (Algorithm 2): IA/NIB pruning against a candidate R-tree
+// followed by sequential validation of the remnant candidates.
+
+#ifndef PINOCCHIO_CORE_PINOCCHIO_SOLVER_H_
+#define PINOCCHIO_CORE_PINOCCHIO_SOLVER_H_
+
+#include "core/solver.h"
+
+namespace pinocchio {
+
+/// PINOCCHIO solver (paper Algorithm 2).
+///
+/// Per object: a range query with the influence-arcs region credits every
+/// candidate inside it without validation (Lemma 2); a range query with the
+/// non-influence boundary discards every candidate outside it (Lemma 3);
+/// the remnant candidates are validated with a full cumulative-probability
+/// scan. Influence counts are exact for all candidates.
+class PinocchioSolver : public Solver {
+ public:
+  std::string Name() const override { return "PIN"; }
+
+  SolverResult Solve(const ProblemInstance& instance,
+                     const SolverConfig& config) const override;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_CORE_PINOCCHIO_SOLVER_H_

@@ -1,0 +1,174 @@
+#include "core/pinocchio_vo_solver.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/object_store.h"
+#include "index/rtree.h"
+#include "prob/influence.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+namespace {
+
+// Running k-th-largest tracker for the generalised maxminInf cut-off.
+// With capacity 1 this is exactly the paper's global maxminInf.
+class CutoffTracker {
+ public:
+  explicit CutoffTracker(size_t capacity) : capacity_(capacity) {
+    PINO_CHECK_GT(capacity, 0u);
+  }
+
+  void Push(int64_t lower_bound) {
+    if (heap_.size() < capacity_) {
+      heap_.push(lower_bound);
+    } else if (lower_bound > heap_.top()) {
+      heap_.pop();
+      heap_.push(lower_bound);
+    }
+  }
+
+  /// True once `capacity` bounds have been recorded; before that no
+  /// candidate may be discarded.
+  bool Saturated() const { return heap_.size() >= capacity_; }
+
+  /// The current cut-off (k-th largest recorded bound).
+  int64_t Value() const { return heap_.empty() ? 0 : heap_.top(); }
+
+ private:
+  size_t capacity_;
+  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<>> heap_;
+};
+
+}  // namespace
+
+SolverResult PinocchioVOSolver::Solve(const ProblemInstance& instance,
+                                      const SolverConfig& config) const {
+  PINO_CHECK(config.pf != nullptr);
+  PINO_CHECK_GT(config.top_k, 0u);
+  Stopwatch watch;
+  SolverResult result;
+  const size_t m = instance.candidates.size();
+  const auto r = static_cast<int64_t>(instance.objects.size());
+  result.influence.assign(m, 0);
+  result.influence_exact = false;
+  if (m == 0) {
+    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  const ProbabilityFunction& pf = *config.pf;
+  const ObjectStore store(instance.objects, pf, config.tau);
+
+  // ---------------------------------------------------------------- prune
+  // minInf starts at 0 and counts IA certificates; the verification set
+  // VS(c) holds indices into store.records() of objects whose NIB contains c
+  // but whose IA does not. maxInf = minInf + |VS| after the phase (every
+  // other object was excluded by its NIB).
+  std::vector<int64_t> min_inf(m, 0);
+  std::vector<int64_t> max_inf(m, r);
+  std::vector<std::vector<uint32_t>> vs(m);
+
+  if (use_pruning_) {
+    std::vector<RTreeEntry> entries;
+    entries.reserve(m);
+    for (size_t j = 0; j < m; ++j) {
+      entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
+    }
+    const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+
+    for (size_t k = 0; k < store.records().size(); ++k) {
+      const ObjectRecord& rec = store.records()[k];
+      rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
+        if (!rec.nib.Contains(e.point)) return;
+        if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) {
+          ++min_inf[e.id];
+          ++result.stats.pairs_pruned_by_ia;
+        } else {
+          vs[e.id].push_back(static_cast<uint32_t>(k));
+        }
+      });
+    }
+    int64_t surviving_pairs = 0;
+    for (size_t j = 0; j < m; ++j) {
+      max_inf[j] = min_inf[j] + static_cast<int64_t>(vs[j].size());
+      surviving_pairs += min_inf[j] + static_cast<int64_t>(vs[j].size());
+    }
+    result.stats.pairs_pruned_by_nib =
+        static_cast<int64_t>(m) * r - surviving_pairs;
+  } else {
+    // PINOCCHIO-VO*: no pruning phase; every object must be verified.
+    std::vector<uint32_t> all(store.records().size());
+    for (size_t k = 0; k < all.size(); ++k) all[k] = static_cast<uint32_t>(k);
+    for (size_t j = 0; j < m; ++j) vs[j] = all;
+  }
+
+  // ------------------------------------------------------------- validate
+  // Max-heap over candidates ordered by maxInf, then minInf (Algorithm 3
+  // line 13); realised as a sorted order since bounds of waiting candidates
+  // do not change once the prune phase is over.
+  std::vector<uint32_t> order(m);
+  for (size_t j = 0; j < m; ++j) order[j] = static_cast<uint32_t>(j);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (max_inf[a] != max_inf[b]) return max_inf[a] > max_inf[b];
+    return min_inf[a] > min_inf[b];
+  });
+
+  CutoffTracker cutoff(std::min(config.top_k, m));
+
+  for (uint32_t j : order) {
+    // Strategy 1 stop: every remaining candidate has maxInf no larger than
+    // this one's, so none can beat the k-th best validated influence.
+    if (cutoff.Saturated() && max_inf[j] < cutoff.Value()) break;
+    ++result.stats.heap_pops;
+
+    const Point& c = instance.candidates[j];
+    for (uint32_t rec_idx : vs[j]) {
+      // Strategy 1 mid-validation abort (Algorithm 3 lines 25-26).
+      if (cutoff.Saturated() && max_inf[j] < cutoff.Value()) {
+        ++result.stats.strategy1_cutoffs;
+        break;
+      }
+      const ObjectRecord& rec = store.records()[rec_idx];
+      ++result.stats.pairs_validated;
+
+      // Strategy 2: scan positions until Lemma 4 decides influence.
+      PartialInfluenceEvaluator eval(config.tau);
+      bool influenced = false;
+      bool decided_early = false;
+      for (const Point& p : rec.positions) {
+        eval.Add(pf(Distance(c, p)));
+        ++result.stats.positions_scanned;
+        if (eval.InfluenceDecided()) {
+          influenced = true;
+          decided_early = eval.positions_seen() < rec.positions.size();
+          break;
+        }
+      }
+      if (!influenced) {
+        // n' == n case: fall back to the direct threshold test.
+        influenced = eval.InfluenceProbability() >= config.tau;
+      }
+      if (decided_early) ++result.stats.early_stops;
+
+      if (influenced) {
+        ++min_inf[j];
+      } else {
+        --max_inf[j];
+      }
+    }
+    cutoff.Push(min_inf[j]);
+  }
+
+  // minInf is exact for every fully validated candidate and a valid lower
+  // bound for the rest; by construction the k best exact values dominate
+  // all bounds of eliminated candidates, so sorting by minInf yields an
+  // exact top-k prefix.
+  result.influence = std::move(min_inf);
+  internal::FinalizeResultFromInfluence(&result);
+  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pinocchio

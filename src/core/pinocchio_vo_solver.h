@@ -1,0 +1,49 @@
+// PINOCCHIO-VO (Algorithm 3): the pruning phase of PINOCCHIO decoupled from
+// validation, plus the two validation optimisations of Section 5 —
+// Strategy 1 (upper/lower influence bounds with a max-heap and the global
+// maxminInf cut-off) and Strategy 2 (early stopping of the position scan via
+// Lemma 4). PINOCCHIO-VO* is the ablation that keeps the optimisations but
+// drops the IA/NIB pruning phase (Section 6.1).
+
+#ifndef PINOCCHIO_CORE_PINOCCHIO_VO_SOLVER_H_
+#define PINOCCHIO_CORE_PINOCCHIO_VO_SOLVER_H_
+
+#include "core/solver.h"
+
+namespace pinocchio {
+
+/// PINOCCHIO-VO solver (paper Algorithm 3).
+///
+/// Guarantees: the top `config.top_k` entries of the returned ranking carry
+/// exact influence values (the paper's algorithm is the `top_k == 1` case;
+/// larger k generalises Strategy 1 by using the k-th best validated lower
+/// bound as the cut-off). Influences of candidates eliminated by Strategy 1
+/// are reported as the lower bounds known at elimination time, with
+/// `influence_exact == false`.
+class PinocchioVOSolver : public Solver {
+ public:
+  /// `use_pruning == false` gives PINOCCHIO-VO*: every candidate starts with
+  /// bounds [0, r] and every object in its verification set.
+  explicit PinocchioVOSolver(bool use_pruning = true)
+      : use_pruning_(use_pruning) {}
+
+  std::string Name() const override {
+    return use_pruning_ ? "PIN-VO" : "PIN-VO*";
+  }
+
+  SolverResult Solve(const ProblemInstance& instance,
+                     const SolverConfig& config) const override;
+
+ private:
+  bool use_pruning_;
+};
+
+/// Convenience alias type for the no-pruning ablation.
+class PinocchioVOStarSolver : public PinocchioVOSolver {
+ public:
+  PinocchioVOStarSolver() : PinocchioVOSolver(false) {}
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_CORE_PINOCCHIO_VO_SOLVER_H_

@@ -1,0 +1,31 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pinocchio {
+
+std::vector<uint32_t> SolverResult::TopK(size_t k) const {
+  const size_t count = std::min(k, ranking.size());
+  return std::vector<uint32_t>(ranking.begin(),
+                               ranking.begin() + static_cast<ptrdiff_t>(count));
+}
+
+namespace internal {
+
+void FinalizeResultFromInfluence(SolverResult* result) {
+  const size_t m = result->influence.size();
+  result->ranking.resize(m);
+  std::iota(result->ranking.begin(), result->ranking.end(), 0u);
+  std::stable_sort(result->ranking.begin(), result->ranking.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return result->influence[a] > result->influence[b];
+                   });
+  if (m > 0) {
+    result->best_candidate = result->ranking.front();
+    result->best_influence = result->influence[result->best_candidate];
+  }
+}
+
+}  // namespace internal
+}  // namespace pinocchio

@@ -1,0 +1,102 @@
+// Common interface, configuration, result and statistics types for all
+// PRIME-LS solvers (NA, PINOCCHIO, PINOCCHIO-VO, PINOCCHIO-VO*) and for the
+// classical-semantics baselines.
+
+#ifndef PINOCCHIO_CORE_SOLVER_H_
+#define PINOCCHIO_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/moving_object.h"
+#include "prob/probability_function.h"
+
+namespace pinocchio {
+
+/// Parameters shared by every solver.
+struct SolverConfig {
+  /// The distance-based influence probability function PF.
+  ProbabilityFunctionPtr pf;
+  /// The influence probability threshold tau in (0, 1); paper default 0.7.
+  double tau = 0.7;
+  /// Node capacity of the candidate R-tree; paper uses 8.
+  size_t rtree_fanout = 8;
+  /// Number of top candidates whose influence must be exact in the result.
+  /// 1 reproduces the paper's algorithms; larger values generalise
+  /// Strategy 1 to a top-k cut-off (used by the precision experiments).
+  size_t top_k = 1;
+};
+
+/// Counters filled by the solvers; they power Fig. 10 and the ablations.
+struct SolverStats {
+  /// Object-candidate pairs decided "influences" by the influence-arcs rule.
+  int64_t pairs_pruned_by_ia = 0;
+  /// Object-candidate pairs decided "does not influence" by the
+  /// non-influence boundary rule.
+  int64_t pairs_pruned_by_nib = 0;
+  /// Pairs that reached cumulative-probability validation.
+  int64_t pairs_validated = 0;
+  /// Individual position probabilities evaluated during validation.
+  int64_t positions_scanned = 0;
+  /// Validations cut short by Strategy 2 (Lemma 4 early stop).
+  int64_t early_stops = 0;
+  /// Candidates popped from the VO max-heap before the Strategy-1 cut-off.
+  int64_t heap_pops = 0;
+  /// Candidate validations abandoned because maxInf fell below maxminInf.
+  int64_t strategy1_cutoffs = 0;
+  /// Wall-clock time of Solve(), seconds.
+  double elapsed_seconds = 0.0;
+
+  /// Total object-candidate pairs resolved by either pruning rule.
+  int64_t PairsPruned() const { return pairs_pruned_by_ia + pairs_pruned_by_nib; }
+};
+
+/// Outcome of a Solve() call.
+struct SolverResult {
+  /// Index (into ProblemInstance::candidates) of the winning candidate.
+  uint32_t best_candidate = std::numeric_limits<uint32_t>::max();
+  /// inf(best_candidate).
+  int64_t best_influence = 0;
+  /// Per-candidate influence. For exact solvers (NA, PIN) this is inf(c)
+  /// for every candidate; for VO solvers entries are lower bounds except
+  /// for the top-k candidates, which are exact (see `influence_exact`).
+  std::vector<int64_t> influence;
+  /// True when `influence` holds the exact inf(c) for every candidate.
+  bool influence_exact = false;
+  /// Candidate indices ordered by decreasing influence (ties by index).
+  /// Exact solvers rank all candidates; VO solvers guarantee the first
+  /// min(top_k, m) entries.
+  std::vector<uint32_t> ranking;
+  SolverStats stats;
+
+  /// The first k entries of `ranking`.
+  std::vector<uint32_t> TopK(size_t k) const;
+};
+
+/// Interface implemented by every location-selection algorithm.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Short identifier used in reports ("NA", "PIN", "PIN-VO", ...).
+  virtual std::string Name() const = 0;
+
+  /// Solves the PRIME-LS instance (or the baseline's own semantics) and
+  /// returns the winner plus statistics.
+  virtual SolverResult Solve(const ProblemInstance& instance,
+                             const SolverConfig& config) const = 0;
+};
+
+namespace internal {
+
+/// Builds `ranking` / `best_*` fields of a result from its influence vector.
+/// Ties are broken towards the smaller candidate index, matching the
+/// sequential argmax of the paper's pseudo-code.
+void FinalizeResultFromInfluence(SolverResult* result);
+
+}  // namespace internal
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_CORE_SOLVER_H_

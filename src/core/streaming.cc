@@ -1,0 +1,99 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+
+StreamingPrimeLS::StreamingPrimeLS(std::vector<Point> candidates,
+                                   Options options)
+    : options_(std::move(options)),
+      inner_(std::move(candidates), options_.config) {
+  PINO_CHECK_GT(options_.window_seconds, 0.0);
+}
+
+void StreamingPrimeLS::SyncObject(uint32_t object_id) {
+  const auto it = buffers_.find(object_id);
+  inner_.RemoveObject(object_id);  // drop the stale snapshot, if any
+  if (it == buffers_.end() || it->second.empty()) {
+    if (it != buffers_.end()) buffers_.erase(it);
+    return;
+  }
+  MovingObject object;
+  object.id = object_id;
+  object.positions.reserve(it->second.size());
+  for (const TimedPosition& tp : it->second) {
+    object.positions.push_back(tp.position);
+  }
+  inner_.AddObject(object);
+}
+
+void StreamingPrimeLS::ExpireUntil(double time) {
+  const double horizon = time - options_.window_seconds;
+  std::unordered_set<uint32_t> dirty;
+  while (!expiry_.empty() && expiry_.front().first <= horizon) {
+    const uint32_t object_id = expiry_.front().second;
+    expiry_.pop_front();
+    auto it = buffers_.find(object_id);
+    PINO_CHECK(it != buffers_.end());
+    PINO_CHECK(!it->second.empty());
+    it->second.pop_front();  // FIFO: oldest observation of this object
+    --live_positions_;
+    dirty.insert(object_id);
+  }
+  for (uint32_t object_id : dirty) SyncObject(object_id);
+}
+
+void StreamingPrimeLS::SetBestChangedCallback(BestChangedCallback callback) {
+  best_changed_ = std::move(callback);
+  last_reported_best_ = inner_.Best();
+}
+
+void StreamingPrimeLS::NotifyIfBestChanged() {
+  if (!best_changed_) return;
+  const auto best = inner_.Best();
+  if (best != last_reported_best_) {
+    last_reported_best_ = best;
+    best_changed_(best, now_);
+  }
+}
+
+void StreamingPrimeLS::Observe(uint32_t object_id, double time,
+                               const Point& position) {
+  PINO_CHECK_GE(time, now_ == -std::numeric_limits<double>::infinity()
+                          ? time
+                          : now_)
+      << "observations must arrive in non-decreasing time order";
+  now_ = std::max(now_, time);
+  ExpireUntil(now_);
+  buffers_[object_id].push_back({time, position});
+  expiry_.emplace_back(time, object_id);
+  ++live_positions_;
+  SyncObject(object_id);
+  NotifyIfBestChanged();
+}
+
+void StreamingPrimeLS::AdvanceTo(double time) {
+  PINO_CHECK_GE(time, now_ == -std::numeric_limits<double>::infinity()
+                          ? time
+                          : now_);
+  now_ = std::max(now_, time);
+  ExpireUntil(now_);
+  NotifyIfBestChanged();
+}
+
+int64_t StreamingPrimeLS::InfluenceOf(size_t candidate_index) const {
+  return inner_.InfluenceOf(candidate_index);
+}
+
+std::optional<std::pair<size_t, int64_t>> StreamingPrimeLS::Best() const {
+  return inner_.Best();
+}
+
+std::vector<std::pair<size_t, int64_t>> StreamingPrimeLS::TopK(
+    size_t k) const {
+  return inner_.TopK(k);
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,107 @@
+#include "core/validation.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace pinocchio {
+namespace {
+
+constexpr double kSaneCoordinateBound = 1e7;  // ~Earth circumference / 4, m
+
+bool Finite(const Point& p) {
+  return std::isfinite(p.x) && std::isfinite(p.y);
+}
+
+bool Sane(const Point& p) {
+  return std::abs(p.x) <= kSaneCoordinateBound &&
+         std::abs(p.y) <= kSaneCoordinateBound;
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> ValidateInstance(
+    const ProblemInstance& instance) {
+  std::vector<ValidationIssue> issues;
+  const auto error = [&](const std::string& message) {
+    issues.push_back({ValidationIssue::Severity::kError, message});
+  };
+  const auto warning = [&](const std::string& message) {
+    issues.push_back({ValidationIssue::Severity::kWarning, message});
+  };
+
+  if (instance.objects.empty()) {
+    warning("instance has no objects; every influence will be 0");
+  }
+  if (instance.candidates.empty()) {
+    error("instance has no candidate locations");
+  }
+
+  std::unordered_set<uint32_t> seen_ids;
+  bool insane_coordinates = false;
+  for (const MovingObject& o : instance.objects) {
+    if (!seen_ids.insert(o.id).second) {
+      error("duplicate object id " + std::to_string(o.id));
+    }
+    if (o.positions.empty()) {
+      error("object " + std::to_string(o.id) + " has no positions");
+      continue;
+    }
+    for (const Point& p : o.positions) {
+      if (!Finite(p)) {
+        error("object " + std::to_string(o.id) +
+              " has a non-finite position");
+        break;
+      }
+      if (!Sane(p)) insane_coordinates = true;
+    }
+  }
+
+  std::map<std::pair<double, double>, size_t> candidate_coords;
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    const Point& c = instance.candidates[j];
+    if (!Finite(c)) {
+      error("candidate " + std::to_string(j) + " has a non-finite position");
+      continue;
+    }
+    if (!Sane(c)) insane_coordinates = true;
+    ++candidate_coords[{c.x, c.y}];
+  }
+  size_t duplicate_candidates = 0;
+  for (const auto& [coord, count] : candidate_coords) {
+    (void)coord;
+    if (count > 1) duplicate_candidates += count - 1;
+  }
+  if (duplicate_candidates > 0) {
+    warning(std::to_string(duplicate_candidates) +
+            " duplicate candidate coordinate(s); ranking ties are broken "
+            "by index");
+  }
+  if (insane_coordinates) {
+    warning(
+        "coordinates exceed 1e7 m — are these unprojected lat/lon degrees? "
+        "Project them (geo::Projection) before solving");
+  }
+  return issues;
+}
+
+bool IsValid(const std::vector<ValidationIssue>& issues) {
+  for (const ValidationIssue& issue : issues) {
+    if (issue.severity == ValidationIssue::Severity::kError) return false;
+  }
+  return true;
+}
+
+std::string FormatIssues(const std::vector<ValidationIssue>& issues) {
+  std::ostringstream os;
+  for (const ValidationIssue& issue : issues) {
+    os << (issue.severity == ValidationIssue::Severity::kError ? "error: "
+                                                               : "warning: ")
+       << issue.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,41 @@
+// Input validation for problem instances. Solvers PINO_CHECK the
+// invariants they rely on (fail-fast), but a library consumer loading
+// external data wants a *report* rather than an abort; this produces one.
+
+#ifndef PINOCCHIO_CORE_VALIDATION_H_
+#define PINOCCHIO_CORE_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/moving_object.h"
+
+namespace pinocchio {
+
+/// One problem found in an instance.
+struct ValidationIssue {
+  enum class Severity {
+    kError,    // solvers would abort or misbehave
+    kWarning,  // legal but suspicious (e.g. absurd coordinates)
+  };
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// Checks `instance` for:
+///  * errors — objects with no positions, duplicate object ids,
+///    non-finite coordinates (objects or candidates), no candidates;
+///  * warnings — no objects, coordinates beyond 10^7 m from the origin
+///    (suggesting unprojected lat/lon degrees fed in as metres),
+///    duplicate candidate coordinates.
+std::vector<ValidationIssue> ValidateInstance(const ProblemInstance& instance);
+
+/// True iff no issue of Severity::kError is present.
+bool IsValid(const std::vector<ValidationIssue>& issues);
+
+/// Renders issues one per line ("error: ...\nwarning: ...").
+std::string FormatIssues(const std::vector<ValidationIssue>& issues);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_CORE_VALIDATION_H_

@@ -1,0 +1,174 @@
+#include "core/weighted_solver.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/object_store.h"
+#include "index/rtree.h"
+#include "prob/influence.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+
+WeightedSolverResult SolveWeightedPinocchio(const ProblemInstance& instance,
+                                            std::span<const double> weights,
+                                            const SolverConfig& config) {
+  PINO_CHECK(config.pf != nullptr);
+  PINO_CHECK_EQ(weights.size(), instance.objects.size());
+  for (double w : weights) PINO_CHECK_GE(w, 0.0);
+
+  Stopwatch watch;
+  WeightedSolverResult result;
+  const size_t m = instance.candidates.size();
+  result.score.assign(m, 0.0);
+  if (m == 0) {
+    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  const ProbabilityFunction& pf = *config.pf;
+  const ObjectStore store(instance.objects, pf, config.tau);
+
+  std::vector<RTreeEntry> entries;
+  entries.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
+  }
+  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+
+  for (size_t k = 0; k < store.records().size(); ++k) {
+    const ObjectRecord& rec = store.records()[k];
+    const double weight = weights[k];
+    int64_t inside_nib = 0;
+    rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
+      if (!rec.nib.Contains(e.point)) return;
+      ++inside_nib;
+      if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) {
+        result.score[e.id] += weight;
+        ++result.stats.pairs_pruned_by_ia;
+        return;
+      }
+      ++result.stats.pairs_validated;
+      result.stats.positions_scanned +=
+          static_cast<int64_t>(rec.positions.size());
+      if (Influences(pf, e.point, rec.positions, config.tau)) {
+        result.score[e.id] += weight;
+      }
+    });
+    result.stats.pairs_pruned_by_nib += static_cast<int64_t>(m) - inside_nib;
+  }
+
+  result.ranking.resize(m);
+  std::iota(result.ranking.begin(), result.ranking.end(), 0u);
+  std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return result.score[a] > result.score[b];
+                   });
+  result.best_candidate = result.ranking.front();
+  result.best_score = result.score[result.best_candidate];
+  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+WeightedVOResult SolveWeightedPinocchioVO(const ProblemInstance& instance,
+                                          std::span<const double> weights,
+                                          const SolverConfig& config) {
+  PINO_CHECK(config.pf != nullptr);
+  PINO_CHECK_EQ(weights.size(), instance.objects.size());
+  for (double w : weights) PINO_CHECK_GE(w, 0.0);
+
+  Stopwatch watch;
+  WeightedVOResult result;
+  const size_t m = instance.candidates.size();
+  result.score.assign(m, 0.0);
+  result.score_exact.assign(m, false);
+  if (m == 0) {
+    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  const ProbabilityFunction& pf = *config.pf;
+  const ObjectStore store(instance.objects, pf, config.tau);
+
+  std::vector<RTreeEntry> entries;
+  entries.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
+  }
+  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+
+  // Prune phase: IA certificates raise the lower bound; the verification
+  // set carries the undecided weight.
+  std::vector<double> min_score(m, 0.0);
+  std::vector<double> undecided(m, 0.0);
+  std::vector<std::vector<uint32_t>> vs(m);
+  for (size_t k = 0; k < store.records().size(); ++k) {
+    const ObjectRecord& rec = store.records()[k];
+    rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
+      if (!rec.nib.Contains(e.point)) return;
+      if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) {
+        min_score[e.id] += weights[k];
+        ++result.stats.pairs_pruned_by_ia;
+      } else {
+        vs[e.id].push_back(static_cast<uint32_t>(k));
+        undecided[e.id] += weights[k];
+      }
+    });
+  }
+
+  // Validation in decreasing upper-bound order with Strategy-1 cut-offs.
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return min_score[a] + undecided[a] > min_score[b] + undecided[b];
+  });
+
+  double best = -1.0;
+  uint32_t best_candidate = order.front();
+  for (uint32_t j : order) {
+    if (min_score[j] + undecided[j] < best) break;
+    ++result.stats.heap_pops;
+    const Point& c = instance.candidates[j];
+    double running = min_score[j];
+    double remaining = undecided[j];
+    bool aborted = false;
+    for (uint32_t rec_idx : vs[j]) {
+      if (running + remaining < best) {
+        ++result.stats.strategy1_cutoffs;
+        aborted = true;
+        break;
+      }
+      const ObjectRecord& rec = store.records()[rec_idx];
+      ++result.stats.pairs_validated;
+      PartialInfluenceEvaluator eval(config.tau);
+      bool influenced = false;
+      for (const Point& p : rec.positions) {
+        eval.Add(pf(Distance(c, p)));
+        ++result.stats.positions_scanned;
+        if (eval.InfluenceDecided()) {
+          influenced = true;
+          if (eval.positions_seen() < rec.positions.size()) {
+            ++result.stats.early_stops;
+          }
+          break;
+        }
+      }
+      if (!influenced) influenced = eval.InfluenceProbability() >= config.tau;
+      remaining -= weights[rec_idx];
+      if (influenced) running += weights[rec_idx];
+    }
+    result.score[j] = running;
+    result.score_exact[j] = !aborted;
+    if (!aborted && running > best) {
+      best = running;
+      best_candidate = j;
+    }
+  }
+  result.best_candidate = best_candidate;
+  result.best_score = std::max(0.0, best);
+  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,161 @@
+#include "data/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'I', 'N', 'O', 'D', 'A', 'T', 'A'};
+constexpr uint32_t kVersion = 1;
+
+// Sanity caps so a corrupted length field cannot trigger a huge
+// allocation before the read fails.
+constexpr uint64_t kMaxVenues = 1ull << 32;
+constexpr uint64_t kMaxObjects = 1ull << 32;
+constexpr uint64_t kMaxPositionsPerObject = 1ull << 24;
+constexpr uint32_t kMaxNameLength = 1 << 16;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+void SaveDatasetBinary(const CheckinDataset& dataset, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+
+  const auto name_length = static_cast<uint32_t>(dataset.spec.name.size());
+  WritePod(out, name_length);
+  out.write(dataset.spec.name.data(), name_length);
+  WritePod(out, dataset.spec.origin.lat);
+  WritePod(out, dataset.spec.origin.lon);
+  WritePod(out, dataset.spec.extent_x_km);
+  WritePod(out, dataset.spec.extent_y_km);
+  WritePod(out, dataset.spec.seed);
+
+  WritePod(out, static_cast<uint64_t>(dataset.venues.size()));
+  for (const Point& v : dataset.venues) {
+    WritePod(out, v.x);
+    WritePod(out, v.y);
+  }
+  for (int64_t c : dataset.venue_checkins) WritePod(out, c);
+
+  WritePod(out, static_cast<uint64_t>(dataset.objects.size()));
+  for (const MovingObject& o : dataset.objects) {
+    WritePod(out, o.id);
+    WritePod(out, static_cast<uint64_t>(o.positions.size()));
+    for (const Point& p : o.positions) {
+      WritePod(out, p.x);
+      WritePod(out, p.y);
+    }
+  }
+}
+
+bool LoadDatasetBinary(std::istream& in, CheckinDataset* dataset,
+                       std::string* error) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Fail(error, "bad magic: not a PINODATA snapshot");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version)) return Fail(error, "truncated header");
+  if (version != kVersion) {
+    return Fail(error, "unsupported version " + std::to_string(version));
+  }
+
+  *dataset = CheckinDataset();
+  uint32_t name_length = 0;
+  if (!ReadPod(in, &name_length) || name_length > kMaxNameLength) {
+    return Fail(error, "bad dataset name length");
+  }
+  dataset->spec.name.resize(name_length);
+  in.read(dataset->spec.name.data(), name_length);
+  if (in.gcount() != static_cast<std::streamsize>(name_length)) {
+    return Fail(error, "truncated dataset name");
+  }
+  if (!ReadPod(in, &dataset->spec.origin.lat) ||
+      !ReadPod(in, &dataset->spec.origin.lon) ||
+      !ReadPod(in, &dataset->spec.extent_x_km) ||
+      !ReadPod(in, &dataset->spec.extent_y_km) ||
+      !ReadPod(in, &dataset->spec.seed)) {
+    return Fail(error, "truncated spec");
+  }
+
+  uint64_t venue_count = 0;
+  if (!ReadPod(in, &venue_count) || venue_count > kMaxVenues) {
+    return Fail(error, "bad venue count");
+  }
+  dataset->venues.resize(venue_count);
+  for (Point& v : dataset->venues) {
+    if (!ReadPod(in, &v.x) || !ReadPod(in, &v.y)) {
+      return Fail(error, "truncated venue table");
+    }
+  }
+  dataset->venue_checkins.resize(venue_count);
+  for (int64_t& c : dataset->venue_checkins) {
+    if (!ReadPod(in, &c)) return Fail(error, "truncated venue counts");
+    if (c < 0) return Fail(error, "negative venue check-in count");
+  }
+
+  uint64_t object_count = 0;
+  if (!ReadPod(in, &object_count) || object_count > kMaxObjects) {
+    return Fail(error, "bad object count");
+  }
+  dataset->objects.resize(object_count);
+  for (MovingObject& o : dataset->objects) {
+    uint64_t position_count = 0;
+    if (!ReadPod(in, &o.id) || !ReadPod(in, &position_count) ||
+        position_count > kMaxPositionsPerObject) {
+      return Fail(error, "bad object header");
+    }
+    o.positions.resize(position_count);
+    for (Point& p : o.positions) {
+      if (!ReadPod(in, &p.x) || !ReadPod(in, &p.y)) {
+        return Fail(error, "truncated positions");
+      }
+    }
+  }
+  dataset->spec.num_users = dataset->objects.size();
+  dataset->spec.num_venues = dataset->venues.size();
+  dataset->spec.target_checkins = dataset->TotalCheckins();
+  return true;
+}
+
+void SaveDatasetBinaryFile(const CheckinDataset& dataset,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PINO_CHECK(out.is_open()) << "cannot create " << path;
+  SaveDatasetBinary(dataset, out);
+  PINO_CHECK(out.good()) << "write failure on " << path;
+}
+
+bool LoadDatasetBinaryFile(const std::string& path, CheckinDataset* dataset,
+                           std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  return LoadDatasetBinary(in, dataset, error);
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,260 @@
+#include "data/checkin_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+namespace {
+
+// Cumulative-weight table for O(log n) categorical sampling.
+class CumulativeSampler {
+ public:
+  explicit CumulativeSampler(const std::vector<double>& weights) {
+    cumulative_.reserve(weights.size());
+    double total = 0.0;
+    for (double w : weights) {
+      PINO_CHECK_GE(w, 0.0);
+      total += w;
+      cumulative_.push_back(total);
+    }
+    PINO_CHECK_GT(total, 0.0);
+  }
+
+  size_t Sample(Rng& rng) const {
+    const double target = rng.NextDouble() * cumulative_.back();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+    return std::min(static_cast<size_t>(it - cumulative_.begin()),
+                    cumulative_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+double ContinuousPowerLawMean(double lo, double hi, double alpha) {
+  // E[X] for density proportional to x^-alpha on [lo, hi]. The integrals
+  // of x^(1-alpha) and x^-alpha degenerate to logarithms at alpha = 2 and
+  // alpha = 1 respectively; switch to the log form near those poles.
+  const auto integral = [&](double exponent) {
+    // int_lo^hi x^(exponent-1) dx
+    if (std::abs(exponent) < 1e-9) return std::log(hi / lo);
+    return (std::pow(hi, exponent) - std::pow(lo, exponent)) / exponent;
+  };
+  return integral(2.0 - alpha) / integral(1.0 - alpha);
+}
+
+}  // namespace
+
+double CalibratePowerLawAlpha(double lo, double hi, double target_mean) {
+  PINO_CHECK_GT(lo, 0.0);
+  PINO_CHECK_GT(hi, lo);
+  PINO_CHECK_GT(target_mean, lo);
+  PINO_CHECK_LT(target_mean, hi);
+  // The mean is strictly decreasing in alpha; bisect on (1, 8]. Values of
+  // alpha extremely close to 1 make the mean approach the uniform mean.
+  double alpha_lo = 1.0 + 1e-6;  // heavy tail, large mean
+  double alpha_hi = 8.0;         // concentrated near lo, small mean
+  if (ContinuousPowerLawMean(lo, hi, alpha_hi) > target_mean) return alpha_hi;
+  if (ContinuousPowerLawMean(lo, hi, alpha_lo) < target_mean) return alpha_lo;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (alpha_lo + alpha_hi);
+    if (ContinuousPowerLawMean(lo, hi, mid) > target_mean) {
+      alpha_lo = mid;
+    } else {
+      alpha_hi = mid;
+    }
+  }
+  return 0.5 * (alpha_lo + alpha_hi);
+}
+
+CheckinDataset GenerateCheckinDataset(const DatasetSpec& spec) {
+  PINO_CHECK_GT(spec.num_users, 0u);
+  PINO_CHECK_GT(spec.num_venues, 0u);
+  PINO_CHECK_GE(spec.max_checkins_per_user, spec.min_checkins_per_user);
+  PINO_CHECK_GE(spec.max_anchors_per_user, spec.min_anchors_per_user);
+  PINO_CHECK_GE(spec.min_anchors_per_user, 1u);
+
+  Rng rng(spec.seed);
+  CheckinDataset dataset;
+  dataset.spec = spec;
+
+  const double ex = spec.extent_x_km * 1000.0;
+  const double ey = spec.extent_y_km * 1000.0;
+  const double cluster_sigma = spec.cluster_sigma_km * 1000.0;
+  const double anchor_sigma = spec.anchor_sigma_km * 1000.0;
+  const auto clamp_to_extent = [&](Point p) {
+    p.x = std::clamp(p.x, 0.0, ex);
+    p.y = std::clamp(p.y, 0.0, ey);
+    return p;
+  };
+
+  // Urban hotspots with skewed popularity (Fig. 6a's clustered geography).
+  std::vector<Point> cluster_centers;
+  std::vector<double> cluster_weights;
+  cluster_centers.reserve(spec.num_clusters);
+  for (size_t i = 0; i < spec.num_clusters; ++i) {
+    cluster_centers.push_back(
+        {rng.Uniform(0.05 * ex, 0.95 * ex), rng.Uniform(0.05 * ey, 0.95 * ey)});
+    cluster_weights.push_back(static_cast<double>(
+        rng.PowerLawInt(1, 1000, spec.cluster_weight_alpha)));
+  }
+  const CumulativeSampler cluster_sampler(cluster_weights);
+
+  // Venues: hotspot + Gaussian jitter; base popularity is power-law skewed.
+  dataset.venues.reserve(spec.num_venues);
+  std::vector<double> venue_weights;
+  venue_weights.reserve(spec.num_venues);
+  for (size_t v = 0; v < spec.num_venues; ++v) {
+    const Point& center = cluster_centers[cluster_sampler.Sample(rng)];
+    const Point pos = clamp_to_extent({rng.Gaussian(center.x, cluster_sigma),
+                                       rng.Gaussian(center.y, cluster_sigma)});
+    dataset.venues.push_back(pos);
+    venue_weights.push_back(static_cast<double>(rng.PowerLawInt(
+        1, spec.venue_popularity_max, spec.venue_popularity_alpha)));
+  }
+  const CumulativeSampler venue_sampler(venue_weights);
+  dataset.venue_checkins.assign(spec.num_venues, 0);
+
+  // Per-user check-in counts: power law calibrated to the target mean.
+  const double target_mean = static_cast<double>(spec.target_checkins) /
+                             static_cast<double>(spec.num_users);
+  const double lo = static_cast<double>(spec.min_checkins_per_user);
+  const double hi = static_cast<double>(spec.max_checkins_per_user);
+  // The discrete sampler floors a continuous draw, losing ~0.5 on average.
+  const double alpha = CalibratePowerLawAlpha(
+      lo, hi, std::clamp(target_mean + 0.5, lo + 1e-3, hi - 1e-3));
+
+  // Users: a few mobility anchors spread across hotspots, then check-ins
+  // chosen by venue popularity damped by the distance-decay law of [21]
+  // (rejection sampling against the base popularity proposal).
+  dataset.objects.reserve(spec.num_users);
+  constexpr int kMaxRejectionTries = 256;
+  for (size_t u = 0; u < spec.num_users; ++u) {
+    MovingObject object;
+    object.id = static_cast<uint32_t>(u);
+    const auto n_u = static_cast<size_t>(
+        rng.PowerLawInt(static_cast<int64_t>(spec.min_checkins_per_user),
+                        static_cast<int64_t>(spec.max_checkins_per_user),
+                        alpha));
+
+    const auto num_anchors = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(spec.min_anchors_per_user),
+        static_cast<int64_t>(spec.max_anchors_per_user)));
+    const bool local = rng.NextDouble() < spec.local_user_fraction;
+    // Locals place every anchor around one hotspot; roamers draw each
+    // anchor from an independently chosen hotspot.
+    const Point& home_center = cluster_centers[cluster_sampler.Sample(rng)];
+    std::vector<Point> anchors;
+    anchors.reserve(num_anchors);
+    for (size_t a = 0; a < num_anchors; ++a) {
+      const Point& center =
+          local ? home_center : cluster_centers[cluster_sampler.Sample(rng)];
+      anchors.push_back(clamp_to_extent({rng.Gaussian(center.x, anchor_sigma),
+                                         rng.Gaussian(center.y, anchor_sigma)}));
+    }
+
+    object.positions.reserve(n_u);
+    std::vector<size_t> history;
+    history.reserve(n_u);
+    for (size_t i = 0; i < n_u; ++i) {
+      size_t venue = 0;
+      if (!history.empty() && rng.NextDouble() < spec.revisit_probability) {
+        // Preferential return: revisit a venue from the user's history,
+        // weighted by how often it was visited (pick a uniform past visit).
+        venue = history[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(history.size()) - 1))];
+      } else {
+        // Exploration: venue popularity damped by distance decay from a
+        // random anchor (rejection sampling against the popularity
+        // proposal).
+        const Point& anchor =
+            anchors[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(num_anchors) - 1))];
+        for (int attempt = 0; attempt < kMaxRejectionTries; ++attempt) {
+          venue = venue_sampler.Sample(rng);
+          const double d_km =
+              Distance(anchor, dataset.venues[venue]) / 1000.0;
+          const double accept = std::pow(1.0 + d_km, -spec.decay_lambda);
+          if (rng.NextDouble() < accept) break;
+        }
+      }
+      history.push_back(venue);
+      object.positions.push_back(dataset.venues[venue]);
+      ++dataset.venue_checkins[venue];
+    }
+    dataset.objects.push_back(std::move(object));
+  }
+  return dataset;
+}
+
+size_t CheckinDataset::TotalCheckins() const {
+  size_t total = 0;
+  for (const MovingObject& o : objects) total += o.positions.size();
+  return total;
+}
+
+DatasetStats ComputeStats(const CheckinDataset& dataset) {
+  DatasetStats stats;
+  stats.user_count = dataset.objects.size();
+  stats.venue_count = dataset.venues.size();
+  Mbr extent = Mbr::Of(dataset.venues);
+  double sum_w = 0.0, sum_h = 0.0;
+  stats.min_checkins_per_user = std::numeric_limits<size_t>::max();
+  for (const MovingObject& o : dataset.objects) {
+    const size_t n = o.positions.size();
+    stats.checkin_count += n;
+    stats.min_checkins_per_user = std::min(stats.min_checkins_per_user, n);
+    stats.max_checkins_per_user = std::max(stats.max_checkins_per_user, n);
+    const Mbr mbr = o.ActivityMbr();
+    sum_w += mbr.width();
+    sum_h += mbr.height();
+    extent.Expand(mbr);
+  }
+  if (stats.user_count > 0) {
+    stats.avg_checkins_per_user = static_cast<double>(stats.checkin_count) /
+                                  static_cast<double>(stats.user_count);
+    sum_w /= static_cast<double>(stats.user_count);
+    sum_h /= static_cast<double>(stats.user_count);
+  } else {
+    stats.min_checkins_per_user = 0;
+  }
+  stats.extent_x_km = extent.width() / 1000.0;
+  stats.extent_y_km = extent.height() / 1000.0;
+  stats.avg_object_mbr_x_km = sum_w / 1000.0;
+  stats.avg_object_mbr_y_km = sum_h / 1000.0;
+  return stats;
+}
+
+CandidateSample SampleCandidates(const CheckinDataset& dataset, size_t count,
+                                 uint64_t seed) {
+  PINO_CHECK_LE(count, dataset.venues.size());
+  Rng rng(seed);
+  CandidateSample sample;
+  sample.venue_indices = rng.SampleWithoutReplacement(dataset.venues.size(),
+                                                      count);
+  sample.points.reserve(count);
+  sample.ground_truth.reserve(count);
+  for (size_t v : sample.venue_indices) {
+    sample.points.push_back(dataset.venues[v]);
+    sample.ground_truth.push_back(dataset.venue_checkins[v]);
+  }
+  return sample;
+}
+
+ProblemInstance MakeInstance(const CheckinDataset& dataset,
+                             const CandidateSample& sample) {
+  ProblemInstance instance;
+  instance.objects = dataset.objects;
+  instance.candidates = sample.points;
+  return instance;
+}
+
+ProblemInstance MakeInstance(const CheckinDataset& dataset,
+                             size_t num_candidates, uint64_t seed) {
+  return MakeInstance(dataset, SampleCandidates(dataset, num_candidates, seed));
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,88 @@
+// Synthetic check-in dataset generation, statistics, and candidate sampling.
+
+#ifndef PINOCCHIO_DATA_CHECKIN_DATASET_H_
+#define PINOCCHIO_DATA_CHECKIN_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/moving_object.h"
+#include "data/dataset_spec.h"
+#include "geo/distance.h"
+#include "geo/mbr.h"
+#include "util/random.h"
+
+namespace pinocchio {
+
+/// A generated (or loaded) check-in dataset: venues with ground-truth visit
+/// counts plus one moving object per user whose positions are the user's
+/// check-in coordinates.
+struct CheckinDataset {
+  DatasetSpec spec;
+  /// Venue positions in planar metres.
+  std::vector<Point> venues;
+  /// Ground-truth check-in count per venue (the paper's "actual number of
+  /// visitors", assumed unknown to the solvers and used only for P@K/AP@K).
+  std::vector<int64_t> venue_checkins;
+  /// One moving object per user.
+  std::vector<MovingObject> objects;
+
+  size_t TotalCheckins() const;
+
+  /// Projection used to map the planar coordinates back to LatLon.
+  Projection MakeProjection() const { return Projection(spec.origin); }
+};
+
+/// Summary statistics mirroring Table 2 and the Section 4.3 coverage claim.
+struct DatasetStats {
+  size_t user_count = 0;
+  size_t venue_count = 0;
+  size_t checkin_count = 0;
+  double avg_checkins_per_user = 0.0;
+  size_t min_checkins_per_user = 0;
+  size_t max_checkins_per_user = 0;
+  double extent_x_km = 0.0;
+  double extent_y_km = 0.0;
+  double avg_object_mbr_x_km = 0.0;
+  double avg_object_mbr_y_km = 0.0;
+};
+
+/// Generates a dataset according to `spec` (deterministic in spec.seed).
+CheckinDataset GenerateCheckinDataset(const DatasetSpec& spec);
+
+/// Computes the summary statistics of a dataset.
+DatasetStats ComputeStats(const CheckinDataset& dataset);
+
+/// A candidate set drawn from the dataset's venue coordinates (Section 6.1:
+/// candidates are sampled uniformly from check-in coordinates), together
+/// with the ground truth used by the precision experiments.
+struct CandidateSample {
+  /// Venue index of each candidate.
+  std::vector<size_t> venue_indices;
+  /// Candidate positions (copies of the venue coordinates).
+  std::vector<Point> points;
+  /// Ground-truth check-in count of each candidate's venue.
+  std::vector<int64_t> ground_truth;
+};
+
+/// Samples `count` distinct candidate venues uniformly; deterministic in
+/// `seed`. Requires count <= dataset.venues.size().
+CandidateSample SampleCandidates(const CheckinDataset& dataset, size_t count,
+                                 uint64_t seed);
+
+/// Builds a PRIME-LS instance from the dataset and a candidate sample.
+ProblemInstance MakeInstance(const CheckinDataset& dataset,
+                             const CandidateSample& sample);
+
+/// Convenience: sample + build in one step.
+ProblemInstance MakeInstance(const CheckinDataset& dataset,
+                             size_t num_candidates, uint64_t seed);
+
+/// Calibrates the exponent of a continuous power law on [lo, hi] so that
+/// its mean matches `target_mean` (binary search; used to hit Table 2's
+/// average check-ins per user). Exposed for tests.
+double CalibratePowerLawAlpha(double lo, double hi, double target_mean);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_DATA_CHECKIN_DATASET_H_

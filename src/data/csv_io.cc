@@ -1,0 +1,110 @@
+#include "data/csv_io.h"
+
+#include <fstream>
+#include <map>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace pinocchio {
+
+CheckinDataset LoadCheckinsCsv(std::istream& in, bool strict,
+                               size_t* skipped_rows) {
+  struct RawCheckin {
+    LatLon geo;
+    int64_t venue = -1;
+  };
+  std::map<int64_t, std::vector<RawCheckin>> by_user;
+  size_t skipped = 0;
+  int64_t max_venue = -1;
+  double lat_sum = 0.0, lon_sum = 0.0;
+  size_t total = 0;
+
+  CsvReader reader(in);
+  CsvRow row;
+  while (reader.ReadRow(&row)) {
+    if (row.size() == 1 && Trim(row[0]).empty()) continue;  // blank line
+    int64_t user = 0;
+    double lat = 0.0, lon = 0.0;
+    int64_t venue = -1;
+    bool ok = row.size() >= 3 && ParseInt64(row[0], &user) &&
+              ParseDouble(row[1], &lat) && ParseDouble(row[2], &lon) &&
+              lat >= -90.0 && lat <= 90.0 && lon >= -180.0 && lon <= 180.0;
+    if (ok && row.size() >= 4 && !Trim(row[3]).empty()) {
+      ok = ParseInt64(row[3], &venue) && venue >= 0;
+    }
+    if (!ok) {
+      PINO_CHECK(!strict) << "malformed check-in row #" << reader.rows_read();
+      ++skipped;
+      continue;
+    }
+    by_user[user].push_back({{lat, lon}, venue});
+    max_venue = std::max(max_venue, venue);
+    lat_sum += lat;
+    lon_sum += lon;
+    ++total;
+  }
+  if (skipped_rows != nullptr) *skipped_rows = skipped;
+
+  CheckinDataset dataset;
+  dataset.spec.name = "csv";
+  dataset.spec.num_users = by_user.size();
+  if (total == 0) return dataset;
+
+  dataset.spec.origin = {lat_sum / static_cast<double>(total),
+                         lon_sum / static_cast<double>(total)};
+  const Projection projection(dataset.spec.origin);
+
+  if (max_venue >= 0) {
+    dataset.venues.assign(static_cast<size_t>(max_venue) + 1, Point{});
+    dataset.venue_checkins.assign(static_cast<size_t>(max_venue) + 1, 0);
+  }
+  dataset.spec.num_venues = dataset.venues.size();
+
+  uint32_t next_id = 0;
+  size_t min_n = std::numeric_limits<size_t>::max();
+  size_t max_n = 0;
+  for (auto& [user, checkins] : by_user) {
+    (void)user;
+    MovingObject object;
+    object.id = next_id++;
+    object.positions.reserve(checkins.size());
+    for (const RawCheckin& c : checkins) {
+      const Point p = projection.Project(c.geo);
+      object.positions.push_back(p);
+      if (c.venue >= 0) {
+        dataset.venues[static_cast<size_t>(c.venue)] = p;
+        ++dataset.venue_checkins[static_cast<size_t>(c.venue)];
+      }
+    }
+    min_n = std::min(min_n, object.positions.size());
+    max_n = std::max(max_n, object.positions.size());
+    dataset.objects.push_back(std::move(object));
+  }
+  dataset.spec.target_checkins = total;
+  dataset.spec.min_checkins_per_user = min_n;
+  dataset.spec.max_checkins_per_user = max_n;
+  return dataset;
+}
+
+CheckinDataset LoadCheckinsCsvFile(const std::string& path, bool strict,
+                                   size_t* skipped_rows) {
+  std::ifstream in(path);
+  PINO_CHECK(in.is_open()) << "cannot open " << path;
+  return LoadCheckinsCsv(in, strict, skipped_rows);
+}
+
+void SaveCheckinsCsv(const CheckinDataset& dataset, std::ostream& out) {
+  const Projection projection = dataset.MakeProjection();
+  CsvWriter writer(out);
+  for (const MovingObject& o : dataset.objects) {
+    for (const Point& p : o.positions) {
+      const LatLon geo = projection.Unproject(p);
+      writer.WriteRow({std::to_string(o.id), FormatDouble(geo.lat, 7),
+                       FormatDouble(geo.lon, 7)});
+    }
+  }
+}
+
+}  // namespace pinocchio

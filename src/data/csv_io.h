@@ -1,0 +1,42 @@
+// CSV import/export for check-in data, so real datasets (e.g. the Gowalla
+// dump from SNAP) can be plugged into the library in place of the synthetic
+// generators.
+//
+// Check-in format, one row per check-in:
+//   user_id,lat,lon[,venue_id]
+// Rows starting with '#' are comments. The loader groups rows into one
+// moving object per user and (when venue ids are present) accumulates
+// ground-truth visit counts per venue.
+
+#ifndef PINOCCHIO_DATA_CSV_IO_H_
+#define PINOCCHIO_DATA_CSV_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "data/checkin_dataset.h"
+
+namespace pinocchio {
+
+/// Parses check-in rows from `in`. Geographic coordinates are projected to
+/// planar metres around the centroid of all rows; the resulting spec records
+/// that origin. Venue ids, when present, must be dense-ish non-negative
+/// integers (the venue table is sized to max id + 1). Returns the dataset;
+/// aborts (PINO_CHECK) on malformed rows when `strict`, otherwise skips
+/// them and reports the number skipped via `*skipped_rows` if non-null.
+CheckinDataset LoadCheckinsCsv(std::istream& in, bool strict = true,
+                               size_t* skipped_rows = nullptr);
+
+/// Convenience file-path overload; aborts if the file cannot be opened.
+CheckinDataset LoadCheckinsCsvFile(const std::string& path,
+                                   bool strict = true,
+                                   size_t* skipped_rows = nullptr);
+
+/// Writes the dataset's check-ins as `user_id,lat,lon` rows (coordinates
+/// restored through the dataset's projection).
+void SaveCheckinsCsv(const CheckinDataset& dataset, std::ostream& out);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_DATA_CSV_IO_H_

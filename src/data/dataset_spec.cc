@@ -1,0 +1,55 @@
+#include "data/dataset_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pinocchio {
+
+DatasetSpec DatasetSpec::Foursquare() {
+  DatasetSpec spec;
+  spec.name = "Foursquare";
+  spec.seed = 20160613;  // publication date of the paper, for flavour
+  spec.num_users = 2321;
+  spec.num_venues = 5594;
+  spec.target_checkins = 167231;
+  spec.min_checkins_per_user = 3;
+  spec.max_checkins_per_user = 661;
+  spec.extent_x_km = 39.22;
+  spec.extent_y_km = 27.03;
+  spec.num_clusters = 12;
+  spec.origin = {1.29, 103.85};  // Singapore
+  return spec;
+}
+
+DatasetSpec DatasetSpec::Gowalla() {
+  DatasetSpec spec;
+  spec.name = "Gowalla";
+  spec.seed = 20091109;
+  spec.num_users = 10162;
+  spec.num_venues = 24081;
+  spec.target_checkins = 381165;
+  spec.min_checkins_per_user = 2;
+  spec.max_checkins_per_user = 780;
+  // The paper reports the joint extent figures in Section 4.3 for its
+  // experimental datasets; we reuse them for both configurations.
+  spec.extent_x_km = 39.22;
+  spec.extent_y_km = 27.03;
+  spec.num_clusters = 16;
+  spec.origin = {37.77, -122.42};  // California (San Francisco)
+  return spec;
+}
+
+DatasetSpec DatasetSpec::Scaled(double factor) const {
+  DatasetSpec spec = *this;
+  auto scale = [factor](size_t v, size_t floor_value) {
+    const double scaled = static_cast<double>(v) * factor;
+    return std::max(floor_value,
+                    static_cast<size_t>(std::llround(scaled)));
+  };
+  spec.num_users = scale(num_users, 10);
+  spec.num_venues = scale(num_venues, 20);
+  spec.target_checkins = scale(target_checkins, 100);
+  return spec;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,111 @@
+#include "eval/geojson.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_utils.h"
+
+namespace pinocchio {
+namespace {
+
+std::string Coord(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.7f", value);
+  return buf;
+}
+
+void WritePointFeature(std::ostream& out, const LatLon& geo,
+                       const std::string& properties, bool trailing_comma) {
+  out << "    {\"type\": \"Feature\", \"geometry\": {\"type\": \"Point\", "
+      << "\"coordinates\": [" << Coord(geo.lon) << ", " << Coord(geo.lat)
+      << "]}, \"properties\": {" << properties << "}}"
+      << (trailing_comma ? "," : "") << "\n";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteResultGeoJson(const ProblemInstance& instance,
+                        const SolverResult& result,
+                        const Projection& projection, std::ostream& out,
+                        const GeoJsonOptions& options) {
+  const size_t candidate_count =
+      options.top_k == 0 ? result.ranking.size()
+                         : std::min(options.top_k, result.ranking.size());
+  size_t mbr_count = 0;
+  if (options.include_object_mbrs) {
+    mbr_count = options.max_object_mbrs == 0
+                    ? instance.objects.size()
+                    : std::min(options.max_object_mbrs,
+                               instance.objects.size());
+  }
+
+  out << "{\n\"type\": \"FeatureCollection\",\n\"features\": [\n";
+  size_t remaining = candidate_count + mbr_count;
+
+  for (size_t rank = 0; rank < candidate_count; ++rank) {
+    const uint32_t j = result.ranking[rank];
+    const LatLon geo = projection.Unproject(instance.candidates[j]);
+    std::string properties =
+        "\"kind\": \"candidate\", \"candidate\": " + std::to_string(j) +
+        ", \"rank\": " + std::to_string(rank + 1) +
+        ", \"influence\": " + std::to_string(result.influence[j]) +
+        ", \"exact\": " + (result.influence_exact ? "true" : "false");
+    --remaining;
+    WritePointFeature(out, geo, properties, remaining > 0);
+  }
+
+  for (size_t k = 0; k < mbr_count; ++k) {
+    const MovingObject& o = instance.objects[k];
+    const Mbr mbr = o.ActivityMbr();
+    const LatLon sw = projection.Unproject({mbr.min_x(), mbr.min_y()});
+    const LatLon se = projection.Unproject({mbr.max_x(), mbr.min_y()});
+    const LatLon ne = projection.Unproject({mbr.max_x(), mbr.max_y()});
+    const LatLon nw = projection.Unproject({mbr.min_x(), mbr.max_y()});
+    --remaining;
+    out << "    {\"type\": \"Feature\", \"geometry\": {\"type\": "
+        << "\"Polygon\", \"coordinates\": [[[" << Coord(sw.lon) << ", "
+        << Coord(sw.lat) << "], [" << Coord(se.lon) << ", " << Coord(se.lat)
+        << "], [" << Coord(ne.lon) << ", " << Coord(ne.lat) << "], ["
+        << Coord(nw.lon) << ", " << Coord(nw.lat) << "], [" << Coord(sw.lon)
+        << ", " << Coord(sw.lat) << "]]]}, \"properties\": {\"kind\": "
+        << "\"object_mbr\", \"object\": " << o.id
+        << ", \"positions\": " << o.positions.size() << "}}"
+        << (remaining > 0 ? "," : "") << "\n";
+  }
+  out << "]\n}\n";
+}
+
+}  // namespace pinocchio

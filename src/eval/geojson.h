@@ -1,0 +1,41 @@
+// GeoJSON (RFC 7946) export of location-selection results, so rankings
+// and activity regions drop straight into any web map (Leaflet, kepler.gl,
+// geojson.io) for visual inspection.
+
+#ifndef PINOCCHIO_EVAL_GEOJSON_H_
+#define PINOCCHIO_EVAL_GEOJSON_H_
+
+#include <ostream>
+#include <string>
+
+#include "core/moving_object.h"
+#include "core/solver.h"
+#include "geo/distance.h"
+
+namespace pinocchio {
+
+/// Options for the export.
+struct GeoJsonOptions {
+  /// Emit only the first `top_k` ranked candidates (0 = all).
+  size_t top_k = 0;
+  /// Also emit each object's activity MBR as a Polygon feature.
+  bool include_object_mbrs = false;
+  /// Cap on emitted object MBRs (they can be numerous); 0 = all.
+  size_t max_object_mbrs = 200;
+};
+
+/// Writes a FeatureCollection with one Point feature per (selected)
+/// candidate, carrying `rank`, `influence` and `exact` properties, plus
+/// optional object-MBR Polygon features. Planar coordinates are converted
+/// back to lon/lat through `projection` (GeoJSON is lon-first).
+void WriteResultGeoJson(const ProblemInstance& instance,
+                        const SolverResult& result,
+                        const Projection& projection, std::ostream& out,
+                        const GeoJsonOptions& options = {});
+
+/// JSON string escaping helper (exposed for tests).
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_EVAL_GEOJSON_H_

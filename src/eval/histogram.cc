@@ -1,0 +1,92 @@
+#include "eval/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace pinocchio {
+
+void SummaryStats::Add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+double SummaryStats::Min() const {
+  PINO_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double SummaryStats::Max() const {
+  PINO_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double SummaryStats::Mean() const {
+  PINO_CHECK(!values_.empty());
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double SummaryStats::StdDev() const {
+  PINO_CHECK(!values_.empty());
+  const double n = static_cast<double>(values_.size());
+  const double mean = sum_ / n;
+  return std::sqrt(std::max(0.0, sum_sq_ / n - mean * mean));
+}
+
+double SummaryStats::Quantile(double q) const {
+  PINO_CHECK(!values_.empty());
+  PINO_CHECK_GE(q, 0.0);
+  PINO_CHECK_LE(q, 1.0);
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double rank = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  PINO_CHECK_LT(lo, hi);
+  PINO_CHECK_GE(buckets, 1u);
+  bucket_width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void Histogram::Add(double value) {
+  auto bucket = static_cast<ptrdiff_t>((value - lo_) / bucket_width_);
+  bucket = std::clamp<ptrdiff_t>(bucket, 0,
+                                 static_cast<ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bucket)];
+  ++total_;
+}
+
+std::pair<double, double> Histogram::BucketRange(size_t i) const {
+  PINO_CHECK_LT(i, counts_.size());
+  return {lo_ + bucket_width_ * static_cast<double>(i),
+          lo_ + bucket_width_ * static_cast<double>(i + 1)};
+}
+
+std::string Histogram::Render(size_t width) const {
+  const size_t peak = counts_.empty()
+                          ? 0
+                          : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const auto [lo, hi] = BucketRange(i);
+    const size_t bars =
+        peak == 0 ? 0 : counts_[i] * width / std::max<size_t>(1, peak);
+    os << "  [" << FormatDouble(lo, 1) << ", " << FormatDouble(hi, 1) << ") "
+       << std::string(bars, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,63 @@
+// Streaming summary statistics and fixed-width histograms, used by the
+// CLI's detailed dataset report and by experiment analysis.
+
+#ifndef PINOCCHIO_EVAL_HISTOGRAM_H_
+#define PINOCCHIO_EVAL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pinocchio {
+
+/// Accumulates values and answers count/mean/min/max/stddev/quantiles.
+/// Quantiles are exact (values are retained and sorted lazily).
+class SummaryStats {
+ public:
+  void Add(double value);
+
+  size_t count() const { return values_.size(); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// Population standard deviation.
+  double StdDev() const;
+  /// Quantile by linear interpolation between closest ranks; q in [0, 1].
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range values clamped
+/// into the edge buckets.
+class Histogram {
+ public:
+  /// `buckets` >= 1, lo < hi.
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double value);
+
+  size_t total() const { return total_; }
+  const std::vector<size_t>& counts() const { return counts_; }
+  /// Inclusive-exclusive range of bucket `i`.
+  std::pair<double, double> BucketRange(size_t i) const;
+
+  /// Compact ASCII rendering ("[0, 10): #### 37"), `width` hash marks for
+  /// the fullest bucket.
+  std::string Render(size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  double bucket_width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_EVAL_HISTOGRAM_H_

@@ -1,0 +1,66 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace pinocchio {
+
+std::vector<uint32_t> RelevantTopK(std::span<const int64_t> ground_truth,
+                                   size_t k) {
+  std::vector<uint32_t> order(ground_truth.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return ground_truth[a] > ground_truth[b];
+  });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+double PrecisionAtK(std::span<const uint32_t> recommended,
+                    std::span<const uint32_t> relevant, size_t k) {
+  if (k == 0) return 0.0;
+  const std::unordered_set<uint32_t> relevant_set(relevant.begin(),
+                                                  relevant.end());
+  const size_t cut = std::min(k, recommended.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < cut; ++i) {
+    if (relevant_set.count(recommended[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double AveragePrecisionAtK(std::span<const uint32_t> recommended,
+                           std::span<const uint32_t> relevant, size_t k) {
+  if (k == 0) return 0.0;
+  const std::unordered_set<uint32_t> relevant_set(relevant.begin(),
+                                                  relevant.end());
+  const size_t cut = std::min(k, recommended.size());
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < cut; ++i) {
+    if (relevant_set.count(recommended[i]) > 0) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(k);
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double mean = Mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+}  // namespace pinocchio

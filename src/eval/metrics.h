@@ -1,0 +1,37 @@
+// Effectiveness metrics of Section 6.2: Precision@K and AveragePrecision@K
+// against check-in ground truth.
+
+#ifndef PINOCCHIO_EVAL_METRICS_H_
+#define PINOCCHIO_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pinocchio {
+
+/// Returns the indices of the K largest entries of `ground_truth`
+/// (descending, ties towards the smaller index) — the paper's "relevant
+/// locations" (the K candidates with the most actual check-ins).
+std::vector<uint32_t> RelevantTopK(std::span<const int64_t> ground_truth,
+                                   size_t k);
+
+/// Precision@K: |recommended[0..K) ∩ relevant| / K. The paper notes that
+/// with K used for both sides, Recall@K equals Precision@K.
+double PrecisionAtK(std::span<const uint32_t> recommended,
+                    std::span<const uint32_t> relevant, size_t k);
+
+/// AveragePrecision@K: (1/K) * sum_{i<=K, recommended[i] relevant} P@i —
+/// the rank-sensitive variant reported in Table 4.
+double AveragePrecisionAtK(std::span<const uint32_t> recommended,
+                           std::span<const uint32_t> relevant, size_t k);
+
+/// Mean of a sample.
+double Mean(std::span<const double> values);
+
+/// Population standard deviation of a sample.
+double StdDev(std::span<const double> values);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_EVAL_METRICS_H_

@@ -1,0 +1,67 @@
+#include "eval/polyfit.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+
+std::vector<double> PolyFit(std::span<const double> xs,
+                            std::span<const double> ys, size_t degree) {
+  PINO_CHECK_EQ(xs.size(), ys.size());
+  PINO_CHECK_GE(xs.size(), degree + 1);
+  const size_t terms = degree + 1;
+
+  // Normal equations: (V^T V) c = V^T y with the Vandermonde matrix V.
+  // Power-sum accumulation keeps it O(n * degree).
+  std::vector<double> power_sums(2 * degree + 1, 0.0);  // sum of x^k
+  std::vector<double> rhs(terms, 0.0);                  // sum of y * x^k
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double xp = 1.0;
+    for (size_t k = 0; k <= 2 * degree; ++k) {
+      power_sums[k] += xp;
+      if (k < terms) rhs[k] += ys[i] * xp;
+      xp *= xs[i];
+    }
+  }
+  std::vector<std::vector<double>> a(terms, std::vector<double>(terms));
+  for (size_t r = 0; r < terms; ++r) {
+    for (size_t c = 0; c < terms; ++c) a[r][c] = power_sums[r + c];
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < terms; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < terms; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    PINO_CHECK_GT(std::abs(a[pivot][col]), 1e-300)
+        << "singular normal equations (collinear sample xs?)";
+    std::swap(a[col], a[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    for (size_t r = col + 1; r < terms; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      for (size_t c = col; c < terms; ++c) a[r][c] -= factor * a[col][c];
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  std::vector<double> coefficients(terms, 0.0);
+  for (size_t r = terms; r-- > 0;) {
+    double value = rhs[r];
+    for (size_t c = r + 1; c < terms; ++c) {
+      value -= a[r][c] * coefficients[c];
+    }
+    coefficients[r] = value / a[r][r];
+  }
+  return coefficients;
+}
+
+double PolyEval(std::span<const double> coefficients, double x) {
+  double result = 0.0;
+  for (size_t k = coefficients.size(); k-- > 0;) {
+    result = result * x + coefficients[k];
+  }
+  return result;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,24 @@
+// Least-squares polynomial fitting — the library's equivalent of the
+// Matlab polyfit call used to fit the <n, tau> level curve in Fig. 13b.
+
+#ifndef PINOCCHIO_EVAL_POLYFIT_H_
+#define PINOCCHIO_EVAL_POLYFIT_H_
+
+#include <span>
+#include <vector>
+
+namespace pinocchio {
+
+/// Fits the degree-`degree` polynomial minimising the squared residual to
+/// the sample points (xs[i], ys[i]). Returns coefficients lowest power
+/// first: y ~ c[0] + c[1]*x + ... + c[degree]*x^degree.
+/// Requires xs.size() == ys.size() >= degree + 1.
+std::vector<double> PolyFit(std::span<const double> xs,
+                            std::span<const double> ys, size_t degree);
+
+/// Evaluates a polynomial (coefficients lowest power first) at `x`.
+double PolyEval(std::span<const double> coefficients, double x);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_EVAL_POLYFIT_H_

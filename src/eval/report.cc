@@ -1,0 +1,81 @@
+#include "eval/report.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace pinocchio {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  PINO_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  PINO_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << "  ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << "\n";
+  };
+  out << "\n== " << title_ << " ==\n";
+  print_row(headers_);
+  size_t rule = 2;
+  for (size_t w : widths) rule += w + 2;
+  out << "  " << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  out.flush();
+}
+
+std::string FormatSeconds(double seconds) {
+  std::ostringstream os;
+  os << std::setprecision(3);
+  if (seconds < 1e-3) {
+    os << seconds * 1e6 << " us";
+  } else if (seconds < 1.0) {
+    os << seconds * 1e3 << " ms";
+  } else {
+    os << seconds << " s";
+  }
+  return os.str();
+}
+
+double BenchScaleFromEnv(double default_scale) {
+  const char* raw = std::getenv("PINOCCHIO_BENCH_SCALE");
+  if (raw == nullptr) return default_scale;
+  double value = 0.0;
+  if (!ParseDouble(raw, &value) || value <= 0.0 || value > 1.0) {
+    PINO_LOG(WARNING) << "ignoring invalid PINOCCHIO_BENCH_SCALE=" << raw;
+    return default_scale;
+  }
+  return value;
+}
+
+uint64_t BenchSeedFromEnv(uint64_t default_seed) {
+  const char* raw = std::getenv("PINOCCHIO_BENCH_SEED");
+  if (raw == nullptr) return default_seed;
+  int64_t value = 0;
+  if (!ParseInt64(raw, &value) || value < 0) {
+    PINO_LOG(WARNING) << "ignoring invalid PINOCCHIO_BENCH_SEED=" << raw;
+    return default_seed;
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,46 @@
+// Report formatting for the benchmark harnesses: aligned ASCII tables in
+// the style of the paper's tables/figure series, plus the benchmark scale
+// knob shared by all bench binaries.
+
+#ifndef PINOCCHIO_EVAL_REPORT_H_
+#define PINOCCHIO_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pinocchio {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; `headers` defines the column count.
+  TablePrinter(std::string title, std::vector<std::string> headers);
+
+  /// Adds one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the title, header rule and all rows to `out`.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds adaptively ("873 us", "12.3 ms", "4.57 s").
+std::string FormatSeconds(double seconds);
+
+/// Reads the PINOCCHIO_BENCH_SCALE environment variable (a factor in
+/// (0, 1]) used to shrink the Table-2-scale datasets for quick runs;
+/// defaults to `default_scale` when unset or unparsable.
+double BenchScaleFromEnv(double default_scale = 1.0);
+
+/// Reads PINOCCHIO_BENCH_SEED (uint64) for dataset/candidate sampling;
+/// defaults to `default_seed`.
+uint64_t BenchSeedFromEnv(uint64_t default_seed = 7);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_EVAL_REPORT_H_

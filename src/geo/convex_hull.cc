@@ -1,0 +1,106 @@
+#include "geo/convex_hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+namespace {
+
+// Cross product of (b - a) x (c - a); positive for a left turn.
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+double PointToSegment(const Point& p, const Point& a, const Point& b) {
+  const double len_sq = SquaredDistance(a, b);
+  if (len_sq == 0.0) return Distance(p, a);
+  const double t = std::clamp(
+      ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / len_sq, 0.0,
+      1.0);
+  return Distance(p, {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)});
+}
+
+}  // namespace
+
+std::vector<Point> ConvexHull(std::span<const Point> points) {
+  std::vector<Point> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end(), [](const Point& a, const Point& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  const size_t n = sorted.size();
+  if (n <= 2) return sorted;
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], sorted[i]) <= 0.0) --k;
+    hull[k++] = sorted[i];
+  }
+  // Upper hull.
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size && Cross(hull[k - 2], hull[k - 1], sorted[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = sorted[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  return hull;
+}
+
+ConvexPolygon::ConvexPolygon(std::span<const Point> points)
+    : vertices_(ConvexHull(points)) {
+  for (const Point& v : vertices_) bounds_.Expand(v);
+}
+
+double ConvexPolygon::Area() const {
+  if (vertices_.size() < 3) return 0.0;
+  double twice_area = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    twice_area += a.x * b.y - b.x * a.y;
+  }
+  return 0.5 * std::abs(twice_area);
+}
+
+bool ConvexPolygon::Contains(const Point& p) const {
+  if (vertices_.empty()) return false;
+  if (vertices_.size() == 1) return p == vertices_[0];
+  if (vertices_.size() == 2) {
+    return PointToSegment(p, vertices_[0], vertices_[1]) <= 1e-9;
+  }
+  // CCW polygon: p is inside iff it is left of (or on) every edge.
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    if (Cross(a, b, p) < 0.0) return false;
+  }
+  return true;
+}
+
+double ConvexPolygon::MaxDist(const Point& p) const {
+  PINO_CHECK(!vertices_.empty());
+  double best = 0.0;
+  for (const Point& v : vertices_) best = std::max(best, Distance(p, v));
+  return best;
+}
+
+double ConvexPolygon::MinDist(const Point& p) const {
+  PINO_CHECK(!vertices_.empty());
+  if (Contains(p)) return 0.0;
+  if (vertices_.size() == 1) return Distance(p, vertices_[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    best = std::min(best, PointToSegment(p, a, b));
+  }
+  return best;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,51 @@
+#include "geo/distance.h"
+
+#include <cmath>
+
+namespace pinocchio {
+namespace {
+
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kRadToDeg = 180.0 / M_PI;
+
+}  // namespace
+
+double HaversineDistance(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double EquirectangularDistance(const LatLon& a, const LatLon& b) {
+  const double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  const double dx = (b.lon - a.lon) * kDegToRad * std::cos(mean_lat);
+  const double dy = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(dx * dx + dy * dy);
+}
+
+Projection::Projection(const LatLon& reference)
+    : reference_(reference),
+      cos_ref_lat_(std::cos(reference.lat * kDegToRad)) {}
+
+Point Projection::Project(const LatLon& geo) const {
+  const double x =
+      kEarthRadiusMeters * (geo.lon - reference_.lon) * kDegToRad * cos_ref_lat_;
+  const double y = kEarthRadiusMeters * (geo.lat - reference_.lat) * kDegToRad;
+  return {x, y};
+}
+
+LatLon Projection::Unproject(const Point& p) const {
+  const double lat =
+      reference_.lat + (p.y / kEarthRadiusMeters) * kRadToDeg;
+  const double lon =
+      reference_.lon + (p.x / (kEarthRadiusMeters * cos_ref_lat_)) * kRadToDeg;
+  return {lat, lon};
+}
+
+}  // namespace pinocchio

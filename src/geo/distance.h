@@ -1,0 +1,48 @@
+// Geographic distances and the local tangent-plane projection.
+
+#ifndef PINOCCHIO_GEO_DISTANCE_H_
+#define PINOCCHIO_GEO_DISTANCE_H_
+
+#include "geo/point.h"
+
+namespace pinocchio {
+
+/// Mean Earth radius in metres (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// Great-circle distance between two geographic coordinates (metres),
+/// computed with the numerically stable haversine formula.
+double HaversineDistance(const LatLon& a, const LatLon& b);
+
+/// Equirectangular-approximation distance (metres). Within a city-scale
+/// extent (the paper's datasets span < 40 km) the error versus haversine is
+/// well below 0.1%, and it is several times cheaper.
+double EquirectangularDistance(const LatLon& a, const LatLon& b);
+
+/// Local tangent-plane projection around a reference coordinate.
+///
+/// Maps geographic coordinates to planar metres:
+///   x = R · Δlon · cos(lat_ref),  y = R · Δlat   (angles in radians)
+/// The projection is invertible; distances between projected points match
+/// EquirectangularDistance around the reference latitude.
+class Projection {
+ public:
+  /// Creates a projection centred at `reference`.
+  explicit Projection(const LatLon& reference);
+
+  /// Projects a geographic coordinate to planar metres.
+  Point Project(const LatLon& geo) const;
+
+  /// Inverse projection back to geographic degrees.
+  LatLon Unproject(const Point& p) const;
+
+  const LatLon& reference() const { return reference_; }
+
+ private:
+  LatLon reference_;
+  double cos_ref_lat_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_GEO_DISTANCE_H_

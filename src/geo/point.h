@@ -1,0 +1,80 @@
+// Basic point types.
+//
+// The library distinguishes two coordinate spaces:
+//  * `LatLon` — raw geographic coordinates in degrees, as found in check-in
+//    datasets.
+//  * `Point`  — planar coordinates in metres in a local tangent plane,
+//    produced by `Projection` (see geo/distance.h). All region geometry
+//    (MBRs, influence arcs, non-influence boundaries) and the R-tree operate
+//    in this metric space, mirroring the paper's use of geographic spherical
+//    distance (footnote 5) while keeping the geometry Euclidean.
+
+#ifndef PINOCCHIO_GEO_POINT_H_
+#define PINOCCHIO_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace pinocchio {
+
+/// Planar point in metres (local tangent plane).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  friend constexpr bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) {
+    return !(a == b);
+  }
+  friend constexpr Point operator+(const Point& a, const Point& b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(const Point& a, const Point& b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(const Point& a, double s) {
+    return {a.x * s, a.y * s};
+  }
+};
+
+/// Squared Euclidean distance between planar points.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance between planar points (metres).
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// Geographic coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  constexpr LatLon() = default;
+  constexpr LatLon(double lat_in, double lon_in) : lat(lat_in), lon(lon_in) {}
+
+  friend constexpr bool operator==(const LatLon& a, const LatLon& b) {
+    return a.lat == b.lat && a.lon == b.lon;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const LatLon& p) {
+  return os << "(" << p.lat << "°, " << p.lon << "°)";
+}
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_GEO_POINT_H_

@@ -1,0 +1,96 @@
+#include "geo/regions.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+
+InfluenceArcsRegion::InfluenceArcsRegion(const Mbr& mbr, double radius)
+    : mbr_(mbr), radius_(radius) {
+  PINO_CHECK(!mbr.IsEmpty());
+  // A negative radius is the "uninfluenceable" sentinel of
+  // ProbabilityFunction::MinMaxRadius: nothing can be certified.
+  // Otherwise the intersection of the four corner disks is non-empty iff
+  // the MBR centre (the point minimising the max corner distance)
+  // qualifies.
+  empty_ = radius < 0.0 || mbr.HalfDiagonal() > radius;
+  if (!empty_) {
+    // x must be within `radius` of both the left corners (x >= max_x - r is
+    // imposed by the right corners and vice versa); likewise for y. This box
+    // is conservative: the disk intersection is inscribed in it.
+    const double min_x = mbr.max_x() - radius;
+    const double max_x = mbr.min_x() + radius;
+    const double min_y = mbr.max_y() - radius;
+    const double max_y = mbr.min_y() + radius;
+    bbox_ = Mbr(min_x, min_y, max_x, max_y);
+  }
+}
+
+bool InfluenceArcsRegion::Contains(const Point& p) const {
+  if (empty_) return false;
+  return mbr_.MaxDistSquared(p) <= radius_ * radius_;
+}
+
+double InfluenceArcsRegion::Area() const {
+  if (empty_) return 0.0;
+  // Integrate the vertical extent of the four-disk intersection over x.
+  // For each x, y is bounded above by the disks centred at the *bottom*
+  // corners (y <= c.y + sqrt(r^2 - (x-c.x)^2)) and below by the disks at the
+  // *top* corners. Taking min/max over all four corners is equivalent and
+  // branch-free.
+  const std::array<Point, 4> corners = {
+      Point{mbr_.min_x(), mbr_.min_y()}, Point{mbr_.min_x(), mbr_.max_y()},
+      Point{mbr_.max_x(), mbr_.min_y()}, Point{mbr_.max_x(), mbr_.max_y()}};
+  const double r2 = radius_ * radius_;
+  const double x_lo = bbox_.min_x();
+  const double x_hi = bbox_.max_x();
+  const auto extent = [&](double x) {
+    double y_hi = std::numeric_limits<double>::infinity();
+    double y_lo = -std::numeric_limits<double>::infinity();
+    for (const Point& c : corners) {
+      const double dx = x - c.x;
+      const double disc = r2 - dx * dx;
+      if (disc < 0.0) return 0.0;  // outside some disk entirely
+      const double half = std::sqrt(disc);
+      y_hi = std::min(y_hi, c.y + half);
+      y_lo = std::max(y_lo, c.y - half);
+    }
+    return std::max(0.0, y_hi - y_lo);
+  };
+  // Composite Simpson's rule. The integrand is continuous with bounded
+  // variation; 1<<14 panels give ~1e-7 relative error at city scales.
+  constexpr int kPanels = 1 << 14;
+  const double h = (x_hi - x_lo) / kPanels;
+  if (h <= 0.0) return 0.0;
+  double sum = extent(x_lo) + extent(x_hi);
+  for (int i = 1; i < kPanels; ++i) {
+    sum += extent(x_lo + i * h) * (i % 2 == 0 ? 2.0 : 4.0);
+  }
+  return sum * h / 3.0;
+}
+
+NonInfluenceBoundary::NonInfluenceBoundary(const Mbr& mbr, double radius)
+    : mbr_(mbr), radius_(radius) {
+  PINO_CHECK(!mbr.IsEmpty());
+  // A negative radius is the "uninfluenceable" sentinel: the object cannot
+  // be influenced from anywhere, so the boundary encloses nothing and
+  // every candidate is pruned.
+  if (radius >= 0.0) bbox_ = mbr.Inflated(radius);
+}
+
+bool NonInfluenceBoundary::Contains(const Point& p) const {
+  if (radius_ < 0.0) return false;
+  return mbr_.MinDistSquared(p) <= radius_ * radius_;
+}
+
+double NonInfluenceBoundary::Area() const {
+  if (radius_ < 0.0) return 0.0;
+  const double w = mbr_.width();
+  const double h = mbr_.height();
+  return w * h + 2.0 * (w + h) * radius_ + M_PI * radius_ * radius_;
+}
+
+}  // namespace pinocchio

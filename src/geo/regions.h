@@ -1,0 +1,94 @@
+// The two pruning regions of the paper (Section 4.2), parameterised by an
+// object's MBR and its minMaxRadius:
+//
+//  * InfluenceArcsRegion (Definition 6 / Lemma 2): the closed region bounded
+//    by the four "influence arcs" drawn with radius minMaxRadius around the
+//    MBR corners. A point lies inside iff its maxDist to the MBR is at most
+//    the radius, i.e. the region is the intersection of the four corner
+//    disks. Any candidate inside it is guaranteed to influence the object.
+//
+//  * NonInfluenceBoundary (Definition 7 / Lemma 3): the Minkowski expansion
+//    of the MBR by minMaxRadius (a rounded rectangle). A point lies inside
+//    iff its minDist to the MBR is at most the radius. Any candidate outside
+//    it is guaranteed NOT to influence the object.
+//
+// Both expose a conservative axis-aligned bounding box used to seed R-tree
+// range queries, an exact Contains() predicate for the final filter, and an
+// area (exact closed form for NIB, §4.3's analytic expression evaluated by
+// numeric quadrature for IA) used by the analytic pruning-model ablation.
+
+#ifndef PINOCCHIO_GEO_REGIONS_H_
+#define PINOCCHIO_GEO_REGIONS_H_
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace pinocchio {
+
+/// Region of guaranteed influence (Lemma 2).
+class InfluenceArcsRegion {
+ public:
+  /// Builds the region for object MBR `mbr` and radius `radius`
+  /// (= minMaxRadius(tau, n)). The region is empty when the radius is
+  /// smaller than the MBR's half diagonal (no point can be within `radius`
+  /// of all four corners) and when the radius is the negative
+  /// "uninfluenceable" sentinel of ProbabilityFunction::MinMaxRadius.
+  InfluenceArcsRegion(const Mbr& mbr, double radius);
+
+  /// True if the region contains no point.
+  bool IsEmpty() const { return empty_; }
+
+  /// Exact membership test: maxDist(p, mbr) <= radius.
+  bool Contains(const Point& p) const;
+
+  /// Conservative bounding box (empty Mbr if the region is empty). Every
+  /// contained point lies inside this box; the converse needs Contains().
+  const Mbr& BoundingBox() const { return bbox_; }
+
+  /// Region area, computed by adaptive quadrature over the intersection of
+  /// the four corner disks (the closed form of §4.3's Remark involves the
+  /// same quantity; quadrature keeps it robust for degenerate MBRs).
+  /// Accurate to ~1e-6 relative error.
+  double Area() const;
+
+  double radius() const { return radius_; }
+  const Mbr& object_mbr() const { return mbr_; }
+
+ private:
+  Mbr mbr_;
+  double radius_;
+  bool empty_;
+  Mbr bbox_;
+};
+
+/// Complement boundary of guaranteed non-influence (Lemma 3).
+class NonInfluenceBoundary {
+ public:
+  /// Builds the rounded-rectangle region for `mbr` expanded by `radius`.
+  /// A negative radius (the "uninfluenceable" sentinel) yields an empty
+  /// region: no candidate anywhere can influence the object, so all are
+  /// pruned.
+  NonInfluenceBoundary(const Mbr& mbr, double radius);
+
+  /// Exact membership test: minDist(p, mbr) <= radius. Points outside are
+  /// guaranteed not to be influenced.
+  bool Contains(const Point& p) const;
+
+  /// Tight bounding box (the paper's "MBR of NIB" fast pre-filter).
+  const Mbr& BoundingBox() const { return bbox_; }
+
+  /// Exact area: w*h + 2*(w+h)*radius + pi*radius^2 (§4.3 Remark, S_N).
+  double Area() const;
+
+  double radius() const { return radius_; }
+  const Mbr& object_mbr() const { return mbr_; }
+
+ private:
+  Mbr mbr_;
+  double radius_;
+  Mbr bbox_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_GEO_REGIONS_H_

@@ -1,0 +1,70 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+
+GridIndex::GridIndex(std::span<const RTreeEntry> entries,
+                     size_t target_cells) {
+  for (const RTreeEntry& e : entries) bounds_.Expand(e.point);
+  size_ = entries.size();
+  if (size_ == 0) {
+    cells_.resize(1);
+    return;
+  }
+  // Aim for square-ish cells: split the aspect ratio across rows and cols.
+  const double w = std::max(bounds_.width(), 1e-9);
+  const double h = std::max(bounds_.height(), 1e-9);
+  const double aspect = w / h;
+  const double target = std::max<double>(1.0, static_cast<double>(target_cells));
+  cols_ = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(std::sqrt(target * aspect))));
+  rows_ = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(target / static_cast<double>(cols_))));
+  cell_w_ = w / static_cast<double>(cols_);
+  cell_h_ = h / static_cast<double>(rows_);
+  cells_.resize(rows_ * cols_);
+  for (const RTreeEntry& e : entries) {
+    cells_[RowOf(e.point.y) * cols_ + ColOf(e.point.x)].push_back(e);
+  }
+}
+
+size_t GridIndex::ColOf(double x) const {
+  const double t = (x - bounds_.min_x()) / cell_w_;
+  const auto c = static_cast<ptrdiff_t>(t);
+  return static_cast<size_t>(
+      std::clamp<ptrdiff_t>(c, 0, static_cast<ptrdiff_t>(cols_) - 1));
+}
+
+size_t GridIndex::RowOf(double y) const {
+  const double t = (y - bounds_.min_y()) / cell_h_;
+  const auto r = static_cast<ptrdiff_t>(t);
+  return static_cast<size_t>(
+      std::clamp<ptrdiff_t>(r, 0, static_cast<ptrdiff_t>(rows_) - 1));
+}
+
+void GridIndex::CellRange(const Mbr& rect, size_t* c0, size_t* r0, size_t* c1,
+                          size_t* r1) const {
+  *c0 = ColOf(rect.min_x());
+  *r0 = RowOf(rect.min_y());
+  *c1 = ColOf(rect.max_x());
+  *r1 = RowOf(rect.max_y());
+}
+
+std::vector<uint32_t> GridIndex::QueryRectIds(const Mbr& rect) const {
+  std::vector<uint32_t> ids;
+  QueryRect(rect, [&](const RTreeEntry& e) { ids.push_back(e.id); });
+  return ids;
+}
+
+std::vector<uint32_t> GridIndex::QueryCircleIds(const Point& center,
+                                                double radius) const {
+  std::vector<uint32_t> ids;
+  QueryCircle(center, radius, [&](const RTreeEntry& e) { ids.push_back(e.id); });
+  return ids;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,85 @@
+// Uniform grid index over planar points. Used by the RANGE baseline and by
+// the index ablation benchmark (R-tree vs grid vs linear scan, validating
+// the paper's §4.3 argument for its flat-array object store).
+
+#ifndef PINOCCHIO_INDEX_GRID_INDEX_H_
+#define PINOCCHIO_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+#include "index/rtree.h"
+
+namespace pinocchio {
+
+/// Fixed-resolution bucket grid.
+class GridIndex {
+ public:
+  /// Builds a grid over the tight bounds of `entries` with roughly
+  /// `target_cells` cells (clamped to at least 1). Entries may repeat ids.
+  GridIndex(std::span<const RTreeEntry> entries, size_t target_cells = 4096);
+
+  size_t size() const { return size_; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  const Mbr& Bounds() const { return bounds_; }
+
+  /// Calls `visit(entry)` for every entry inside `rect` (inclusive).
+  template <typename Visitor>
+  void QueryRect(const Mbr& rect, Visitor&& visit) const {
+    if (size_ == 0 || rect.IsEmpty() || !rect.Intersects(bounds_)) return;
+    size_t c0, r0, c1, r1;
+    CellRange(rect, &c0, &r0, &c1, &r1);
+    for (size_t r = r0; r <= r1; ++r) {
+      for (size_t c = c0; c <= c1; ++c) {
+        for (const RTreeEntry& e : cells_[r * cols_ + c]) {
+          if (rect.Contains(e.point)) visit(e);
+        }
+      }
+    }
+  }
+
+  /// Calls `visit(entry)` for every entry within `radius` of `center`.
+  template <typename Visitor>
+  void QueryCircle(const Point& center, double radius, Visitor&& visit) const {
+    if (size_ == 0 || radius < 0.0) return;
+    const Mbr rect(center.x - radius, center.y - radius, center.x + radius,
+                   center.y + radius);
+    if (!rect.Intersects(bounds_)) return;
+    const double radius_sq = radius * radius;
+    size_t c0, r0, c1, r1;
+    CellRange(rect, &c0, &r0, &c1, &r1);
+    for (size_t r = r0; r <= r1; ++r) {
+      for (size_t c = c0; c <= c1; ++c) {
+        for (const RTreeEntry& e : cells_[r * cols_ + c]) {
+          if (SquaredDistance(center, e.point) <= radius_sq) visit(e);
+        }
+      }
+    }
+  }
+
+  std::vector<uint32_t> QueryRectIds(const Mbr& rect) const;
+  std::vector<uint32_t> QueryCircleIds(const Point& center,
+                                       double radius) const;
+
+ private:
+  void CellRange(const Mbr& rect, size_t* c0, size_t* r0, size_t* c1,
+                 size_t* r1) const;
+  size_t ColOf(double x) const;
+  size_t RowOf(double y) const;
+
+  Mbr bounds_;
+  size_t rows_ = 1;
+  size_t cols_ = 1;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+  size_t size_ = 0;
+  std::vector<std::vector<RTreeEntry>> cells_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_INDEX_GRID_INDEX_H_

@@ -1,0 +1,104 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+namespace {
+constexpr size_t kLeafSize = 8;
+}
+
+KdTree::KdTree(std::span<const RTreeEntry> entries)
+    : entries_(entries.begin(), entries.end()) {
+  for (const RTreeEntry& e : entries_) bounds_.Expand(e.point);
+  if (!entries_.empty()) {
+    nodes_.reserve(2 * entries_.size() / kLeafSize + 2);
+    Build(0, entries_.size(), 0);
+  }
+}
+
+int32_t KdTree::Build(size_t begin, size_t end, int depth) {
+  const auto index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  Mbr bounds;
+  for (size_t i = begin; i < end; ++i) bounds.Expand(entries_[i].point);
+  nodes_[static_cast<size_t>(index)].bounds = bounds;
+
+  if (end - begin <= kLeafSize) {
+    nodes_[static_cast<size_t>(index)].begin = static_cast<uint32_t>(begin);
+    nodes_[static_cast<size_t>(index)].end = static_cast<uint32_t>(end);
+    return index;
+  }
+  // Split on the wider axis at the median.
+  const bool split_x = bounds.width() >= bounds.height();
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(entries_.begin() + static_cast<ptrdiff_t>(begin),
+                   entries_.begin() + static_cast<ptrdiff_t>(mid),
+                   entries_.begin() + static_cast<ptrdiff_t>(end),
+                   [split_x](const RTreeEntry& a, const RTreeEntry& b) {
+                     return split_x ? a.point.x < b.point.x
+                                    : a.point.y < b.point.y;
+                   });
+  const int32_t left = Build(begin, mid, depth + 1);
+  const int32_t right = Build(mid, end, depth + 1);
+  nodes_[static_cast<size_t>(index)].left = left;
+  nodes_[static_cast<size_t>(index)].right = right;
+  return index;
+}
+
+std::vector<uint32_t> KdTree::QueryRectIds(const Mbr& rect) const {
+  std::vector<uint32_t> ids;
+  QueryRect(rect, [&](const RTreeEntry& e) { ids.push_back(e.id); });
+  return ids;
+}
+
+std::vector<uint32_t> KdTree::QueryCircleIds(const Point& center,
+                                             double radius) const {
+  std::vector<uint32_t> ids;
+  QueryCircle(center, radius,
+              [&](const RTreeEntry& e) { ids.push_back(e.id); });
+  return ids;
+}
+
+std::vector<std::pair<uint32_t, double>> KdTree::NearestNeighbors(
+    const Point& query, size_t k) const {
+  std::vector<std::pair<uint32_t, double>> result;
+  if (empty() || k == 0) return result;
+
+  struct HeapItem {
+    double dist_sq;
+    int32_t node;        // -1 when this is an entry
+    uint32_t entry_index;
+    bool operator>(const HeapItem& other) const {
+      return dist_sq > other.dist_sq;
+    }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  heap.push({nodes_[0].bounds.MinDistSquared(query), 0, 0});
+  while (!heap.empty() && result.size() < k) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    if (item.node < 0) {
+      result.emplace_back(entries_[item.entry_index].id,
+                          std::sqrt(item.dist_sq));
+      continue;
+    }
+    const Node& node = nodes_[static_cast<size_t>(item.node)];
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        heap.push({SquaredDistance(query, entries_[i].point), -1, i});
+      }
+    } else {
+      for (int32_t child : {node.left, node.right}) {
+        heap.push({nodes_[static_cast<size_t>(child)].bounds.MinDistSquared(
+                       query),
+                   child, 0});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pinocchio

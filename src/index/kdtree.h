@@ -1,0 +1,107 @@
+// Static bulk-built kd-tree over planar points — the third candidate-index
+// option (the paper's footnote 2 notes any hierarchical spatial structure
+// can replace the R-tree). Median-split construction over a contiguous
+// node array; supports rectangle and circle range queries and best-first
+// kNN with the same result contracts as RTree.
+
+#ifndef PINOCCHIO_INDEX_KDTREE_H_
+#define PINOCCHIO_INDEX_KDTREE_H_
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+#include "index/rtree.h"  // RTreeEntry
+
+namespace pinocchio {
+
+/// Immutable kd-tree; build once, query many times.
+class KdTree {
+ public:
+  /// Builds from `entries` (O(n log n), median splits, leaf size ~8).
+  explicit KdTree(std::span<const RTreeEntry> entries);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  Mbr Bounds() const { return bounds_; }
+
+  /// Calls `visit(entry)` for every entry inside `rect` (inclusive).
+  template <typename Visitor>
+  void QueryRect(const Mbr& rect, Visitor&& visit) const {
+    if (empty() || rect.IsEmpty()) return;
+    QueryRectNode(0, rect, visit);
+  }
+
+  /// Calls `visit(entry)` for every entry within `radius` of `center`.
+  template <typename Visitor>
+  void QueryCircle(const Point& center, double radius, Visitor&& visit) const {
+    if (empty() || radius < 0.0) return;
+    QueryCircleNode(0, center, radius * radius, visit);
+  }
+
+  std::vector<uint32_t> QueryRectIds(const Mbr& rect) const;
+  std::vector<uint32_t> QueryCircleIds(const Point& center,
+                                       double radius) const;
+
+  /// k nearest entries as (id, distance), ascending by distance.
+  std::vector<std::pair<uint32_t, double>> NearestNeighbors(const Point& query,
+                                                            size_t k) const;
+
+ private:
+  struct Node {
+    Mbr bounds;
+    // Leaf: [begin, end) into entries_. Internal: children indices.
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    bool IsLeaf() const { return left < 0; }
+  };
+
+  int32_t Build(size_t begin, size_t end, int depth);
+
+  template <typename Visitor>
+  void QueryRectNode(size_t node_index, const Mbr& rect,
+                     Visitor& visit) const {
+    const Node& node = nodes_[node_index];
+    if (!rect.Intersects(node.bounds)) return;
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (rect.Contains(entries_[i].point)) visit(entries_[i]);
+      }
+      return;
+    }
+    QueryRectNode(static_cast<size_t>(node.left), rect, visit);
+    QueryRectNode(static_cast<size_t>(node.right), rect, visit);
+  }
+
+  template <typename Visitor>
+  void QueryCircleNode(size_t node_index, const Point& center,
+                       double radius_sq, Visitor& visit) const {
+    const Node& node = nodes_[node_index];
+    if (node.bounds.MinDistSquared(center) > radius_sq) return;
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (SquaredDistance(center, entries_[i].point) <= radius_sq) {
+          visit(entries_[i]);
+        }
+      }
+      return;
+    }
+    QueryCircleNode(static_cast<size_t>(node.left), center, radius_sq, visit);
+    QueryCircleNode(static_cast<size_t>(node.right), center, radius_sq,
+                    visit);
+  }
+
+  std::vector<RTreeEntry> entries_;  // permuted during build
+  std::vector<Node> nodes_;
+  Mbr bounds_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_INDEX_KDTREE_H_

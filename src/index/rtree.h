@@ -1,0 +1,173 @@
+// In-memory R-tree over planar points (Guttman [26], quadratic split).
+//
+// The paper indexes candidate locations with an R-tree whose nodes hold at
+// most 8 elements (Section 6.1); that is the default fanout here. The tree
+// supports:
+//   * one-by-one insertion (ChooseLeaf + quadratic split),
+//   * Sort-Tile-Recursive bulk loading,
+//   * rectangle and circle range queries (visitor-based, allocation-free),
+//   * best-first k-nearest-neighbour search, and
+//   * structural invariant checking used by the tests.
+//
+// Entries are (point, id) pairs; payloads such as influence counters live in
+// caller-side arrays indexed by id, which keeps the index reusable across
+// solvers.
+
+#ifndef PINOCCHIO_INDEX_RTREE_H_
+#define PINOCCHIO_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+#include "util/logging.h"
+
+namespace pinocchio {
+
+/// A point entry stored in the R-tree.
+struct RTreeEntry {
+  Point point;
+  uint32_t id = 0;
+};
+
+/// Point R-tree with configurable fanout.
+class RTree {
+ public:
+  /// Creates an empty tree. `max_entries` is the node capacity M (>= 4);
+  /// the minimum fill is ceil(0.4 * M) per Guttman's recommendation.
+  explicit RTree(size_t max_entries = 8);
+
+  RTree(RTree&&) noexcept = default;
+  RTree& operator=(RTree&&) noexcept = default;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Builds a tree from `entries` by Sort-Tile-Recursive packing; much
+  /// faster and better-clustered than repeated insertion.
+  static RTree BulkLoad(std::span<const RTreeEntry> entries,
+                        size_t max_entries = 8);
+
+  /// Inserts one entry.
+  void Insert(const Point& point, uint32_t id);
+
+  /// Removes the entry with this exact (point, id) pair, condensing the
+  /// tree per Guttman's CondenseTree (underfull nodes are dissolved and
+  /// their entries reinserted). Returns false if no such entry exists.
+  bool Remove(const Point& point, uint32_t id);
+
+  /// Number of stored entries.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (0 for an empty tree, 1 for a single leaf).
+  size_t Height() const;
+
+  /// MBR of all stored points (empty Mbr when the tree is empty).
+  Mbr Bounds() const;
+
+  /// Calls `visit(entry)` for every entry whose point lies inside `rect`
+  /// (boundary inclusive).
+  template <typename Visitor>
+  void QueryRect(const Mbr& rect, Visitor&& visit) const {
+    if (!root_ || rect.IsEmpty()) return;
+    QueryRectNode(*root_, rect, visit);
+  }
+
+  /// Collects ids of all entries inside `rect`.
+  std::vector<uint32_t> QueryRectIds(const Mbr& rect) const;
+
+  /// Calls `visit(entry)` for every entry within `radius` of `center`
+  /// (boundary inclusive).
+  template <typename Visitor>
+  void QueryCircle(const Point& center, double radius, Visitor&& visit) const {
+    if (!root_ || radius < 0.0) return;
+    QueryCircleNode(*root_, center, radius * radius, visit);
+  }
+
+  /// Collects ids of all entries within `radius` of `center`.
+  std::vector<uint32_t> QueryCircleIds(const Point& center,
+                                       double radius) const;
+
+  /// Returns the k nearest entries to `query` as (id, distance) pairs in
+  /// ascending distance order (fewer if the tree holds fewer entries).
+  std::vector<std::pair<uint32_t, double>> NearestNeighbors(const Point& query,
+                                                            size_t k) const;
+
+  /// Aborts (via PINO_CHECK) if any structural invariant is violated:
+  /// node occupancy bounds, tight parent MBRs, uniform leaf depth.
+  /// Returns the number of nodes for convenience.
+  size_t CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    Mbr mbr;
+    std::vector<RTreeEntry> entries;                // leaf payload
+    std::vector<std::unique_ptr<Node>> children;    // internal payload
+
+    size_t Count() const {
+      return is_leaf ? entries.size() : children.size();
+    }
+  };
+
+  explicit RTree(size_t max_entries, std::unique_ptr<Node> root, size_t size);
+
+  Node* ChooseLeaf(Node* node, const Point& point,
+                   std::vector<Node*>* path) const;
+  // Splits an overfull node in place; returns the newly created sibling.
+  std::unique_ptr<Node> SplitNode(Node* node);
+  void RecomputeMbr(Node* node);
+  // Locates the leaf containing (point, id); fills `path` root..leaf.
+  Node* FindLeaf(Node* node, const Point& point, uint32_t id,
+                 std::vector<Node*>* path);
+  // Post-removal cleanup along `path`; collects entries of dissolved
+  // nodes into `orphans`.
+  void CondenseTree(std::vector<Node*>& path,
+                    std::vector<RTreeEntry>* orphans);
+
+  template <typename Visitor>
+  void QueryRectNode(const Node& node, const Mbr& rect, Visitor& visit) const {
+    if (node.is_leaf) {
+      for (const RTreeEntry& e : node.entries) {
+        if (rect.Contains(e.point)) visit(e);
+      }
+      return;
+    }
+    for (const auto& child : node.children) {
+      if (rect.Intersects(child->mbr)) QueryRectNode(*child, rect, visit);
+    }
+  }
+
+  template <typename Visitor>
+  void QueryCircleNode(const Node& node, const Point& center,
+                       double radius_sq, Visitor& visit) const {
+    if (node.is_leaf) {
+      for (const RTreeEntry& e : node.entries) {
+        if (SquaredDistance(center, e.point) <= radius_sq) visit(e);
+      }
+      return;
+    }
+    for (const auto& child : node.children) {
+      if (child->mbr.MinDistSquared(center) <= radius_sq) {
+        QueryCircleNode(*child, center, radius_sq, visit);
+      }
+    }
+  }
+
+  size_t CheckNode(const Node& node, bool is_root, size_t depth,
+                   size_t* leaf_depth) const;
+
+  size_t max_entries_;
+  size_t min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_INDEX_RTREE_H_

@@ -1,0 +1,83 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  PINO_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PINO_CHECK(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ParallelForChunks(ThreadPool* pool, size_t count,
+                       const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->num_threads() == 1) {
+    body(0, count);
+    return;
+  }
+  // Over-decompose mildly so uneven chunks balance across workers.
+  const size_t chunks = std::min(count, pool->num_threads() * 4);
+  const size_t chunk_size = (count + chunks - 1) / chunks;
+  for (size_t begin = 0; begin < count; begin += chunk_size) {
+    const size_t end = std::min(count, begin + chunk_size);
+    pool->Submit([&body, begin, end] { body(begin, end); });
+  }
+  pool->Wait();
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,61 @@
+// A small fixed-size thread pool with a blocking task queue, plus a
+// ParallelFor helper used by the parallel solver variants.
+
+#ifndef PINOCCHIO_PARALLEL_THREAD_POOL_H_
+#define PINOCCHIO_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pinocchio {
+
+/// Fixed-size worker pool. Tasks are arbitrary void() callables; Wait()
+/// blocks until every submitted task has finished. The destructor waits
+/// for outstanding tasks and joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all previously submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// A sensible default: the hardware concurrency, at least 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + running tasks
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [0, count) into contiguous chunks and runs
+/// `body(begin, end)` for each chunk on the pool, blocking until all
+/// chunks are done. With a null pool or a single thread, runs inline.
+void ParallelForChunks(ThreadPool* pool, size_t count,
+                       const std::function<void(size_t, size_t)>& body);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_PARALLEL_THREAD_POOL_H_

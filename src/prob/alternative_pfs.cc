@@ -1,0 +1,124 @@
+#include "prob/alternative_pfs.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+// ---------------------------------------------------------------- LogsigPF
+
+LogsigPF::LogsigPF(double rho, double scale_meters)
+    : rho_(rho), scale_meters_(scale_meters) {
+  PINO_CHECK_GT(rho, 0.0);
+  PINO_CHECK_LE(rho, 1.0);
+  PINO_CHECK_GT(scale_meters, 0.0);
+}
+
+double LogsigPF::operator()(double dist_meters) const {
+  PINO_CHECK_GE(dist_meters, 0.0);
+  return rho_ / (1.0 + std::exp(dist_meters / scale_meters_));
+}
+
+double LogsigPF::Inverse(double prob) const {
+  if (prob <= 0.0) return kInf;
+  if (prob >= rho_ / 2.0) return 0.0;  // PF(0) = rho/2
+  return scale_meters_ * std::log(rho_ / prob - 1.0);
+}
+
+std::string LogsigPF::Name() const {
+  std::ostringstream os;
+  os << "Logsig(rho=" << rho_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------- ConvexPF
+
+ConvexPF::ConvexPF(double rho, double range_meters)
+    : rho_(rho), range_meters_(range_meters) {
+  PINO_CHECK_GT(rho, 0.0);
+  PINO_CHECK_LE(rho, 1.0);
+  PINO_CHECK_GT(range_meters, 0.0);
+}
+
+double ConvexPF::operator()(double dist_meters) const {
+  PINO_CHECK_GE(dist_meters, 0.0);
+  if (dist_meters >= range_meters_) return 0.0;
+  const double t = 1.0 - dist_meters / range_meters_;
+  return rho_ * t * t;
+}
+
+double ConvexPF::Inverse(double prob) const {
+  if (prob <= 0.0) return kInf;
+  if (prob >= rho_) return 0.0;
+  return range_meters_ * (1.0 - std::sqrt(prob / rho_));
+}
+
+std::string ConvexPF::Name() const {
+  std::ostringstream os;
+  os << "Convex(rho=" << rho_ << ")";
+  return os.str();
+}
+
+// --------------------------------------------------------------- ConcavePF
+
+ConcavePF::ConcavePF(double rho, double range_meters)
+    : rho_(rho), range_meters_(range_meters) {
+  PINO_CHECK_GT(rho, 0.0);
+  PINO_CHECK_LE(rho, 1.0);
+  PINO_CHECK_GT(range_meters, 0.0);
+}
+
+double ConcavePF::operator()(double dist_meters) const {
+  PINO_CHECK_GE(dist_meters, 0.0);
+  if (dist_meters >= range_meters_) return 0.0;
+  const double t = dist_meters / range_meters_;
+  return rho_ * (1.0 - t * t);
+}
+
+double ConcavePF::Inverse(double prob) const {
+  if (prob <= 0.0) return kInf;
+  if (prob >= rho_) return 0.0;
+  return range_meters_ * std::sqrt(1.0 - prob / rho_);
+}
+
+std::string ConcavePF::Name() const {
+  std::ostringstream os;
+  os << "Concave(rho=" << rho_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------- LinearPF
+
+LinearPF::LinearPF(double rho, double range_meters)
+    : rho_(rho), range_meters_(range_meters) {
+  PINO_CHECK_GT(rho, 0.0);
+  PINO_CHECK_LE(rho, 1.0);
+  PINO_CHECK_GT(range_meters, 0.0);
+}
+
+double LinearPF::operator()(double dist_meters) const {
+  PINO_CHECK_GE(dist_meters, 0.0);
+  if (dist_meters >= range_meters_) return 0.0;
+  return rho_ * (1.0 - dist_meters / range_meters_);
+}
+
+double LinearPF::Inverse(double prob) const {
+  if (prob <= 0.0) return kInf;
+  if (prob >= rho_) return 0.0;
+  return range_meters_ * (1.0 - prob / rho_);
+}
+
+std::string LinearPF::Name() const {
+  std::ostringstream os;
+  os << "Linear(rho=" << rho_ << ")";
+  return os.str();
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,79 @@
+// The four alternative PF shapes of Figure 16: Logsig, Convex, Concave and
+// Linear. The paper normalises Convex/Concave/Linear "to the same scales" as
+// Logsig; since the exact normalisation is unspecified, we parameterise each
+// by its value at distance zero (`rho`, default 0.5 as in Fig. 16a) and a
+// cut-off distance `range` at which Convex/Concave/Linear reach zero. This
+// reproduces the plotted shapes: all start at rho, Logsig starts at rho/2
+// (the sigmoid midpoint at d = 0) and decays smoothly, Convex bows below the
+// Linear chord, Concave bows above it.
+
+#ifndef PINOCCHIO_PROB_ALTERNATIVE_PFS_H_
+#define PINOCCHIO_PROB_ALTERNATIVE_PFS_H_
+
+#include "prob/probability_function.h"
+
+namespace pinocchio {
+
+/// Log-sigmoid transfer PF: PF(d) = rho / (1 + e^(d / scale)).
+/// Value at 0 is rho/2; strictly decreasing; never reaches zero.
+class LogsigPF : public ProbabilityFunction {
+ public:
+  /// `scale_meters` stretches the sigmoid along the distance axis
+  /// (default 1 km per sigmoid unit, matching the power-law model's units).
+  explicit LogsigPF(double rho = 0.5, double scale_meters = 1000.0);
+
+  double operator()(double dist_meters) const override;
+  double Inverse(double prob) const override;
+  std::string Name() const override;
+
+ private:
+  double rho_;
+  double scale_meters_;
+};
+
+/// Convex decreasing PF: PF(d) = rho * (1 - d/range)^2 for d < range, 0 after.
+class ConvexPF : public ProbabilityFunction {
+ public:
+  ConvexPF(double rho, double range_meters);
+
+  double operator()(double dist_meters) const override;
+  double Inverse(double prob) const override;
+  std::string Name() const override;
+
+ private:
+  double rho_;
+  double range_meters_;
+};
+
+/// Concave decreasing PF: PF(d) = rho * (1 - (d/range)^2) for d < range,
+/// 0 after.
+class ConcavePF : public ProbabilityFunction {
+ public:
+  ConcavePF(double rho, double range_meters);
+
+  double operator()(double dist_meters) const override;
+  double Inverse(double prob) const override;
+  std::string Name() const override;
+
+ private:
+  double rho_;
+  double range_meters_;
+};
+
+/// Linear decreasing PF: PF(d) = rho * (1 - d/range) for d < range, 0 after.
+class LinearPF : public ProbabilityFunction {
+ public:
+  LinearPF(double rho, double range_meters);
+
+  double operator()(double dist_meters) const override;
+  double Inverse(double prob) const override;
+  std::string Name() const override;
+
+ private:
+  double rho_;
+  double range_meters_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_PROB_ALTERNATIVE_PFS_H_

@@ -1,0 +1,21 @@
+#include "prob/probability_function.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+
+double ProbabilityFunction::MinMaxRadius(double tau, size_t n) const {
+  PINO_CHECK_GT(tau, 0.0);
+  PINO_CHECK_LT(tau, 1.0);
+  PINO_CHECK_GT(n, 0u);
+  // 1 - (1 - tau)^(1/n), computed via expm1/log1p to stay accurate for
+  // large n (where the per-position requirement becomes tiny).
+  const double per_position =
+      -std::expm1(std::log1p(-tau) / static_cast<double>(n));
+  if ((*this)(0.0) < per_position) return kUninfluenceable;
+  return Inverse(per_position);
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,63 @@
+// Distance-based influence probability functions (the paper's PF).
+//
+// A PF maps the distance (metres) between a facility and a position to the
+// independent probability that the position is influenced. PFs must be
+// monotonically non-increasing in distance (Section 3.1); everything in the
+// pruning machinery (Lemma 1, Theorems 1-2) relies on that property, and the
+// property tests enforce it for every implementation.
+//
+// The paper's default PF is the power-law check-in model of Liu et al. [21]:
+//   PF(d) = rho * (d0 + d)^(-lambda)
+// with d expressed in kilometres, d0 = 1.0, rho in {0.5, 0.7, 0.9} and
+// lambda in {0.75, 1.0, 1.25}. Figure 16 additionally evaluates Logsig,
+// Convex, Concave and Linear shapes; all are provided here.
+
+#ifndef PINOCCHIO_PROB_PROBABILITY_FUNCTION_H_
+#define PINOCCHIO_PROB_PROBABILITY_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace pinocchio {
+
+/// Interface for monotone-decreasing distance->probability functions.
+class ProbabilityFunction {
+ public:
+  virtual ~ProbabilityFunction() = default;
+
+  /// Influence probability at distance `dist_meters` >= 0; in [0, 1].
+  virtual double operator()(double dist_meters) const = 0;
+
+  /// Generalised inverse: the largest distance d such that PF(d) >= prob.
+  /// Returns 0 when prob exceeds PF(0) (no distance qualifies) and
+  /// +infinity when prob <= inf PF (every distance qualifies).
+  virtual double Inverse(double prob) const = 0;
+
+  /// Short human-readable name used in experiment reports.
+  virtual std::string Name() const = 0;
+
+  /// The paper's Definition 5:
+  ///   minMaxRadius(tau, n) = PF^{-1}(1 - (1 - tau)^(1/n)).
+  /// If every one of an object's n positions lies within this radius of a
+  /// candidate, the candidate influences the object (Theorem 1); if all lie
+  /// outside, it cannot (Theorem 2).
+  ///
+  /// When the per-position requirement 1 - (1 - tau)^(1/n) exceeds PF(0),
+  /// no distance satisfies it — and, since every per-position probability
+  /// is then below the requirement, the cumulative probability of an
+  /// n-position object is below tau for EVERY candidate: the object is
+  /// uninfluenceable under (tau, n). This case is reported as the sentinel
+  /// kUninfluenceable (-1).
+  double MinMaxRadius(double tau, size_t n) const;
+
+  /// Sentinel returned by MinMaxRadius when no radius can certify
+  /// influence (the object cannot be influenced by any candidate).
+  static constexpr double kUninfluenceable = -1.0;
+};
+
+using ProbabilityFunctionPtr = std::shared_ptr<const ProbabilityFunction>;
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_PROB_PROBABILITY_FUNCTION_H_

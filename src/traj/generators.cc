@@ -1,0 +1,128 @@
+#include "traj/generators.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+namespace {
+
+Point Jittered(const Point& p, double sigma, Rng& rng) {
+  return {p.x + rng.Gaussian(0, sigma), p.y + rng.Gaussian(0, sigma)};
+}
+
+}  // namespace
+
+Trajectory GenerateRandomWaypoint(const RandomWaypointSpec& spec, Rng& rng) {
+  PINO_CHECK_GT(spec.sample_interval_s, 0.0);
+  PINO_CHECK_GT(spec.duration_s, 0.0);
+  PINO_CHECK_GT(spec.min_speed_mps, 0.0);
+  PINO_CHECK_GE(spec.max_speed_mps, spec.min_speed_mps);
+  PINO_CHECK(!spec.extent.IsEmpty());
+
+  Trajectory out;
+  Point current{rng.Uniform(spec.extent.min_x(), spec.extent.max_x()),
+                rng.Uniform(spec.extent.min_y(), spec.extent.max_y())};
+  double now = 0.0;
+  out.Append(now, current);
+
+  Point waypoint = current;
+  double speed = 0.0;
+  double pause_until = 0.0;
+  while (now < spec.duration_s) {
+    now += spec.sample_interval_s;
+    if (now < pause_until) {
+      out.Append(now, current);
+      continue;
+    }
+    if (current == waypoint) {
+      // Arrived (or initial state): pick the next waypoint and speed.
+      waypoint = {rng.Uniform(spec.extent.min_x(), spec.extent.max_x()),
+                  rng.Uniform(spec.extent.min_y(), spec.extent.max_y())};
+      speed = rng.Uniform(spec.min_speed_mps, spec.max_speed_mps);
+    }
+    const double step = speed * spec.sample_interval_s;
+    const double remaining = Distance(current, waypoint);
+    if (remaining <= step) {
+      current = waypoint;
+      pause_until = now + rng.Uniform(0.0, spec.max_pause_s);
+    } else {
+      const double f = step / remaining;
+      current = {current.x + f * (waypoint.x - current.x),
+                 current.y + f * (waypoint.y - current.y)};
+    }
+    out.Append(now, current);
+  }
+  return out;
+}
+
+Trajectory GenerateCommuter(const CommuterSpec& spec, Rng& rng) {
+  PINO_CHECK_GT(spec.sample_interval_s, 0.0);
+  PINO_CHECK_GT(spec.period_s, 0.0);
+  PINO_CHECK_LT(spec.work_start_s, spec.work_end_s);
+  PINO_CHECK_LT(spec.work_end_s, spec.period_s);
+  PINO_CHECK_GT(spec.commute_speed_mps, 0.0);
+
+  const double commute_time =
+      Distance(spec.home, spec.work) / spec.commute_speed_mps;
+
+  Trajectory out;
+  double now = 0.0;
+  for (size_t day = 0; day < spec.days; ++day) {
+    // Decide tonight's leisure detour up front.
+    const bool leisure_tonight =
+        !spec.leisure.empty() && rng.NextDouble() < spec.leisure_probability;
+    const Point leisure_spot =
+        spec.leisure.empty()
+            ? spec.home
+            : spec.leisure[static_cast<size_t>(rng.UniformInt(
+                  0, static_cast<int64_t>(spec.leisure.size()) - 1))];
+    const double day_start = static_cast<double>(day) * spec.period_s;
+    const double day_end = day_start + spec.period_s;
+    for (; now < day_end; now += spec.sample_interval_s) {
+      const double tod = now - day_start;  // time of day
+      Point nominal;
+      if (tod < spec.work_start_s - commute_time) {
+        nominal = spec.home;
+      } else if (tod < spec.work_start_s) {
+        // Morning commute: interpolate home -> work.
+        const double f = (tod - (spec.work_start_s - commute_time)) /
+                         commute_time;
+        nominal = {spec.home.x + f * (spec.work.x - spec.home.x),
+                   spec.home.y + f * (spec.work.y - spec.home.y)};
+      } else if (tod < spec.work_end_s) {
+        nominal = spec.work;
+      } else if (tod < spec.work_end_s + commute_time) {
+        const double f = (tod - spec.work_end_s) / commute_time;
+        nominal = {spec.work.x + f * (spec.home.x - spec.work.x),
+                   spec.work.y + f * (spec.home.y - spec.work.y)};
+      } else if (leisure_tonight &&
+                 tod < spec.work_end_s + commute_time + 3 * 3600.0) {
+        nominal = leisure_spot;
+      } else {
+        nominal = spec.home;
+      }
+      out.Append(now, Jittered(nominal, spec.position_jitter_m, rng));
+    }
+  }
+  return out;
+}
+
+std::vector<Trajectory> GenerateCommuterFleet(const CommuterSpec& base,
+                                              const Mbr& extent, size_t count,
+                                              Rng& rng) {
+  PINO_CHECK(!extent.IsEmpty());
+  std::vector<Trajectory> fleet;
+  fleet.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    CommuterSpec spec = base;
+    spec.home = {rng.Uniform(extent.min_x(), extent.max_x()),
+                 rng.Uniform(extent.min_y(), extent.max_y())};
+    spec.work = {rng.Uniform(extent.min_x(), extent.max_x()),
+                 rng.Uniform(extent.min_y(), extent.max_y())};
+    fleet.push_back(GenerateCommuter(spec, rng));
+  }
+  return fleet;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,64 @@
+// Synthetic trajectory generators.
+//
+// Two mobility models feed the trajectory pipeline:
+//  * RandomWaypoint — the classic ad-hoc-networking model: pick a uniform
+//    waypoint, travel towards it at a sampled speed, pause, repeat. Used
+//    for free-ranging entities (e.g. wildlife).
+//  * Commuter — a periodic home/work daily cycle with Gaussian jitter and
+//    occasional leisure detours, reflecting the strong periodicity of
+//    human mobility the paper leans on (its refs [20], [35]) and backing
+//    the Section 6.2 discussion that 24-48 uniformly sampled positions
+//    per object capture the pattern.
+
+#ifndef PINOCCHIO_TRAJ_GENERATORS_H_
+#define PINOCCHIO_TRAJ_GENERATORS_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+#include "util/random.h"
+
+namespace pinocchio {
+
+/// Random-waypoint model parameters.
+struct RandomWaypointSpec {
+  Mbr extent{0.0, 0.0, 30000.0, 20000.0};
+  double min_speed_mps = 0.5;
+  double max_speed_mps = 2.0;
+  double max_pause_s = 600.0;
+  /// Interval between recorded samples.
+  double sample_interval_s = 60.0;
+  double duration_s = 86400.0;
+};
+
+/// Generates one random-waypoint trajectory (deterministic in `rng`).
+Trajectory GenerateRandomWaypoint(const RandomWaypointSpec& spec, Rng& rng);
+
+/// Commuter model parameters.
+struct CommuterSpec {
+  Point home{0.0, 0.0};
+  Point work{5000.0, 5000.0};
+  /// Optional leisure anchors visited on some evenings.
+  std::vector<Point> leisure;
+  double period_s = 86400.0;      // one day
+  double work_start_s = 9 * 3600.0;
+  double work_end_s = 17 * 3600.0;
+  double commute_speed_mps = 8.0; // ~30 km/h door to door
+  double position_jitter_m = 150.0;
+  double leisure_probability = 0.3;  // per evening
+  double sample_interval_s = 1800.0;  // half-hourly
+  size_t days = 7;
+};
+
+/// Generates a periodic commuter trajectory (deterministic in `rng`).
+Trajectory GenerateCommuter(const CommuterSpec& spec, Rng& rng);
+
+/// Generates `count` trajectories from the same spec with per-entity
+/// randomised home/work anchors inside `extent`.
+std::vector<Trajectory> GenerateCommuterFleet(const CommuterSpec& base,
+                                              const Mbr& extent, size_t count,
+                                              Rng& rng);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_TRAJ_GENERATORS_H_

@@ -1,0 +1,112 @@
+#include "traj/traj_io.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace pinocchio {
+
+TrajectoryDataset LoadTrajectoriesCsv(std::istream& in, bool strict,
+                                      size_t* skipped_rows) {
+  struct Fix {
+    double time;
+    LatLon geo;
+  };
+  std::map<int64_t, std::vector<Fix>> by_entity;
+  size_t skipped = 0;
+  double lat_sum = 0.0, lon_sum = 0.0;
+  size_t total = 0;
+
+  CsvReader reader(in);
+  CsvRow row;
+  while (reader.ReadRow(&row)) {
+    if (row.size() == 1 && Trim(row[0]).empty()) continue;
+    int64_t entity = 0;
+    double time = 0.0, lat = 0.0, lon = 0.0;
+    const bool ok = row.size() >= 4 && ParseInt64(row[0], &entity) &&
+                    ParseDouble(row[1], &time) && ParseDouble(row[2], &lat) &&
+                    ParseDouble(row[3], &lon) && lat >= -90.0 && lat <= 90.0 &&
+                    lon >= -180.0 && lon <= 180.0;
+    if (!ok) {
+      PINO_CHECK(!strict) << "malformed trajectory row #"
+                          << reader.rows_read();
+      ++skipped;
+      continue;
+    }
+    by_entity[entity].push_back({time, {lat, lon}});
+    lat_sum += lat;
+    lon_sum += lon;
+    ++total;
+  }
+
+  TrajectoryDataset dataset;
+  if (total == 0) {
+    if (skipped_rows != nullptr) *skipped_rows = skipped;
+    return dataset;
+  }
+  dataset.origin = {lat_sum / static_cast<double>(total),
+                    lon_sum / static_cast<double>(total)};
+  const Projection projection(dataset.origin);
+
+  for (auto& [entity, fixes] : by_entity) {
+    std::sort(fixes.begin(), fixes.end(),
+              [](const Fix& a, const Fix& b) { return a.time < b.time; });
+    Trajectory trajectory;
+    double last_time = -std::numeric_limits<double>::infinity();
+    for (const Fix& fix : fixes) {
+      if (fix.time == last_time) {
+        PINO_CHECK(!strict) << "duplicate timestamp " << fix.time
+                            << " for entity " << entity;
+        ++skipped;
+        continue;
+      }
+      trajectory.Append(fix.time, projection.Project(fix.geo));
+      last_time = fix.time;
+    }
+    if (!trajectory.Empty()) {
+      dataset.trajectories.emplace(entity, std::move(trajectory));
+    }
+  }
+  if (skipped_rows != nullptr) *skipped_rows = skipped;
+  return dataset;
+}
+
+TrajectoryDataset LoadTrajectoriesCsvFile(const std::string& path,
+                                          bool strict, size_t* skipped_rows) {
+  std::ifstream in(path);
+  PINO_CHECK(in.is_open()) << "cannot open " << path;
+  return LoadTrajectoriesCsv(in, strict, skipped_rows);
+}
+
+void SaveTrajectoriesCsv(const TrajectoryDataset& dataset,
+                         std::ostream& out) {
+  const Projection projection = dataset.MakeProjection();
+  CsvWriter writer(out);
+  for (const auto& [entity, trajectory] : dataset.trajectories) {
+    for (const TrajectorySample& s : trajectory.samples()) {
+      const LatLon geo = projection.Unproject(s.position);
+      writer.WriteRow({std::to_string(entity), FormatDouble(s.time, 3),
+                       FormatDouble(geo.lat, 7), FormatDouble(geo.lon, 7)});
+    }
+  }
+}
+
+std::vector<MovingObject> DiscretizeTrajectories(
+    const TrajectoryDataset& dataset, double interval_seconds) {
+  PINO_CHECK_GT(interval_seconds, 0.0);
+  std::vector<MovingObject> objects;
+  objects.reserve(dataset.trajectories.size());
+  uint32_t next_id = 0;
+  for (const auto& [entity, trajectory] : dataset.trajectories) {
+    (void)entity;
+    if (trajectory.Empty()) continue;
+    objects.push_back(
+        trajectory.Resample(interval_seconds).ToMovingObject(next_id++));
+  }
+  return objects;
+}
+
+}  // namespace pinocchio

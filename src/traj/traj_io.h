@@ -1,0 +1,57 @@
+// CSV import/export for timestamped trajectories, so real GPS datasets
+// (e.g. GeoLife-style logs) can enter the Section 3.1 discretisation
+// pipeline: load -> Resample(interval) -> MovingObject.
+//
+// Format, one row per fix:
+//   entity_id,time_seconds,lat,lon
+// Rows starting with '#' are comments. Fixes may arrive in any order; the
+// loader sorts each entity's fixes by time and rejects (strict) or drops
+// (lenient) duplicate timestamps.
+
+#ifndef PINOCCHIO_TRAJ_TRAJ_IO_H_
+#define PINOCCHIO_TRAJ_TRAJ_IO_H_
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "geo/distance.h"
+#include "traj/trajectory.h"
+
+namespace pinocchio {
+
+/// A loaded trajectory set: one trajectory per entity id, plus the
+/// projection used to planarise the coordinates.
+struct TrajectoryDataset {
+  std::map<int64_t, Trajectory> trajectories;
+  LatLon origin;
+
+  Projection MakeProjection() const { return Projection(origin); }
+};
+
+/// Parses trajectory rows from `in`. Coordinates are projected around the
+/// centroid of all fixes. With `strict`, malformed rows or duplicate
+/// (entity, time) pairs abort; otherwise they are skipped and counted in
+/// `*skipped_rows`.
+TrajectoryDataset LoadTrajectoriesCsv(std::istream& in, bool strict = true,
+                                      size_t* skipped_rows = nullptr);
+
+/// File-path convenience; aborts if the file cannot be opened.
+TrajectoryDataset LoadTrajectoriesCsvFile(const std::string& path,
+                                          bool strict = true,
+                                          size_t* skipped_rows = nullptr);
+
+/// Writes the dataset back as entity,time,lat,lon rows.
+void SaveTrajectoriesCsv(const TrajectoryDataset& dataset, std::ostream& out);
+
+/// The Section 3.1 pipeline: resample every trajectory at
+/// `interval_seconds` and convert to moving objects (ids are assigned
+/// densely in entity-id order; entities with no samples are skipped).
+std::vector<MovingObject> DiscretizeTrajectories(
+    const TrajectoryDataset& dataset, double interval_seconds);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_TRAJ_TRAJ_IO_H_

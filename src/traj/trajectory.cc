@@ -1,0 +1,132 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+
+double PointToSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const double seg_len_sq = SquaredDistance(a, b);
+  if (seg_len_sq == 0.0) return Distance(p, a);
+  // Project p onto the segment's supporting line, clamped to [0, 1].
+  const double t = std::clamp(
+      ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / seg_len_sq,
+      0.0, 1.0);
+  const Point projection{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+  return Distance(p, projection);
+}
+
+Trajectory::Trajectory(std::vector<TrajectorySample> samples)
+    : samples_(std::move(samples)) {
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    PINO_CHECK_LT(samples_[i - 1].time, samples_[i].time)
+        << "timestamps must be strictly increasing";
+  }
+}
+
+void Trajectory::Append(double time, const Point& position) {
+  PINO_CHECK(samples_.empty() || samples_.back().time < time)
+      << "timestamps must be strictly increasing";
+  samples_.push_back({time, position});
+}
+
+double Trajectory::Duration() const {
+  if (samples_.size() < 2) return 0.0;
+  return samples_.back().time - samples_.front().time;
+}
+
+double Trajectory::Length() const {
+  double total = 0.0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    total += Distance(samples_[i - 1].position, samples_[i].position);
+  }
+  return total;
+}
+
+Mbr Trajectory::Bounds() const {
+  Mbr mbr;
+  for (const TrajectorySample& s : samples_) mbr.Expand(s.position);
+  return mbr;
+}
+
+std::optional<Point> Trajectory::At(double t) const {
+  if (samples_.empty() || t < samples_.front().time ||
+      t > samples_.back().time) {
+    return std::nullopt;
+  }
+  // First sample with time >= t.
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const TrajectorySample& s, double value) { return s.time < value; });
+  if (it->time == t) return it->position;
+  const TrajectorySample& hi = *it;
+  const TrajectorySample& lo = *(it - 1);
+  const double alpha = (t - lo.time) / (hi.time - lo.time);
+  return Point{lo.position.x + alpha * (hi.position.x - lo.position.x),
+               lo.position.y + alpha * (hi.position.y - lo.position.y)};
+}
+
+Trajectory Trajectory::Resample(double interval) const {
+  PINO_CHECK_GT(interval, 0.0);
+  PINO_CHECK(!samples_.empty());
+  Trajectory out;
+  const double start = samples_.front().time;
+  const double end = samples_.back().time;
+  for (double t = start; t < end; t += interval) {
+    out.Append(t, *At(t));
+  }
+  if (out.samples_.empty() || out.back().time < end) {
+    out.Append(end, samples_.back().position);
+  }
+  return out;
+}
+
+Trajectory Trajectory::Simplify(double tolerance) const {
+  PINO_CHECK_GE(tolerance, 0.0);
+  if (samples_.size() <= 2) return *this;
+
+  // Iterative Douglas-Peucker with an explicit stack (deep recursion on
+  // long trajectories would be fragile).
+  std::vector<char> keep(samples_.size(), 0);
+  keep.front() = keep.back() = 1;
+  std::vector<std::pair<size_t, size_t>> stack{{0, samples_.size() - 1}};
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi <= lo + 1) continue;
+    double worst = -1.0;
+    size_t split = lo;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      const double d = PointToSegmentDistance(
+          samples_[i].position, samples_[lo].position, samples_[hi].position);
+      if (d > worst) {
+        worst = d;
+        split = i;
+      }
+    }
+    if (worst > tolerance) {
+      keep[split] = 1;
+      stack.emplace_back(lo, split);
+      stack.emplace_back(split, hi);
+    }
+  }
+  Trajectory out;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    if (keep[i]) out.samples_.push_back(samples_[i]);
+  }
+  return out;
+}
+
+MovingObject Trajectory::ToMovingObject(uint32_t id) const {
+  MovingObject object;
+  object.id = id;
+  object.positions.reserve(samples_.size());
+  for (const TrajectorySample& s : samples_) {
+    object.positions.push_back(s.position);
+  }
+  return object;
+}
+
+}  // namespace pinocchio

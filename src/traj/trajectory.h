@@ -1,0 +1,84 @@
+// Trajectories and their discretisation into moving objects.
+//
+// Section 3.1 of the paper: "any continuous moving object also can be
+// discretized as a series of positions by sampling using the same time
+// interval" (footnote 3 assumes a uniform sampling rate). This module
+// provides the substrate for that path: timestamped trajectories, linear
+// interpolation, uniform resampling, Douglas-Peucker simplification, and
+// the conversion to the position-set MovingObject the solvers consume.
+
+#ifndef PINOCCHIO_TRAJ_TRAJECTORY_H_
+#define PINOCCHIO_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/moving_object.h"
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace pinocchio {
+
+/// One timestamped sample of a trajectory. Time is in seconds (any epoch).
+struct TrajectorySample {
+  double time = 0.0;
+  Point position;
+};
+
+/// A polyline trajectory: samples strictly increasing in time.
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// Builds from samples; aborts (PINO_CHECK) unless timestamps are
+  /// strictly increasing.
+  explicit Trajectory(std::vector<TrajectorySample> samples);
+
+  /// Appends a sample; its timestamp must exceed the current last.
+  void Append(double time, const Point& position);
+
+  bool Empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  const std::vector<TrajectorySample>& samples() const { return samples_; }
+  const TrajectorySample& front() const { return samples_.front(); }
+  const TrajectorySample& back() const { return samples_.back(); }
+
+  /// Covered time span in seconds (0 for fewer than 2 samples).
+  double Duration() const;
+
+  /// Total polyline length in metres.
+  double Length() const;
+
+  /// Tight bounding rectangle of all samples.
+  Mbr Bounds() const;
+
+  /// Position at time `t` by linear interpolation between the surrounding
+  /// samples; nullopt outside [front().time, back().time].
+  std::optional<Point> At(double t) const;
+
+  /// Uniformly resamples the trajectory every `interval` seconds starting
+  /// at the first sample (the paper's same-time-interval discretisation).
+  /// The final sample is always included. Requires interval > 0 and a
+  /// non-empty trajectory.
+  Trajectory Resample(double interval) const;
+
+  /// Douglas-Peucker simplification with the given spatial tolerance in
+  /// metres: returns a sub-polyline whose deviation from the original is
+  /// at most `tolerance`. Keeps timestamps of retained samples.
+  Trajectory Simplify(double tolerance) const;
+
+  /// Converts to the solver's position-set representation (timestamps are
+  /// dropped; the cumulative influence probability is order-invariant).
+  MovingObject ToMovingObject(uint32_t id) const;
+
+ private:
+  std::vector<TrajectorySample> samples_;
+};
+
+/// Distance from point `p` to the segment [a, b] (metres).
+double PointToSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,84 @@
+#include "util/csv.h"
+
+namespace pinocchio {
+
+CsvReader::CsvReader(std::istream& in, char delim) : in_(in), delim_(delim) {}
+
+bool CsvReader::ReadRow(CsvRow* row) {
+  row->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any_char = false;
+  int ch;
+  while ((ch = in_.get()) != std::istream::traits_type::eof()) {
+    char c = static_cast<char>(ch);
+    if (!saw_any_char && !in_quotes && c == '#' && row->empty() &&
+        field.empty()) {
+      // Comment line: consume through newline and keep looking for a record.
+      while ((ch = in_.get()) != std::istream::traits_type::eof() &&
+             static_cast<char>(ch) != '\n') {
+      }
+      continue;
+    }
+    saw_any_char = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_.peek() == '"') {
+          in_.get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == delim_) {
+      row->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      // Tolerate CRLF line endings.
+      if (!field.empty() && field.back() == '\r') field.pop_back();
+      row->push_back(std::move(field));
+      ++rows_read_;
+      return true;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (saw_any_char) {
+    if (!field.empty() && field.back() == '\r') field.pop_back();
+    row->push_back(std::move(field));
+    ++rows_read_;
+    return true;
+  }
+  return false;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char delim) : out_(out), delim_(delim) {}
+
+void CsvWriter::WriteRow(const CsvRow& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out_ << delim_;
+    const std::string& f = row[i];
+    const bool needs_quotes = f.find(delim_) != std::string::npos ||
+                              f.find('"') != std::string::npos ||
+                              f.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      out_ << f;
+      continue;
+    }
+    out_ << '"';
+    for (char c : f) {
+      if (c == '"') out_ << '"';
+      out_ << c;
+    }
+    out_ << '"';
+  }
+  out_ << '\n';
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,55 @@
+// Minimal CSV reader/writer used by the dataset loaders and the experiment
+// result dumps. Supports RFC-4180-style quoting ("" escapes a quote inside a
+// quoted field) which is enough for the check-in exports we consume.
+
+#ifndef PINOCCHIO_UTIL_CSV_H_
+#define PINOCCHIO_UTIL_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pinocchio {
+
+/// One parsed CSV record.
+using CsvRow = std::vector<std::string>;
+
+/// Streaming CSV reader.
+///
+/// Reads one record per `ReadRow` call. Handles quoted fields containing the
+/// delimiter, escaped quotes ("") and embedded newlines. Lines beginning with
+/// '#' outside of a record are treated as comments and skipped.
+class CsvReader {
+ public:
+  /// Wraps (but does not own) `in`. `delim` is the field separator.
+  explicit CsvReader(std::istream& in, char delim = ',');
+
+  /// Reads the next record into `row`; returns false at end of input.
+  bool ReadRow(CsvRow* row);
+
+  /// Number of records returned so far.
+  size_t rows_read() const { return rows_read_; }
+
+ private:
+  std::istream& in_;
+  char delim_;
+  size_t rows_read_ = 0;
+};
+
+/// Streaming CSV writer; quotes fields only when necessary.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char delim = ',');
+
+  /// Writes one record followed by '\n'.
+  void WriteRow(const CsvRow& row);
+
+ private:
+  std::ostream& out_;
+  char delim_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_UTIL_CSV_H_

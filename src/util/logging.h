@@ -1,0 +1,94 @@
+// Lightweight leveled logging for the PINOCCHIO library.
+//
+// Usage:
+//   PINO_LOG(INFO) << "built R-tree with " << n << " leaves";
+//   PINO_CHECK(x > 0) << "x must be positive, got " << x;
+//
+// Logging is writer-synchronized and cheap when the level is filtered out.
+
+#ifndef PINOCCHIO_UTIL_LOGGING_H_
+#define PINOCCHIO_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pinocchio {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns the current global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+
+/// Sets the global minimum log level.
+void SetLogLevel(LogLevel level);
+
+/// Returns a short human-readable tag ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
+namespace internal {
+
+// Accumulates one log line and flushes it (thread-safely) on destruction.
+// A kFatal message aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace pinocchio
+
+#define PINO_LOG_DEBUG ::pinocchio::LogLevel::kDebug
+#define PINO_LOG_INFO ::pinocchio::LogLevel::kInfo
+#define PINO_LOG_WARNING ::pinocchio::LogLevel::kWarning
+#define PINO_LOG_ERROR ::pinocchio::LogLevel::kError
+#define PINO_LOG_FATAL ::pinocchio::LogLevel::kFatal
+
+#define PINO_LOG(severity)                                              \
+  (PINO_LOG_##severity < ::pinocchio::GetLogLevel())                    \
+      ? (void)0                                                         \
+      : ::pinocchio::internal::LogMessageVoidify() &                    \
+            ::pinocchio::internal::LogMessage(PINO_LOG_##severity,      \
+                                              __FILE__, __LINE__)       \
+                .stream()
+
+#define PINO_CHECK(condition)                                           \
+  (condition)                                                           \
+      ? (void)0                                                         \
+      : ::pinocchio::internal::LogMessageVoidify() &                    \
+            ::pinocchio::internal::LogMessage(PINO_LOG_FATAL, __FILE__, \
+                                              __LINE__)                 \
+                    .stream()                                           \
+                << "Check failed: " #condition " "
+
+#define PINO_CHECK_OP(op, a, b) PINO_CHECK((a)op(b))
+#define PINO_CHECK_EQ(a, b) PINO_CHECK_OP(==, a, b)
+#define PINO_CHECK_NE(a, b) PINO_CHECK_OP(!=, a, b)
+#define PINO_CHECK_LT(a, b) PINO_CHECK_OP(<, a, b)
+#define PINO_CHECK_LE(a, b) PINO_CHECK_OP(<=, a, b)
+#define PINO_CHECK_GT(a, b) PINO_CHECK_OP(>, a, b)
+#define PINO_CHECK_GE(a, b) PINO_CHECK_OP(>=, a, b)
+
+#endif  // PINOCCHIO_UTIL_LOGGING_H_

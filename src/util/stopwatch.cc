@@ -1,0 +1,23 @@
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+int64_t Stopwatch::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Stopwatch::ElapsedMillis() const {
+  return static_cast<double>(ElapsedMicros()) / 1e3;
+}
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedMicros()) / 1e6;
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,38 @@
+// Wall-clock stopwatch used by solvers and the experiment harness.
+
+#ifndef PINOCCHIO_UTIL_STOPWATCH_H_
+#define PINOCCHIO_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pinocchio {
+
+/// Monotonic wall-clock stopwatch with microsecond resolution.
+///
+/// The stopwatch starts running on construction; `Restart()` resets the
+/// origin, `ElapsedSeconds()`/`ElapsedMillis()`/`ElapsedMicros()` read the
+/// time since the last restart without stopping the clock.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Resets the origin to now.
+  void Restart();
+
+  /// Seconds since construction or last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds since construction or last Restart().
+  double ElapsedMillis() const;
+
+  /// Whole microseconds since construction or last Restart().
+  int64_t ElapsedMicros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_UTIL_STOPWATCH_H_

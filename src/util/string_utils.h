@@ -1,0 +1,37 @@
+// Small string helpers shared by the CSV codec and report printers.
+
+#ifndef PINOCCHIO_UTIL_STRING_UTILS_H_
+#define PINOCCHIO_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinocchio {
+
+/// Splits `s` on `delim`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns false (leaving `out` untouched) on any trailing
+/// garbage or empty input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a signed 64-bit integer with the same strictness as ParseDouble.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Formats a double with `precision` significant decimal digits after the
+/// point, without trailing zeros beyond the first.
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_UTIL_STRING_UTILS_H_

@@ -1,0 +1,183 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brnn_star.h"
+#include "baselines/range_solver.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::RandomInstance;
+
+// ------------------------------------------------------------------ BRNN*
+
+TEST(BrnnStarTest, EmptyInstance) {
+  ProblemInstance instance;
+  const SolverResult result = BrnnStarSolver().Solve(instance, DefaultConfig());
+  EXPECT_TRUE(result.influence.empty());
+}
+
+TEST(BrnnStarTest, EveryObjectVotesExactlyOnce) {
+  const ProblemInstance instance = RandomInstance(501);
+  const SolverResult result = BrnnStarSolver().Solve(instance, DefaultConfig());
+  int64_t total_votes = 0;
+  for (int64_t v : result.influence) {
+    EXPECT_GE(v, 0);
+    total_votes += v;
+  }
+  EXPECT_EQ(total_votes, static_cast<int64_t>(instance.objects.size()));
+}
+
+TEST(BrnnStarTest, MatchesBruteForceNnVoting) {
+  const ProblemInstance instance = RandomInstance(502);
+  const SolverResult result = BrnnStarSolver().Solve(instance, DefaultConfig());
+
+  std::vector<int64_t> expected(instance.candidates.size(), 0);
+  for (const MovingObject& o : instance.objects) {
+    std::vector<int64_t> per_candidate(instance.candidates.size(), 0);
+    for (const Point& p : o.positions) {
+      size_t nn = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < instance.candidates.size(); ++j) {
+        const double d = Distance(p, instance.candidates[j]);
+        if (d < best) {
+          best = d;
+          nn = j;
+        }
+      }
+      ++per_candidate[nn];
+    }
+    size_t selected = 0;
+    for (size_t j = 1; j < per_candidate.size(); ++j) {
+      if (per_candidate[j] > per_candidate[selected]) selected = j;
+    }
+    ++expected[selected];
+  }
+  EXPECT_EQ(result.influence, expected);
+}
+
+TEST(BrnnStarTest, SingleCandidateGetsAllVotes) {
+  ProblemInstance instance = RandomInstance(503);
+  instance.candidates.resize(1);
+  const SolverResult result = BrnnStarSolver().Solve(instance, DefaultConfig());
+  EXPECT_EQ(result.influence[0],
+            static_cast<int64_t>(instance.objects.size()));
+}
+
+TEST(BrnnStarTest, KnnVotingMatchesBruteForce) {
+  const ProblemInstance instance = RandomInstance(508);
+  const size_t k = 3;
+  const SolverResult result =
+      BrnnStarSolver(k).Solve(instance, DefaultConfig());
+
+  std::vector<int64_t> expected(instance.candidates.size(), 0);
+  for (const MovingObject& o : instance.objects) {
+    std::vector<int64_t> per_candidate(instance.candidates.size(), 0);
+    for (const Point& p : o.positions) {
+      // k nearest candidates by brute force.
+      std::vector<std::pair<double, size_t>> dists;
+      for (size_t j = 0; j < instance.candidates.size(); ++j) {
+        dists.emplace_back(Distance(p, instance.candidates[j]), j);
+      }
+      std::sort(dists.begin(), dists.end());
+      for (size_t i = 0; i < std::min(k, dists.size()); ++i) {
+        ++per_candidate[dists[i].second];
+      }
+    }
+    size_t selected = 0;
+    for (size_t j = 1; j < per_candidate.size(); ++j) {
+      if (per_candidate[j] > per_candidate[selected]) selected = j;
+    }
+    ++expected[selected];
+  }
+  EXPECT_EQ(result.influence, expected);
+}
+
+TEST(BrnnStarTest, KOneIsDefaultSemantics) {
+  const ProblemInstance instance = RandomInstance(509);
+  const SolverConfig config = DefaultConfig();
+  EXPECT_EQ(BrnnStarSolver(1).Solve(instance, config).influence,
+            BrnnStarSolver().Solve(instance, config).influence);
+}
+
+TEST(BrnnStarTest, NameEncodesK) {
+  EXPECT_EQ(BrnnStarSolver().Name(), "BRNN*");
+  EXPECT_EQ(BrnnStarSolver(4).Name(), "BR4NN*");
+}
+
+TEST(BrnnStarDeathTest, RejectsZeroK) {
+  EXPECT_DEATH({ BrnnStarSolver solver(0); }, "Check failed");
+}
+
+// ------------------------------------------------------------------ RANGE
+
+TEST(RangeSolverTest, MatchesBruteForceSemantics) {
+  const ProblemInstance instance = RandomInstance(504);
+  const double range = 1500.0;
+  const double proportion = 0.5;
+  const SolverResult result =
+      RangeSolver(proportion, range).Solve(instance, DefaultConfig());
+
+  std::vector<int64_t> expected(instance.candidates.size(), 0);
+  for (const MovingObject& o : instance.objects) {
+    for (size_t j = 0; j < instance.candidates.size(); ++j) {
+      size_t in_range = 0;
+      for (const Point& p : o.positions) {
+        if (Distance(p, instance.candidates[j]) <= range) ++in_range;
+      }
+      if (static_cast<double>(in_range) >=
+          proportion * static_cast<double>(o.positions.size())) {
+        ++expected[j];
+      }
+    }
+  }
+  EXPECT_EQ(result.influence, expected);
+}
+
+TEST(RangeSolverTest, LargerRangeNeverDecreasesInfluence) {
+  const ProblemInstance instance = RandomInstance(505);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult narrow = RangeSolver(0.5, 500.0).Solve(instance, config);
+  const SolverResult wide = RangeSolver(0.5, 5000.0).Solve(instance, config);
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    EXPECT_GE(wide.influence[j], narrow.influence[j]);
+  }
+}
+
+TEST(RangeSolverTest, HigherProportionNeverIncreasesInfluence) {
+  const ProblemInstance instance = RandomInstance(506);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult loose = RangeSolver(0.25, 2000.0).Solve(instance, config);
+  const SolverResult strict = RangeSolver(0.75, 2000.0).Solve(instance, config);
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    EXPECT_LE(strict.influence[j], loose.influence[j]);
+  }
+}
+
+TEST(RangeSolverTest, DefaultRangeIsFivePerMilleOfScale) {
+  const ProblemInstance instance = RandomInstance(507);
+  Mbr extent;
+  for (const MovingObject& o : instance.objects) extent.Expand(o.ActivityMbr());
+  for (const Point& c : instance.candidates) extent.Expand(c);
+  EXPECT_NEAR(RangeSolver::DefaultRangeMeters(instance),
+              0.005 * std::max(extent.width(), extent.height()), 1e-9);
+}
+
+TEST(RangeSolverTest, NameEncodesParameters) {
+  const RangeSolver solver(0.25, 200.0);
+  const std::string name = solver.Name();
+  EXPECT_NE(name.find("0.25"), std::string::npos);
+  EXPECT_NE(name.find("200"), std::string::npos);
+}
+
+TEST(RangeSolverDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH({ RangeSolver solver(0.0, 100.0); }, "Check failed");
+  EXPECT_DEATH({ RangeSolver solver(1.5, 100.0); }, "Check failed");
+  EXPECT_DEATH({ RangeSolver solver(0.5, 0.0); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,139 @@
+#include "core/continuous_placement.h"
+
+#include <gtest/gtest.h>
+
+#include "core/influence_query.h"
+#include "core/object_store.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::InstanceOptions;
+using testing_helpers::RandomInstance;
+
+TEST(ContinuousPlacementTest, FindsTheObviousCrowdCentre) {
+  ProblemInstance instance;
+  Rng rng(12);
+  for (uint32_t k = 0; k < 40; ++k) {
+    MovingObject o;
+    o.id = k;
+    for (int i = 0; i < 8; ++i) {
+      o.positions.push_back(
+          {20000 + rng.Gaussian(0, 400), 15000 + rng.Gaussian(0, 400)});
+    }
+    instance.objects.push_back(std::move(o));
+  }
+  const SolverConfig config = DefaultConfig();
+  const ContinuousPlacementResult result =
+      PlaceAnywhere(instance.objects, Mbr(0, 0, 40000, 30000), config);
+  EXPECT_LT(Distance(result.location, {20000, 15000}), 2000.0);
+  EXPECT_EQ(result.influence, 40);  // everyone influenced at the centre
+  EXPECT_GE(result.upper_bound, result.influence);
+}
+
+TEST(ContinuousPlacementTest, BeatsOrMatchesEveryDiscreteCandidate) {
+  // The continuous optimum dominates any fixed candidate set over the
+  // same region.
+  const ProblemInstance instance = RandomInstance(1301);
+  const SolverConfig config = DefaultConfig();
+  Mbr region;
+  for (const MovingObject& o : instance.objects) {
+    region.Expand(o.ActivityMbr());
+  }
+  for (const Point& c : instance.candidates) region.Expand(c);
+
+  const ContinuousPlacementResult continuous =
+      PlaceAnywhere(instance.objects, region, config);
+  const ObjectStore store(instance.objects, *config.pf, config.tau);
+  for (const Point& c : instance.candidates) {
+    EXPECT_GE(continuous.influence,
+              InfluenceOfCandidate(store, c, *config.pf));
+  }
+}
+
+TEST(ContinuousPlacementTest, ReportedInfluenceIsExact) {
+  const ProblemInstance instance = RandomInstance(1302);
+  const SolverConfig config = DefaultConfig();
+  const ContinuousPlacementResult result =
+      PlaceAnywhere(instance.objects, Mbr(), config);
+  EXPECT_EQ(result.influence,
+            InfluenceOfCandidate(instance.objects, result.location, config));
+}
+
+TEST(ContinuousPlacementTest, MatchesFineGridBruteForce) {
+  // Small instance: compare against an exhaustive fine grid.
+  InstanceOptions opts;
+  opts.num_objects = 15;
+  opts.num_candidates = 1;
+  opts.extent_meters = 8000.0;
+  const ProblemInstance instance = RandomInstance(1303, opts);
+  const SolverConfig config = DefaultConfig(0.5);
+  Mbr region;
+  for (const MovingObject& o : instance.objects) {
+    region.Expand(o.ActivityMbr());
+  }
+
+  ContinuousPlacementOptions options;
+  options.resolution_meters = 40.0;
+  const ContinuousPlacementResult result =
+      PlaceAnywhere(instance.objects, region, config, options);
+
+  const ObjectStore store(instance.objects, *config.pf, config.tau);
+  int64_t grid_best = 0;
+  constexpr int kSteps = 60;
+  for (int ix = 0; ix <= kSteps; ++ix) {
+    for (int iy = 0; iy <= kSteps; ++iy) {
+      const Point c{region.min_x() + region.width() * ix / kSteps,
+                    region.min_y() + region.height() * iy / kSteps};
+      grid_best = std::max(grid_best, InfluenceOfCandidate(store, c,
+                                                           *config.pf));
+    }
+  }
+  // Branch-and-bound must do at least as well as the coarse grid and stay
+  // within its reported upper bound.
+  EXPECT_GE(result.influence, grid_best);
+  EXPECT_LE(result.influence, result.upper_bound);
+}
+
+TEST(ContinuousPlacementTest, RespectsQueryRegion) {
+  // Crowd lives at the origin but the allowed region is far away: the
+  // result must stay inside the region.
+  ProblemInstance instance;
+  Rng rng(13);
+  for (uint32_t k = 0; k < 20; ++k) {
+    MovingObject o;
+    o.id = k;
+    for (int i = 0; i < 5; ++i) {
+      o.positions.push_back({rng.Gaussian(0, 200), rng.Gaussian(0, 200)});
+    }
+    instance.objects.push_back(std::move(o));
+  }
+  const Mbr region(50000, 50000, 60000, 60000);
+  const ContinuousPlacementResult result =
+      PlaceAnywhere(instance.objects, region, DefaultConfig());
+  EXPECT_TRUE(region.Contains(result.location));
+}
+
+TEST(ContinuousPlacementTest, CellCapBoundsWork) {
+  const ProblemInstance instance = RandomInstance(1304);
+  ContinuousPlacementOptions options;
+  options.max_cells = 10;
+  const ContinuousPlacementResult result =
+      PlaceAnywhere(instance.objects, Mbr(), DefaultConfig(), options);
+  EXPECT_LE(result.cells_explored, 10);
+  EXPECT_GE(result.upper_bound, result.influence);
+}
+
+TEST(MbrRectDistanceTest, MinDistBetweenRects) {
+  const Mbr a(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(a.MinDist(Mbr(1, 1, 3, 3)), 0.0);   // overlap
+  EXPECT_DOUBLE_EQ(a.MinDist(Mbr(2, 2, 3, 3)), 0.0);   // touch
+  EXPECT_DOUBLE_EQ(a.MinDist(Mbr(5, 0, 6, 2)), 3.0);   // side gap
+  EXPECT_DOUBLE_EQ(a.MinDist(Mbr(5, 6, 7, 8)), 5.0);   // corner 3-4-5
+  EXPECT_DOUBLE_EQ(a.MinDist(a), 0.0);
+}
+
+}  // namespace
+}  // namespace pinocchio

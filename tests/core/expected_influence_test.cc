@@ -1,0 +1,108 @@
+#include "core/expected_influence_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "prob/influence.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::InstanceOptions;
+using testing_helpers::RandomInstance;
+
+TEST(ExpectedInfluenceTest, NaiveScoresMatchDefinition) {
+  const ProblemInstance instance = RandomInstance(1201);
+  const SolverConfig config = DefaultConfig();
+  const ExpectedInfluenceResult result =
+      SolveExpectedInfluenceNaive(instance, config);
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    double expected = 0.0;
+    for (const MovingObject& o : instance.objects) {
+      expected += CumulativeInfluenceProbability(
+          *config.pf, instance.candidates[j], o.positions);
+    }
+    EXPECT_NEAR(result.score[j], expected, 1e-12);
+  }
+}
+
+TEST(ExpectedInfluenceTest, BranchAndBoundFindsOptimum) {
+  for (uint64_t seed : {1202u, 1203u, 1204u}) {
+    const ProblemInstance instance = RandomInstance(seed);
+    const SolverConfig config = DefaultConfig();
+    const ExpectedInfluenceResult naive =
+        SolveExpectedInfluenceNaive(instance, config);
+    const ExpectedInfluenceResult fast =
+        SolveExpectedInfluence(instance, config);
+    EXPECT_NEAR(fast.best_score, naive.best_score, 1e-9) << seed;
+    EXPECT_NEAR(naive.score[fast.best_candidate], naive.best_score, 1e-9)
+        << seed;
+  }
+}
+
+TEST(ExpectedInfluenceTest, RefinedScoresAreExact) {
+  const ProblemInstance instance = RandomInstance(1205);
+  const SolverConfig config = DefaultConfig();
+  const ExpectedInfluenceResult naive =
+      SolveExpectedInfluenceNaive(instance, config);
+  const ExpectedInfluenceResult fast =
+      SolveExpectedInfluence(instance, config);
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    if (fast.score_exact[j]) {
+      EXPECT_NEAR(fast.score[j], naive.score[j], 1e-12);
+    } else {
+      // Unrefined entries carry an upper bound.
+      EXPECT_GE(fast.score[j] + 1e-9, naive.score[j]);
+    }
+  }
+}
+
+TEST(ExpectedInfluenceTest, BoundsSkipWorkOnSpreadData) {
+  InstanceOptions opts;
+  opts.num_candidates = 120;
+  opts.roamer_fraction = 0.0;
+  const ProblemInstance instance = RandomInstance(1206, opts);
+  const ExpectedInfluenceResult fast =
+      SolveExpectedInfluence(instance, DefaultConfig());
+  EXPECT_LT(fast.candidates_refined,
+            static_cast<int64_t>(instance.candidates.size()));
+}
+
+TEST(ExpectedInfluenceTest, ScoreBoundedByObjectCount) {
+  const ProblemInstance instance = RandomInstance(1207);
+  const ExpectedInfluenceResult result =
+      SolveExpectedInfluence(instance, DefaultConfig());
+  EXPECT_GE(result.best_score, 0.0);
+  EXPECT_LE(result.best_score,
+            static_cast<double>(instance.objects.size()) + 1e-9);
+}
+
+TEST(ExpectedInfluenceTest, EmptyInstance) {
+  ProblemInstance instance;
+  const ExpectedInfluenceResult result =
+      SolveExpectedInfluence(instance, DefaultConfig());
+  EXPECT_TRUE(result.score.empty());
+  EXPECT_DOUBLE_EQ(result.best_score, 0.0);
+}
+
+TEST(ExpectedInfluenceTest, ExpectationAgreesWithThresholdOnObviousWinner) {
+  // One candidate sits inside the only crowd: both objectives pick it.
+  ProblemInstance instance;
+  Rng rng(9);
+  for (uint32_t k = 0; k < 30; ++k) {
+    MovingObject o;
+    o.id = k;
+    for (int i = 0; i < 10; ++i) {
+      o.positions.push_back({rng.Gaussian(0, 300), rng.Gaussian(0, 300)});
+    }
+    instance.objects.push_back(std::move(o));
+  }
+  instance.candidates = {{0, 0}, {60000, 60000}};
+  const ExpectedInfluenceResult result =
+      SolveExpectedInfluence(instance, DefaultConfig());
+  EXPECT_EQ(result.best_candidate, 0u);
+}
+
+}  // namespace
+}  // namespace pinocchio

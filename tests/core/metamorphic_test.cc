@@ -1,0 +1,126 @@
+// Metamorphic properties of the PRIME-LS semantics: transformations of the
+// input that must leave the influence structure invariant. These catch
+// subtle geometry bugs that example-based tests miss.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "core/pinocchio_solver.h"
+#include "core/pinocchio_vo_solver.h"
+#include "prob/power_law.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::RandomInstance;
+
+ProblemInstance Transform(const ProblemInstance& instance,
+                          const std::function<Point(const Point&)>& f) {
+  ProblemInstance out;
+  out.objects.reserve(instance.objects.size());
+  for (const MovingObject& o : instance.objects) {
+    MovingObject copy;
+    copy.id = o.id;
+    for (const Point& p : o.positions) copy.positions.push_back(f(p));
+    out.objects.push_back(std::move(copy));
+  }
+  for (const Point& c : instance.candidates) out.candidates.push_back(f(c));
+  return out;
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetamorphicTest, TranslationInvariance) {
+  const ProblemInstance instance = RandomInstance(GetParam());
+  const SolverConfig config = DefaultConfig();
+  const ProblemInstance shifted = Transform(
+      instance, [](const Point& p) { return Point{p.x + 12345, p.y - 6789}; });
+  EXPECT_EQ(PinocchioSolver().Solve(instance, config).influence,
+            PinocchioSolver().Solve(shifted, config).influence);
+}
+
+TEST_P(MetamorphicTest, RotationInvariance) {
+  // Distances are rotation-invariant, so influence must be too (MBRs and
+  // the pruning regions change, but never the final counts).
+  const ProblemInstance instance = RandomInstance(GetParam() + 1);
+  const SolverConfig config = DefaultConfig();
+  const double angle = 0.7;
+  const double c = std::cos(angle), s = std::sin(angle);
+  const ProblemInstance rotated = Transform(instance, [&](const Point& p) {
+    return Point{c * p.x - s * p.y, s * p.x + c * p.y};
+  });
+  EXPECT_EQ(PinocchioSolver().Solve(instance, config).influence,
+            PinocchioSolver().Solve(rotated, config).influence);
+}
+
+TEST_P(MetamorphicTest, MirrorInvariance) {
+  const ProblemInstance instance = RandomInstance(GetParam() + 2);
+  const SolverConfig config = DefaultConfig();
+  const ProblemInstance mirrored = Transform(
+      instance, [](const Point& p) { return Point{-p.x, p.y}; });
+  EXPECT_EQ(PinocchioSolver().Solve(instance, config).influence,
+            PinocchioSolver().Solve(mirrored, config).influence);
+}
+
+TEST_P(MetamorphicTest, ScaleWithUnitInvariance) {
+  // Scaling every coordinate by k and the PF's distance unit by k leaves
+  // all probabilities — hence all influences — unchanged.
+  const ProblemInstance instance = RandomInstance(GetParam() + 3);
+  SolverConfig config = DefaultConfig();
+  const double k = 3.5;
+  const ProblemInstance scaled = Transform(
+      instance, [&](const Point& p) { return Point{p.x * k, p.y * k}; });
+  SolverConfig scaled_config = config;
+  scaled_config.pf =
+      std::make_shared<PowerLawPF>(0.9, 1.0, 1.0, 1000.0 * k);
+  EXPECT_EQ(PinocchioSolver().Solve(instance, config).influence,
+            PinocchioSolver().Solve(scaled, scaled_config).influence);
+}
+
+TEST_P(MetamorphicTest, ObjectOrderInvariance) {
+  ProblemInstance instance = RandomInstance(GetParam() + 4);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult before = PinocchioSolver().Solve(instance, config);
+  std::reverse(instance.objects.begin(), instance.objects.end());
+  EXPECT_EQ(PinocchioSolver().Solve(instance, config).influence,
+            before.influence);
+}
+
+TEST_P(MetamorphicTest, PositionOrderInvariance) {
+  // Cumulative probability is a product: permuting positions changes
+  // nothing, including in the early-stopping VO path.
+  ProblemInstance instance = RandomInstance(GetParam() + 5);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult before = PinocchioVOSolver().Solve(instance, config);
+  for (MovingObject& o : instance.objects) {
+    std::reverse(o.positions.begin(), o.positions.end());
+  }
+  const SolverResult after = PinocchioVOSolver().Solve(instance, config);
+  EXPECT_EQ(after.best_influence, before.best_influence);
+  EXPECT_EQ(after.influence[after.best_candidate],
+            before.influence[before.best_candidate]);
+}
+
+TEST_P(MetamorphicTest, DuplicatingAnObjectRaisesEveryInfluenceItContributes) {
+  ProblemInstance instance = RandomInstance(GetParam() + 6);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult before = NaiveSolver().Solve(instance, config);
+  MovingObject clone = instance.objects.front();
+  clone.id = 1000000;
+  instance.objects.push_back(clone);
+  const SolverResult after = NaiveSolver().Solve(instance, config);
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    const int64_t delta = after.influence[j] - before.influence[j];
+    EXPECT_TRUE(delta == 0 || delta == 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest,
+                         ::testing::Values<uint64_t>(1111, 2222, 3333));
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,138 @@
+#include "core/multi_facility.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "prob/influence.h"
+#include "testing/instance_helpers.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::RandomInstance;
+
+// Brute-force union coverage of a facility set.
+int64_t UnionCoverage(const ProblemInstance& instance,
+                      const std::vector<uint32_t>& facilities,
+                      const SolverConfig& config) {
+  int64_t covered = 0;
+  for (const MovingObject& o : instance.objects) {
+    for (uint32_t j : facilities) {
+      if (Influences(*config.pf, instance.candidates[j], o.positions,
+                     config.tau)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+TEST(MultiFacilityTest, FirstPickIsTheSingleFacilityOptimum) {
+  const ProblemInstance instance = RandomInstance(1601);
+  const SolverConfig config = DefaultConfig();
+  const MultiFacilityResult result = SelectFacilities(instance, 3, config);
+  const SolverResult single = NaiveSolver().Solve(instance, config);
+  ASSERT_GE(result.selected.size(), 1u);
+  EXPECT_EQ(single.influence[result.selected[0]], single.best_influence);
+  EXPECT_EQ(result.coverage[0], single.best_influence);
+}
+
+TEST(MultiFacilityTest, CoverageMatchesBruteForceUnion) {
+  const ProblemInstance instance = RandomInstance(1602);
+  const SolverConfig config = DefaultConfig();
+  const MultiFacilityResult result = SelectFacilities(instance, 5, config);
+  for (size_t i = 0; i < result.selected.size(); ++i) {
+    const std::vector<uint32_t> prefix(result.selected.begin(),
+                                       result.selected.begin() +
+                                           static_cast<ptrdiff_t>(i) + 1);
+    EXPECT_EQ(result.coverage[i], UnionCoverage(instance, prefix, config))
+        << "after " << i + 1 << " facilities";
+  }
+}
+
+TEST(MultiFacilityTest, CoverageMonotoneWithDiminishingGains) {
+  const ProblemInstance instance = RandomInstance(1603);
+  const MultiFacilityResult result =
+      SelectFacilities(instance, 8, DefaultConfig());
+  int64_t last_gain = std::numeric_limits<int64_t>::max();
+  int64_t last_coverage = 0;
+  for (size_t i = 0; i < result.coverage.size(); ++i) {
+    const int64_t gain = result.coverage[i] - last_coverage;
+    EXPECT_GE(gain, 0) << "step " << i;
+    EXPECT_LE(gain, last_gain) << "greedy gains must be non-increasing";
+    last_gain = gain;
+    last_coverage = result.coverage[i];
+  }
+}
+
+TEST(MultiFacilityTest, SelectionsAreDistinct) {
+  const ProblemInstance instance = RandomInstance(1604);
+  const MultiFacilityResult result =
+      SelectFacilities(instance, 10, DefaultConfig());
+  const std::set<uint32_t> distinct(result.selected.begin(),
+                                    result.selected.end());
+  EXPECT_EQ(distinct.size(), result.selected.size());
+}
+
+TEST(MultiFacilityTest, KLargerThanCandidateCount) {
+  ProblemInstance instance = RandomInstance(1605);
+  instance.candidates.resize(4);
+  const MultiFacilityResult result =
+      SelectFacilities(instance, 100, DefaultConfig());
+  EXPECT_EQ(result.selected.size(), 4u);
+}
+
+TEST(MultiFacilityTest, TwoCrowdsNeedTwoFacilities) {
+  // Two far-apart crowds: one facility covers half, two cover everyone.
+  ProblemInstance instance;
+  Rng rng(31);
+  for (uint32_t k = 0; k < 40; ++k) {
+    MovingObject o;
+    o.id = k;
+    const double cx = (k < 20) ? 0.0 : 50000.0;
+    for (int i = 0; i < 6; ++i) {
+      o.positions.push_back({cx + rng.Gaussian(0, 300),
+                             rng.Gaussian(0, 300)});
+    }
+    instance.objects.push_back(std::move(o));
+  }
+  instance.candidates = {{0, 0}, {50000, 0}, {25000, 25000}};
+  const MultiFacilityResult result =
+      SelectFacilities(instance, 2, DefaultConfig());
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_EQ(result.coverage[0], 20);
+  EXPECT_EQ(result.coverage[1], 40);
+  const std::set<uint32_t> chosen(result.selected.begin(),
+                                  result.selected.end());
+  EXPECT_TRUE(chosen.count(0));
+  EXPECT_TRUE(chosen.count(1));
+}
+
+TEST(MultiFacilityTest, LazyEvaluationSavesWork) {
+  const ProblemInstance instance = RandomInstance(1606);
+  const size_t k = 10;
+  const MultiFacilityResult result =
+      SelectFacilities(instance, k, DefaultConfig());
+  // Plain greedy recomputes every candidate's gain every round:
+  // m initial + (k-1) * m. CELF must do strictly better on any instance
+  // with meaningful structure.
+  const auto m = static_cast<int64_t>(instance.candidates.size());
+  EXPECT_LT(result.gain_evaluations, m + (static_cast<int64_t>(k) - 1) * m);
+}
+
+TEST(MultiFacilityTest, EmptyCandidates) {
+  ProblemInstance instance = RandomInstance(1607);
+  instance.candidates.clear();
+  const MultiFacilityResult result =
+      SelectFacilities(instance, 3, DefaultConfig());
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_TRUE(result.coverage.empty());
+}
+
+}  // namespace
+}  // namespace pinocchio

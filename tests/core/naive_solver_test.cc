@@ -1,0 +1,107 @@
+#include "core/naive_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "prob/influence.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::RandomInstance;
+
+TEST(NaiveSolverTest, EmptyCandidates) {
+  ProblemInstance instance;
+  instance.objects.push_back({0, {{0, 0}}});
+  const SolverResult result = NaiveSolver().Solve(instance, DefaultConfig());
+  EXPECT_TRUE(result.influence.empty());
+  EXPECT_TRUE(result.ranking.empty());
+}
+
+TEST(NaiveSolverTest, NoObjectsGivesZeroInfluence) {
+  ProblemInstance instance;
+  instance.candidates = {{0, 0}, {10, 10}};
+  const SolverResult result = NaiveSolver().Solve(instance, DefaultConfig());
+  EXPECT_EQ(result.influence, (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(result.best_influence, 0);
+  EXPECT_EQ(result.best_candidate, 0u);  // tie -> smallest index
+}
+
+TEST(NaiveSolverTest, SingleObviousWinner) {
+  // One object camped right on candidate 1, candidate 0 is far away.
+  ProblemInstance instance;
+  MovingObject o;
+  o.id = 0;
+  for (int i = 0; i < 5; ++i) o.positions.push_back({50000.0 + i, 50000.0});
+  instance.objects.push_back(o);
+  instance.candidates = {{0, 0}, {50000, 50000}};
+  const SolverResult result = NaiveSolver().Solve(instance, DefaultConfig());
+  EXPECT_EQ(result.best_candidate, 1u);
+  EXPECT_EQ(result.best_influence, 1);
+  EXPECT_EQ(result.influence, (std::vector<int64_t>{0, 1}));
+  EXPECT_TRUE(result.influence_exact);
+}
+
+TEST(NaiveSolverTest, InfluenceMatchesDefinition) {
+  const ProblemInstance instance = RandomInstance(101);
+  const SolverConfig config = DefaultConfig(0.5);
+  const SolverResult result = NaiveSolver().Solve(instance, config);
+  ASSERT_EQ(result.influence.size(), instance.candidates.size());
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    int64_t expected = 0;
+    for (const MovingObject& o : instance.objects) {
+      if (Influences(*config.pf, instance.candidates[j], o.positions,
+                     config.tau)) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(result.influence[j], expected) << "candidate " << j;
+  }
+}
+
+TEST(NaiveSolverTest, RankingSortedByInfluence) {
+  const ProblemInstance instance = RandomInstance(102);
+  const SolverResult result = NaiveSolver().Solve(instance, DefaultConfig());
+  ASSERT_EQ(result.ranking.size(), instance.candidates.size());
+  for (size_t i = 1; i < result.ranking.size(); ++i) {
+    EXPECT_GE(result.influence[result.ranking[i - 1]],
+              result.influence[result.ranking[i]]);
+  }
+  EXPECT_EQ(result.ranking.front(), result.best_candidate);
+  EXPECT_EQ(result.influence[result.best_candidate], result.best_influence);
+}
+
+TEST(NaiveSolverTest, TopKPrefix) {
+  const ProblemInstance instance = RandomInstance(103);
+  const SolverResult result = NaiveSolver().Solve(instance, DefaultConfig());
+  const auto top5 = result.TopK(5);
+  ASSERT_EQ(top5.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(top5[i], result.ranking[i]);
+  EXPECT_EQ(result.TopK(10000).size(), instance.candidates.size());
+}
+
+TEST(NaiveSolverTest, StatsCountAllPairs) {
+  const ProblemInstance instance = RandomInstance(104);
+  const SolverResult result = NaiveSolver().Solve(instance, DefaultConfig());
+  const auto pairs = static_cast<int64_t>(instance.objects.size() *
+                                          instance.candidates.size());
+  EXPECT_EQ(result.stats.pairs_validated, pairs);
+  EXPECT_EQ(result.stats.positions_scanned,
+            static_cast<int64_t>(instance.TotalPositions() *
+                                 instance.candidates.size()));
+  EXPECT_EQ(result.stats.PairsPruned(), 0);
+  EXPECT_GE(result.stats.elapsed_seconds, 0.0);
+}
+
+TEST(NaiveSolverTest, LowerTauNeverDecreasesInfluence) {
+  const ProblemInstance instance = RandomInstance(105);
+  const SolverResult strict = NaiveSolver().Solve(instance, DefaultConfig(0.9));
+  const SolverResult loose = NaiveSolver().Solve(instance, DefaultConfig(0.2));
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    EXPECT_GE(loose.influence[j], strict.influence[j]);
+  }
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,78 @@
+#include "core/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "prob/power_law.h"
+
+namespace pinocchio {
+namespace {
+
+MovingObject MakeObject(uint32_t id, std::vector<Point> positions) {
+  MovingObject o;
+  o.id = id;
+  o.positions = std::move(positions);
+  return o;
+}
+
+TEST(ObjectStoreTest, RecordsCarryAlgorithm1Fields) {
+  const PowerLawPF pf(0.9, 1.0);
+  const std::vector<MovingObject> objects = {
+      MakeObject(0, {{0, 0}, {1000, 0}, {0, 2000}}),
+      MakeObject(1, {{500, 500}}),
+  };
+  const ObjectStore store(objects, pf, 0.7);
+  ASSERT_EQ(store.size(), 2u);
+
+  const ObjectRecord& rec0 = store.records()[0];
+  EXPECT_EQ(rec0.object_id, 0u);
+  EXPECT_EQ(rec0.positions.size(), 3u);
+  EXPECT_TRUE(rec0.mbr == Mbr(0, 0, 1000, 2000));
+  EXPECT_NEAR(rec0.min_max_radius, pf.MinMaxRadius(0.7, 3), 1e-9);
+  EXPECT_DOUBLE_EQ(rec0.ia.radius(), rec0.min_max_radius);
+  EXPECT_DOUBLE_EQ(rec0.nib.radius(), rec0.min_max_radius);
+
+  const ObjectRecord& rec1 = store.records()[1];
+  EXPECT_DOUBLE_EQ(rec1.mbr.Area(), 0.0);  // degenerate point MBR
+  EXPECT_NEAR(rec1.min_max_radius, pf.MinMaxRadius(0.7, 1), 1e-9);
+}
+
+TEST(ObjectStoreTest, MemoisesRadiusByPositionCount) {
+  const PowerLawPF pf(0.9, 1.0);
+  std::vector<MovingObject> objects;
+  for (uint32_t i = 0; i < 10; ++i) {
+    // Position counts 1, 2, 1, 2, ... -> exactly two distinct n values.
+    std::vector<Point> positions(1 + i % 2, Point{double(i), double(i)});
+    objects.push_back(MakeObject(i, std::move(positions)));
+  }
+  const ObjectStore store(objects, pf, 0.5);
+  EXPECT_EQ(store.radius_by_n().size(), 2u);
+  EXPECT_TRUE(store.radius_by_n().count(1));
+  EXPECT_TRUE(store.radius_by_n().count(2));
+  // Records with equal n share the memoised value exactly.
+  EXPECT_EQ(store.records()[0].min_max_radius,
+            store.records()[2].min_max_radius);
+}
+
+TEST(ObjectStoreTest, TauIsStored) {
+  const PowerLawPF pf(0.9, 1.0);
+  const ObjectStore store({MakeObject(0, {{0, 0}})}, pf, 0.3);
+  EXPECT_DOUBLE_EQ(store.tau(), 0.3);
+}
+
+TEST(ObjectStoreDeathTest, RejectsEmptyObject) {
+  const PowerLawPF pf(0.9, 1.0);
+  EXPECT_DEATH(
+      { ObjectStore store({MakeObject(0, {})}, pf, 0.7); },
+      "has no positions");
+}
+
+TEST(ObjectStoreDeathTest, RejectsInvalidTau) {
+  const PowerLawPF pf(0.9, 1.0);
+  EXPECT_DEATH({ ObjectStore store({MakeObject(0, {{0, 0}})}, pf, 0.0); },
+               "Check failed");
+  EXPECT_DEATH({ ObjectStore store({MakeObject(0, {{0, 0}})}, pf, 1.0); },
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,55 @@
+#include "core/pinocchio_grid_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "core/pinocchio_solver.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::RandomInstance;
+
+TEST(PinocchioGridSolverTest, MatchesNaiveExactly) {
+  const ProblemInstance instance = RandomInstance(801);
+  const SolverConfig config = DefaultConfig();
+  EXPECT_EQ(PinocchioGridSolver().Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+}
+
+TEST(PinocchioGridSolverTest, SameStatisticsAsRtreeVariant) {
+  // The pruning decisions are index-independent; only traversal order
+  // differs, so all statistics must coincide with the R-tree solver.
+  const ProblemInstance instance = RandomInstance(802);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult grid = PinocchioGridSolver().Solve(instance, config);
+  const SolverResult rtree = PinocchioSolver().Solve(instance, config);
+  EXPECT_EQ(grid.influence, rtree.influence);
+  EXPECT_EQ(grid.stats.pairs_pruned_by_ia, rtree.stats.pairs_pruned_by_ia);
+  EXPECT_EQ(grid.stats.pairs_pruned_by_nib, rtree.stats.pairs_pruned_by_nib);
+  EXPECT_EQ(grid.stats.pairs_validated, rtree.stats.pairs_validated);
+}
+
+TEST(PinocchioGridSolverTest, EmptyInstance) {
+  ProblemInstance instance;
+  const SolverResult r = PinocchioGridSolver().Solve(instance, DefaultConfig());
+  EXPECT_TRUE(r.influence.empty());
+}
+
+class GridResolutionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GridResolutionTest, ResolutionDoesNotChangeResults) {
+  const ProblemInstance instance = RandomInstance(803);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult reference = NaiveSolver().Solve(instance, config);
+  EXPECT_EQ(PinocchioGridSolver(GetParam()).Solve(instance, config).influence,
+            reference.influence);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, GridResolutionTest,
+                         ::testing::Values<size_t>(1, 16, 256, 65536));
+
+}  // namespace
+}  // namespace pinocchio

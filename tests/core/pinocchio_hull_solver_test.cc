@@ -1,0 +1,90 @@
+#include "core/pinocchio_hull_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "core/pinocchio_solver.h"
+#include "prob/alternative_pfs.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::InstanceOptions;
+using testing_helpers::RandomInstance;
+
+TEST(PinocchioHullSolverTest, MatchesNaiveExactly) {
+  const ProblemInstance instance = RandomInstance(1001);
+  const SolverConfig config = DefaultConfig();
+  EXPECT_EQ(PinocchioHullSolver().Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+}
+
+TEST(PinocchioHullSolverTest, DecidesAtLeastAsManyPairsAsMbrVariant) {
+  const ProblemInstance instance = RandomInstance(1002);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult hull = PinocchioHullSolver().Solve(instance, config);
+  const SolverResult mbr = PinocchioSolver().Solve(instance, config);
+  EXPECT_EQ(hull.influence, mbr.influence);
+  // Tighter geometry => never more validation work.
+  EXPECT_LE(hull.stats.pairs_validated, mbr.stats.pairs_validated);
+  EXPECT_GE(hull.stats.PairsPruned(), mbr.stats.PairsPruned());
+}
+
+TEST(PinocchioHullSolverTest, SinglePositionObjects) {
+  InstanceOptions opts;
+  opts.min_positions = 1;
+  opts.max_positions = 1;
+  const ProblemInstance instance = RandomInstance(1003, opts);
+  const SolverConfig config = DefaultConfig();
+  EXPECT_EQ(PinocchioHullSolver().Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+}
+
+TEST(PinocchioHullSolverTest, CollinearPositions) {
+  // Degenerate hulls (segments) must stay correct.
+  ProblemInstance instance;
+  for (uint32_t k = 0; k < 10; ++k) {
+    MovingObject o;
+    o.id = k;
+    for (int i = 0; i < 8; ++i) {
+      o.positions.push_back({1000.0 * k + 200.0 * i, 500.0 * k});
+    }
+    instance.objects.push_back(std::move(o));
+  }
+  for (int j = 0; j < 15; ++j) {
+    instance.candidates.push_back({700.0 * j, 400.0 * j});
+  }
+  const SolverConfig config = DefaultConfig(0.4);
+  EXPECT_EQ(PinocchioHullSolver().Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+}
+
+TEST(PinocchioHullSolverTest, UninfluenceableSentinelHandled) {
+  ProblemInstance instance = RandomInstance(1004);
+  instance.candidates.clear();
+  for (size_t k = 0; k < 10; ++k) {
+    instance.candidates.push_back(instance.objects[k].positions.front());
+  }
+  SolverConfig config;
+  config.pf = std::make_shared<LogsigPF>(0.5);
+  config.tau = 0.9;
+  EXPECT_EQ(PinocchioHullSolver().Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+}
+
+class HullSolverSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HullSolverSweep, AgreesAcrossThresholds) {
+  const ProblemInstance instance = RandomInstance(1005);
+  const SolverConfig config = DefaultConfig(GetParam());
+  EXPECT_EQ(PinocchioHullSolver().Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, HullSolverSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,123 @@
+#include "core/pinocchio_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "prob/alternative_pfs.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::InstanceOptions;
+using testing_helpers::RandomInstance;
+
+TEST(PinocchioSolverTest, EmptyInstance) {
+  ProblemInstance instance;
+  const SolverResult result = PinocchioSolver().Solve(instance, DefaultConfig());
+  EXPECT_TRUE(result.influence.empty());
+}
+
+TEST(PinocchioSolverTest, ExactInfluenceMatchesNaive) {
+  const ProblemInstance instance = RandomInstance(201);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult naive = NaiveSolver().Solve(instance, config);
+  const SolverResult pin = PinocchioSolver().Solve(instance, config);
+  EXPECT_TRUE(pin.influence_exact);
+  EXPECT_EQ(pin.influence, naive.influence);
+  EXPECT_EQ(pin.best_candidate, naive.best_candidate);
+  EXPECT_EQ(pin.best_influence, naive.best_influence);
+}
+
+TEST(PinocchioSolverTest, PairAccountingAddsUp) {
+  // Every object-candidate pair is either pruned by IA, pruned by NIB, or
+  // validated.
+  const ProblemInstance instance = RandomInstance(202);
+  const SolverResult result = PinocchioSolver().Solve(instance, DefaultConfig());
+  const auto pairs = static_cast<int64_t>(instance.objects.size() *
+                                          instance.candidates.size());
+  EXPECT_EQ(result.stats.pairs_pruned_by_ia + result.stats.pairs_pruned_by_nib +
+                result.stats.pairs_validated,
+            pairs);
+}
+
+TEST(PinocchioSolverTest, PruningActuallyFires) {
+  // Compact objects + dispersed candidates: both rules must trigger.
+  InstanceOptions opts;
+  opts.num_objects = 60;
+  opts.num_candidates = 60;
+  opts.roamer_fraction = 0.0;
+  const ProblemInstance instance = RandomInstance(203, opts);
+  const SolverResult result = PinocchioSolver().Solve(instance, DefaultConfig());
+  EXPECT_GT(result.stats.pairs_pruned_by_nib, 0);
+  EXPECT_LT(result.stats.pairs_validated,
+            static_cast<int64_t>(instance.objects.size() *
+                                 instance.candidates.size()));
+}
+
+TEST(PinocchioSolverTest, ScansFewerPositionsThanNaive) {
+  InstanceOptions opts;
+  opts.roamer_fraction = 0.1;
+  const ProblemInstance instance = RandomInstance(204, opts);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult naive = NaiveSolver().Solve(instance, config);
+  const SolverResult pin = PinocchioSolver().Solve(instance, config);
+  EXPECT_LT(pin.stats.positions_scanned, naive.stats.positions_scanned);
+}
+
+TEST(PinocchioSolverTest, SinglePositionObjectsDegenerateCase) {
+  // Single-position objects make PRIME-LS degenerate to classical LS; the
+  // pruning machinery must stay correct with point MBRs.
+  InstanceOptions opts;
+  opts.min_positions = 1;
+  opts.max_positions = 1;
+  const ProblemInstance instance = RandomInstance(205, opts);
+  const SolverConfig config = DefaultConfig();
+  EXPECT_EQ(PinocchioSolver().Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+}
+
+TEST(PinocchioSolverTest, CandidatesCoincidingWithPositions) {
+  // Candidates placed exactly on object positions hit region boundaries.
+  ProblemInstance instance = RandomInstance(206);
+  instance.candidates.clear();
+  for (size_t k = 0; k < 20 && k < instance.objects.size(); ++k) {
+    instance.candidates.push_back(instance.objects[k].positions.front());
+  }
+  const SolverConfig config = DefaultConfig();
+  EXPECT_EQ(PinocchioSolver().Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+}
+
+TEST(PinocchioSolverTest, UninfluenceableObjectsWithCoincidingCandidates) {
+  // Regression: with a PF whose PF(0) is below the per-position
+  // requirement (Logsig rho=0.5 at tau=0.9), low-n objects cannot be
+  // influenced by ANY candidate — not even one sitting exactly on their
+  // positions. The influence-arcs rule must not certify such pairs.
+  ProblemInstance instance = RandomInstance(208);
+  instance.candidates.clear();
+  for (size_t k = 0; k < 20 && k < instance.objects.size(); ++k) {
+    instance.candidates.push_back(instance.objects[k].positions.front());
+  }
+  SolverConfig config;
+  config.pf = std::make_shared<LogsigPF>(0.5);
+  config.tau = 0.9;
+  EXPECT_EQ(PinocchioSolver().Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+}
+
+TEST(PinocchioSolverTest, VariousRtreeFanouts) {
+  const ProblemInstance instance = RandomInstance(207);
+  SolverConfig config = DefaultConfig();
+  const SolverResult reference = NaiveSolver().Solve(instance, config);
+  for (size_t fanout : {4u, 8u, 32u}) {
+    config.rtree_fanout = fanout;
+    EXPECT_EQ(PinocchioSolver().Solve(instance, config).influence,
+              reference.influence)
+        << "fanout " << fanout;
+  }
+}
+
+}  // namespace
+}  // namespace pinocchio

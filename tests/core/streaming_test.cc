@@ -1,0 +1,208 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "testing/instance_helpers.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+
+StreamingPrimeLS::Options MakeOptions(double window_seconds) {
+  StreamingPrimeLS::Options options;
+  options.config = DefaultConfig();
+  options.window_seconds = window_seconds;
+  return options;
+}
+
+// Batch reference: influence over the given (object -> positions) map.
+std::vector<int64_t> BatchInfluence(
+    const std::vector<Point>& candidates,
+    const std::map<uint32_t, std::vector<Point>>& live,
+    const SolverConfig& config) {
+  ProblemInstance instance;
+  instance.candidates = candidates;
+  for (const auto& [id, positions] : live) {
+    if (positions.empty()) continue;
+    MovingObject o;
+    o.id = id;
+    o.positions = positions;
+    instance.objects.push_back(std::move(o));
+  }
+  return NaiveSolver().Solve(instance, config).influence;
+}
+
+TEST(StreamingTest, EmptyEngine) {
+  StreamingPrimeLS engine({{0, 0}, {10, 10}}, MakeOptions(60));
+  EXPECT_EQ(engine.NumLiveObjects(), 0u);
+  EXPECT_EQ(engine.NumLivePositions(), 0u);
+  EXPECT_EQ(engine.InfluenceOf(0), 0);
+}
+
+TEST(StreamingTest, SingleObservationInfluences) {
+  const std::vector<Point> candidates = {{0, 0}, {50000, 50000}};
+  StreamingPrimeLS engine(candidates, MakeOptions(60));
+  engine.Observe(1, 0.0, {10, 10});
+  EXPECT_EQ(engine.NumLiveObjects(), 1u);
+  EXPECT_EQ(engine.InfluenceOf(0), 1);  // essentially at candidate 0
+  EXPECT_EQ(engine.InfluenceOf(1), 0);
+}
+
+TEST(StreamingTest, ExpiryRemovesInfluence) {
+  const std::vector<Point> candidates = {{0, 0}};
+  StreamingPrimeLS engine(candidates, MakeOptions(60));
+  engine.Observe(1, 0.0, {5, 5});
+  EXPECT_EQ(engine.InfluenceOf(0), 1);
+  engine.AdvanceTo(59.0);
+  EXPECT_EQ(engine.InfluenceOf(0), 1);  // still inside the window
+  engine.AdvanceTo(61.0);
+  EXPECT_EQ(engine.InfluenceOf(0), 0);
+  EXPECT_EQ(engine.NumLiveObjects(), 0u);
+  EXPECT_EQ(engine.NumLivePositions(), 0u);
+}
+
+TEST(StreamingTest, WindowKeepsOnlyRecentPositions) {
+  const std::vector<Point> candidates = {{0, 0}};
+  StreamingPrimeLS engine(candidates, MakeOptions(100));
+  // Two far positions early, a near one later: after the early ones
+  // expire, the near one alone sustains the influence.
+  engine.Observe(1, 0.0, {40000, 0});
+  engine.Observe(1, 10.0, {40000, 100});
+  EXPECT_EQ(engine.InfluenceOf(0), 0);  // too far
+  engine.Observe(1, 90.0, {10, 0});
+  EXPECT_EQ(engine.InfluenceOf(0), 1);
+  engine.AdvanceTo(150.0);  // early positions expired, near one remains
+  EXPECT_EQ(engine.NumLivePositions(), 1u);
+  EXPECT_EQ(engine.InfluenceOf(0), 1);
+}
+
+TEST(StreamingDeathTest, RejectsTimeTravel) {
+  StreamingPrimeLS engine({{0, 0}}, MakeOptions(60));
+  engine.Observe(1, 100.0, {1, 1});
+  EXPECT_DEATH(engine.Observe(1, 99.0, {1, 1}), "non-decreasing");
+}
+
+TEST(StreamingTest, MatchesBatchRecomputeUnderRandomStream) {
+  Rng rng(1234);
+  std::vector<Point> candidates;
+  for (int j = 0; j < 15; ++j) {
+    candidates.push_back({rng.Uniform(0, 30000), rng.Uniform(0, 30000)});
+  }
+  const double window = 500.0;
+  StreamingPrimeLS engine(candidates, MakeOptions(window));
+
+  // Reference bookkeeping.
+  struct Event {
+    uint32_t id;
+    double time;
+    Point position;
+  };
+  std::vector<Event> history;
+
+  double now = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    now += rng.Uniform(0.0, 30.0);
+    const auto id = static_cast<uint32_t>(rng.UniformInt(0, 9));
+    const Point p{rng.Uniform(0, 30000), rng.Uniform(0, 30000)};
+    engine.Observe(id, now, p);
+    history.push_back({id, now, p});
+
+    if (step % 25 == 0) {
+      std::map<uint32_t, std::vector<Point>> live;
+      for (const Event& e : history) {
+        if (e.time > now - window) live[e.id].push_back(e.position);
+      }
+      const auto expected =
+          BatchInfluence(candidates, live, MakeOptions(window).config);
+      for (size_t j = 0; j < candidates.size(); ++j) {
+        ASSERT_EQ(engine.InfluenceOf(j), expected[j])
+            << "step " << step << " candidate " << j;
+      }
+    }
+  }
+}
+
+TEST(StreamingTest, BestTracksWindow) {
+  // Two candidate hubs; the crowd moves from hub A to hub B.
+  const std::vector<Point> candidates = {{0, 0}, {20000, 20000}};
+  StreamingPrimeLS engine(candidates, MakeOptions(100));
+  Rng rng(5);
+  for (uint32_t id = 0; id < 20; ++id) {
+    engine.Observe(id, static_cast<double>(id),
+                   {rng.Uniform(-100, 100), rng.Uniform(-100, 100)});
+  }
+  auto best = engine.Best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->first, 0u);
+
+  for (uint32_t id = 0; id < 20; ++id) {
+    engine.Observe(100 + id, 300.0 + id,
+                   {20000 + rng.Uniform(-100, 100),
+                    20000 + rng.Uniform(-100, 100)});
+  }
+  engine.AdvanceTo(350.0);  // hub-A crowd (t <= 19) has expired; B is live
+  best = engine.Best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->first, 1u);
+  EXPECT_EQ(engine.TopK(2).front().first, 1u);
+}
+
+TEST(StreamingTest, BestChangedCallbackFires) {
+  const std::vector<Point> candidates = {{0, 0}, {20000, 0}};
+  StreamingPrimeLS engine(candidates, MakeOptions(100));
+  std::vector<std::pair<std::optional<size_t>, double>> notifications;
+  engine.SetBestChangedCallback(
+      [&](const std::optional<std::pair<size_t, int64_t>>& best, double now) {
+        notifications.emplace_back(
+            best ? std::optional<size_t>(best->first) : std::nullopt, now);
+      });
+
+  engine.Observe(1, 0.0, {10, 0});  // candidate 0 becomes best
+  ASSERT_EQ(notifications.size(), 1u);
+  EXPECT_EQ(notifications.back().first, std::optional<size_t>(0));
+
+  engine.Observe(2, 1.0, {19990, 0});   // tie; candidate 0 keeps index order
+  engine.Observe(3, 2.0, {20010, 0});   // candidate 1 pulls ahead
+  ASSERT_GE(notifications.size(), 2u);
+  EXPECT_EQ(notifications.back().first, std::optional<size_t>(1));
+
+  const size_t count_before = notifications.size();
+  engine.AdvanceTo(50.0);  // nothing expires -> no notification
+  EXPECT_EQ(notifications.size(), count_before);
+
+  engine.AdvanceTo(1000.0);  // everything expires -> influence drops
+  EXPECT_GT(notifications.size(), count_before);
+  EXPECT_DOUBLE_EQ(notifications.back().second, 1000.0);
+}
+
+TEST(StreamingTest, CallbackNotFiredWhenBestStable) {
+  const std::vector<Point> candidates = {{0, 0}};
+  StreamingPrimeLS engine(candidates, MakeOptions(1000));
+  engine.Observe(1, 0.0, {1, 1});
+  int calls = 0;
+  engine.SetBestChangedCallback(
+      [&](const std::optional<std::pair<size_t, int64_t>>&, double) {
+        ++calls;
+      });
+  // Re-observing the same influenced object does not change (site, count).
+  engine.Observe(1, 1.0, {2, 2});
+  engine.Observe(1, 2.0, {3, 3});
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(StreamingTest, ReobservationAfterFullExpiry) {
+  const std::vector<Point> candidates = {{0, 0}};
+  StreamingPrimeLS engine(candidates, MakeOptions(50));
+  engine.Observe(7, 0.0, {1, 1});
+  engine.AdvanceTo(1000.0);
+  EXPECT_EQ(engine.NumLiveObjects(), 0u);
+  engine.Observe(7, 1000.0, {2, 2});  // same id returns
+  EXPECT_EQ(engine.NumLiveObjects(), 1u);
+  EXPECT_EQ(engine.InfluenceOf(0), 1);
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,109 @@
+#include "core/validation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::RandomInstance;
+
+bool HasMessageContaining(const std::vector<ValidationIssue>& issues,
+                          const std::string& fragment,
+                          ValidationIssue::Severity severity) {
+  for (const ValidationIssue& issue : issues) {
+    if (issue.severity == severity &&
+        issue.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ValidationTest, CleanInstancePasses) {
+  const ProblemInstance instance = RandomInstance(1401);
+  const auto issues = ValidateInstance(instance);
+  EXPECT_TRUE(IsValid(issues)) << FormatIssues(issues);
+}
+
+TEST(ValidationTest, NoCandidatesIsError) {
+  ProblemInstance instance = RandomInstance(1402);
+  instance.candidates.clear();
+  const auto issues = ValidateInstance(instance);
+  EXPECT_FALSE(IsValid(issues));
+  EXPECT_TRUE(HasMessageContaining(issues, "no candidate",
+                                   ValidationIssue::Severity::kError));
+}
+
+TEST(ValidationTest, NoObjectsIsOnlyWarning) {
+  ProblemInstance instance = RandomInstance(1403);
+  instance.objects.clear();
+  const auto issues = ValidateInstance(instance);
+  EXPECT_TRUE(IsValid(issues));
+  EXPECT_TRUE(HasMessageContaining(issues, "no objects",
+                                   ValidationIssue::Severity::kWarning));
+}
+
+TEST(ValidationTest, EmptyObjectIsError) {
+  ProblemInstance instance = RandomInstance(1404);
+  instance.objects.push_back({999, {}});
+  const auto issues = ValidateInstance(instance);
+  EXPECT_FALSE(IsValid(issues));
+  EXPECT_TRUE(HasMessageContaining(issues, "no positions",
+                                   ValidationIssue::Severity::kError));
+}
+
+TEST(ValidationTest, DuplicateObjectIdsAreErrors) {
+  ProblemInstance instance = RandomInstance(1405);
+  instance.objects.push_back(instance.objects.front());
+  const auto issues = ValidateInstance(instance);
+  EXPECT_FALSE(IsValid(issues));
+  EXPECT_TRUE(HasMessageContaining(issues, "duplicate object id",
+                                   ValidationIssue::Severity::kError));
+}
+
+TEST(ValidationTest, NonFiniteCoordinatesAreErrors) {
+  ProblemInstance instance = RandomInstance(1406);
+  instance.objects.front().positions.front().x =
+      std::numeric_limits<double>::quiet_NaN();
+  instance.candidates.front().y = std::numeric_limits<double>::infinity();
+  const auto issues = ValidateInstance(instance);
+  EXPECT_FALSE(IsValid(issues));
+  EXPECT_TRUE(HasMessageContaining(issues, "non-finite position",
+                                   ValidationIssue::Severity::kError));
+}
+
+TEST(ValidationTest, LatLonLookingCoordinatesWarn) {
+  ProblemInstance instance;
+  MovingObject o;
+  o.id = 0;
+  o.positions = {{1.29e8, 103.85e8}};  // way beyond metres-scale sanity
+  instance.objects.push_back(o);
+  instance.candidates = {{0, 0}};
+  const auto issues = ValidateInstance(instance);
+  EXPECT_TRUE(IsValid(issues));  // warning only
+  EXPECT_TRUE(HasMessageContaining(issues, "unprojected",
+                                   ValidationIssue::Severity::kWarning));
+}
+
+TEST(ValidationTest, DuplicateCandidatesWarn) {
+  ProblemInstance instance = RandomInstance(1407);
+  instance.candidates.push_back(instance.candidates.front());
+  const auto issues = ValidateInstance(instance);
+  EXPECT_TRUE(IsValid(issues));
+  EXPECT_TRUE(HasMessageContaining(issues, "duplicate candidate",
+                                   ValidationIssue::Severity::kWarning));
+}
+
+TEST(ValidationTest, FormatIssuesRendersSeverity) {
+  ProblemInstance instance;
+  const std::string text = FormatIssues(ValidateInstance(instance));
+  EXPECT_NE(text.find("error: "), std::string::npos);
+  EXPECT_NE(text.find("warning: "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,125 @@
+#include "data/binary_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+CheckinDataset SmallDataset() {
+  DatasetSpec spec;
+  spec.name = "bin-test";
+  spec.seed = 77;
+  spec.num_users = 40;
+  spec.num_venues = 80;
+  spec.target_checkins = 1200;
+  spec.min_checkins_per_user = 2;
+  spec.max_checkins_per_user = 90;
+  return GenerateCheckinDataset(spec);
+}
+
+TEST(BinaryIoTest, RoundTripIsExact) {
+  const CheckinDataset original = SmallDataset();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  SaveDatasetBinary(original, buffer);
+
+  CheckinDataset reloaded;
+  std::string error;
+  ASSERT_TRUE(LoadDatasetBinary(buffer, &reloaded, &error)) << error;
+
+  EXPECT_EQ(reloaded.spec.name, original.spec.name);
+  EXPECT_EQ(reloaded.spec.seed, original.spec.seed);
+  EXPECT_DOUBLE_EQ(reloaded.spec.origin.lat, original.spec.origin.lat);
+  ASSERT_EQ(reloaded.venues.size(), original.venues.size());
+  for (size_t v = 0; v < original.venues.size(); ++v) {
+    EXPECT_EQ(reloaded.venues[v], original.venues[v]);
+  }
+  EXPECT_EQ(reloaded.venue_checkins, original.venue_checkins);
+  ASSERT_EQ(reloaded.objects.size(), original.objects.size());
+  for (size_t k = 0; k < original.objects.size(); ++k) {
+    EXPECT_EQ(reloaded.objects[k].id, original.objects[k].id);
+    ASSERT_EQ(reloaded.objects[k].positions.size(),
+              original.objects[k].positions.size());
+    for (size_t i = 0; i < original.objects[k].positions.size(); ++i) {
+      EXPECT_EQ(reloaded.objects[k].positions[i],
+                original.objects[k].positions[i]);
+    }
+  }
+  // Derived spec summaries are reconstructed.
+  EXPECT_EQ(reloaded.spec.num_users, original.objects.size());
+  EXPECT_EQ(reloaded.spec.target_checkins, original.TotalCheckins());
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOTPINODATA garbage";
+  CheckinDataset dataset;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetBinary(buffer, &dataset, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(BinaryIoTest, RejectsEmptyStream) {
+  std::stringstream buffer;
+  CheckinDataset dataset;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetBinary(buffer, &dataset, &error));
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  const CheckinDataset original = SmallDataset();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  SaveDatasetBinary(original, buffer);
+  const std::string bytes = buffer.str();
+
+  // Chop the snapshot at several depths; every prefix must fail cleanly.
+  for (size_t cut : {9ul, 20ul, bytes.size() / 4, bytes.size() / 2,
+                     bytes.size() - 3}) {
+    std::stringstream truncated(std::ios::in | std::ios::out |
+                                std::ios::binary);
+    truncated.write(bytes.data(), static_cast<std::streamsize>(cut));
+    CheckinDataset dataset;
+    std::string error;
+    EXPECT_FALSE(LoadDatasetBinary(truncated, &dataset, &error))
+        << "cut at " << cut << " unexpectedly parsed";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(BinaryIoTest, RejectsUnsupportedVersion) {
+  const CheckinDataset original = SmallDataset();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  SaveDatasetBinary(original, buffer);
+  std::string bytes = buffer.str();
+  bytes[8] = 99;  // version field follows the 8-byte magic
+  std::stringstream corrupted(std::ios::in | std::ios::out |
+                              std::ios::binary);
+  corrupted.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  CheckinDataset dataset;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetBinary(corrupted, &dataset, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  const CheckinDataset original = SmallDataset();
+  const std::string path = ::testing::TempDir() + "/pinocchio_bin_io_test.pino";
+  SaveDatasetBinaryFile(original, path);
+  CheckinDataset reloaded;
+  std::string error;
+  ASSERT_TRUE(LoadDatasetBinaryFile(path, &reloaded, &error)) << error;
+  EXPECT_EQ(reloaded.objects.size(), original.objects.size());
+  EXPECT_EQ(reloaded.venue_checkins, original.venue_checkins);
+}
+
+TEST(BinaryIoTest, MissingFileReportsError) {
+  CheckinDataset dataset;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetBinaryFile("/nonexistent/path.pino", &dataset,
+                                     &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinocchio

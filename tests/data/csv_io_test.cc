@@ -1,0 +1,116 @@
+#include "data/csv_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "geo/distance.h"
+
+namespace pinocchio {
+namespace {
+
+TEST(CsvIoTest, LoadsGroupedByUser) {
+  std::istringstream in(
+      "# user,lat,lon,venue\n"
+      "1,1.30,103.80,0\n"
+      "2,1.31,103.81,1\n"
+      "1,1.32,103.82,1\n"
+      "1,1.33,103.83,2\n");
+  const CheckinDataset dataset = LoadCheckinsCsv(in);
+  ASSERT_EQ(dataset.objects.size(), 2u);
+  EXPECT_EQ(dataset.objects[0].positions.size(), 3u);  // user 1
+  EXPECT_EQ(dataset.objects[1].positions.size(), 1u);  // user 2
+  ASSERT_EQ(dataset.venue_checkins.size(), 3u);
+  EXPECT_EQ(dataset.venue_checkins[0], 1);
+  EXPECT_EQ(dataset.venue_checkins[1], 2);
+  EXPECT_EQ(dataset.venue_checkins[2], 1);
+}
+
+TEST(CsvIoTest, WorksWithoutVenueColumn) {
+  std::istringstream in("7,1.30,103.80\n7,1.31,103.81\n");
+  const CheckinDataset dataset = LoadCheckinsCsv(in);
+  ASSERT_EQ(dataset.objects.size(), 1u);
+  EXPECT_EQ(dataset.objects[0].positions.size(), 2u);
+  EXPECT_TRUE(dataset.venues.empty());
+}
+
+TEST(CsvIoTest, ProjectionPreservesDistances) {
+  std::istringstream in(
+      "1,1.3000,103.8000\n"
+      "1,1.3000,103.9000\n");
+  const CheckinDataset dataset = LoadCheckinsCsv(in);
+  const auto& positions = dataset.objects[0].positions;
+  const double planar = Distance(positions[0], positions[1]);
+  const double geo =
+      HaversineDistance({1.3, 103.8}, {1.3, 103.9});
+  EXPECT_NEAR(planar, geo, geo * 2e-3);
+}
+
+TEST(CsvIoTest, EmptyInput) {
+  std::istringstream in("");
+  const CheckinDataset dataset = LoadCheckinsCsv(in);
+  EXPECT_TRUE(dataset.objects.empty());
+}
+
+TEST(CsvIoTest, NonStrictSkipsMalformedRows) {
+  std::istringstream in(
+      "1,1.30,103.80\n"
+      "garbage,row\n"
+      "2,91.0,103.80\n"  // latitude out of range
+      "3,1.31,103.81\n");
+  size_t skipped = 0;
+  const CheckinDataset dataset =
+      LoadCheckinsCsv(in, /*strict=*/false, &skipped);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(dataset.objects.size(), 2u);
+}
+
+TEST(CsvIoDeathTest, StrictAbortsOnMalformedRow) {
+  std::istringstream in("1,not_a_number,103.80\n");
+  EXPECT_DEATH(LoadCheckinsCsv(in, /*strict=*/true), "malformed");
+}
+
+TEST(CsvIoTest, SaveLoadRoundTripPreservesStructure) {
+  std::istringstream in(
+      "1,1.3000,103.8000\n"
+      "1,1.3100,103.8100\n"
+      "5,1.3200,103.8200\n");
+  const CheckinDataset original = LoadCheckinsCsv(in);
+
+  std::ostringstream out;
+  SaveCheckinsCsv(original, out);
+  std::istringstream back_in(out.str());
+  const CheckinDataset reloaded = LoadCheckinsCsv(back_in);
+
+  ASSERT_EQ(reloaded.objects.size(), original.objects.size());
+  for (size_t k = 0; k < original.objects.size(); ++k) {
+    ASSERT_EQ(reloaded.objects[k].positions.size(),
+              original.objects[k].positions.size());
+    for (size_t i = 0; i < original.objects[k].positions.size(); ++i) {
+      // Reprojection may move the origin; distances between corresponding
+      // points survive to sub-metre accuracy.
+      EXPECT_NEAR(
+          Distance(reloaded.objects[k].positions[i],
+                   reloaded.objects[k].positions[0]),
+          Distance(original.objects[k].positions[i],
+                   original.objects[k].positions[0]),
+          1.0);
+    }
+  }
+}
+
+TEST(CsvIoTest, LoaderRecordsSpecSummaries) {
+  std::istringstream in(
+      "1,1.30,103.80\n"
+      "1,1.31,103.81\n"
+      "1,1.32,103.82\n"
+      "2,1.30,103.80\n");
+  const CheckinDataset dataset = LoadCheckinsCsv(in);
+  EXPECT_EQ(dataset.spec.num_users, 2u);
+  EXPECT_EQ(dataset.spec.target_checkins, 4u);
+  EXPECT_EQ(dataset.spec.min_checkins_per_user, 1u);
+  EXPECT_EQ(dataset.spec.max_checkins_per_user, 3u);
+}
+
+}  // namespace
+}  // namespace pinocchio

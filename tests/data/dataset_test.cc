@@ -1,0 +1,213 @@
+#include "data/checkin_dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+DatasetSpec SmallSpec(uint64_t seed = 7) {
+  DatasetSpec spec;
+  spec.name = "small";
+  spec.seed = seed;
+  spec.num_users = 150;
+  spec.num_venues = 300;
+  spec.target_checkins = 6000;
+  spec.min_checkins_per_user = 2;
+  spec.max_checkins_per_user = 400;
+  return spec;
+}
+
+// Per-user counts are heavy-tailed, so totals need a larger population
+// before the sample mean stabilises.
+DatasetSpec MediumSpec(uint64_t seed = 7) {
+  DatasetSpec spec = SmallSpec(seed);
+  spec.name = "medium";
+  spec.num_users = 900;
+  spec.num_venues = 600;
+  spec.target_checkins = 36000;
+  return spec;
+}
+
+TEST(DatasetTest, CardinalitiesMatchSpec) {
+  const CheckinDataset dataset = GenerateCheckinDataset(SmallSpec());
+  EXPECT_EQ(dataset.objects.size(), 150u);
+  EXPECT_EQ(dataset.venues.size(), 300u);
+  EXPECT_EQ(dataset.venue_checkins.size(), 300u);
+}
+
+TEST(DatasetTest, DeterministicInSeed) {
+  const CheckinDataset a = GenerateCheckinDataset(SmallSpec(99));
+  const CheckinDataset b = GenerateCheckinDataset(SmallSpec(99));
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  for (size_t k = 0; k < a.objects.size(); ++k) {
+    ASSERT_EQ(a.objects[k].positions.size(), b.objects[k].positions.size());
+    for (size_t i = 0; i < a.objects[k].positions.size(); ++i) {
+      EXPECT_EQ(a.objects[k].positions[i], b.objects[k].positions[i]);
+    }
+  }
+  EXPECT_EQ(a.venue_checkins, b.venue_checkins);
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  const CheckinDataset a = GenerateCheckinDataset(SmallSpec(1));
+  const CheckinDataset b = GenerateCheckinDataset(SmallSpec(2));
+  EXPECT_NE(a.venue_checkins, b.venue_checkins);
+}
+
+TEST(DatasetTest, CheckinCountsConsistent) {
+  const CheckinDataset dataset = GenerateCheckinDataset(SmallSpec());
+  int64_t venue_total = 0;
+  for (int64_t c : dataset.venue_checkins) {
+    EXPECT_GE(c, 0);
+    venue_total += c;
+  }
+  EXPECT_EQ(static_cast<size_t>(venue_total), dataset.TotalCheckins());
+}
+
+TEST(DatasetTest, TotalCheckinsNearTarget) {
+  const CheckinDataset dataset = GenerateCheckinDataset(MediumSpec());
+  const double target = 36000.0;
+  EXPECT_NEAR(static_cast<double>(dataset.TotalCheckins()), target,
+              0.25 * target);
+}
+
+TEST(DatasetTest, PerUserBoundsRespected) {
+  const CheckinDataset dataset = GenerateCheckinDataset(SmallSpec());
+  for (const MovingObject& o : dataset.objects) {
+    EXPECT_GE(o.positions.size(), 2u);
+    EXPECT_LE(o.positions.size(), 400u);
+  }
+}
+
+TEST(DatasetTest, PositionsWithinExtent) {
+  const DatasetSpec spec = SmallSpec();
+  const CheckinDataset dataset = GenerateCheckinDataset(spec);
+  for (const MovingObject& o : dataset.objects) {
+    for (const Point& p : o.positions) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, spec.extent_x_km * 1000.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, spec.extent_y_km * 1000.0);
+    }
+  }
+}
+
+TEST(DatasetTest, PositionsSnapToVenues) {
+  // Every check-in position must coincide with some venue coordinate.
+  const CheckinDataset dataset = GenerateCheckinDataset(SmallSpec());
+  std::set<std::pair<double, double>> venue_set;
+  for (const Point& v : dataset.venues) venue_set.insert({v.x, v.y});
+  for (const MovingObject& o : dataset.objects) {
+    for (const Point& p : o.positions) {
+      EXPECT_TRUE(venue_set.count({p.x, p.y}) > 0);
+    }
+  }
+}
+
+TEST(DatasetTest, CheckinCountDistributionIsSkewed) {
+  const CheckinDataset dataset = GenerateCheckinDataset(SmallSpec());
+  const DatasetStats stats = ComputeStats(dataset);
+  // Power-law counts: the max should far exceed the average.
+  EXPECT_GT(static_cast<double>(stats.max_checkins_per_user),
+            3.0 * stats.avg_checkins_per_user);
+}
+
+TEST(DatasetTest, ActivityRegionsCoverLargeFractionOfExtent) {
+  // Section 4.3: an average object covers roughly half of each dimension.
+  const CheckinDataset dataset = GenerateCheckinDataset(SmallSpec());
+  const DatasetStats stats = ComputeStats(dataset);
+  EXPECT_GT(stats.avg_object_mbr_x_km, 0.25 * stats.extent_x_km);
+  EXPECT_GT(stats.avg_object_mbr_y_km, 0.25 * stats.extent_y_km);
+  EXPECT_LT(stats.avg_object_mbr_x_km, 0.95 * stats.extent_x_km);
+}
+
+TEST(DatasetTest, FoursquareSpecStats) {
+  // Scaled-down Foursquare keeps the shape of Table 2.
+  const DatasetSpec spec = DatasetSpec::Foursquare().Scaled(0.05);
+  const CheckinDataset dataset = GenerateCheckinDataset(spec);
+  const DatasetStats stats = ComputeStats(dataset);
+  EXPECT_EQ(stats.user_count, spec.num_users);
+  EXPECT_EQ(stats.venue_count, spec.num_venues);
+  const double target_avg = static_cast<double>(spec.target_checkins) /
+                            static_cast<double>(spec.num_users);
+  EXPECT_NEAR(stats.avg_checkins_per_user, target_avg, 0.35 * target_avg);
+  EXPECT_LE(stats.extent_x_km, spec.extent_x_km + 1e-9);
+  EXPECT_LE(stats.extent_y_km, spec.extent_y_km + 1e-9);
+}
+
+TEST(DatasetTest, GowallaSpecHasMoreUsersFewerCheckinsPerUser) {
+  const DatasetSpec f = DatasetSpec::Foursquare();
+  const DatasetSpec g = DatasetSpec::Gowalla();
+  EXPECT_GT(g.num_users, f.num_users);
+  const double f_avg = static_cast<double>(f.target_checkins) / f.num_users;
+  const double g_avg = static_cast<double>(g.target_checkins) / g.num_users;
+  EXPECT_LT(g_avg, f_avg);  // Table 2: 37 vs 72
+}
+
+TEST(DatasetTest, ScaledSpecShrinksCardinalities) {
+  const DatasetSpec full = DatasetSpec::Gowalla();
+  const DatasetSpec half = full.Scaled(0.5);
+  EXPECT_NEAR(static_cast<double>(half.num_users),
+              0.5 * static_cast<double>(full.num_users), 1.0);
+  EXPECT_NEAR(static_cast<double>(half.num_venues),
+              0.5 * static_cast<double>(full.num_venues), 1.0);
+  // Minimums enforced at extreme scales.
+  const DatasetSpec tiny = full.Scaled(1e-9);
+  EXPECT_GE(tiny.num_users, 10u);
+  EXPECT_GE(tiny.num_venues, 20u);
+}
+
+TEST(CalibratePowerLawAlphaTest, HitsTargetMean) {
+  // Achievable targets lie between the alpha->8 mean (~lo) and the
+  // alpha->1 limit (hi - lo) / ln(hi / lo) ~= 130.4 for [2, 780].
+  for (double target : {5.0, 10.0, 37.0, 72.0, 120.0}) {
+    const double alpha = CalibratePowerLawAlpha(2.0, 780.0, target);
+    // Verify the analytic mean at the calibrated alpha.
+    const double a1 = 1.0 - alpha, a2 = 2.0 - alpha;
+    const double mean = ((std::pow(780.0, a2) - std::pow(2.0, a2)) / a2) /
+                        ((std::pow(780.0, a1) - std::pow(2.0, a1)) / a1);
+    EXPECT_NEAR(mean, target, 0.01 * target);
+  }
+}
+
+TEST(CalibratePowerLawAlphaTest, ClampsUnreachableTargets) {
+  // Above the alpha->1 limit the calibration saturates at the heavy-tail
+  // end rather than diverging.
+  const double alpha = CalibratePowerLawAlpha(2.0, 780.0, 300.0);
+  EXPECT_LE(alpha, 1.001);
+}
+
+TEST(SampleCandidatesTest, DistinctVenuesAndGroundTruth) {
+  const CheckinDataset dataset = GenerateCheckinDataset(SmallSpec());
+  const CandidateSample sample = SampleCandidates(dataset, 50, 11);
+  EXPECT_EQ(sample.points.size(), 50u);
+  EXPECT_EQ(sample.ground_truth.size(), 50u);
+  std::set<size_t> distinct(sample.venue_indices.begin(),
+                            sample.venue_indices.end());
+  EXPECT_EQ(distinct.size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sample.points[i], dataset.venues[sample.venue_indices[i]]);
+    EXPECT_EQ(sample.ground_truth[i],
+              dataset.venue_checkins[sample.venue_indices[i]]);
+  }
+}
+
+TEST(SampleCandidatesTest, DeterministicInSeed) {
+  const CheckinDataset dataset = GenerateCheckinDataset(SmallSpec());
+  const CandidateSample a = SampleCandidates(dataset, 30, 5);
+  const CandidateSample b = SampleCandidates(dataset, 30, 5);
+  EXPECT_EQ(a.venue_indices, b.venue_indices);
+  const CandidateSample c = SampleCandidates(dataset, 30, 6);
+  EXPECT_NE(a.venue_indices, c.venue_indices);
+}
+
+TEST(MakeInstanceTest, BuildsConsistentInstance) {
+  const CheckinDataset dataset = GenerateCheckinDataset(SmallSpec());
+  const ProblemInstance instance = MakeInstance(dataset, 40, 3);
+  EXPECT_EQ(instance.objects.size(), dataset.objects.size());
+  EXPECT_EQ(instance.candidates.size(), 40u);
+  EXPECT_EQ(instance.TotalPositions(), dataset.TotalCheckins());
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,152 @@
+// Semantic properties of the synthetic check-in generator — the knobs must
+// move the distributions the way their documentation claims, since the
+// experiment harnesses rely on those behaviours.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/checkin_dataset.h"
+
+namespace pinocchio {
+namespace {
+
+DatasetSpec BaseSpec(uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "props";
+  spec.seed = seed;
+  spec.num_users = 400;
+  spec.num_venues = 800;
+  spec.target_checkins = 16000;
+  spec.min_checkins_per_user = 2;
+  spec.max_checkins_per_user = 300;
+  return spec;
+}
+
+double AverageMbrDiagonalKm(const CheckinDataset& dataset) {
+  double sum = 0.0;
+  for (const MovingObject& o : dataset.objects) {
+    sum += 2.0 * o.ActivityMbr().HalfDiagonal() / 1000.0;
+  }
+  return sum / static_cast<double>(dataset.objects.size());
+}
+
+double AverageDistinctVenueRatio(const CheckinDataset& dataset) {
+  double sum = 0.0;
+  for (const MovingObject& o : dataset.objects) {
+    std::set<std::pair<double, double>> distinct;
+    for (const Point& p : o.positions) distinct.insert({p.x, p.y});
+    sum += static_cast<double>(distinct.size()) /
+           static_cast<double>(o.positions.size());
+  }
+  return sum / static_cast<double>(dataset.objects.size());
+}
+
+TEST(GeneratorPropertiesTest, MoreLocalsShrinkActivityRegions) {
+  DatasetSpec locals = BaseSpec(100);
+  locals.local_user_fraction = 0.95;
+  DatasetSpec roamers = BaseSpec(100);
+  roamers.local_user_fraction = 0.05;
+  const double local_diag =
+      AverageMbrDiagonalKm(GenerateCheckinDataset(locals));
+  const double roamer_diag =
+      AverageMbrDiagonalKm(GenerateCheckinDataset(roamers));
+  // MBR diagonals are outlier-driven (one rare far check-in inflates them),
+  // so assert a clear directional gap rather than a large factor.
+  EXPECT_LT(local_diag, 0.9 * roamer_diag)
+      << "locals " << local_diag << " km vs roamers " << roamer_diag;
+}
+
+TEST(GeneratorPropertiesTest, RevisitsConcentrateVenueChoice) {
+  DatasetSpec loyal = BaseSpec(101);
+  loyal.revisit_probability = 0.85;
+  DatasetSpec explorer = BaseSpec(101);
+  explorer.revisit_probability = 0.0;
+  const double loyal_ratio =
+      AverageDistinctVenueRatio(GenerateCheckinDataset(loyal));
+  const double explorer_ratio =
+      AverageDistinctVenueRatio(GenerateCheckinDataset(explorer));
+  EXPECT_LT(loyal_ratio, explorer_ratio - 0.2)
+      << "loyal " << loyal_ratio << " vs explorer " << explorer_ratio;
+}
+
+TEST(GeneratorPropertiesTest, SharperDecayLocalisesCheckins) {
+  // Average distance from a user's positions to their own centroid must
+  // shrink when the distance decay steepens.
+  const auto mean_spread = [](const CheckinDataset& dataset) {
+    double total = 0.0;
+    size_t count = 0;
+    for (const MovingObject& o : dataset.objects) {
+      Point centroid{0, 0};
+      for (const Point& p : o.positions) {
+        centroid.x += p.x;
+        centroid.y += p.y;
+      }
+      centroid.x /= static_cast<double>(o.positions.size());
+      centroid.y /= static_cast<double>(o.positions.size());
+      for (const Point& p : o.positions) {
+        total += Distance(p, centroid);
+        ++count;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+  DatasetSpec gentle = BaseSpec(102);
+  gentle.decay_lambda = 0.8;
+  DatasetSpec sharp = BaseSpec(102);
+  sharp.decay_lambda = 3.5;
+  EXPECT_LT(mean_spread(GenerateCheckinDataset(sharp)),
+            mean_spread(GenerateCheckinDataset(gentle)));
+}
+
+TEST(GeneratorPropertiesTest, ClusterSkewConcentratesCheckins) {
+  // With a heavier cluster-weight skew, the busiest venues capture a
+  // larger share of all check-ins.
+  const auto top_decile_share = [](const CheckinDataset& dataset) {
+    std::vector<int64_t> counts = dataset.venue_checkins;
+    std::sort(counts.rbegin(), counts.rend());
+    int64_t total = 0, top = 0;
+    const size_t decile = counts.size() / 10;
+    for (size_t v = 0; v < counts.size(); ++v) {
+      total += counts[v];
+      if (v < decile) top += counts[v];
+    }
+    return static_cast<double>(top) / static_cast<double>(total);
+  };
+  DatasetSpec flat = BaseSpec(103);
+  flat.cluster_weight_alpha = 3.5;   // near-uniform cluster weights
+  flat.venue_popularity_alpha = 3.5;
+  DatasetSpec skewed = BaseSpec(103);
+  skewed.cluster_weight_alpha = 1.2;
+  skewed.venue_popularity_alpha = 1.2;
+  EXPECT_GT(top_decile_share(GenerateCheckinDataset(skewed)),
+            top_decile_share(GenerateCheckinDataset(flat)));
+}
+
+TEST(GeneratorPropertiesTest, AnchorsBoundTypicalTravel) {
+  // With few anchors and no roaming, nearly all positions should sit
+  // within a few sigma of some anchor's hotspot — no teleporting users.
+  DatasetSpec spec = BaseSpec(104);
+  spec.local_user_fraction = 1.0;
+  spec.decay_lambda = 3.0;
+  const CheckinDataset dataset = GenerateCheckinDataset(spec);
+  size_t near = 0, total = 0;
+  for (const MovingObject& o : dataset.objects) {
+    // Approximate the user's hotspot by their positions' centroid.
+    Point centroid{0, 0};
+    for (const Point& p : o.positions) {
+      centroid.x += p.x;
+      centroid.y += p.y;
+    }
+    centroid.x /= static_cast<double>(o.positions.size());
+    centroid.y /= static_cast<double>(o.positions.size());
+    for (const Point& p : o.positions) {
+      ++total;
+      if (Distance(p, centroid) < 8000.0) ++near;
+    }
+  }
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(total), 0.8);
+}
+
+}  // namespace
+}  // namespace pinocchio

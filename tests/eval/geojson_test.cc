@@ -1,0 +1,123 @@
+#include "eval/geojson.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::RandomInstance;
+
+// Minimal structural validation: balanced braces/brackets and no trailing
+// comma before a closing bracket.
+void ExpectStructurallySaneJson(const std::string& text) {
+  int braces = 0, brackets = 0;
+  char prev_significant = '\0';
+  for (char c : text) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (c == '}' || c == ']') {
+      EXPECT_NE(prev_significant, ',') << "trailing comma before " << c;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev_significant = c;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0, pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(GeoJsonTest, EmitsAllCandidatesByDefault) {
+  const ProblemInstance instance = RandomInstance(1101);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult result = NaiveSolver().Solve(instance, config);
+  const Projection projection({1.29, 103.85});
+  std::ostringstream out;
+  WriteResultGeoJson(instance, result, projection, out);
+  const std::string text = out.str();
+  ExpectStructurallySaneJson(text);
+  EXPECT_EQ(CountOccurrences(text, "\"kind\": \"candidate\""),
+            instance.candidates.size());
+  EXPECT_NE(text.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(text.find("\"rank\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"exact\": true"), std::string::npos);
+}
+
+TEST(GeoJsonTest, TopKLimitsCandidates) {
+  const ProblemInstance instance = RandomInstance(1102);
+  const SolverResult result = NaiveSolver().Solve(instance, DefaultConfig());
+  const Projection projection({1.29, 103.85});
+  GeoJsonOptions options;
+  options.top_k = 3;
+  std::ostringstream out;
+  WriteResultGeoJson(instance, result, projection, out, options);
+  ExpectStructurallySaneJson(out.str());
+  EXPECT_EQ(CountOccurrences(out.str(), "\"kind\": \"candidate\""), 3u);
+}
+
+TEST(GeoJsonTest, ObjectMbrsEmittedOnRequest) {
+  const ProblemInstance instance = RandomInstance(1103);
+  const SolverResult result = NaiveSolver().Solve(instance, DefaultConfig());
+  const Projection projection({1.29, 103.85});
+  GeoJsonOptions options;
+  options.top_k = 2;
+  options.include_object_mbrs = true;
+  options.max_object_mbrs = 5;
+  std::ostringstream out;
+  WriteResultGeoJson(instance, result, projection, out, options);
+  const std::string text = out.str();
+  ExpectStructurallySaneJson(text);
+  EXPECT_EQ(CountOccurrences(text, "\"kind\": \"object_mbr\""), 5u);
+  EXPECT_NE(text.find("\"Polygon\""), std::string::npos);
+}
+
+TEST(GeoJsonTest, CoordinatesAreLonLatNearReference) {
+  ProblemInstance instance;
+  MovingObject o;
+  o.id = 0;
+  o.positions = {{0, 0}};
+  instance.objects.push_back(o);
+  instance.candidates = {{0, 0}};  // exactly at the reference
+  const SolverResult result = NaiveSolver().Solve(instance, DefaultConfig());
+  const Projection projection({1.29, 103.85});
+  std::ostringstream out;
+  WriteResultGeoJson(instance, result, projection, out);
+  // GeoJSON is [lon, lat] — the reference longitude must come first.
+  EXPECT_NE(out.str().find("[103.8500000, 1.2900000]"), std::string::npos);
+}
+
+TEST(GeoJsonTest, EmptyResult) {
+  ProblemInstance instance;
+  SolverResult result;
+  const Projection projection({0, 0});
+  std::ostringstream out;
+  WriteResultGeoJson(instance, result, projection, out);
+  ExpectStructurallySaneJson(out.str());
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,104 @@
+#include "eval/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+TEST(SummaryStatsTest, BasicMoments) {
+  SummaryStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.StdDev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+}
+
+TEST(SummaryStatsTest, Quantiles) {
+  SummaryStats stats;
+  for (int i = 0; i <= 100; ++i) stats.Add(i);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 50.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.99), 99.0);
+}
+
+TEST(SummaryStatsTest, QuantileInterpolates) {
+  SummaryStats stats;
+  stats.Add(0.0);
+  stats.Add(10.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.75), 7.5);
+}
+
+TEST(SummaryStatsTest, AddAfterQuantileStillCorrect) {
+  SummaryStats stats;
+  stats.Add(3.0);
+  stats.Add(1.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 2.0);
+  stats.Add(100.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(stats.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 100.0);
+}
+
+TEST(SummaryStatsDeathTest, EmptyStatsAbort) {
+  SummaryStats stats;
+  EXPECT_DEATH(stats.Mean(), "Check failed");
+  EXPECT_DEATH(stats.Quantile(0.5), "Check failed");
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.0);   // bucket 0
+  h.Add(1.99);  // bucket 0
+  h.Add(2.0);   // bucket 1
+  h.Add(9.99);  // bucket 4
+  EXPECT_EQ(h.counts(), (std::vector<size_t>{2, 1, 0, 0, 1}));
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(-100.0);
+  h.Add(10.0);  // hi is exclusive -> clamps into the last bucket
+  h.Add(1e9);
+  EXPECT_EQ(h.counts(), (std::vector<size_t>{1, 2}));
+}
+
+TEST(HistogramTest, BucketRanges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.BucketRange(0), std::make_pair(0.0, 2.0));
+  EXPECT_EQ(h.BucketRange(4), std::make_pair(8.0, 10.0));
+}
+
+TEST(HistogramTest, RenderContainsCountsAndBars) {
+  Histogram h(0.0, 4.0, 2);
+  for (int i = 0; i < 8; ++i) h.Add(1.0);
+  h.Add(3.0);
+  const std::string text = h.Render(8);
+  EXPECT_NE(text.find("########"), std::string::npos);  // full bucket
+  EXPECT_NE(text.find(" 8"), std::string::npos);
+  EXPECT_NE(text.find(" 1"), std::string::npos);
+}
+
+TEST(HistogramTest, UniformDataFillsEvenly) {
+  Rng rng(17);
+  Histogram h(0.0, 1.0, 10);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) h.Add(rng.NextDouble());
+  for (size_t c : h.counts()) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 400.0);
+  }
+}
+
+TEST(HistogramDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 5), "Check failed");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "Check failed");
+}
+
+}  // namespace
+}  // namespace pinocchio

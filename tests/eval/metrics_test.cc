@@ -1,0 +1,90 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+TEST(RelevantTopKTest, OrdersByGroundTruth) {
+  const std::vector<int64_t> truth = {5, 100, 3, 42, 42};
+  const auto top3 = RelevantTopK(truth, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0], 1u);
+  EXPECT_EQ(top3[1], 3u);  // tie between 42s broken by index
+  EXPECT_EQ(top3[2], 4u);
+}
+
+TEST(RelevantTopKTest, KLargerThanInput) {
+  const std::vector<int64_t> truth = {1, 2};
+  EXPECT_EQ(RelevantTopK(truth, 10).size(), 2u);
+}
+
+TEST(PrecisionAtKTest, HandComputed) {
+  const std::vector<uint32_t> recommended = {1, 2, 3, 4, 5};
+  const std::vector<uint32_t> relevant = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(recommended, relevant, 1), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(recommended, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(recommended, relevant, 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(recommended, relevant, 5), 0.4);
+}
+
+TEST(PrecisionAtKTest, PerfectAndZero) {
+  const std::vector<uint32_t> recommended = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(recommended, recommended, 3), 1.0);
+  const std::vector<uint32_t> disjoint = {7, 8, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(recommended, disjoint, 3), 0.0);
+}
+
+TEST(PrecisionAtKTest, ShortRecommendationList) {
+  const std::vector<uint32_t> recommended = {1};
+  const std::vector<uint32_t> relevant = {1, 2, 3};
+  // The single recommendation is relevant but K = 5 divides by 5.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(recommended, relevant, 5), 0.2);
+}
+
+TEST(PrecisionAtKTest, KZero) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, {}, 0), 0.0);
+}
+
+TEST(AveragePrecisionAtKTest, HandComputed) {
+  const std::vector<uint32_t> recommended = {9, 2, 8, 4};
+  const std::vector<uint32_t> relevant = {2, 4};
+  // Hits at ranks 2 (P@2 = 1/2) and 4 (P@4 = 2/4): AP@4 = (0.5 + 0.5) / 4.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(recommended, relevant, 4), 0.25);
+}
+
+TEST(AveragePrecisionAtKTest, RankSensitivity) {
+  // Moving the relevant item earlier increases AP while P stays equal.
+  const std::vector<uint32_t> early = {2, 9, 8, 7};
+  const std::vector<uint32_t> late = {9, 8, 7, 2};
+  const std::vector<uint32_t> relevant = {2};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(early, relevant, 4),
+                   PrecisionAtK(late, relevant, 4));
+  EXPECT_GT(AveragePrecisionAtK(early, relevant, 4),
+            AveragePrecisionAtK(late, relevant, 4));
+}
+
+TEST(AveragePrecisionAtKTest, PerfectPrefix) {
+  const std::vector<uint32_t> recommended = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(recommended, recommended, 3), 1.0);
+}
+
+TEST(AveragePrecisionAtKTest, NeverExceedsPrecision) {
+  const std::vector<uint32_t> recommended = {1, 5, 2, 7, 3};
+  const std::vector<uint32_t> relevant = {2, 3, 9};
+  for (size_t k = 1; k <= 5; ++k) {
+    EXPECT_LE(AveragePrecisionAtK(recommended, relevant, k),
+              PrecisionAtK(recommended, relevant, k) + 1e-12);
+  }
+}
+
+TEST(MeanStdDevTest, Basics) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(values), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,113 @@
+#include "eval/polyfit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+TEST(PolyFitTest, ExactLine) {
+  const std::vector<double> xs = {0, 1, 2, 3};
+  const std::vector<double> ys = {1, 3, 5, 7};  // y = 1 + 2x
+  const auto c = PolyFit(xs, ys, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 1.0, 1e-9);
+  EXPECT_NEAR(c[1], 2.0, 1e-9);
+}
+
+TEST(PolyFitTest, ExactQuadratic) {
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 - 3.0 * i + 0.5 * i * i);
+  }
+  const auto c = PolyFit(xs, ys, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 2.0, 1e-9);
+  EXPECT_NEAR(c[1], -3.0, 1e-9);
+  EXPECT_NEAR(c[2], 0.5, 1e-9);
+}
+
+TEST(PolyFitTest, NoisyLineRecoversSlope) {
+  Rng rng(88);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0, 10);
+    xs.push_back(x);
+    ys.push_back(4.0 + 1.5 * x + rng.Gaussian(0, 0.1));
+  }
+  const auto c = PolyFit(xs, ys, 1);
+  EXPECT_NEAR(c[0], 4.0, 0.05);
+  EXPECT_NEAR(c[1], 1.5, 0.02);
+}
+
+TEST(PolyFitTest, OverdeterminedConstant) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {5, 5, 5, 5};
+  const auto c = PolyFit(xs, ys, 0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0], 5.0, 1e-12);
+}
+
+TEST(PolyFitTest, InterpolatesWhenPointsEqualTerms) {
+  // 3 points, degree 2: unique interpolating polynomial.
+  const std::vector<double> xs = {0, 1, 2};
+  const std::vector<double> ys = {1, 0, 3};
+  const auto c = PolyFit(xs, ys, 2);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(PolyEval(c, xs[i]), ys[i], 1e-9);
+  }
+}
+
+TEST(PolyFitTest, LeastSquaresResidualIsMinimal) {
+  // Perturbing the fitted coefficients must not reduce the residual.
+  Rng rng(89);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(rng.Uniform(-5, 5));
+    ys.push_back(rng.Uniform(-10, 10));
+  }
+  const auto c = PolyFit(xs, ys, 3);
+  const auto residual = [&](const std::vector<double>& coef) {
+    double total = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const double r = ys[i] - PolyEval(coef, xs[i]);
+      total += r * r;
+    }
+    return total;
+  };
+  const double best = residual(c);
+  for (size_t k = 0; k < c.size(); ++k) {
+    for (double delta : {-0.01, 0.01}) {
+      auto perturbed = c;
+      perturbed[k] += delta;
+      EXPECT_GE(residual(perturbed), best - 1e-9);
+    }
+  }
+}
+
+TEST(PolyEvalTest, HornerBasics) {
+  const std::vector<double> c = {1.0, -2.0, 3.0};  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(PolyEval(c, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PolyEval(c, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(PolyEval(c, 2.0), 9.0);
+  EXPECT_DOUBLE_EQ(PolyEval({}, 5.0), 0.0);
+}
+
+TEST(PolyFitDeathTest, RejectsTooFewPoints) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ys = {1, 2};
+  EXPECT_DEATH(PolyFit(xs, ys, 2), "Check failed");
+}
+
+TEST(PolyFitDeathTest, RejectsMismatchedSizes) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {1, 2};
+  EXPECT_DEATH(PolyFit(xs, ys, 1), "Check failed");
+}
+
+}  // namespace
+}  // namespace pinocchio

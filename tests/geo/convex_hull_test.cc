@@ -1,0 +1,165 @@
+#include "geo/convex_hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, Rng& rng, double extent = 100.0) {
+  std::vector<Point> points;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(0, extent), rng.Uniform(0, extent)});
+  }
+  return points;
+}
+
+TEST(ConvexHullTest, DegenerateInputs) {
+  EXPECT_TRUE(ConvexHull({}).empty());
+
+  const std::vector<Point> one = {{1, 2}};
+  EXPECT_EQ(ConvexHull(one), one);
+
+  const std::vector<Point> two = {{3, 3}, {1, 2}};
+  const auto hull2 = ConvexHull(two);
+  EXPECT_EQ(hull2.size(), 2u);
+
+  // Duplicates collapse.
+  const std::vector<Point> dups = {{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_EQ(ConvexHull(dups).size(), 1u);
+}
+
+TEST(ConvexHullTest, CollinearPointsKeepExtremesOnly) {
+  const std::vector<Point> line = {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {1.5, 1.5}};
+  const auto hull = ConvexHull(line);
+  ASSERT_EQ(hull.size(), 2u);
+  EXPECT_TRUE((hull[0] == Point(0, 0) && hull[1] == Point(3, 3)) ||
+              (hull[0] == Point(3, 3) && hull[1] == Point(0, 0)));
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoints) {
+  const std::vector<Point> points = {{0, 0}, {4, 0}, {4, 4}, {0, 4},
+                                     {2, 2}, {1, 3}, {3, 1}};
+  const auto hull = ConvexHull(points);
+  EXPECT_EQ(hull.size(), 4u);
+  for (const Point& corner :
+       {Point{0, 0}, Point{4, 0}, Point{4, 4}, Point{0, 4}}) {
+    EXPECT_NE(std::find(hull.begin(), hull.end(), corner), hull.end());
+  }
+}
+
+TEST(ConvexHullTest, AllInputPointsInsideHull) {
+  Rng rng(42);
+  const auto points = RandomPoints(200, rng);
+  const ConvexPolygon hull(points);
+  for (const Point& p : points) {
+    EXPECT_TRUE(hull.Contains(p)) << p;
+  }
+}
+
+TEST(ConvexHullTest, HullIsConvex) {
+  Rng rng(43);
+  const auto points = RandomPoints(300, rng);
+  const auto hull = ConvexHull(points);
+  ASSERT_GE(hull.size(), 3u);
+  // Every consecutive triple turns the same way (left, CCW).
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const Point& a = hull[i];
+    const Point& b = hull[(i + 1) % hull.size()];
+    const Point& c = hull[(i + 2) % hull.size()];
+    const double cross =
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    EXPECT_GT(cross, 0.0);
+  }
+}
+
+TEST(ConvexPolygonTest, AreaOfKnownShapes) {
+  const std::vector<Point> square = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_DOUBLE_EQ(ConvexPolygon(square).Area(), 4.0);
+  const std::vector<Point> triangle = {{0, 0}, {4, 0}, {0, 3}};
+  EXPECT_DOUBLE_EQ(ConvexPolygon(triangle).Area(), 6.0);
+  const std::vector<Point> segment = {{0, 0}, {5, 5}};
+  EXPECT_DOUBLE_EQ(ConvexPolygon(segment).Area(), 0.0);
+}
+
+TEST(ConvexPolygonTest, ContainsBasics) {
+  const std::vector<Point> square = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const ConvexPolygon hull(square);
+  EXPECT_TRUE(hull.Contains({1, 1}));
+  EXPECT_TRUE(hull.Contains({0, 0}));    // vertex
+  EXPECT_TRUE(hull.Contains({1, 0}));    // edge
+  EXPECT_FALSE(hull.Contains({2.01, 1}));
+  EXPECT_FALSE(hull.Contains({-0.01, 1}));
+}
+
+TEST(ConvexPolygonTest, MaxDistAttainedAtVertexAndTighterThanMbr) {
+  Rng rng(44);
+  const auto points = RandomPoints(100, rng);
+  const ConvexPolygon hull(points);
+  const Mbr mbr = Mbr::Of(points);
+  for (int q = 0; q < 200; ++q) {
+    const Point p{rng.Uniform(-150, 250), rng.Uniform(-150, 250)};
+    double brute = 0.0;
+    for (const Point& v : points) brute = std::max(brute, Distance(p, v));
+    EXPECT_NEAR(hull.MaxDist(p), brute, 1e-9);
+    EXPECT_LE(hull.MaxDist(p), mbr.MaxDist(p) + 1e-9);
+  }
+}
+
+TEST(ConvexPolygonTest, MinDistZeroInsideAndTighterThanMbr) {
+  Rng rng(45);
+  const auto points = RandomPoints(100, rng);
+  const ConvexPolygon hull(points);
+  const Mbr mbr = Mbr::Of(points);
+  for (int q = 0; q < 200; ++q) {
+    const Point p{rng.Uniform(-150, 250), rng.Uniform(-150, 250)};
+    const double d = hull.MinDist(p);
+    EXPECT_GE(d, mbr.MinDist(p) - 1e-9);
+    if (hull.Contains(p)) {
+      EXPECT_DOUBLE_EQ(d, 0.0);
+    } else {
+      // MinDist to the hull is at most the distance to the closest input
+      // point (which lies inside the hull).
+      double to_closest = std::numeric_limits<double>::infinity();
+      for (const Point& v : points) {
+        to_closest = std::min(to_closest, Distance(p, v));
+      }
+      EXPECT_LE(d, to_closest + 1e-9);
+      EXPECT_GT(d, 0.0);
+    }
+  }
+}
+
+TEST(ConvexPolygonTest, BoundsMatchInputMbr) {
+  Rng rng(46);
+  const auto points = RandomPoints(50, rng);
+  const ConvexPolygon hull(points);
+  EXPECT_TRUE(hull.Bounds() == Mbr::Of(points));
+}
+
+// The pruning-relevant sandwich property: for any query point,
+//   mbr.MinDist <= hull.MinDist <= hull.MaxDist <= mbr.MaxDist.
+class HullSandwichTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HullSandwichTest, DistancesSandwiched) {
+  Rng rng(GetParam());
+  const auto points = RandomPoints(3 + GetParam() % 120, rng);
+  const ConvexPolygon hull(points);
+  const Mbr mbr = Mbr::Of(points);
+  for (int q = 0; q < 100; ++q) {
+    const Point p{rng.Uniform(-200, 300), rng.Uniform(-200, 300)};
+    EXPECT_LE(mbr.MinDist(p), hull.MinDist(p) + 1e-9);
+    EXPECT_LE(hull.MinDist(p), hull.MaxDist(p) + 1e-9);
+    EXPECT_LE(hull.MaxDist(p), mbr.MaxDist(p) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HullSandwichTest,
+                         ::testing::Values<uint64_t>(7, 17, 27, 37, 47));
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,122 @@
+#include "geo/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+TEST(HaversineTest, ZeroDistance) {
+  const LatLon p{1.3, 103.8};
+  EXPECT_DOUBLE_EQ(HaversineDistance(p, p), 0.0);
+}
+
+TEST(HaversineTest, Symmetric) {
+  const LatLon a{1.29, 103.85};
+  const LatLon b{1.35, 103.99};
+  EXPECT_DOUBLE_EQ(HaversineDistance(a, b), HaversineDistance(b, a));
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  const LatLon a{0.0, 0.0};
+  const LatLon b{1.0, 0.0};
+  EXPECT_NEAR(HaversineDistance(a, b), 111195.0, 200.0);
+}
+
+TEST(HaversineTest, OneDegreeLongitudeAtEquator) {
+  const LatLon a{0.0, 0.0};
+  const LatLon b{0.0, 1.0};
+  EXPECT_NEAR(HaversineDistance(a, b), 111195.0, 200.0);
+}
+
+TEST(HaversineTest, LongitudeShrinksWithLatitude) {
+  const LatLon a{60.0, 0.0};
+  const LatLon b{60.0, 1.0};
+  // cos(60 deg) = 0.5
+  EXPECT_NEAR(HaversineDistance(a, b), 111195.0 * 0.5, 300.0);
+}
+
+TEST(HaversineTest, KnownCityPair) {
+  // Singapore to Kuala Lumpur, approx 309 km great-circle.
+  const LatLon sin{1.3521, 103.8198};
+  const LatLon kl{3.1390, 101.6869};
+  EXPECT_NEAR(HaversineDistance(sin, kl), 309000.0, 4000.0);
+}
+
+TEST(EquirectangularTest, MatchesHaversineAtCityScale) {
+  Rng rng(99);
+  const LatLon base{1.29, 103.85};
+  for (int i = 0; i < 500; ++i) {
+    const LatLon a{base.lat + rng.Uniform(-0.15, 0.15),
+                   base.lon + rng.Uniform(-0.2, 0.2)};
+    const LatLon b{base.lat + rng.Uniform(-0.15, 0.15),
+                   base.lon + rng.Uniform(-0.2, 0.2)};
+    const double hav = HaversineDistance(a, b);
+    const double eq = EquirectangularDistance(a, b);
+    EXPECT_NEAR(eq, hav, std::max(1.0, hav * 1e-3));
+  }
+}
+
+TEST(ProjectionTest, ReferenceMapsToOrigin) {
+  const LatLon ref{1.29, 103.85};
+  const Projection proj(ref);
+  const Point p = proj.Project(ref);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, RoundTrip) {
+  const Projection proj({37.77, -122.42});
+  Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    const LatLon geo{37.77 + rng.Uniform(-0.2, 0.2),
+                     -122.42 + rng.Uniform(-0.25, 0.25)};
+    const LatLon back = proj.Unproject(proj.Project(geo));
+    EXPECT_NEAR(back.lat, geo.lat, 1e-9);
+    EXPECT_NEAR(back.lon, geo.lon, 1e-9);
+  }
+}
+
+TEST(ProjectionTest, ProjectedDistanceApproximatesHaversine) {
+  const LatLon ref{1.29, 103.85};
+  const Projection proj(ref);
+  Rng rng(321);
+  for (int i = 0; i < 500; ++i) {
+    const LatLon a{ref.lat + rng.Uniform(-0.12, 0.12),
+                   ref.lon + rng.Uniform(-0.18, 0.18)};
+    const LatLon b{ref.lat + rng.Uniform(-0.12, 0.12),
+                   ref.lon + rng.Uniform(-0.18, 0.18)};
+    const double planar = Distance(proj.Project(a), proj.Project(b));
+    const double hav = HaversineDistance(a, b);
+    // Within 0.2% at city scale near the reference latitude.
+    EXPECT_NEAR(planar, hav, std::max(2.0, hav * 2e-3));
+  }
+}
+
+TEST(ProjectionTest, NorthIsPositiveYEastIsPositiveX) {
+  const Projection proj({10.0, 20.0});
+  EXPECT_GT(proj.Project({10.1, 20.0}).y, 0.0);
+  EXPECT_GT(proj.Project({10.0, 20.1}).x, 0.0);
+  EXPECT_LT(proj.Project({9.9, 20.0}).y, 0.0);
+  EXPECT_LT(proj.Project({10.0, 19.9}).x, 0.0);
+}
+
+TEST(PointTest, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {-3, -4}), 25.0);
+}
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1, 2};
+  const Point b{3, 5};
+  EXPECT_EQ(a + b, Point(4, 7));
+  EXPECT_EQ(b - a, Point(2, 3));
+  EXPECT_EQ(a * 2.0, Point(2, 4));
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,179 @@
+#include "geo/mbr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+TEST(MbrTest, DefaultIsEmpty) {
+  Mbr mbr;
+  EXPECT_TRUE(mbr.IsEmpty());
+  EXPECT_FALSE(mbr.Contains(Point{0, 0}));
+  EXPECT_DOUBLE_EQ(mbr.Area(), 0.0);
+}
+
+TEST(MbrTest, ExpandWithSinglePointIsDegenerate) {
+  Mbr mbr;
+  mbr.Expand({3, 4});
+  EXPECT_FALSE(mbr.IsEmpty());
+  EXPECT_DOUBLE_EQ(mbr.width(), 0.0);
+  EXPECT_DOUBLE_EQ(mbr.height(), 0.0);
+  EXPECT_TRUE(mbr.Contains(Point{3, 4}));
+  EXPECT_EQ(mbr.Center(), Point(3, 4));
+}
+
+TEST(MbrTest, OfPointSet) {
+  const std::vector<Point> points{{0, 0}, {2, 5}, {-1, 3}};
+  const Mbr mbr = Mbr::Of(points);
+  EXPECT_DOUBLE_EQ(mbr.min_x(), -1.0);
+  EXPECT_DOUBLE_EQ(mbr.max_x(), 2.0);
+  EXPECT_DOUBLE_EQ(mbr.min_y(), 0.0);
+  EXPECT_DOUBLE_EQ(mbr.max_y(), 5.0);
+  EXPECT_DOUBLE_EQ(mbr.Area(), 15.0);
+  EXPECT_DOUBLE_EQ(mbr.Margin(), 2.0 * (3.0 + 5.0));
+}
+
+TEST(MbrTest, ContainsBoundary) {
+  const Mbr mbr(0, 0, 2, 2);
+  EXPECT_TRUE(mbr.Contains(Point{0, 0}));
+  EXPECT_TRUE(mbr.Contains(Point{2, 2}));
+  EXPECT_TRUE(mbr.Contains(Point{1, 2}));
+  EXPECT_FALSE(mbr.Contains(Point{2.0001, 1}));
+}
+
+TEST(MbrTest, ContainsMbr) {
+  const Mbr outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Mbr(2, 2, 5, 5)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Mbr(2, 2, 11, 5)));
+  EXPECT_TRUE(outer.Contains(Mbr()));  // empty is contained anywhere
+}
+
+TEST(MbrTest, Intersects) {
+  const Mbr a(0, 0, 2, 2);
+  EXPECT_TRUE(a.Intersects(Mbr(1, 1, 3, 3)));
+  EXPECT_TRUE(a.Intersects(Mbr(2, 2, 3, 3)));  // corner touch
+  EXPECT_FALSE(a.Intersects(Mbr(2.1, 2.1, 3, 3)));
+  EXPECT_FALSE(a.Intersects(Mbr()));
+}
+
+TEST(MbrTest, IntersectionArea) {
+  const Mbr a(0, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Mbr(2, 2, 6, 6)), 4.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Mbr(4, 4, 6, 6)), 0.0);  // touch
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Mbr(5, 5, 6, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(a), 16.0);
+}
+
+TEST(MbrTest, UnionCoversBoth) {
+  const Mbr a(0, 0, 1, 1);
+  const Mbr b(5, -2, 6, 0.5);
+  const Mbr u = a.Union(b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_DOUBLE_EQ(u.min_y(), -2.0);
+  EXPECT_DOUBLE_EQ(u.max_x(), 6.0);
+}
+
+TEST(MbrTest, Inflated) {
+  const Mbr m(0, 0, 2, 2);
+  const Mbr big = m.Inflated(1.0);
+  EXPECT_DOUBLE_EQ(big.min_x(), -1.0);
+  EXPECT_DOUBLE_EQ(big.max_y(), 3.0);
+  EXPECT_TRUE(big.Contains(m));
+}
+
+TEST(MbrTest, MinDistInsideIsZero) {
+  const Mbr m(0, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(m.MinDist(Point{2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(m.MinDist(Point{0, 0}), 0.0);  // boundary
+}
+
+TEST(MbrTest, MinDistAxisAndCorner) {
+  const Mbr m(0, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(m.MinDist(Point{6, 2}), 2.0);    // right side
+  EXPECT_DOUBLE_EQ(m.MinDist(Point{2, -3}), 3.0);   // below
+  EXPECT_DOUBLE_EQ(m.MinDist(Point{7, 8}), 5.0);    // corner 3-4-5
+}
+
+TEST(MbrTest, MaxDistIsFarthestCorner) {
+  const Mbr m(0, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(m.MaxDist(Point{0, 0}), std::sqrt(32.0));
+  EXPECT_DOUBLE_EQ(m.MaxDist(Point{-3, -4}), std::sqrt(49.0 + 64.0));
+  EXPECT_DOUBLE_EQ(m.MaxDist(Point{2, 2}), std::sqrt(8.0));  // center
+}
+
+TEST(MbrTest, HalfDiagonal) {
+  const Mbr m(0, 0, 6, 8);
+  EXPECT_DOUBLE_EQ(m.HalfDiagonal(), 5.0);
+  EXPECT_DOUBLE_EQ(Mbr().HalfDiagonal(), 0.0);
+}
+
+TEST(MbrTest, Equality) {
+  EXPECT_TRUE(Mbr() == Mbr());
+  EXPECT_TRUE(Mbr(0, 0, 1, 1) == Mbr(0, 0, 1, 1));
+  EXPECT_FALSE(Mbr(0, 0, 1, 1) == Mbr(0, 0, 1, 2));
+}
+
+// Property: minDist/maxDist agree with brute force over a dense sample of
+// rectangle points.
+TEST(MbrPropertyTest, MinMaxDistMatchBruteForce) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x0 = rng.Uniform(-50, 50);
+    const double y0 = rng.Uniform(-50, 50);
+    const double w = rng.Uniform(0.0, 30.0);
+    const double h = rng.Uniform(0.0, 30.0);
+    const Mbr m(x0, y0, x0 + w, y0 + h);
+    const Point q{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+
+    double brute_min = std::numeric_limits<double>::infinity();
+    double brute_max = 0.0;
+    constexpr int kGrid = 40;
+    for (int i = 0; i <= kGrid; ++i) {
+      for (int j = 0; j <= kGrid; ++j) {
+        const Point p{x0 + w * i / kGrid, y0 + h * j / kGrid};
+        const double d = Distance(q, p);
+        brute_min = std::min(brute_min, d);
+        brute_max = std::max(brute_max, d);
+      }
+    }
+    // The dense sample can only overestimate minDist / underestimate maxDist.
+    EXPECT_LE(m.MinDist(q), brute_min + 1e-9);
+    EXPECT_GE(m.MinDist(q), brute_min - std::max(w, h) / kGrid - 1e-9);
+    EXPECT_GE(m.MaxDist(q), brute_max - 1e-9);
+    EXPECT_LE(m.MaxDist(q), brute_max + std::max(w, h) / kGrid + 1e-9);
+  }
+}
+
+// Property: for any point, minDist <= maxDist, and any rectangle corner
+// distance lies between them.
+TEST(MbrPropertyTest, CornerDistancesBetweenMinAndMax) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Mbr m(rng.Uniform(-10, 0), rng.Uniform(-10, 0), rng.Uniform(0, 10),
+                rng.Uniform(0, 10));
+    const Point q{rng.Uniform(-30, 30), rng.Uniform(-30, 30)};
+    const double lo = m.MinDist(q);
+    const double hi = m.MaxDist(q);
+    EXPECT_LE(lo, hi);
+    const Point corners[4] = {{m.min_x(), m.min_y()},
+                              {m.min_x(), m.max_y()},
+                              {m.max_x(), m.min_y()},
+                              {m.max_x(), m.max_y()}};
+    for (const Point& c : corners) {
+      const double d = Distance(q, c);
+      EXPECT_GE(d, lo - 1e-9);
+      EXPECT_LE(d, hi + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pinocchio

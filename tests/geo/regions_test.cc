@@ -1,0 +1,207 @@
+#include "geo/regions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+TEST(InfluenceArcsTest, EmptyWhenRadiusBelowHalfDiagonal) {
+  const Mbr mbr(0, 0, 6, 8);  // half diagonal 5
+  EXPECT_TRUE(InfluenceArcsRegion(mbr, 4.9).IsEmpty());
+  EXPECT_FALSE(InfluenceArcsRegion(mbr, 5.0).IsEmpty());
+  EXPECT_FALSE(InfluenceArcsRegion(mbr, 5.1).IsEmpty());
+}
+
+TEST(InfluenceArcsTest, CenterIsContainedWhenNonEmpty) {
+  const Mbr mbr(0, 0, 6, 8);
+  const InfluenceArcsRegion ia(mbr, 5.5);
+  EXPECT_TRUE(ia.Contains(mbr.Center()));
+}
+
+TEST(InfluenceArcsTest, ContainsIffMaxDistWithinRadius) {
+  const Mbr mbr(0, 0, 4, 2);
+  const double radius = 4.0;
+  const InfluenceArcsRegion ia(mbr, radius);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Point p{rng.Uniform(-6, 10), rng.Uniform(-6, 8)};
+    EXPECT_EQ(ia.Contains(p), mbr.MaxDist(p) <= radius);
+  }
+}
+
+TEST(InfluenceArcsTest, EmptyRegionContainsNothing) {
+  const Mbr mbr(0, 0, 10, 10);
+  const InfluenceArcsRegion ia(mbr, 1.0);
+  EXPECT_TRUE(ia.IsEmpty());
+  EXPECT_FALSE(ia.Contains(mbr.Center()));
+  EXPECT_DOUBLE_EQ(ia.Area(), 0.0);
+}
+
+TEST(InfluenceArcsTest, BoundingBoxIsConservative) {
+  const Mbr mbr(0, 0, 4, 2);
+  const InfluenceArcsRegion ia(mbr, 5.0);
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    const Point p{rng.Uniform(-8, 12), rng.Uniform(-8, 10)};
+    if (ia.Contains(p)) {
+      EXPECT_TRUE(ia.BoundingBox().Contains(p))
+          << "point " << p << " contained but outside bbox";
+    }
+  }
+}
+
+TEST(InfluenceArcsTest, DegeneratePointMbrGivesDisk) {
+  // The paper's remark: a single-position object degenerates the region to
+  // a circle of radius minMaxRadius around the position.
+  Mbr point_mbr;
+  point_mbr.Expand({3, 3});
+  const InfluenceArcsRegion ia(point_mbr, 2.0);
+  EXPECT_FALSE(ia.IsEmpty());
+  EXPECT_TRUE(ia.Contains(Point{3, 3}));
+  EXPECT_TRUE(ia.Contains(Point{5, 3}));        // on the boundary
+  EXPECT_FALSE(ia.Contains(Point{5.01, 3}));
+  EXPECT_NEAR(ia.Area(), M_PI * 4.0, 0.01);
+}
+
+TEST(InfluenceArcsTest, AreaMatchesMonteCarlo) {
+  const Mbr mbr(0, 0, 4, 2);
+  const double radius = 4.0;
+  const InfluenceArcsRegion ia(mbr, radius);
+  const Mbr box = ia.BoundingBox();
+  Rng rng(7);
+  const int n = 400000;
+  int inside = 0;
+  for (int i = 0; i < n; ++i) {
+    const Point p{rng.Uniform(box.min_x(), box.max_x()),
+                  rng.Uniform(box.min_y(), box.max_y())};
+    if (ia.Contains(p)) ++inside;
+  }
+  const double mc_area = box.Area() * inside / n;
+  EXPECT_NEAR(ia.Area(), mc_area, 0.02 * mc_area + 1e-6);
+}
+
+TEST(InfluenceArcsTest, NegativeRadiusSentinelIsEmpty) {
+  Mbr point_mbr;
+  point_mbr.Expand({3, 3});
+  const InfluenceArcsRegion ia(point_mbr, -1.0);
+  EXPECT_TRUE(ia.IsEmpty());
+  EXPECT_FALSE(ia.Contains(Point{3, 3}));  // not even the position itself
+  EXPECT_DOUBLE_EQ(ia.Area(), 0.0);
+}
+
+TEST(NonInfluenceBoundaryTest, NegativeRadiusSentinelContainsNothing) {
+  const Mbr mbr(0, 0, 4, 2);
+  const NonInfluenceBoundary nib(mbr, -1.0);
+  EXPECT_FALSE(nib.Contains(mbr.Center()));  // interior pruned too
+  EXPECT_FALSE(nib.Contains(Point{0, 0}));
+  EXPECT_TRUE(nib.BoundingBox().IsEmpty());
+  EXPECT_DOUBLE_EQ(nib.Area(), 0.0);
+}
+
+TEST(NonInfluenceBoundaryTest, ContainsIffMinDistWithinRadius) {
+  const Mbr mbr(0, 0, 4, 2);
+  const double radius = 3.0;
+  const NonInfluenceBoundary nib(mbr, radius);
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const Point p{rng.Uniform(-6, 10), rng.Uniform(-6, 8)};
+    EXPECT_EQ(nib.Contains(p), mbr.MinDist(p) <= radius);
+  }
+}
+
+TEST(NonInfluenceBoundaryTest, MbrInteriorAlwaysContained) {
+  const Mbr mbr(0, 0, 4, 2);
+  const NonInfluenceBoundary nib(mbr, 0.5);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(0, 4), rng.Uniform(0, 2)};
+    EXPECT_TRUE(nib.Contains(p));
+  }
+}
+
+TEST(NonInfluenceBoundaryTest, BoundingBoxIsInflatedMbr) {
+  const Mbr mbr(1, 2, 5, 6);
+  const NonInfluenceBoundary nib(mbr, 2.0);
+  EXPECT_TRUE(nib.BoundingBox() == mbr.Inflated(2.0));
+}
+
+TEST(NonInfluenceBoundaryTest, CornersOfBboxAreOutsideRegion) {
+  // The rounded corners: bbox corners are at Chebyshev distance radius in
+  // both axes, i.e. Euclidean radius*sqrt(2) from the rectangle corner.
+  const Mbr mbr(0, 0, 4, 2);
+  const NonInfluenceBoundary nib(mbr, 3.0);
+  EXPECT_FALSE(nib.Contains(Point{-3, -3}));
+  EXPECT_FALSE(nib.Contains(Point{7, 5}));
+  EXPECT_TRUE(nib.Contains(Point{-3, 1}));  // side midline
+  EXPECT_TRUE(nib.Contains(Point{2, 5}));
+}
+
+TEST(NonInfluenceBoundaryTest, AreaClosedForm) {
+  const Mbr mbr(0, 0, 4, 2);
+  const double radius = 3.0;
+  const NonInfluenceBoundary nib(mbr, radius);
+  const double expected = 4.0 * 2.0 + 2.0 * (4.0 + 2.0) * 3.0 + M_PI * 9.0;
+  EXPECT_DOUBLE_EQ(nib.Area(), expected);
+}
+
+TEST(NonInfluenceBoundaryTest, AreaMatchesMonteCarlo) {
+  const Mbr mbr(0, 0, 4, 2);
+  const double radius = 3.0;
+  const NonInfluenceBoundary nib(mbr, radius);
+  const Mbr box = nib.BoundingBox();
+  Rng rng(10);
+  const int n = 400000;
+  int inside = 0;
+  for (int i = 0; i < n; ++i) {
+    const Point p{rng.Uniform(box.min_x(), box.max_x()),
+                  rng.Uniform(box.min_y(), box.max_y())};
+    if (nib.Contains(p)) ++inside;
+  }
+  const double mc_area = box.Area() * inside / n;
+  EXPECT_NEAR(nib.Area(), mc_area, 0.02 * mc_area);
+}
+
+// The geometric heart of the pruning rules: IA is always inside NIB for the
+// same radius, so the two rules can never contradict each other.
+TEST(RegionsPropertyTest, InfluenceArcsSubsetOfNonInfluenceBoundary) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double w = rng.Uniform(0.0, 10.0);
+    const double h = rng.Uniform(0.0, 10.0);
+    Mbr mbr(0, 0, w, h);
+    const double radius = mbr.HalfDiagonal() + rng.Uniform(0.0, 10.0);
+    const InfluenceArcsRegion ia(mbr, radius);
+    const NonInfluenceBoundary nib(mbr, radius);
+    for (int i = 0; i < 300; ++i) {
+      const Point p{rng.Uniform(-radius - 1, w + radius + 1),
+                    rng.Uniform(-radius - 1, h + radius + 1)};
+      if (ia.Contains(p)) {
+        EXPECT_TRUE(nib.Contains(p));
+      }
+    }
+  }
+}
+
+// Parameterised sweep: for growing radius, region areas are monotone.
+class RegionAreaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RegionAreaTest, AreasGrowWithRadius) {
+  const double radius = GetParam();
+  const Mbr mbr(0, 0, 4, 2);
+  const InfluenceArcsRegion ia_small(mbr, radius);
+  const InfluenceArcsRegion ia_large(mbr, radius + 1.0);
+  EXPECT_LE(ia_small.Area(), ia_large.Area() + 1e-9);
+  const NonInfluenceBoundary nib_small(mbr, radius);
+  const NonInfluenceBoundary nib_large(mbr, radius + 1.0);
+  EXPECT_LT(nib_small.Area(), nib_large.Area());
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RegionAreaTest,
+                         ::testing::Values(0.5, 1.0, 2.3, 4.0, 8.0, 16.0));
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,127 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+std::vector<RTreeEntry> RandomEntries(size_t n, Rng& rng,
+                                      double extent = 1000.0) {
+  std::vector<RTreeEntry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    entries.push_back({{rng.Uniform(0, extent), rng.Uniform(0, extent)},
+                       static_cast<uint32_t>(i)});
+  }
+  return entries;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  const KdTree tree(std::vector<RTreeEntry>{});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.QueryRectIds(Mbr(0, 0, 10, 10)).empty());
+  EXPECT_TRUE(tree.NearestNeighbors({0, 0}, 3).empty());
+}
+
+TEST(KdTreeTest, SingleEntry) {
+  const std::vector<RTreeEntry> one = {{{5, 5}, 42}};
+  const KdTree tree(one);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.QueryRectIds(Mbr(0, 0, 10, 10)), std::vector<uint32_t>{42});
+  EXPECT_TRUE(tree.QueryRectIds(Mbr(6, 6, 7, 7)).empty());
+}
+
+TEST(KdTreeTest, RectQueryMatchesBruteForce) {
+  Rng rng(61);
+  const auto entries = RandomEntries(700, rng);
+  const KdTree tree(entries);
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.Uniform(-50, 1000), y = rng.Uniform(-50, 1000);
+    const Mbr rect(x, y, x + rng.Uniform(0, 400), y + rng.Uniform(0, 400));
+    std::set<uint32_t> expected;
+    for (const auto& e : entries) {
+      if (rect.Contains(e.point)) expected.insert(e.id);
+    }
+    auto ids = tree.QueryRectIds(rect);
+    EXPECT_EQ(std::set<uint32_t>(ids.begin(), ids.end()), expected);
+    EXPECT_EQ(ids.size(), expected.size());
+  }
+}
+
+TEST(KdTreeTest, CircleQueryMatchesBruteForce) {
+  Rng rng(62);
+  const auto entries = RandomEntries(700, rng);
+  const KdTree tree(entries);
+  for (int q = 0; q < 100; ++q) {
+    const Point center{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    const double radius = rng.Uniform(0, 300);
+    std::set<uint32_t> expected;
+    for (const auto& e : entries) {
+      if (Distance(center, e.point) <= radius) expected.insert(e.id);
+    }
+    auto ids = tree.QueryCircleIds(center, radius);
+    EXPECT_EQ(std::set<uint32_t>(ids.begin(), ids.end()), expected);
+  }
+}
+
+TEST(KdTreeTest, NearestNeighborsMatchBruteForce) {
+  Rng rng(63);
+  const auto entries = RandomEntries(400, rng);
+  const KdTree tree(entries);
+  for (int q = 0; q < 50; ++q) {
+    const Point query{rng.Uniform(-100, 1100), rng.Uniform(-100, 1100)};
+    const size_t k = static_cast<size_t>(rng.UniformInt(1, 12));
+    const auto result = tree.NearestNeighbors(query, k);
+    ASSERT_EQ(result.size(), std::min(k, entries.size()));
+    std::vector<double> brute;
+    for (const auto& e : entries) brute.push_back(Distance(query, e.point));
+    std::sort(brute.begin(), brute.end());
+    for (size_t i = 0; i < result.size(); ++i) {
+      EXPECT_NEAR(result[i].second, brute[i], 1e-9);
+    }
+  }
+}
+
+TEST(KdTreeTest, DuplicatePoints) {
+  std::vector<RTreeEntry> entries;
+  for (uint32_t i = 0; i < 50; ++i) entries.push_back({{3, 3}, i});
+  const KdTree tree(entries);
+  EXPECT_EQ(tree.QueryCircleIds({3, 3}, 0.0).size(), 50u);
+  EXPECT_EQ(tree.NearestNeighbors({0, 0}, 5).size(), 5u);
+}
+
+TEST(KdTreeTest, AgreesWithRTreeOnIdenticalQueries) {
+  Rng rng(64);
+  const auto entries = RandomEntries(500, rng);
+  const KdTree kd(entries);
+  const RTree rt = RTree::BulkLoad(entries, 8);
+  for (int q = 0; q < 60; ++q) {
+    const double x = rng.Uniform(0, 1000), y = rng.Uniform(0, 1000);
+    const Mbr rect(x, y, x + rng.Uniform(0, 300), y + rng.Uniform(0, 300));
+    auto a = kd.QueryRectIds(rect);
+    auto b = rt.QueryRectIds(rect);
+    EXPECT_EQ(std::set<uint32_t>(a.begin(), a.end()),
+              std::set<uint32_t>(b.begin(), b.end()));
+  }
+}
+
+class KdTreeSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KdTreeSizeTest, AllEntriesRetrievable) {
+  Rng rng(65 + GetParam());
+  const auto entries = RandomEntries(GetParam(), rng);
+  const KdTree tree(entries);
+  EXPECT_EQ(tree.size(), GetParam());
+  const auto all = tree.QueryRectIds(Mbr(-1, -1, 1001, 1001));
+  EXPECT_EQ(all.size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeSizeTest,
+                         ::testing::Values<size_t>(1, 7, 8, 9, 100, 1024));
+
+}  // namespace
+}  // namespace pinocchio

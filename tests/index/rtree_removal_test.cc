@@ -1,0 +1,168 @@
+// Tests for R-tree removal (Guttman CondenseTree).
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+std::vector<RTreeEntry> RandomEntries(size_t n, Rng& rng,
+                                      double extent = 1000.0) {
+  std::vector<RTreeEntry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    entries.push_back({{rng.Uniform(0, extent), rng.Uniform(0, extent)},
+                       static_cast<uint32_t>(i)});
+  }
+  return entries;
+}
+
+TEST(RTreeRemovalTest, RemoveFromEmptyTree) {
+  RTree tree;
+  EXPECT_FALSE(tree.Remove({1, 1}, 0));
+}
+
+TEST(RTreeRemovalTest, RemoveSingleEntry) {
+  RTree tree;
+  tree.Insert({5, 5}, 3);
+  EXPECT_TRUE(tree.Remove({5, 5}, 3));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0u);
+  EXPECT_FALSE(tree.Remove({5, 5}, 3));  // already gone
+  tree.CheckInvariants();
+}
+
+TEST(RTreeRemovalTest, RemoveRequiresExactPointAndId) {
+  RTree tree;
+  tree.Insert({5, 5}, 3);
+  EXPECT_FALSE(tree.Remove({5, 5}, 4));      // wrong id
+  EXPECT_FALSE(tree.Remove({5, 5.01}, 3));   // wrong point
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Remove({5, 5}, 3));
+}
+
+TEST(RTreeRemovalTest, RemoveHalfThenQueriesMatchBruteForce) {
+  Rng rng(31);
+  const auto entries = RandomEntries(500, rng);
+  RTree tree(8);
+  for (const auto& e : entries) tree.Insert(e.point, e.id);
+
+  std::vector<char> removed(entries.size(), 0);
+  for (size_t i = 0; i < entries.size(); i += 2) {
+    ASSERT_TRUE(tree.Remove(entries[i].point, entries[i].id)) << i;
+    removed[i] = 1;
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), entries.size() / 2);
+
+  for (int q = 0; q < 50; ++q) {
+    const double x = rng.Uniform(0, 1000), y = rng.Uniform(0, 1000);
+    const Mbr rect(x, y, x + rng.Uniform(0, 400), y + rng.Uniform(0, 400));
+    std::set<uint32_t> expected;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!removed[i] && rect.Contains(entries[i].point)) {
+        expected.insert(entries[i].id);
+      }
+    }
+    auto ids = tree.QueryRectIds(rect);
+    EXPECT_EQ(std::set<uint32_t>(ids.begin(), ids.end()), expected);
+  }
+}
+
+TEST(RTreeRemovalTest, RemoveEverythingLeavesEmptyTree) {
+  Rng rng(32);
+  const auto entries = RandomEntries(300, rng);
+  RTree tree(8);
+  for (const auto& e : entries) tree.Insert(e.point, e.id);
+  for (const auto& e : entries) {
+    ASSERT_TRUE(tree.Remove(e.point, e.id));
+    tree.CheckInvariants();
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Bounds().IsEmpty());
+}
+
+TEST(RTreeRemovalTest, RemoveFromBulkLoadedTree) {
+  Rng rng(33);
+  const auto entries = RandomEntries(400, rng);
+  RTree tree = RTree::BulkLoad(entries, 8);
+  for (size_t i = 0; i < entries.size(); i += 3) {
+    ASSERT_TRUE(tree.Remove(entries[i].point, entries[i].id));
+  }
+  tree.CheckInvariants();
+  const auto all = tree.QueryRectIds(Mbr(-1, -1, 1001, 1001));
+  EXPECT_EQ(all.size(), tree.size());
+}
+
+TEST(RTreeRemovalTest, DuplicatePointsRemoveOnlyRequestedId) {
+  RTree tree(8);
+  for (uint32_t i = 0; i < 30; ++i) tree.Insert({7, 7}, i);
+  EXPECT_TRUE(tree.Remove({7, 7}, 13));
+  EXPECT_EQ(tree.size(), 29u);
+  auto ids = tree.QueryRectIds(Mbr(6, 6, 8, 8));
+  EXPECT_EQ(ids.size(), 29u);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 13u), 0);
+  tree.CheckInvariants();
+}
+
+TEST(RTreeRemovalTest, BoundsTightenAfterRemoval) {
+  RTree tree(8);
+  for (uint32_t i = 0; i < 20; ++i) {
+    tree.Insert({static_cast<double>(i), 0.0}, i);
+  }
+  tree.Insert({1000, 1000}, 99);  // outlier
+  EXPECT_DOUBLE_EQ(tree.Bounds().max_x(), 1000.0);
+  EXPECT_TRUE(tree.Remove({1000, 1000}, 99));
+  EXPECT_DOUBLE_EQ(tree.Bounds().max_x(), 19.0);
+  EXPECT_DOUBLE_EQ(tree.Bounds().max_y(), 0.0);
+  tree.CheckInvariants();
+}
+
+// Fuzz: interleaved inserts/removals tracked against a reference set.
+class RTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeFuzzTest, InterleavedInsertRemoveMatchesReference) {
+  Rng rng(GetParam());
+  RTree tree(8);
+  std::vector<RTreeEntry> live;
+  uint32_t next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const bool insert = live.empty() || rng.NextDouble() < 0.6;
+    if (insert) {
+      const RTreeEntry e{{rng.Uniform(0, 300), rng.Uniform(0, 300)},
+                         next_id++};
+      tree.Insert(e.point, e.id);
+      live.push_back(e);
+    } else {
+      const size_t victim = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(tree.Remove(live[victim].point, live[victim].id));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+    if (step % 250 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  ASSERT_EQ(tree.size(), live.size());
+  // Final consistency: every live entry findable, queries exact.
+  for (int q = 0; q < 30; ++q) {
+    const double x = rng.Uniform(0, 300), y = rng.Uniform(0, 300);
+    const Mbr rect(x, y, x + rng.Uniform(0, 120), y + rng.Uniform(0, 120));
+    std::set<uint32_t> expected;
+    for (const auto& e : live) {
+      if (rect.Contains(e.point)) expected.insert(e.id);
+    }
+    auto ids = tree.QueryRectIds(rect);
+    EXPECT_EQ(std::set<uint32_t>(ids.begin(), ids.end()), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeFuzzTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace pinocchio

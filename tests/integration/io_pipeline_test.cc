@@ -1,0 +1,126 @@
+// Cross-format pipeline integration: datasets must survive any route
+// through the I/O layer with their solver-visible semantics intact.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "data/binary_io.h"
+#include "data/checkin_dataset.h"
+#include "data/csv_io.h"
+#include "prob/power_law.h"
+#include "traj/generators.h"
+#include "traj/traj_io.h"
+
+namespace pinocchio {
+namespace {
+
+DatasetSpec TinySpec() {
+  DatasetSpec spec;
+  spec.name = "io-pipeline";
+  spec.seed = 31337;
+  spec.num_users = 60;
+  spec.num_venues = 120;
+  spec.target_checkins = 1800;
+  spec.min_checkins_per_user = 2;
+  spec.max_checkins_per_user = 80;
+  return spec;
+}
+
+SolverConfig Config() {
+  SolverConfig config;
+  config.pf = std::make_shared<PowerLawPF>(0.9, 1.0, 1.0, 100.0);
+  config.tau = 0.5;
+  return config;
+}
+
+TEST(IoPipelineTest, BinaryRoundTripPreservesSolverResults) {
+  const CheckinDataset original = GenerateCheckinDataset(TinySpec());
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  SaveDatasetBinary(original, buffer);
+  CheckinDataset reloaded;
+  std::string error;
+  ASSERT_TRUE(LoadDatasetBinary(buffer, &reloaded, &error)) << error;
+
+  const CandidateSample sample = SampleCandidates(original, 30, 5);
+  const CandidateSample sample2 = SampleCandidates(reloaded, 30, 5);
+  ASSERT_EQ(sample.venue_indices, sample2.venue_indices);
+
+  const SolverResult a =
+      NaiveSolver().Solve(MakeInstance(original, sample), Config());
+  const SolverResult b =
+      NaiveSolver().Solve(MakeInstance(reloaded, sample2), Config());
+  EXPECT_EQ(a.influence, b.influence);  // bit-identical coordinates
+}
+
+TEST(IoPipelineTest, CsvRoundTripPreservesSolverResultsApproximately) {
+  // CSV quantises coordinates to ~1e-7 degrees (~1 cm); influence counts
+  // must be unchanged at any realistic threshold.
+  const CheckinDataset original = GenerateCheckinDataset(TinySpec());
+  std::ostringstream out;
+  SaveCheckinsCsv(original, out);
+  std::istringstream in(out.str());
+  const CheckinDataset reloaded = LoadCheckinsCsv(in);
+  ASSERT_EQ(reloaded.objects.size(), original.objects.size());
+
+  // Use original venue coordinates as candidates for both instances
+  // (reprojection shifts the planar frame, so project the venue sample
+  // through the CSV dataset's own origin).
+  const CandidateSample sample = SampleCandidates(original, 25, 9);
+  const Projection original_projection = original.MakeProjection();
+  const Projection reloaded_projection = reloaded.MakeProjection();
+
+  ProblemInstance a = MakeInstance(original, sample);
+  ProblemInstance b;
+  b.objects = reloaded.objects;
+  for (const Point& p : sample.points) {
+    b.candidates.push_back(
+        reloaded_projection.Project(original_projection.Unproject(p)));
+  }
+
+  EXPECT_EQ(NaiveSolver().Solve(a, Config()).influence,
+            NaiveSolver().Solve(b, Config()).influence);
+}
+
+TEST(IoPipelineTest, TrajectoryCsvToSolverPipeline) {
+  // Generate commuter trajectories, export as trajectory CSV, reload,
+  // discretise, and solve — the full GPS-ingestion path.
+  CommuterSpec base;
+  base.days = 1;
+  base.sample_interval_s = 900.0;
+  Rng rng(11);
+  const auto fleet =
+      GenerateCommuterFleet(base, Mbr(0, 0, 20000, 15000), 25, rng);
+
+  TrajectoryDataset dataset;
+  dataset.origin = {1.3, 103.8};
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    dataset.trajectories.emplace(static_cast<int64_t>(i), fleet[i]);
+  }
+  std::ostringstream out;
+  SaveTrajectoriesCsv(dataset, out);
+  std::istringstream in(out.str());
+  const TrajectoryDataset reloaded = LoadTrajectoriesCsv(in);
+  ASSERT_EQ(reloaded.trajectories.size(), fleet.size());
+
+  const auto objects = DiscretizeTrajectories(reloaded, 1800.0);
+  ASSERT_EQ(objects.size(), fleet.size());
+  for (const MovingObject& o : objects) {
+    EXPECT_GE(o.positions.size(), 24u);  // half-hourly over a day
+  }
+
+  ProblemInstance instance;
+  instance.objects = objects;
+  const Projection projection = reloaded.MakeProjection();
+  // A few candidate sites in the same planar frame.
+  for (double x = 2000; x <= 18000; x += 4000) {
+    instance.candidates.push_back({x, 7500});
+  }
+  const SolverResult result = NaiveSolver().Solve(instance, Config());
+  EXPECT_EQ(result.influence.size(), instance.candidates.size());
+  (void)projection;
+}
+
+}  // namespace
+}  // namespace pinocchio

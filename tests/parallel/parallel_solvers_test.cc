@@ -1,0 +1,94 @@
+#include "parallel/parallel_solvers.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "core/pinocchio_solver.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::InstanceOptions;
+using testing_helpers::RandomInstance;
+
+TEST(ParallelNaiveTest, MatchesSequentialExactly) {
+  const ProblemInstance instance = RandomInstance(601);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult seq = NaiveSolver().Solve(instance, config);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    const SolverResult par =
+        ParallelNaiveSolver(threads).Solve(instance, config);
+    EXPECT_EQ(par.influence, seq.influence) << threads << " threads";
+    EXPECT_EQ(par.best_candidate, seq.best_candidate);
+    EXPECT_EQ(par.stats.positions_scanned, seq.stats.positions_scanned);
+  }
+}
+
+TEST(ParallelPinocchioTest, MatchesSequentialExactly) {
+  const ProblemInstance instance = RandomInstance(602);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult seq = PinocchioSolver().Solve(instance, config);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    const SolverResult par =
+        ParallelPinocchioSolver(threads).Solve(instance, config);
+    EXPECT_EQ(par.influence, seq.influence) << threads << " threads";
+    // Statistics are merged across workers and must match the sequential
+    // accounting exactly (same pruning decisions, different order).
+    EXPECT_EQ(par.stats.pairs_pruned_by_ia, seq.stats.pairs_pruned_by_ia);
+    EXPECT_EQ(par.stats.pairs_pruned_by_nib, seq.stats.pairs_pruned_by_nib);
+    EXPECT_EQ(par.stats.pairs_validated, seq.stats.pairs_validated);
+  }
+}
+
+TEST(ParallelPinocchioTest, EmptyInstance) {
+  ProblemInstance instance;
+  const SolverResult result =
+      ParallelPinocchioSolver(4).Solve(instance, DefaultConfig());
+  EXPECT_TRUE(result.influence.empty());
+}
+
+TEST(ParallelNaiveTest, NamesEncodeThreadCount) {
+  EXPECT_EQ(ParallelNaiveSolver(3).Name(), "NA-P3");
+  EXPECT_EQ(ParallelPinocchioSolver(5).Name(), "PIN-P5");
+}
+
+TEST(ParallelNaiveTest, DefaultThreadCountResolves) {
+  const ParallelNaiveSolver solver(0);
+  EXPECT_NE(solver.Name(), "NA-P0");
+}
+
+class ParallelShapeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelShapeTest, AgreementAcrossInstanceShapes) {
+  const size_t threads = 4;
+  const uint64_t seed = 700 + GetParam();
+  InstanceOptions opts;
+  switch (GetParam()) {
+    case 0:
+      opts = {3, 2, 1, 3, 5000.0, 0.5};  // tiny
+      break;
+    case 1:
+      opts = {100, 5, 1, 10, 30000.0, 0.3};  // many objects, few candidates
+      break;
+    case 2:
+      opts = {5, 100, 1, 10, 30000.0, 0.3};  // few objects, many candidates
+      break;
+    case 3:
+      opts = {50, 50, 30, 60, 30000.0, 0.7};  // heavy positions
+      break;
+  }
+  const ProblemInstance instance = RandomInstance(seed, opts);
+  const SolverConfig config = DefaultConfig();
+  EXPECT_EQ(ParallelNaiveSolver(threads).Solve(instance, config).influence,
+            NaiveSolver().Solve(instance, config).influence);
+  EXPECT_EQ(ParallelPinocchioSolver(threads).Solve(instance, config).influence,
+            PinocchioSolver().Solve(instance, config).influence);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ParallelShapeTest,
+                         ::testing::Values<size_t>(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace pinocchio

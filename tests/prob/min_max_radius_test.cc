@@ -1,0 +1,159 @@
+// Tests of Definition 5 (minMaxRadius) and Theorems 1-2 — the foundations
+// of both pruning rules.
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/point.h"
+#include "prob/alternative_pfs.h"
+#include "prob/influence.h"
+#include "prob/power_law.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+TEST(MinMaxRadiusTest, Definition5ClosedForm) {
+  const PowerLawPF pf(0.9, 1.0);
+  const double tau = 0.7;
+  const size_t n = 10;
+  const double per_position = 1.0 - std::pow(1.0 - tau, 1.0 / n);
+  EXPECT_NEAR(pf.MinMaxRadius(tau, n), pf.Inverse(per_position), 1e-6);
+}
+
+TEST(MinMaxRadiusTest, SinglePositionEqualsInverseTau) {
+  // Lemma 1: n = 1 degenerates to PF^{-1}(tau).
+  const PowerLawPF pf(0.9, 1.0);
+  for (double tau : {0.1, 0.3, 0.5, 0.7, 0.89}) {
+    EXPECT_NEAR(pf.MinMaxRadius(tau, 1), pf.Inverse(tau), 1e-9);
+  }
+}
+
+TEST(MinMaxRadiusTest, GrowsWhenTauDecreases) {
+  // Paper: if n is fixed, minMaxRadius grows when tau decreases.
+  const PowerLawPF pf(0.9, 1.0);
+  const size_t n = 20;
+  double last = 0.0;
+  for (double tau : {0.9, 0.7, 0.5, 0.3, 0.1}) {
+    const double radius = pf.MinMaxRadius(tau, n);
+    EXPECT_GT(radius, last);
+    last = radius;
+  }
+}
+
+TEST(MinMaxRadiusTest, GrowsWithN) {
+  // Paper: if tau is fixed, minMaxRadius grows as n increases.
+  const PowerLawPF pf(0.9, 1.0);
+  const double tau = 0.7;
+  double last = 0.0;
+  for (size_t n : {1u, 2u, 5u, 10u, 50u, 200u, 780u}) {
+    const double radius = pf.MinMaxRadius(tau, n);
+    EXPECT_GT(radius, last) << "n=" << n;
+    last = radius;
+  }
+}
+
+TEST(MinMaxRadiusTest, SentinelWhenThresholdUnreachable) {
+  // If the required per-position probability exceeds PF(0), no circle can
+  // certify influence and — per-position probabilities being uniformly
+  // below the requirement — the object is uninfluenceable altogether.
+  const PowerLawPF pf(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(pf.MinMaxRadius(0.9, 1),
+                   ProbabilityFunction::kUninfluenceable);  // needs 0.9 > rho
+}
+
+TEST(MinMaxRadiusTest, UninfluenceableObjectsTrulyUninfluenceable) {
+  // The semantic backing of the sentinel: even positions at distance zero
+  // cannot push the cumulative probability to tau.
+  const PowerLawPF pf(0.5, 1.0);
+  const double tau = 0.9;
+  for (size_t n : {1u, 2u, 3u}) {
+    if (pf.MinMaxRadius(tau, n) != ProbabilityFunction::kUninfluenceable) {
+      continue;
+    }
+    const std::vector<Point> positions(n, Point{0, 0});
+    EXPECT_FALSE(Influences(pf, {0, 0}, positions, tau)) << "n=" << n;
+  }
+}
+
+TEST(MinMaxRadiusTest, SentinelBoundaryConsistency) {
+  // Exactly at the reachability boundary the radius is 0, not the
+  // sentinel: positions at distance 0 then meet the requirement exactly.
+  const PowerLawPF pf(0.5, 1.0);
+  // Requirement for (tau, 1) is tau itself; PF(0) = 0.5.
+  EXPECT_DOUBLE_EQ(pf.MinMaxRadius(0.5, 1), 0.0);
+  EXPECT_GT(pf.MinMaxRadius(0.49, 1), 0.0);
+  EXPECT_DOUBLE_EQ(pf.MinMaxRadius(0.51, 1),
+                   ProbabilityFunction::kUninfluenceable);
+}
+
+TEST(MinMaxRadiusTest, LargeNStaysFinitePowerLaw) {
+  const PowerLawPF pf(0.9, 1.0);
+  const double radius = pf.MinMaxRadius(0.7, 780);
+  EXPECT_TRUE(std::isfinite(radius));
+  EXPECT_GT(radius, pf.MinMaxRadius(0.7, 10));
+}
+
+// Theorems 1 and 2, exercised across PFs, taus and ns: positions placed
+// entirely inside (resp. outside) the minMaxRadius circle around the
+// candidate are always (resp. never) influenced.
+class TheoremTest : public ::testing::TestWithParam<
+                        std::tuple<ProbabilityFunctionPtr, double, size_t>> {};
+
+TEST_P(TheoremTest, Theorem1AllInsideImpliesInfluence) {
+  const auto& [pf, tau, n] = GetParam();
+  const double radius = pf->MinMaxRadius(tau, n);
+  if (radius <= 0.0) GTEST_SKIP() << "degenerate radius";
+  Rng rng(17 + n);
+  const Point candidate{0, 0};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point> positions;
+    for (size_t i = 0; i < n; ++i) {
+      // Uniform direction, distance within the radius.
+      const double theta = rng.Uniform(0, 2 * M_PI);
+      const double d = rng.Uniform(0.0, radius * 0.999999);
+      positions.push_back({d * std::cos(theta), d * std::sin(theta)});
+    }
+    EXPECT_TRUE(Influences(*pf, candidate, positions, tau))
+        << pf->Name() << " tau=" << tau << " n=" << n;
+  }
+}
+
+TEST_P(TheoremTest, Theorem2AllOutsideImpliesNoInfluence) {
+  const auto& [pf, tau, n] = GetParam();
+  const double radius = pf->MinMaxRadius(tau, n);
+  Rng rng(23 + n);
+  const Point candidate{0, 0};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point> positions;
+    for (size_t i = 0; i < n; ++i) {
+      const double theta = rng.Uniform(0, 2 * M_PI);
+      const double d = radius * (1.0 + 1e-6) + rng.Uniform(0.0, radius + 100.0);
+      positions.push_back({d * std::cos(theta), d * std::sin(theta)});
+    }
+    EXPECT_FALSE(Influences(*pf, candidate, positions, tau))
+        << pf->Name() << " tau=" << tau << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PfTauN, TheoremTest,
+    ::testing::Combine(
+        ::testing::Values(
+            std::static_pointer_cast<const ProbabilityFunction>(
+                std::make_shared<PowerLawPF>(0.9, 1.0)),
+            std::static_pointer_cast<const ProbabilityFunction>(
+                std::make_shared<PowerLawPF>(0.7, 1.25)),
+            std::static_pointer_cast<const ProbabilityFunction>(
+                std::make_shared<LogsigPF>(0.5)),
+            std::static_pointer_cast<const ProbabilityFunction>(
+                std::make_shared<LinearPF>(0.5, 2000.0))),
+        ::testing::Values(0.1, 0.5, 0.7, 0.9),
+        ::testing::Values<size_t>(1, 3, 10, 50)));
+
+}  // namespace
+}  // namespace pinocchio

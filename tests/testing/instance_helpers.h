@@ -1,0 +1,71 @@
+// Shared helpers for solver tests: random PRIME-LS instances with clustered
+// moving objects, mirroring the structure of check-in data at toy scale.
+
+#ifndef PINOCCHIO_TESTS_TESTING_INSTANCE_HELPERS_H_
+#define PINOCCHIO_TESTS_TESTING_INSTANCE_HELPERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/moving_object.h"
+#include "core/solver.h"
+#include "prob/power_law.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace testing_helpers {
+
+/// Options for RandomInstance.
+struct InstanceOptions {
+  size_t num_objects = 40;
+  size_t num_candidates = 30;
+  size_t min_positions = 1;
+  size_t max_positions = 25;
+  double extent_meters = 30000.0;
+  /// Fraction of objects that roam the full extent instead of staying
+  /// close to a single anchor — mixes tight and sprawling MBRs.
+  double roamer_fraction = 0.3;
+};
+
+/// Deterministic random instance with a mix of compact and sprawling
+/// objects; candidates are uniform over the extent.
+inline ProblemInstance RandomInstance(uint64_t seed,
+                                      const InstanceOptions& opts = {}) {
+  Rng rng(seed);
+  ProblemInstance instance;
+  for (size_t k = 0; k < opts.num_objects; ++k) {
+    MovingObject object;
+    object.id = static_cast<uint32_t>(k);
+    const auto n = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(opts.min_positions),
+                       static_cast<int64_t>(opts.max_positions)));
+    const bool roamer = rng.NextDouble() < opts.roamer_fraction;
+    const Point anchor{rng.Uniform(0, opts.extent_meters),
+                       rng.Uniform(0, opts.extent_meters)};
+    const double spread = roamer ? opts.extent_meters : opts.extent_meters / 20;
+    for (size_t i = 0; i < n; ++i) {
+      object.positions.push_back(
+          {anchor.x + rng.Gaussian(0, spread) ,
+           anchor.y + rng.Gaussian(0, spread)});
+    }
+    instance.objects.push_back(std::move(object));
+  }
+  for (size_t j = 0; j < opts.num_candidates; ++j) {
+    instance.candidates.push_back(
+        {rng.Uniform(0, opts.extent_meters), rng.Uniform(0, opts.extent_meters)});
+  }
+  return instance;
+}
+
+/// Paper-default configuration (power-law rho=0.9 lambda=1.0, tau=0.7).
+inline SolverConfig DefaultConfig(double tau = 0.7) {
+  SolverConfig config;
+  config.pf = std::make_shared<PowerLawPF>(0.9, 1.0);
+  config.tau = tau;
+  return config;
+}
+
+}  // namespace testing_helpers
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_TESTS_TESTING_INSTANCE_HELPERS_H_

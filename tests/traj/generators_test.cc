@@ -1,0 +1,143 @@
+#include "traj/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+TEST(RandomWaypointTest, RespectsExtentAndSampling) {
+  RandomWaypointSpec spec;
+  spec.extent = Mbr(0, 0, 10000, 5000);
+  spec.sample_interval_s = 30.0;
+  spec.duration_s = 3600.0;
+  Rng rng(1);
+  const Trajectory t = GenerateRandomWaypoint(spec, rng);
+  ASSERT_GT(t.size(), 2u);
+  for (const TrajectorySample& s : t.samples()) {
+    EXPECT_TRUE(spec.extent.Contains(s.position));
+  }
+  for (size_t i = 1; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.samples()[i].time - t.samples()[i - 1].time, 30.0);
+  }
+  EXPECT_GE(t.Duration(), spec.duration_s - 30.0);
+}
+
+TEST(RandomWaypointTest, SpeedBoundsHold) {
+  RandomWaypointSpec spec;
+  spec.min_speed_mps = 1.0;
+  spec.max_speed_mps = 2.0;
+  spec.sample_interval_s = 10.0;
+  spec.duration_s = 7200.0;
+  Rng rng(2);
+  const Trajectory t = GenerateRandomWaypoint(spec, rng);
+  for (size_t i = 1; i < t.size(); ++i) {
+    const double d =
+        Distance(t.samples()[i - 1].position, t.samples()[i].position);
+    // Never faster than max speed over a sample interval.
+    EXPECT_LE(d, spec.max_speed_mps * spec.sample_interval_s + 1e-9);
+  }
+}
+
+TEST(RandomWaypointTest, DeterministicInRngSeed) {
+  RandomWaypointSpec spec;
+  Rng a(7), b(7);
+  const Trajectory ta = GenerateRandomWaypoint(spec, a);
+  const Trajectory tb = GenerateRandomWaypoint(spec, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.samples()[i].position, tb.samples()[i].position);
+  }
+}
+
+TEST(CommuterTest, SpendsWorkHoursNearWork) {
+  CommuterSpec spec;
+  spec.home = {0, 0};
+  spec.work = {10000, 0};
+  spec.position_jitter_m = 10.0;
+  spec.days = 3;
+  Rng rng(3);
+  const Trajectory t = GenerateCommuter(spec, rng);
+  for (const TrajectorySample& s : t.samples()) {
+    const double tod = std::fmod(s.time, spec.period_s);
+    if (tod > spec.work_start_s + 600 && tod < spec.work_end_s - 600) {
+      EXPECT_LT(Distance(s.position, spec.work), 200.0)
+          << "at time-of-day " << tod;
+    }
+    if (tod < spec.work_start_s - 3600.0) {
+      EXPECT_LT(Distance(s.position, spec.home), 200.0)
+          << "at time-of-day " << tod;
+    }
+  }
+}
+
+TEST(CommuterTest, PeriodicAcrossDays) {
+  CommuterSpec spec;
+  spec.home = {0, 0};
+  spec.work = {8000, 3000};
+  spec.leisure.clear();  // deterministic day shape
+  spec.position_jitter_m = 1.0;
+  spec.days = 4;
+  spec.sample_interval_s = 3600.0;
+  Rng rng(4);
+  const Trajectory t = GenerateCommuter(spec, rng);
+  const size_t per_day = t.size() / spec.days;
+  ASSERT_EQ(t.size() % spec.days, 0u);
+  for (size_t i = 0; i < per_day; ++i) {
+    const Point& day0 = t.samples()[i].position;
+    const Point& day2 = t.samples()[i + 2 * per_day].position;
+    EXPECT_LT(Distance(day0, day2), 20.0);  // same daily pattern + jitter
+  }
+}
+
+TEST(CommuterTest, LeisureDetoursAppearWithAnchors) {
+  CommuterSpec spec;
+  spec.home = {0, 0};
+  spec.work = {5000, 0};
+  spec.leisure = {{0, 8000}};
+  spec.leisure_probability = 1.0;  // every evening
+  spec.position_jitter_m = 10.0;
+  spec.days = 2;
+  Rng rng(5);
+  const Trajectory t = GenerateCommuter(spec, rng);
+  bool visited_leisure = false;
+  for (const TrajectorySample& s : t.samples()) {
+    if (Distance(s.position, spec.leisure[0]) < 200.0) visited_leisure = true;
+  }
+  EXPECT_TRUE(visited_leisure);
+}
+
+TEST(CommuterFleetTest, CountAndExtent) {
+  CommuterSpec base;
+  base.days = 1;
+  const Mbr extent(0, 0, 20000, 15000);
+  Rng rng(6);
+  const auto fleet = GenerateCommuterFleet(base, extent, 25, rng);
+  EXPECT_EQ(fleet.size(), 25u);
+  for (const Trajectory& t : fleet) {
+    EXPECT_FALSE(t.Empty());
+    // Homes/works inside the extent; jitter may push samples slightly out.
+    const Mbr bounds = t.Bounds();
+    EXPECT_LT(bounds.min_x(), extent.max_x() + 1000);
+    EXPECT_GT(bounds.max_x(), extent.min_x() - 1000);
+  }
+}
+
+TEST(CommuterFleetTest, PipelineToSolverPositions) {
+  // End-to-end shape: trajectories resampled at the paper's 24-positions
+  // granularity convert into solver-ready objects.
+  CommuterSpec base;
+  base.days = 1;
+  base.sample_interval_s = 600.0;
+  const Mbr extent(0, 0, 20000, 15000);
+  Rng rng(7);
+  const auto fleet = GenerateCommuterFleet(base, extent, 10, rng);
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    const Trajectory hourly = fleet[i].Resample(3600.0);
+    const MovingObject o = hourly.ToMovingObject(static_cast<uint32_t>(i));
+    EXPECT_GE(o.positions.size(), 24u);
+    EXPECT_LE(o.positions.size(), 26u);
+  }
+}
+
+}  // namespace
+}  // namespace pinocchio

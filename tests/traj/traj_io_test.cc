@@ -1,0 +1,110 @@
+#include "traj/traj_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+TEST(TrajIoTest, LoadsAndGroupsByEntity) {
+  std::istringstream in(
+      "# entity,time,lat,lon\n"
+      "1,0,1.300,103.800\n"
+      "1,60,1.301,103.801\n"
+      "2,0,1.310,103.810\n"
+      "1,120,1.302,103.802\n");
+  const TrajectoryDataset dataset = LoadTrajectoriesCsv(in);
+  ASSERT_EQ(dataset.trajectories.size(), 2u);
+  EXPECT_EQ(dataset.trajectories.at(1).size(), 3u);
+  EXPECT_EQ(dataset.trajectories.at(2).size(), 1u);
+  EXPECT_DOUBLE_EQ(dataset.trajectories.at(1).front().time, 0.0);
+  EXPECT_DOUBLE_EQ(dataset.trajectories.at(1).back().time, 120.0);
+}
+
+TEST(TrajIoTest, SortsOutOfOrderFixes) {
+  std::istringstream in(
+      "5,300,1.302,103.802\n"
+      "5,100,1.300,103.800\n"
+      "5,200,1.301,103.801\n");
+  const TrajectoryDataset dataset = LoadTrajectoriesCsv(in);
+  const Trajectory& t = dataset.trajectories.at(5);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.samples()[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(t.samples()[2].time, 300.0);
+}
+
+TEST(TrajIoTest, LenientModeSkipsBadRowsAndDuplicates) {
+  std::istringstream in(
+      "1,0,1.300,103.800\n"
+      "garbage\n"
+      "1,0,1.305,103.805\n"  // duplicate timestamp
+      "1,60,91.0,103.8\n"    // bad latitude
+      "1,120,1.301,103.801\n");
+  size_t skipped = 0;
+  const TrajectoryDataset dataset =
+      LoadTrajectoriesCsv(in, /*strict=*/false, &skipped);
+  EXPECT_EQ(skipped, 3u);
+  EXPECT_EQ(dataset.trajectories.at(1).size(), 2u);
+}
+
+TEST(TrajIoDeathTest, StrictModeAborts) {
+  std::istringstream bad("1,x,1.3,103.8\n");
+  EXPECT_DEATH(LoadTrajectoriesCsv(bad, /*strict=*/true), "malformed");
+  std::istringstream dup("1,5,1.3,103.8\n1,5,1.3,103.8\n");
+  EXPECT_DEATH(LoadTrajectoriesCsv(dup, /*strict=*/true), "duplicate");
+}
+
+TEST(TrajIoTest, EmptyInput) {
+  std::istringstream in("");
+  const TrajectoryDataset dataset = LoadTrajectoriesCsv(in);
+  EXPECT_TRUE(dataset.trajectories.empty());
+}
+
+TEST(TrajIoTest, RoundTripPreservesGeometry) {
+  std::istringstream in(
+      "1,0,1.3000,103.8000\n"
+      "1,60,1.3100,103.8100\n"
+      "2,10,1.3200,103.8200\n");
+  const TrajectoryDataset original = LoadTrajectoriesCsv(in);
+  std::ostringstream out;
+  SaveTrajectoriesCsv(original, out);
+  std::istringstream back(out.str());
+  const TrajectoryDataset reloaded = LoadTrajectoriesCsv(back);
+  ASSERT_EQ(reloaded.trajectories.size(), original.trajectories.size());
+  for (const auto& [entity, trajectory] : original.trajectories) {
+    const Trajectory& other = reloaded.trajectories.at(entity);
+    ASSERT_EQ(other.size(), trajectory.size());
+    for (size_t i = 0; i < trajectory.size(); ++i) {
+      EXPECT_NEAR(other.samples()[i].time, trajectory.samples()[i].time,
+                  1e-3);
+      // Sub-metre after the double projection round trip.
+      EXPECT_LT(Distance(other.samples()[i].position,
+                         trajectory.samples()[i].position),
+                1.0);
+    }
+  }
+}
+
+TEST(TrajIoTest, DiscretizeProducesUniformObjects) {
+  std::istringstream in(
+      "1,0,1.3000,103.8000\n"
+      "1,600,1.3100,103.8100\n"
+      "7,0,1.3200,103.8200\n"
+      "7,600,1.3300,103.8300\n");
+  const TrajectoryDataset dataset = LoadTrajectoriesCsv(in);
+  const auto objects = DiscretizeTrajectories(dataset, 120.0);
+  ASSERT_EQ(objects.size(), 2u);
+  // 0,120,...,600 -> 6 samples (endpoint included).
+  EXPECT_EQ(objects[0].positions.size(), 6u);
+  EXPECT_EQ(objects[0].id, 0u);
+  EXPECT_EQ(objects[1].id, 1u);
+}
+
+TEST(TrajIoDeathTest, DiscretizeRejectsBadInterval) {
+  const TrajectoryDataset dataset;
+  EXPECT_DEATH(DiscretizeTrajectories(dataset, 0.0), "Check failed");
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,183 @@
+#include "traj/trajectory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+Trajectory Line(double x0, double x1, double t0, double t1, size_t samples) {
+  Trajectory t;
+  for (size_t i = 0; i < samples; ++i) {
+    const double f =
+        samples == 1 ? 0.0 : static_cast<double>(i) / (samples - 1);
+    t.Append(t0 + f * (t1 - t0), {x0 + f * (x1 - x0), 0.0});
+  }
+  return t;
+}
+
+TEST(PointToSegmentTest, Basics) {
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({5, 0}, {-1, 0}, {1, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({0, 0}, {0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(TrajectoryTest, EmptyAndBasics) {
+  Trajectory t;
+  EXPECT_TRUE(t.Empty());
+  EXPECT_DOUBLE_EQ(t.Duration(), 0.0);
+  EXPECT_DOUBLE_EQ(t.Length(), 0.0);
+  EXPECT_TRUE(t.Bounds().IsEmpty());
+  EXPECT_FALSE(t.At(0.0).has_value());
+}
+
+TEST(TrajectoryTest, AppendMaintainsOrder) {
+  Trajectory t;
+  t.Append(0, {0, 0});
+  t.Append(10, {100, 0});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.Duration(), 10.0);
+  EXPECT_DOUBLE_EQ(t.Length(), 100.0);
+}
+
+TEST(TrajectoryDeathTest, RejectsNonIncreasingTime) {
+  Trajectory t;
+  t.Append(5, {0, 0});
+  EXPECT_DEATH(t.Append(5, {1, 1}), "strictly increasing");
+  EXPECT_DEATH(t.Append(4, {1, 1}), "strictly increasing");
+}
+
+TEST(TrajectoryDeathTest, ConstructorValidates) {
+  std::vector<TrajectorySample> bad = {{1.0, {0, 0}}, {0.5, {1, 1}}};
+  EXPECT_DEATH({ Trajectory t(bad); }, "strictly increasing");
+}
+
+TEST(TrajectoryTest, InterpolationAt) {
+  const Trajectory t = Line(0, 100, 0, 10, 2);
+  EXPECT_FALSE(t.At(-0.1).has_value());
+  EXPECT_FALSE(t.At(10.1).has_value());
+  EXPECT_EQ(t.At(0.0)->x, 0.0);
+  EXPECT_EQ(t.At(10.0)->x, 100.0);
+  EXPECT_DOUBLE_EQ(t.At(2.5)->x, 25.0);
+  EXPECT_DOUBLE_EQ(t.At(5.0)->x, 50.0);
+}
+
+TEST(TrajectoryTest, InterpolationHitsSamplesExactly) {
+  Trajectory t;
+  t.Append(0, {0, 0});
+  t.Append(3, {30, 3});
+  t.Append(7, {70, -7});
+  for (const TrajectorySample& s : t.samples()) {
+    const auto p = t.At(s.time);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, s.position);
+  }
+}
+
+TEST(TrajectoryTest, ResampleUniformInterval) {
+  const Trajectory t = Line(0, 100, 0, 10, 11);
+  const Trajectory r = t.Resample(2.5);
+  ASSERT_EQ(r.size(), 5u);  // t = 0, 2.5, 5, 7.5, 10
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.samples()[i].time, 2.5 * static_cast<double>(i));
+    EXPECT_NEAR(r.samples()[i].position.x, 25.0 * static_cast<double>(i),
+                1e-9);
+  }
+}
+
+TEST(TrajectoryTest, ResampleAlwaysKeepsEndpoint) {
+  const Trajectory t = Line(0, 100, 0, 10, 11);
+  const Trajectory r = t.Resample(3.0);  // 0, 3, 6, 9, then endpoint 10
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.back().time, 10.0);
+  EXPECT_DOUBLE_EQ(r.back().position.x, 100.0);
+}
+
+TEST(TrajectoryTest, ResampleSinglePoint) {
+  Trajectory t;
+  t.Append(5, {1, 2});
+  const Trajectory r = t.Resample(1.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.front().position, Point(1, 2));
+}
+
+TEST(TrajectoryTest, SimplifyStraightLineToEndpoints) {
+  const Trajectory t = Line(0, 100, 0, 10, 50);
+  const Trajectory s = t.Simplify(0.01);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.front().position.x, 0.0);
+  EXPECT_EQ(s.back().position.x, 100.0);
+}
+
+TEST(TrajectoryTest, SimplifyKeepsSalientCorner) {
+  Trajectory t;
+  t.Append(0, {0, 0});
+  t.Append(1, {50, 0});
+  t.Append(2, {50, 50});  // sharp corner
+  t.Append(3, {100, 50});
+  const Trajectory s = t.Simplify(1.0);
+  EXPECT_EQ(s.size(), 4u);  // nothing removable within 1 m
+}
+
+TEST(TrajectoryTest, SimplifyErrorBoundHolds) {
+  // Property: every original sample lies within tolerance of the
+  // simplified polyline.
+  Rng rng(404);
+  Trajectory t;
+  double x = 0, y = 0;
+  for (int i = 0; i < 300; ++i) {
+    x += rng.Uniform(1, 20);
+    y += rng.Gaussian(0, 15);
+    t.Append(i, {x, y});
+  }
+  const double tolerance = 25.0;
+  const Trajectory s = t.Simplify(tolerance);
+  EXPECT_LT(s.size(), t.size());
+  for (const TrajectorySample& sample : t.samples()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 1; i < s.size(); ++i) {
+      best = std::min(best, PointToSegmentDistance(sample.position,
+                                                   s.samples()[i - 1].position,
+                                                   s.samples()[i].position));
+    }
+    EXPECT_LE(best, tolerance + 1e-9);
+  }
+}
+
+TEST(TrajectoryTest, SimplifyZeroToleranceKeepsCollinearOnly) {
+  Trajectory t;
+  t.Append(0, {0, 0});
+  t.Append(1, {1, 0});
+  t.Append(2, {2, 0});  // collinear: removable even at tolerance 0
+  t.Append(3, {3, 5});
+  const Trajectory s = t.Simplify(0.0);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(TrajectoryTest, ToMovingObjectDropsTime) {
+  const Trajectory t = Line(0, 100, 0, 10, 5);
+  const MovingObject o = t.ToMovingObject(17);
+  EXPECT_EQ(o.id, 17u);
+  ASSERT_EQ(o.positions.size(), 5u);
+  EXPECT_EQ(o.positions.front(), Point(0, 0));
+  EXPECT_EQ(o.positions.back(), Point(100, 0));
+}
+
+TEST(TrajectoryTest, BoundsCoverSamples) {
+  Rng rng(405);
+  Trajectory t;
+  for (int i = 0; i < 100; ++i) {
+    t.Append(i, {rng.Uniform(-50, 50), rng.Uniform(-20, 80)});
+  }
+  const Mbr bounds = t.Bounds();
+  for (const TrajectorySample& s : t.samples()) {
+    EXPECT_TRUE(bounds.Contains(s.position));
+  }
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,114 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+std::vector<CsvRow> ReadAll(const std::string& text) {
+  std::istringstream in(text);
+  CsvReader reader(in);
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  while (reader.ReadRow(&row)) rows.push_back(row);
+  return rows;
+}
+
+TEST(CsvReaderTest, SimpleRows) {
+  const auto rows = ReadAll("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  const auto rows = ReadAll("x,y");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"x", "y"}));
+}
+
+TEST(CsvReaderTest, EmptyFields) {
+  const auto rows = ReadAll(",,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"", "", ""}));
+}
+
+TEST(CsvReaderTest, QuotedFieldWithDelimiter) {
+  const auto rows = ReadAll("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvReaderTest, EscapedQuotes) {
+  const auto rows = ReadAll("\"say \"\"hi\"\"\",2\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"say \"hi\"", "2"}));
+}
+
+TEST(CsvReaderTest, QuotedNewline) {
+  const auto rows = ReadAll("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"line1\nline2", "x"}));
+}
+
+TEST(CsvReaderTest, SkipsCommentLines) {
+  const auto rows = ReadAll("# header comment\na,b\n# mid comment\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  const auto rows = ReadAll("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvReaderTest, EmptyInput) {
+  const auto rows = ReadAll("");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(CsvReaderTest, CountsRows) {
+  std::istringstream in("a\nb\nc\n");
+  CsvReader reader(in);
+  CsvRow row;
+  while (reader.ReadRow(&row)) {
+  }
+  EXPECT_EQ(reader.rows_read(), 3u);
+}
+
+TEST(CsvWriterTest, QuotesOnlyWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"plain", "with,comma", "with\"quote", "multi\nline"});
+  EXPECT_EQ(out.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST(CsvRoundTripTest, WriteThenReadIdentity) {
+  const std::vector<CsvRow> original = {
+      {"1", "hello, world", "x\"y"},
+      {"", "line\nbreak", "plain"},
+  };
+  std::ostringstream out;
+  CsvWriter writer(out);
+  for (const auto& row : original) writer.WriteRow(row);
+
+  const auto rows = ReadAll(out.str());
+  EXPECT_EQ(rows, original);
+}
+
+TEST(CsvReaderTest, CustomDelimiter) {
+  std::istringstream in("a\tb\tc\n");
+  CsvReader reader(in, '\t');
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(&row));
+  EXPECT_EQ(row, (CsvRow{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARNING");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(LogLevelName(LogLevel::kFatal), "FATAL");
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, FilteredMessageDoesNotEvaluateStream) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  PINO_LOG(DEBUG) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  PINO_LOG(ERROR) << "expected one error line in test output: "
+                  << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(before);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ PINO_CHECK(1 == 2) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOpMacros) {
+  PINO_CHECK_EQ(2, 2);
+  PINO_CHECK_LT(1, 2);
+  PINO_CHECK_GE(2, 2);
+  EXPECT_DEATH({ PINO_CHECK_EQ(1, 2); }, "Check failed");
+  EXPECT_DEATH({ PINO_CHECK_GT(1, 2); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace pinocchio

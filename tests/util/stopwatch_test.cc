@@ -1,0 +1,46 @@
+#include "util/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(StopwatchTest, UnitsAgree) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  const int64_t micros = watch.ElapsedMicros();
+  EXPECT_NEAR(millis, seconds * 1e3, 2.0);
+  EXPECT_GE(micros, static_cast<int64_t>(seconds * 1e6) - 2000);
+}
+
+TEST(StopwatchTest, RestartResetsOrigin) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.01);
+}
+
+TEST(StopwatchTest, Monotonic) {
+  Stopwatch watch;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = watch.ElapsedSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,103 @@
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+TEST(SplitTest, Basic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  const auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoDelimiter) {
+  const auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitTest, EmptyInput) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim("nochange"), "nochange");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_TRUE(ParseDouble("  42 ", &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  double v = 99.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_DOUBLE_EQ(v, 99.0);  // untouched
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64("-9", &v));
+  EXPECT_EQ(v, -9);
+  EXPECT_TRUE(ParseInt64(" 7 ", &v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(ParseInt64Test, InvalidInputs) {
+  int64_t v = 5;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12.5", &v));
+  EXPECT_FALSE(ParseInt64("x", &v));
+  EXPECT_EQ(v, 5);
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.5, 6), "1.5");
+  EXPECT_EQ(FormatDouble(2.0, 6), "2.0");
+  EXPECT_EQ(FormatDouble(0.125, 6), "0.125");
+}
+
+TEST(FormatDoubleTest, RespectsPrecision) {
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+}  // namespace
+}  // namespace pinocchio

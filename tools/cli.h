@@ -1,0 +1,31 @@
+// The `pinocchio` command-line tool, as a library so tests can drive it.
+//
+// Subcommands:
+//   generate  — synthesise a check-in dataset (Foursquare/Gowalla profile)
+//               and write it as CSV or a binary snapshot.
+//   stats     — print Table-2-style statistics for a dataset.
+//   solve     — run a location-selection algorithm over a dataset and
+//               print the top-k candidate ranking.
+//
+// Run `pinocchio --help` (or any subcommand with --help) for flags.
+
+#ifndef PINOCCHIO_TOOLS_CLI_H_
+#define PINOCCHIO_TOOLS_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pinocchio {
+namespace cli {
+
+/// Executes the CLI with `args` (excluding the program name), writing
+/// normal output to `out` and diagnostics to `err`. Returns the process
+/// exit code (0 on success).
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace cli
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_TOOLS_CLI_H_

@@ -1,0 +1,14 @@
+// Entry point of the `pinocchio` CLI; all logic lives in tools/cli.cc so
+// the tests can exercise it in-process.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return pinocchio::cli::Run(args, std::cout, std::cerr);
+}
