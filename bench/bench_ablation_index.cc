@@ -31,10 +31,8 @@ void RunDataset(const std::string& name, const CheckinDataset& dataset,
   const SolverConfig config = DefaultConfig();
   const ObjectStore store(instance.objects, *config.pf, config.tau);
 
-  std::vector<RTreeEntry> entries;
-  for (size_t j = 0; j < instance.candidates.size(); ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
+  const std::vector<RTreeEntry> entries =
+      MakeCandidateEntries(instance.candidates);
 
   // ---- Part 1: candidate lookup structures.
   TablePrinter table("Index ablation (" + name +

@@ -10,6 +10,8 @@
 #ifndef PINOCCHIO_BENCH_BENCH_COMMON_H_
 #define PINOCCHIO_BENCH_BENCH_COMMON_H_
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -17,6 +19,7 @@
 #include "core/naive_solver.h"
 #include "core/pinocchio_solver.h"
 #include "core/pinocchio_vo_solver.h"
+#include "core/prepared_instance.h"
 #include "data/checkin_dataset.h"
 #include "eval/report.h"
 #include "prob/power_law.h"
@@ -94,6 +97,25 @@ inline size_t ScaledCandidates(const BenchContext& ctx, size_t paper_count) {
   const auto scaled =
       static_cast<size_t>(static_cast<double>(paper_count) * ctx.scale);
   return std::max<size_t>(20, scaled);
+}
+
+/// Appends one machine-readable run record (JSON lines, with the
+/// prepare/solve timing split as separate fields) to the file named by
+/// $PINOCCHIO_BENCH_JSON. No-op when the variable is unset, so the ASCII
+/// tables remain the default output.
+inline void AppendRunJson(const std::string& bench, const std::string& dataset,
+                          const std::string& algorithm, size_t objects,
+                          size_t candidates, const SolverStats& stats) {
+  const char* path = std::getenv("PINOCCHIO_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::cerr << "[bench] cannot open PINOCCHIO_BENCH_JSON=" << path << "\n";
+    return;
+  }
+  out << SolverRunJsonLine(bench, dataset, algorithm, objects, candidates,
+                           stats)
+      << "\n";
 }
 
 }  // namespace bench

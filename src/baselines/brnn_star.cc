@@ -3,7 +3,7 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "index/rtree.h"
+#include "core/prepared_instance.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -18,29 +18,23 @@ std::string BrnnStarSolver::Name() const {
   return os.str();
 }
 
-SolverResult BrnnStarSolver::Solve(const ProblemInstance& instance,
-                                   const SolverConfig& config) const {
+SolverResult BrnnStarSolver::Solve(const PreparedInstance& prepared) const {
   Stopwatch watch;
   SolverResult result;
-  const size_t m = instance.candidates.size();
+  const size_t m = prepared.num_candidates();
   result.influence.assign(m, 0);
   result.influence_exact = true;
   if (m == 0) {
-    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
     return result;
   }
 
-  std::vector<RTreeEntry> entries;
-  entries.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
-  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+  const RTree& rtree = prepared.candidate_rtree();
 
   std::unordered_map<uint32_t, int64_t> position_votes;
-  for (const MovingObject& o : instance.objects) {
+  for (const ObjectRecord& rec : prepared.store().records()) {
     position_votes.clear();
-    for (const Point& p : o.positions) {
+    for (const Point& p : rec.positions) {
       const auto nn = rtree.NearestNeighbors(p, k_);
       ++result.stats.positions_scanned;
       for (const auto& [candidate, distance] : nn) {
@@ -63,7 +57,7 @@ SolverResult BrnnStarSolver::Solve(const ProblemInstance& instance,
   }
 
   internal::FinalizeResultFromInfluence(&result);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 

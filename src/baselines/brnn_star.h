@@ -30,8 +30,8 @@ class BrnnStarSolver : public Solver {
 
   std::string Name() const override;
 
-  SolverResult Solve(const ProblemInstance& instance,
-                     const SolverConfig& config) const override;
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
 
  private:
   size_t k_;

@@ -4,7 +4,7 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "index/rtree.h"
+#include "core/prepared_instance.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -35,36 +35,30 @@ double RangeSolver::DefaultRangeMeters(const ProblemInstance& instance) {
   return 0.005 * std::max(extent.width(), extent.height());
 }
 
-SolverResult RangeSolver::Solve(const ProblemInstance& instance,
-                                const SolverConfig& config) const {
+SolverResult RangeSolver::Solve(const PreparedInstance& prepared) const {
   Stopwatch watch;
   SolverResult result;
-  const size_t m = instance.candidates.size();
+  const size_t m = prepared.num_candidates();
   result.influence.assign(m, 0);
   result.influence_exact = true;
   if (m == 0) {
-    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
     return result;
   }
 
-  std::vector<RTreeEntry> entries;
-  entries.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
-  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+  const RTree& rtree = prepared.candidate_rtree();
 
   std::unordered_map<uint32_t, int64_t> in_range_counts;
-  for (const MovingObject& o : instance.objects) {
+  for (const ObjectRecord& rec : prepared.store().records()) {
     in_range_counts.clear();
-    for (const Point& p : o.positions) {
+    for (const Point& p : rec.positions) {
       ++result.stats.positions_scanned;
       rtree.QueryCircle(p, range_meters_, [&](const RTreeEntry& e) {
         ++in_range_counts[e.id];
       });
     }
     const double required =
-        min_proportion_ * static_cast<double>(o.positions.size());
+        min_proportion_ * static_cast<double>(rec.positions.size());
     for (const auto& [candidate, count] : in_range_counts) {
       if (static_cast<double>(count) >= required) {
         ++result.influence[candidate];
@@ -73,7 +67,7 @@ SolverResult RangeSolver::Solve(const ProblemInstance& instance,
   }
 
   internal::FinalizeResultFromInfluence(&result);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 

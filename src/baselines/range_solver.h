@@ -21,8 +21,8 @@ class RangeSolver : public Solver {
 
   std::string Name() const override;
 
-  SolverResult Solve(const ProblemInstance& instance,
-                     const SolverConfig& config) const override;
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
 
   /// The paper's default range: 5 per mille of the instance's complete
   /// scale (the diagonal-dominant extent dimension of all positions).

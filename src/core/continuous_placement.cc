@@ -4,7 +4,7 @@
 #include <queue>
 
 #include "core/influence_query.h"
-#include "core/object_store.h"
+#include "core/prepared_instance.h"
 #include "prob/influence.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -18,32 +18,35 @@ double CumulativeAt(double p, size_t n) {
   return -std::expm1(static_cast<double>(n) * std::log1p(-p));
 }
 
+void FinishTiming(ContinuousPlacementResult* result, double solve_seconds) {
+  result->solve_seconds = solve_seconds;
+  result->elapsed_seconds = result->prepare_seconds + solve_seconds;
+}
+
 }  // namespace
 
 ContinuousPlacementResult PlaceAnywhere(
-    const std::vector<MovingObject>& objects, const Mbr& region,
-    const SolverConfig& config, const ContinuousPlacementOptions& options) {
-  PINO_CHECK(config.pf != nullptr);
-  PINO_CHECK(!objects.empty());
+    const PreparedInstance& prepared, const Mbr& region,
+    const ContinuousPlacementOptions& options) {
+  PINO_CHECK_GT(prepared.num_objects(), 0u);
   PINO_CHECK_GT(options.resolution_meters, 0.0);
   Stopwatch watch;
-  const ProbabilityFunction& pf = *config.pf;
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  const ObjectStore& store = prepared.store();
 
   Mbr root = region;
   if (root.IsEmpty()) {
-    for (const MovingObject& o : objects) root.Expand(o.ActivityMbr());
+    for (const ObjectRecord& rec : store.records()) root.Expand(rec.mbr);
   }
   PINO_CHECK(!root.IsEmpty());
-
-  // Store for exact centre evaluations (reuses the IA/NIB machinery).
-  const ObjectStore store(objects, pf, config.tau);
 
   // Upper-bounds the influence attainable anywhere inside `cell`.
   const auto cell_upper_bound = [&](const Mbr& cell) {
     int64_t bound = 0;
     for (const ObjectRecord& rec : store.records()) {
       const double p = pf(cell.MinDist(rec.mbr));
-      if (CumulativeAt(p, rec.positions.size()) >= config.tau) ++bound;
+      if (CumulativeAt(p, rec.positions.size()) >= tau) ++bound;
     }
     return bound;
   };
@@ -100,7 +103,19 @@ ContinuousPlacementResult PlaceAnywhere(
   }
   if (heap.empty()) result.upper_bound = result.influence;
   if (result.influence < 0) result.influence = 0;
-  result.elapsed_seconds = watch.ElapsedSeconds();
+  FinishTiming(&result, watch.ElapsedSeconds());
+  return result;
+}
+
+ContinuousPlacementResult PlaceAnywhere(
+    const std::vector<MovingObject>& objects, const Mbr& region,
+    const SolverConfig& config, const ContinuousPlacementOptions& options) {
+  Stopwatch watch;
+  const PreparedInstance prepared(objects, config);
+  const double prepare_seconds = watch.ElapsedSeconds();
+  ContinuousPlacementResult result = PlaceAnywhere(prepared, region, options);
+  result.prepare_seconds = prepare_seconds;
+  result.elapsed_seconds = prepare_seconds + result.solve_seconds;
   return result;
 }
 

@@ -23,6 +23,8 @@
 
 namespace pinocchio {
 
+class PreparedInstance;
+
 /// Outcome of continuous placement.
 struct ContinuousPlacementResult {
   /// The best location found (centre of the winning cell).
@@ -35,6 +37,11 @@ struct ContinuousPlacementResult {
   /// Cells popped / influence evaluations performed.
   int64_t cells_explored = 0;
   int64_t evaluations = 0;
+  /// Store build time (0 when searching an already-prepared instance).
+  double prepare_seconds = 0.0;
+  /// Branch-and-bound search time.
+  double solve_seconds = 0.0;
+  /// prepare + solve, kept for compatibility.
   double elapsed_seconds = 0.0;
 };
 
@@ -47,8 +54,14 @@ struct ContinuousPlacementOptions {
 };
 
 /// Finds a location inside `region` maximising the number of influenced
-/// objects. When `region` is empty, the tight bounds of all object
-/// positions are used.
+/// objects, searching against an already-prepared instance's store (the
+/// prepared candidate set is ignored — placement is continuous). When
+/// `region` is empty, the tight bounds of all object positions are used.
+ContinuousPlacementResult PlaceAnywhere(
+    const PreparedInstance& prepared, const Mbr& region,
+    const ContinuousPlacementOptions& options = {});
+
+/// Convenience wrapper: prepares `objects` under `config`, then searches.
 ContinuousPlacementResult PlaceAnywhere(
     const std::vector<MovingObject>& objects, const Mbr& region,
     const SolverConfig& config, const ContinuousPlacementOptions& options = {});

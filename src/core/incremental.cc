@@ -17,12 +17,7 @@ IncrementalPrimeLS::IncrementalPrimeLS(std::vector<Point> candidates,
       influence_(candidates_.size(), 0),
       rtree_(config_.rtree_fanout) {
   PINO_CHECK(config_.pf != nullptr);
-  std::vector<RTreeEntry> entries;
-  entries.reserve(candidates_.size());
-  for (size_t j = 0; j < candidates_.size(); ++j) {
-    entries.push_back({candidates_[j], static_cast<uint32_t>(j)});
-  }
-  rtree_ = RTree::BulkLoad(entries, config_.rtree_fanout);
+  rtree_ = BuildCandidateRTree(candidates_, config_.rtree_fanout);
 }
 
 double IncrementalPrimeLS::RadiusFor(size_t n) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/prepared_instance.h"
 #include "prob/influence.h"
 #include "util/logging.h"
 
@@ -21,12 +22,16 @@ int64_t InfluenceOfCandidate(const ObjectStore& store, const Point& candidate,
   return influence;
 }
 
+int64_t InfluenceOfCandidate(const PreparedInstance& prepared,
+                             const Point& candidate) {
+  return InfluenceOfCandidate(prepared.store(), candidate, prepared.pf());
+}
+
 int64_t InfluenceOfCandidate(const std::vector<MovingObject>& objects,
                              const Point& candidate,
                              const SolverConfig& config) {
-  PINO_CHECK(config.pf != nullptr);
-  const ObjectStore store(objects, *config.pf, config.tau);
-  return InfluenceOfCandidate(store, candidate, *config.pf);
+  const PreparedInstance prepared(objects, config);
+  return InfluenceOfCandidate(prepared, candidate);
 }
 
 double WeightedInfluenceOfCandidate(const ObjectStore& store,
@@ -46,20 +51,22 @@ double WeightedInfluenceOfCandidate(const ObjectStore& store,
   return score;
 }
 
-std::pair<size_t, double> SelectWeighted(
-    const std::vector<MovingObject>& objects,
-    std::span<const double> weights, std::span<const Point> candidates,
-    const SolverConfig& config) {
-  PINO_CHECK(config.pf != nullptr);
-  PINO_CHECK_EQ(weights.size(), objects.size());
-  if (candidates.empty()) return {0, 0.0};
-  const ObjectStore store(objects, *config.pf, config.tau);
+double WeightedInfluenceOfCandidate(const PreparedInstance& prepared,
+                                    std::span<const double> weights,
+                                    const Point& candidate) {
+  return WeightedInfluenceOfCandidate(prepared.store(), weights, candidate,
+                                      prepared.pf());
+}
+
+std::pair<size_t, double> SelectWeighted(const PreparedInstance& prepared,
+                                         std::span<const double> weights) {
+  PINO_CHECK_EQ(weights.size(), prepared.num_objects());
+  if (prepared.num_candidates() == 0) return {0, 0.0};
   size_t best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
-  for (size_t j = 0; j < candidates.size(); ++j) {
-    const double score =
-        WeightedInfluenceOfCandidate(store, weights, candidates[j],
-                                     *config.pf);
+  for (size_t j = 0; j < prepared.num_candidates(); ++j) {
+    const double score = WeightedInfluenceOfCandidate(
+        prepared.store(), weights, prepared.candidate(j), prepared.pf());
     if (score > best_score) {
       best = j;
       best_score = score;
@@ -68,15 +75,33 @@ std::pair<size_t, double> SelectWeighted(
   return {best, best_score};
 }
 
-InfluenceExplanation ExplainInfluence(const std::vector<MovingObject>& objects,
-                                      const Point& candidate,
-                                      const SolverConfig& config) {
-  PINO_CHECK(config.pf != nullptr);
-  const ProbabilityFunction& pf = *config.pf;
-  const ObjectStore store(objects, pf, config.tau);
+std::pair<size_t, double> SelectWeighted(
+    const std::vector<MovingObject>& objects,
+    std::span<const double> weights, std::span<const Point> candidates,
+    const SolverConfig& config) {
+  PINO_CHECK_EQ(weights.size(), objects.size());
+  if (candidates.empty()) return {0, 0.0};
+  const PreparedInstance prepared(objects, config);
+  size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < candidates.size(); ++j) {
+    const double score = WeightedInfluenceOfCandidate(
+        prepared.store(), weights, candidates[j], prepared.pf());
+    if (score > best_score) {
+      best = j;
+      best_score = score;
+    }
+  }
+  return {best, best_score};
+}
+
+InfluenceExplanation ExplainInfluence(const PreparedInstance& prepared,
+                                      const Point& candidate) {
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
 
   InfluenceExplanation explanation;
-  for (const ObjectRecord& rec : store.records()) {
+  for (const ObjectRecord& rec : prepared.store().records()) {
     const bool nib_excludes = !rec.nib.Contains(candidate);
     const bool ia_certifies =
         !rec.ia.IsEmpty() && rec.ia.Contains(candidate);
@@ -88,7 +113,7 @@ InfluenceExplanation ExplainInfluence(const std::vector<MovingObject>& objects,
 
     const double probability =
         CumulativeInfluenceProbability(pf, candidate, rec.positions);
-    const bool influenced = ia_certifies || probability >= config.tau;
+    const bool influenced = ia_certifies || probability >= tau;
     if (!influenced) continue;
 
     InfluencedObject entry;
@@ -111,6 +136,13 @@ InfluenceExplanation ExplainInfluence(const std::vector<MovingObject>& objects,
                      return a.probability > b.probability;
                    });
   return explanation;
+}
+
+InfluenceExplanation ExplainInfluence(const std::vector<MovingObject>& objects,
+                                      const Point& candidate,
+                                      const SolverConfig& config) {
+  const PreparedInstance prepared(objects, config);
+  return ExplainInfluence(prepared, candidate);
 }
 
 }  // namespace pinocchio

@@ -18,13 +18,22 @@
 
 namespace pinocchio {
 
+class PreparedInstance;
+
 /// Exact inf(c) of a single location over `objects`, using the IA/NIB
 /// geometry of a prebuilt store to skip cumulative-probability evaluation
 /// wherever a pruning rule decides the pair.
 int64_t InfluenceOfCandidate(const ObjectStore& store, const Point& candidate,
                              const ProbabilityFunction& pf);
 
-/// Convenience overload building the store internally.
+/// Same query against a prepared instance's store — the point-query
+/// counterpart of `Solver::Solve(const PreparedInstance&)`. `candidate`
+/// need not be one of the prepared candidates.
+int64_t InfluenceOfCandidate(const PreparedInstance& prepared,
+                             const Point& candidate);
+
+/// Convenience overload preparing the objects internally (one-shot; prefer
+/// the PreparedInstance overload when querying repeatedly).
 int64_t InfluenceOfCandidate(const std::vector<MovingObject>& objects,
                              const Point& candidate,
                              const SolverConfig& config);
@@ -50,9 +59,14 @@ struct InfluenceExplanation {
   int64_t decided_by_nib = 0;
 };
 
-/// Computes the explanation. Unlike InfluenceOfCandidate this always
-/// evaluates the exact cumulative probability of influenced objects (the
-/// IA rule only short-circuits the decision, not the probability).
+/// Computes the explanation against a prepared instance. Unlike
+/// InfluenceOfCandidate this always evaluates the exact cumulative
+/// probability of influenced objects (the IA rule only short-circuits the
+/// decision, not the probability).
+InfluenceExplanation ExplainInfluence(const PreparedInstance& prepared,
+                                      const Point& candidate);
+
+/// Convenience overload preparing the objects internally.
 InfluenceExplanation ExplainInfluence(const std::vector<MovingObject>& objects,
                                       const Point& candidate,
                                       const SolverConfig& config);
@@ -65,6 +79,11 @@ double WeightedInfluenceOfCandidate(const ObjectStore& store,
                                     const Point& candidate,
                                     const ProbabilityFunction& pf);
 
+/// Prepared-instance counterpart of the weighted point query.
+double WeightedInfluenceOfCandidate(const PreparedInstance& prepared,
+                                    std::span<const double> weights,
+                                    const Point& candidate);
+
 /// Argmax of weighted influence over a candidate set, with the same
 /// IA/NIB shortcuts per pair. Returns (candidate index, weighted score);
 /// (0, 0.0) when `candidates` is empty.
@@ -72,6 +91,10 @@ std::pair<size_t, double> SelectWeighted(
     const std::vector<MovingObject>& objects,
     std::span<const double> weights, std::span<const Point> candidates,
     const SolverConfig& config);
+
+/// Argmax of weighted influence over the prepared candidate set.
+std::pair<size_t, double> SelectWeighted(const PreparedInstance& prepared,
+                                         std::span<const double> weights);
 
 }  // namespace pinocchio
 

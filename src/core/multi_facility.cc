@@ -2,37 +2,39 @@
 
 #include <queue>
 
-#include "core/object_store.h"
-#include "index/rtree.h"
+#include "core/prepared_instance.h"
 #include "prob/influence.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace pinocchio {
+namespace {
 
-MultiFacilityResult SelectFacilities(const ProblemInstance& instance,
-                                     size_t k, const SolverConfig& config) {
-  PINO_CHECK(config.pf != nullptr);
+void FinishTiming(MultiFacilityResult* result, double solve_seconds) {
+  result->solve_seconds = solve_seconds;
+  result->elapsed_seconds = result->prepare_seconds + solve_seconds;
+}
+
+}  // namespace
+
+MultiFacilityResult SelectFacilities(const PreparedInstance& prepared,
+                                     size_t k) {
   PINO_CHECK_GT(k, 0u);
   Stopwatch watch;
   MultiFacilityResult result;
-  const size_t m = instance.candidates.size();
-  const size_t r = instance.objects.size();
+  const size_t m = prepared.num_candidates();
+  const size_t r = prepared.num_objects();
   if (m == 0) {
-    result.elapsed_seconds = watch.ElapsedSeconds();
+    FinishTiming(&result, watch.ElapsedSeconds());
     return result;
   }
 
   // Build each candidate's influence set once, via the pruning machinery
   // (object-major, as in PINOCCHIO, then transposed).
-  const ProbabilityFunction& pf = *config.pf;
-  const ObjectStore store(instance.objects, pf, config.tau);
-  std::vector<RTreeEntry> entries;
-  entries.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
-  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  const ObjectStore& store = prepared.store();
+  const RTree& rtree = prepared.candidate_rtree();
 
   std::vector<std::vector<uint32_t>> influenced(m);  // candidate -> objects
   for (size_t idx = 0; idx < store.records().size(); ++idx) {
@@ -40,7 +42,7 @@ MultiFacilityResult SelectFacilities(const ProblemInstance& instance,
     rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
       if (!rec.nib.Contains(e.point)) return;
       if ((!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) ||
-          Influences(pf, e.point, rec.positions, config.tau)) {
+          Influences(pf, e.point, rec.positions, tau)) {
         influenced[e.id].push_back(static_cast<uint32_t>(idx));
       }
     });
@@ -103,7 +105,18 @@ MultiFacilityResult SelectFacilities(const ProblemInstance& instance,
     result.coverage.push_back(covered_count);
     ++round;
   }
-  result.elapsed_seconds = watch.ElapsedSeconds();
+  FinishTiming(&result, watch.ElapsedSeconds());
+  return result;
+}
+
+MultiFacilityResult SelectFacilities(const ProblemInstance& instance,
+                                     size_t k, const SolverConfig& config) {
+  Stopwatch watch;
+  const PreparedInstance prepared(instance, config);
+  const double prepare_seconds = watch.ElapsedSeconds();
+  MultiFacilityResult result = SelectFacilities(prepared, k);
+  result.prepare_seconds = prepare_seconds;
+  result.elapsed_seconds = prepare_seconds + result.solve_seconds;
   return result;
 }
 

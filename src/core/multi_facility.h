@@ -20,6 +20,8 @@
 
 namespace pinocchio {
 
+class PreparedInstance;
+
 /// Result of multi-facility selection.
 struct MultiFacilityResult {
   /// Chosen candidate indices, in selection order.
@@ -31,13 +33,22 @@ struct MultiFacilityResult {
   /// Marginal-gain evaluations performed (CELF's saving shows here:
   /// without laziness this would be k * m).
   int64_t gain_evaluations = 0;
+  /// Index/store build time (0 when solving an already-prepared instance).
+  double prepare_seconds = 0.0;
+  /// Greedy selection time.
+  double solve_seconds = 0.0;
+  /// prepare + solve, kept for compatibility.
   double elapsed_seconds = 0.0;
 };
 
 /// Greedily selects `k` facilities maximising union influence under the
-/// PRIME-LS semantics (config.pf, config.tau). Uses each pair's IA/NIB
-/// shortcut when building the per-candidate influence sets. Returns fewer
-/// than k facilities only if fewer candidates exist.
+/// prepared instance's PRIME-LS semantics (pf, tau). Uses each pair's
+/// IA/NIB shortcut when building the per-candidate influence sets. Returns
+/// fewer than k facilities only if fewer candidates exist.
+MultiFacilityResult SelectFacilities(const PreparedInstance& prepared,
+                                     size_t k);
+
+/// Convenience wrapper: prepares `instance` under `config`, then selects.
 MultiFacilityResult SelectFacilities(const ProblemInstance& instance,
                                      size_t k, const SolverConfig& config);
 

@@ -1,34 +1,35 @@
 #include "core/naive_solver.h"
 
+#include "core/prepared_instance.h"
 #include "prob/influence.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace pinocchio {
 
-SolverResult NaiveSolver::Solve(const ProblemInstance& instance,
-                                const SolverConfig& config) const {
-  PINO_CHECK(config.pf != nullptr);
+SolverResult NaiveSolver::Solve(const PreparedInstance& prepared) const {
   Stopwatch watch;
   SolverResult result;
-  result.influence.assign(instance.candidates.size(), 0);
+  const size_t m = prepared.num_candidates();
+  result.influence.assign(m, 0);
   result.influence_exact = true;
 
-  const ProbabilityFunction& pf = *config.pf;
-  for (size_t j = 0; j < instance.candidates.size(); ++j) {
-    const Point& c = instance.candidates[j];
-    for (const MovingObject& o : instance.objects) {
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  for (size_t j = 0; j < m; ++j) {
+    const Point& c = prepared.candidate(j);
+    for (const ObjectRecord& rec : prepared.store().records()) {
       result.stats.positions_scanned +=
-          static_cast<int64_t>(o.positions.size());
+          static_cast<int64_t>(rec.positions.size());
       ++result.stats.pairs_validated;
-      if (Influences(pf, c, o.positions, config.tau)) {
+      if (Influences(pf, c, rec.positions, tau)) {
         ++result.influence[j];
       }
     }
   }
 
   internal::FinalizeResultFromInfluence(&result);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 

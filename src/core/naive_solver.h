@@ -14,8 +14,8 @@ class NaiveSolver : public Solver {
  public:
   std::string Name() const override { return "NA"; }
 
-  SolverResult Solve(const ProblemInstance& instance,
-                     const SolverConfig& config) const override;
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
 };
 
 }  // namespace pinocchio

@@ -23,4 +23,21 @@ ObjectStore::ObjectStore(const std::vector<MovingObject>& objects,
   }
 }
 
+void ObjectStore::Retune(const ProbabilityFunction& pf, double tau) {
+  PINO_CHECK_GT(tau, 0.0);
+  PINO_CHECK_LT(tau, 1.0);
+  tau_ = tau;
+  radius_by_n_.clear();
+  for (ObjectRecord& rec : records_) {
+    const size_t n = rec.positions.size();
+    auto it = radius_by_n_.find(n);
+    if (it == radius_by_n_.end()) {
+      it = radius_by_n_.emplace(n, pf.MinMaxRadius(tau, n)).first;
+    }
+    rec.min_max_radius = it->second;
+    rec.ia = InfluenceArcsRegion(rec.mbr, rec.min_max_radius);
+    rec.nib = NonInfluenceBoundary(rec.mbr, rec.min_max_radius);
+  }
+}
+
 }  // namespace pinocchio

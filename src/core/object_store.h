@@ -58,6 +58,19 @@ class ObjectStore {
     return radius_by_n_;
   }
 
+  /// Memoisation hits of the last (re)build: records whose minMaxRadius was
+  /// served from the n -> radius map instead of a fresh computation.
+  int64_t radius_memo_hits() const {
+    return static_cast<int64_t>(records_.size()) -
+           static_cast<int64_t>(radius_by_n_.size());
+  }
+
+  /// Re-parameterises the store for a new (pf, tau) without copying any
+  /// position array: re-runs the memoised minMaxRadius computation and
+  /// rebuilds each record's IA/NIB in place. This is the cheap part of
+  /// invalidating a prepared instance — MBRs and positions are reused.
+  void Retune(const ProbabilityFunction& pf, double tau);
+
  private:
   double tau_;
   std::vector<ObjectRecord> records_;

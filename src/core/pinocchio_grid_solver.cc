@@ -1,6 +1,6 @@
 #include "core/pinocchio_grid_solver.h"
 
-#include "core/object_store.h"
+#include "core/prepared_instance.h"
 #include "index/grid_index.h"
 #include "prob/influence.h"
 #include "util/logging.h"
@@ -8,30 +8,22 @@
 
 namespace pinocchio {
 
-SolverResult PinocchioGridSolver::Solve(const ProblemInstance& instance,
-                                        const SolverConfig& config) const {
-  PINO_CHECK(config.pf != nullptr);
+SolverResult PinocchioGridSolver::Solve(const PreparedInstance& prepared) const {
   Stopwatch watch;
   SolverResult result;
-  const size_t m = instance.candidates.size();
+  const size_t m = prepared.num_candidates();
   result.influence.assign(m, 0);
   result.influence_exact = true;
   if (m == 0) {
-    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
     return result;
   }
 
-  const ProbabilityFunction& pf = *config.pf;
-  const ObjectStore store(instance.objects, pf, config.tau);
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  const GridIndex grid(prepared.candidate_entries(), target_cells_);
 
-  std::vector<RTreeEntry> entries;
-  entries.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
-  const GridIndex grid(entries, target_cells_);
-
-  for (const ObjectRecord& rec : store.records()) {
+  for (const ObjectRecord& rec : prepared.store().records()) {
     if (!rec.ia.IsEmpty()) {
       grid.QueryRect(rec.ia.BoundingBox(), [&](const RTreeEntry& e) {
         if (rec.ia.Contains(e.point)) {
@@ -48,7 +40,7 @@ SolverResult PinocchioGridSolver::Solve(const ProblemInstance& instance,
       ++result.stats.pairs_validated;
       result.stats.positions_scanned +=
           static_cast<int64_t>(rec.positions.size());
-      if (Influences(pf, e.point, rec.positions, config.tau)) {
+      if (Influences(pf, e.point, rec.positions, tau)) {
         ++result.influence[e.id];
       }
     });
@@ -56,7 +48,7 @@ SolverResult PinocchioGridSolver::Solve(const ProblemInstance& instance,
   }
 
   internal::FinalizeResultFromInfluence(&result);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 

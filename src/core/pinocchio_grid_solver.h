@@ -19,8 +19,11 @@ class PinocchioGridSolver : public Solver {
 
   std::string Name() const override { return "PIN-GRID"; }
 
-  SolverResult Solve(const ProblemInstance& instance,
-                     const SolverConfig& config) const override;
+  /// Builds its grid from the prepared candidate entries per solve (the
+  /// grid is this ablation's own index; only A_2D and the entry list are
+  /// shared engine state).
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
 
  private:
   size_t target_cells_;

@@ -1,56 +1,38 @@
 #include "core/pinocchio_hull_solver.h"
 
-#include <unordered_map>
-
+#include "core/prepared_instance.h"
 #include "geo/convex_hull.h"
-#include "index/rtree.h"
 #include "prob/influence.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace pinocchio {
 
-SolverResult PinocchioHullSolver::Solve(const ProblemInstance& instance,
-                                        const SolverConfig& config) const {
-  PINO_CHECK(config.pf != nullptr);
+SolverResult PinocchioHullSolver::Solve(const PreparedInstance& prepared) const {
   Stopwatch watch;
   SolverResult result;
-  const size_t m = instance.candidates.size();
+  const size_t m = prepared.num_candidates();
   result.influence.assign(m, 0);
   result.influence_exact = true;
   if (m == 0) {
-    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
     return result;
   }
 
-  const ProbabilityFunction& pf = *config.pf;
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  const RTree& rtree = prepared.candidate_rtree();
 
-  std::vector<RTreeEntry> entries;
-  entries.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
-  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
-
-  // minMaxRadius memoised per n, as in Algorithm 1.
-  std::unordered_map<size_t, double> radius_by_n;
-  for (const MovingObject& o : instance.objects) {
-    PINO_CHECK(!o.positions.empty())
-        << "object " << o.id << " has no positions";
-    auto it = radius_by_n.find(o.positions.size());
-    if (it == radius_by_n.end()) {
-      it = radius_by_n
-               .emplace(o.positions.size(),
-                        pf.MinMaxRadius(config.tau, o.positions.size()))
-               .first;
-    }
-    const double radius = it->second;
+  // minMaxRadius comes memoised from the prepared A_2D; the hulls are this
+  // variant's own tighter geometry, built per object during the solve.
+  for (const ObjectRecord& rec : prepared.store().records()) {
+    const double radius = rec.min_max_radius;
     if (radius < 0.0) {
       // Uninfluenceable object: every pair is excluded outright.
       result.stats.pairs_pruned_by_nib += static_cast<int64_t>(m);
       continue;
     }
-    const ConvexPolygon hull(o.positions);
+    const ConvexPolygon hull(rec.positions);
     const double radius_sq = radius * radius;
 
     // The NIB region of the hull is contained in the hull bounds inflated
@@ -74,8 +56,8 @@ SolverResult PinocchioHullSolver::Solve(const ProblemInstance& instance,
       }
       ++result.stats.pairs_validated;
       result.stats.positions_scanned +=
-          static_cast<int64_t>(o.positions.size());
-      if (Influences(pf, e.point, o.positions, config.tau)) {
+          static_cast<int64_t>(rec.positions.size());
+      if (Influences(pf, e.point, rec.positions, tau)) {
         ++result.influence[e.id];
       }
     });
@@ -83,7 +65,7 @@ SolverResult PinocchioHullSolver::Solve(const ProblemInstance& instance,
   }
 
   internal::FinalizeResultFromInfluence(&result);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 

@@ -18,8 +18,8 @@ class PinocchioHullSolver : public Solver {
  public:
   std::string Name() const override { return "PIN-HULL"; }
 
-  SolverResult Solve(const ProblemInstance& instance,
-                     const SolverConfig& config) const override;
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
 };
 
 }  // namespace pinocchio

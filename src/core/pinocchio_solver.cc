@@ -1,37 +1,24 @@
 #include "core/pinocchio_solver.h"
 
-#include "core/object_store.h"
-#include "index/rtree.h"
+#include "core/prepared_instance.h"
 #include "prob/influence.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace pinocchio {
 
-SolverResult PinocchioSolver::Solve(const ProblemInstance& instance,
-                                    const SolverConfig& config) const {
-  PINO_CHECK(config.pf != nullptr);
+SolverResult PinocchioSolver::Solve(const PreparedInstance& prepared) const {
   Stopwatch watch;
   SolverResult result;
-  const size_t m = instance.candidates.size();
+  const size_t m = prepared.num_candidates();
   result.influence.assign(m, 0);
   result.influence_exact = true;
 
-  const ProbabilityFunction& pf = *config.pf;
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  const RTree& rtree = prepared.candidate_rtree();
 
-  // Algorithm 1: initialise A_2D.
-  const ObjectStore store(instance.objects, pf, config.tau);
-
-  // Candidate R-tree (bulk-loaded; leaves carry candidate ids that index
-  // into result.influence).
-  std::vector<RTreeEntry> entries;
-  entries.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
-  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
-
-  for (const ObjectRecord& rec : store.records()) {
+  for (const ObjectRecord& rec : prepared.store().records()) {
     // Lemma 2: candidates inside IA(O_k) influence O_k outright. The R-tree
     // is probed with the conservative bounding box; the exact arc test
     // filters the hits.
@@ -56,7 +43,7 @@ SolverResult PinocchioSolver::Solve(const ProblemInstance& instance,
       ++result.stats.pairs_validated;
       result.stats.positions_scanned +=
           static_cast<int64_t>(rec.positions.size());
-      if (Influences(pf, e.point, rec.positions, config.tau)) {
+      if (Influences(pf, e.point, rec.positions, tau)) {
         ++result.influence[e.id];
       }
     });
@@ -64,7 +51,7 @@ SolverResult PinocchioSolver::Solve(const ProblemInstance& instance,
   }
 
   internal::FinalizeResultFromInfluence(&result);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 

@@ -19,8 +19,8 @@ class PinocchioSolver : public Solver {
  public:
   std::string Name() const override { return "PIN"; }
 
-  SolverResult Solve(const ProblemInstance& instance,
-                     const SolverConfig& config) const override;
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
 };
 
 }  // namespace pinocchio

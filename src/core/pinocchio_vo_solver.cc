@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <queue>
 
-#include "core/object_store.h"
-#include "index/rtree.h"
+#include "core/prepared_instance.h"
 #include "prob/influence.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -43,23 +42,22 @@ class CutoffTracker {
 
 }  // namespace
 
-SolverResult PinocchioVOSolver::Solve(const ProblemInstance& instance,
-                                      const SolverConfig& config) const {
-  PINO_CHECK(config.pf != nullptr);
+SolverResult PinocchioVOSolver::Solve(const PreparedInstance& prepared) const {
+  const SolverConfig& config = prepared.config();
   PINO_CHECK_GT(config.top_k, 0u);
   Stopwatch watch;
   SolverResult result;
-  const size_t m = instance.candidates.size();
-  const auto r = static_cast<int64_t>(instance.objects.size());
+  const size_t m = prepared.num_candidates();
+  const ObjectStore& store = prepared.store();
+  const auto r = static_cast<int64_t>(store.size());
   result.influence.assign(m, 0);
   result.influence_exact = false;
   if (m == 0) {
-    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
     return result;
   }
 
-  const ProbabilityFunction& pf = *config.pf;
-  const ObjectStore store(instance.objects, pf, config.tau);
+  const ProbabilityFunction& pf = prepared.pf();
 
   // ---------------------------------------------------------------- prune
   // minInf starts at 0 and counts IA certificates; the verification set
@@ -71,12 +69,7 @@ SolverResult PinocchioVOSolver::Solve(const ProblemInstance& instance,
   std::vector<std::vector<uint32_t>> vs(m);
 
   if (use_pruning_) {
-    std::vector<RTreeEntry> entries;
-    entries.reserve(m);
-    for (size_t j = 0; j < m; ++j) {
-      entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-    }
-    const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+    const RTree& rtree = prepared.candidate_rtree();
 
     for (size_t k = 0; k < store.records().size(); ++k) {
       const ObjectRecord& rec = store.records()[k];
@@ -123,7 +116,7 @@ SolverResult PinocchioVOSolver::Solve(const ProblemInstance& instance,
     if (cutoff.Saturated() && max_inf[j] < cutoff.Value()) break;
     ++result.stats.heap_pops;
 
-    const Point& c = instance.candidates[j];
+    const Point& c = prepared.candidate(j);
     for (uint32_t rec_idx : vs[j]) {
       // Strategy 1 mid-validation abort (Algorithm 3 lines 25-26).
       if (cutoff.Saturated() && max_inf[j] < cutoff.Value()) {
@@ -167,7 +160,7 @@ SolverResult PinocchioVOSolver::Solve(const ProblemInstance& instance,
   // exact top-k prefix.
   result.influence = std::move(min_inf);
   internal::FinalizeResultFromInfluence(&result);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 

@@ -31,8 +31,8 @@ class PinocchioVOSolver : public Solver {
     return use_pruning_ ? "PIN-VO" : "PIN-VO*";
   }
 
-  SolverResult Solve(const ProblemInstance& instance,
-                     const SolverConfig& config) const override;
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
 
  private:
   bool use_pruning_;

@@ -3,12 +3,26 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/prepared_instance.h"
+#include "util/stopwatch.h"
+
 namespace pinocchio {
 
 std::vector<uint32_t> SolverResult::TopK(size_t k) const {
   const size_t count = std::min(k, ranking.size());
   return std::vector<uint32_t>(ranking.begin(),
                                ranking.begin() + static_cast<ptrdiff_t>(count));
+}
+
+SolverResult Solver::Solve(const ProblemInstance& instance,
+                           const SolverConfig& config) const {
+  Stopwatch watch;
+  const PreparedInstance prepared(instance, config);
+  const double prepare_seconds = watch.ElapsedSeconds();
+  SolverResult result = Solve(prepared);
+  result.stats.prepare_seconds = prepare_seconds;
+  result.stats.elapsed_seconds = prepare_seconds + result.stats.solve_seconds;
+  return result;
 }
 
 namespace internal {
@@ -25,6 +39,11 @@ void FinalizeResultFromInfluence(SolverResult* result) {
     result->best_candidate = result->ranking.front();
     result->best_influence = result->influence[result->best_candidate];
   }
+}
+
+void FinishSolveTiming(SolverStats* stats, double solve_seconds) {
+  stats->solve_seconds = solve_seconds;
+  stats->elapsed_seconds = stats->prepare_seconds + solve_seconds;
 }
 
 }  // namespace internal

@@ -15,6 +15,8 @@
 
 namespace pinocchio {
 
+class PreparedInstance;
+
 /// Parameters shared by every solver.
 struct SolverConfig {
   /// The distance-based influence probability function PF.
@@ -46,7 +48,14 @@ struct SolverStats {
   int64_t heap_pops = 0;
   /// Candidate validations abandoned because maxInf fell below maxminInf.
   int64_t strategy1_cutoffs = 0;
-  /// Wall-clock time of Solve(), seconds.
+  /// Wall-clock seconds spent building shared indexes (Algorithm 1's A_2D
+  /// and the candidate R-tree). Zero when the caller supplied an already
+  /// prepared instance — that is the whole point of preparing once.
+  double prepare_seconds = 0.0;
+  /// Wall-clock seconds of the query itself (pruning + validation).
+  double solve_seconds = 0.0;
+  /// prepare_seconds + solve_seconds; kept so existing reports and callers
+  /// keep reading total time under its old name.
   double elapsed_seconds = 0.0;
 
   /// Total object-candidate pairs resolved by either pruning rule.
@@ -76,6 +85,12 @@ struct SolverResult {
 };
 
 /// Interface implemented by every location-selection algorithm.
+///
+/// The primary entry point is Solve(const PreparedInstance&): index
+/// construction (Algorithm 1's A_2D plus the candidate R-tree) happens once
+/// in the PreparedInstance and is shared by every query. The classic
+/// Solve(instance, config) stays as a convenience that prepares internally
+/// and delegates, recording the build in `stats.prepare_seconds`.
 class Solver {
  public:
   virtual ~Solver() = default;
@@ -83,10 +98,16 @@ class Solver {
   /// Short identifier used in reports ("NA", "PIN", "PIN-VO", ...).
   virtual std::string Name() const = 0;
 
-  /// Solves the PRIME-LS instance (or the baseline's own semantics) and
-  /// returns the winner plus statistics.
-  virtual SolverResult Solve(const ProblemInstance& instance,
-                             const SolverConfig& config) const = 0;
+  /// Solves against prepared shared state. `stats.solve_seconds` covers
+  /// only the query; `stats.prepare_seconds` stays 0 (the build was paid by
+  /// the PreparedInstance, see PreparedInstance::build_stats()).
+  virtual SolverResult Solve(const PreparedInstance& prepared) const = 0;
+
+  /// One-shot convenience: prepares `instance` under `config`, solves, and
+  /// reports stats with prepare_seconds + solve_seconds = elapsed_seconds.
+  /// Subclasses re-export this overload with `using Solver::Solve;`.
+  SolverResult Solve(const ProblemInstance& instance,
+                     const SolverConfig& config) const;
 };
 
 namespace internal {
@@ -95,6 +116,10 @@ namespace internal {
 /// Ties are broken towards the smaller candidate index, matching the
 /// sequential argmax of the paper's pseudo-code.
 void FinalizeResultFromInfluence(SolverResult* result);
+
+/// Stamps the query-phase wall clock and keeps `elapsed_seconds` equal to
+/// prepare + solve.
+void FinishSolveTiming(SolverStats* stats, double solve_seconds);
 
 }  // namespace internal
 }  // namespace pinocchio

@@ -3,39 +3,31 @@
 #include <algorithm>
 #include <numeric>
 
-#include "core/object_store.h"
-#include "index/rtree.h"
+#include "core/prepared_instance.h"
 #include "prob/influence.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace pinocchio {
 
-WeightedSolverResult SolveWeightedPinocchio(const ProblemInstance& instance,
-                                            std::span<const double> weights,
-                                            const SolverConfig& config) {
-  PINO_CHECK(config.pf != nullptr);
-  PINO_CHECK_EQ(weights.size(), instance.objects.size());
+WeightedSolverResult SolveWeightedPinocchio(const PreparedInstance& prepared,
+                                            std::span<const double> weights) {
+  PINO_CHECK_EQ(weights.size(), prepared.num_objects());
   for (double w : weights) PINO_CHECK_GE(w, 0.0);
 
   Stopwatch watch;
   WeightedSolverResult result;
-  const size_t m = instance.candidates.size();
+  const size_t m = prepared.num_candidates();
   result.score.assign(m, 0.0);
   if (m == 0) {
-    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
     return result;
   }
 
-  const ProbabilityFunction& pf = *config.pf;
-  const ObjectStore store(instance.objects, pf, config.tau);
-
-  std::vector<RTreeEntry> entries;
-  entries.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
-  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  const ObjectStore& store = prepared.store();
+  const RTree& rtree = prepared.candidate_rtree();
 
   for (size_t k = 0; k < store.records().size(); ++k) {
     const ObjectRecord& rec = store.records()[k];
@@ -52,7 +44,7 @@ WeightedSolverResult SolveWeightedPinocchio(const ProblemInstance& instance,
       ++result.stats.pairs_validated;
       result.stats.positions_scanned +=
           static_cast<int64_t>(rec.positions.size());
-      if (Influences(pf, e.point, rec.positions, config.tau)) {
+      if (Influences(pf, e.point, rec.positions, tau)) {
         result.score[e.id] += weight;
       }
     });
@@ -67,36 +59,41 @@ WeightedSolverResult SolveWeightedPinocchio(const ProblemInstance& instance,
                    });
   result.best_candidate = result.ranking.front();
   result.best_score = result.score[result.best_candidate];
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 
-WeightedVOResult SolveWeightedPinocchioVO(const ProblemInstance& instance,
-                                          std::span<const double> weights,
-                                          const SolverConfig& config) {
-  PINO_CHECK(config.pf != nullptr);
-  PINO_CHECK_EQ(weights.size(), instance.objects.size());
+WeightedSolverResult SolveWeightedPinocchio(const ProblemInstance& instance,
+                                            std::span<const double> weights,
+                                            const SolverConfig& config) {
+  Stopwatch watch;
+  const PreparedInstance prepared(instance, config);
+  const double prepare_seconds = watch.ElapsedSeconds();
+  WeightedSolverResult result = SolveWeightedPinocchio(prepared, weights);
+  result.stats.prepare_seconds = prepare_seconds;
+  result.stats.elapsed_seconds = prepare_seconds + result.stats.solve_seconds;
+  return result;
+}
+
+WeightedVOResult SolveWeightedPinocchioVO(const PreparedInstance& prepared,
+                                          std::span<const double> weights) {
+  PINO_CHECK_EQ(weights.size(), prepared.num_objects());
   for (double w : weights) PINO_CHECK_GE(w, 0.0);
 
   Stopwatch watch;
   WeightedVOResult result;
-  const size_t m = instance.candidates.size();
+  const size_t m = prepared.num_candidates();
   result.score.assign(m, 0.0);
   result.score_exact.assign(m, false);
   if (m == 0) {
-    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
     return result;
   }
 
-  const ProbabilityFunction& pf = *config.pf;
-  const ObjectStore store(instance.objects, pf, config.tau);
-
-  std::vector<RTreeEntry> entries;
-  entries.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
-  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  const ObjectStore& store = prepared.store();
+  const RTree& rtree = prepared.candidate_rtree();
 
   // Prune phase: IA certificates raise the lower bound; the verification
   // set carries the undecided weight.
@@ -129,7 +126,7 @@ WeightedVOResult SolveWeightedPinocchioVO(const ProblemInstance& instance,
   for (uint32_t j : order) {
     if (min_score[j] + undecided[j] < best) break;
     ++result.stats.heap_pops;
-    const Point& c = instance.candidates[j];
+    const Point& c = prepared.candidate(j);
     double running = min_score[j];
     double remaining = undecided[j];
     bool aborted = false;
@@ -141,7 +138,7 @@ WeightedVOResult SolveWeightedPinocchioVO(const ProblemInstance& instance,
       }
       const ObjectRecord& rec = store.records()[rec_idx];
       ++result.stats.pairs_validated;
-      PartialInfluenceEvaluator eval(config.tau);
+      PartialInfluenceEvaluator eval(tau);
       bool influenced = false;
       for (const Point& p : rec.positions) {
         eval.Add(pf(Distance(c, p)));
@@ -154,7 +151,7 @@ WeightedVOResult SolveWeightedPinocchioVO(const ProblemInstance& instance,
           break;
         }
       }
-      if (!influenced) influenced = eval.InfluenceProbability() >= config.tau;
+      if (!influenced) influenced = eval.InfluenceProbability() >= tau;
       remaining -= weights[rec_idx];
       if (influenced) running += weights[rec_idx];
     }
@@ -167,7 +164,19 @@ WeightedVOResult SolveWeightedPinocchioVO(const ProblemInstance& instance,
   }
   result.best_candidate = best_candidate;
   result.best_score = std::max(0.0, best);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
+  return result;
+}
+
+WeightedVOResult SolveWeightedPinocchioVO(const ProblemInstance& instance,
+                                          std::span<const double> weights,
+                                          const SolverConfig& config) {
+  Stopwatch watch;
+  const PreparedInstance prepared(instance, config);
+  const double prepare_seconds = watch.ElapsedSeconds();
+  WeightedVOResult result = SolveWeightedPinocchioVO(prepared, weights);
+  result.stats.prepare_seconds = prepare_seconds;
+  result.stats.elapsed_seconds = prepare_seconds + result.stats.solve_seconds;
   return result;
 }
 

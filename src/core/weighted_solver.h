@@ -16,6 +16,8 @@
 
 namespace pinocchio {
 
+class PreparedInstance;
+
 /// Outcome of weighted selection (scores are real-valued).
 struct WeightedSolverResult {
   uint32_t best_candidate = 0;
@@ -27,9 +29,15 @@ struct WeightedSolverResult {
   SolverStats stats;
 };
 
-/// Algorithm 2 with weighted influence. `weights[k]` weighs
-/// `instance.objects[k]`; weights must be non-negative and the sizes must
-/// match.
+/// Algorithm 2 with weighted influence against an already-prepared
+/// instance. `weights[k]` weighs the k-th object record of the prepared
+/// store; weights must be non-negative and the sizes must match. Only the
+/// solve phase is timed (`stats.prepare_seconds` stays 0).
+WeightedSolverResult SolveWeightedPinocchio(const PreparedInstance& prepared,
+                                            std::span<const double> weights);
+
+/// Convenience wrapper: prepares `instance` under `config`, then solves.
+/// `stats` carries the prepare/solve split.
 WeightedSolverResult SolveWeightedPinocchio(const ProblemInstance& instance,
                                             std::span<const double> weights,
                                             const SolverConfig& config);
@@ -47,6 +55,10 @@ struct WeightedVOResult {
   std::vector<bool> score_exact;
   SolverStats stats;
 };
+WeightedVOResult SolveWeightedPinocchioVO(const PreparedInstance& prepared,
+                                          std::span<const double> weights);
+
+/// Convenience wrapper: prepares `instance` under `config`, then solves.
 WeightedVOResult SolveWeightedPinocchioVO(const ProblemInstance& instance,
                                           std::span<const double> weights,
                                           const SolverConfig& config);

@@ -1,5 +1,6 @@
 #include "eval/report.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <iomanip>
 #include <sstream>
@@ -43,6 +44,42 @@ void TablePrinter::Print(std::ostream& out) const {
   out.flush();
 }
 
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars); the
+// strings here are bench/algorithm names, so this covers everything legal.
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string FormatSeconds(double seconds) {
   std::ostringstream os;
   os << std::setprecision(3);
@@ -53,6 +90,32 @@ std::string FormatSeconds(double seconds) {
   } else {
     os << seconds << " s";
   }
+  return os.str();
+}
+
+std::string FormatTimingSplit(double prepare_seconds, double solve_seconds) {
+  if (prepare_seconds <= 0.0) return FormatSeconds(solve_seconds);
+  return "prep " + FormatSeconds(prepare_seconds) + " + solve " +
+         FormatSeconds(solve_seconds);
+}
+
+std::string SolverRunJsonLine(const std::string& bench,
+                              const std::string& dataset,
+                              const std::string& algorithm, size_t objects,
+                              size_t candidates, const SolverStats& stats) {
+  std::ostringstream os;
+  os << std::setprecision(9);
+  os << "{\"bench\":\"" << JsonEscape(bench) << "\""
+     << ",\"dataset\":\"" << JsonEscape(dataset) << "\""
+     << ",\"algorithm\":\"" << JsonEscape(algorithm) << "\""
+     << ",\"objects\":" << objects << ",\"candidates\":" << candidates
+     << ",\"prepare_seconds\":" << stats.prepare_seconds
+     << ",\"solve_seconds\":" << stats.solve_seconds
+     << ",\"elapsed_seconds\":" << stats.elapsed_seconds
+     << ",\"pairs_pruned_by_ia\":" << stats.pairs_pruned_by_ia
+     << ",\"pairs_pruned_by_nib\":" << stats.pairs_pruned_by_nib
+     << ",\"pairs_validated\":" << stats.pairs_validated
+     << ",\"positions_scanned\":" << stats.positions_scanned << "}";
   return os.str();
 }
 

@@ -5,9 +5,12 @@
 #ifndef PINOCCHIO_EVAL_REPORT_H_
 #define PINOCCHIO_EVAL_REPORT_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "core/solver.h"
 
 namespace pinocchio {
 
@@ -31,6 +34,19 @@ class TablePrinter {
 
 /// Formats seconds adaptively ("873 us", "12.3 ms", "4.57 s").
 std::string FormatSeconds(double seconds);
+
+/// Formats a prepare/solve time split as "prep 1.2 ms + solve 42 ms"; when
+/// prepare is zero (an already-prepared instance) only the solve part is
+/// printed.
+std::string FormatTimingSplit(double prepare_seconds, double solve_seconds);
+
+/// One JSON-lines record of a solver run, with the timing split as separate
+/// fields. The bench harnesses append these to $PINOCCHIO_BENCH_JSON so
+/// plots can consume machine-readable output next to the ASCII tables.
+std::string SolverRunJsonLine(const std::string& bench,
+                              const std::string& dataset,
+                              const std::string& algorithm, size_t objects,
+                              size_t candidates, const SolverStats& stats);
 
 /// Reads the PINOCCHIO_BENCH_SCALE environment variable (a factor in
 /// (0, 1]) used to shrink the Table-2-scale datasets for quick runs;

@@ -488,4 +488,32 @@ size_t RTree::CheckInvariants() const {
   return CheckNode(*root_, true, 1, &leaf_depth);
 }
 
+size_t RTree::NodeCount() const {
+  struct Counter {
+    static size_t Count(const Node& node) {
+      size_t total = 1;
+      if (!node.is_leaf) {
+        for (const auto& child : node.children) total += Count(*child);
+      }
+      return total;
+    }
+  };
+  return root_ ? Counter::Count(*root_) : 0;
+}
+
+std::vector<RTreeEntry> MakeCandidateEntries(
+    std::span<const Point> candidates) {
+  std::vector<RTreeEntry> entries;
+  entries.reserve(candidates.size());
+  for (size_t j = 0; j < candidates.size(); ++j) {
+    entries.push_back({candidates[j], static_cast<uint32_t>(j)});
+  }
+  return entries;
+}
+
+RTree BuildCandidateRTree(std::span<const Point> candidates,
+                          size_t max_entries) {
+  return RTree::BulkLoad(MakeCandidateEntries(candidates), max_entries);
+}
+
 }  // namespace pinocchio

@@ -67,6 +67,9 @@ class RTree {
   /// Height of the tree (0 for an empty tree, 1 for a single leaf).
   size_t Height() const;
 
+  /// Total number of nodes, leaves included (0 for an empty tree).
+  size_t NodeCount() const;
+
   /// MBR of all stored points (empty Mbr when the tree is empty).
   Mbr Bounds() const;
 
@@ -167,6 +170,16 @@ class RTree {
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
 };
+
+/// Builds the (point, index) entry list every solver feeds the candidate
+/// R-tree: entry j carries `candidates[j]` with id j.
+std::vector<RTreeEntry> MakeCandidateEntries(std::span<const Point> candidates);
+
+/// Bulk-loads the candidate R-tree used across the engine: entry ids are
+/// candidate indices, so query hits index directly into per-candidate
+/// arrays (influence counters, scores, ...).
+RTree BuildCandidateRTree(std::span<const Point> candidates,
+                          size_t max_entries = 8);
 
 }  // namespace pinocchio
 

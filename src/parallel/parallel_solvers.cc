@@ -2,8 +2,7 @@
 
 #include <sstream>
 
-#include "core/object_store.h"
-#include "index/rtree.h"
+#include "core/prepared_instance.h"
 #include "parallel/thread_pool.h"
 #include "prob/influence.h"
 #include "util/logging.h"
@@ -27,26 +26,26 @@ std::string ParallelNaiveSolver::Name() const {
   return os.str();
 }
 
-SolverResult ParallelNaiveSolver::Solve(const ProblemInstance& instance,
-                                        const SolverConfig& config) const {
-  PINO_CHECK(config.pf != nullptr);
+SolverResult ParallelNaiveSolver::Solve(const PreparedInstance& prepared) const {
   Stopwatch watch;
   SolverResult result;
-  const size_t m = instance.candidates.size();
+  const size_t m = prepared.num_candidates();
   result.influence.assign(m, 0);
   result.influence_exact = true;
 
-  const ProbabilityFunction& pf = *config.pf;
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  const ObjectStore& store = prepared.store();
   std::atomic<int64_t> positions_scanned{0};
   ThreadPool pool(num_threads_);
   ParallelForChunks(&pool, m, [&](size_t begin, size_t end) {
     int64_t local_positions = 0;
     for (size_t j = begin; j < end; ++j) {
-      const Point& c = instance.candidates[j];
+      const Point& c = prepared.candidate(j);
       int64_t inf = 0;
-      for (const MovingObject& o : instance.objects) {
-        local_positions += static_cast<int64_t>(o.positions.size());
-        if (Influences(pf, c, o.positions, config.tau)) ++inf;
+      for (const ObjectRecord& rec : store.records()) {
+        local_positions += static_cast<int64_t>(rec.positions.size());
+        if (Influences(pf, c, rec.positions, tau)) ++inf;
       }
       result.influence[j] = inf;  // exclusive slice: no synchronisation
     }
@@ -55,9 +54,9 @@ SolverResult ParallelNaiveSolver::Solve(const ProblemInstance& instance,
 
   result.stats.positions_scanned = positions_scanned.load();
   result.stats.pairs_validated =
-      static_cast<int64_t>(m) * static_cast<int64_t>(instance.objects.size());
+      static_cast<int64_t>(m) * static_cast<int64_t>(store.size());
   internal::FinalizeResultFromInfluence(&result);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 
@@ -70,28 +69,22 @@ std::string ParallelPinocchioSolver::Name() const {
   return os.str();
 }
 
-SolverResult ParallelPinocchioSolver::Solve(const ProblemInstance& instance,
-                                            const SolverConfig& config) const {
-  PINO_CHECK(config.pf != nullptr);
+SolverResult ParallelPinocchioSolver::Solve(
+    const PreparedInstance& prepared) const {
   Stopwatch watch;
   SolverResult result;
-  const size_t m = instance.candidates.size();
+  const size_t m = prepared.num_candidates();
   result.influence.assign(m, 0);
   result.influence_exact = true;
   if (m == 0) {
-    result.stats.elapsed_seconds = watch.ElapsedSeconds();
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
     return result;
   }
 
-  const ProbabilityFunction& pf = *config.pf;
-  const ObjectStore store(instance.objects, pf, config.tau);
-
-  std::vector<RTreeEntry> entries;
-  entries.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    entries.push_back({instance.candidates[j], static_cast<uint32_t>(j)});
-  }
-  const RTree rtree = RTree::BulkLoad(entries, config.rtree_fanout);
+  const ProbabilityFunction& pf = prepared.pf();
+  const double tau = prepared.tau();
+  const ObjectStore& store = prepared.store();
+  const RTree& rtree = prepared.candidate_rtree();
 
   ThreadPool pool(num_threads_);
   std::mutex merge_mu;
@@ -116,7 +109,7 @@ SolverResult ParallelPinocchioSolver::Solve(const ProblemInstance& instance,
         if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) return;
         ++stats.pairs_validated;
         stats.positions_scanned += static_cast<int64_t>(rec.positions.size());
-        if (Influences(pf, e.point, rec.positions, config.tau)) {
+        if (Influences(pf, e.point, rec.positions, tau)) {
           ++influence[e.id];
         }
       });
@@ -131,7 +124,7 @@ SolverResult ParallelPinocchioSolver::Solve(const ProblemInstance& instance,
   });
 
   internal::FinalizeResultFromInfluence(&result);
-  result.stats.elapsed_seconds = watch.ElapsedSeconds();
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }
 

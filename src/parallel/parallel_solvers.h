@@ -21,8 +21,8 @@ class ParallelNaiveSolver : public Solver {
 
   std::string Name() const override;
 
-  SolverResult Solve(const ProblemInstance& instance,
-                     const SolverConfig& config) const override;
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
 
  private:
   size_t num_threads_;
@@ -38,8 +38,8 @@ class ParallelPinocchioSolver : public Solver {
 
   std::string Name() const override;
 
-  SolverResult Solve(const ProblemInstance& instance,
-                     const SolverConfig& config) const override;
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
 
  private:
   size_t num_threads_;

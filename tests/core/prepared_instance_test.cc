@@ -1,0 +1,196 @@
+// The engine layer's own contract: a PreparedInstance can be reused across
+// repeated solves, re-tuned cheaply when tau or the PF changes, and behaves
+// sensibly at the empty-candidate / empty-object edges.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "core/pinocchio_solver.h"
+#include "core/pinocchio_vo_solver.h"
+#include "core/prepared_instance.h"
+#include "prob/power_law.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::InstanceOptions;
+using testing_helpers::RandomInstance;
+
+TEST(PreparedInstanceTest, MirrorsInstanceShape) {
+  const ProblemInstance instance = RandomInstance(41);
+  const SolverConfig config = DefaultConfig();
+  const PreparedInstance prepared(instance, config);
+
+  EXPECT_EQ(prepared.num_objects(), instance.objects.size());
+  EXPECT_EQ(prepared.num_candidates(), instance.candidates.size());
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    EXPECT_EQ(prepared.candidate(j).x, instance.candidates[j].x);
+    EXPECT_EQ(prepared.candidate(j).y, instance.candidates[j].y);
+    EXPECT_EQ(prepared.candidate_entries()[j].id, static_cast<uint32_t>(j));
+  }
+  EXPECT_EQ(prepared.tau(), config.tau);
+  EXPECT_EQ(prepared.candidate_rtree().size(), instance.candidates.size());
+}
+
+TEST(PreparedInstanceTest, RepeatedSolvesAreIdentical) {
+  const ProblemInstance instance = RandomInstance(42);
+  const PreparedInstance prepared(instance, DefaultConfig());
+  const PinocchioSolver pin;
+
+  const SolverResult first = pin.Solve(prepared);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const SolverResult again = pin.Solve(prepared);
+    EXPECT_EQ(again.influence, first.influence);
+    EXPECT_EQ(again.best_candidate, first.best_candidate);
+    EXPECT_EQ(again.ranking, first.ranking);
+  }
+}
+
+TEST(PreparedInstanceTest, SelfContainedAfterSourceDestroyed) {
+  const SolverConfig config = DefaultConfig();
+  SolverResult from_temporary;
+  {
+    ProblemInstance instance = RandomInstance(43);
+    const PreparedInstance prepared(instance, config);
+    instance.objects.clear();
+    instance.candidates.clear();
+    from_temporary = NaiveSolver().Solve(prepared);
+  }
+  const SolverResult reference =
+      NaiveSolver().Solve(RandomInstance(43), config);
+  EXPECT_EQ(from_temporary.influence, reference.influence);
+}
+
+TEST(PreparedInstanceTest, BuildStatsAreFilled) {
+  const ProblemInstance instance = RandomInstance(44);
+  const PreparedInstance prepared(instance, DefaultConfig());
+  const PreparedBuildStats& stats = prepared.build_stats();
+
+  EXPECT_EQ(stats.store_builds, 1u);
+  EXPECT_EQ(stats.rtree_builds, 1u);
+  EXPECT_GE(stats.build_seconds, 0.0);
+  EXPECT_GE(stats.radius_memo_hits, 0);
+  EXPECT_GT(stats.radius_memo_entries, 0u);
+  EXPECT_GE(stats.rtree_height, 1u);
+  EXPECT_GE(stats.rtree_nodes, 1u);
+  // Every record draws its radius from the memo; hits + distinct n = records.
+  EXPECT_EQ(stats.radius_memo_hits +
+                static_cast<int64_t>(stats.radius_memo_entries),
+            static_cast<int64_t>(prepared.num_objects()));
+}
+
+TEST(PreparedInstanceTest, TauChangeRetunesAndMatchesFreshBuild) {
+  const ProblemInstance instance = RandomInstance(45);
+  PreparedInstance prepared(instance, DefaultConfig(0.3));
+  const PinocchioSolver pin;
+  const SolverResult before = pin.Solve(prepared);
+
+  prepared.Reprepare(DefaultConfig(0.8));
+  EXPECT_EQ(prepared.tau(), 0.8);
+  EXPECT_EQ(prepared.build_stats().store_builds, 2u);
+  // The candidate R-tree is untouched by a tau change.
+  EXPECT_EQ(prepared.build_stats().rtree_builds, 1u);
+
+  const SolverResult after = pin.Solve(prepared);
+  const SolverResult fresh = pin.Solve(instance, DefaultConfig(0.8));
+  EXPECT_EQ(after.influence, fresh.influence);
+  EXPECT_EQ(after.best_candidate, fresh.best_candidate);
+
+  // Raising tau can only shrink influence.
+  for (size_t j = 0; j < instance.candidates.size(); ++j) {
+    EXPECT_LE(after.influence[j], before.influence[j]);
+  }
+
+  // Round-trip back: identical to the original preparation.
+  prepared.Reprepare(DefaultConfig(0.3));
+  const SolverResult back = pin.Solve(prepared);
+  EXPECT_EQ(back.influence, before.influence);
+}
+
+TEST(PreparedInstanceTest, PfChangeRetunesAndMatchesFreshBuild) {
+  const ProblemInstance instance = RandomInstance(46);
+  SolverConfig config = DefaultConfig();
+  PreparedInstance prepared(instance, config);
+
+  SolverConfig steeper = config;
+  steeper.pf = std::make_shared<PowerLawPF>(0.7, 1.25);
+  prepared.Reprepare(steeper);
+
+  const SolverResult after = PinocchioSolver().Solve(prepared);
+  const SolverResult fresh = PinocchioSolver().Solve(instance, steeper);
+  EXPECT_EQ(after.influence, fresh.influence);
+}
+
+TEST(PreparedInstanceTest, FanoutChangeRebuildsRTreeOnly) {
+  const ProblemInstance instance =
+      RandomInstance(47, InstanceOptions{30, 120, 2, 10, 30000.0, 0.3});
+  SolverConfig config = DefaultConfig();
+  PreparedInstance prepared(instance, config);
+  const SolverResult before = PinocchioVOSolver().Solve(prepared);
+  const size_t nodes_before = prepared.build_stats().rtree_nodes;
+
+  SolverConfig wide = config;
+  wide.rtree_fanout = 32;
+  prepared.Reprepare(wide);
+  EXPECT_EQ(prepared.build_stats().rtree_builds, 2u);
+  // A wider fanout packs the same entries into fewer nodes.
+  EXPECT_LT(prepared.build_stats().rtree_nodes, nodes_before);
+
+  const SolverResult after = PinocchioVOSolver().Solve(prepared);
+  EXPECT_EQ(after.influence, before.influence);
+  EXPECT_EQ(after.best_candidate, before.best_candidate);
+}
+
+TEST(PreparedInstanceTest, TopKChangeIsFree) {
+  const ProblemInstance instance = RandomInstance(48);
+  SolverConfig config = DefaultConfig();
+  PreparedInstance prepared(instance, config);
+
+  SolverConfig top5 = config;
+  top5.top_k = 5;
+  prepared.Reprepare(top5);
+  EXPECT_EQ(prepared.build_stats().store_builds, 1u);
+  EXPECT_EQ(prepared.build_stats().rtree_builds, 1u);
+  EXPECT_EQ(prepared.build_stats().build_seconds, 0.0);
+  EXPECT_EQ(prepared.config().top_k, 5u);
+}
+
+TEST(PreparedInstanceTest, EmptyCandidates) {
+  ProblemInstance instance = RandomInstance(49);
+  instance.candidates.clear();
+  const PreparedInstance prepared(instance, DefaultConfig());
+  EXPECT_EQ(prepared.num_candidates(), 0u);
+
+  const SolverResult naive = NaiveSolver().Solve(prepared);
+  EXPECT_TRUE(naive.influence.empty());
+  const SolverResult vo = PinocchioVOSolver().Solve(prepared);
+  EXPECT_TRUE(vo.influence.empty());
+}
+
+TEST(PreparedInstanceTest, EmptyObjects) {
+  ProblemInstance instance = RandomInstance(50);
+  instance.objects.clear();
+  const PreparedInstance prepared(instance, DefaultConfig());
+  EXPECT_EQ(prepared.num_objects(), 0u);
+
+  const SolverResult pin = PinocchioSolver().Solve(prepared);
+  for (int64_t inf : pin.influence) EXPECT_EQ(inf, 0);
+  EXPECT_EQ(pin.best_influence, 0);
+}
+
+TEST(PreparedInstanceTest, CandidateLessPreparationHasNoTree) {
+  const ProblemInstance instance = RandomInstance(51);
+  const SolverConfig config = DefaultConfig();
+  const PreparedInstance prepared(instance.objects, config);
+  EXPECT_EQ(prepared.num_candidates(), 0u);
+  EXPECT_EQ(prepared.num_objects(), instance.objects.size());
+  EXPECT_EQ(prepared.build_stats().rtree_builds, 0u);
+  EXPECT_EQ(prepared.build_stats().store_builds, 1u);
+}
+
+}  // namespace
+}  // namespace pinocchio

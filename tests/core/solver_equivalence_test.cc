@@ -8,9 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include "baselines/brnn_star.h"
+#include "baselines/range_solver.h"
 #include "core/naive_solver.h"
+#include "core/pinocchio_grid_solver.h"
+#include "core/pinocchio_hull_solver.h"
 #include "core/pinocchio_solver.h"
 #include "core/pinocchio_vo_solver.h"
+#include "core/prepared_instance.h"
+#include "parallel/parallel_solvers.h"
 #include "prob/alternative_pfs.h"
 #include "prob/power_law.h"
 #include "testing/instance_helpers.h"
@@ -106,6 +112,55 @@ TEST_P(SolverEquivalenceTest, AllSolversAgree) {
   for (size_t j = 0; j < instance.candidates.size(); ++j) {
     EXPECT_LE(vo.influence[j], naive.influence[j]) << c.label;
     EXPECT_LE(star.influence[j], naive.influence[j]) << c.label;
+  }
+}
+
+// The engine-layer counterpart of the equivalence sweep: one shared
+// PreparedInstance handed to EVERY solver must reproduce the legacy
+// prepare-per-call path bit for bit — influence vectors, winners and
+// rankings alike. This is the contract that makes "build once, query many"
+// safe to adopt.
+TEST_P(SolverEquivalenceTest, SharedPreparedInstanceMatchesLegacyPath) {
+  const SweepCase& c = GetParam();
+  const ProblemInstance instance = RandomInstance(c.seed, c.opts);
+  SolverConfig config;
+  config.pf = c.pf;
+  config.tau = c.tau;
+
+  const PreparedInstance prepared(instance, config);
+
+  const NaiveSolver na;
+  const PinocchioSolver pin;
+  const PinocchioVOSolver vo;
+  const PinocchioVOStarSolver star;
+  const PinocchioGridSolver grid;
+  const PinocchioHullSolver hull;
+  const ParallelNaiveSolver na_par(2);
+  const ParallelPinocchioSolver pin_par(2);
+  const BrnnStarSolver brnn;
+  const RangeSolver range(0.5, 2000.0);
+
+  const std::vector<const Solver*> solvers = {&na,   &pin,    &vo,
+                                              &star, &grid,   &hull,
+                                              &na_par, &pin_par, &brnn, &range};
+  for (const Solver* solver : solvers) {
+    const SolverResult from_prepared = solver->Solve(prepared);
+    const SolverResult legacy = solver->Solve(instance, config);
+    EXPECT_EQ(from_prepared.influence, legacy.influence)
+        << c.label << " " << solver->Name();
+    EXPECT_EQ(from_prepared.best_candidate, legacy.best_candidate)
+        << c.label << " " << solver->Name();
+    EXPECT_EQ(from_prepared.best_influence, legacy.best_influence)
+        << c.label << " " << solver->Name();
+    EXPECT_EQ(from_prepared.ranking, legacy.ranking)
+        << c.label << " " << solver->Name();
+    EXPECT_EQ(from_prepared.influence_exact, legacy.influence_exact)
+        << c.label << " " << solver->Name();
+    // Prepared solves pay no build cost; legacy solves record it.
+    EXPECT_EQ(from_prepared.stats.prepare_seconds, 0.0)
+        << c.label << " " << solver->Name();
+    EXPECT_GE(legacy.stats.elapsed_seconds, legacy.stats.solve_seconds)
+        << c.label << " " << solver->Name();
   }
 }
 
