@@ -1,8 +1,13 @@
 // Google-benchmark microbenchmarks for the building blocks: R-tree
-// construction and queries, cumulative influence evaluation, minMaxRadius
-// computation, and the pruning-region containment tests.
+// construction and queries, cumulative influence evaluation (scalar and
+// batch-arena kernel), minMaxRadius computation, and the pruning-region
+// containment tests.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 #include "core/object_store.h"
 #include "geo/regions.h"
@@ -11,8 +16,10 @@
 #include "index/kdtree.h"
 #include "index/rtree.h"
 #include "prob/influence.h"
+#include "prob/influence_kernel.h"
 #include "prob/power_law.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace pinocchio {
 namespace {
@@ -220,7 +227,165 @@ void BM_ObjectStoreBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ObjectStoreBuild);
 
+// ---------------------------------------------------------------------------
+// Validation-kernel ablation: the per-pair scalar reference (one owned
+// std::vector<Point> per object, full-scan Influences) against the
+// batch-arena kernel (InfluenceKernel::DecideMany over contiguous
+// ObjectStore spans with the Lemma-4 early exit).
+
+/// One validation workload: `num_objects` objects of `n` positions each,
+/// candidates mixed near/far so both decision branches are exercised.
+struct ValidationWorkload {
+  std::vector<MovingObject> objects;
+  std::vector<std::vector<Point>> owned_positions;  // scalar-path layout
+  std::vector<Point> candidates;
+  ObjectStore store;
+
+  ValidationWorkload(size_t num_objects, size_t n, size_t num_candidates,
+                     const ProbabilityFunction& pf, double tau)
+      : store(MakeObjects(num_objects, n), pf, tau) {
+    Rng rng(29);
+    objects = MakeObjects(num_objects, n);
+    for (const MovingObject& o : objects) owned_positions.push_back(o.positions);
+    for (size_t j = 0; j < num_candidates; ++j) {
+      candidates.push_back({rng.Uniform(0, 12000), rng.Uniform(0, 12000)});
+    }
+  }
+
+  static std::vector<MovingObject> MakeObjects(size_t num_objects, size_t n) {
+    Rng rng(27);
+    std::vector<MovingObject> objects;
+    for (size_t k = 0; k < num_objects; ++k) {
+      MovingObject o;
+      o.id = static_cast<uint32_t>(k);
+      const Point anchor{rng.Uniform(0, 12000), rng.Uniform(0, 12000)};
+      for (size_t i = 0; i < n; ++i) {
+        o.positions.push_back({anchor.x + rng.Gaussian(0, 800),
+                               anchor.y + rng.Gaussian(0, 800)});
+      }
+      objects.push_back(std::move(o));
+    }
+    return objects;
+  }
+
+  int64_t RunScalar(const ProbabilityFunction& pf, double tau) const {
+    int64_t influenced = 0;
+    for (const std::vector<Point>& positions : owned_positions) {
+      for (const Point& c : candidates) {
+        if (Influences(pf, c, positions, tau)) ++influenced;
+      }
+    }
+    return influenced;
+  }
+
+  int64_t RunKernelBatch(const InfluenceKernel& kernel,
+                         std::vector<uint8_t>* influenced_scratch) const {
+    int64_t influenced = 0;
+    for (size_t k = 0; k < store.size(); ++k) {
+      influenced_scratch->assign(candidates.size(), 0);
+      kernel.DecideMany(candidates, store.positions(k), *influenced_scratch);
+      for (uint8_t b : *influenced_scratch) influenced += b;
+    }
+    return influenced;
+  }
+};
+
+void BM_ValidationScalar(benchmark::State& state) {
+  const PowerLawPF pf(0.9, 1.0);
+  const double tau = 0.7;
+  const auto n = static_cast<size_t>(state.range(0));
+  const ValidationWorkload workload(50, n, 200, pf, tau);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.RunScalar(pf, tau));
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 200);
+}
+BENCHMARK(BM_ValidationScalar)->Arg(10)->Arg(72)->Arg(780);
+
+void BM_ValidationKernelBatch(benchmark::State& state) {
+  const PowerLawPF pf(0.9, 1.0);
+  const double tau = 0.7;
+  const auto n = static_cast<size_t>(state.range(0));
+  const ValidationWorkload workload(50, n, 200, pf, tau);
+  const InfluenceKernel kernel(pf, tau);
+  std::vector<uint8_t> scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.RunKernelBatch(kernel, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 200);
+}
+BENCHMARK(BM_ValidationKernelBatch)->Arg(10)->Arg(72)->Arg(780);
+
+/// Head-to-head comparison printed after the google-benchmark run; appends
+/// one JSON line per position-count case to $PINOCCHIO_BENCH_JSON when set.
+void RunValidationKernelComparison() {
+  const PowerLawPF pf(0.9, 1.0);
+  const double tau = 0.7;
+  std::cout << "\n[validation-kernel] scalar per-object vectors vs "
+               "batch-arena kernel (50 objects x 200 candidates)\n";
+
+  const char* json_path = std::getenv("PINOCCHIO_BENCH_JSON");
+  std::ofstream json;
+  if (json_path != nullptr && *json_path != '\0') {
+    json.open(json_path, std::ios::app);
+    if (!json) {
+      std::cerr << "[bench] cannot open PINOCCHIO_BENCH_JSON=" << json_path
+                << "\n";
+    }
+  }
+
+  for (size_t n : {size_t{10}, size_t{72}, size_t{780}}) {
+    const ValidationWorkload workload(50, n, 200, pf, tau);
+    const InfluenceKernel kernel(pf, tau);
+    std::vector<uint8_t> scratch;
+
+    // One warm-up each, then timed repetitions sized so even the fast path
+    // accumulates milliseconds.
+    const int reps = n >= 500 ? 3 : 20;
+    int64_t scalar_influenced = workload.RunScalar(pf, tau);
+    Stopwatch scalar_watch;
+    for (int i = 0; i < reps; ++i) {
+      benchmark::DoNotOptimize(workload.RunScalar(pf, tau));
+    }
+    const double scalar_seconds = scalar_watch.ElapsedSeconds() / reps;
+
+    int64_t batch_influenced = workload.RunKernelBatch(kernel, &scratch);
+    Stopwatch batch_watch;
+    for (int i = 0; i < reps; ++i) {
+      benchmark::DoNotOptimize(workload.RunKernelBatch(kernel, &scratch));
+    }
+    const double batch_seconds = batch_watch.ElapsedSeconds() / reps;
+
+    if (scalar_influenced != batch_influenced) {
+      std::cerr << "[validation-kernel] DECISION MISMATCH at n=" << n << ": "
+                << scalar_influenced << " vs " << batch_influenced << "\n";
+      std::exit(1);
+    }
+    const double speedup =
+        batch_seconds > 0.0 ? scalar_seconds / batch_seconds : 0.0;
+    std::cout << "  n=" << n << ": scalar " << scalar_seconds * 1e3
+              << " ms, kernel " << batch_seconds * 1e3 << " ms, speedup "
+              << speedup << "x (influenced pairs: " << batch_influenced
+              << ")\n";
+    if (json.is_open()) {
+      json << "{\"bench\": \"micro_validation_kernel\", \"positions_per_object\": "
+           << n << ", \"objects\": 50, \"candidates\": 200"
+           << ", \"scalar_seconds\": " << scalar_seconds
+           << ", \"kernel_seconds\": " << batch_seconds
+           << ", \"speedup\": " << speedup
+           << ", \"influenced_pairs\": " << batch_influenced << "}\n";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pinocchio
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pinocchio::RunValidationKernelComparison();
+  return 0;
+}

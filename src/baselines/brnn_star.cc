@@ -31,10 +31,11 @@ SolverResult BrnnStarSolver::Solve(const PreparedInstance& prepared) const {
 
   const RTree& rtree = prepared.candidate_rtree();
 
+  const ObjectStore& store = prepared.store();
   std::unordered_map<uint32_t, int64_t> position_votes;
-  for (const ObjectRecord& rec : prepared.store().records()) {
+  for (const ObjectRecord& rec : store.records()) {
     position_votes.clear();
-    for (const Point& p : rec.positions) {
+    for (const Point& p : store.positions(rec)) {
       const auto nn = rtree.NearestNeighbors(p, k_);
       ++result.stats.positions_scanned;
       for (const auto& [candidate, distance] : nn) {

@@ -48,17 +48,18 @@ SolverResult RangeSolver::Solve(const PreparedInstance& prepared) const {
 
   const RTree& rtree = prepared.candidate_rtree();
 
+  const ObjectStore& store = prepared.store();
   std::unordered_map<uint32_t, int64_t> in_range_counts;
-  for (const ObjectRecord& rec : prepared.store().records()) {
+  for (const ObjectRecord& rec : store.records()) {
     in_range_counts.clear();
-    for (const Point& p : rec.positions) {
+    for (const Point& p : store.positions(rec)) {
       ++result.stats.positions_scanned;
       rtree.QueryCircle(p, range_meters_, [&](const RTreeEntry& e) {
         ++in_range_counts[e.id];
       });
     }
     const double required =
-        min_proportion_ * static_cast<double>(rec.positions.size());
+        min_proportion_ * static_cast<double>(rec.position_count);
     for (const auto& [candidate, count] : in_range_counts) {
       if (static_cast<double>(count) >= required) {
         ++result.influence[candidate];

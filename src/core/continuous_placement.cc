@@ -46,7 +46,7 @@ ContinuousPlacementResult PlaceAnywhere(
     int64_t bound = 0;
     for (const ObjectRecord& rec : store.records()) {
       const double p = pf(cell.MinDist(rec.mbr));
-      if (CumulativeAt(p, rec.positions.size()) >= tau) ++bound;
+      if (CumulativeAt(p, rec.position_count) >= tau) ++bound;
     }
     return bound;
   };

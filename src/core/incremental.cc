@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "core/prune_pipeline.h"
 #include "geo/regions.h"
 #include "prob/influence.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 
 namespace pinocchio {
@@ -33,18 +35,19 @@ std::vector<uint32_t> IncrementalPrimeLS::InfluencedCandidates(
     const std::vector<Point>& positions, const Mbr& mbr, double radius) const {
   const InfluenceArcsRegion ia(mbr, radius);
   const NonInfluenceBoundary nib(mbr, radius);
+  const InfluenceKernel kernel(*config_.pf, config_.tau);
   std::vector<uint32_t> influenced;
-  rtree_.QueryRect(nib.BoundingBox(), [&](const RTreeEntry& e) {
-    if (!active_[e.id]) return;
-    if (!nib.Contains(e.point)) return;
-    if (!ia.IsEmpty() && ia.Contains(e.point)) {
-      influenced.push_back(e.id);
-      return;
-    }
-    if (Influences(*config_.pf, e.point, positions, config_.tau)) {
-      influenced.push_back(e.id);
-    }
-  });
+  ClassifyCandidates(
+      rtree_, ia, nib,
+      [&](const RTreeEntry& e, uint32_t) {
+        if (active_[e.id]) influenced.push_back(e.id);
+      },
+      [&](const RTreeEntry& e, uint32_t) {
+        if (!active_[e.id]) return;
+        if (kernel.Decide(e.point, positions).influenced) {
+          influenced.push_back(e.id);
+        }
+      });
   return influenced;
 }
 

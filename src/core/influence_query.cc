@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "core/prepared_instance.h"
-#include "prob/influence.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 
 namespace pinocchio {
 
 int64_t InfluenceOfCandidate(const ObjectStore& store, const Point& candidate,
                              const ProbabilityFunction& pf) {
+  const InfluenceKernel kernel(pf, store.tau());
   int64_t influence = 0;
   for (const ObjectRecord& rec : store.records()) {
     if (!rec.nib.Contains(candidate)) continue;  // Lemma 3
@@ -17,7 +18,7 @@ int64_t InfluenceOfCandidate(const ObjectStore& store, const Point& candidate,
       ++influence;
       continue;
     }
-    if (Influences(pf, candidate, rec.positions, store.tau())) ++influence;
+    if (kernel.Decide(candidate, store.positions(rec)).influenced) ++influence;
   }
   return influence;
 }
@@ -39,12 +40,13 @@ double WeightedInfluenceOfCandidate(const ObjectStore& store,
                                     const Point& candidate,
                                     const ProbabilityFunction& pf) {
   PINO_CHECK_EQ(weights.size(), store.records().size());
+  const InfluenceKernel kernel(pf, store.tau());
   double score = 0.0;
   for (size_t k = 0; k < store.records().size(); ++k) {
     const ObjectRecord& rec = store.records()[k];
     if (!rec.nib.Contains(candidate)) continue;
     if ((!rec.ia.IsEmpty() && rec.ia.Contains(candidate)) ||
-        Influences(pf, candidate, rec.positions, store.tau())) {
+        kernel.Decide(candidate, store.positions(rec)).influenced) {
       score += weights[k];
     }
   }
@@ -97,11 +99,12 @@ std::pair<size_t, double> SelectWeighted(
 
 InfluenceExplanation ExplainInfluence(const PreparedInstance& prepared,
                                       const Point& candidate) {
-  const ProbabilityFunction& pf = prepared.pf();
   const double tau = prepared.tau();
+  const ObjectStore& store = prepared.store();
+  const InfluenceKernel kernel(prepared.pf(), tau);
 
   InfluenceExplanation explanation;
-  for (const ObjectRecord& rec : prepared.store().records()) {
+  for (const ObjectRecord& rec : store.records()) {
     const bool nib_excludes = !rec.nib.Contains(candidate);
     const bool ia_certifies =
         !rec.ia.IsEmpty() && rec.ia.Contains(candidate);
@@ -111,8 +114,10 @@ InfluenceExplanation ExplainInfluence(const PreparedInstance& prepared,
     }
     if (ia_certifies) ++explanation.decided_by_ia;
 
-    const double probability =
-        CumulativeInfluenceProbability(pf, candidate, rec.positions);
+    const std::span<const Point> positions = store.positions(rec);
+    // The explanation reports the exact probability, so the full-scan
+    // evaluation is used here rather than the early-exit decision.
+    const double probability = kernel.Probability(candidate, positions);
     const bool influenced = ia_certifies || probability >= tau;
     if (!influenced) continue;
 
@@ -121,7 +126,7 @@ InfluenceExplanation ExplainInfluence(const PreparedInstance& prepared,
     entry.probability = probability;
     const double radius_sq = rec.min_max_radius * rec.min_max_radius;
     if (rec.min_max_radius >= 0.0) {
-      for (const Point& p : rec.positions) {
+      for (const Point& p : positions) {
         if (SquaredDistance(candidate, p) <= radius_sq) {
           ++entry.positions_in_radius;
         }

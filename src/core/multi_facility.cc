@@ -3,7 +3,8 @@
 #include <queue>
 
 #include "core/prepared_instance.h"
-#include "prob/influence.h"
+#include "core/prune_pipeline.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -29,23 +30,36 @@ MultiFacilityResult SelectFacilities(const PreparedInstance& prepared,
     return result;
   }
 
-  // Build each candidate's influence set once, via the pruning machinery
-  // (object-major, as in PINOCCHIO, then transposed).
-  const ProbabilityFunction& pf = prepared.pf();
-  const double tau = prepared.tau();
+  // Build each candidate's influence set once, via the shared pruning
+  // pipeline (object-major, as in PINOCCHIO, then transposed).
   const ObjectStore& store = prepared.store();
-  const RTree& rtree = prepared.candidate_rtree();
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
 
   std::vector<std::vector<uint32_t>> influenced(m);  // candidate -> objects
+  std::vector<Point> remnant_points;
+  std::vector<uint32_t> remnant_ids;
+  std::vector<uint8_t> remnant_influenced;
   for (size_t idx = 0; idx < store.records().size(); ++idx) {
-    const ObjectRecord& rec = store.records()[idx];
-    rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
-      if (!rec.nib.Contains(e.point)) return;
-      if ((!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) ||
-          Influences(pf, e.point, rec.positions, tau)) {
-        influenced[e.id].push_back(static_cast<uint32_t>(idx));
+    remnant_points.clear();
+    remnant_ids.clear();
+    ClassifyCandidates(
+        prepared.candidate_rtree(), store, static_cast<uint32_t>(idx),
+        static_cast<uint32_t>(idx + 1), m, nullptr,
+        [&](const RTreeEntry& e, uint32_t rec_idx) {
+          influenced[e.id].push_back(rec_idx);
+        },
+        [&](const RTreeEntry& e, uint32_t) {
+          remnant_points.push_back(e.point);
+          remnant_ids.push_back(e.id);
+        });
+    if (remnant_points.empty()) continue;
+    remnant_influenced.assign(remnant_points.size(), 0);
+    kernel.DecideMany(remnant_points, store.positions(idx), remnant_influenced);
+    for (size_t i = 0; i < remnant_ids.size(); ++i) {
+      if (remnant_influenced[i] != 0) {
+        influenced[remnant_ids[i]].push_back(static_cast<uint32_t>(idx));
       }
-    });
+    }
   }
 
   // CELF lazy greedy: a max-heap of (cached gain, candidate, round the

@@ -1,7 +1,7 @@
 #include "core/naive_solver.h"
 
 #include "core/prepared_instance.h"
-#include "prob/influence.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -14,15 +14,19 @@ SolverResult NaiveSolver::Solve(const PreparedInstance& prepared) const {
   result.influence.assign(m, 0);
   result.influence_exact = true;
 
-  const ProbabilityFunction& pf = prepared.pf();
+  // The baseline deliberately evaluates the full cumulative probability of
+  // every pair (no Lemma-4 early exit) so its positions_scanned reflects an
+  // honest exhaustive scan.
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
   const double tau = prepared.tau();
+  const ObjectStore& store = prepared.store();
   for (size_t j = 0; j < m; ++j) {
     const Point& c = prepared.candidate(j);
-    for (const ObjectRecord& rec : prepared.store().records()) {
+    for (const ObjectRecord& rec : store.records()) {
       result.stats.positions_scanned +=
-          static_cast<int64_t>(rec.positions.size());
+          static_cast<int64_t>(rec.position_count);
       ++result.stats.pairs_validated;
-      if (Influences(pf, c, rec.positions, tau)) {
+      if (kernel.Probability(c, store.positions(rec)) >= tau) {
         ++result.influence[j];
       }
     }

@@ -9,18 +9,30 @@ ObjectStore::ObjectStore(const std::vector<MovingObject>& objects,
     : tau_(tau) {
   PINO_CHECK_GT(tau, 0.0);
   PINO_CHECK_LT(tau, 1.0);
+  size_t total_positions = 0;
+  for (const MovingObject& o : objects) total_positions += o.positions.size();
+  arena_.reserve(total_positions);
   records_.reserve(objects.size());
-  for (const MovingObject& o : objects) {
-    PINO_CHECK(!o.positions.empty())
-        << "object " << o.id << " has no positions";
-    const size_t n = o.positions.size();
-    auto it = radius_by_n_.find(n);
-    if (it == radius_by_n_.end()) {
-      it = radius_by_n_.emplace(n, pf.MinMaxRadius(tau, n)).first;
-    }
-    const double radius = it->second;
-    records_.emplace_back(o.id, o.positions, o.ActivityMbr(), radius);
+  for (const MovingObject& o : objects) Append(o, pf);
+}
+
+double ObjectStore::RadiusFor(const ProbabilityFunction& pf, size_t n) {
+  auto it = radius_by_n_.find(n);
+  if (it == radius_by_n_.end()) {
+    it = radius_by_n_.emplace(n, pf.MinMaxRadius(tau_, n)).first;
   }
+  return it->second;
+}
+
+const ObjectRecord& ObjectStore::Append(const MovingObject& o,
+                                        const ProbabilityFunction& pf) {
+  PINO_CHECK(!o.positions.empty()) << "object " << o.id << " has no positions";
+  const size_t offset = arena_.size();
+  arena_.insert(arena_.end(), o.positions.begin(), o.positions.end());
+  records_.emplace_back(o.id, offset,
+                        static_cast<uint32_t>(o.positions.size()),
+                        o.ActivityMbr(), RadiusFor(pf, o.positions.size()));
+  return records_.back();
 }
 
 void ObjectStore::Retune(const ProbabilityFunction& pf, double tau) {
@@ -29,12 +41,7 @@ void ObjectStore::Retune(const ProbabilityFunction& pf, double tau) {
   tau_ = tau;
   radius_by_n_.clear();
   for (ObjectRecord& rec : records_) {
-    const size_t n = rec.positions.size();
-    auto it = radius_by_n_.find(n);
-    if (it == radius_by_n_.end()) {
-      it = radius_by_n_.emplace(n, pf.MinMaxRadius(tau, n)).first;
-    }
-    rec.min_max_radius = it->second;
+    rec.min_max_radius = RadiusFor(pf, rec.position_count);
     rec.ia = InfluenceArcsRegion(rec.mbr, rec.min_max_radius);
     rec.nib = NonInfluenceBoundary(rec.mbr, rec.min_max_radius);
   }

@@ -3,14 +3,22 @@
 // Section 4.3 argues that hierarchical indexes over the objects' activity
 // MBRs are ineffective because the MBRs overlap massively (on their datasets
 // an average object covers ~55% of each dimension), so PINOCCHIO stores
-// objects in a flat array. Each record carries the object's position array
-// A_1D, its MBR, its minMaxRadius (memoised per distinct position count n in
-// a hash map, exactly as Algorithm 1 does), and the two pruning regions
-// IA(O) and NIB(O).
+// objects in a flat array. Each record carries the object's MBR, its
+// minMaxRadius (memoised per distinct position count n in a hash map,
+// exactly as Algorithm 1 does), and the two pruning regions IA(O) and
+// NIB(O).
+//
+// Positions live in one contiguous columnar arena shared by all records: a
+// record holds an (offset, count) span into it instead of owning a
+// std::vector<Point>. Validation — the runtime-dominant loop of the cost
+// model (Section 5) — therefore streams cache-line-adjacent points instead
+// of chasing one heap allocation per object, and the arena can be handed to
+// batch kernels (prob/influence_kernel.h) as a single span.
 
 #ifndef PINOCCHIO_CORE_OBJECT_STORE_H_
 #define PINOCCHIO_CORE_OBJECT_STORE_H_
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -21,18 +29,22 @@
 namespace pinocchio {
 
 /// One A_2D record: <A_1D(O_k), IA(O_k), NIB(O_k)> plus derived data.
+/// A_1D is the (position_offset, position_count) span into the store's
+/// position arena; resolve it with ObjectStore::positions(record).
 struct ObjectRecord {
   uint32_t object_id = 0;
-  std::vector<Point> positions;
+  uint32_t position_count = 0;
+  size_t position_offset = 0;
   Mbr mbr;
   double min_max_radius = 0.0;
   InfluenceArcsRegion ia;
   NonInfluenceBoundary nib;
 
-  ObjectRecord(uint32_t id, std::vector<Point> pos, const Mbr& mbr_in,
+  ObjectRecord(uint32_t id, size_t offset, uint32_t count, const Mbr& mbr_in,
                double radius)
       : object_id(id),
-        positions(std::move(pos)),
+        position_count(count),
+        position_offset(offset),
         mbr(mbr_in),
         min_max_radius(radius),
         ia(mbr_in, radius),
@@ -52,6 +64,26 @@ class ObjectStore {
   size_t size() const { return records_.size(); }
   double tau() const { return tau_; }
 
+  /// A record's position span A_1D, resolved against the arena. Stable
+  /// while the store lives; invalidated (like any arena view) by Append.
+  std::span<const Point> positions(const ObjectRecord& rec) const {
+    return {arena_.data() + rec.position_offset, rec.position_count};
+  }
+  std::span<const Point> positions(size_t record_index) const {
+    return positions(records_[record_index]);
+  }
+
+  /// The whole columnar arena: every object's positions back to back, in
+  /// record order.
+  std::span<const Point> position_arena() const { return arena_; }
+
+  /// Appends one more object under the store's current (pf, tau),
+  /// re-using the minMaxRadius memo — the dynamic-scenario counterpart of
+  /// the batch constructor. Invalidates previously obtained spans if the
+  /// arena reallocates; records() references stay index-stable.
+  const ObjectRecord& Append(const MovingObject& object,
+                             const ProbabilityFunction& pf);
+
   /// The memoised n -> minMaxRadius map (exposed for tests and the
   /// pruning-model ablation).
   const std::unordered_map<size_t, double>& radius_by_n() const {
@@ -66,13 +98,16 @@ class ObjectStore {
   }
 
   /// Re-parameterises the store for a new (pf, tau) without copying any
-  /// position array: re-runs the memoised minMaxRadius computation and
+  /// position data: re-runs the memoised minMaxRadius computation and
   /// rebuilds each record's IA/NIB in place. This is the cheap part of
-  /// invalidating a prepared instance — MBRs and positions are reused.
+  /// invalidating a prepared instance — MBRs and the arena are reused.
   void Retune(const ProbabilityFunction& pf, double tau);
 
  private:
+  double RadiusFor(const ProbabilityFunction& pf, size_t n);
+
   double tau_;
+  std::vector<Point> arena_;
   std::vector<ObjectRecord> records_;
   std::unordered_map<size_t, double> radius_by_n_;
 };

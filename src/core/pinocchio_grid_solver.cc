@@ -1,8 +1,9 @@
 #include "core/pinocchio_grid_solver.h"
 
 #include "core/prepared_instance.h"
+#include "core/prune_pipeline.h"
 #include "index/grid_index.h"
-#include "prob/influence.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -19,33 +20,13 @@ SolverResult PinocchioGridSolver::Solve(const PreparedInstance& prepared) const 
     return result;
   }
 
-  const ProbabilityFunction& pf = prepared.pf();
-  const double tau = prepared.tau();
+  // Identical pipeline to PinocchioSolver, with the uniform grid standing
+  // in for the candidate R-tree.
   const GridIndex grid(prepared.candidate_entries(), target_cells_);
-
-  for (const ObjectRecord& rec : prepared.store().records()) {
-    if (!rec.ia.IsEmpty()) {
-      grid.QueryRect(rec.ia.BoundingBox(), [&](const RTreeEntry& e) {
-        if (rec.ia.Contains(e.point)) {
-          ++result.influence[e.id];
-          ++result.stats.pairs_pruned_by_ia;
-        }
-      });
-    }
-    int64_t inside_nib = 0;
-    grid.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
-      if (!rec.nib.Contains(e.point)) return;
-      ++inside_nib;
-      if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) return;
-      ++result.stats.pairs_validated;
-      result.stats.positions_scanned +=
-          static_cast<int64_t>(rec.positions.size());
-      if (Influences(pf, e.point, rec.positions, tau)) {
-        ++result.influence[e.id];
-      }
-    });
-    result.stats.pairs_pruned_by_nib += static_cast<int64_t>(m) - inside_nib;
-  }
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+  PruneAndValidate(grid, prepared.store(), kernel, 0,
+                   static_cast<uint32_t>(prepared.num_objects()),
+                   result.influence, &result.stats);
 
   internal::FinalizeResultFromInfluence(&result);
   internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());

@@ -1,8 +1,10 @@
 #include "core/pinocchio_hull_solver.h"
 
+#include <algorithm>
+
 #include "core/prepared_instance.h"
 #include "geo/convex_hull.h"
-#include "prob/influence.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -19,20 +21,21 @@ SolverResult PinocchioHullSolver::Solve(const PreparedInstance& prepared) const 
     return result;
   }
 
-  const ProbabilityFunction& pf = prepared.pf();
-  const double tau = prepared.tau();
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+  const ObjectStore& store = prepared.store();
   const RTree& rtree = prepared.candidate_rtree();
 
   // minMaxRadius comes memoised from the prepared A_2D; the hulls are this
   // variant's own tighter geometry, built per object during the solve.
-  for (const ObjectRecord& rec : prepared.store().records()) {
+  for (const ObjectRecord& rec : store.records()) {
     const double radius = rec.min_max_radius;
     if (radius < 0.0) {
       // Uninfluenceable object: every pair is excluded outright.
       result.stats.pairs_pruned_by_nib += static_cast<int64_t>(m);
       continue;
     }
-    const ConvexPolygon hull(rec.positions);
+    const std::span<const Point> positions = store.positions(rec);
+    const ConvexPolygon hull(positions);
     const double radius_sq = radius * radius;
 
     // The NIB region of the hull is contained in the hull bounds inflated
@@ -55,11 +58,10 @@ SolverResult PinocchioHullSolver::Solve(const PreparedInstance& prepared) const 
         return;
       }
       ++result.stats.pairs_validated;
-      result.stats.positions_scanned +=
-          static_cast<int64_t>(rec.positions.size());
-      if (Influences(pf, e.point, rec.positions, tau)) {
-        ++result.influence[e.id];
-      }
+      const InfluenceDecision decision = kernel.Decide(e.point, positions);
+      result.stats.positions_scanned += decision.positions_seen;
+      if (decision.decided_early) ++result.stats.early_stops;
+      if (decision.influenced) ++result.influence[e.id];
     });
     result.stats.pairs_pruned_by_nib += static_cast<int64_t>(m) - inside_nib;
   }

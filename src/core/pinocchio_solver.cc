@@ -1,7 +1,8 @@
 #include "core/pinocchio_solver.h"
 
 #include "core/prepared_instance.h"
-#include "prob/influence.h"
+#include "core/prune_pipeline.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -14,41 +15,13 @@ SolverResult PinocchioSolver::Solve(const PreparedInstance& prepared) const {
   result.influence.assign(m, 0);
   result.influence_exact = true;
 
-  const ProbabilityFunction& pf = prepared.pf();
-  const double tau = prepared.tau();
-  const RTree& rtree = prepared.candidate_rtree();
-
-  for (const ObjectRecord& rec : prepared.store().records()) {
-    // Lemma 2: candidates inside IA(O_k) influence O_k outright. The R-tree
-    // is probed with the conservative bounding box; the exact arc test
-    // filters the hits.
-    if (!rec.ia.IsEmpty()) {
-      rtree.QueryRect(rec.ia.BoundingBox(), [&](const RTreeEntry& e) {
-        if (rec.ia.Contains(e.point)) {
-          ++result.influence[e.id];
-          ++result.stats.pairs_pruned_by_ia;
-        }
-      });
-    }
-
-    // Lemma 3: candidates outside NIB(O_k) cannot influence O_k; they are
-    // pruned implicitly by never being visited. The remnant set C'' (inside
-    // NIB but not inside IA) is validated by a full sequential scan
-    // (Algorithm 2 lines 10-15).
-    int64_t inside_nib = 0;
-    rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
-      if (!rec.nib.Contains(e.point)) return;
-      ++inside_nib;
-      if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) return;  // already credited
-      ++result.stats.pairs_validated;
-      result.stats.positions_scanned +=
-          static_cast<int64_t>(rec.positions.size());
-      if (Influences(pf, e.point, rec.positions, tau)) {
-        ++result.influence[e.id];
-      }
-    });
-    result.stats.pairs_pruned_by_nib += static_cast<int64_t>(m) - inside_nib;
-  }
+  // Algorithm 2 over the shared pipeline: Lemma-2 IA credits and Lemma-3
+  // NIB exclusions per object, then batch validation of the remnant set
+  // C'' against the object's arena span (with the Lemma-4 early exit).
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+  PruneAndValidate(prepared.candidate_rtree(), prepared.store(), kernel, 0,
+                   static_cast<uint32_t>(prepared.num_objects()),
+                   result.influence, &result.stats);
 
   internal::FinalizeResultFromInfluence(&result);
   internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());

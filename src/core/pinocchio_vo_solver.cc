@@ -1,10 +1,13 @@
 #include "core/pinocchio_vo_solver.h"
 
 #include <algorithm>
+#include <numeric>
 #include <queue>
+#include <utility>
 
 #include "core/prepared_instance.h"
-#include "prob/influence.h"
+#include "core/prune_pipeline.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -57,45 +60,53 @@ SolverResult PinocchioVOSolver::Solve(const PreparedInstance& prepared) const {
     return result;
   }
 
-  const ProbabilityFunction& pf = prepared.pf();
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
 
   // ---------------------------------------------------------------- prune
-  // minInf starts at 0 and counts IA certificates; the verification set
-  // VS(c) holds indices into store.records() of objects whose NIB contains c
-  // but whose IA does not. maxInf = minInf + |VS| after the phase (every
-  // other object was excluded by its NIB).
+  // minInf starts at 0 and counts IA certificates. The verification sets
+  // VS(c) — record indices whose NIB contains c but whose IA does not —
+  // are kept as one flat CSR layout (vs_data sliced by vs_offsets) instead
+  // of m private vectors, so the prune phase performs O(1) allocations
+  // however large the candidate set grows. maxInf = minInf + |VS| after
+  // the phase (every other object was excluded by its NIB).
   std::vector<int64_t> min_inf(m, 0);
   std::vector<int64_t> max_inf(m, r);
-  std::vector<std::vector<uint32_t>> vs(m);
+  std::vector<uint32_t> vs_offsets(m + 1, 0);
+  std::vector<uint32_t> vs_data;
+  // VO* skips pruning: every candidate shares the identity verification
+  // set, iterated directly instead of materialising m copies of it.
+  std::vector<uint32_t> all_records;
 
   if (use_pruning_) {
-    const RTree& rtree = prepared.candidate_rtree();
-
-    for (size_t k = 0; k < store.records().size(); ++k) {
-      const ObjectRecord& rec = store.records()[k];
-      rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
-        if (!rec.nib.Contains(e.point)) return;
-        if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) {
-          ++min_inf[e.id];
-          ++result.stats.pairs_pruned_by_ia;
-        } else {
-          vs[e.id].push_back(static_cast<uint32_t>(k));
-        }
-      });
-    }
-    int64_t surviving_pairs = 0;
+    // Size-then-fill: collect (candidate, record) remnant pairs once, then
+    // counting-sort them into the CSR slots. Stability preserves the
+    // record order of the per-candidate scans, keeping validation
+    // bit-identical to the per-candidate-vector layout it replaces.
+    std::vector<std::pair<uint32_t, uint32_t>> pairs;
+    ClassifyCandidates(
+        prepared.candidate_rtree(), store, 0, static_cast<uint32_t>(r), m,
+        &result.stats,
+        [&](const RTreeEntry& e, uint32_t) { ++min_inf[e.id]; },
+        [&](const RTreeEntry& e, uint32_t k) { pairs.emplace_back(e.id, k); });
+    for (const auto& [cand, rec] : pairs) ++vs_offsets[cand + 1];
+    for (size_t j = 0; j < m; ++j) vs_offsets[j + 1] += vs_offsets[j];
+    vs_data.resize(pairs.size());
+    std::vector<uint32_t> cursor(vs_offsets.begin(), vs_offsets.end() - 1);
+    for (const auto& [cand, rec] : pairs) vs_data[cursor[cand]++] = rec;
     for (size_t j = 0; j < m; ++j) {
-      max_inf[j] = min_inf[j] + static_cast<int64_t>(vs[j].size());
-      surviving_pairs += min_inf[j] + static_cast<int64_t>(vs[j].size());
+      max_inf[j] = min_inf[j] + (vs_offsets[j + 1] - vs_offsets[j]);
     }
-    result.stats.pairs_pruned_by_nib =
-        static_cast<int64_t>(m) * r - surviving_pairs;
   } else {
     // PINOCCHIO-VO*: no pruning phase; every object must be verified.
-    std::vector<uint32_t> all(store.records().size());
-    for (size_t k = 0; k < all.size(); ++k) all[k] = static_cast<uint32_t>(k);
-    for (size_t j = 0; j < m; ++j) vs[j] = all;
+    all_records.resize(static_cast<size_t>(r));
+    std::iota(all_records.begin(), all_records.end(), 0u);
   }
+
+  const auto verification_set = [&](uint32_t j) -> std::span<const uint32_t> {
+    if (!use_pruning_) return all_records;
+    return std::span<const uint32_t>(vs_data)
+        .subspan(vs_offsets[j], vs_offsets[j + 1] - vs_offsets[j]);
+  };
 
   // ------------------------------------------------------------- validate
   // Max-heap over candidates ordered by maxInf, then minInf (Algorithm 3
@@ -117,35 +128,22 @@ SolverResult PinocchioVOSolver::Solve(const PreparedInstance& prepared) const {
     ++result.stats.heap_pops;
 
     const Point& c = prepared.candidate(j);
-    for (uint32_t rec_idx : vs[j]) {
+    for (uint32_t rec_idx : verification_set(j)) {
       // Strategy 1 mid-validation abort (Algorithm 3 lines 25-26).
       if (cutoff.Saturated() && max_inf[j] < cutoff.Value()) {
         ++result.stats.strategy1_cutoffs;
         break;
       }
-      const ObjectRecord& rec = store.records()[rec_idx];
       ++result.stats.pairs_validated;
 
-      // Strategy 2: scan positions until Lemma 4 decides influence.
-      PartialInfluenceEvaluator eval(config.tau);
-      bool influenced = false;
-      bool decided_early = false;
-      for (const Point& p : rec.positions) {
-        eval.Add(pf(Distance(c, p)));
-        ++result.stats.positions_scanned;
-        if (eval.InfluenceDecided()) {
-          influenced = true;
-          decided_early = eval.positions_seen() < rec.positions.size();
-          break;
-        }
-      }
-      if (!influenced) {
-        // n' == n case: fall back to the direct threshold test.
-        influenced = eval.InfluenceProbability() >= config.tau;
-      }
-      if (decided_early) ++result.stats.early_stops;
+      // Strategy 2: the kernel scans the record's arena span until Lemma 4
+      // decides influence.
+      const InfluenceDecision decision =
+          kernel.Decide(c, store.positions(rec_idx));
+      result.stats.positions_scanned += decision.positions_seen;
+      if (decision.decided_early) ++result.stats.early_stops;
 
-      if (influenced) {
+      if (decision.influenced) {
         ++min_inf[j];
       } else {
         --max_inf[j];

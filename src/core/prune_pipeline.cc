@@ -1,0 +1,129 @@
+#include "core/prune_pipeline.h"
+
+#include <vector>
+
+#include "index/grid_index.h"
+#include "prob/influence_kernel.h"
+
+namespace pinocchio {
+namespace {
+
+// The single QueryRect site of the prune phase: one record against every
+// candidate of `index`, instantiated for each candidate-index type.
+template <typename Index>
+void ClassifyRecord(const Index& index, const ObjectRecord& rec,
+                    uint32_t record_index, size_t num_candidates,
+                    SolverStats* stats, const PruneIaFn& ia_certified,
+                    const PruneRemnantFn& remnant) {
+  int64_t inside_nib = 0;
+  index.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
+    if (!rec.nib.Contains(e.point)) return;  // Lemma 3
+    ++inside_nib;
+    if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) {  // Lemma 2
+      if (stats != nullptr) ++stats->pairs_pruned_by_ia;
+      ia_certified(e, record_index);
+    } else {
+      remnant(e, record_index);
+    }
+  });
+  if (stats != nullptr) {
+    stats->pairs_pruned_by_nib +=
+        static_cast<int64_t>(num_candidates) - inside_nib;
+  }
+}
+
+template <typename Index>
+void ClassifyImpl(const Index& index, const ObjectStore& store,
+                  uint32_t first_record, uint32_t last_record,
+                  size_t num_candidates, SolverStats* stats,
+                  const PruneIaFn& ia_certified, const PruneRemnantFn& remnant) {
+  for (uint32_t k = first_record; k < last_record; ++k) {
+    ClassifyRecord(index, store.records()[k], k, num_candidates, stats,
+                   ia_certified, remnant);
+  }
+}
+
+template <typename Index>
+void PruneAndValidateImpl(const Index& index, const ObjectStore& store,
+                          const InfluenceKernel& kernel, uint32_t first_record,
+                          uint32_t last_record, std::span<int64_t> influence,
+                          SolverStats* stats) {
+  // Per-object scratch, reused across records: the remnant set stays tiny
+  // relative to the candidate count whenever pruning bites.
+  std::vector<Point> remnant_points;
+  std::vector<uint32_t> remnant_ids;
+  std::vector<uint8_t> influenced;
+  for (uint32_t k = first_record; k < last_record; ++k) {
+    const ObjectRecord& rec = store.records()[k];
+    remnant_points.clear();
+    remnant_ids.clear();
+    ClassifyRecord(
+        index, rec, k, influence.size(), stats,
+        [&](const RTreeEntry& e, uint32_t) { ++influence[e.id]; },
+        [&](const RTreeEntry& e, uint32_t) {
+          remnant_points.push_back(e.point);
+          remnant_ids.push_back(e.id);
+        });
+    if (remnant_points.empty()) continue;
+    influenced.assign(remnant_points.size(), 0);
+    const InfluenceBatchCounters counters =
+        kernel.DecideMany(remnant_points, store.positions(rec), influenced);
+    if (stats != nullptr) {
+      stats->pairs_validated += static_cast<int64_t>(remnant_points.size());
+      stats->positions_scanned += counters.positions_seen;
+      stats->early_stops += counters.early_stops;
+    }
+    for (size_t i = 0; i < remnant_ids.size(); ++i) {
+      if (influenced[i] != 0) ++influence[remnant_ids[i]];
+    }
+  }
+}
+
+}  // namespace
+
+void ClassifyCandidates(const RTree& index, const ObjectStore& store,
+                        uint32_t first_record, uint32_t last_record,
+                        size_t num_candidates, SolverStats* stats,
+                        PruneIaFn ia_certified, PruneRemnantFn remnant) {
+  ClassifyImpl(index, store, first_record, last_record, num_candidates, stats,
+               ia_certified, remnant);
+}
+
+void ClassifyCandidates(const GridIndex& index, const ObjectStore& store,
+                        uint32_t first_record, uint32_t last_record,
+                        size_t num_candidates, SolverStats* stats,
+                        PruneIaFn ia_certified, PruneRemnantFn remnant) {
+  ClassifyImpl(index, store, first_record, last_record, num_candidates, stats,
+               ia_certified, remnant);
+}
+
+void ClassifyCandidates(const RTree& index, const InfluenceArcsRegion& ia,
+                        const NonInfluenceBoundary& nib, PruneIaFn ia_certified,
+                        PruneRemnantFn remnant) {
+  index.QueryRect(nib.BoundingBox(), [&](const RTreeEntry& e) {
+    if (!nib.Contains(e.point)) return;
+    if (!ia.IsEmpty() && ia.Contains(e.point)) {
+      ia_certified(e, 0);
+    } else {
+      remnant(e, 0);
+    }
+  });
+}
+
+void PruneAndValidate(const RTree& index, const ObjectStore& store,
+                      const InfluenceKernel& kernel, uint32_t first_record,
+                      uint32_t last_record, std::span<int64_t> influence,
+                      SolverStats* stats) {
+  PruneAndValidateImpl(index, store, kernel, first_record, last_record,
+                       influence, stats);
+}
+
+void PruneAndValidate(const GridIndex& index, const ObjectStore& store,
+                      const InfluenceKernel& kernel, uint32_t first_record,
+                      uint32_t last_record, std::span<int64_t> influence,
+                      SolverStats* stats) {
+  PruneAndValidateImpl(index, store, kernel, first_record, last_record,
+                       influence, stats);
+}
+
+}  // namespace pinocchio

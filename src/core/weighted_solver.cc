@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "core/prepared_instance.h"
-#include "prob/influence.h"
+#include "core/prune_pipeline.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -24,31 +26,36 @@ WeightedSolverResult SolveWeightedPinocchio(const PreparedInstance& prepared,
     return result;
   }
 
-  const ProbabilityFunction& pf = prepared.pf();
-  const double tau = prepared.tau();
   const ObjectStore& store = prepared.store();
-  const RTree& rtree = prepared.candidate_rtree();
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
 
+  // Same classify-then-validate pipeline as the boolean solver; the only
+  // difference is that certificates credit the object's weight instead of 1.
+  std::vector<Point> remnant_points;
+  std::vector<uint32_t> remnant_ids;
+  std::vector<uint8_t> influenced;
   for (size_t k = 0; k < store.records().size(); ++k) {
-    const ObjectRecord& rec = store.records()[k];
     const double weight = weights[k];
-    int64_t inside_nib = 0;
-    rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
-      if (!rec.nib.Contains(e.point)) return;
-      ++inside_nib;
-      if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) {
-        result.score[e.id] += weight;
-        ++result.stats.pairs_pruned_by_ia;
-        return;
-      }
-      ++result.stats.pairs_validated;
-      result.stats.positions_scanned +=
-          static_cast<int64_t>(rec.positions.size());
-      if (Influences(pf, e.point, rec.positions, tau)) {
-        result.score[e.id] += weight;
-      }
-    });
-    result.stats.pairs_pruned_by_nib += static_cast<int64_t>(m) - inside_nib;
+    remnant_points.clear();
+    remnant_ids.clear();
+    ClassifyCandidates(
+        prepared.candidate_rtree(), store, static_cast<uint32_t>(k),
+        static_cast<uint32_t>(k + 1), m, &result.stats,
+        [&](const RTreeEntry& e, uint32_t) { result.score[e.id] += weight; },
+        [&](const RTreeEntry& e, uint32_t) {
+          remnant_points.push_back(e.point);
+          remnant_ids.push_back(e.id);
+        });
+    if (remnant_points.empty()) continue;
+    influenced.assign(remnant_points.size(), 0);
+    const InfluenceBatchCounters counters =
+        kernel.DecideMany(remnant_points, store.positions(k), influenced);
+    result.stats.pairs_validated += static_cast<int64_t>(remnant_points.size());
+    result.stats.positions_scanned += counters.positions_seen;
+    result.stats.early_stops += counters.early_stops;
+    for (size_t i = 0; i < remnant_ids.size(); ++i) {
+      if (influenced[i] != 0) result.score[remnant_ids[i]] += weight;
+    }
   }
 
   result.ranking.resize(m);
@@ -90,28 +97,31 @@ WeightedVOResult SolveWeightedPinocchioVO(const PreparedInstance& prepared,
     return result;
   }
 
-  const ProbabilityFunction& pf = prepared.pf();
-  const double tau = prepared.tau();
   const ObjectStore& store = prepared.store();
-  const RTree& rtree = prepared.candidate_rtree();
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
 
   // Prune phase: IA certificates raise the lower bound; the verification
-  // set carries the undecided weight.
+  // set carries the undecided weight. Like the boolean VO solver, the sets
+  // live in one flat CSR layout (vs_data sliced by vs_offsets) built by a
+  // stable size-then-fill pass over the collected remnant pairs.
   std::vector<double> min_score(m, 0.0);
   std::vector<double> undecided(m, 0.0);
-  std::vector<std::vector<uint32_t>> vs(m);
-  for (size_t k = 0; k < store.records().size(); ++k) {
-    const ObjectRecord& rec = store.records()[k];
-    rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
-      if (!rec.nib.Contains(e.point)) return;
-      if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) {
-        min_score[e.id] += weights[k];
-        ++result.stats.pairs_pruned_by_ia;
-      } else {
-        vs[e.id].push_back(static_cast<uint32_t>(k));
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  ClassifyCandidates(
+      prepared.candidate_rtree(), store, 0,
+      static_cast<uint32_t>(store.records().size()), m, &result.stats,
+      [&](const RTreeEntry& e, uint32_t k) { min_score[e.id] += weights[k]; },
+      [&](const RTreeEntry& e, uint32_t k) {
+        pairs.emplace_back(e.id, k);
         undecided[e.id] += weights[k];
-      }
-    });
+      });
+  std::vector<uint32_t> vs_offsets(m + 1, 0);
+  for (const auto& [cand, rec] : pairs) ++vs_offsets[cand + 1];
+  for (size_t j = 0; j < m; ++j) vs_offsets[j + 1] += vs_offsets[j];
+  std::vector<uint32_t> vs_data(pairs.size());
+  {
+    std::vector<uint32_t> cursor(vs_offsets.begin(), vs_offsets.end() - 1);
+    for (const auto& [cand, rec] : pairs) vs_data[cursor[cand]++] = rec;
   }
 
   // Validation in decreasing upper-bound order with Strategy-1 cut-offs.
@@ -130,30 +140,22 @@ WeightedVOResult SolveWeightedPinocchioVO(const PreparedInstance& prepared,
     double running = min_score[j];
     double remaining = undecided[j];
     bool aborted = false;
-    for (uint32_t rec_idx : vs[j]) {
+    const std::span<const uint32_t> vs =
+        std::span<const uint32_t>(vs_data).subspan(
+            vs_offsets[j], vs_offsets[j + 1] - vs_offsets[j]);
+    for (uint32_t rec_idx : vs) {
       if (running + remaining < best) {
         ++result.stats.strategy1_cutoffs;
         aborted = true;
         break;
       }
-      const ObjectRecord& rec = store.records()[rec_idx];
       ++result.stats.pairs_validated;
-      PartialInfluenceEvaluator eval(tau);
-      bool influenced = false;
-      for (const Point& p : rec.positions) {
-        eval.Add(pf(Distance(c, p)));
-        ++result.stats.positions_scanned;
-        if (eval.InfluenceDecided()) {
-          influenced = true;
-          if (eval.positions_seen() < rec.positions.size()) {
-            ++result.stats.early_stops;
-          }
-          break;
-        }
-      }
-      if (!influenced) influenced = eval.InfluenceProbability() >= tau;
+      const InfluenceDecision decision =
+          kernel.Decide(c, store.positions(rec_idx));
+      result.stats.positions_scanned += decision.positions_seen;
+      if (decision.decided_early) ++result.stats.early_stops;
       remaining -= weights[rec_idx];
-      if (influenced) running += weights[rec_idx];
+      if (decision.influenced) running += weights[rec_idx];
     }
     result.score[j] = running;
     result.score_exact[j] = !aborted;

@@ -3,8 +3,9 @@
 #include <sstream>
 
 #include "core/prepared_instance.h"
+#include "core/prune_pipeline.h"
 #include "parallel/thread_pool.h"
-#include "prob/influence.h"
+#include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -33,7 +34,7 @@ SolverResult ParallelNaiveSolver::Solve(const PreparedInstance& prepared) const 
   result.influence.assign(m, 0);
   result.influence_exact = true;
 
-  const ProbabilityFunction& pf = prepared.pf();
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
   const double tau = prepared.tau();
   const ObjectStore& store = prepared.store();
   std::atomic<int64_t> positions_scanned{0};
@@ -44,8 +45,8 @@ SolverResult ParallelNaiveSolver::Solve(const PreparedInstance& prepared) const 
       const Point& c = prepared.candidate(j);
       int64_t inf = 0;
       for (const ObjectRecord& rec : store.records()) {
-        local_positions += static_cast<int64_t>(rec.positions.size());
-        if (Influences(pf, c, rec.positions, tau)) ++inf;
+        local_positions += static_cast<int64_t>(rec.position_count);
+        if (kernel.Probability(c, store.positions(rec)) >= tau) ++inf;
       }
       result.influence[j] = inf;  // exclusive slice: no synchronisation
     }
@@ -81,46 +82,28 @@ SolverResult ParallelPinocchioSolver::Solve(
     return result;
   }
 
-  const ProbabilityFunction& pf = prepared.pf();
-  const double tau = prepared.tau();
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
   const ObjectStore& store = prepared.store();
   const RTree& rtree = prepared.candidate_rtree();
 
+  // Each worker runs the shared pipeline over its record slice into a
+  // private accumulator; merges are associative so the totals are
+  // bit-identical to the sequential solver.
   ThreadPool pool(num_threads_);
   std::mutex merge_mu;
   ParallelForChunks(&pool, store.records().size(), [&](size_t begin,
                                                        size_t end) {
     std::vector<int64_t> influence(m, 0);
     SolverStats stats;
-    for (size_t k = begin; k < end; ++k) {
-      const ObjectRecord& rec = store.records()[k];
-      if (!rec.ia.IsEmpty()) {
-        rtree.QueryRect(rec.ia.BoundingBox(), [&](const RTreeEntry& e) {
-          if (rec.ia.Contains(e.point)) {
-            ++influence[e.id];
-            ++stats.pairs_pruned_by_ia;
-          }
-        });
-      }
-      int64_t inside_nib = 0;
-      rtree.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
-        if (!rec.nib.Contains(e.point)) return;
-        ++inside_nib;
-        if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) return;
-        ++stats.pairs_validated;
-        stats.positions_scanned += static_cast<int64_t>(rec.positions.size());
-        if (Influences(pf, e.point, rec.positions, tau)) {
-          ++influence[e.id];
-        }
-      });
-      stats.pairs_pruned_by_nib += static_cast<int64_t>(m) - inside_nib;
-    }
+    PruneAndValidate(rtree, store, kernel, static_cast<uint32_t>(begin),
+                     static_cast<uint32_t>(end), influence, &stats);
     std::lock_guard<std::mutex> lock(merge_mu);
     for (size_t j = 0; j < m; ++j) result.influence[j] += influence[j];
     result.stats.pairs_pruned_by_ia += stats.pairs_pruned_by_ia;
     result.stats.pairs_pruned_by_nib += stats.pairs_pruned_by_nib;
     result.stats.pairs_validated += stats.pairs_validated;
     result.stats.positions_scanned += stats.positions_scanned;
+    result.stats.early_stops += stats.early_stops;
   });
 
   internal::FinalizeResultFromInfluence(&result);

@@ -1,0 +1,61 @@
+#include "prob/influence_kernel.h"
+
+#include <cmath>
+#include <limits>
+
+#include "prob/influence.h"
+#include "util/logging.h"
+
+namespace pinocchio {
+
+InfluenceKernel::InfluenceKernel(const ProbabilityFunction& pf, double tau)
+    : pf_(&pf), tau_(tau) {
+  PINO_CHECK_GT(tau, 0.0);
+  PINO_CHECK_LT(tau, 1.0);
+  // log1p and expm1 are faithfully rounded but not exact inverses, so
+  // -expm1(log1p(-tau)) may land an ulp below tau. Back the threshold off
+  // until crossing it provably implies the scalar test succeeds; expm1's
+  // monotonicity then guarantees agreement for every smaller log-survival.
+  double threshold = std::log1p(-tau);
+  while (-std::expm1(threshold) < tau) {
+    threshold =
+        std::nextafter(threshold, -std::numeric_limits<double>::infinity());
+  }
+  early_exit_log_survival_ = threshold;
+}
+
+double InfluenceKernel::Probability(const Point& candidate,
+                                    std::span<const Point> positions) const {
+  return CumulativeInfluenceProbability(*pf_, candidate, positions);
+}
+
+InfluenceDecision InfluenceKernel::Decide(
+    const Point& candidate, std::span<const Point> positions) const {
+  const auto n = static_cast<uint32_t>(positions.size());
+  double log_survival = 0.0;
+  uint32_t seen = 0;
+  for (const Point& p : positions) {
+    const double prob = (*pf_)(Distance(candidate, p));
+    ++seen;
+    if (prob >= 1.0) return {true, seen, seen < n};
+    log_survival += std::log1p(-prob);
+    if (log_survival <= early_exit_log_survival_) return {true, seen, seen < n};
+  }
+  return {-std::expm1(log_survival) >= tau_, seen, false};
+}
+
+InfluenceBatchCounters InfluenceKernel::DecideMany(
+    std::span<const Point> candidates, std::span<const Point> positions,
+    std::span<uint8_t> influenced) const {
+  PINO_CHECK_EQ(influenced.size(), candidates.size());
+  InfluenceBatchCounters counters;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const InfluenceDecision d = Decide(candidates[i], positions);
+    influenced[i] = d.influenced ? 1 : 0;
+    counters.positions_seen += d.positions_seen;
+    if (d.decided_early) ++counters.early_stops;
+  }
+  return counters;
+}
+
+}  // namespace pinocchio

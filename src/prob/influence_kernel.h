@@ -1,0 +1,77 @@
+// The shared validation kernel: batch evaluation of the cumulative
+// influence probability (Definition 1) with the Lemma-4 early exit
+// (Strategy 2) over contiguous position spans.
+//
+// Every solver's validation phase funnels through this kernel instead of
+// re-implementing the log-space survival accumulation privately. The
+// kernel's decisions are exactly those of the scalar reference
+// (CumulativeInfluenceProbability / Influences): the early-exit threshold
+// is nudged conservatively so that crossing it certifies the full-scan
+// test -expm1(sum log1p(-p_i)) >= tau, never anticipates it wrongly.
+
+#ifndef PINOCCHIO_PROB_INFLUENCE_KERNEL_H_
+#define PINOCCHIO_PROB_INFLUENCE_KERNEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "geo/point.h"
+#include "prob/probability_function.h"
+
+namespace pinocchio {
+
+/// Outcome of one candidate-against-object validation.
+struct InfluenceDecision {
+  bool influenced = false;
+  /// Positions consumed before the decision — the span size unless
+  /// Lemma 4 fired earlier.
+  uint32_t positions_seen = 0;
+  /// True when Lemma 4 decided strictly before the last position.
+  bool decided_early = false;
+};
+
+/// Aggregate work counters of a batch call (SolverStats currency).
+struct InfluenceBatchCounters {
+  int64_t positions_seen = 0;
+  int64_t early_stops = 0;
+};
+
+/// Immutable (PF, tau) evaluation context with the precomputed Lemma-4
+/// log-survival threshold. Cheap to construct per solve; safe to share
+/// across threads.
+class InfluenceKernel {
+ public:
+  InfluenceKernel(const ProbabilityFunction& pf, double tau);
+
+  const ProbabilityFunction& pf() const { return *pf_; }
+  double tau() const { return tau_; }
+
+  /// Exact Pr_c(O) over a position span; identical accumulation (and hence
+  /// bit-identical result) to the scalar CumulativeInfluenceProbability.
+  double Probability(const Point& candidate,
+                     std::span<const Point> positions) const;
+
+  /// Pr_c(O) >= tau with the Lemma-4 early exit. Agrees with
+  /// Influences(pf, candidate, positions, tau) on every input.
+  InfluenceDecision Decide(const Point& candidate,
+                           std::span<const Point> positions) const;
+
+  /// Batch variant: decides every candidate against ONE object's position
+  /// span (the remnant-validation unit of the prune pipeline).
+  /// `influenced[i]` receives the decision for `candidates[i]`; the two
+  /// spans' contiguity is what the columnar arena buys.
+  InfluenceBatchCounters DecideMany(std::span<const Point> candidates,
+                                    std::span<const Point> positions,
+                                    std::span<uint8_t> influenced) const;
+
+ private:
+  const ProbabilityFunction* pf_;
+  double tau_;
+  /// log-survival values <= this certify influence under the full-scan
+  /// test (a log1p(-tau) nudged down past any faithful-rounding slack).
+  double early_exit_log_survival_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_PROB_INFLUENCE_KERNEL_H_

@@ -25,7 +25,8 @@ TEST(ObjectStoreTest, RecordsCarryAlgorithm1Fields) {
 
   const ObjectRecord& rec0 = store.records()[0];
   EXPECT_EQ(rec0.object_id, 0u);
-  EXPECT_EQ(rec0.positions.size(), 3u);
+  EXPECT_EQ(rec0.position_count, 3u);
+  EXPECT_EQ(store.positions(rec0).size(), 3u);
   EXPECT_TRUE(rec0.mbr == Mbr(0, 0, 1000, 2000));
   EXPECT_NEAR(rec0.min_max_radius, pf.MinMaxRadius(0.7, 3), 1e-9);
   EXPECT_DOUBLE_EQ(rec0.ia.radius(), rec0.min_max_radius);
@@ -57,6 +58,113 @@ TEST(ObjectStoreTest, TauIsStored) {
   const PowerLawPF pf(0.9, 1.0);
   const ObjectStore store({MakeObject(0, {{0, 0}})}, pf, 0.3);
   EXPECT_DOUBLE_EQ(store.tau(), 0.3);
+}
+
+TEST(ObjectStoreTest, ArenaIsContiguousConcatenationInRecordOrder) {
+  const PowerLawPF pf(0.9, 1.0);
+  const std::vector<MovingObject> objects = {
+      MakeObject(0, {{0, 0}, {1, 1}}),
+      MakeObject(1, {{2, 2}}),
+      MakeObject(2, {{3, 3}, {4, 4}, {5, 5}}),
+  };
+  const ObjectStore store(objects, pf, 0.5);
+  ASSERT_EQ(store.position_arena().size(), 6u);
+
+  // Record spans tile the arena back to back, in record order.
+  size_t expected_offset = 0;
+  for (size_t k = 0; k < store.size(); ++k) {
+    const ObjectRecord& rec = store.records()[k];
+    EXPECT_EQ(rec.position_offset, expected_offset);
+    const std::span<const Point> span = store.positions(k);
+    ASSERT_EQ(span.size(), objects[k].positions.size());
+    EXPECT_EQ(span.data(), store.position_arena().data() + expected_offset);
+    for (size_t i = 0; i < span.size(); ++i) {
+      EXPECT_EQ(span[i].x, objects[k].positions[i].x);
+      EXPECT_EQ(span[i].y, objects[k].positions[i].y);
+    }
+    expected_offset += span.size();
+  }
+  EXPECT_EQ(expected_offset, store.position_arena().size());
+}
+
+TEST(ObjectStoreTest, RetunePreservesArenaAndRecomputesRegions) {
+  const PowerLawPF pf(0.9, 1.0);
+  const std::vector<MovingObject> objects = {
+      MakeObject(0, {{0, 0}, {1000, 0}, {0, 2000}}),
+      MakeObject(1, {{500, 500}}),
+  };
+  ObjectStore store(objects, pf, 0.7);
+  std::vector<Point> arena_before(store.position_arena().begin(),
+                                  store.position_arena().end());
+
+  store.Retune(pf, 0.3);
+  EXPECT_DOUBLE_EQ(store.tau(), 0.3);
+  ASSERT_EQ(store.position_arena().size(), arena_before.size());
+  for (size_t i = 0; i < arena_before.size(); ++i) {
+    EXPECT_EQ(store.position_arena()[i].x, arena_before[i].x);
+    EXPECT_EQ(store.position_arena()[i].y, arena_before[i].y);
+  }
+  const ObjectRecord& rec0 = store.records()[0];
+  EXPECT_NEAR(rec0.min_max_radius, pf.MinMaxRadius(0.3, 3), 1e-9);
+  EXPECT_DOUBLE_EQ(rec0.ia.radius(), rec0.min_max_radius);
+  EXPECT_DOUBLE_EQ(rec0.nib.radius(), rec0.min_max_radius);
+  EXPECT_EQ(rec0.position_offset, 0u);
+  EXPECT_EQ(rec0.position_count, 3u);
+}
+
+TEST(ObjectStoreTest, AppendExtendsArenaAndReusesRadiusMemo) {
+  const PowerLawPF pf(0.9, 1.0);
+  ObjectStore store({MakeObject(0, {{0, 0}, {10, 10}})}, pf, 0.5);
+  ASSERT_EQ(store.size(), 1u);
+  ASSERT_EQ(store.radius_by_n().size(), 1u);
+
+  const ObjectRecord& appended =
+      store.Append(MakeObject(7, {{100, 100}, {200, 200}}), pf);
+  EXPECT_EQ(appended.object_id, 7u);
+  EXPECT_EQ(appended.position_offset, 2u);
+  EXPECT_EQ(appended.position_count, 2u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.position_arena().size(), 4u);
+  // Same position count n: the memoised radius is shared exactly.
+  EXPECT_EQ(store.radius_by_n().size(), 1u);
+  EXPECT_EQ(store.records()[0].min_max_radius,
+            store.records()[1].min_max_radius);
+  EXPECT_EQ(store.positions(1)[0].x, 100.0);
+
+  // A distinct n grows the memo.
+  store.Append(MakeObject(8, {{5, 5}}), pf);
+  EXPECT_EQ(store.radius_by_n().size(), 2u);
+  EXPECT_EQ(store.position_arena().size(), 5u);
+}
+
+TEST(ObjectStoreTest, IncrementalAppendsMatchBatchConstruction) {
+  const PowerLawPF pf(0.9, 1.0);
+  std::vector<MovingObject> objects;
+  for (uint32_t i = 0; i < 12; ++i) {
+    std::vector<Point> positions;
+    for (uint32_t p = 0; p <= i % 4; ++p) {
+      positions.push_back({double(i * 100 + p), double(p * 37)});
+    }
+    objects.push_back(MakeObject(i, std::move(positions)));
+  }
+  const ObjectStore batch(objects, pf, 0.6);
+
+  ObjectStore grown(std::vector<MovingObject>(objects.begin(),
+                                              objects.begin() + 1),
+                    pf, 0.6);
+  for (size_t i = 1; i < objects.size(); ++i) grown.Append(objects[i], pf);
+
+  ASSERT_EQ(grown.size(), batch.size());
+  ASSERT_EQ(grown.position_arena().size(), batch.position_arena().size());
+  for (size_t k = 0; k < batch.size(); ++k) {
+    const ObjectRecord& a = batch.records()[k];
+    const ObjectRecord& b = grown.records()[k];
+    EXPECT_EQ(a.object_id, b.object_id);
+    EXPECT_EQ(a.position_offset, b.position_offset);
+    EXPECT_EQ(a.position_count, b.position_count);
+    EXPECT_EQ(a.min_max_radius, b.min_max_radius);
+    EXPECT_TRUE(a.mbr == b.mbr);
+  }
 }
 
 TEST(ObjectStoreDeathTest, RejectsEmptyObject) {

@@ -1,0 +1,171 @@
+#include "core/prune_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "core/prepared_instance.h"
+#include "index/grid_index.h"
+#include "prob/influence_kernel.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::RandomInstance;
+
+using PairList = std::vector<std::pair<uint32_t, uint32_t>>;  // (cand, rec)
+
+TEST(PrunePipelineTest, ClassificationMatchesBruteForceGeometry) {
+  const ProblemInstance instance = RandomInstance(91);
+  const PreparedInstance prepared(instance, DefaultConfig());
+  const ObjectStore& store = prepared.store();
+  const size_t m = prepared.num_candidates();
+  const auto r = static_cast<uint32_t>(store.size());
+
+  PairList ia_pairs;
+  PairList remnant_pairs;
+  SolverStats stats;
+  ClassifyCandidates(
+      prepared.candidate_rtree(), store, 0, r, m, &stats,
+      [&](const RTreeEntry& e, uint32_t k) { ia_pairs.emplace_back(e.id, k); },
+      [&](const RTreeEntry& e, uint32_t k) {
+        remnant_pairs.emplace_back(e.id, k);
+      });
+
+  // Brute force over every (candidate, record) pair, straight from the
+  // region definitions.
+  PairList want_ia;
+  PairList want_remnant;
+  int64_t want_nib_pruned = 0;
+  for (uint32_t k = 0; k < r; ++k) {
+    const ObjectRecord& rec = store.records()[k];
+    for (uint32_t j = 0; j < m; ++j) {
+      const Point& c = instance.candidates[j];
+      if (!rec.nib.Contains(c)) {
+        ++want_nib_pruned;
+      } else if (!rec.ia.IsEmpty() && rec.ia.Contains(c)) {
+        want_ia.emplace_back(j, k);
+      } else {
+        want_remnant.emplace_back(j, k);
+      }
+    }
+  }
+
+  const auto sorted = [](PairList pairs) {
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  };
+  EXPECT_EQ(sorted(ia_pairs), sorted(want_ia));
+  EXPECT_EQ(sorted(remnant_pairs), sorted(want_remnant));
+  EXPECT_EQ(stats.pairs_pruned_by_ia,
+            static_cast<int64_t>(want_ia.size()));
+  EXPECT_EQ(stats.pairs_pruned_by_nib, want_nib_pruned);
+}
+
+TEST(PrunePipelineTest, PruneAndValidateMatchesNaiveSolver) {
+  const ProblemInstance instance = RandomInstance(92);
+  const SolverConfig config = DefaultConfig();
+  const PreparedInstance prepared(instance, config);
+  const ObjectStore& store = prepared.store();
+  const size_t m = prepared.num_candidates();
+  const auto r = static_cast<uint32_t>(store.size());
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+
+  std::vector<int64_t> influence(m, 0);
+  SolverStats stats;
+  PruneAndValidate(prepared.candidate_rtree(), store, kernel, 0, r, influence,
+                   &stats);
+
+  const SolverResult naive = NaiveSolver().Solve(instance, config);
+  EXPECT_EQ(influence, naive.influence);
+  // Every pair is accounted for exactly once: pruned by IA, pruned by NIB,
+  // or validated.
+  EXPECT_EQ(stats.pairs_pruned_by_ia + stats.pairs_pruned_by_nib +
+                stats.pairs_validated,
+            static_cast<int64_t>(m) * static_cast<int64_t>(r));
+}
+
+TEST(PrunePipelineTest, RTreeAndGridIndexBackendsAgree) {
+  const ProblemInstance instance = RandomInstance(93);
+  const PreparedInstance prepared(instance, DefaultConfig());
+  const ObjectStore& store = prepared.store();
+  const size_t m = prepared.num_candidates();
+  const auto r = static_cast<uint32_t>(store.size());
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+
+  std::vector<int64_t> via_rtree(m, 0);
+  SolverStats rtree_stats;
+  PruneAndValidate(prepared.candidate_rtree(), store, kernel, 0, r, via_rtree,
+                   &rtree_stats);
+
+  const GridIndex grid(prepared.candidate_entries(), 64);
+  std::vector<int64_t> via_grid(m, 0);
+  SolverStats grid_stats;
+  PruneAndValidate(grid, store, kernel, 0, r, via_grid, &grid_stats);
+
+  EXPECT_EQ(via_rtree, via_grid);
+  EXPECT_EQ(rtree_stats.pairs_pruned_by_ia, grid_stats.pairs_pruned_by_ia);
+  EXPECT_EQ(rtree_stats.pairs_pruned_by_nib, grid_stats.pairs_pruned_by_nib);
+  EXPECT_EQ(rtree_stats.pairs_validated, grid_stats.pairs_validated);
+}
+
+TEST(PrunePipelineTest, RecordRangePartitionsComposeExactly) {
+  const ProblemInstance instance = RandomInstance(94);
+  const PreparedInstance prepared(instance, DefaultConfig());
+  const ObjectStore& store = prepared.store();
+  const size_t m = prepared.num_candidates();
+  const auto r = static_cast<uint32_t>(store.size());
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+
+  std::vector<int64_t> full(m, 0);
+  SolverStats full_stats;
+  PruneAndValidate(prepared.candidate_rtree(), store, kernel, 0, r, full,
+                   &full_stats);
+
+  // Disjoint record slices merged with plain addition — the contract the
+  // parallel solver relies on.
+  std::vector<int64_t> merged(m, 0);
+  SolverStats merged_stats;
+  const uint32_t mid = r / 2;
+  for (const auto& [begin, end] :
+       std::vector<std::pair<uint32_t, uint32_t>>{{0, mid}, {mid, r}}) {
+    std::vector<int64_t> part(m, 0);
+    SolverStats part_stats;
+    PruneAndValidate(prepared.candidate_rtree(), store, kernel, begin, end,
+                     part, &part_stats);
+    for (size_t j = 0; j < m; ++j) merged[j] += part[j];
+    merged_stats.pairs_pruned_by_ia += part_stats.pairs_pruned_by_ia;
+    merged_stats.pairs_pruned_by_nib += part_stats.pairs_pruned_by_nib;
+    merged_stats.pairs_validated += part_stats.pairs_validated;
+    merged_stats.positions_scanned += part_stats.positions_scanned;
+    merged_stats.early_stops += part_stats.early_stops;
+  }
+
+  EXPECT_EQ(merged, full);
+  EXPECT_EQ(merged_stats.pairs_pruned_by_ia, full_stats.pairs_pruned_by_ia);
+  EXPECT_EQ(merged_stats.pairs_pruned_by_nib, full_stats.pairs_pruned_by_nib);
+  EXPECT_EQ(merged_stats.pairs_validated, full_stats.pairs_validated);
+  EXPECT_EQ(merged_stats.positions_scanned, full_stats.positions_scanned);
+  EXPECT_EQ(merged_stats.early_stops, full_stats.early_stops);
+}
+
+TEST(PrunePipelineTest, NullStatsIsAccepted) {
+  const ProblemInstance instance = RandomInstance(95);
+  const PreparedInstance prepared(instance, DefaultConfig());
+  const size_t m = prepared.num_candidates();
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+  std::vector<int64_t> influence(m, 0);
+  PruneAndValidate(prepared.candidate_rtree(), prepared.store(), kernel, 0,
+                   static_cast<uint32_t>(prepared.store().size()), influence,
+                   nullptr);
+  const SolverResult naive = NaiveSolver().Solve(instance, DefaultConfig());
+  EXPECT_EQ(influence, naive.influence);
+}
+
+}  // namespace
+}  // namespace pinocchio

@@ -1,0 +1,169 @@
+#include "prob/influence_kernel.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "prob/alternative_pfs.h"
+#include "prob/influence.h"
+#include "prob/power_law.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+struct PfCase {
+  std::unique_ptr<ProbabilityFunction> pf;
+  const char* label;
+};
+
+std::vector<PfCase> DifferentialPfs() {
+  std::vector<PfCase> pfs;
+  pfs.push_back({std::make_unique<PowerLawPF>(0.9, 1.0), "power-law"});
+  pfs.push_back({std::make_unique<LogsigPF>(0.5, 1000.0), "logsig"});
+  pfs.push_back({std::make_unique<ConvexPF>(0.8, 4000.0), "convex"});
+  pfs.push_back({std::make_unique<ConcavePF>(0.8, 4000.0), "concave"});
+  // rho = 1.0 makes PF(0) = 1, exercising the certain-influence branch of
+  // the kernel (a position coincident with the candidate).
+  pfs.push_back({std::make_unique<LinearPF>(1.0, 3000.0), "linear-rho1"});
+  return pfs;
+}
+
+std::vector<Point> RandomPositions(Rng* rng, size_t n, double extent) {
+  std::vector<Point> positions(n);
+  for (Point& p : positions) {
+    p = {rng->Uniform(-extent, extent), rng->Uniform(-extent, extent)};
+  }
+  return positions;
+}
+
+// The core differential property: on every input the kernel's decision,
+// its exact probability, and the scalar reference agree — including the
+// Lemma-4 early exit, which must certify but never anticipate the
+// full-scan test.
+TEST(InfluenceKernelDifferentialTest, MatchesScalarReferenceOnRandomCases) {
+  Rng rng(20260806ull);
+  const std::vector<PfCase> pfs = DifferentialPfs();
+  const double taus[] = {0.05, 0.3, 0.5, 0.7, 0.9, 0.99};
+
+  int cases = 0;
+  for (const PfCase& c : pfs) {
+    for (double tau : taus) {
+      const InfluenceKernel kernel(*c.pf, tau);
+      for (int i = 0; i < 40; ++i) {
+        // Mix of sizes, heavy on the small ones; size 1 covers the
+        // single-position-object degenerate case.
+        const size_t n = static_cast<size_t>(rng.UniformInt(1, 12));
+        const double extent = (i % 2 == 0) ? 500.0 : 8000.0;
+        const std::vector<Point> positions =
+            RandomPositions(&rng, n, extent);
+        Point candidate{rng.Uniform(-extent, extent),
+                        rng.Uniform(-extent, extent)};
+        if (i % 7 == 0) candidate = positions.front();  // distance 0
+
+        const double scalar =
+            CumulativeInfluenceProbability(*c.pf, candidate, positions);
+        const bool scalar_influences =
+            Influences(*c.pf, candidate, positions, tau);
+
+        EXPECT_EQ(kernel.Probability(candidate, positions), scalar)
+            << c.label << " tau=" << tau;
+        const InfluenceDecision decision = kernel.Decide(candidate, positions);
+        EXPECT_EQ(decision.influenced, scalar_influences)
+            << c.label << " tau=" << tau << " p=" << scalar;
+        EXPECT_LE(decision.positions_seen, n);
+        EXPECT_EQ(decision.decided_early, decision.positions_seen < n);
+        if (decision.decided_early) {
+          // Early exits may only ever claim influence (Lemma 4 is a
+          // sufficient condition, not a rejection rule).
+          EXPECT_TRUE(decision.influenced);
+        }
+        ++cases;
+      }
+    }
+  }
+  EXPECT_GE(cases, 1000);
+}
+
+// Adversarial thresholds: tau placed exactly at, one ulp below, and one ulp
+// above a realised cumulative probability, where any sloppiness in the
+// early-exit threshold would flip the decision.
+TEST(InfluenceKernelDifferentialTest, AgreesAtNearTauBoundaries) {
+  Rng rng(777ull);
+  const PowerLawPF pf(0.9, 1.0);
+  int boundary_cases = 0;
+  for (int i = 0; i < 400; ++i) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 8));
+    const std::vector<Point> positions = RandomPositions(&rng, n, 6000.0);
+    const Point candidate{rng.Uniform(-6000.0, 6000.0),
+                          rng.Uniform(-6000.0, 6000.0)};
+    const double p = CumulativeInfluenceProbability(pf, candidate, positions);
+    if (!(p > 0.0 && p < 1.0)) continue;
+
+    const double taus[] = {p, std::nextafter(p, 0.0), std::nextafter(p, 1.0)};
+    for (double tau : taus) {
+      if (!(tau > 0.0 && tau < 1.0)) continue;
+      const InfluenceKernel kernel(pf, tau);
+      EXPECT_EQ(kernel.Decide(candidate, positions).influenced,
+                Influences(pf, candidate, positions, tau))
+          << "p=" << p << " tau=" << tau;
+      ++boundary_cases;
+    }
+  }
+  EXPECT_GE(boundary_cases, 600);
+}
+
+TEST(InfluenceKernelTest, DecideManyMatchesPerCandidateDecide) {
+  Rng rng(4242ull);
+  const PowerLawPF pf(0.9, 1.0);
+  const InfluenceKernel kernel(pf, 0.4);
+  const std::vector<Point> positions = RandomPositions(&rng, 20, 3000.0);
+  const std::vector<Point> candidates = RandomPositions(&rng, 64, 3000.0);
+
+  std::vector<uint8_t> batch(candidates.size(), 0xFF);
+  const InfluenceBatchCounters counters =
+      kernel.DecideMany(candidates, positions, batch);
+
+  InfluenceBatchCounters expected;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const InfluenceDecision d = kernel.Decide(candidates[i], positions);
+    EXPECT_EQ(batch[i] != 0, d.influenced) << "candidate " << i;
+    expected.positions_seen += d.positions_seen;
+    if (d.decided_early) ++expected.early_stops;
+  }
+  EXPECT_EQ(counters.positions_seen, expected.positions_seen);
+  EXPECT_EQ(counters.early_stops, expected.early_stops);
+}
+
+TEST(InfluenceKernelTest, EmptyCandidateBatchIsANoOp) {
+  const PowerLawPF pf(0.9, 1.0);
+  const InfluenceKernel kernel(pf, 0.4);
+  const std::vector<Point> positions = {{0, 0}, {1, 1}};
+  const InfluenceBatchCounters counters =
+      kernel.DecideMany({}, positions, {});
+  EXPECT_EQ(counters.positions_seen, 0);
+  EXPECT_EQ(counters.early_stops, 0);
+}
+
+TEST(InfluenceKernelTest, CertainPositionDecidesImmediately) {
+  // PF(0) = 1 with rho = 1: the first coincident position certifies
+  // influence without touching the rest of the span.
+  const LinearPF pf(1.0, 1000.0);
+  const InfluenceKernel kernel(pf, 0.5);
+  const std::vector<Point> positions = {{5, 5}, {9000, 9000}, {9001, 9001}};
+  const InfluenceDecision d = kernel.Decide({5, 5}, positions);
+  EXPECT_TRUE(d.influenced);
+  EXPECT_EQ(d.positions_seen, 1u);
+  EXPECT_TRUE(d.decided_early);
+}
+
+TEST(InfluenceKernelDeathTest, RejectsInvalidTau) {
+  const PowerLawPF pf(0.9, 1.0);
+  EXPECT_DEATH({ InfluenceKernel kernel(pf, 0.0); }, "Check failed");
+  EXPECT_DEATH({ InfluenceKernel kernel(pf, 1.0); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace pinocchio
