@@ -38,7 +38,7 @@ std::vector<uint32_t> IncrementalPrimeLS::InfluencedCandidates(
   const InfluenceKernel kernel(*config_.pf, config_.tau);
   std::vector<uint32_t> influenced;
   ClassifyCandidates(
-      rtree_, ia, nib,
+      rtree_, ia, nib, kernel, positions,
       [&](const RTreeEntry& e, uint32_t) {
         if (active_[e.id]) influenced.push_back(e.id);
       },

@@ -1,6 +1,7 @@
 #include "core/influence_query.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/prepared_instance.h"
 #include "prob/influence_kernel.h"
@@ -124,10 +125,11 @@ InfluenceExplanation ExplainInfluence(const PreparedInstance& prepared,
     InfluencedObject entry;
     entry.object_id = rec.object_id;
     entry.probability = probability;
-    const double radius_sq = rec.min_max_radius * rec.min_max_radius;
     if (rec.min_max_radius >= 0.0) {
       for (const Point& p : positions) {
-        if (SquaredDistance(candidate, p) <= radius_sq) {
+        // Same distance-space convention as the region predicates, so the
+        // count agrees with them for positions exactly on the rim.
+        if (std::sqrt(SquaredDistance(candidate, p)) <= rec.min_max_radius) {
           ++entry.positions_in_radius;
         }
       }

@@ -43,7 +43,7 @@ MultiFacilityResult SelectFacilities(const PreparedInstance& prepared,
     remnant_points.clear();
     remnant_ids.clear();
     ClassifyCandidates(
-        prepared.candidate_rtree(), store, static_cast<uint32_t>(idx),
+        prepared.candidate_rtree(), store, kernel, static_cast<uint32_t>(idx),
         static_cast<uint32_t>(idx + 1), m, nullptr,
         [&](const RTreeEntry& e, uint32_t rec_idx) {
           influenced[e.id].push_back(rec_idx);

@@ -1,6 +1,8 @@
 #include "core/pinocchio_hull_solver.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "core/prepared_instance.h"
 #include "geo/convex_hull.h"
@@ -9,6 +11,20 @@
 #include "util/stopwatch.h"
 
 namespace pinocchio {
+namespace {
+
+// Hull distances are not linked to the validators' per-position distances by
+// an exact monotone rounding chain (unlike the MBR min/maxDist predicates),
+// so pruning and certifying comparisons keep a few ulps of slack on the safe
+// side; rim-adjacent pairs fall through to exact validation.
+double UlpsAway(double v, double direction, int steps = 8) {
+  for (int i = 0; i < steps; ++i) v = std::nextafter(v, direction);
+  return v;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
 
 SolverResult PinocchioHullSolver::Solve(const PreparedInstance& prepared) const {
   Stopwatch watch;
@@ -36,15 +52,21 @@ SolverResult PinocchioHullSolver::Solve(const PreparedInstance& prepared) const 
     }
     const std::span<const Point> positions = store.positions(rec);
     const ConvexPolygon hull(positions);
-    const double radius_sq = radius * radius;
+    const double prune_radius = UlpsAway(radius, kInf);
+    const double certify_radius = UlpsAway(radius, -kInf);
 
     // The NIB region of the hull is contained in the hull bounds inflated
     // by the radius; use that box to probe the R-tree, then decide each
-    // hit with exact hull distances.
-    const Mbr probe = hull.Bounds().Inflated(radius);
+    // hit with exact hull distances. Box misses are pruned without further
+    // checks, so widen the box outward past the rounding error.
+    const Mbr inflated = hull.Bounds().Inflated(radius);
+    const Mbr probe(UlpsAway(inflated.min_x(), -kInf),
+                    UlpsAway(inflated.min_y(), -kInf),
+                    UlpsAway(inflated.max_x(), kInf),
+                    UlpsAway(inflated.max_y(), kInf));
     int64_t inside_nib = 0;
     rtree.QueryRect(probe, [&](const RTreeEntry& e) {
-      if (hull.MinDist(e.point) > radius) return;  // outside hull-NIB
+      if (hull.MinDist(e.point) > prune_radius) return;  // outside hull-NIB
       ++inside_nib;
       // Hull-IA: the farthest hull vertex within the radius certifies
       // influence (Theorem 1 with the tighter bound).
@@ -52,7 +74,7 @@ SolverResult PinocchioHullSolver::Solve(const PreparedInstance& prepared) const 
       for (const Point& v : hull.vertices()) {
         max_sq = std::max(max_sq, SquaredDistance(e.point, v));
       }
-      if (max_sq <= radius_sq) {
+      if (std::sqrt(max_sq) <= certify_radius) {
         ++result.influence[e.id];
         ++result.stats.pairs_pruned_by_ia;
         return;

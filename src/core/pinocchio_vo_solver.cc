@@ -84,8 +84,8 @@ SolverResult PinocchioVOSolver::Solve(const PreparedInstance& prepared) const {
     // bit-identical to the per-candidate-vector layout it replaces.
     std::vector<std::pair<uint32_t, uint32_t>> pairs;
     ClassifyCandidates(
-        prepared.candidate_rtree(), store, 0, static_cast<uint32_t>(r), m,
-        &result.stats,
+        prepared.candidate_rtree(), store, kernel, 0, static_cast<uint32_t>(r),
+        m, &result.stats,
         [&](const RTreeEntry& e, uint32_t) { ++min_inf[e.id]; },
         [&](const RTreeEntry& e, uint32_t k) { pairs.emplace_back(e.id, k); });
     for (const auto& [cand, rec] : pairs) ++vs_offsets[cand + 1];

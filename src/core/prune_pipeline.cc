@@ -1,20 +1,67 @@
 #include "core/prune_pipeline.h"
 
+#include <sstream>
 #include <vector>
 
 #include "index/grid_index.h"
+#include "prob/influence.h"
 #include "prob/influence_kernel.h"
+#include "util/self_check.h"
 
 namespace pinocchio {
 namespace {
 
+void ReportClassificationViolation(const char* lemma, const RTreeEntry& entry,
+                                   const InfluenceKernel& kernel,
+                                   std::span<const Point> positions,
+                                   bool influences) {
+  std::ostringstream msg;
+  msg.precision(17);
+  msg << lemma << " violated: candidate " << entry.id << " at ("
+      << entry.point.x << ", " << entry.point.y << ") was "
+      << (influences ? "classified non-influencing but influences"
+                     : "IA-certified but does not influence")
+      << " the object (" << positions.size() << " positions, tau="
+      << kernel.tau() << ", pf=" << kernel.pf().Name() << ")";
+  ReportSelfCheckViolation(msg.str());
+}
+
+// The self-check audit: enumerates EVERY candidate of the index and
+// re-derives its classification from the scalar reference. Lemma 3 demands
+// that candidates outside the NIB never influence the object; Lemma 2 that
+// candidates inside the IA always do. Candidates in the remnant ring carry
+// no claim — validation decides them (and the kernel audits itself there).
+template <typename Index>
+void AuditClassification(const Index& index, const InfluenceArcsRegion& ia,
+                         const NonInfluenceBoundary& nib,
+                         const InfluenceKernel& kernel,
+                         std::span<const Point> positions) {
+  index.QueryRect(index.Bounds(), [&](const RTreeEntry& e) {
+    if (!nib.Contains(e.point)) {
+      if (Influences(kernel.pf(), e.point, positions, kernel.tau())) {
+        ReportClassificationViolation("Lemma 3 (NIB prune)", e, kernel,
+                                      positions, true);
+      }
+    } else if (!ia.IsEmpty() && ia.Contains(e.point)) {
+      if (!Influences(kernel.pf(), e.point, positions, kernel.tau())) {
+        ReportClassificationViolation("Lemma 2 (IA certificate)", e, kernel,
+                                      positions, false);
+      }
+    }
+  });
+}
+
 // The single QueryRect site of the prune phase: one record against every
 // candidate of `index`, instantiated for each candidate-index type.
 template <typename Index>
-void ClassifyRecord(const Index& index, const ObjectRecord& rec,
-                    uint32_t record_index, size_t num_candidates,
-                    SolverStats* stats, const PruneIaFn& ia_certified,
+void ClassifyRecord(const Index& index, const ObjectStore& store,
+                    const ObjectRecord& rec, uint32_t record_index,
+                    size_t num_candidates, SolverStats* stats, bool self_check,
+                    const InfluenceKernel& kernel, const PruneIaFn& ia_certified,
                     const PruneRemnantFn& remnant) {
+  if (self_check) {
+    AuditClassification(index, rec.ia, rec.nib, kernel, store.positions(rec));
+  }
   int64_t inside_nib = 0;
   index.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
     if (!rec.nib.Contains(e.point)) return;  // Lemma 3
@@ -34,12 +81,14 @@ void ClassifyRecord(const Index& index, const ObjectRecord& rec,
 
 template <typename Index>
 void ClassifyImpl(const Index& index, const ObjectStore& store,
-                  uint32_t first_record, uint32_t last_record,
-                  size_t num_candidates, SolverStats* stats,
-                  const PruneIaFn& ia_certified, const PruneRemnantFn& remnant) {
+                  const InfluenceKernel& kernel, uint32_t first_record,
+                  uint32_t last_record, size_t num_candidates,
+                  SolverStats* stats, const PruneIaFn& ia_certified,
+                  const PruneRemnantFn& remnant) {
+  const bool self_check = SelfCheckEnabled();
   for (uint32_t k = first_record; k < last_record; ++k) {
-    ClassifyRecord(index, store.records()[k], k, num_candidates, stats,
-                   ia_certified, remnant);
+    ClassifyRecord(index, store, store.records()[k], k, num_candidates, stats,
+                   self_check, kernel, ia_certified, remnant);
   }
 }
 
@@ -48,6 +97,7 @@ void PruneAndValidateImpl(const Index& index, const ObjectStore& store,
                           const InfluenceKernel& kernel, uint32_t first_record,
                           uint32_t last_record, std::span<int64_t> influence,
                           SolverStats* stats) {
+  const bool self_check = SelfCheckEnabled();
   // Per-object scratch, reused across records: the remnant set stays tiny
   // relative to the candidate count whenever pruning bites.
   std::vector<Point> remnant_points;
@@ -58,7 +108,7 @@ void PruneAndValidateImpl(const Index& index, const ObjectStore& store,
     remnant_points.clear();
     remnant_ids.clear();
     ClassifyRecord(
-        index, rec, k, influence.size(), stats,
+        index, store, rec, k, influence.size(), stats, self_check, kernel,
         [&](const RTreeEntry& e, uint32_t) { ++influence[e.id]; },
         [&](const RTreeEntry& e, uint32_t) {
           remnant_points.push_back(e.point);
@@ -82,24 +132,31 @@ void PruneAndValidateImpl(const Index& index, const ObjectStore& store,
 }  // namespace
 
 void ClassifyCandidates(const RTree& index, const ObjectStore& store,
-                        uint32_t first_record, uint32_t last_record,
-                        size_t num_candidates, SolverStats* stats,
-                        PruneIaFn ia_certified, PruneRemnantFn remnant) {
-  ClassifyImpl(index, store, first_record, last_record, num_candidates, stats,
-               ia_certified, remnant);
+                        const InfluenceKernel& kernel, uint32_t first_record,
+                        uint32_t last_record, size_t num_candidates,
+                        SolverStats* stats, PruneIaFn ia_certified,
+                        PruneRemnantFn remnant) {
+  ClassifyImpl(index, store, kernel, first_record, last_record, num_candidates,
+               stats, ia_certified, remnant);
 }
 
 void ClassifyCandidates(const GridIndex& index, const ObjectStore& store,
-                        uint32_t first_record, uint32_t last_record,
-                        size_t num_candidates, SolverStats* stats,
-                        PruneIaFn ia_certified, PruneRemnantFn remnant) {
-  ClassifyImpl(index, store, first_record, last_record, num_candidates, stats,
-               ia_certified, remnant);
+                        const InfluenceKernel& kernel, uint32_t first_record,
+                        uint32_t last_record, size_t num_candidates,
+                        SolverStats* stats, PruneIaFn ia_certified,
+                        PruneRemnantFn remnant) {
+  ClassifyImpl(index, store, kernel, first_record, last_record, num_candidates,
+               stats, ia_certified, remnant);
 }
 
 void ClassifyCandidates(const RTree& index, const InfluenceArcsRegion& ia,
-                        const NonInfluenceBoundary& nib, PruneIaFn ia_certified,
+                        const NonInfluenceBoundary& nib,
+                        const InfluenceKernel& kernel,
+                        std::span<const Point> positions, PruneIaFn ia_certified,
                         PruneRemnantFn remnant) {
+  if (SelfCheckEnabled()) {
+    AuditClassification(index, ia, nib, kernel, positions);
+  }
   index.QueryRect(nib.BoundingBox(), [&](const RTreeEntry& e) {
     if (!nib.Contains(e.point)) return;
     if (!ia.IsEmpty() && ia.Contains(e.point)) {

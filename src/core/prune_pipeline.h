@@ -13,6 +13,13 @@
 // R-tree and the grid) so there is exactly one QueryRect call site; callers
 // pass non-owning FunctionRef visitors, which keeps the per-object hot loop
 // free of std::function allocations.
+//
+// Under PINOCCHIO_SELF_CHECK (util/self_check.h) every record's
+// classification is audited against the scalar reference: each IA-certified
+// candidate must actually influence the object (Lemma 2) and each
+// NIB-pruned candidate must not (Lemma 3). The audit enumerates the whole
+// candidate index per record, so self-checked solves cost O(naive); the
+// kernel parameter supplies the (pf, tau) semantics being audited.
 
 #ifndef PINOCCHIO_CORE_PRUNE_PIPELINE_H_
 #define PINOCCHIO_CORE_PRUNE_PIPELINE_H_
@@ -69,21 +76,29 @@ using PruneRemnantFn = FunctionRef<void(const RTreeEntry&, uint32_t)>;
 /// NIB: IA-certified pairs go to `ia_certified`, the rest to `remnant`.
 /// Pairs outside the NIB are pruned implicitly. `stats` (nullable) receives
 /// pairs_pruned_by_ia and pairs_pruned_by_nib; `num_candidates` is the
-/// total candidate count the NIB counter is accounted against.
+/// total candidate count the NIB counter is accounted against. `kernel`
+/// carries the (pf, tau) the pruning regions were built for; it does no
+/// work outside self-check mode.
 void ClassifyCandidates(const RTree& index, const ObjectStore& store,
-                        uint32_t first_record, uint32_t last_record,
-                        size_t num_candidates, SolverStats* stats,
-                        PruneIaFn ia_certified, PruneRemnantFn remnant);
+                        const InfluenceKernel& kernel, uint32_t first_record,
+                        uint32_t last_record, size_t num_candidates,
+                        SolverStats* stats, PruneIaFn ia_certified,
+                        PruneRemnantFn remnant);
 void ClassifyCandidates(const GridIndex& index, const ObjectStore& store,
-                        uint32_t first_record, uint32_t last_record,
-                        size_t num_candidates, SolverStats* stats,
-                        PruneIaFn ia_certified, PruneRemnantFn remnant);
+                        const InfluenceKernel& kernel, uint32_t first_record,
+                        uint32_t last_record, size_t num_candidates,
+                        SolverStats* stats, PruneIaFn ia_certified,
+                        PruneRemnantFn remnant);
 
 /// Region-level variant for callers that maintain their own pruning
 /// geometry outside an ObjectStore (the incremental/dynamic path): one
-/// (IA, NIB) pair against the index, no counters.
+/// (IA, NIB) pair against the index, no counters. `positions` is the
+/// object's position set the regions were derived from (used only by the
+/// self-check audit).
 void ClassifyCandidates(const RTree& index, const InfluenceArcsRegion& ia,
                         const NonInfluenceBoundary& nib,
+                        const InfluenceKernel& kernel,
+                        std::span<const Point> positions,
                         PruneIaFn ia_certified, PruneRemnantFn remnant);
 
 /// The complete per-object PINOCCHIO pipeline (Algorithm 2) over records

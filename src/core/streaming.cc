@@ -30,9 +30,12 @@ void StreamingPrimeLS::SyncObject(uint32_t object_id) {
 }
 
 void StreamingPrimeLS::ExpireUntil(double time) {
+  // The window is the closed interval [time - window_seconds, time] (see
+  // streaming.h): an observation at exactly the horizon is still live, so
+  // only strictly older observations expire.
   const double horizon = time - options_.window_seconds;
   std::unordered_set<uint32_t> dirty;
-  while (!expiry_.empty() && expiry_.front().first <= horizon) {
+  while (!expiry_.empty() && expiry_.front().first < horizon) {
     const uint32_t object_id = expiry_.front().second;
     expiry_.pop_front();
     auto it = buffers_.find(object_id);

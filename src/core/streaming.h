@@ -5,9 +5,13 @@
 //
 // Timestamped position observations arrive in non-decreasing time order;
 // only observations within the trailing `window_seconds` count towards an
-// object's position set. The engine maintains exact influence counters for
-// every candidate at all times: after any Observe()/AdvanceTo() call, the
-// counters equal what a batch solver would compute on the window contents.
+// object's position set. The window is the CLOSED interval
+// [now - window_seconds, now]: an observation timestamped exactly
+// now - window_seconds is still live and expires only once `now` advances
+// strictly past timestamp + window_seconds. The engine maintains exact
+// influence counters for every candidate at all times: after any
+// Observe()/AdvanceTo() call, the counters equal what a batch solver would
+// compute on the window contents (positions with time >= now - window).
 
 #ifndef PINOCCHIO_CORE_STREAMING_H_
 #define PINOCCHIO_CORE_STREAMING_H_
@@ -29,7 +33,8 @@ class StreamingPrimeLS {
  public:
   struct Options {
     SolverConfig config;
-    /// Width of the trailing time window in seconds.
+    /// Width of the trailing time window in seconds. The window is closed
+    /// on both ends: observations with time >= now - window_seconds count.
     double window_seconds = 3600.0;
   };
 

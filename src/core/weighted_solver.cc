@@ -39,7 +39,7 @@ WeightedSolverResult SolveWeightedPinocchio(const PreparedInstance& prepared,
     remnant_points.clear();
     remnant_ids.clear();
     ClassifyCandidates(
-        prepared.candidate_rtree(), store, static_cast<uint32_t>(k),
+        prepared.candidate_rtree(), store, kernel, static_cast<uint32_t>(k),
         static_cast<uint32_t>(k + 1), m, &result.stats,
         [&](const RTreeEntry& e, uint32_t) { result.score[e.id] += weight; },
         [&](const RTreeEntry& e, uint32_t) {
@@ -108,7 +108,7 @@ WeightedVOResult SolveWeightedPinocchioVO(const PreparedInstance& prepared,
   std::vector<double> undecided(m, 0.0);
   std::vector<std::pair<uint32_t, uint32_t>> pairs;
   ClassifyCandidates(
-      prepared.candidate_rtree(), store, 0,
+      prepared.candidate_rtree(), store, kernel, 0,
       static_cast<uint32_t>(store.records().size()), m, &result.stats,
       [&](const RTreeEntry& e, uint32_t k) { min_score[e.id] += weights[k]; },
       [&](const RTreeEntry& e, uint32_t k) {

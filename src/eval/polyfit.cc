@@ -1,19 +1,20 @@
 #include "eval/polyfit.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
 
 namespace pinocchio {
+namespace {
 
-std::vector<double> PolyFit(std::span<const double> xs,
-                            std::span<const double> ys, size_t degree) {
-  PINO_CHECK_EQ(xs.size(), ys.size());
-  PINO_CHECK_GE(xs.size(), degree + 1);
+// Solves the degree-`degree` least-squares fit over already-conditioned
+// sample xs via the normal equations. Power-sum accumulation keeps it
+// O(n * degree).
+std::vector<double> FitNormalEquations(std::span<const double> xs,
+                                       std::span<const double> ys,
+                                       size_t degree) {
   const size_t terms = degree + 1;
-
-  // Normal equations: (V^T V) c = V^T y with the Vandermonde matrix V.
-  // Power-sum accumulation keeps it O(n * degree).
   std::vector<double> power_sums(2 * degree + 1, 0.0);  // sum of x^k
   std::vector<double> rhs(terms, 0.0);                  // sum of y * x^k
   for (size_t i = 0; i < xs.size(); ++i) {
@@ -25,9 +26,17 @@ std::vector<double> PolyFit(std::span<const double> xs,
     }
   }
   std::vector<std::vector<double>> a(terms, std::vector<double>(terms));
+  double max_entry = 0.0;
   for (size_t r = 0; r < terms; ++r) {
-    for (size_t c = 0; c < terms; ++c) a[r][c] = power_sums[r + c];
+    for (size_t c = 0; c < terms; ++c) {
+      a[r][c] = power_sums[r + c];
+      max_entry = std::max(max_entry, std::abs(a[r][c]));
+    }
   }
+  // With xs centred and scaled into [-1, 1] the matrix entries are O(n),
+  // so a pivot many orders below the largest entry can only mean a rank
+  // deficiency (duplicate xs), not a badly scaled but solvable system.
+  const double pivot_floor = std::max(max_entry * 1e-12, 1e-300);
 
   // Gaussian elimination with partial pivoting.
   for (size_t col = 0; col < terms; ++col) {
@@ -35,8 +44,8 @@ std::vector<double> PolyFit(std::span<const double> xs,
     for (size_t r = col + 1; r < terms; ++r) {
       if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
     }
-    PINO_CHECK_GT(std::abs(a[pivot][col]), 1e-300)
-        << "singular normal equations (collinear sample xs?)";
+    PINO_CHECK_GT(std::abs(a[pivot][col]), pivot_floor)
+        << "singular normal equations (too few distinct sample xs?)";
     std::swap(a[col], a[pivot]);
     std::swap(rhs[col], rhs[pivot]);
     for (size_t r = col + 1; r < terms; ++r) {
@@ -52,6 +61,54 @@ std::vector<double> PolyFit(std::span<const double> xs,
       value -= a[r][c] * coefficients[c];
     }
     coefficients[r] = value / a[r][r];
+  }
+  return coefficients;
+}
+
+}  // namespace
+
+std::vector<double> PolyFit(std::span<const double> xs,
+                            std::span<const double> ys, size_t degree) {
+  PINO_CHECK_EQ(xs.size(), ys.size());
+  PINO_CHECK_GE(xs.size(), degree + 1);
+  const size_t terms = degree + 1;
+
+  // Condition the abscissae first: fit in z = (x - mu) / s with mu the mean
+  // and s the half-range, then map the coefficients back. Raw power sums of
+  // e.g. Unix-timestamp xs annihilate the normal equations' determinant in
+  // double precision (the old code returned garbage without tripping its
+  // pivot guard); in the z basis the system is well scaled regardless of
+  // where the xs sit on the axis.
+  double mu = 0.0;
+  for (const double x : xs) mu += x;
+  mu /= static_cast<double>(xs.size());
+  double s = 0.0;
+  for (const double x : xs) s = std::max(s, std::abs(x - mu));
+  if (s == 0.0) s = 1.0;  // all xs identical; degree > 0 fails in the solve
+
+  std::vector<double> zs(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) zs[i] = (xs[i] - mu) / s;
+  const std::vector<double> cz = FitNormalEquations(zs, ys, degree);
+
+  // Map back: p(x) = sum_k cz[k] ((x - mu) / s)^k. Fold the 1/s^k scale
+  // into the coefficients, then expand the (x - mu) shift with polynomial
+  // Horner — O(degree^2), exact arithmetic structure.
+  std::vector<double> shifted(terms);
+  double sk = 1.0;
+  for (size_t k = 0; k < terms; ++k) {
+    shifted[k] = cz[k] / sk;
+    sk *= s;
+  }
+  std::vector<double> coefficients{shifted[terms - 1]};
+  for (size_t k = terms - 1; k-- > 0;) {
+    // coefficients = coefficients * (x - mu) + shifted[k]
+    std::vector<double> next(coefficients.size() + 1, 0.0);
+    for (size_t i = 0; i < coefficients.size(); ++i) {
+      next[i + 1] += coefficients[i];
+      next[i] -= mu * coefficients[i];
+    }
+    next[0] += shifted[k];
+    coefficients = std::move(next);
   }
   return coefficients;
 }

@@ -13,6 +13,11 @@ namespace pinocchio {
 /// the sample points (xs[i], ys[i]). Returns coefficients lowest power
 /// first: y ~ c[0] + c[1]*x + ... + c[degree]*x^degree.
 /// Requires xs.size() == ys.size() >= degree + 1.
+/// The xs are centred and scaled internally before the normal equations
+/// are formed, so large-offset abscissae (Unix timestamps, metre grid
+/// coordinates) fit accurately; coefficients are reported in the original
+/// x basis. Rank-deficient systems (fewer distinct xs than degree + 1)
+/// fail a CHECK rather than returning garbage.
 std::vector<double> PolyFit(std::span<const double> xs,
                             std::span<const double> ys, size_t degree);
 

@@ -3,10 +3,42 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 
 namespace pinocchio {
+namespace {
+
+// The pruning predicates must agree with the validators' arithmetic, which
+// works in *distance* space: d = sqrt(fl(dx^2 + dy^2)) compared against the
+// minMaxRadius (itself the largest representable distance whose computed
+// cumulative probability clears tau). Comparing squared quantities instead
+// (fl(dx^2+dy^2) vs fl(r*r)) is NOT equivalent at the rim: sqrt can round a
+// squared sum strictly above fl(r*r) back down to exactly r, so a
+// squared-space exclusion would prune a candidate the validators accept.
+//
+// The bounding boxes seeding range queries are only filters (false positives
+// are resolved by Contains), but false *negatives* silently prune, so they
+// are widened outward by a few ulps to dominate the rounding error of the
+// distance computation.
+constexpr int kBoxSlackUlps = 4;
+
+double NudgeDown(double v) {
+  for (int i = 0; i < kBoxSlackUlps; ++i) {
+    v = std::nextafter(v, -std::numeric_limits<double>::infinity());
+  }
+  return v;
+}
+
+double NudgeUp(double v) {
+  for (int i = 0; i < kBoxSlackUlps; ++i) {
+    v = std::nextafter(v, std::numeric_limits<double>::infinity());
+  }
+  return v;
+}
+
+}  // namespace
 
 InfluenceArcsRegion::InfluenceArcsRegion(const Mbr& mbr, double radius)
     : mbr_(mbr), radius_(radius) {
@@ -31,7 +63,10 @@ InfluenceArcsRegion::InfluenceArcsRegion(const Mbr& mbr, double radius)
 
 bool InfluenceArcsRegion::Contains(const Point& p) const {
   if (empty_) return false;
-  return mbr_.MaxDistSquared(p) <= radius_ * radius_;
+  // Distance space, not squared space: a candidate exactly on an arc rim
+  // has sqrt(maxDistSquared) == radius while maxDistSquared may exceed
+  // fl(radius*radius); the validators certify it, so must we.
+  return std::sqrt(mbr_.MaxDistSquared(p)) <= radius_;
 }
 
 double InfluenceArcsRegion::Area() const {
@@ -78,12 +113,26 @@ NonInfluenceBoundary::NonInfluenceBoundary(const Mbr& mbr, double radius)
   // A negative radius is the "uninfluenceable" sentinel: the object cannot
   // be influenced from anywhere, so the boundary encloses nothing and
   // every candidate is pruned.
-  if (radius >= 0.0) bbox_ = mbr.Inflated(radius);
+  //
+  // The box seeds range queries whose misses are pruned WITHOUT a Contains
+  // check, so it must be a superset of {p : Contains(p)} under rounding:
+  // widen each side by a few ulps to cover the error of fl(min/max +- r)
+  // versus the sqrt-based membership predicate.
+  if (radius >= 0.0) {
+    const Mbr inflated = mbr.Inflated(radius);
+    bbox_ = Mbr(NudgeDown(inflated.min_x()), NudgeDown(inflated.min_y()),
+                NudgeUp(inflated.max_x()), NudgeUp(inflated.max_y()));
+  }
 }
 
 bool NonInfluenceBoundary::Contains(const Point& p) const {
   if (radius_ < 0.0) return false;
-  return mbr_.MinDistSquared(p) <= radius_ * radius_;
+  // Distance space, not squared space: minDistSquared can land strictly
+  // above fl(radius*radius) while its sqrt still rounds to exactly radius —
+  // a distance at which the object IS influenced (minMaxRadius is the
+  // largest such representable distance). Excluding in squared space would
+  // prune that candidate unsoundly (Lemma 3 violation).
+  return std::sqrt(mbr_.MinDistSquared(p)) <= radius_;
 }
 
 double NonInfluenceBoundary::Area() const {

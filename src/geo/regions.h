@@ -74,7 +74,9 @@ class NonInfluenceBoundary {
   /// guaranteed not to be influenced.
   bool Contains(const Point& p) const;
 
-  /// Tight bounding box (the paper's "MBR of NIB" fast pre-filter).
+  /// Bounding box (the paper's "MBR of NIB" fast pre-filter), widened by a
+  /// few ulps per side so it strictly contains every point Contains()
+  /// accepts despite rounding.
   const Mbr& BoundingBox() const { return bbox_; }
 
   /// Exact area: w*h + 2*(w+h)*radius + pi*radius^2 (§4.3 Remark, S_N).

@@ -2,14 +2,16 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "prob/influence.h"
 #include "util/logging.h"
+#include "util/self_check.h"
 
 namespace pinocchio {
 
 InfluenceKernel::InfluenceKernel(const ProbabilityFunction& pf, double tau)
-    : pf_(&pf), tau_(tau) {
+    : pf_(&pf), tau_(tau), self_check_(SelfCheckEnabled()) {
   PINO_CHECK_GT(tau, 0.0);
   PINO_CHECK_LT(tau, 1.0);
   // log1p and expm1 are faithfully rounded but not exact inverses, so
@@ -30,6 +32,27 @@ double InfluenceKernel::Probability(const Point& candidate,
 }
 
 InfluenceDecision InfluenceKernel::Decide(
+    const Point& candidate, std::span<const Point> positions) const {
+  const InfluenceDecision decision = DecideImpl(candidate, positions);
+  if (self_check_) {
+    const double probability = Probability(candidate, positions);
+    const bool naive = probability >= tau_;
+    if (decision.influenced != naive) {
+      std::ostringstream msg;
+      msg.precision(17);
+      msg << "kernel Decide disagrees with naive Pr_c(O) >= tau: decided "
+          << (decision.influenced ? "influenced" : "not influenced")
+          << (decision.decided_early ? " (early exit)" : "") << " but Pr_c(O)="
+          << probability << " vs tau=" << tau_ << " for candidate ("
+          << candidate.x << ", " << candidate.y << ") over "
+          << positions.size() << " positions, pf=" << pf_->Name();
+      ReportSelfCheckViolation(msg.str());
+    }
+  }
+  return decision;
+}
+
+InfluenceDecision InfluenceKernel::DecideImpl(
     const Point& candidate, std::span<const Point> positions) const {
   const auto n = static_cast<uint32_t>(positions.size());
   double log_survival = 0.0;

@@ -52,7 +52,10 @@ class InfluenceKernel {
                      std::span<const Point> positions) const;
 
   /// Pr_c(O) >= tau with the Lemma-4 early exit. Agrees with
-  /// Influences(pf, candidate, positions, tau) on every input.
+  /// Influences(pf, candidate, positions, tau) on every input. Under
+  /// PINOCCHIO_SELF_CHECK (see util/self_check.h, sampled at kernel
+  /// construction) every decision is re-verified against the naive
+  /// full-scan test Pr_c(O) >= tau.
   InfluenceDecision Decide(const Point& candidate,
                            std::span<const Point> positions) const;
 
@@ -65,11 +68,17 @@ class InfluenceKernel {
                                     std::span<uint8_t> influenced) const;
 
  private:
+  InfluenceDecision DecideImpl(const Point& candidate,
+                               std::span<const Point> positions) const;
+
   const ProbabilityFunction* pf_;
   double tau_;
   /// log-survival values <= this certify influence under the full-scan
   /// test (a log1p(-tau) nudged down past any faithful-rounding slack).
   double early_exit_log_survival_;
+  /// SelfCheckEnabled() at construction; kernels are built per solve, so
+  /// this keeps the hot loop free of atomic loads.
+  bool self_check_;
 };
 
 }  // namespace pinocchio

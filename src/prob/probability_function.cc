@@ -5,6 +5,23 @@
 #include "util/logging.h"
 
 namespace pinocchio {
+namespace {
+
+// Whether n positions, all at per-position probability `prob`, reach a
+// cumulative influence probability >= tau — computed with exactly the
+// arithmetic of CumulativeInfluenceProbability (sequential log1p
+// accumulation, then -expm1), rounding for rounding. Monotonicity of
+// rounded addition makes this the worst case over any n positions whose
+// per-position probabilities are all >= prob (and the best case when all
+// are <= prob), which is what lets a single radius serve both theorems.
+bool CertifiesInfluence(double prob, size_t n, double tau) {
+  if (prob >= 1.0) return true;
+  double log_survival = 0.0;
+  for (size_t i = 0; i < n; ++i) log_survival += std::log1p(-prob);
+  return -std::expm1(log_survival) >= tau;
+}
+
+}  // namespace
 
 double ProbabilityFunction::MinMaxRadius(double tau, size_t n) const {
   PINO_CHECK_GT(tau, 0.0);
@@ -14,8 +31,38 @@ double ProbabilityFunction::MinMaxRadius(double tau, size_t n) const {
   // large n (where the per-position requirement becomes tiny).
   const double per_position =
       -std::expm1(std::log1p(-tau) / static_cast<double>(n));
-  if ((*this)(0.0) < per_position) return kUninfluenceable;
-  return Inverse(per_position);
+  // Uninfluenceable iff not even distance zero certifies — decided by the
+  // same floating-point check as below, not the analytic comparison, so
+  // the sentinel agrees with the validators on ulp-boundary (tau, n).
+  if (!CertifiesInfluence((*this)(0.0), n, tau)) return kUninfluenceable;
+
+  // Align the analytic inverse with the floating-point decision boundary.
+  // Theorem 1 certifies influence for distances <= radius and Theorem 2
+  // excludes it for distances > radius, both ultimately adjudicated by
+  // CumulativeInfluenceProbability — so the returned radius must be the
+  // LARGEST representable distance whose computed cumulative probability
+  // still clears tau. The analytic Inverse lands near that boundary but
+  // can round to either side of it (and in locally flat PF regions the
+  // two can sit many representable values apart), so locate the boundary
+  // by bisection on the certify predicate, which is monotone in distance.
+  double lo = 0.0;  // certifies (checked above)
+  double hi = Inverse(per_position);
+  if (!(hi > 0.0)) hi = 1.0;  // seed the probe when the inverse is 0/NaN
+  while (CertifiesInfluence((*this)(hi), n, tau)) {
+    lo = hi;
+    if (std::isinf(hi)) return hi;  // every distance certifies
+    hi *= 2.0;
+  }
+  while (true) {
+    const double mid = lo + 0.5 * (hi - lo);
+    if (mid <= lo || mid >= hi) break;  // lo and hi are adjacent doubles
+    if (CertifiesInfluence((*this)(mid), n, tau)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 }  // namespace pinocchio

@@ -43,6 +43,13 @@ class ProbabilityFunction {
   /// candidate, the candidate influences the object (Theorem 1); if all lie
   /// outside, it cannot (Theorem 2).
   ///
+  /// The returned value is the analytic inverse aligned (within a few
+  /// ulps) with the floating-point decision boundary: it is the largest
+  /// representable distance at which n positions still produce a COMPUTED
+  /// cumulative probability >= tau under the validators' arithmetic. This
+  /// keeps both theorems sound for candidates exactly on the arc
+  /// boundaries, where the raw analytic inverse can round to either side.
+  ///
   /// When the per-position requirement 1 - (1 - tau)^(1/n) exceeds PF(0),
   /// no distance satisfies it — and, since every per-position probability
   /// is then below the requirement, the cumulative probability of an

@@ -15,6 +15,22 @@ FlagParser::FlagParser(int argc, const char* const* argv) {
 }
 
 void FlagParser::Parse(const std::vector<std::string>& args) {
+  // Records one occurrence of `name`. A flag seen both bare and with a
+  // value is almost always a swallowed argument (e.g. `--out --legacy`
+  // followed by `--out=x` elsewhere), so the disagreement is reported via
+  // errors() instead of letting one occurrence silently shadow the other.
+  const auto record = [&](const std::string& name, const std::string& value,
+                          bool bare) {
+    const auto it = valueless_.find(name);
+    if (it != valueless_.end() && it->second != bare) {
+      errors_.push_back("flag --" + name +
+                        " redefined inconsistently: given both with and "
+                        "without a value");
+    }
+    values_[name] = value;
+    valueless_[name] = bare;
+  };
+
   bool flags_done = false;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -29,21 +45,23 @@ void FlagParser::Parse(const std::vector<std::string>& args) {
     const std::string body = arg.substr(2);
     const size_t eq = body.find('=');
     if (eq != std::string::npos) {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
-      valueless_[body.substr(0, eq)] = false;
+      record(body.substr(0, eq), body.substr(eq + 1), /*bare=*/false);
       continue;
     }
     // `--name value` when the next token is not itself a flag; otherwise a
-    // bare boolean.
+    // bare boolean (detectable via IsValueless when a value was expected).
     if (i + 1 < args.size() && !StartsWith(args[i + 1], "--")) {
-      values_[body] = args[i + 1];
-      valueless_[body] = false;
+      record(body, args[i + 1], /*bare=*/false);
       ++i;
     } else {
-      values_[body] = "";
-      valueless_[body] = true;
+      record(body, "", /*bare=*/true);
     }
   }
+}
+
+bool FlagParser::IsValueless(const std::string& name) const {
+  const auto it = valueless_.find(name);
+  return it != valueless_.end() && it->second;
 }
 
 bool FlagParser::Has(const std::string& name) const {

@@ -28,7 +28,20 @@ class FlagParser {
   /// True if the flag was present (with or without a value).
   bool Has(const std::string& name) const;
 
-  /// The flag's raw value; nullopt when absent or valueless.
+  /// True if the flag appeared bare (no `=value` and no value token).
+  /// Lets callers that require a value distinguish "--out" (present but
+  /// valueless — e.g. swallowed by a following "--flag" token) from a
+  /// genuinely absent flag, instead of silently reading nullopt.
+  bool IsValueless(const std::string& name) const;
+
+  /// Problems detected while parsing, one message per offence. Currently:
+  /// a flag redefined inconsistently (bare in one occurrence, valued in
+  /// another) — for consistent duplicates the last occurrence wins
+  /// silently. CLIs should reject the command line when non-empty.
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  /// The flag's raw value; nullopt when absent or valueless (use
+  /// IsValueless() to tell the two apart).
   std::optional<std::string> GetString(const std::string& name) const;
 
   /// Typed accessors with defaults. A present-but-malformed value returns
@@ -60,6 +73,7 @@ class FlagParser {
   std::map<std::string, std::string> values_;  // "" when valueless
   std::map<std::string, bool> valueless_;
   std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
 };
 
 }  // namespace pinocchio

@@ -1,0 +1,68 @@
+#include "util/self_check.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "util/logging.h"
+
+namespace pinocchio {
+namespace {
+
+constexpr int kUninitialized = -1;
+
+std::atomic<int> g_enabled{kUninitialized};
+
+std::mutex g_handler_mutex;
+SelfCheckViolationHandler& Handler() {
+  static SelfCheckViolationHandler handler;
+  return handler;
+}
+
+int InitialState() {
+  if (const char* env = std::getenv("PINOCCHIO_SELF_CHECK")) {
+    const std::string value(env);
+    const bool off = value == "0" || value == "false" || value == "off" ||
+                     value == "no" || value.empty();
+    return off ? 0 : 1;
+  }
+#ifdef PINOCCHIO_SELF_CHECK_DEFAULT_ON
+  return 1;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+bool SelfCheckEnabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state == kUninitialized) {
+    state = InitialState();
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void SetSelfCheckEnabled(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ReportSelfCheckViolation(const std::string& message) {
+  {
+    const std::lock_guard<std::mutex> lock(g_handler_mutex);
+    if (Handler()) {
+      Handler()(message);
+      return;
+    }
+  }
+  PINO_LOG(FATAL) << "self-check violation: " << message;
+}
+
+void SetSelfCheckViolationHandler(SelfCheckViolationHandler handler) {
+  const std::lock_guard<std::mutex> lock(g_handler_mutex);
+  Handler() = std::move(handler);
+}
+
+}  // namespace pinocchio

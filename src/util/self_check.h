@@ -1,0 +1,48 @@
+// The PINOCCHIO_SELF_CHECK debug mode: a global switch that makes the
+// prune pipeline and the influence kernel re-verify every pruning and
+// validation decision against the scalar reference (Lemmas 2-4,
+// Theorems 1-2). Solvers become O(naive) when it is on — this is a
+// correctness harness for fuzzing and CI, not a production setting.
+//
+// Three layers of control, strongest last:
+//   * the CMake option PINOCCHIO_SELF_CHECK=ON makes builds default-on
+//     (it defines PINOCCHIO_SELF_CHECK_DEFAULT_ON);
+//   * the PINOCCHIO_SELF_CHECK environment variable ("0"/"false"/"off"
+//     disables, anything else enables) overrides the build default;
+//   * SetSelfCheckEnabled() overrides both at runtime (used by the fuzz
+//     driver's --self_check flag and by tests).
+//
+// A detected violation goes through ReportSelfCheckViolation: fatal by
+// default, interceptable via SetSelfCheckViolationHandler so the fuzz
+// driver can dump a reproducer and keep sweeping seeds.
+
+#ifndef PINOCCHIO_UTIL_SELF_CHECK_H_
+#define PINOCCHIO_UTIL_SELF_CHECK_H_
+
+#include <functional>
+#include <string>
+
+namespace pinocchio {
+
+/// True when self-check verification should run. Cheap (one relaxed
+/// atomic load); callers on hot paths should still hoist it out of loops.
+bool SelfCheckEnabled();
+
+/// Forces self-check on or off for the process, overriding the build
+/// default and the PINOCCHIO_SELF_CHECK environment variable.
+void SetSelfCheckEnabled(bool enabled);
+
+/// Called by the verification code on a violated invariant. Dispatches to
+/// the installed handler; without one it logs the message at FATAL
+/// severity and aborts.
+void ReportSelfCheckViolation(const std::string& message);
+
+/// Installs `handler` to intercept violations (pass nullptr to restore
+/// the fatal default). The handler may throw to unwind out of the solver
+/// under test — the fuzz driver does exactly that.
+using SelfCheckViolationHandler = std::function<void(const std::string&)>;
+void SetSelfCheckViolationHandler(SelfCheckViolationHandler handler);
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_UTIL_SELF_CHECK_H_

@@ -20,51 +20,89 @@ using testing_helpers::RandomInstance;
 
 using PairList = std::vector<std::pair<uint32_t, uint32_t>>;  // (cand, rec)
 
+// Brute-force classification over every (candidate, record) pair, straight
+// from the region definitions; shared by the per-index-backend cases.
+struct BruteForceClassification {
+  PairList ia;
+  PairList remnant;
+  int64_t nib_pruned = 0;
+};
+
+BruteForceClassification BruteForceClassify(const ProblemInstance& instance,
+                                            const ObjectStore& store) {
+  BruteForceClassification want;
+  for (uint32_t k = 0; k < store.size(); ++k) {
+    const ObjectRecord& rec = store.records()[k];
+    for (uint32_t j = 0; j < instance.candidates.size(); ++j) {
+      const Point& c = instance.candidates[j];
+      if (!rec.nib.Contains(c)) {
+        ++want.nib_pruned;
+      } else if (!rec.ia.IsEmpty() && rec.ia.Contains(c)) {
+        want.ia.emplace_back(j, k);
+      } else {
+        want.remnant.emplace_back(j, k);
+      }
+    }
+  }
+  return want;
+}
+
+PairList Sorted(PairList pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
 TEST(PrunePipelineTest, ClassificationMatchesBruteForceGeometry) {
   const ProblemInstance instance = RandomInstance(91);
   const PreparedInstance prepared(instance, DefaultConfig());
   const ObjectStore& store = prepared.store();
   const size_t m = prepared.num_candidates();
   const auto r = static_cast<uint32_t>(store.size());
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
 
   PairList ia_pairs;
   PairList remnant_pairs;
   SolverStats stats;
   ClassifyCandidates(
-      prepared.candidate_rtree(), store, 0, r, m, &stats,
+      prepared.candidate_rtree(), store, kernel, 0, r, m, &stats,
       [&](const RTreeEntry& e, uint32_t k) { ia_pairs.emplace_back(e.id, k); },
       [&](const RTreeEntry& e, uint32_t k) {
         remnant_pairs.emplace_back(e.id, k);
       });
 
-  // Brute force over every (candidate, record) pair, straight from the
-  // region definitions.
-  PairList want_ia;
-  PairList want_remnant;
-  int64_t want_nib_pruned = 0;
-  for (uint32_t k = 0; k < r; ++k) {
-    const ObjectRecord& rec = store.records()[k];
-    for (uint32_t j = 0; j < m; ++j) {
-      const Point& c = instance.candidates[j];
-      if (!rec.nib.Contains(c)) {
-        ++want_nib_pruned;
-      } else if (!rec.ia.IsEmpty() && rec.ia.Contains(c)) {
-        want_ia.emplace_back(j, k);
-      } else {
-        want_remnant.emplace_back(j, k);
-      }
-    }
-  }
+  const BruteForceClassification want = BruteForceClassify(instance, store);
+  EXPECT_EQ(Sorted(ia_pairs), Sorted(want.ia));
+  EXPECT_EQ(Sorted(remnant_pairs), Sorted(want.remnant));
+  EXPECT_EQ(stats.pairs_pruned_by_ia, static_cast<int64_t>(want.ia.size()));
+  EXPECT_EQ(stats.pairs_pruned_by_nib, want.nib_pruned);
+}
 
-  const auto sorted = [](PairList pairs) {
-    std::sort(pairs.begin(), pairs.end());
-    return pairs;
-  };
-  EXPECT_EQ(sorted(ia_pairs), sorted(want_ia));
-  EXPECT_EQ(sorted(remnant_pairs), sorted(want_remnant));
-  EXPECT_EQ(stats.pairs_pruned_by_ia,
-            static_cast<int64_t>(want_ia.size()));
-  EXPECT_EQ(stats.pairs_pruned_by_nib, want_nib_pruned);
+// Mirror of the case above through the GridIndex overload: the grid-backed
+// classification must produce the identical pair sets and counters.
+TEST(PrunePipelineTest, GridClassificationMatchesBruteForceGeometry) {
+  const ProblemInstance instance = RandomInstance(91);
+  const PreparedInstance prepared(instance, DefaultConfig());
+  const ObjectStore& store = prepared.store();
+  const size_t m = prepared.num_candidates();
+  const auto r = static_cast<uint32_t>(store.size());
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+  const GridIndex grid(prepared.candidate_entries(), 64);
+
+  PairList ia_pairs;
+  PairList remnant_pairs;
+  SolverStats stats;
+  ClassifyCandidates(
+      grid, store, kernel, 0, r, m, &stats,
+      [&](const RTreeEntry& e, uint32_t k) { ia_pairs.emplace_back(e.id, k); },
+      [&](const RTreeEntry& e, uint32_t k) {
+        remnant_pairs.emplace_back(e.id, k);
+      });
+
+  const BruteForceClassification want = BruteForceClassify(instance, store);
+  EXPECT_EQ(Sorted(ia_pairs), Sorted(want.ia));
+  EXPECT_EQ(Sorted(remnant_pairs), Sorted(want.remnant));
+  EXPECT_EQ(stats.pairs_pruned_by_ia, static_cast<int64_t>(want.ia.size()));
+  EXPECT_EQ(stats.pairs_pruned_by_nib, want.nib_pruned);
 }
 
 TEST(PrunePipelineTest, PruneAndValidateMatchesNaiveSolver) {

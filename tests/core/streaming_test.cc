@@ -1,5 +1,9 @@
 #include "core/streaming.h"
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+
 #include <gtest/gtest.h>
 
 #include "core/naive_solver.h"
@@ -79,6 +83,31 @@ TEST(StreamingTest, WindowKeepsOnlyRecentPositions) {
   EXPECT_EQ(engine.InfluenceOf(0), 1);
 }
 
+TEST(StreamingTest, ObservationAtExactWindowBoundaryStaysLive) {
+  // Window convention regression (closed interval [now - W, now]): an
+  // observation timestamped exactly now - W is still inside the window,
+  // before and after an AdvanceTo that lands precisely on the boundary.
+  const std::vector<Point> candidates = {{0, 0}};
+  StreamingPrimeLS engine(candidates, MakeOptions(60));
+  engine.Observe(1, 0.0, {5, 5});
+  engine.AdvanceTo(60.0);  // horizon == observation time: still live
+  EXPECT_EQ(engine.NumLivePositions(), 1u);
+  EXPECT_EQ(engine.InfluenceOf(0), 1);
+
+  // A second observation arriving exactly W after the first must not expire
+  // it either (Observe advances the clock to the same boundary).
+  StreamingPrimeLS engine2(candidates, MakeOptions(60));
+  engine2.Observe(1, 0.0, {5, 5});
+  engine2.Observe(2, 60.0, {40000, 40000});
+  EXPECT_EQ(engine2.NumLivePositions(), 2u);
+  EXPECT_EQ(engine2.InfluenceOf(0), 1);
+
+  // Strictly past the boundary it expires.
+  engine.AdvanceTo(std::nextafter(60.0, 61.0));
+  EXPECT_EQ(engine.NumLivePositions(), 0u);
+  EXPECT_EQ(engine.InfluenceOf(0), 0);
+}
+
 TEST(StreamingDeathTest, RejectsTimeTravel) {
   StreamingPrimeLS engine({{0, 0}}, MakeOptions(60));
   engine.Observe(1, 100.0, {1, 1});
@@ -113,7 +142,7 @@ TEST(StreamingTest, MatchesBatchRecomputeUnderRandomStream) {
     if (step % 25 == 0) {
       std::map<uint32_t, std::vector<Point>> live;
       for (const Event& e : history) {
-        if (e.time > now - window) live[e.id].push_back(e.position);
+        if (e.time >= now - window) live[e.id].push_back(e.position);
       }
       const auto expected =
           BatchInfluence(candidates, live, MakeOptions(window).config);
@@ -122,6 +151,65 @@ TEST(StreamingTest, MatchesBatchRecomputeUnderRandomStream) {
             << "step " << step << " candidate " << j;
       }
     }
+  }
+}
+
+// The documented contract of streaming.h, end to end: after an arbitrary
+// mix of Observe and AdvanceTo calls, InfluenceOf and TopK must equal a
+// fresh batch solve over exactly the window contents ([now - W, now],
+// closed on both ends).
+TEST(StreamingTest, StreamingEqualsBatchAfterRandomObserveAdvanceMix) {
+  Rng rng(4321);
+  std::vector<Point> candidates;
+  for (int j = 0; j < 12; ++j) {
+    candidates.push_back({rng.Uniform(0, 25000), rng.Uniform(0, 25000)});
+  }
+  const double window = 300.0;
+  StreamingPrimeLS engine(candidates, MakeOptions(window));
+
+  struct Event {
+    uint32_t id;
+    double time;
+    Point position;
+  };
+  std::vector<Event> history;
+
+  double now = 0.0;
+  for (int step = 0; step < 250; ++step) {
+    // Mostly integral increments so timestamps regularly land exactly on
+    // expiry horizons, exercising the closed-boundary semantics.
+    now += static_cast<double>(rng.UniformInt(0, 60));
+    if (rng.NextDouble() < 0.3) {
+      engine.AdvanceTo(now);
+    } else {
+      const auto id = static_cast<uint32_t>(rng.UniformInt(0, 7));
+      const Point p{rng.Uniform(0, 25000), rng.Uniform(0, 25000)};
+      engine.Observe(id, now, p);
+      history.push_back({id, now, p});
+    }
+
+    if (step % 20 != 0) continue;
+    std::map<uint32_t, std::vector<Point>> live;
+    for (const Event& e : history) {
+      if (e.time >= now - window) live[e.id].push_back(e.position);
+    }
+    const auto expected =
+        BatchInfluence(candidates, live, MakeOptions(window).config);
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      ASSERT_EQ(engine.InfluenceOf(j), expected[j])
+          << "step " << step << " candidate " << j;
+    }
+    // TopK must rank by influence descending, ties towards the smaller
+    // candidate index — same convention as the batch solvers.
+    std::vector<std::pair<size_t, int64_t>> want;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      want.emplace_back(j, expected[j]);
+    }
+    std::stable_sort(want.begin(), want.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    want.resize(5);
+    ASSERT_EQ(engine.TopK(5), want) << "step " << step;
   }
 }
 

@@ -89,6 +89,55 @@ TEST(PolyFitTest, LeastSquaresResidualIsMinimal) {
   }
 }
 
+TEST(PolyFitTest, LargeOffsetAbscissaeStayConditioned) {
+  // Regression: xs as Unix timestamps. Raw normal equations lose the
+  // determinant to cancellation (sum x^2 ~ 2.6e19 against a spread of a
+  // few seconds) and returned garbage without tripping the pivot guard;
+  // centred/scaled fitting recovers the line to full precision.
+  const double t0 = 1.6e9;  // ~2020 in Unix seconds
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(t0 + i);
+    ys.push_back(5.0 + 0.25 * i);  // y = 5 + 0.25 * (x - t0)
+  }
+  const auto c = PolyFit(xs, ys, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[1], 0.25, 1e-9);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(PolyEval(c, xs[i]), ys[i], 1e-4) << "i=" << i;
+  }
+}
+
+TEST(PolyFitTest, LargeOffsetQuadraticRecoversCoefficients) {
+  // y = 2 - 0.5u + 0.03u^2 with u = x - t0. Expanded into the original
+  // basis the coefficients are huge (c[0] ~ 7.7e16) and cancel under
+  // Horner evaluation at x ~ t0 by design, so the regression checks the
+  // mapped-back coefficients against the analytic expansion instead of a
+  // pointwise residual — the pre-fix code got them wrong by many orders.
+  const double t0 = 1.6e9;
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 20; ++i) {
+    xs.push_back(t0 + 10.0 * i);
+    const double u = 10.0 * i;
+    ys.push_back(2.0 - 0.5 * u + 0.03 * u * u);
+  }
+  const auto c = PolyFit(xs, ys, 2);
+  ASSERT_EQ(c.size(), 3u);
+  const double want_c2 = 0.03;
+  const double want_c1 = -0.5 - 2.0 * 0.03 * t0;
+  const double want_c0 = 2.0 + 0.5 * t0 + 0.03 * t0 * t0;
+  EXPECT_NEAR(c[2], want_c2, 1e-10);
+  EXPECT_NEAR(c[1], want_c1, 1e-10 * std::abs(want_c1));
+  EXPECT_NEAR(c[0], want_c0, 1e-10 * std::abs(want_c0));
+}
+
+TEST(PolyFitDeathTest, RejectsDuplicateOnlyAbscissae) {
+  // Three samples but only one distinct x: rank-deficient for degree 1.
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DEATH(PolyFit(xs, ys, 1), "singular");
+}
+
 TEST(PolyEvalTest, HornerBasics) {
   const std::vector<double> c = {1.0, -2.0, 3.0};  // 1 - 2x + 3x^2
   EXPECT_DOUBLE_EQ(PolyEval(c, 0.0), 1.0);

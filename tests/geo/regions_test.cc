@@ -113,6 +113,30 @@ TEST(NonInfluenceBoundaryTest, ContainsIffMinDistWithinRadius) {
   }
 }
 
+TEST(NonInfluenceBoundaryTest, RimPointWhoseSquaredDistanceOverflowsRadius) {
+  // Regression from fuzz seed 906: candidate whose squared distance to the
+  // (degenerate, single-point) MBR lands strictly above fl(radius*radius),
+  // while sqrt rounds it back to exactly radius. The validators accept a
+  // candidate at that distance (minMaxRadius IS the largest such
+  // representable distance), so Contains must too — the old squared-space
+  // comparison pruned it, violating Lemma 3.
+  const Point pos{0x1.2b22f54e94247p+13, 0x1.d8fc496796688p+12};
+  const Point cand{0x1.7f36047a47c07p+13, 0x1.72ed7f2520b59p+13};
+  const double radius = 0x1.3d1eb90c60a51p+12;
+  Mbr mbr;
+  mbr.Expand(pos);
+  const double sq = mbr.MinDistSquared(cand);
+  ASSERT_EQ(std::sqrt(sq), radius);       // on the rim in distance space
+  ASSERT_GT(sq, radius * radius);         // ...but outside in squared space
+  const NonInfluenceBoundary nib(mbr, radius);
+  EXPECT_TRUE(nib.Contains(cand));
+  // The dual certify direction: a point-MBR's maxDist equals its minDist,
+  // so the influence-arcs region must certify the same rim candidate.
+  const InfluenceArcsRegion ia(mbr, radius);
+  ASSERT_FALSE(ia.IsEmpty());
+  EXPECT_TRUE(ia.Contains(cand));
+}
+
 TEST(NonInfluenceBoundaryTest, MbrInteriorAlwaysContained) {
   const Mbr mbr(0, 0, 4, 2);
   const NonInfluenceBoundary nib(mbr, 0.5);
@@ -124,9 +148,17 @@ TEST(NonInfluenceBoundaryTest, MbrInteriorAlwaysContained) {
 }
 
 TEST(NonInfluenceBoundaryTest, BoundingBoxIsInflatedMbr) {
+  // The box is the inflated MBR widened by a few ulps per side so range
+  // queries never drop a rim point to rounding: it must contain the
+  // analytic inflation but stay within a hair of it.
   const Mbr mbr(1, 2, 5, 6);
   const NonInfluenceBoundary nib(mbr, 2.0);
-  EXPECT_TRUE(nib.BoundingBox() == mbr.Inflated(2.0));
+  const Mbr analytic = mbr.Inflated(2.0);
+  EXPECT_TRUE(nib.BoundingBox().Contains(analytic));
+  EXPECT_NEAR(nib.BoundingBox().min_x(), analytic.min_x(), 1e-12);
+  EXPECT_NEAR(nib.BoundingBox().min_y(), analytic.min_y(), 1e-12);
+  EXPECT_NEAR(nib.BoundingBox().max_x(), analytic.max_x(), 1e-12);
+  EXPECT_NEAR(nib.BoundingBox().max_y(), analytic.max_y(), 1e-12);
 }
 
 TEST(NonInfluenceBoundaryTest, CornersOfBboxAreOutsideRegion) {

@@ -81,11 +81,19 @@ TEST(MinMaxRadiusTest, UninfluenceableObjectsTrulyUninfluenceable) {
 }
 
 TEST(MinMaxRadiusTest, SentinelBoundaryConsistency) {
-  // Exactly at the reachability boundary the radius is 0, not the
-  // sentinel: positions at distance 0 then meet the requirement exactly.
+  // Exactly at the reachability boundary (requirement for (tau, 1) is tau
+  // itself and PF(0) = 0.5 = tau) the radius is not the sentinel: distance
+  // zero still meets the requirement. The radius is the floating-point
+  // decision boundary — the largest representable distance that still
+  // influences — so it sits an ulp-scale hair above the analytic answer 0.
   const PowerLawPF pf(0.5, 1.0);
-  // Requirement for (tau, 1) is tau itself; PF(0) = 0.5.
-  EXPECT_DOUBLE_EQ(pf.MinMaxRadius(0.5, 1), 0.0);
+  const double radius = pf.MinMaxRadius(0.5, 1);
+  EXPECT_GE(radius, 0.0);
+  EXPECT_LT(radius, 1e-9);
+  const std::vector<Point> at_radius = {{radius, 0.0}};
+  EXPECT_TRUE(Influences(pf, {0, 0}, at_radius, 0.5));
+  const std::vector<Point> beyond = {{std::nextafter(radius, 1.0), 0.0}};
+  EXPECT_FALSE(Influences(pf, {0, 0}, beyond, 0.5));
   EXPECT_GT(pf.MinMaxRadius(0.49, 1), 0.0);
   EXPECT_DOUBLE_EQ(pf.MinMaxRadius(0.51, 1),
                    ProbabilityFunction::kUninfluenceable);

@@ -1,0 +1,532 @@
+#include "testing/differential_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "baselines/brnn_star.h"
+#include "baselines/range_solver.h"
+#include "core/incremental.h"
+#include "core/multi_facility.h"
+#include "core/naive_solver.h"
+#include "core/object_store.h"
+#include "core/pinocchio_grid_solver.h"
+#include "core/pinocchio_hull_solver.h"
+#include "core/pinocchio_solver.h"
+#include "core/pinocchio_vo_solver.h"
+#include "core/prepared_instance.h"
+#include "core/streaming.h"
+#include "core/weighted_solver.h"
+#include "data/binary_io.h"
+#include "data/checkin_dataset.h"
+#include "parallel/parallel_solvers.h"
+#include "prob/alternative_pfs.h"
+#include "prob/influence.h"
+#include "prob/power_law.h"
+#include "testing/instance_helpers.h"
+#include "util/random.h"
+#include "util/self_check.h"
+
+namespace pinocchio {
+namespace testing_diff {
+namespace {
+
+using testing_helpers::InstanceOptions;
+using testing_helpers::RandomInstance;
+
+// Decorrelates the shaping stream from RandomInstance's position stream
+// (which seeds Rng with the raw seed).
+constexpr uint64_t kShapingSalt = 0xA3EC4E5F9C1D2B07ull;
+
+// Draws one of the five PF families of the paper (power law of Section 3
+// plus the four Figure-16 alternatives).
+ProbabilityFunctionPtr DrawPf(Rng& rng, std::string* name) {
+  switch (rng.UniformInt(0, 4)) {
+    case 0: {
+      const double rho = rng.Uniform(0.5, 0.99);
+      const double lambda = rng.Uniform(0.5, 2.0);
+      *name = "PowerLaw";
+      return std::make_shared<PowerLawPF>(rho, lambda);
+    }
+    case 1: {
+      *name = "Logsig";
+      return std::make_shared<LogsigPF>(rng.Uniform(0.4, 0.95),
+                                        rng.Uniform(500.0, 5000.0));
+    }
+    case 2: {
+      *name = "Convex";
+      return std::make_shared<ConvexPF>(rng.Uniform(0.4, 0.95),
+                                        rng.Uniform(2000.0, 20000.0));
+    }
+    case 3: {
+      *name = "Concave";
+      return std::make_shared<ConcavePF>(rng.Uniform(0.4, 0.95),
+                                         rng.Uniform(2000.0, 20000.0));
+    }
+    default: {
+      *name = "Linear";
+      return std::make_shared<LinearPF>(rng.Uniform(0.4, 0.95),
+                                        rng.Uniform(2000.0, 20000.0));
+    }
+  }
+}
+
+// Injects the degenerate geometries the pruning rules are most sensitive
+// to: single-point objects (zero-area MBR), duplicated positions,
+// collinear positions (degenerate-height MBR) and duplicated candidates.
+void InjectDegenerateGeometry(Rng& rng, ProblemInstance* instance) {
+  auto pick_object = [&]() -> MovingObject& {
+    return instance->objects[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(instance->objects.size()) - 1))];
+  };
+  if (!instance->objects.empty()) {
+    if (rng.NextDouble() < 0.30) {  // single-point object
+      MovingObject& o = pick_object();
+      o.positions.resize(1);
+    }
+    if (rng.NextDouble() < 0.30) {  // duplicated position
+      MovingObject& o = pick_object();
+      const size_t i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(o.positions.size()) - 1));
+      o.positions.push_back(o.positions[i]);
+    }
+    if (rng.NextDouble() < 0.30) {  // collinear positions (flat MBR)
+      MovingObject& o = pick_object();
+      for (Point& p : o.positions) p.y = o.positions[0].y;
+    }
+  }
+  if (!instance->candidates.empty() && rng.NextDouble() < 0.25) {
+    const size_t j = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(instance->candidates.size()) - 1));
+    instance->candidates.push_back(instance->candidates[j]);
+  }
+}
+
+// Places candidates exactly on an object's pruning-region boundaries:
+// minDist == minMaxRadius (the NIB rim, where the <= in Lemma 3 decides)
+// and maxDist == minMaxRadius (the IA rim, where Lemma 2's certificate
+// flips). Exact to the last rounding of the coordinate arithmetic, which
+// is precisely the regime the comparisons must survive.
+void InjectBoundaryCandidates(Rng& rng, const SolverConfig& config,
+                              ProblemInstance* instance) {
+  if (instance->objects.empty() || rng.NextDouble() >= 0.45) return;
+  const ObjectStore store(instance->objects, *config.pf, config.tau);
+  const auto& records = store.records();
+  const ObjectRecord& rec = records[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(records.size()) - 1))];
+  const double radius = rec.min_max_radius;
+  if (!(radius > 0.0)) return;  // uninfluenceable sentinel or zero
+  const double cy = 0.5 * (rec.mbr.min_y() + rec.mbr.max_y());
+  // NIB rim: due east of the MBR at exactly `radius` from its edge.
+  instance->candidates.push_back({rec.mbr.max_x() + radius, cy});
+  // IA rim: the farthest corner is the west one, so solve
+  // maxDist((max_x + t, cy)) = hypot(width + t, height / 2) == radius.
+  const double half_h = 0.5 * rec.mbr.height();
+  if (radius > half_h) {
+    const double t =
+        std::sqrt(radius * radius - half_h * half_h) - rec.mbr.width();
+    if (t >= 0.0) {
+      instance->candidates.push_back({rec.mbr.max_x() + t, cy});
+    }
+  }
+}
+
+// With some probability snaps tau to the exact cumulative probability of a
+// random (candidate, object) pair — or one ulp to either side — so the
+// Pr_c(O) >= tau comparison is exercised exactly at its boundary.
+bool MaybeSnapBoundaryTau(Rng& rng, const ProblemInstance& instance,
+                          SolverConfig* config) {
+  if (instance.objects.empty() || instance.candidates.empty() ||
+      rng.NextDouble() >= 0.40) {
+    return false;
+  }
+  const MovingObject& o = instance.objects[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(instance.objects.size()) - 1))];
+  const Point& c = instance.candidates[static_cast<size_t>(rng.UniformInt(
+      0, static_cast<int64_t>(instance.candidates.size()) - 1))];
+  const double pr =
+      CumulativeInfluenceProbability(*config->pf, c, o.positions);
+  if (!(pr > 0.01) || !(pr < 0.99)) return false;
+  const int64_t nudge = rng.UniformInt(-1, 1);
+  double tau = pr;
+  if (nudge < 0) tau = std::nextafter(pr, 0.0);
+  if (nudge > 0) tau = std::nextafter(pr, 1.0);
+  config->tau = tau;
+  return true;
+}
+
+std::string DescribeVectorDiff(const std::string& solver,
+                               const std::vector<int64_t>& got,
+                               const std::vector<int64_t>& want) {
+  std::ostringstream msg;
+  msg << solver << ": influence vector differs from NaiveSolver";
+  if (got.size() != want.size()) {
+    msg << " (size " << got.size() << " vs " << want.size() << ")";
+    return msg.str();
+  }
+  for (size_t j = 0; j < got.size(); ++j) {
+    if (got[j] != want[j]) {
+      msg << " (first diff at candidate " << j << ": " << got[j] << " vs "
+          << want[j] << ")";
+      break;
+    }
+  }
+  return msg.str();
+}
+
+// Restores the fatal default handler on scope exit.
+struct ScopedThrowingViolationHandler {
+  ScopedThrowingViolationHandler() {
+    SetSelfCheckViolationHandler(
+        [](const std::string& message) { throw SelfCheckViolation(message); });
+  }
+  ~ScopedThrowingViolationHandler() { SetSelfCheckViolationHandler(nullptr); }
+};
+
+class CaseChecker {
+ public:
+  CaseChecker(const FuzzCase& fuzz, FuzzCaseResult* result)
+      : fuzz_(fuzz), result_(result) {}
+
+  void Fail(const std::string& message) {
+    result_->failures.push_back(message);
+  }
+
+  // Runs `body` and converts self-check violations / exceptions into
+  // recorded failures so the remaining checks still execute.
+  template <typename Fn>
+  void Guard(const std::string& what, Fn&& body) {
+    try {
+      body();
+    } catch (const SelfCheckViolation& v) {
+      Fail(what + ": self-check violation: " + v.what());
+    } catch (const std::exception& e) {
+      Fail(what + ": exception: " + e.what());
+    }
+  }
+
+  void RunAll(bool check_auxiliary) {
+    const PreparedInstance prepared(fuzz_.instance, fuzz_.config);
+    const SolverResult naive = NaiveSolver().Solve(prepared);
+
+    CheckExactSolver(PinocchioSolver(), prepared, naive);
+    CheckExactSolver(PinocchioGridSolver(), prepared, naive);
+    CheckExactSolver(PinocchioHullSolver(), prepared, naive);
+    CheckExactSolver(ParallelNaiveSolver(), prepared, naive);
+    CheckExactSolver(ParallelPinocchioSolver(), prepared, naive);
+    CheckVOSolver(PinocchioVOSolver(), prepared, naive);
+    CheckVOSolver(PinocchioVOStarSolver(), prepared, naive);
+    CheckClassicalBaseline(BrnnStarSolver(), prepared);
+    if (!fuzz_.instance.objects.empty()) {
+      CheckClassicalBaseline(
+          RangeSolver(0.5, RangeSolver::DefaultRangeMeters(fuzz_.instance)),
+          prepared);
+    }
+    if (check_auxiliary) {
+      CheckWeighted(prepared, naive);
+      CheckMultiFacility(prepared, naive);
+      CheckIncremental(naive);
+      CheckStreaming(naive);
+    }
+  }
+
+ private:
+  void CheckExactSolver(const Solver& solver, const PreparedInstance& prepared,
+                        const SolverResult& naive) {
+    Guard(solver.Name(), [&] {
+      const SolverResult r = solver.Solve(prepared);
+      if (r.influence != naive.influence) {
+        Fail(DescribeVectorDiff(solver.Name(), r.influence, naive.influence));
+      }
+      if (r.best_candidate != naive.best_candidate ||
+          r.best_influence != naive.best_influence) {
+        std::ostringstream msg;
+        msg << solver.Name() << ": best (" << r.best_candidate << ", "
+            << r.best_influence << ") vs naive (" << naive.best_candidate
+            << ", " << naive.best_influence << ")";
+        Fail(msg.str());
+      }
+    });
+  }
+
+  void CheckVOSolver(const PinocchioVOSolver& solver,
+                     const PreparedInstance& prepared,
+                     const SolverResult& naive) {
+    Guard(solver.Name(), [&] {
+      const SolverResult r = solver.Solve(prepared);
+      if (naive.influence.empty()) return;
+      if (r.best_influence != naive.best_influence) {
+        std::ostringstream msg;
+        msg << solver.Name() << ": best influence " << r.best_influence
+            << " vs naive " << naive.best_influence;
+        Fail(msg.str());
+      }
+      if (r.best_candidate >= naive.influence.size() ||
+          naive.influence[r.best_candidate] != r.best_influence) {
+        std::ostringstream msg;
+        msg << solver.Name() << ": winner " << r.best_candidate
+            << " does not attain its reported influence under naive";
+        Fail(msg.str());
+      }
+      for (size_t j = 0; j < r.influence.size(); ++j) {
+        if (r.influence[j] > naive.influence[j]) {
+          std::ostringstream msg;
+          msg << solver.Name() << ": influence[" << j << "] = "
+              << r.influence[j] << " exceeds exact " << naive.influence[j]
+              << " (lower-bound contract broken)";
+          Fail(msg.str());
+          break;
+        }
+      }
+      const size_t exact_k =
+          std::min(fuzz_.config.top_k, naive.influence.size());
+      for (size_t i = 0; i < exact_k && i < r.ranking.size(); ++i) {
+        const uint32_t j = r.ranking[i];
+        if (r.influence[j] != naive.influence[j]) {
+          std::ostringstream msg;
+          msg << solver.Name() << ": top-" << fuzz_.config.top_k
+              << " entry " << j << " reported " << r.influence[j]
+              << " but exact is " << naive.influence[j];
+          Fail(msg.str());
+          break;
+        }
+      }
+    });
+  }
+
+  // The classical-semantics baselines (nearest-neighbour votes, range
+  // counts) do not share the PRIME-LS objective, so there is no naive
+  // vector to diff against; check determinism and internal consistency
+  // instead.
+  void CheckClassicalBaseline(const Solver& solver,
+                              const PreparedInstance& prepared) {
+    Guard(solver.Name(), [&] {
+      const SolverResult a = solver.Solve(prepared);
+      const SolverResult b = solver.Solve(prepared);
+      if (a.influence != b.influence || a.best_candidate != b.best_candidate) {
+        Fail(solver.Name() + ": non-deterministic across identical solves");
+      }
+      if (!a.influence.empty()) {
+        if (a.best_candidate >= a.influence.size() ||
+            a.influence[a.best_candidate] != a.best_influence) {
+          Fail(solver.Name() + ": best_influence inconsistent with vector");
+        }
+        if (a.best_influence !=
+            *std::max_element(a.influence.begin(), a.influence.end())) {
+          Fail(solver.Name() + ": best_influence is not the vector maximum");
+        }
+      }
+    });
+  }
+
+  void CheckWeighted(const PreparedInstance& prepared,
+                     const SolverResult& naive) {
+    Guard("Weighted(unit)", [&] {
+      const std::vector<double> unit(prepared.store().size(), 1.0);
+      const WeightedSolverResult w = SolveWeightedPinocchio(prepared, unit);
+      for (size_t j = 0; j < naive.influence.size(); ++j) {
+        // Unit weights make the score an integer count; == is exact.
+        if (w.score[j] != static_cast<double>(naive.influence[j])) {
+          std::ostringstream msg;
+          msg << "Weighted(unit): score[" << j << "] = " << w.score[j]
+              << " vs naive influence " << naive.influence[j];
+          Fail(msg.str());
+          break;
+        }
+      }
+      if (!naive.influence.empty()) {
+        const WeightedVOResult v = SolveWeightedPinocchioVO(prepared, unit);
+        if (v.best_score != static_cast<double>(naive.best_influence)) {
+          std::ostringstream msg;
+          msg << "WeightedVO(unit): best score " << v.best_score
+              << " vs naive best influence " << naive.best_influence;
+          Fail(msg.str());
+        }
+      }
+    });
+  }
+
+  void CheckMultiFacility(const PreparedInstance& prepared,
+                          const SolverResult& naive) {
+    if (naive.influence.empty()) return;
+    Guard("MultiFacility(k=1)", [&] {
+      const MultiFacilityResult mf = SelectFacilities(prepared, 1);
+      if (mf.selected.size() != 1 || mf.coverage.size() != 1) {
+        Fail("MultiFacility(k=1): expected exactly one selection");
+        return;
+      }
+      // Greedy's first pick is exactly the single-facility optimum.
+      if (mf.coverage[0] != naive.best_influence ||
+          naive.influence[mf.selected[0]] != naive.best_influence) {
+        std::ostringstream msg;
+        msg << "MultiFacility(k=1): coverage " << mf.coverage[0]
+            << " of candidate " << mf.selected[0]
+            << " vs naive best influence " << naive.best_influence;
+        Fail(msg.str());
+      }
+    });
+  }
+
+  void CheckIncremental(const SolverResult& naive) {
+    Guard("IncrementalPrimeLS", [&] {
+      IncrementalPrimeLS inc(fuzz_.instance.candidates, fuzz_.config);
+      for (const MovingObject& o : fuzz_.instance.objects) inc.AddObject(o);
+      for (size_t j = 0; j < naive.influence.size(); ++j) {
+        if (inc.InfluenceOf(j) != naive.influence[j]) {
+          std::ostringstream msg;
+          msg << "IncrementalPrimeLS: influence[" << j << "] = "
+              << inc.InfluenceOf(j) << " vs naive " << naive.influence[j];
+          Fail(msg.str());
+          break;
+        }
+      }
+    });
+  }
+
+  void CheckStreaming(const SolverResult& naive) {
+    Guard("StreamingPrimeLS", [&] {
+      StreamingPrimeLS::Options opts;
+      opts.config = fuzz_.config;
+      opts.window_seconds = 1e9;  // everything observed stays live
+      StreamingPrimeLS stream(fuzz_.instance.candidates, opts);
+      double t = 0.0;
+      for (const MovingObject& o : fuzz_.instance.objects) {
+        for (const Point& p : o.positions) {
+          stream.Observe(o.id, t, p);
+          t += 1.0;
+        }
+      }
+      for (size_t j = 0; j < naive.influence.size(); ++j) {
+        if (stream.InfluenceOf(j) != naive.influence[j]) {
+          std::ostringstream msg;
+          msg << "StreamingPrimeLS: influence[" << j << "] = "
+              << stream.InfluenceOf(j) << " vs naive " << naive.influence[j];
+          Fail(msg.str());
+          break;
+        }
+      }
+    });
+  }
+
+  const FuzzCase& fuzz_;
+  FuzzCaseResult* result_;
+};
+
+// Serialises the failing case: the instance as a binary dataset snapshot
+// (candidates as venues, objects verbatim) plus a sidecar text file with
+// the exact configuration and the failure list.
+std::string DumpReproducer(uint64_t seed, const FuzzCase& fuzz,
+                           const FuzzCaseResult& result,
+                           const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return "";
+
+  CheckinDataset dataset;
+  dataset.spec.name = "fuzz-" + std::to_string(seed);
+  dataset.spec.seed = seed;
+  dataset.venues = fuzz.instance.candidates;
+  dataset.venue_checkins.assign(fuzz.instance.candidates.size(), 0);
+  dataset.objects = fuzz.instance.objects;
+  const std::string base = dir + "/fuzz-" + std::to_string(seed);
+  SaveDatasetBinaryFile(dataset, base + ".pino");
+
+  std::ofstream sidecar(base + ".txt");
+  sidecar.precision(17);
+  sidecar << "seed: " << seed << "\n"
+          << "pf: " << fuzz.pf_name << " (" << fuzz.config.pf->Name() << ")\n"
+          << "tau: " << std::hexfloat << fuzz.config.tau << std::defaultfloat
+          << " (" << fuzz.config.tau << ")\n"
+          << "boundary_tau: " << (fuzz.boundary_tau ? "yes" : "no") << "\n"
+          << "rtree_fanout: " << fuzz.config.rtree_fanout << "\n"
+          << "top_k: " << fuzz.config.top_k << "\n"
+          << "objects: " << fuzz.instance.objects.size()
+          << ", candidates: " << fuzz.instance.candidates.size() << "\n"
+          << "replay: fuzz_driver --seed_begin=" << seed
+          << " --seed_end=" << seed + 1 << "\n\nfailures:\n";
+  for (const std::string& f : result.failures) sidecar << "  - " << f << "\n";
+  return base + ".pino";
+}
+
+}  // namespace
+
+FuzzCase GenerateFuzzCase(uint64_t seed) {
+  Rng rng(seed ^ kShapingSalt);
+  FuzzCase fuzz;
+
+  InstanceOptions opts;
+  opts.num_objects = static_cast<size_t>(rng.UniformInt(1, 60));
+  opts.num_candidates = static_cast<size_t>(rng.UniformInt(1, 40));
+  opts.min_positions = 1;
+  opts.max_positions = static_cast<size_t>(rng.UniformInt(1, 25));
+  opts.extent_meters = rng.Uniform(5000.0, 40000.0);
+  opts.roamer_fraction = rng.NextDouble();
+  fuzz.instance = RandomInstance(seed, opts);
+
+  fuzz.config.pf = DrawPf(rng, &fuzz.pf_name);
+  fuzz.config.tau = rng.Uniform(0.05, 0.95);
+  // The R-tree requires fanout >= 4 (rtree.cc enforces it).
+  fuzz.config.rtree_fanout = static_cast<size_t>(rng.UniformInt(4, 10));
+  fuzz.config.top_k = static_cast<size_t>(rng.UniformInt(1, 3));
+
+  InjectDegenerateGeometry(rng, &fuzz.instance);
+  fuzz.boundary_tau = MaybeSnapBoundaryTau(rng, fuzz.instance, &fuzz.config);
+  InjectBoundaryCandidates(rng, fuzz.config, &fuzz.instance);
+  return fuzz;
+}
+
+FuzzCaseResult RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
+  FuzzCaseResult result;
+  result.seed = seed;
+
+  const ScopedThrowingViolationHandler scoped_handler;
+  FuzzCase fuzz;
+  try {
+    fuzz = GenerateFuzzCase(seed);
+    CaseChecker checker(fuzz, &result);
+    checker.RunAll(options.check_auxiliary);
+  } catch (const SelfCheckViolation& v) {
+    result.failures.push_back(std::string("self-check violation: ") +
+                              v.what());
+  } catch (const std::exception& e) {
+    result.failures.push_back(std::string("exception: ") + e.what());
+  }
+
+  if (!result.ok() && !options.reproducer_dir.empty()) {
+    result.reproducer_path =
+        DumpReproducer(seed, fuzz, result, options.reproducer_dir);
+  }
+  return result;
+}
+
+FuzzSummary RunFuzzRange(uint64_t seed_begin, uint64_t seed_end,
+                         const FuzzOptions& options, std::ostream* progress) {
+  FuzzSummary summary;
+  for (uint64_t seed = seed_begin; seed < seed_end; ++seed) {
+    FuzzCaseResult result = RunFuzzCase(seed, options);
+    ++summary.cases_run;
+    if (!result.ok()) {
+      if (progress != nullptr) {
+        *progress << "seed " << seed << " FAILED:\n";
+        for (const std::string& f : result.failures) {
+          *progress << "  - " << f << "\n";
+        }
+        if (!result.reproducer_path.empty()) {
+          *progress << "  reproducer: " << result.reproducer_path << "\n";
+        }
+      }
+      summary.failures.push_back(std::move(result));
+    } else if (progress != nullptr && summary.cases_run % 100 == 0) {
+      *progress << summary.cases_run << " cases, "
+                << summary.failures.size() << " failures\n";
+    }
+  }
+  return summary;
+}
+
+}  // namespace testing_diff
+}  // namespace pinocchio

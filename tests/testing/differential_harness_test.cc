@@ -1,0 +1,137 @@
+#include "testing/differential_harness.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/binary_io.h"
+#include "data/checkin_dataset.h"
+#include "util/self_check.h"
+
+namespace pinocchio {
+namespace testing_diff {
+namespace {
+
+// Flips self-check on for a test body and restores the previous-off state
+// afterwards so other tests are not affected.
+class SelfCheckOn {
+ public:
+  SelfCheckOn() { SetSelfCheckEnabled(true); }
+  ~SelfCheckOn() { SetSelfCheckEnabled(false); }
+};
+
+TEST(DifferentialHarnessTest, GenerationIsDeterministic) {
+  const FuzzCase a = GenerateFuzzCase(7);
+  const FuzzCase b = GenerateFuzzCase(7);
+  ASSERT_EQ(a.instance.objects.size(), b.instance.objects.size());
+  ASSERT_EQ(a.instance.candidates.size(), b.instance.candidates.size());
+  for (size_t k = 0; k < a.instance.objects.size(); ++k) {
+    ASSERT_EQ(a.instance.objects[k].positions.size(),
+              b.instance.objects[k].positions.size());
+    for (size_t i = 0; i < a.instance.objects[k].positions.size(); ++i) {
+      EXPECT_EQ(a.instance.objects[k].positions[i].x,
+                b.instance.objects[k].positions[i].x);
+      EXPECT_EQ(a.instance.objects[k].positions[i].y,
+                b.instance.objects[k].positions[i].y);
+    }
+  }
+  EXPECT_EQ(a.pf_name, b.pf_name);
+  EXPECT_EQ(a.config.tau, b.config.tau);
+  EXPECT_EQ(a.config.rtree_fanout, b.config.rtree_fanout);
+  EXPECT_EQ(a.config.top_k, b.config.top_k);
+}
+
+TEST(DifferentialHarnessTest, SeedsVaryTheCaseShape) {
+  // Not a tautology: the sweep must actually cover different PF families
+  // and sizes, otherwise the fuzz loop fuzzes one configuration forever.
+  std::set<std::string> pf_names;
+  std::set<size_t> object_counts;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const FuzzCase fuzz = GenerateFuzzCase(seed);
+    pf_names.insert(fuzz.pf_name);
+    object_counts.insert(fuzz.instance.objects.size());
+  }
+  EXPECT_GE(pf_names.size(), 3u);
+  EXPECT_GE(object_counts.size(), 10u);
+}
+
+TEST(DifferentialHarnessTest, FuzzSmokeWithSelfCheck) {
+  const SelfCheckOn guard;
+  const FuzzSummary summary = RunFuzzRange(1, 26);
+  EXPECT_EQ(summary.cases_run, 25u);
+  for (const FuzzCaseResult& failure : summary.failures) {
+    for (const std::string& message : failure.failures) {
+      ADD_FAILURE() << "seed " << failure.seed << ": " << message;
+    }
+  }
+}
+
+TEST(DifferentialHarnessTest, Seed906RimCandidateRegression) {
+  // Seed 906 once produced a boundary-snapped tau and an NIB rim candidate
+  // whose squared distance rounds above fl(radius*radius) while its sqrt
+  // rounds back to exactly the radius — the squared-space region predicate
+  // pruned it unsoundly (Lemma 3). Keep the exact case pinned.
+  const SelfCheckOn guard;
+  const FuzzCaseResult result = RunFuzzCase(906, {});
+  for (const std::string& message : result.failures) {
+    ADD_FAILURE() << "seed 906: " << message;
+  }
+}
+
+TEST(DifferentialHarnessTest, ViolationHandlerSurfacesAsFailure) {
+  // A violation raised mid-case must be recorded, not abort the process:
+  // RunFuzzCase installs a throwing handler around the solve. Simulate a
+  // violation by raising one from a nested handler invocation.
+  const SelfCheckOn guard;
+  bool threw = false;
+  SetSelfCheckViolationHandler([&](const std::string& message) {
+    threw = true;
+    throw SelfCheckViolation(message);
+  });
+  try {
+    ReportSelfCheckViolation("synthetic violation");
+  } catch (const SelfCheckViolation& v) {
+    EXPECT_STREQ(v.what(), "synthetic violation");
+  }
+  EXPECT_TRUE(threw);
+  SetSelfCheckViolationHandler(nullptr);
+}
+
+TEST(DifferentialHarnessTest, ReproducerRoundTripsThroughBinaryIo) {
+  // The dump format must reload into the same instance; exercise the same
+  // dataset mapping DumpReproducer uses.
+  const FuzzCase fuzz = GenerateFuzzCase(11);
+  CheckinDataset dataset;
+  dataset.spec.name = "fuzz-11";
+  dataset.spec.seed = 11;
+  dataset.venues = fuzz.instance.candidates;
+  dataset.venue_checkins.assign(fuzz.instance.candidates.size(), 0);
+  dataset.objects = fuzz.instance.objects;
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "diff_harness_repro.pino")
+          .string();
+  SaveDatasetBinaryFile(dataset, path);
+  CheckinDataset loaded;
+  std::string error;
+  ASSERT_TRUE(LoadDatasetBinaryFile(path, &loaded, &error)) << error;
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.objects.size(), fuzz.instance.objects.size());
+  ASSERT_EQ(loaded.venues.size(), fuzz.instance.candidates.size());
+  for (size_t j = 0; j < loaded.venues.size(); ++j) {
+    EXPECT_EQ(loaded.venues[j].x, fuzz.instance.candidates[j].x);
+    EXPECT_EQ(loaded.venues[j].y, fuzz.instance.candidates[j].y);
+  }
+  for (size_t k = 0; k < loaded.objects.size(); ++k) {
+    ASSERT_EQ(loaded.objects[k].positions.size(),
+              fuzz.instance.objects[k].positions.size());
+  }
+}
+
+}  // namespace
+}  // namespace testing_diff
+}  // namespace pinocchio

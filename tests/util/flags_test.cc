@@ -39,6 +39,42 @@ TEST(FlagParserTest, BooleanValues) {
   EXPECT_FALSE(flags.GetBool("missing", false));
 }
 
+TEST(FlagParserTest, ValueSwallowedByNextFlagIsDetectable) {
+  // `--out --legacy-name` turns --out into a bare boolean; a caller that
+  // expects a value must be able to tell this apart from an absent flag.
+  const FlagParser flags({"--out", "--legacy-name"});
+  EXPECT_TRUE(flags.Has("out"));
+  EXPECT_FALSE(flags.GetString("out").has_value());
+  EXPECT_TRUE(flags.IsValueless("out"));
+  EXPECT_TRUE(flags.IsValueless("legacy-name"));
+  EXPECT_FALSE(flags.IsValueless("missing"));
+  // A flag with an actual value is not valueless, under either syntax.
+  const FlagParser valued({"--out", "x", "--k=3"});
+  EXPECT_FALSE(valued.IsValueless("out"));
+  EXPECT_FALSE(valued.IsValueless("k"));
+}
+
+TEST(FlagParserTest, InconsistentRedefinitionIsAnError) {
+  const FlagParser bare_then_valued({"--x", "--x=1"});
+  ASSERT_EQ(bare_then_valued.errors().size(), 1u);
+  EXPECT_NE(bare_then_valued.errors()[0].find("--x"), std::string::npos);
+  EXPECT_NE(bare_then_valued.errors()[0].find("inconsistently"),
+            std::string::npos);
+
+  const FlagParser valued_then_bare({"--x=1", "--x"});
+  EXPECT_EQ(valued_then_bare.errors().size(), 1u);
+  // Last occurrence still wins for the stored state.
+  EXPECT_TRUE(valued_then_bare.IsValueless("x"));
+  EXPECT_FALSE(valued_then_bare.GetString("x").has_value());
+}
+
+TEST(FlagParserTest, ConsistentDuplicatesAreNotErrors) {
+  EXPECT_TRUE(FlagParser({"--x=1", "--x=2"}).errors().empty());
+  EXPECT_TRUE(FlagParser({"--v", "--v"}).errors().empty());
+  EXPECT_TRUE(FlagParser({"--x=1", "--x", "2"}).errors().empty());
+  EXPECT_TRUE(FlagParser({"--a=1", "--b"}).errors().empty());
+}
+
 TEST(FlagParserTest, Positional) {
   const FlagParser flags({"input.csv", "--k=3", "more"});
   ASSERT_EQ(flags.positional().size(), 2u);

@@ -1,0 +1,66 @@
+#include "util/self_check.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_solver.h"
+#include "core/pinocchio_solver.h"
+#include "core/prepared_instance.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::RandomInstance;
+
+class SelfCheckTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetSelfCheckViolationHandler(nullptr);
+    SetSelfCheckEnabled(false);
+  }
+};
+
+TEST_F(SelfCheckTest, SetterOverridesDefault) {
+  SetSelfCheckEnabled(true);
+  EXPECT_TRUE(SelfCheckEnabled());
+  SetSelfCheckEnabled(false);
+  EXPECT_FALSE(SelfCheckEnabled());
+}
+
+TEST_F(SelfCheckTest, InstalledHandlerInterceptsViolation) {
+  std::vector<std::string> captured;
+  SetSelfCheckViolationHandler(
+      [&](const std::string& message) { captured.push_back(message); });
+  ReportSelfCheckViolation("lemma broke");
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "lemma broke");
+}
+
+TEST_F(SelfCheckTest, CleanSolveRaisesNoViolation) {
+  // On a correct implementation the audit is silent; this is the "no
+  // false positives" half of the self-check contract.
+  SetSelfCheckEnabled(true);
+  int violations = 0;
+  SetSelfCheckViolationHandler([&](const std::string&) { ++violations; });
+  const ProblemInstance instance = RandomInstance(321);
+  const SolverConfig config = DefaultConfig();
+  const PreparedInstance prepared(instance, config);
+  const SolverResult pin = PinocchioSolver().Solve(prepared);
+  const SolverResult naive = NaiveSolver().Solve(prepared);
+  EXPECT_EQ(pin.influence, naive.influence);
+  EXPECT_EQ(violations, 0);
+}
+
+using SelfCheckDeathTest = SelfCheckTest;
+
+TEST_F(SelfCheckDeathTest, DefaultHandlerIsFatal) {
+  EXPECT_DEATH(ReportSelfCheckViolation("boom goes the invariant"),
+               "boom goes the invariant");
+}
+
+}  // namespace
+}  // namespace pinocchio

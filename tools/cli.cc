@@ -553,6 +553,10 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
     out << kUsage;
     return 0;
   }
+  if (!flags.errors().empty()) {
+    for (const std::string& e : flags.errors()) err << e << "\n";
+    return 2;
+  }
   if (command == "generate") return RunGenerate(flags, out, err);
   if (command == "stats") return RunStats(flags, out, err);
   if (command == "solve") return RunSolve(flags, out, err);
