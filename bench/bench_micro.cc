@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/object_store.h"
 #include "geo/regions.h"
@@ -228,10 +229,32 @@ void BM_ObjectStoreBuild(benchmark::State& state) {
 BENCHMARK(BM_ObjectStoreBuild);
 
 // ---------------------------------------------------------------------------
-// Validation-kernel ablation: the per-pair scalar reference (one owned
-// std::vector<Point> per object, full-scan Influences) against the
-// batch-arena kernel (InfluenceKernel::DecideMany over contiguous
-// ObjectStore spans with the Lemma-4 early exit).
+// Validation-kernel ablation, three rungs:
+//   BM_ValidationScalar      — per-pair scalar reference (one owned
+//                              std::vector<Point> per object, full-scan
+//                              Influences, no early exit)
+//   BM_ValidationKernelBatch — batch-arena kernel forced to the scalar
+//                              tier (DecideMany over contiguous spans with
+//                              the Lemma-4 early exit, no SIMD filter)
+//   BM_ValidationSimd        — the same kernel on the auto-resolved SIMD
+//                              tier (filter-and-refine, see
+//                              prob/influence_kernel_simd.h)
+
+/// Builds a kernel pinned to the scalar tier regardless of the CPU, so the
+/// KernelBatch rung keeps measuring the PR-3 scalar batch path.
+InfluenceKernel MakeForcedScalarKernel(const ProbabilityFunction& pf,
+                                       double tau) {
+  const char* saved = std::getenv("PINOCCHIO_FORCE_SCALAR");
+  const std::string restore = saved != nullptr ? saved : "";
+  setenv("PINOCCHIO_FORCE_SCALAR", "1", /*overwrite=*/1);
+  InfluenceKernel kernel(pf, tau);
+  if (saved != nullptr) {
+    setenv("PINOCCHIO_FORCE_SCALAR", restore.c_str(), 1);
+  } else {
+    unsetenv("PINOCCHIO_FORCE_SCALAR");
+  }
+  return kernel;
+}
 
 /// One validation workload: `num_objects` objects of `n` positions each,
 /// candidates mixed near/far so both decision branches are exercised.
@@ -307,7 +330,7 @@ void BM_ValidationKernelBatch(benchmark::State& state) {
   const double tau = 0.7;
   const auto n = static_cast<size_t>(state.range(0));
   const ValidationWorkload workload(50, n, 200, pf, tau);
-  const InfluenceKernel kernel(pf, tau);
+  const InfluenceKernel kernel = MakeForcedScalarKernel(pf, tau);
   std::vector<uint8_t> scratch;
   for (auto _ : state) {
     benchmark::DoNotOptimize(workload.RunKernelBatch(kernel, &scratch));
@@ -316,13 +339,34 @@ void BM_ValidationKernelBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ValidationKernelBatch)->Arg(10)->Arg(72)->Arg(780);
 
+void BM_ValidationSimd(benchmark::State& state) {
+  const PowerLawPF pf(0.9, 1.0);
+  const double tau = 0.7;
+  const auto n = static_cast<size_t>(state.range(0));
+  const ValidationWorkload workload(50, n, 200, pf, tau);
+  const InfluenceKernel kernel(pf, tau);  // auto-resolved tier
+  std::vector<uint8_t> scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.RunKernelBatch(kernel, &scratch));
+  }
+  state.SetLabel(SimdTierName(kernel.simd_tier()));
+  state.SetItemsProcessed(state.iterations() * 50 * 200);
+}
+BENCHMARK(BM_ValidationSimd)->Arg(10)->Arg(72)->Arg(780);
+
 /// Head-to-head comparison printed after the google-benchmark run; appends
-/// one JSON line per position-count case to $PINOCCHIO_BENCH_JSON when set.
+/// JSON lines to $PINOCCHIO_BENCH_JSON when set. Each rung gets a line
+/// keyed by a google-benchmark-style "name" ("BM_ValidationSimd/780") —
+/// the stable identifiers scripts/check_bench_regression.py pins — plus
+/// one combined "micro_validation_kernel" line per case continuing the
+/// trajectory format introduced in PR 3. Exits nonzero if any rung's
+/// influence decisions disagree: the SIMD filter must stay bit-identical.
 void RunValidationKernelComparison() {
   const PowerLawPF pf(0.9, 1.0);
   const double tau = 0.7;
-  std::cout << "\n[validation-kernel] scalar per-object vectors vs "
-               "batch-arena kernel (50 objects x 200 candidates)\n";
+  std::cout << "\n[validation-kernel] full-scan scalar vs batch kernel "
+               "(forced scalar tier) vs SIMD filter-and-refine "
+               "(50 objects x 200 candidates)\n";
 
   const char* json_path = std::getenv("PINOCCHIO_BENCH_JSON");
   std::ofstream json;
@@ -336,44 +380,73 @@ void RunValidationKernelComparison() {
 
   for (size_t n : {size_t{10}, size_t{72}, size_t{780}}) {
     const ValidationWorkload workload(50, n, 200, pf, tau);
-    const InfluenceKernel kernel(pf, tau);
+    const InfluenceKernel scalar_kernel = MakeForcedScalarKernel(pf, tau);
+    const InfluenceKernel simd_kernel(pf, tau);
     std::vector<uint8_t> scratch;
 
     // One warm-up each, then timed repetitions sized so even the fast path
     // accumulates milliseconds.
     const int reps = n >= 500 ? 3 : 20;
-    int64_t scalar_influenced = workload.RunScalar(pf, tau);
+    const int64_t scalar_influenced = workload.RunScalar(pf, tau);
     Stopwatch scalar_watch;
     for (int i = 0; i < reps; ++i) {
       benchmark::DoNotOptimize(workload.RunScalar(pf, tau));
     }
     const double scalar_seconds = scalar_watch.ElapsedSeconds() / reps;
 
-    int64_t batch_influenced = workload.RunKernelBatch(kernel, &scratch);
+    const int64_t batch_influenced =
+        workload.RunKernelBatch(scalar_kernel, &scratch);
     Stopwatch batch_watch;
     for (int i = 0; i < reps; ++i) {
-      benchmark::DoNotOptimize(workload.RunKernelBatch(kernel, &scratch));
+      benchmark::DoNotOptimize(workload.RunKernelBatch(scalar_kernel, &scratch));
     }
     const double batch_seconds = batch_watch.ElapsedSeconds() / reps;
 
-    if (scalar_influenced != batch_influenced) {
-      std::cerr << "[validation-kernel] DECISION MISMATCH at n=" << n << ": "
-                << scalar_influenced << " vs " << batch_influenced << "\n";
+    const int64_t simd_influenced =
+        workload.RunKernelBatch(simd_kernel, &scratch);
+    Stopwatch simd_watch;
+    for (int i = 0; i < reps; ++i) {
+      benchmark::DoNotOptimize(workload.RunKernelBatch(simd_kernel, &scratch));
+    }
+    const double simd_seconds = simd_watch.ElapsedSeconds() / reps;
+
+    if (scalar_influenced != batch_influenced ||
+        scalar_influenced != simd_influenced) {
+      std::cerr << "[validation-kernel] DECISION MISMATCH at n=" << n
+                << ": scalar " << scalar_influenced << " vs batch "
+                << batch_influenced << " vs simd("
+                << SimdTierName(simd_kernel.simd_tier()) << ") "
+                << simd_influenced << "\n";
       std::exit(1);
     }
-    const double speedup =
+    const double batch_speedup =
         batch_seconds > 0.0 ? scalar_seconds / batch_seconds : 0.0;
+    const double simd_speedup =
+        simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 0.0;
     std::cout << "  n=" << n << ": scalar " << scalar_seconds * 1e3
-              << " ms, kernel " << batch_seconds * 1e3 << " ms, speedup "
-              << speedup << "x (influenced pairs: " << batch_influenced
-              << ")\n";
+              << " ms, kernel " << batch_seconds * 1e3 << " ms ("
+              << batch_speedup << "x), simd["
+              << SimdTierName(simd_kernel.simd_tier()) << "] "
+              << simd_seconds * 1e3 << " ms (" << simd_speedup
+              << "x; influenced pairs: " << simd_influenced << ")\n";
     if (json.is_open()) {
+      const char* tier = SimdTierName(simd_kernel.simd_tier());
+      json << "{\"name\": \"BM_ValidationScalar/" << n
+           << "\", \"seconds\": " << scalar_seconds << "}\n";
+      json << "{\"name\": \"BM_ValidationKernelBatch/" << n
+           << "\", \"seconds\": " << batch_seconds << "}\n";
+      json << "{\"name\": \"BM_ValidationSimd/" << n
+           << "\", \"seconds\": " << simd_seconds << ", \"tier\": \"" << tier
+           << "\", \"speedup_vs_scalar\": " << simd_speedup << "}\n";
       json << "{\"bench\": \"micro_validation_kernel\", \"positions_per_object\": "
            << n << ", \"objects\": 50, \"candidates\": 200"
            << ", \"scalar_seconds\": " << scalar_seconds
            << ", \"kernel_seconds\": " << batch_seconds
-           << ", \"speedup\": " << speedup
-           << ", \"influenced_pairs\": " << batch_influenced << "}\n";
+           << ", \"simd_seconds\": " << simd_seconds
+           << ", \"simd_tier\": \"" << tier << "\""
+           << ", \"speedup\": " << batch_speedup
+           << ", \"simd_speedup\": " << simd_speedup
+           << ", \"influenced_pairs\": " << simd_influenced << "}\n";
     }
   }
 }

@@ -7,29 +7,73 @@
 # `scale` is the fraction of the paper's Table-2 dataset sizes (default
 # 0.25; use 1.0 for paper-scale, which takes considerably longer).
 #
+# Environment:
+#   BUILD_DIR             — build directory (default: build)
+#   JOBS                  — parallel build/test jobs (default: nproc)
+#   REPRODUCE_ONLY        — only run figure binaries whose basename matches
+#                           this glob (e.g. "bench_fig12*"); default: all
+#   REPRODUCE_SKIP_TESTS  — set to 1 to skip the ctest step (CI smoke)
+#
 # Outputs:
 #   test_output.txt   — full ctest log
 #   bench_output.txt  — all benchmark tables
+#
+# Exits nonzero if the build, the tests, or ANY figure binary fails; every
+# binary still runs so one failure cannot hide the others.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-0.25}"
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+REPRODUCE_ONLY="${REPRODUCE_ONLY:-*}"
+REPRODUCE_SKIP_TESTS="${REPRODUCE_SKIP_TESTS:-0}"
 
-echo "== configuring and building =="
-cmake -B build -G Ninja
-cmake --build build
+echo "== configuring and building (BUILD_DIR=${BUILD_DIR}, JOBS=${JOBS}) =="
+generator=()
+# Only pick a generator for a fresh build directory; an existing cache
+# keeps whatever generator it was configured with.
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ] \
+   && command -v ninja >/dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+cmake -B "${BUILD_DIR}" "${generator[@]}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "== running tests =="
-ctest --test-dir build 2>&1 | tee test_output.txt
+if [ "${REPRODUCE_SKIP_TESTS}" != "1" ]; then
+  echo "== running tests =="
+  ctest --test-dir "${BUILD_DIR}" -j "${JOBS}" 2>&1 | tee test_output.txt
+else
+  echo "== skipping tests (REPRODUCE_SKIP_TESTS=1) =="
+fi
 
 echo "== running benchmarks (PINOCCHIO_BENCH_SCALE=${SCALE}) =="
 export PINOCCHIO_BENCH_SCALE="${SCALE}"
 : > bench_output.txt
-for b in build/bench/*; do
-  if [ -f "$b" ] && [ -x "$b" ]; then
-    "$b" 2>&1 | tee -a bench_output.txt
+failed=()
+ran=0
+for b in "${BUILD_DIR}"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  # shellcheck disable=SC2254  # intentional globbing of REPRODUCE_ONLY
+  case "$(basename "$b")" in
+    ${REPRODUCE_ONLY}) ;;
+    *) continue ;;
+  esac
+  ran=$((ran + 1))
+  echo "-- $(basename "$b")" | tee -a bench_output.txt
+  if ! "$b" 2>&1 | tee -a bench_output.txt; then
+    failed+=("$(basename "$b")")
+    echo "!! $(basename "$b") FAILED" | tee -a bench_output.txt
   fi
 done
 
-echo "== done: see test_output.txt and bench_output.txt =="
+if [ "${ran}" -eq 0 ]; then
+  echo "== ERROR: no figure binary matched REPRODUCE_ONLY=${REPRODUCE_ONLY} =="
+  exit 1
+fi
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "== FAILED figure binaries: ${failed[*]} =="
+  exit 1
+fi
+echo "== done: ${ran} figure binaries OK; see test_output.txt and bench_output.txt =="

@@ -115,6 +115,9 @@ void PruneAndValidateImpl(const Index& index, const ObjectStore& store,
           remnant_ids.push_back(e.id);
         });
     if (remnant_points.empty()) continue;
+    // DecideMany routes batches of >=4 remnants through the SIMD
+    // filter-and-refine path; decisions stay bit-identical to per-pair
+    // Decide (see influence_kernel.h).
     influenced.assign(remnant_points.size(), 0);
     const InfluenceBatchCounters counters =
         kernel.DecideMany(remnant_points, store.positions(rec), influenced);

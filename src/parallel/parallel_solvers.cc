@@ -82,6 +82,8 @@ SolverResult ParallelPinocchioSolver::Solve(
     return result;
   }
 
+  // One kernel shared by all workers: the SIMD tier is resolved once at
+  // construction, so every thread batches through the same code path.
   const InfluenceKernel kernel(prepared.pf(), prepared.tau());
   const ObjectStore& store = prepared.store();
   const RTree& rtree = prepared.candidate_rtree();

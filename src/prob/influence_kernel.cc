@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <vector>
 
 #include "prob/influence.h"
 #include "util/logging.h"
@@ -24,6 +25,11 @@ InfluenceKernel::InfluenceKernel(const ProbabilityFunction& pf, double tau)
         std::nextafter(threshold, -std::numeric_limits<double>::infinity());
   }
   early_exit_log_survival_ = threshold;
+  tier_ = ResolveSimdTier();
+  if (tier_ != SimdTier::kScalar) {
+    filter_ = std::make_shared<const SimdInfluenceFilter>(
+        pf, tau, early_exit_log_survival_, tier_);
+  }
 }
 
 double InfluenceKernel::Probability(const Point& candidate,
@@ -72,6 +78,49 @@ InfluenceBatchCounters InfluenceKernel::DecideMany(
     std::span<uint8_t> influenced) const {
   PINO_CHECK_EQ(influenced.size(), candidates.size());
   InfluenceBatchCounters counters;
+  // Below one vector's worth of lanes the filter can't win; empty position
+  // spans are degenerate either way.
+  constexpr size_t kMinFilterBatch = 4;
+  if (filter_ != nullptr && candidates.size() >= kMinFilterBatch &&
+      !positions.empty()) {
+    thread_local std::vector<simd_internal::LaneOutcome> outcomes;
+    outcomes.resize(candidates.size());
+    filter_->Filter(candidates, positions, outcomes.data());
+    const auto n = static_cast<uint32_t>(positions.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const simd_internal::LaneOutcome& lane = outcomes[i];
+      if (lane.state == simd_internal::LaneState::kUndecided) {
+        // Boundary band: the conservative bracket straddles a threshold,
+        // so the exact scalar path (which self-checks internally) decides.
+        const InfluenceDecision d = Decide(candidates[i], positions);
+        influenced[i] = d.influenced ? 1 : 0;
+        counters.positions_seen += d.positions_seen;
+        if (d.decided_early) ++counters.early_stops;
+        continue;
+      }
+      const bool lane_influenced =
+          lane.state == simd_internal::LaneState::kInfluenced;
+      influenced[i] = lane_influenced ? 1 : 0;
+      counters.positions_seen += lane.positions_seen;
+      if (lane_influenced && lane.positions_seen < n) ++counters.early_stops;
+      if (self_check_) {
+        const double probability = Probability(candidates[i], positions);
+        if ((probability >= tau_) != lane_influenced) {
+          std::ostringstream msg;
+          msg.precision(17);
+          msg << "SIMD filter (" << SimdTierName(tier_)
+              << ") disagrees with naive Pr_c(O) >= tau: certified "
+              << (lane_influenced ? "influenced" : "not influenced")
+              << " but Pr_c(O)=" << probability << " vs tau=" << tau_
+              << " for candidate (" << candidates[i].x << ", "
+              << candidates[i].y << ") over " << positions.size()
+              << " positions, pf=" << pf_->Name();
+          ReportSelfCheckViolation(msg.str());
+        }
+      }
+    }
+    return counters;
+  }
   for (size_t i = 0; i < candidates.size(); ++i) {
     const InfluenceDecision d = Decide(candidates[i], positions);
     influenced[i] = d.influenced ? 1 : 0;

@@ -13,9 +13,11 @@
 #define PINOCCHIO_PROB_INFLUENCE_KERNEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "geo/point.h"
+#include "prob/influence_kernel_simd.h"
 #include "prob/probability_function.h"
 
 namespace pinocchio {
@@ -46,6 +48,11 @@ class InfluenceKernel {
   const ProbabilityFunction& pf() const { return *pf_; }
   double tau() const { return tau_; }
 
+  /// The SIMD tier this kernel's DecideMany dispatches to, resolved once at
+  /// construction (see ResolveSimdTier); kScalar means the filter is off
+  /// and every decision takes the scalar path.
+  SimdTier simd_tier() const { return tier_; }
+
   /// Exact Pr_c(O) over a position span; identical accumulation (and hence
   /// bit-identical result) to the scalar CumulativeInfluenceProbability.
   double Probability(const Point& candidate,
@@ -63,6 +70,15 @@ class InfluenceKernel {
   /// span (the remnant-validation unit of the prune pipeline).
   /// `influenced[i]` receives the decision for `candidates[i]`; the two
   /// spans' contiguity is what the columnar arena buys.
+  ///
+  /// On tiers above kScalar the batch first runs the SIMD filter
+  /// (influence_kernel_simd.h): lanes whose conservative log-survival
+  /// bracket clears a threshold are decided in vector registers, the rest
+  /// are refined through the exact scalar Decide — so the decisions are
+  /// bit-identical to the scalar path on every input. Counters are
+  /// chunk-granular for vector-decided lanes: positions_seen per pair is
+  /// >= the scalar path's value and <= the span size, and deterministic
+  /// for a given (candidates, positions) batch.
   InfluenceBatchCounters DecideMany(std::span<const Point> candidates,
                                     std::span<const Point> positions,
                                     std::span<uint8_t> influenced) const;
@@ -79,6 +95,12 @@ class InfluenceKernel {
   /// SelfCheckEnabled() at construction; kernels are built per solve, so
   /// this keeps the hot loop free of atomic loads.
   bool self_check_;
+  /// ResolveSimdTier() at construction — per-thread kernels built from the
+  /// same environment therefore share the dispatch decision.
+  SimdTier tier_ = SimdTier::kScalar;
+  /// Bound table + tier for DecideMany's filter phase; null on kScalar.
+  /// shared_ptr keeps the kernel cheaply copyable.
+  std::shared_ptr<const SimdInfluenceFilter> filter_;
 };
 
 }  // namespace pinocchio

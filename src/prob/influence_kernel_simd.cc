@@ -1,0 +1,428 @@
+#include "prob/influence_kernel_simd.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "util/logging.h"
+
+#if defined(PINOCCHIO_SIMD_X86)
+#include <emmintrin.h>  // SSE2
+#if defined(__GNUC__) || defined(__clang__)
+#include <cpuid.h>
+#endif
+#endif
+
+namespace pinocchio {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Relative widening applied to bucket edge distances before evaluating the
+/// PF there. It must dominate every rounding discrepancy between the
+/// squared distance a vector lane computes (sub/mul/fma, <= 2 ulps from the
+/// exact value) and the scalar reference's sqrt(dx*dx + dy*dy) (<= 3 ulps),
+/// so that the scalar path's distance always falls inside the widened
+/// bucket whose index the vector lane derived. 32 eps leaves a 5x margin.
+constexpr double kEdgeSlack = 32 * std::numeric_limits<double>::epsilon();
+
+/// Per-term relative slack charged against the vector accumulators at
+/// decision time. Each faithful addition of same-signed terms contributes
+/// at most eps = 2^-53 relative error against the running magnitude; 2^-50
+/// covers it with an 8x margin.
+constexpr double kSumSlackPerTerm = 0x1p-50;
+
+/// Magnitude (relative to the influence threshold) below which a
+/// per-position contribution counts as negligible; positions farther than
+/// the matching distance share the overflow bucket. 2^-26 keeps the
+/// accumulated overflow lower bound under thresholds for any object with
+/// fewer than ~6.7e7 positions.
+constexpr double kNegligibleScale = 0x1p-26;
+
+int64_t KeyOf(double q) {
+  return static_cast<int64_t>(std::bit_cast<uint64_t>(q) >>
+                              simd_internal::kIndexShift);
+}
+
+double EdgeOf(int64_t key) {
+  return std::bit_cast<double>(static_cast<uint64_t>(key)
+                               << simd_internal::kIndexShift);
+}
+
+double NudgeDown(double v, int ulps) {
+  for (int i = 0; i < ulps; ++i) v = std::nextafter(v, -kInf);
+  return v;
+}
+
+double NudgeUpCapZero(double v, int ulps) {
+  for (int i = 0; i < ulps; ++i) v = std::nextafter(v, kInf);
+  return std::min(v, 0.0);
+}
+
+/// Computed per-position log-survival term at distance d, mirroring the
+/// scalar kernel: a position with PF(d) >= 1 contributes certain influence
+/// (-inf in log space).
+double GAt(const ProbabilityFunction& pf, double d) {
+  const double p = pf(std::max(0.0, d));
+  if (p >= 1.0) return -kInf;
+  if (p <= 0.0) return 0.0;
+  return std::log1p(-p);
+}
+
+/// GAt for LOWER bounds, hardened at the certain-influence boundary: if
+/// the probe lands within a few ulps of 1, the scalar path may still see
+/// p >= 1 (immediate influence) somewhere in the bucket despite the
+/// ulp-level monotonicity wobble the 2-ulp nudges otherwise cover, and
+/// -inf is the only unconditionally sound lower bound there. (A lower
+/// bound can only lose sharpness by being too low, never soundness.)
+double GLowerAt(const ProbabilityFunction& pf, double d) {
+  const double p = pf(std::max(0.0, d));
+  if (p >= 1.0 - 8 * std::numeric_limits<double>::epsilon()) return -kInf;
+  if (p <= 0.0) return 0.0;
+  return std::log1p(-p);
+}
+
+/// Order-preserving bijection double <-> uint64 (IEEE-754 total order),
+/// used to bisect the computed expm1 in ulp space.
+uint64_t ToOrderedKey(double d) {
+  const uint64_t b = std::bit_cast<uint64_t>(d);
+  return (b & 0x8000000000000000ull) ? ~b : (b | 0x8000000000000000ull);
+}
+
+double FromOrderedKey(uint64_t k) {
+  const uint64_t b =
+      (k & 0x8000000000000000ull) ? (k & ~0x8000000000000000ull) : ~k;
+  return std::bit_cast<double>(b);
+}
+
+/// True when the environment value spells "off" (same vocabulary as
+/// PINOCCHIO_SELF_CHECK parsing in util/self_check.cc).
+bool EnvValueIsOff(const char* env) {
+  const std::string value(env);
+  return value == "0" || value == "false" || value == "off" ||
+         value == "no" || value.empty();
+}
+
+#if defined(PINOCCHIO_SIMD_X86)
+bool OsSavesYmmState() {
+#if defined(__GNUC__) || defined(__clang__)
+  uint32_t eax, edx;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (eax & 0x6) == 0x6;  // XMM and YMM state enabled in XCR0
+#else
+  return false;
+#endif
+}
+
+SimdTier ProbeX86Tier() {
+#if defined(PINOCCHIO_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  unsigned eax, ebx, ecx, edx;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    const bool osxsave = (ecx & (1u << 27)) != 0;
+    const bool avx = (ecx & (1u << 28)) != 0;
+    const bool fma = (ecx & (1u << 12)) != 0;
+    unsigned eax7, ebx7, ecx7, edx7;
+    const bool avx2 =
+        __get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) &&
+        (ebx7 & (1u << 5)) != 0;
+    if (osxsave && avx && fma && avx2 && OsSavesYmmState()) {
+      return SimdTier::kAvx2;
+    }
+  }
+#endif
+  return SimdTier::kSse2;
+}
+#endif  // PINOCCHIO_SIMD_X86
+
+SimdTier ParseTierName(const char* env) {
+  const std::string value(env);
+  if (value == "scalar") return SimdTier::kScalar;
+  if (value == "portable") return SimdTier::kPortable;
+  if (value == "sse2") return SimdTier::kSse2;
+  if (value == "avx2") return SimdTier::kAvx2;
+  PINO_LOG(WARNING) << "unknown PINOCCHIO_SIMD_TIER value \"" << value
+                    << "\" (expected scalar|portable|sse2|avx2); "
+                       "using the detected tier";
+  return DetectCpuSimdTier();
+}
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kPortable:
+      return "portable";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdTier DetectCpuSimdTier() {
+#if defined(PINOCCHIO_DISABLE_SIMD)
+  return SimdTier::kScalar;
+#else
+  static const SimdTier tier = [] {
+#if defined(PINOCCHIO_SIMD_X86)
+    return ProbeX86Tier();
+#else
+    return SimdTier::kPortable;
+#endif
+  }();
+  return tier;
+#endif
+}
+
+SimdTier ResolveSimdTier() {
+  if (const char* force = std::getenv("PINOCCHIO_FORCE_SCALAR")) {
+    if (!EnvValueIsOff(force)) return SimdTier::kScalar;
+  }
+  const SimdTier detected = DetectCpuSimdTier();
+  if (const char* requested = std::getenv("PINOCCHIO_SIMD_TIER")) {
+    return std::min(ParseTierName(requested), detected);
+  }
+  return detected;
+}
+
+namespace simd_internal {
+
+double AdjustedInfluenceThreshold(const FilterTable& table, uint64_t terms) {
+  const double denom =
+      1.0 - static_cast<double>(terms) * kSumSlackPerTerm;
+  return std::nextafter(table.influence_threshold / denom, -kInf);
+}
+
+double AdjustedRejectThreshold(const FilterTable& table, uint64_t terms) {
+  const double denom =
+      1.0 + static_cast<double>(terms) * kSumSlackPerTerm;
+  return std::nextafter(table.reject_threshold / denom, 0.0);
+}
+
+void FilterPortable(const FilterTable& table, const Point* candidates,
+                    size_t num_candidates, const Point* positions,
+                    size_t num_positions, LaneOutcome* outcomes) {
+  const double* g_lo = table.g_lo.data();
+  const double* g_hi = table.g_hi.data();
+  const auto last = static_cast<int64_t>(table.g_lo.size()) - 1;
+  const int64_t bias = table.first_key - 1;
+  const auto n = static_cast<uint32_t>(num_positions);
+  for (size_t j = 0; j < num_candidates; ++j) {
+    const double cx = candidates[j].x;
+    const double cy = candidates[j].y;
+    double acc_lo = 0.0, acc_hi = 0.0;
+    uint32_t k = 0;
+    bool influenced = false;
+    while (k < n) {
+      const uint32_t stop = std::min(n, k + kCheckChunk);
+      for (; k < stop; ++k) {
+        const double dx = cx - positions[k].x;
+        const double dy = cy - positions[k].y;
+        const double q = dx * dx + dy * dy;
+        const int64_t idx = std::clamp<int64_t>(
+            (static_cast<int64_t>(std::bit_cast<uint64_t>(q)) >>
+             kIndexShift) -
+                bias,
+            0, last);
+        acc_lo += g_lo[idx];
+        acc_hi += g_hi[idx];
+      }
+      if (acc_hi <= AdjustedInfluenceThreshold(table, k)) {
+        influenced = true;
+        break;
+      }
+    }
+    if (influenced) {
+      outcomes[j] = {LaneState::kInfluenced, k};
+    } else if (acc_lo >= AdjustedRejectThreshold(table, n)) {
+      outcomes[j] = {LaneState::kNotInfluenced, n};
+    } else {
+      outcomes[j] = {LaneState::kUndecided, 0};
+    }
+  }
+}
+
+#if defined(PINOCCHIO_SIMD_X86)
+
+// Two candidate lanes per iteration: the squared distances are computed
+// with SSE2 vector arithmetic, the (tiny) bucket/bound lookups stay scalar
+// since SSE2 has neither 64-bit arithmetic compares nor gathers.
+void FilterSse2(const FilterTable& table, const Point* candidates,
+                size_t num_candidates, const Point* positions,
+                size_t num_positions, LaneOutcome* outcomes) {
+  const double* g_lo = table.g_lo.data();
+  const double* g_hi = table.g_hi.data();
+  const auto last = static_cast<int64_t>(table.g_lo.size()) - 1;
+  const int64_t bias = table.first_key - 1;
+  const auto n = static_cast<uint32_t>(num_positions);
+
+  size_t j = 0;
+  for (; j + 2 <= num_candidates; j += 2) {
+    const __m128d cx = _mm_set_pd(candidates[j + 1].x, candidates[j].x);
+    const __m128d cy = _mm_set_pd(candidates[j + 1].y, candidates[j].y);
+    __m128d acc_lo = _mm_setzero_pd();
+    __m128d acc_hi = _mm_setzero_pd();
+    uint32_t seen[2] = {n, n};
+    bool decided[2] = {false, false};
+    uint32_t k = 0;
+    while (k < n) {
+      const uint32_t stop = std::min(n, k + kCheckChunk);
+      for (; k < stop; ++k) {
+        const __m128d px = _mm_set1_pd(positions[k].x);
+        const __m128d py = _mm_set1_pd(positions[k].y);
+        const __m128d dx = _mm_sub_pd(cx, px);
+        const __m128d dy = _mm_sub_pd(cy, py);
+        const __m128d q =
+            _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+        alignas(16) uint64_t bits[2];
+        _mm_store_si128(reinterpret_cast<__m128i*>(bits),
+                        _mm_castpd_si128(q));
+        const int64_t i0 = std::clamp<int64_t>(
+            (static_cast<int64_t>(bits[0]) >> kIndexShift) - bias, 0, last);
+        const int64_t i1 = std::clamp<int64_t>(
+            (static_cast<int64_t>(bits[1]) >> kIndexShift) - bias, 0, last);
+        acc_lo = _mm_add_pd(acc_lo, _mm_set_pd(g_lo[i1], g_lo[i0]));
+        acc_hi = _mm_add_pd(acc_hi, _mm_set_pd(g_hi[i1], g_hi[i0]));
+      }
+      const __m128d thr = _mm_set1_pd(AdjustedInfluenceThreshold(table, k));
+      const int crossed = _mm_movemask_pd(_mm_cmple_pd(acc_hi, thr));
+      for (int lane = 0; lane < 2; ++lane) {
+        if (!decided[lane] && (crossed & (1 << lane)) != 0) {
+          decided[lane] = true;
+          seen[lane] = k;
+        }
+      }
+      if (decided[0] && decided[1]) break;
+    }
+    const __m128d rthr = _mm_set1_pd(AdjustedRejectThreshold(table, n));
+    const int rejected = _mm_movemask_pd(_mm_cmpge_pd(acc_lo, rthr));
+    for (int lane = 0; lane < 2; ++lane) {
+      if (decided[lane]) {
+        outcomes[j + lane] = {LaneState::kInfluenced, seen[lane]};
+      } else if ((rejected & (1 << lane)) != 0) {
+        outcomes[j + lane] = {LaneState::kNotInfluenced, n};
+      } else {
+        outcomes[j + lane] = {LaneState::kUndecided, 0};
+      }
+    }
+  }
+  if (j < num_candidates) {
+    FilterPortable(table, candidates + j, num_candidates - j, positions,
+                   num_positions, outcomes + j);
+  }
+}
+
+#endif  // PINOCCHIO_SIMD_X86
+
+}  // namespace simd_internal
+
+SimdInfluenceFilter::SimdInfluenceFilter(const ProbabilityFunction& pf,
+                                         double tau,
+                                         double early_exit_log_survival,
+                                         SimdTier tier)
+    : tier_(tier) {
+  using simd_internal::kIndexShift;
+  simd_internal::FilterTable& t = table_;
+  t.influence_threshold = early_exit_log_survival;
+
+  // Smallest log-survival at which the scalar full-scan test
+  // -expm1(S) >= tau provably fails. Like the kernel constructor's
+  // early-exit nudge (but in the other direction) this leans on the weak
+  // monotonicity of the computed expm1; a ulp-space bisection replaces a
+  // nextafter walk because near tau = 1 the boundary can sit billions of
+  // ulps away from log1p(-tau). One extra ulp of headroom on top.
+  const auto test_passes = [tau](double s) { return -std::expm1(s) >= tau; };
+  const double lo_probe = std::isfinite(early_exit_log_survival)
+                              ? early_exit_log_survival
+                              : -746.0;  // expm1 == -1 for everything below
+  if (test_passes(0.0)) {
+    // tau <= 0: the test passes at every sum; rejection is impossible.
+    t.reject_threshold = kInf;
+  } else if (!test_passes(lo_probe)) {
+    // tau > 1: the test fails at every sum; any finite bound certifies.
+    t.reject_threshold = -std::numeric_limits<double>::max();
+  } else {
+    uint64_t klo = ToOrderedKey(lo_probe);  // passes
+    uint64_t khi = ToOrderedKey(0.0);       // fails
+    while (khi - klo > 1) {
+      const uint64_t mid = klo + (khi - klo) / 2;
+      if (test_passes(FromOrderedKey(mid))) {
+        klo = mid;
+      } else {
+        khi = mid;
+      }
+    }
+    t.reject_threshold = std::nextafter(FromOrderedKey(khi), kInf);
+  }
+
+  // Table range: [1 m, the distance beyond which one position's
+  // contribution is negligible against the influence threshold]. Outside
+  // the range the underflow/overflow buckets still carry sound bounds, so
+  // the range only affects filter sharpness, never correctness.
+  const double q_min = 1.0;
+  const double negligible =
+      std::max(1.0, -early_exit_log_survival) * kNegligibleScale;
+  double d_far = pf.Inverse(-std::expm1(-negligible));
+  if (!(d_far > 2.0)) d_far = 2.0;
+  d_far = std::min(d_far * 1.05, 1e12);
+  const double q_max = d_far * d_far;
+
+  const int64_t first_key = KeyOf(q_min);
+  const int64_t last_key = KeyOf(q_max);
+  const auto buckets = static_cast<size_t>(last_key - first_key + 1);
+  t.first_key = first_key;
+  t.g_lo.resize(buckets + 2);
+  t.g_hi.resize(buckets + 2);
+
+  // Underflow bucket: d in [0, first edge].
+  t.g_lo[0] = NudgeDown(GLowerAt(pf, 0.0), 2);
+  t.g_hi[0] = NudgeUpCapZero(
+      GAt(pf, std::sqrt(EdgeOf(first_key)) * (1.0 + kEdgeSlack)), 2);
+  // Regular buckets: bounds at the (slack-widened) edges; the computed PF
+  // is monotone non-increasing in d (property-tested invariant), so edge
+  // values bracket every interior value up to the nudged ulps.
+  for (size_t i = 0; i < buckets; ++i) {
+    const int64_t key = first_key + static_cast<int64_t>(i);
+    const double d_lo = std::sqrt(EdgeOf(key)) * (1.0 - kEdgeSlack);
+    const double d_hi = std::sqrt(EdgeOf(key + 1)) * (1.0 + kEdgeSlack);
+    t.g_lo[i + 1] = NudgeDown(GLowerAt(pf, d_lo), 2);
+    t.g_hi[i + 1] = NudgeUpCapZero(GAt(pf, d_hi), 2);
+  }
+  // Overflow bucket: d at or beyond the last edge; log-survival terms are
+  // never positive, so 0 is always a sound upper bound.
+  t.g_lo[buckets + 1] = NudgeDown(
+      GLowerAt(pf, std::sqrt(EdgeOf(last_key + 1)) * (1.0 - kEdgeSlack)), 2);
+  t.g_hi[buckets + 1] = 0.0;
+}
+
+void SimdInfluenceFilter::Filter(std::span<const Point> candidates,
+                                 std::span<const Point> positions,
+                                 simd_internal::LaneOutcome* outcomes) const {
+  switch (tier_) {
+#if defined(PINOCCHIO_HAVE_AVX2)
+    case SimdTier::kAvx2:
+      simd_internal::FilterAvx2(table_, candidates.data(), candidates.size(),
+                                positions.data(), positions.size(), outcomes);
+      return;
+#endif
+#if defined(PINOCCHIO_SIMD_X86)
+    case SimdTier::kSse2:
+      simd_internal::FilterSse2(table_, candidates.data(), candidates.size(),
+                                positions.data(), positions.size(), outcomes);
+      return;
+#endif
+    default:
+      simd_internal::FilterPortable(table_, candidates.data(),
+                                    candidates.size(), positions.data(),
+                                    positions.size(), outcomes);
+  }
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,306 @@
+// Differential coverage for the SIMD filter-and-refine kernel
+// (prob/influence_kernel_simd.h): every available tier must produce
+// decisions bit-identical to the forced-scalar kernel on adversarial
+// inputs — the harness's randomized fuzz instances, all five PF families,
+// one-ulp boundary taus and candidates placed exactly on the minMaxRadius
+// rim — plus unit tests for the runtime dispatch env overrides.
+
+#include "prob/influence_kernel_simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "prob/alternative_pfs.h"
+#include "prob/influence.h"
+#include "prob/influence_kernel.h"
+#include "prob/power_law.h"
+#include "testing/differential_harness.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+/// Sets (or clears, when `value` is null) an environment variable for the
+/// current scope and restores the previous state on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      setenv(name, value, /*overwrite=*/1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+InfluenceKernel MakeKernelForTier(const ProbabilityFunction& pf, double tau,
+                                  const char* tier_name) {
+  ScopedEnv tier("PINOCCHIO_SIMD_TIER", tier_name);
+  ScopedEnv force("PINOCCHIO_FORCE_SCALAR", nullptr);
+  return InfluenceKernel(pf, tau);
+}
+
+/// Tier names this build + CPU can actually execute (beyond kScalar).
+std::vector<const char*> AvailableFilterTiers() {
+  std::vector<const char*> tiers = {"portable"};
+  const SimdTier detected = DetectCpuSimdTier();
+  if (detected >= SimdTier::kSse2) tiers.push_back("sse2");
+  if (detected >= SimdTier::kAvx2) tiers.push_back("avx2");
+  return tiers;
+}
+
+struct PfCase {
+  std::unique_ptr<ProbabilityFunction> pf;
+  const char* label;
+};
+
+std::vector<PfCase> AllPfFamilies() {
+  std::vector<PfCase> pfs;
+  pfs.push_back({std::make_unique<PowerLawPF>(0.9, 1.0), "power-law"});
+  pfs.push_back({std::make_unique<LogsigPF>(0.5, 1000.0), "logsig"});
+  pfs.push_back({std::make_unique<ConvexPF>(0.8, 4000.0), "convex"});
+  pfs.push_back({std::make_unique<ConcavePF>(0.8, 4000.0), "concave"});
+  pfs.push_back({std::make_unique<LinearPF>(1.0, 3000.0), "linear-rho1"});
+  return pfs;
+}
+
+/// Diffs DecideMany and per-candidate Decide of `kernel` against the
+/// forced-scalar `reference` on one (candidates, positions) batch.
+void ExpectTierMatchesScalar(const InfluenceKernel& kernel,
+                             const InfluenceKernel& reference,
+                             std::span<const Point> candidates,
+                             std::span<const Point> positions,
+                             const std::string& context) {
+  std::vector<uint8_t> got(candidates.size(), 0xFF);
+  std::vector<uint8_t> want(candidates.size(), 0xFF);
+  const InfluenceBatchCounters simd_counters =
+      kernel.DecideMany(candidates, positions, got);
+  const InfluenceBatchCounters scalar_counters =
+      reference.DecideMany(candidates, positions, want);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ASSERT_EQ(got[i] != 0, want[i] != 0)
+        << context << ": candidate " << i << " at (" << candidates[i].x
+        << ", " << candidates[i].y << ") over " << positions.size()
+        << " positions, tier=" << SimdTierName(kernel.simd_tier());
+  }
+  // Chunk-granular counters: per batch they are bounded below by the exact
+  // scalar early-exit counters and above by the full-scan cost.
+  EXPECT_GE(simd_counters.positions_seen, scalar_counters.positions_seen)
+      << context;
+  EXPECT_LE(simd_counters.positions_seen,
+            static_cast<int64_t>(candidates.size() * positions.size()))
+      << context;
+  EXPECT_LE(simd_counters.early_stops, scalar_counters.early_stops) << context;
+}
+
+TEST(SimdDispatchTest, TierNamesRoundTrip) {
+  EXPECT_STREQ(SimdTierName(SimdTier::kScalar), "scalar");
+  EXPECT_STREQ(SimdTierName(SimdTier::kPortable), "portable");
+  EXPECT_STREQ(SimdTierName(SimdTier::kSse2), "sse2");
+  EXPECT_STREQ(SimdTierName(SimdTier::kAvx2), "avx2");
+}
+
+TEST(SimdDispatchTest, ForceScalarOverrideWins) {
+  const PowerLawPF pf(0.9, 1.0);
+  for (const char* truthy : {"1", "true", "on", "anything"}) {
+    ScopedEnv force("PINOCCHIO_FORCE_SCALAR", truthy);
+    EXPECT_EQ(ResolveSimdTier(), SimdTier::kScalar) << truthy;
+    const InfluenceKernel kernel(pf, 0.7);
+    EXPECT_EQ(kernel.simd_tier(), SimdTier::kScalar) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "off", "no", ""}) {
+    ScopedEnv force("PINOCCHIO_FORCE_SCALAR", falsy);
+    ScopedEnv tier("PINOCCHIO_SIMD_TIER", nullptr);
+    EXPECT_EQ(ResolveSimdTier(), DetectCpuSimdTier()) << "\"" << falsy << "\"";
+  }
+}
+
+TEST(SimdDispatchTest, TierRequestIsClampedByDetection) {
+  ScopedEnv force("PINOCCHIO_FORCE_SCALAR", nullptr);
+  {
+    ScopedEnv tier("PINOCCHIO_SIMD_TIER", "scalar");
+    EXPECT_EQ(ResolveSimdTier(), SimdTier::kScalar);
+  }
+  {
+    ScopedEnv tier("PINOCCHIO_SIMD_TIER", "portable");
+    EXPECT_EQ(ResolveSimdTier(), SimdTier::kPortable);
+  }
+  {
+    // Requesting the widest tier never resolves above what the probe (and
+    // the build) support.
+    ScopedEnv tier("PINOCCHIO_SIMD_TIER", "avx2");
+    EXPECT_LE(ResolveSimdTier(), DetectCpuSimdTier());
+  }
+  {
+    ScopedEnv tier("PINOCCHIO_SIMD_TIER", nullptr);
+    EXPECT_EQ(ResolveSimdTier(), DetectCpuSimdTier());
+  }
+}
+
+TEST(SimdDispatchTest, KernelCapturesTierAtConstruction) {
+  const PowerLawPF pf(0.9, 1.0);
+  const InfluenceKernel pinned = [&] {
+    ScopedEnv force("PINOCCHIO_FORCE_SCALAR", nullptr);
+    ScopedEnv tier("PINOCCHIO_SIMD_TIER", "portable");
+    return InfluenceKernel(pf, 0.7);
+  }();
+  // The environment changed back after construction; the kernel must not
+  // re-read it (per-thread kernels share the construction-time decision).
+  EXPECT_EQ(pinned.simd_tier(), SimdTier::kPortable);
+}
+
+// The harness's adversarial generator (all PF families, degenerate
+// geometries, boundary taus) drives each available tier against the
+// forced-scalar kernel, object by object.
+TEST(SimdKernelDifferentialTest, FuzzCasesAgreeAcrossTiers) {
+  ScopedEnv force("PINOCCHIO_FORCE_SCALAR", nullptr);
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const testing_diff::FuzzCase c = testing_diff::GenerateFuzzCase(seed);
+    const ProbabilityFunction& pf = *c.config.pf;
+    const double tau = c.config.tau;
+    const InfluenceKernel reference = [&] {
+      ScopedEnv fs("PINOCCHIO_FORCE_SCALAR", "1");
+      return InfluenceKernel(pf, tau);
+    }();
+    ASSERT_EQ(reference.simd_tier(), SimdTier::kScalar);
+    for (const char* tier : AvailableFilterTiers()) {
+      const InfluenceKernel kernel = MakeKernelForTier(pf, tau, tier);
+      for (const MovingObject& o : c.instance.objects) {
+        ExpectTierMatchesScalar(
+            kernel, reference, c.instance.candidates, o.positions,
+            "seed " + std::to_string(seed) + " pf=" + c.pf_name +
+                (c.boundary_tau ? " (boundary tau)" : ""));
+      }
+    }
+  }
+}
+
+// One-ulp boundary taus for every PF family: tau snapped exactly at, one
+// ulp below and one ulp above a realised cumulative probability, where any
+// unsound filter bound flips a decision.
+TEST(SimdKernelDifferentialTest, BoundaryTausAgreeAcrossTiers) {
+  ScopedEnv force("PINOCCHIO_FORCE_SCALAR", nullptr);
+  Rng rng(98765ull);
+  for (const PfCase& c : AllPfFamilies()) {
+    for (int i = 0; i < 30; ++i) {
+      const size_t n = static_cast<size_t>(rng.UniformInt(1, 24));
+      std::vector<Point> positions(n);
+      for (Point& p : positions) {
+        p = {rng.Uniform(-4000.0, 4000.0), rng.Uniform(-4000.0, 4000.0)};
+      }
+      std::vector<Point> candidates;
+      for (int j = 0; j < 8; ++j) {
+        candidates.push_back(
+            {rng.Uniform(-4000.0, 4000.0), rng.Uniform(-4000.0, 4000.0)});
+      }
+      const double p =
+          CumulativeInfluenceProbability(*c.pf, candidates.front(), positions);
+      if (!(p > 0.0 && p < 1.0)) continue;
+      const double taus[] = {p, std::nextafter(p, 0.0),
+                             std::nextafter(p, 1.0)};
+      for (double tau : taus) {
+        if (!(tau > 0.0 && tau < 1.0)) continue;
+        const InfluenceKernel reference = [&] {
+          ScopedEnv fs("PINOCCHIO_FORCE_SCALAR", "1");
+          return InfluenceKernel(*c.pf, tau);
+        }();
+        for (const char* tier : AvailableFilterTiers()) {
+          const InfluenceKernel kernel = MakeKernelForTier(*c.pf, tau, tier);
+          ExpectTierMatchesScalar(kernel, reference, candidates, positions,
+                                  std::string(c.label) + " boundary tau");
+        }
+      }
+    }
+  }
+}
+
+// Candidates on the minMaxRadius rim: positions coincide at an anchor, the
+// candidates sit exactly at (and one ulp around) the largest influencing
+// distance — the arc-rim soundness case PR 4 fixed in scalar space.
+TEST(SimdKernelDifferentialTest, ArcRimCandidatesAgreeAcrossTiers) {
+  ScopedEnv force("PINOCCHIO_FORCE_SCALAR", nullptr);
+  Rng rng(31337ull);
+  for (const PfCase& c : AllPfFamilies()) {
+    for (double tau : {0.05, 0.5, 0.9}) {
+      for (size_t n : {size_t{1}, size_t{4}, size_t{9}}) {
+        const double r = c.pf->MinMaxRadius(tau, n);
+        if (r <= 0.0) continue;  // uninfluenceable combination
+        const Point anchor{rng.Uniform(-2000.0, 2000.0),
+                           rng.Uniform(-2000.0, 2000.0)};
+        const std::vector<Point> positions(n, anchor);
+        std::vector<Point> candidates;
+        for (double d :
+             {r, std::nextafter(r, 0.0), std::nextafter(r, 2.0 * r + 1.0),
+              r * 0.5, r * 1.5}) {
+          candidates.push_back({anchor.x + d, anchor.y});
+          candidates.push_back({anchor.x, anchor.y - d});
+        }
+        const InfluenceKernel reference = [&] {
+          ScopedEnv fs("PINOCCHIO_FORCE_SCALAR", "1");
+          return InfluenceKernel(*c.pf, tau);
+        }();
+        for (const char* tier : AvailableFilterTiers()) {
+          const InfluenceKernel kernel = MakeKernelForTier(*c.pf, tau, tier);
+          ExpectTierMatchesScalar(kernel, reference, candidates, positions,
+                                  std::string(c.label) + " rim tau=" +
+                                      std::to_string(tau));
+        }
+      }
+    }
+  }
+}
+
+// A clustered bulk workload (the bench's shape) where most lanes decide in
+// vector registers: exercises the chunked early exit and both thresholds.
+TEST(SimdKernelDifferentialTest, BulkClusteredWorkloadAgreesAcrossTiers) {
+  ScopedEnv force("PINOCCHIO_FORCE_SCALAR", nullptr);
+  Rng rng(2020ull);
+  const PowerLawPF pf(0.9, 1.0);
+  const double tau = 0.7;
+  const InfluenceKernel reference = [&] {
+    ScopedEnv fs("PINOCCHIO_FORCE_SCALAR", "1");
+    return InfluenceKernel(pf, tau);
+  }();
+  std::vector<Point> candidates;
+  for (int j = 0; j < 203; ++j) {  // odd count: exercises the lane tails
+    candidates.push_back({rng.Uniform(0.0, 12000.0),
+                          rng.Uniform(0.0, 12000.0)});
+  }
+  for (int rep = 0; rep < 10; ++rep) {
+    const Point anchor{rng.Uniform(0.0, 12000.0), rng.Uniform(0.0, 12000.0)};
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 97));
+    std::vector<Point> positions;
+    for (size_t i = 0; i < n; ++i) {
+      positions.push_back({anchor.x + rng.Gaussian(0.0, 800.0),
+                           anchor.y + rng.Gaussian(0.0, 800.0)});
+    }
+    for (const char* tier : AvailableFilterTiers()) {
+      const InfluenceKernel kernel = MakeKernelForTier(pf, tau, tier);
+      ExpectTierMatchesScalar(kernel, reference, candidates, positions,
+                              "bulk rep " + std::to_string(rep));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pinocchio

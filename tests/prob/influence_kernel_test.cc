@@ -1,6 +1,7 @@
 #include "prob/influence_kernel.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -122,6 +123,40 @@ TEST(InfluenceKernelTest, DecideManyMatchesPerCandidateDecide) {
   const std::vector<Point> positions = RandomPositions(&rng, 20, 3000.0);
   const std::vector<Point> candidates = RandomPositions(&rng, 64, 3000.0);
 
+  std::vector<uint8_t> batch(candidates.size(), 0xFF);
+  const InfluenceBatchCounters counters =
+      kernel.DecideMany(candidates, positions, batch);
+
+  // Decisions are bit-identical to the per-candidate scalar path on any
+  // tier; counters are only chunk-granular under the SIMD filter — per
+  // pair they sit between the scalar early-exit point and the span size.
+  InfluenceBatchCounters scalar;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const InfluenceDecision d = kernel.Decide(candidates[i], positions);
+    EXPECT_EQ(batch[i] != 0, d.influenced) << "candidate " << i;
+    scalar.positions_seen += d.positions_seen;
+    if (d.decided_early) ++scalar.early_stops;
+  }
+  EXPECT_GE(counters.positions_seen, scalar.positions_seen);
+  EXPECT_LE(counters.positions_seen,
+            static_cast<int64_t>(candidates.size() * positions.size()));
+  EXPECT_LE(counters.early_stops, scalar.early_stops);
+  if (kernel.simd_tier() == SimdTier::kScalar) {
+    EXPECT_EQ(counters.positions_seen, scalar.positions_seen);
+    EXPECT_EQ(counters.early_stops, scalar.early_stops);
+  }
+}
+
+TEST(InfluenceKernelTest, ForcedScalarDecideManyCountsExactly) {
+  ASSERT_EQ(setenv("PINOCCHIO_FORCE_SCALAR", "1", /*overwrite=*/1), 0);
+  Rng rng(4242ull);
+  const PowerLawPF pf(0.9, 1.0);
+  const InfluenceKernel kernel(pf, 0.4);
+  ASSERT_EQ(unsetenv("PINOCCHIO_FORCE_SCALAR"), 0);
+  ASSERT_EQ(kernel.simd_tier(), SimdTier::kScalar);
+
+  const std::vector<Point> positions = RandomPositions(&rng, 20, 3000.0);
+  const std::vector<Point> candidates = RandomPositions(&rng, 64, 3000.0);
   std::vector<uint8_t> batch(candidates.size(), 0xFF);
   const InfluenceBatchCounters counters =
       kernel.DecideMany(candidates, positions, batch);

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "prob/influence_kernel_simd.h"
 #include "testing/differential_harness.h"
 #include "util/flags.h"
 #include "util/self_check.h"
@@ -76,7 +77,9 @@ int main(int argc, char** argv) {
 
   std::cerr << "fuzzing seeds [" << seed_begin << ", " << seed_end
             << "), self_check="
-            << (pinocchio::SelfCheckEnabled() ? "on" : "off") << "\n";
+            << (pinocchio::SelfCheckEnabled() ? "on" : "off")
+            << ", simd_tier="
+            << pinocchio::SimdTierName(pinocchio::ResolveSimdTier()) << "\n";
   const pinocchio::testing_diff::FuzzSummary summary =
       pinocchio::testing_diff::RunFuzzRange(seed_begin, seed_end, options,
                                             &std::cerr);
