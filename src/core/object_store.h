@@ -14,6 +14,11 @@
 // model (Section 5) — therefore streams cache-line-adjacent points instead
 // of chasing one heap allocation per object, and the arena can be handed to
 // batch kernels (prob/influence_kernel.h) as a single span.
+//
+// Thread-safety: a const ObjectStore is safe for concurrent readers. The
+// minMaxRadius memo is filled during Build/Retune/Append, never lazily on
+// the query path, and no const accessor mutates state. Retune() and
+// Append() are mutations requiring exclusive access.
 
 #ifndef PINOCCHIO_CORE_OBJECT_STORE_H_
 #define PINOCCHIO_CORE_OBJECT_STORE_H_

@@ -19,6 +19,18 @@
 // A PreparedInstance is self-contained: the object store copies position
 // arrays (as Algorithm 1 does) and the entry list copies candidate points,
 // so the source ProblemInstance may be destroyed after construction.
+//
+// Thread-safety: after construction completes, a const PreparedInstance is
+// safe to query from any number of threads concurrently — every const
+// accessor (store(), candidate_rtree(), candidate_entries(), config(), the
+// counts) and every Solve(const PreparedInstance&) path reads immutable
+// state; there is no lazy initialisation, memoisation or other `mutable`
+// state behind the const interface (audited: core/object_store.h,
+// index/rtree.h, index/grid_index.h). Reprepare() is a *mutation* and must
+// be externally synchronised: no concurrent reader may touch the instance
+// while it runs. The serving layer (src/serve/) never reprepares a shared
+// instance — it builds a replacement off to the side and swaps an atomic
+// snapshot pointer instead.
 
 #ifndef PINOCCHIO_CORE_PREPARED_INSTANCE_H_
 #define PINOCCHIO_CORE_PREPARED_INSTANCE_H_

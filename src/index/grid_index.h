@@ -1,6 +1,10 @@
 // Uniform grid index over planar points. Used by the RANGE baseline and by
 // the index ablation benchmark (R-tree vs grid vs linear scan, validating
 // the paper's §4.3 argument for its flat-array object store).
+//
+// Thread-safety: the grid is immutable after construction; every query
+// method is const with no hidden mutable state, so concurrent readers are
+// safe.
 
 #ifndef PINOCCHIO_INDEX_GRID_INDEX_H_
 #define PINOCCHIO_INDEX_GRID_INDEX_H_

@@ -12,6 +12,11 @@
 // Entries are (point, id) pairs; payloads such as influence counters live in
 // caller-side arrays indexed by id, which keeps the index reusable across
 // solvers.
+//
+// Thread-safety: all query methods (range/circle search, k-NN, CheckValid)
+// are const and touch no mutable or lazily-built state — a built tree may
+// be searched from any number of threads concurrently. Insert and BulkLoad
+// are mutations requiring exclusive access.
 
 #ifndef PINOCCHIO_INDEX_RTREE_H_
 #define PINOCCHIO_INDEX_RTREE_H_

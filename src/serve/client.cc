@@ -1,0 +1,74 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "serve/socket_io.h"
+
+namespace pinocchio {
+namespace serve {
+
+BlockingClient::~BlockingClient() { Close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      assembler_(std::move(other.assembler_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    assembler_ = std::move(other.assembler_);
+  }
+  return *this;
+}
+
+bool BlockingClient::Connect(const std::string& host, uint16_t port,
+                             double timeout_seconds) {
+  Close();
+  fd_ = ConnectWithRetry(host.c_str(), port, timeout_seconds);
+  assembler_ = FrameAssembler();
+  return fd_ >= 0;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Response> BlockingClient::Call(const Request& request,
+                                             std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return std::nullopt;
+  }
+  if (!SendAll(fd_, EncodeRequest(request))) {
+    if (error != nullptr) *error = "send failed";
+    Close();
+    return std::nullopt;
+  }
+  std::vector<uint8_t> body;
+  const RecvStatus status = ReceiveFrame(fd_, &assembler_, &body);
+  if (status != RecvStatus::kFrame) {
+    if (error != nullptr) {
+      *error = status == RecvStatus::kClosed ? "connection closed by server"
+                                             : "receive failed";
+    }
+    Close();
+    return std::nullopt;
+  }
+  std::string decode_error;
+  std::optional<Response> response = DecodeResponse(body, &decode_error);
+  if (!response.has_value()) {
+    if (error != nullptr) *error = "bad response: " + decode_error;
+    Close();
+    return std::nullopt;
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace pinocchio

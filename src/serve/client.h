@@ -1,0 +1,49 @@
+// Blocking client for the pinocchio wire protocol: one TCP connection,
+// one request/response in flight at a time. Shared by the client CLI,
+// the load generator and the socket tests.
+
+#ifndef PINOCCHIO_SERVE_CLIENT_H_
+#define PINOCCHIO_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace pinocchio {
+namespace serve {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  /// Connects to host:port, retrying refused connections for up to
+  /// `timeout_seconds` (covers the race against a just-booted server).
+  bool Connect(const std::string& host, uint16_t port,
+               double timeout_seconds = 5.0);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends `request` and blocks for the matching response. Returns
+  /// nullopt on transport failure (with a reason in `*error`); protocol-
+  /// level failures come back as a kError response instead.
+  std::optional<Response> Call(const Request& request,
+                               std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace serve
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_SERVE_CLIENT_H_

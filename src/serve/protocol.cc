@@ -1,0 +1,493 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace pinocchio {
+namespace serve {
+namespace {
+
+// ------------------------------------------------------------ byte writer
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U32(uint32_t v) { AppendLE(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendLE(&v, sizeof(v)); }
+  void I64(int64_t v) { AppendLE(&v, sizeof(v)); }
+  void F64(double v) { AppendLE(&v, sizeof(v)); }
+
+  void PointXY(const Point& p) {
+    F64(p.x);
+    F64(p.y);
+  }
+
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    if (!s.empty()) {
+      const size_t old_size = bytes_.size();
+      bytes_.resize(old_size + s.size());
+      std::memcpy(bytes_.data() + old_size, s.data(), s.size());
+    }
+  }
+
+  std::vector<uint8_t>& bytes() { return bytes_; }
+
+ private:
+  void AppendLE(const void* src, size_t n) {
+    // The library targets little-endian x86-64; a big-endian port would
+    // byte-swap here.
+    const auto* p = static_cast<const uint8_t*>(src);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+// ------------------------------------------------------------ byte reader
+
+/// Bounds-checked cursor over a frame body. Every accessor returns false
+/// (leaving the output untouched) instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool U8(uint8_t* v) { return ReadLE(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return ReadLE(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return ReadLE(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return ReadLE(v, sizeof(*v)); }
+  bool F64(double* v) { return ReadLE(v, sizeof(*v)); }
+
+  bool PointXY(Point* p) { return F64(&p->x) && F64(&p->y); }
+
+  bool String(std::string* s, size_t max_len) {
+    uint32_t len = 0;
+    if (!U32(&len) || len > max_len || len > Remaining()) return false;
+    s->assign(reinterpret_cast<const char*>(data_.data() + offset_), len);
+    offset_ += len;
+    return true;
+  }
+
+  /// Guards a claimed element count before any reserve(): each element
+  /// occupies at least `min_element_bytes`, so a count the remaining
+  /// bytes cannot possibly hold is rejected before allocating.
+  bool Count(uint32_t* count, size_t min_element_bytes) {
+    if (!U32(count)) return false;
+    return static_cast<uint64_t>(*count) * min_element_bytes <= Remaining();
+  }
+
+  size_t Remaining() const { return data_.size() - offset_; }
+  bool AtEnd() const { return offset_ == data_.size(); }
+
+ private:
+  bool ReadLE(void* dst, size_t n) {
+    if (Remaining() < n) return false;
+    std::memcpy(dst, data_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t offset_ = 0;
+};
+
+bool Fail(std::string* error, const char* reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+std::vector<uint8_t> FinishFrame(ByteWriter* body) {
+  const std::vector<uint8_t>& payload = body->bytes();
+  const auto len = static_cast<uint32_t>(payload.size());
+  std::vector<uint8_t> frame(sizeof(uint32_t) + payload.size());
+  frame[0] = static_cast<uint8_t>(len);
+  frame[1] = static_cast<uint8_t>(len >> 8);
+  frame[2] = static_cast<uint8_t>(len >> 16);
+  frame[3] = static_cast<uint8_t>(len >> 24);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + sizeof(uint32_t), payload.data(),
+                payload.size());
+  }
+  return frame;
+}
+
+constexpr size_t kMaxErrorMessage = 4096;
+
+bool FinitePoint(const Point& p) {
+  return std::isfinite(p.x) && std::isfinite(p.y);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- requests
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  ByteWriter w;
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(request.type));
+  switch (request.type) {
+    case RequestType::kSolve:
+      w.U8(static_cast<uint8_t>(request.solve.algorithm));
+      w.U32(request.solve.top_k);
+      break;
+    case RequestType::kTopK:
+      w.U32(request.top_k.k);
+      break;
+    case RequestType::kProbe:
+      w.PointXY(request.probe.location);
+      break;
+    case RequestType::kWhatIf:
+      w.F64(request.what_if.tau);
+      w.F64(request.what_if.rho);
+      w.F64(request.what_if.lambda);
+      w.U32(request.what_if.top_k);
+      break;
+    case RequestType::kUpdate: {
+      w.U32(static_cast<uint32_t>(request.update.objects.size()));
+      for (const UpdateObject& o : request.update.objects) {
+        w.U32(o.object_id);
+        w.U32(static_cast<uint32_t>(o.positions.size()));
+        for (const Point& p : o.positions) w.PointXY(p);
+      }
+      w.U32(static_cast<uint32_t>(request.update.candidates.size()));
+      for (const Point& p : request.update.candidates) w.PointXY(p);
+      break;
+    }
+    case RequestType::kStats:
+      break;
+  }
+  return FinishFrame(&w);
+}
+
+namespace {
+
+bool DecodeRequestBody(ByteReader* r, Request* out, std::string* error) {
+  uint8_t raw_type = 0;
+  if (!r->U8(&raw_type)) return Fail(error, "missing request type");
+  switch (static_cast<RequestType>(raw_type)) {
+    case RequestType::kSolve: {
+      out->type = RequestType::kSolve;
+      uint8_t algorithm = 0;
+      if (!r->U8(&algorithm) || !r->U32(&out->solve.top_k)) {
+        return Fail(error, "truncated solve request");
+      }
+      if (algorithm > static_cast<uint8_t>(WireAlgorithm::kNaive)) {
+        return Fail(error, "unknown algorithm id");
+      }
+      out->solve.algorithm = static_cast<WireAlgorithm>(algorithm);
+      return true;
+    }
+    case RequestType::kTopK:
+      out->type = RequestType::kTopK;
+      if (!r->U32(&out->top_k.k)) return Fail(error, "truncated topk request");
+      return true;
+    case RequestType::kProbe:
+      out->type = RequestType::kProbe;
+      if (!r->PointXY(&out->probe.location)) {
+        return Fail(error, "truncated probe request");
+      }
+      if (!FinitePoint(out->probe.location)) {
+        return Fail(error, "non-finite probe location");
+      }
+      return true;
+    case RequestType::kWhatIf:
+      out->type = RequestType::kWhatIf;
+      if (!r->F64(&out->what_if.tau) || !r->F64(&out->what_if.rho) ||
+          !r->F64(&out->what_if.lambda) || !r->U32(&out->what_if.top_k)) {
+        return Fail(error, "truncated what-if request");
+      }
+      if (!std::isfinite(out->what_if.tau) ||
+          !std::isfinite(out->what_if.rho) ||
+          !std::isfinite(out->what_if.lambda)) {
+        return Fail(error, "non-finite what-if parameter");
+      }
+      return true;
+    case RequestType::kUpdate: {
+      out->type = RequestType::kUpdate;
+      uint32_t num_objects = 0;
+      // Each serialised object needs at least id + position count.
+      if (!r->Count(&num_objects, 8)) {
+        return Fail(error, "bad update object count");
+      }
+      out->update.objects.reserve(num_objects);
+      for (uint32_t i = 0; i < num_objects; ++i) {
+        UpdateObject o;
+        uint32_t npos = 0;
+        if (!r->U32(&o.object_id) || !r->Count(&npos, 16)) {
+          return Fail(error, "bad update object header");
+        }
+        o.positions.reserve(npos);
+        for (uint32_t j = 0; j < npos; ++j) {
+          Point p;
+          if (!r->PointXY(&p) || !FinitePoint(p)) {
+            return Fail(error, "bad update position");
+          }
+          o.positions.push_back(p);
+        }
+        out->update.objects.push_back(std::move(o));
+      }
+      uint32_t num_candidates = 0;
+      if (!r->Count(&num_candidates, 16)) {
+        return Fail(error, "bad update candidate count");
+      }
+      out->update.candidates.reserve(num_candidates);
+      for (uint32_t i = 0; i < num_candidates; ++i) {
+        Point p;
+        if (!r->PointXY(&p) || !FinitePoint(p)) {
+          return Fail(error, "bad update candidate");
+        }
+        out->update.candidates.push_back(p);
+      }
+      return true;
+    }
+    case RequestType::kStats:
+      out->type = RequestType::kStats;
+      return true;
+    default:
+      return Fail(error, "unknown request type");
+  }
+}
+
+bool DecodeResponseBody(ByteReader* r, Response* out, std::string* error) {
+  uint8_t raw_type = 0;
+  if (!r->U8(&raw_type)) return Fail(error, "missing response type");
+  switch (static_cast<ResponseType>(raw_type)) {
+    case ResponseType::kError: {
+      out->type = ResponseType::kError;
+      uint8_t code = 0;
+      if (!r->U8(&code) ||
+          code > static_cast<uint8_t>(ErrorCode::kInternal) ||
+          !r->String(&out->error.message, kMaxErrorMessage)) {
+        return Fail(error, "bad error response");
+      }
+      out->error.code = static_cast<ErrorCode>(code);
+      return true;
+    }
+    case ResponseType::kSolve: {
+      out->type = ResponseType::kSolve;
+      SolveResponse& s = out->solve;
+      uint32_t k = 0;
+      if (!r->U64(&s.epoch) || !r->U64(&s.num_objects) ||
+          !r->U64(&s.num_candidates) || !r->U32(&s.best_candidate) ||
+          !r->I64(&s.best_influence) || !r->F64(&s.solve_seconds) ||
+          !r->Count(&k, 12)) {
+        return Fail(error, "truncated solve response");
+      }
+      s.topk.reserve(k);
+      for (uint32_t i = 0; i < k; ++i) {
+        RankedCandidate rc;
+        if (!r->U32(&rc.candidate) || !r->I64(&rc.influence)) {
+          return Fail(error, "truncated ranking entry");
+        }
+        s.topk.push_back(rc);
+      }
+      return true;
+    }
+    case ResponseType::kProbe:
+      out->type = ResponseType::kProbe;
+      if (!r->U64(&out->probe.epoch) || !r->U64(&out->probe.num_objects) ||
+          !r->I64(&out->probe.influence) ||
+          !r->F64(&out->probe.solve_seconds)) {
+        return Fail(error, "truncated probe response");
+      }
+      return true;
+    case ResponseType::kUpdate: {
+      out->type = ResponseType::kUpdate;
+      uint8_t accepted = 0;
+      if (!r->U64(&out->update.epoch) || !r->U64(&out->update.pending_updates) ||
+          !r->U8(&accepted) || accepted > 1) {
+        return Fail(error, "truncated update response");
+      }
+      out->update.accepted = accepted != 0;
+      return true;
+    }
+    case ResponseType::kStats: {
+      out->type = ResponseType::kStats;
+      StatsResponse& s = out->stats;
+      if (!r->U64(&s.epoch) || !r->U64(&s.num_objects) ||
+          !r->U64(&s.num_candidates) || !r->U64(&s.snapshot_swaps) ||
+          !r->U64(&s.pending_updates) || !r->U64(&s.solve_requests) ||
+          !r->U64(&s.topk_requests) || !r->U64(&s.probe_requests) ||
+          !r->U64(&s.whatif_requests) || !r->U64(&s.update_requests) ||
+          !r->U64(&s.stats_requests) || !r->U64(&s.error_responses) ||
+          !r->F64(&s.uptime_seconds)) {
+        return Fail(error, "truncated stats response");
+      }
+      return true;
+    }
+    default:
+      return Fail(error, "unknown response type");
+  }
+}
+
+template <typename T>
+std::optional<T> DecodeBody(std::span<const uint8_t> body, std::string* error,
+                            bool (*decode)(ByteReader*, T*, std::string*)) {
+  if (body.size() > kMaxFrameBody) {
+    Fail(error, "frame body over size cap");
+    return std::nullopt;
+  }
+  ByteReader r(body);
+  uint8_t version = 0;
+  if (!r.U8(&version)) {
+    Fail(error, "empty frame body");
+    return std::nullopt;
+  }
+  if (version != kProtocolVersion) {
+    Fail(error, "unsupported protocol version");
+    return std::nullopt;
+  }
+  T out;
+  if (!decode(&r, &out, error)) return std::nullopt;
+  if (!r.AtEnd()) {
+    Fail(error, "trailing bytes after payload");
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Request> DecodeRequest(std::span<const uint8_t> body,
+                                     std::string* error) {
+  return DecodeBody<Request>(body, error, &DecodeRequestBody);
+}
+
+std::optional<Response> DecodeResponse(std::span<const uint8_t> body,
+                                       std::string* error) {
+  return DecodeBody<Response>(body, error, &DecodeResponseBody);
+}
+
+// -------------------------------------------------------------- responses
+
+std::vector<uint8_t> EncodeResponse(const Response& response) {
+  ByteWriter w;
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(response.type));
+  switch (response.type) {
+    case ResponseType::kError:
+      w.U8(static_cast<uint8_t>(response.error.code));
+      w.String(response.error.message.size() > kMaxErrorMessage
+                   ? response.error.message.substr(0, kMaxErrorMessage)
+                   : response.error.message);
+      break;
+    case ResponseType::kSolve: {
+      const SolveResponse& s = response.solve;
+      w.U64(s.epoch);
+      w.U64(s.num_objects);
+      w.U64(s.num_candidates);
+      w.U32(s.best_candidate);
+      w.I64(s.best_influence);
+      w.F64(s.solve_seconds);
+      w.U32(static_cast<uint32_t>(s.topk.size()));
+      for (const RankedCandidate& rc : s.topk) {
+        w.U32(rc.candidate);
+        w.I64(rc.influence);
+      }
+      break;
+    }
+    case ResponseType::kProbe:
+      w.U64(response.probe.epoch);
+      w.U64(response.probe.num_objects);
+      w.I64(response.probe.influence);
+      w.F64(response.probe.solve_seconds);
+      break;
+    case ResponseType::kUpdate:
+      w.U64(response.update.epoch);
+      w.U64(response.update.pending_updates);
+      w.U8(response.update.accepted ? 1 : 0);
+      break;
+    case ResponseType::kStats: {
+      const StatsResponse& s = response.stats;
+      w.U64(s.epoch);
+      w.U64(s.num_objects);
+      w.U64(s.num_candidates);
+      w.U64(s.snapshot_swaps);
+      w.U64(s.pending_updates);
+      w.U64(s.solve_requests);
+      w.U64(s.topk_requests);
+      w.U64(s.probe_requests);
+      w.U64(s.whatif_requests);
+      w.U64(s.update_requests);
+      w.U64(s.stats_requests);
+      w.U64(s.error_responses);
+      w.F64(s.uptime_seconds);
+      break;
+    }
+  }
+  return FinishFrame(&w);
+}
+
+// ---------------------------------------------------------------- framing
+
+void FrameAssembler::Append(std::span<const uint8_t> data) {
+  if (poisoned_) return;
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<std::vector<uint8_t>> FrameAssembler::NextFrame() {
+  if (poisoned_ || buffer_.size() < sizeof(uint32_t)) return std::nullopt;
+  uint8_t len_bytes[sizeof(uint32_t)];
+  for (size_t i = 0; i < sizeof(uint32_t); ++i) len_bytes[i] = buffer_[i];
+  uint32_t len = 0;
+  std::memcpy(&len, len_bytes, sizeof(len));
+  if (len > kMaxFrameBody) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  if (buffer_.size() < sizeof(uint32_t) + len) return std::nullopt;
+  buffer_.erase(buffer_.begin(), buffer_.begin() + sizeof(uint32_t));
+  std::vector<uint8_t> body(buffer_.begin(), buffer_.begin() + len);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + len);
+  return body;
+}
+
+// ------------------------------------------------------------------ names
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kSolve: return "solve";
+    case RequestType::kTopK: return "topk";
+    case RequestType::kProbe: return "probe";
+    case RequestType::kWhatIf: return "whatif";
+    case RequestType::kUpdate: return "update";
+    case RequestType::kStats: return "stats";
+  }
+  return "?";
+}
+
+const char* ResponseTypeName(ResponseType type) {
+  switch (type) {
+    case ResponseType::kError: return "error";
+    case ResponseType::kSolve: return "solve";
+    case ResponseType::kProbe: return "probe";
+    case ResponseType::kUpdate: return "update";
+    case ResponseType::kStats: return "stats";
+  }
+  return "?";
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBadFrame: return "bad-frame";
+    case ErrorCode::kUnsupportedVersion: return "unsupported-version";
+    case ErrorCode::kUnknownType: return "unknown-type";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+const char* WireAlgorithmName(WireAlgorithm algorithm) {
+  switch (algorithm) {
+    case WireAlgorithm::kPinVO: return "pin-vo";
+    case WireAlgorithm::kPin: return "pin";
+    case WireAlgorithm::kNaive: return "na";
+  }
+  return "?";
+}
+
+}  // namespace serve
+}  // namespace pinocchio

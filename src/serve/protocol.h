@@ -1,0 +1,244 @@
+// The serving layer's wire protocol: a standalone, socket-free codec.
+//
+// Frames are length-prefixed binary, little-endian throughout:
+//
+//   +-----------+-----------+---------+-------------------+
+//   | u32 len   | u8 version| u8 type | payload (len - 2) |
+//   +-----------+-----------+---------+-------------------+
+//
+// `len` counts everything after itself (version byte, type byte and
+// payload) and is capped at kMaxFrameBody; oversized, truncated or
+// garbage frames are rejected with a decode error, never undefined
+// behaviour. All integers are fixed-width little-endian; doubles are
+// IEEE-754 bit patterns (memcpy'd), so encode/decode round-trips are
+// bit-identical — the differential harness and the protocol tests rely
+// on that.
+//
+// This layer deliberately knows nothing about sockets: `EncodeRequest`/
+// `DecodeRequest` (and the response counterparts) translate between
+// structs and byte vectors, and `FrameAssembler` turns an arbitrary byte
+// stream into whole frames. src/serve/server.cc and client.cc feed it
+// from file descriptors; the tests and the fuzz driver feed it from
+// buffers.
+
+#ifndef PINOCCHIO_SERVE_PROTOCOL_H_
+#define PINOCCHIO_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/moving_object.h"
+#include "geo/point.h"
+
+namespace pinocchio {
+namespace serve {
+
+/// Protocol version carried in every frame; bumped on breaking changes.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Upper bound on the frame body (version + type + payload) in bytes.
+/// Large enough for a multi-thousand-entry ranking or a bulk update,
+/// small enough that a hostile length prefix cannot balloon memory.
+inline constexpr uint32_t kMaxFrameBody = 4u << 20;  // 4 MiB
+
+// --------------------------------------------------------------- requests
+
+enum class RequestType : uint8_t {
+  kSolve = 1,   // full solve under the snapshot's prepared config
+  kTopK = 2,    // top-k ranking with the default algorithm
+  kProbe = 3,   // single-candidate influence probe at an arbitrary point
+  kWhatIf = 4,  // solve under altered (tau, rho, lambda) via Reprepare
+  kUpdate = 5,  // append objects/candidates; triggers rebuild + swap
+  kStats = 6,   // server/service statistics
+};
+
+/// Wire ids of the solvers a SolveRequest may name.
+enum class WireAlgorithm : uint8_t {
+  kPinVO = 0,
+  kPin = 1,
+  kNaive = 2,
+};
+
+struct SolveRequest {
+  WireAlgorithm algorithm = WireAlgorithm::kPinVO;
+  /// Number of (candidate, influence) pairs wanted in the response.
+  uint32_t top_k = 1;
+};
+
+struct TopKRequest {
+  uint32_t k = 1;
+};
+
+struct ProbeRequest {
+  Point location{0.0, 0.0};
+};
+
+struct WhatIfRequest {
+  double tau = 0.7;
+  double rho = 0.9;
+  double lambda = 1.0;
+  uint32_t top_k = 1;
+};
+
+/// One appended object: an id plus its sampled positions.
+struct UpdateObject {
+  uint32_t object_id = 0;
+  std::vector<Point> positions;
+};
+
+struct UpdateRequest {
+  std::vector<UpdateObject> objects;
+  std::vector<Point> candidates;
+};
+
+struct StatsRequest {};
+
+/// A decoded request: `type` selects which member is meaningful.
+struct Request {
+  RequestType type = RequestType::kStats;
+  SolveRequest solve;
+  TopKRequest top_k;
+  ProbeRequest probe;
+  WhatIfRequest what_if;
+  UpdateRequest update;
+};
+
+// -------------------------------------------------------------- responses
+
+enum class ResponseType : uint8_t {
+  kError = 0,
+  kSolve = 1,  // also answers kTopK and kWhatIf
+  kProbe = 3,
+  kUpdate = 5,
+  kStats = 6,
+};
+
+enum class ErrorCode : uint8_t {
+  kNone = 0,
+  kBadFrame = 1,
+  kUnsupportedVersion = 2,
+  kUnknownType = 3,
+  kBadRequest = 4,
+  kShuttingDown = 5,
+  kInternal = 6,
+};
+
+struct ErrorResponse {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+struct RankedCandidate {
+  uint32_t candidate = 0;
+  int64_t influence = 0;
+};
+
+/// Answer to kSolve / kTopK / kWhatIf. Every field is computed against
+/// exactly one snapshot epoch; `epoch`, `num_objects` and
+/// `num_candidates` let clients assert that consistency.
+struct SolveResponse {
+  uint64_t epoch = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_candidates = 0;
+  uint32_t best_candidate = 0;
+  int64_t best_influence = 0;
+  double solve_seconds = 0.0;
+  std::vector<RankedCandidate> topk;
+};
+
+struct ProbeResponse {
+  uint64_t epoch = 0;
+  uint64_t num_objects = 0;
+  int64_t influence = 0;
+  double solve_seconds = 0.0;
+};
+
+struct UpdateResponse {
+  /// Epoch current when the update was accepted; the rebuilt snapshot
+  /// will carry a strictly larger epoch.
+  uint64_t epoch = 0;
+  /// Updates queued behind this one (including it) at accept time.
+  uint64_t pending_updates = 0;
+  bool accepted = false;
+};
+
+struct StatsResponse {
+  uint64_t epoch = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_candidates = 0;
+  uint64_t snapshot_swaps = 0;
+  uint64_t pending_updates = 0;
+  uint64_t solve_requests = 0;
+  uint64_t topk_requests = 0;
+  uint64_t probe_requests = 0;
+  uint64_t whatif_requests = 0;
+  uint64_t update_requests = 0;
+  uint64_t stats_requests = 0;
+  uint64_t error_responses = 0;
+  double uptime_seconds = 0.0;
+};
+
+struct Response {
+  ResponseType type = ResponseType::kError;
+  ErrorResponse error;
+  SolveResponse solve;
+  ProbeResponse probe;
+  UpdateResponse update;
+  StatsResponse stats;
+};
+
+// ------------------------------------------------------------------ codec
+
+/// Serialises a request/response into one whole frame (length prefix
+/// included), ready to write to a stream.
+std::vector<uint8_t> EncodeRequest(const Request& request);
+std::vector<uint8_t> EncodeResponse(const Response& response);
+
+/// Decodes one frame *body* (the bytes after the length prefix: version,
+/// type, payload). Returns nullopt — with a human-readable reason in
+/// `*error` when non-null — on any malformed input: wrong version,
+/// unknown type, truncated or over-long payload. Never reads out of
+/// bounds and never throws.
+std::optional<Request> DecodeRequest(std::span<const uint8_t> body,
+                                     std::string* error = nullptr);
+std::optional<Response> DecodeResponse(std::span<const uint8_t> body,
+                                       std::string* error = nullptr);
+
+/// Incremental frame splitter for a byte stream. Feed arbitrary chunks
+/// with Append(); NextFrame() yields complete frame bodies in order.
+/// A length prefix above kMaxFrameBody poisons the stream (the
+/// connection must be dropped — resynchronisation is impossible).
+class FrameAssembler {
+ public:
+  /// Appends raw bytes received from the peer.
+  void Append(std::span<const uint8_t> data);
+
+  /// Pops the next complete frame body, or nullopt when more bytes are
+  /// needed (or the stream is poisoned).
+  std::optional<std::vector<uint8_t>> NextFrame();
+
+  /// True once an oversized length prefix has been seen.
+  bool poisoned() const { return poisoned_; }
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::deque<uint8_t> buffer_;
+  bool poisoned_ = false;
+};
+
+/// Human-readable names for logs and the client CLI.
+const char* RequestTypeName(RequestType type);
+const char* ResponseTypeName(ResponseType type);
+const char* ErrorCodeName(ErrorCode code);
+const char* WireAlgorithmName(WireAlgorithm algorithm);
+
+}  // namespace serve
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_SERVE_PROTOCOL_H_

@@ -1,0 +1,102 @@
+// The pinocchio influence query daemon: a TCP listener in front of an
+// InfluenceService.
+//
+// Architecture (deliberately simple — one blocking connection per
+// worker):
+//
+//   accept thread ── accepts connections, queues fds ──┐
+//                                                      ▼
+//   worker pool ──── each worker serves one connection at a time:
+//                    read frame → DecodeRequest → service.Execute →
+//                    EncodeResponse → write frame, until EOF or stop
+//
+// Query concurrency comes from the workers sharing the service's
+// snapshot RCU handle: solves on different connections run in parallel
+// against the same immutable snapshot while updates rebuild and swap in
+// the background.
+//
+// Stop() drains gracefully: the listener closes first (no new
+// connections), every worker finishes the request currently in flight,
+// answers it, and closes its connection; Stop() returns when all workers
+// have joined and pending snapshot rebuilds are published.
+
+#ifndef PINOCCHIO_SERVE_SERVER_H_
+#define PINOCCHIO_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace pinocchio {
+namespace serve {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+  uint16_t port = 7741;
+  /// Worker threads; each serves one connection at a time. 0 means
+  /// max(4, hardware concurrency).
+  size_t num_workers = 0;
+  /// Bind address. The default only accepts local connections.
+  const char* bind_address = "127.0.0.1";
+};
+
+class TcpServer {
+ public:
+  /// The server answers requests against `service` (not owned; must
+  /// outlive the server).
+  TcpServer(InfluenceService* service, const ServerOptions& options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens and spawns the accept + worker threads. Returns
+  /// false (with a log line) when the port cannot be bound.
+  bool Start();
+
+  /// Graceful drain: stop accepting, finish in-flight requests, close
+  /// connections, drain pending service updates, join all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (resolves ephemeral port 0 after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  InfluenceService* service_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  // Self-pipe used to wake blocking poll()s on Stop().
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_connections_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> connections_accepted_{0};
+};
+
+}  // namespace serve
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_SERVE_SERVER_H_

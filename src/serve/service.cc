@@ -1,0 +1,301 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/influence_query.h"
+#include "core/naive_solver.h"
+#include "core/pinocchio_solver.h"
+#include "core/pinocchio_vo_solver.h"
+#include "prob/power_law.h"
+#include "util/logging.h"
+
+namespace pinocchio {
+namespace serve {
+namespace {
+
+/// Largest ranking a response will carry; requests asking for more are
+/// clamped (the frame cap would reject gigantic rankings anyway).
+constexpr size_t kMaxResponseTopK = 4096;
+
+std::unique_ptr<Solver> MakeSolver(WireAlgorithm algorithm) {
+  switch (algorithm) {
+    case WireAlgorithm::kPinVO:
+      return std::make_unique<PinocchioVOSolver>();
+    case WireAlgorithm::kPin:
+      return std::make_unique<PinocchioSolver>();
+    case WireAlgorithm::kNaive:
+      return std::make_unique<NaiveSolver>();
+  }
+  return nullptr;
+}
+
+bool ValidUpdate(const UpdateRequest& update, std::string* reason) {
+  if (update.objects.empty() && update.candidates.empty()) {
+    *reason = "empty update";
+    return false;
+  }
+  for (const UpdateObject& o : update.objects) {
+    if (o.positions.empty()) {
+      *reason = "object with zero positions";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+InfluenceService::InfluenceService(ProblemInstance instance,
+                                   SolverConfig config,
+                                   const ServiceOptions& options)
+    : options_(options) {
+  PINO_CHECK(config.pf != nullptr) << "service requires a configured PF";
+  config.top_k = std::max<size_t>(1, options_.prepared_top_k);
+  holder_.Publish(std::make_shared<const ServerSnapshot>(
+      /*epoch=*/1, std::move(instance), config));
+  rebuild_thread_ = std::thread(&InfluenceService::RebuildLoop, this);
+}
+
+InfluenceService::~InfluenceService() {
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    stopping_ = true;
+  }
+  update_cv_.notify_all();
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+}
+
+Response InfluenceService::Execute(const Request& request) {
+  switch (request.type) {
+    case RequestType::kSolve:
+      solve_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoSolve(request.solve);
+    case RequestType::kTopK:
+      topk_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoTopK(request.top_k);
+    case RequestType::kProbe:
+      probe_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoProbe(request.probe);
+    case RequestType::kWhatIf:
+      whatif_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoWhatIf(request.what_if);
+    case RequestType::kUpdate:
+      update_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoUpdate(request.update);
+    case RequestType::kStats:
+      stats_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoStats();
+  }
+  return MakeError(ErrorCode::kUnknownType, "unknown request type");
+}
+
+Response InfluenceService::MakeError(ErrorCode code, std::string message) {
+  Response response;
+  response.type = ResponseType::kError;
+  response.error.code = code;
+  response.error.message = std::move(message);
+  return response;
+}
+
+Response InfluenceService::MakeSolveResponse(const ServerSnapshot& snap,
+                                             const SolverResult& result,
+                                             size_t k) {
+  Response response;
+  response.type = ResponseType::kSolve;
+  SolveResponse& s = response.solve;
+  s.epoch = snap.epoch;
+  s.num_objects = snap.prepared.num_objects();
+  s.num_candidates = snap.prepared.num_candidates();
+  s.best_candidate = result.best_candidate;
+  s.best_influence = result.best_influence;
+  s.solve_seconds = result.stats.solve_seconds;
+  const size_t count = std::min(k, result.ranking.size());
+  s.topk.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t candidate = result.ranking[i];
+    s.topk.push_back({candidate, result.influence[candidate]});
+  }
+  return response;
+}
+
+Response InfluenceService::DoSolve(const SolveRequest& request) {
+  const std::unique_ptr<Solver> solver = MakeSolver(request.algorithm);
+  if (solver == nullptr) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest, "unknown algorithm");
+  }
+  const SnapshotPtr snap = holder_.Acquire();
+  const size_t k =
+      std::min<size_t>(std::max<uint32_t>(1, request.top_k), kMaxResponseTopK);
+  const SolverResult result = solver->Solve(snap->prepared);
+  return MakeSolveResponse(*snap, result, k);
+}
+
+Response InfluenceService::DoTopK(const TopKRequest& request) {
+  const SnapshotPtr snap = holder_.Acquire();
+  const size_t k =
+      std::min<size_t>(std::max<uint32_t>(1, request.k), kMaxResponseTopK);
+  // The snapshot is prepared with top_k = prepared_top_k, so VO results
+  // are exact for that many leading candidates; beyond it the exact PIN
+  // solver ranks every candidate.
+  SolverResult result;
+  if (k <= snap->prepared.config().top_k) {
+    result = PinocchioVOSolver().Solve(snap->prepared);
+  } else {
+    result = PinocchioSolver().Solve(snap->prepared);
+  }
+  return MakeSolveResponse(*snap, result, k);
+}
+
+Response InfluenceService::DoProbe(const ProbeRequest& request) {
+  const SnapshotPtr snap = holder_.Acquire();
+  Stopwatch watch;
+  const int64_t influence =
+      InfluenceOfCandidate(snap->prepared, request.location);
+  Response response;
+  response.type = ResponseType::kProbe;
+  response.probe.epoch = snap->epoch;
+  response.probe.num_objects = snap->prepared.num_objects();
+  response.probe.influence = influence;
+  response.probe.solve_seconds = watch.ElapsedSeconds();
+  return response;
+}
+
+Response InfluenceService::DoWhatIf(const WhatIfRequest& request) {
+  if (!(request.tau > 0.0 && request.tau < 1.0)) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest, "tau must be in (0, 1)");
+  }
+  if (request.rho <= 0.0 || request.rho > 1.0 || request.lambda <= 0.0) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest,
+                     "rho must be in (0, 1] and lambda positive");
+  }
+  const SnapshotPtr snap = holder_.Acquire();
+  const size_t k = std::min<size_t>(std::max<uint32_t>(1, request.top_k),
+                                    kMaxResponseTopK);
+
+  SolverConfig config = snap->prepared.config();
+  config.tau = request.tau;
+  config.pf = std::make_shared<PowerLawPF>(request.rho, request.lambda,
+                                           /*d0=*/1.0, options_.pf_unit_meters);
+
+  std::lock_guard<std::mutex> lock(whatif_mu_);
+  if (whatif_prepared_ == nullptr || whatif_epoch_ != snap->epoch) {
+    // The snapshot moved under us: clone its state once, then keep
+    // re-tuning the clone across subsequent what-ifs at this epoch.
+    whatif_prepared_ =
+        std::make_unique<PreparedInstance>(snap->instance, config);
+    whatif_epoch_ = snap->epoch;
+  } else {
+    // Cheap path: Reprepare re-tunes the existing A_2D in place (the
+    // position arena and MBRs are reused) and keeps the R-tree.
+    whatif_prepared_->Reprepare(config);
+  }
+  const SolverResult result = PinocchioVOSolver().Solve(*whatif_prepared_);
+  // What-if answers are stamped with the epoch of the snapshot whose
+  // data they were derived from.
+  Response response = MakeSolveResponse(*snap, result, k);
+  return response;
+}
+
+Response InfluenceService::DoUpdate(const UpdateRequest& request) {
+  std::string reason;
+  if (!ValidUpdate(request, &reason)) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest, reason);
+  }
+  const SnapshotPtr snap = holder_.Acquire();
+  Response response;
+  response.type = ResponseType::kUpdate;
+  response.update.epoch = snap->epoch;
+  response.update.accepted = true;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    if (stopping_) {
+      error_responses_.fetch_add(1, std::memory_order_relaxed);
+      return MakeError(ErrorCode::kShuttingDown, "service stopping");
+    }
+    pending_updates_.push_back(request);
+    response.update.pending_updates = pending_updates_.size();
+  }
+  update_cv_.notify_one();
+  return response;
+}
+
+Response InfluenceService::DoStats() {
+  const SnapshotPtr snap = holder_.Acquire();
+  Response response;
+  response.type = ResponseType::kStats;
+  StatsResponse& s = response.stats;
+  s.epoch = snap->epoch;
+  s.num_objects = snap->prepared.num_objects();
+  s.num_candidates = snap->prepared.num_candidates();
+  s.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    s.pending_updates =
+        pending_updates_.size() + (rebuild_in_progress_ ? 1 : 0);
+  }
+  s.solve_requests = solve_requests_.load(std::memory_order_relaxed);
+  s.topk_requests = topk_requests_.load(std::memory_order_relaxed);
+  s.probe_requests = probe_requests_.load(std::memory_order_relaxed);
+  s.whatif_requests = whatif_requests_.load(std::memory_order_relaxed);
+  s.update_requests = update_requests_.load(std::memory_order_relaxed);
+  s.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  s.error_responses = error_responses_.load(std::memory_order_relaxed);
+  s.uptime_seconds = uptime_.ElapsedSeconds();
+  return response;
+}
+
+void InfluenceService::DrainUpdates() {
+  std::unique_lock<std::mutex> lock(update_mu_);
+  drained_cv_.wait(lock, [this] {
+    return pending_updates_.empty() && !rebuild_in_progress_;
+  });
+}
+
+void InfluenceService::RebuildLoop() {
+  for (;;) {
+    std::vector<UpdateRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(update_mu_);
+      update_cv_.wait(lock,
+                      [this] { return stopping_ || !pending_updates_.empty(); });
+      if (pending_updates_.empty()) {
+        // stopping_ with an empty queue: drained, exit.
+        drained_cv_.notify_all();
+        return;
+      }
+      batch.swap(pending_updates_);
+      rebuild_in_progress_ = true;
+    }
+
+    // Build the next snapshot entirely off to the side: readers keep
+    // serving the current epoch until the single Publish() below.
+    const SnapshotPtr current = holder_.Acquire();
+    ProblemInstance next = current->instance;
+    for (const UpdateRequest& update : batch) {
+      for (const UpdateObject& o : update.objects) {
+        next.objects.push_back({o.object_id, o.positions});
+      }
+      next.candidates.insert(next.candidates.end(),
+                             update.candidates.begin(),
+                             update.candidates.end());
+    }
+    auto snapshot = std::make_shared<const ServerSnapshot>(
+        current->epoch + 1, std::move(next), current->prepared.config());
+    holder_.Publish(snapshot);
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> lock(update_mu_);
+      rebuild_in_progress_ = false;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+}  // namespace serve
+}  // namespace pinocchio

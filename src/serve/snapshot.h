@@ -1,0 +1,81 @@
+// Snapshot-swapped prepared instances: the RCU core of the serving layer.
+//
+// A ServerSnapshot is an immutable unit of serving state — the source
+// ProblemInstance, the PreparedInstance built from it, and a monotonically
+// increasing epoch. Readers obtain the current snapshot through
+// SnapshotHolder::Acquire(), which is a lock-free atomic shared_ptr load:
+// queries never block, never see a half-built snapshot, and keep "their"
+// snapshot alive for the duration of the query even if a writer publishes
+// a replacement mid-flight. Writers build the next snapshot off to the
+// side (full prepare or Reprepare) and Publish() it with one atomic store;
+// the old snapshot is destroyed when its last in-flight reader drops it.
+//
+// Thread-safety: Acquire() and Publish() may race freely from any number
+// of threads. The PreparedInstance inside a published snapshot must never
+// be mutated (no Reprepare) — that is what the epoch discipline is for:
+// parameter changes produce a *new* snapshot.
+
+#ifndef PINOCCHIO_SERVE_SNAPSHOT_H_
+#define PINOCCHIO_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/moving_object.h"
+#include "core/prepared_instance.h"
+
+namespace pinocchio {
+namespace serve {
+
+/// One immutable serving state. The instance is retained alongside the
+/// prepared indexes because rebuilds (object/candidate updates) derive
+/// the next instance from the current one.
+struct ServerSnapshot {
+  /// 1 for the initial snapshot, +1 per published rebuild.
+  uint64_t epoch = 0;
+  /// The source data this snapshot was prepared from.
+  ProblemInstance instance;
+  /// Indexes built over `instance` under `prepared.config()`.
+  PreparedInstance prepared;
+
+  ServerSnapshot(uint64_t epoch_in, ProblemInstance instance_in,
+                 const SolverConfig& config)
+      : epoch(epoch_in),
+        instance(std::move(instance_in)),
+        prepared(instance, config) {}
+};
+
+using SnapshotPtr = std::shared_ptr<const ServerSnapshot>;
+
+/// The RCU handle. Readers Acquire(), writers Publish(); both are single
+/// atomic shared_ptr operations (lock-free on this toolchain).
+class SnapshotHolder {
+ public:
+  SnapshotHolder() = default;
+  explicit SnapshotHolder(SnapshotPtr initial) { Publish(std::move(initial)); }
+
+  SnapshotHolder(const SnapshotHolder&) = delete;
+  SnapshotHolder& operator=(const SnapshotHolder&) = delete;
+
+  /// The current snapshot; never null once a snapshot has been published.
+  /// The returned shared_ptr pins the snapshot for the caller's lifetime.
+  SnapshotPtr Acquire() const { return current_.load(std::memory_order_acquire); }
+
+  /// Atomically replaces the current snapshot. The caller must have
+  /// finished building `next` (including its PreparedInstance) before
+  /// publishing; the store's release ordering makes the build visible to
+  /// every subsequent Acquire().
+  void Publish(SnapshotPtr next) {
+    current_.store(std::move(next), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<SnapshotPtr> current_;
+};
+
+}  // namespace serve
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_SERVE_SNAPSHOT_H_

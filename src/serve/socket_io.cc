@@ -1,0 +1,100 @@
+#include "serve/socket_io.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace pinocchio {
+namespace serve {
+
+bool SendAll(int fd, std::span<const uint8_t> data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+RecvStatus ReceiveFrame(int fd, FrameAssembler* assembler,
+                        std::vector<uint8_t>* body, int wake_fd) {
+  for (;;) {
+    if (auto frame = assembler->NextFrame(); frame.has_value()) {
+      *body = std::move(*frame);
+      return RecvStatus::kFrame;
+    }
+    if (assembler->poisoned()) return RecvStatus::kError;
+
+    struct pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    nfds_t nfds = 1;
+    if (wake_fd >= 0) {
+      fds[1] = {wake_fd, POLLIN, 0};
+      nfds = 2;
+    }
+    const int rc = ::poll(fds, nfds, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::kError;
+    }
+    if (wake_fd >= 0 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP))) {
+      return RecvStatus::kInterrupted;
+    }
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+
+    uint8_t chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::kError;
+    }
+    if (n == 0) {
+      // Orderly EOF; a partial frame left behind is a framing error.
+      return assembler->buffered_bytes() == 0 ? RecvStatus::kClosed
+                                              : RecvStatus::kError;
+    }
+    assembler->Append(std::span<const uint8_t>(chunk, static_cast<size_t>(n)));
+  }
+}
+
+int ConnectWithRetry(const char* host, uint16_t port, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host == nullptr ? "127.0.0.1" : host,
+                    &addr.sin_addr) != 1) {
+      ::close(fd);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace serve
+}  // namespace pinocchio

@@ -1,0 +1,48 @@
+// Small POSIX socket helpers shared by the server, the client library
+// and the socket tests: full-buffer send, frame-at-a-time receive (via
+// FrameAssembler), and interruptible reads that watch a wake fd.
+//
+// Everything here is Linux/POSIX; the protocol codec itself
+// (serve/protocol.h) stays byte-buffer only.
+
+#ifndef PINOCCHIO_SERVE_SOCKET_IO_H_
+#define PINOCCHIO_SERVE_SOCKET_IO_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace pinocchio {
+namespace serve {
+
+/// Writes all of `data` to `fd`, retrying on EINTR / short writes.
+/// Returns false on any other error (peer gone, fd closed).
+bool SendAll(int fd, std::span<const uint8_t> data);
+
+/// Outcome of ReceiveFrame.
+enum class RecvStatus {
+  kFrame,        // one complete frame body produced
+  kClosed,       // orderly EOF from the peer between frames
+  kError,        // I/O error or malformed/oversized framing
+  kInterrupted,  // wake_fd became readable before a frame completed
+};
+
+/// Reads from `fd` into `assembler` until one complete frame body is
+/// available, EOF, an error, or — when `wake_fd` >= 0 — the wake fd
+/// becomes readable (used for graceful shutdown). Blocking, EINTR-safe.
+RecvStatus ReceiveFrame(int fd, FrameAssembler* assembler,
+                        std::vector<uint8_t>* body, int wake_fd = -1);
+
+/// Connects to 127.0.0.1:`port` (or the given dotted-quad `host`),
+/// retrying for up to `timeout_seconds` while the connection is refused
+/// (covers the boot race against a just-started server). Returns the
+/// connected fd or -1.
+int ConnectWithRetry(const char* host, uint16_t port, double timeout_seconds);
+
+}  // namespace serve
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_SERVE_SOCKET_IO_H_

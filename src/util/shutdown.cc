@@ -1,0 +1,73 @@
+#include "util/shutdown.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+
+namespace pinocchio {
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<bool> g_installed{false};
+int g_pipe[2] = {-1, -1};
+
+void WakePipe() {
+  if (g_pipe[1] >= 0) {
+    const uint8_t byte = 1;
+    // Best effort; a full pipe already wakes every poller.
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &byte, 1);
+  }
+}
+
+extern "C" void ShutdownSignalHandler(int signum) {
+  if (g_requested.exchange(true)) {
+    // Second signal: the drain is taking too long for the operator —
+    // restore the default disposition and let the re-raise terminate.
+    ::signal(signum, SIG_DFL);
+    ::raise(signum);
+    return;
+  }
+  WakePipe();
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  if (g_installed.exchange(true)) return;
+  // O_NONBLOCK on both ends: the handler must never block, and drains
+  // in ResetShutdownForTests() must not spin.
+  if (::pipe2(g_pipe, O_CLOEXEC | O_NONBLOCK) != 0) {
+    g_pipe[0] = g_pipe[1] = -1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = &ShutdownSignalHandler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocked syscalls return EINTR
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown() {
+  if (!g_requested.exchange(true)) WakePipe();
+}
+
+int ShutdownWakeFd() { return g_pipe[0]; }
+
+void ResetShutdownForTests() {
+  g_requested.store(false);
+  if (g_pipe[0] >= 0) {
+    uint8_t buffer[64];
+    while (::read(g_pipe[0], buffer, sizeof(buffer)) > 0) {
+    }
+  }
+}
+
+}  // namespace pinocchio

@@ -1,0 +1,40 @@
+// Cooperative SIGINT/SIGTERM handling for the long-running tools (the
+// server daemon, the load generator, the fuzz driver).
+//
+// InstallShutdownHandlers() registers async-signal-safe handlers that set
+// a flag and write one byte to a self-pipe. Long loops poll
+// ShutdownRequested() between units of work and exit cleanly — flushing
+// partial stats instead of dying mid-write; blocking poll()/select()
+// calls add ShutdownWakeFd() to their read set to wake immediately.
+//
+// A second signal while the flag is already set restores the default
+// disposition and re-raises, so a stuck drain can still be killed with a
+// repeated Ctrl-C.
+
+#ifndef PINOCCHIO_UTIL_SHUTDOWN_H_
+#define PINOCCHIO_UTIL_SHUTDOWN_H_
+
+namespace pinocchio {
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent, not thread-safe —
+/// call once from main before spawning threads).
+void InstallShutdownHandlers();
+
+/// True once a shutdown signal has arrived or RequestShutdown() ran.
+bool ShutdownRequested();
+
+/// Programmatic trigger (tests; internal fallbacks). Safe from any
+/// thread; NOT async-signal-safe — the signal path has its own handler.
+void RequestShutdown();
+
+/// Read end of the self-pipe: becomes readable on shutdown. Returns -1
+/// until InstallShutdownHandlers() has run.
+int ShutdownWakeFd();
+
+/// Clears the flag and drains the pipe so a test can exercise the
+/// machinery repeatedly within one process.
+void ResetShutdownForTests();
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_UTIL_SHUTDOWN_H_

@@ -1,0 +1,293 @@
+// InfluenceService contract: responses agree exactly with direct solver
+// calls on the snapshot they were computed from, what-if answers match a
+// fresh prepare under the altered parameters, updates bump the epoch and
+// are visible after DrainUpdates(), and malformed requests come back as
+// typed errors.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/influence_query.h"
+#include "core/naive_solver.h"
+#include "core/pinocchio_solver.h"
+#include "core/pinocchio_vo_solver.h"
+#include "core/prepared_instance.h"
+#include "prob/power_law.h"
+#include "serve/service.h"
+#include "testing/instance_helpers.h"
+
+namespace pinocchio {
+namespace serve {
+namespace {
+
+using testing_helpers::DefaultConfig;
+using testing_helpers::InstanceOptions;
+using testing_helpers::RandomInstance;
+
+// The what-if path rebuilds its PF with this unit; DefaultConfig()'s
+// PowerLawPF uses the constructor default of 1000 m, so matching it here
+// makes service what-if answers comparable to fresh local prepares.
+ServiceOptions TestOptions(size_t prepared_top_k = 8) {
+  ServiceOptions options;
+  options.prepared_top_k = prepared_top_k;
+  options.pf_unit_meters = 1000.0;
+  return options;
+}
+
+Request SolveRequestFor(WireAlgorithm algorithm, uint32_t k) {
+  Request request;
+  request.type = RequestType::kSolve;
+  request.solve.algorithm = algorithm;
+  request.solve.top_k = k;
+  return request;
+}
+
+TEST(ServiceTest, SolveMatchesDirectSolveOnTheSameSnapshot) {
+  const ProblemInstance instance = RandomInstance(11);
+  InfluenceService service(instance, DefaultConfig(), TestOptions());
+
+  // Acquire the very snapshot the service will answer from, then compare
+  // the response against a direct Solve on that snapshot's prepared
+  // state. Influence counts are integers, so equality is bit-exactness.
+  const SnapshotPtr snap = service.snapshot();
+  for (const WireAlgorithm algorithm :
+       {WireAlgorithm::kPinVO, WireAlgorithm::kPin, WireAlgorithm::kNaive}) {
+    const Response response =
+        service.Execute(SolveRequestFor(algorithm, 5));
+    ASSERT_EQ(response.type, ResponseType::kSolve);
+
+    std::unique_ptr<Solver> solver;
+    switch (algorithm) {
+      case WireAlgorithm::kPinVO:
+        solver = std::make_unique<PinocchioVOSolver>();
+        break;
+      case WireAlgorithm::kPin:
+        solver = std::make_unique<PinocchioSolver>();
+        break;
+      case WireAlgorithm::kNaive:
+        solver = std::make_unique<NaiveSolver>();
+        break;
+    }
+    const SolverResult direct = solver->Solve(snap->prepared);
+
+    EXPECT_EQ(response.solve.epoch, snap->epoch);
+    EXPECT_EQ(response.solve.num_objects, snap->prepared.num_objects());
+    EXPECT_EQ(response.solve.num_candidates,
+              snap->prepared.num_candidates());
+    EXPECT_EQ(response.solve.best_candidate, direct.best_candidate);
+    EXPECT_EQ(response.solve.best_influence, direct.best_influence);
+    ASSERT_EQ(response.solve.topk.size(),
+              std::min<size_t>(5, direct.ranking.size()));
+    for (size_t i = 0; i < response.solve.topk.size(); ++i) {
+      EXPECT_EQ(response.solve.topk[i].candidate, direct.ranking[i]);
+      EXPECT_EQ(response.solve.topk[i].influence,
+                direct.influence[direct.ranking[i]]);
+    }
+  }
+}
+
+TEST(ServiceTest, TopKBeyondPreparedKFallsBackToExactRanking) {
+  const ProblemInstance instance =
+      RandomInstance(12, InstanceOptions{.num_candidates = 40});
+  InfluenceService service(instance, DefaultConfig(), TestOptions(4));
+  const SnapshotPtr snap = service.snapshot();
+
+  Request request;
+  request.type = RequestType::kTopK;
+  request.top_k.k = 20;  // beyond prepared_top_k = 4
+  const Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kSolve);
+  ASSERT_EQ(response.solve.topk.size(), 20u);
+
+  // Must match the exact PIN ranking, not VO's truncated one.
+  const SolverResult exact = PinocchioSolver().Solve(snap->prepared);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(response.solve.topk[i].candidate, exact.ranking[i]) << i;
+    EXPECT_EQ(response.solve.topk[i].influence,
+              exact.influence[exact.ranking[i]]);
+  }
+}
+
+TEST(ServiceTest, ProbeMatchesInfluenceOfCandidate) {
+  const ProblemInstance instance = RandomInstance(13);
+  InfluenceService service(instance, DefaultConfig(), TestOptions());
+  const SnapshotPtr snap = service.snapshot();
+
+  for (const Point location :
+       {instance.candidates[0], Point{0.0, 0.0}, Point{15000.0, 9000.0}}) {
+    Request request;
+    request.type = RequestType::kProbe;
+    request.probe.location = location;
+    const Response response = service.Execute(request);
+    ASSERT_EQ(response.type, ResponseType::kProbe);
+    EXPECT_EQ(response.probe.influence,
+              InfluenceOfCandidate(snap->prepared, location));
+    EXPECT_EQ(response.probe.epoch, snap->epoch);
+  }
+}
+
+TEST(ServiceTest, WhatIfMatchesFreshPrepareUnderAlteredParameters) {
+  const ProblemInstance instance = RandomInstance(14);
+  InfluenceService service(instance, DefaultConfig(), TestOptions());
+
+  Request request;
+  request.type = RequestType::kWhatIf;
+  request.what_if.tau = 0.55;
+  request.what_if.rho = 0.8;
+  request.what_if.lambda = 1.3;
+  request.what_if.top_k = 3;
+  const Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kSolve);
+
+  SolverConfig altered = DefaultConfig(0.55);
+  altered.pf = std::make_shared<PowerLawPF>(0.8, 1.3, /*d0=*/1.0,
+                                            /*unit_meters=*/1000.0);
+  altered.top_k = 8;  // the service's prepared_top_k
+  const PreparedInstance fresh(instance, altered);
+  const SolverResult direct = PinocchioVOSolver().Solve(fresh);
+
+  EXPECT_EQ(response.solve.best_candidate, direct.best_candidate);
+  EXPECT_EQ(response.solve.best_influence, direct.best_influence);
+  ASSERT_EQ(response.solve.topk.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(response.solve.topk[i].candidate, direct.ranking[i]);
+  }
+
+  // A second what-if at the same epoch rides the Reprepare fast path and
+  // must produce identical results to the first for equal parameters.
+  const Response again = service.Execute(request);
+  ASSERT_EQ(again.type, ResponseType::kSolve);
+  EXPECT_EQ(again.solve.best_candidate, response.solve.best_candidate);
+  EXPECT_EQ(again.solve.best_influence, response.solve.best_influence);
+}
+
+TEST(ServiceTest, WhatIfRejectsOutOfRangeParameters) {
+  InfluenceService service(RandomInstance(15), DefaultConfig(),
+                           TestOptions());
+  Request request;
+  request.type = RequestType::kWhatIf;
+  request.what_if.tau = 1.5;
+  Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kError);
+  EXPECT_EQ(response.error.code, ErrorCode::kBadRequest);
+
+  request.what_if.tau = 0.7;
+  request.what_if.rho = 0.0;
+  response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kError);
+
+  request.what_if.rho = 0.9;
+  request.what_if.lambda = -1.0;
+  response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kError);
+}
+
+TEST(ServiceTest, UpdateBumpsEpochAndExtendsTheInstance) {
+  const ProblemInstance instance = RandomInstance(16);
+  const size_t original_objects = instance.objects.size();
+  const size_t original_candidates = instance.candidates.size();
+  InfluenceService service(instance, DefaultConfig(), TestOptions());
+  EXPECT_EQ(service.snapshot()->epoch, 1u);
+
+  Request request;
+  request.type = RequestType::kUpdate;
+  UpdateObject object;
+  object.object_id = 9999;
+  object.positions = {{100.0, 200.0}, {110.0, 210.0}};
+  request.update.objects.push_back(object);
+  request.update.candidates.push_back(Point{5000.0, 5000.0});
+
+  const Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kUpdate);
+  EXPECT_TRUE(response.update.accepted);
+  EXPECT_EQ(response.update.epoch, 1u);
+
+  service.DrainUpdates();
+  const SnapshotPtr snap = service.snapshot();
+  EXPECT_EQ(snap->epoch, 2u);
+  EXPECT_EQ(snap->prepared.num_objects(), original_objects + 1);
+  EXPECT_EQ(snap->prepared.num_candidates(), original_candidates + 1);
+  EXPECT_EQ(snap->instance.objects.back().id, 9999u);
+  EXPECT_EQ(service.snapshot_swaps(), 1u);
+
+  // The rebuilt snapshot serves exactly like a from-scratch prepare of
+  // the extended instance.
+  const Response solve = service.Execute(
+      SolveRequestFor(WireAlgorithm::kPinVO, 1));
+  ASSERT_EQ(solve.type, ResponseType::kSolve);
+  const SolverResult direct = PinocchioVOSolver().Solve(snap->prepared);
+  EXPECT_EQ(solve.solve.best_candidate, direct.best_candidate);
+  EXPECT_EQ(solve.solve.best_influence, direct.best_influence);
+  EXPECT_EQ(solve.solve.epoch, 2u);
+}
+
+TEST(ServiceTest, EmptyAndInvalidUpdatesAreRejected) {
+  InfluenceService service(RandomInstance(17), DefaultConfig(),
+                           TestOptions());
+  Request request;
+  request.type = RequestType::kUpdate;  // no objects, no candidates
+  Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kError);
+  EXPECT_EQ(response.error.code, ErrorCode::kBadRequest);
+
+  UpdateObject empty_object;
+  empty_object.object_id = 1;
+  request.update.objects.push_back(empty_object);  // zero positions
+  response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kError);
+  EXPECT_EQ(service.snapshot()->epoch, 1u);
+}
+
+TEST(ServiceTest, StatsCountRequestsPerType) {
+  InfluenceService service(RandomInstance(18), DefaultConfig(),
+                           TestOptions());
+  service.Execute(SolveRequestFor(WireAlgorithm::kPinVO, 1));
+  Request probe;
+  probe.type = RequestType::kProbe;
+  probe.probe.location = Point{1.0, 2.0};
+  service.Execute(probe);
+  service.Execute(probe);
+
+  Request stats;
+  stats.type = RequestType::kStats;
+  const Response response = service.Execute(stats);
+  ASSERT_EQ(response.type, ResponseType::kStats);
+  EXPECT_EQ(response.stats.solve_requests, 1u);
+  EXPECT_EQ(response.stats.probe_requests, 2u);
+  EXPECT_EQ(response.stats.stats_requests, 1u);
+  EXPECT_EQ(response.stats.epoch, 1u);
+  EXPECT_EQ(response.stats.snapshot_swaps, 0u);
+  EXPECT_GE(response.stats.uptime_seconds, 0.0);
+}
+
+TEST(ServiceTest, CoalescedUpdatesBuildMonotonicEpochs) {
+  InfluenceService service(RandomInstance(19), DefaultConfig(),
+                           TestOptions());
+  for (int round = 0; round < 5; ++round) {
+    Request request;
+    request.type = RequestType::kUpdate;
+    UpdateObject object;
+    object.object_id = static_cast<uint32_t>(10000 + round);
+    object.positions = {{round * 10.0, round * 20.0}};
+    request.update.objects.push_back(object);
+    const Response response = service.Execute(request);
+    ASSERT_EQ(response.type, ResponseType::kUpdate);
+  }
+  service.DrainUpdates();
+  const SnapshotPtr snap = service.snapshot();
+  // Bursts may coalesce into fewer swaps, but every accepted object must
+  // be present and the epoch must have advanced at least once.
+  EXPECT_GE(snap->epoch, 2u);
+  EXPECT_LE(snap->epoch, 6u);
+  size_t appended = 0;
+  for (const MovingObject& object : snap->instance.objects) {
+    if (object.id >= 10000) ++appended;
+  }
+  EXPECT_EQ(appended, 5u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pinocchio

@@ -507,6 +507,14 @@ FuzzSummary RunFuzzRange(uint64_t seed_begin, uint64_t seed_end,
                          const FuzzOptions& options, std::ostream* progress) {
   FuzzSummary summary;
   for (uint64_t seed = seed_begin; seed < seed_end; ++seed) {
+    if (options.should_stop != nullptr && options.should_stop()) {
+      summary.interrupted = true;
+      if (progress != nullptr) {
+        *progress << "interrupted after " << summary.cases_run
+                  << " cases\n";
+      }
+      break;
+    }
     FuzzCaseResult result = RunFuzzCase(seed, options);
     ++summary.cases_run;
     if (!result.ok()) {

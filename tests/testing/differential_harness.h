@@ -56,6 +56,10 @@ struct FuzzOptions {
   /// incremental, streaming, classical baselines). The core ten-solver
   /// differential always runs.
   bool check_auxiliary = true;
+  /// Polled between cases; returning true stops the sweep early with the
+  /// partial summary (FuzzSummary::interrupted set). The fuzz driver
+  /// wires this to ShutdownRequested() so Ctrl-C still reports what ran.
+  bool (*should_stop)() = nullptr;
 };
 
 struct FuzzCaseResult {
@@ -80,6 +84,8 @@ struct FuzzSummary {
   uint64_t cases_run = 0;
   /// Results of the failing seeds only.
   std::vector<FuzzCaseResult> failures;
+  /// True when options.should_stop ended the sweep before seed_end.
+  bool interrupted = false;
 
   bool ok() const { return failures.empty(); }
 };

@@ -5,16 +5,30 @@
 // default) every pruning and validation decision is additionally
 // re-verified in-solver via the PINOCCHIO_SELF_CHECK machinery.
 //
+// --protocol=N switches to fuzzing the serving layer's wire codec
+// instead: N seeds each drive an encode/decode round-trip check on a
+// randomized request and response, a mutation pass (bit flips and
+// truncations must decode cleanly or be rejected — never crash), and a
+// garbage frame through the FrameAssembler.
+//
+// SIGINT/SIGTERM stops either sweep at the next case boundary and still
+// prints the partial summary.
+//
 // Exit status: 0 when every case passes, 1 on any failure, 2 on bad usage.
 
 #include <cstdint>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "prob/influence_kernel_simd.h"
+#include "serve/protocol.h"
 #include "testing/differential_harness.h"
 #include "util/flags.h"
+#include "util/random.h"
 #include "util/self_check.h"
+#include "util/shutdown.h"
 
 namespace {
 
@@ -29,10 +43,305 @@ constexpr char kUsage[] = R"(Usage: fuzz_driver [flags]
   --check_auxiliary=BOOL
                        Also exercise streaming/incremental/weighted/
                        multi-facility paths (default true).
+  --protocol=N         Fuzz the wire-protocol codec for N seeds instead of
+                       the solvers (round-trips, mutations, garbage).
   --help               Show this message.
 
 Replay a failure by re-running its seed: --seed_begin=S --seed_end=S+1.
 )";
+
+using namespace pinocchio;
+using namespace pinocchio::serve;
+
+// ------------------------------------------------------- protocol fuzzing
+
+Point RandomPoint(Rng* rng) {
+  return Point{rng->Uniform(-1e6, 1e6), rng->Uniform(-1e6, 1e6)};
+}
+
+Request RandomRequest(Rng* rng) {
+  Request request;
+  switch (rng->UniformInt(0, 5)) {
+    case 0:
+      request.type = RequestType::kSolve;
+      request.solve.algorithm =
+          static_cast<WireAlgorithm>(rng->UniformInt(0, 2));
+      request.solve.top_k = static_cast<uint32_t>(rng->UniformInt(0, 1000));
+      break;
+    case 1:
+      request.type = RequestType::kTopK;
+      request.top_k.k = static_cast<uint32_t>(rng->UniformInt(0, 1000));
+      break;
+    case 2:
+      request.type = RequestType::kProbe;
+      request.probe.location = RandomPoint(rng);
+      break;
+    case 3:
+      request.type = RequestType::kWhatIf;
+      request.what_if.tau = rng->NextDouble();
+      request.what_if.rho = rng->NextDouble();
+      request.what_if.lambda = rng->Uniform(0.0, 4.0);
+      request.what_if.top_k = static_cast<uint32_t>(rng->UniformInt(0, 64));
+      break;
+    case 4: {
+      request.type = RequestType::kUpdate;
+      const int objects = static_cast<int>(rng->UniformInt(0, 4));
+      for (int i = 0; i < objects; ++i) {
+        UpdateObject object;
+        object.object_id = static_cast<uint32_t>(rng->UniformInt(0, 1 << 20));
+        const int positions = static_cast<int>(rng->UniformInt(1, 8));
+        for (int j = 0; j < positions; ++j) {
+          object.positions.push_back(RandomPoint(rng));
+        }
+        request.update.objects.push_back(std::move(object));
+      }
+      const int candidates = static_cast<int>(rng->UniformInt(0, 4));
+      for (int i = 0; i < candidates; ++i) {
+        request.update.candidates.push_back(RandomPoint(rng));
+      }
+      break;
+    }
+    default:
+      request.type = RequestType::kStats;
+      break;
+  }
+  return request;
+}
+
+Response RandomResponse(Rng* rng) {
+  Response response;
+  switch (rng->UniformInt(0, 4)) {
+    case 0:
+      response.type = ResponseType::kError;
+      response.error.code = static_cast<ErrorCode>(rng->UniformInt(1, 6));
+      response.error.message.assign(
+          static_cast<size_t>(rng->UniformInt(0, 64)), 'x');
+      break;
+    case 1: {
+      response.type = ResponseType::kSolve;
+      SolveResponse& s = response.solve;
+      s.epoch = rng->Next();
+      s.num_objects = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.num_candidates = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.best_candidate = static_cast<uint32_t>(rng->UniformInt(0, 1 << 20));
+      s.best_influence = rng->UniformInt(-10, 1 << 20);
+      s.solve_seconds = rng->NextDouble();
+      const int k = static_cast<int>(rng->UniformInt(0, 32));
+      for (int i = 0; i < k; ++i) {
+        s.topk.push_back(
+            RankedCandidate{static_cast<uint32_t>(rng->UniformInt(0, 1 << 20)),
+                            rng->UniformInt(0, 1 << 20)});
+      }
+      break;
+    }
+    case 2:
+      response.type = ResponseType::kProbe;
+      response.probe.epoch = rng->Next();
+      response.probe.num_objects =
+          static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      response.probe.influence = rng->UniformInt(0, 1 << 20);
+      response.probe.solve_seconds = rng->NextDouble();
+      break;
+    case 3:
+      response.type = ResponseType::kUpdate;
+      response.update.epoch = rng->Next();
+      response.update.pending_updates =
+          static_cast<uint64_t>(rng->UniformInt(0, 64));
+      response.update.accepted = rng->UniformInt(0, 1) == 1;
+      break;
+    default:
+      response.type = ResponseType::kStats;
+      response.stats.epoch = rng->Next();
+      response.stats.uptime_seconds = rng->NextDouble() * 1e4;
+      break;
+  }
+  return response;
+}
+
+bool RequestsEqual(const Request& a, const Request& b);
+bool ResponsesEqual(const Response& a, const Response& b);
+
+bool PointsEqual(const Point& a, const Point& b) {
+  // Bit-identical, not approximately equal: the codec memcpy's IEEE
+  // patterns, so any difference is a codec bug.
+  return a.x == b.x && a.y == b.y;
+}
+
+bool RequestsEqual(const Request& a, const Request& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case RequestType::kSolve:
+      return a.solve.algorithm == b.solve.algorithm &&
+             a.solve.top_k == b.solve.top_k;
+    case RequestType::kTopK:
+      return a.top_k.k == b.top_k.k;
+    case RequestType::kProbe:
+      return PointsEqual(a.probe.location, b.probe.location);
+    case RequestType::kWhatIf:
+      return a.what_if.tau == b.what_if.tau &&
+             a.what_if.rho == b.what_if.rho &&
+             a.what_if.lambda == b.what_if.lambda &&
+             a.what_if.top_k == b.what_if.top_k;
+    case RequestType::kUpdate: {
+      if (a.update.objects.size() != b.update.objects.size() ||
+          a.update.candidates.size() != b.update.candidates.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.update.objects.size(); ++i) {
+        const UpdateObject& x = a.update.objects[i];
+        const UpdateObject& y = b.update.objects[i];
+        if (x.object_id != y.object_id ||
+            x.positions.size() != y.positions.size()) {
+          return false;
+        }
+        for (size_t j = 0; j < x.positions.size(); ++j) {
+          if (!PointsEqual(x.positions[j], y.positions[j])) return false;
+        }
+      }
+      for (size_t i = 0; i < a.update.candidates.size(); ++i) {
+        if (!PointsEqual(a.update.candidates[i], b.update.candidates[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case RequestType::kStats:
+      return true;
+  }
+  return false;
+}
+
+bool ResponsesEqual(const Response& a, const Response& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case ResponseType::kError:
+      return a.error.code == b.error.code &&
+             a.error.message == b.error.message;
+    case ResponseType::kSolve: {
+      const SolveResponse& x = a.solve;
+      const SolveResponse& y = b.solve;
+      if (x.epoch != y.epoch || x.num_objects != y.num_objects ||
+          x.num_candidates != y.num_candidates ||
+          x.best_candidate != y.best_candidate ||
+          x.best_influence != y.best_influence ||
+          x.solve_seconds != y.solve_seconds ||
+          x.topk.size() != y.topk.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < x.topk.size(); ++i) {
+        if (x.topk[i].candidate != y.topk[i].candidate ||
+            x.topk[i].influence != y.topk[i].influence) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ResponseType::kProbe:
+      return a.probe.epoch == b.probe.epoch &&
+             a.probe.num_objects == b.probe.num_objects &&
+             a.probe.influence == b.probe.influence &&
+             a.probe.solve_seconds == b.probe.solve_seconds;
+    case ResponseType::kUpdate:
+      return a.update.epoch == b.update.epoch &&
+             a.update.pending_updates == b.update.pending_updates &&
+             a.update.accepted == b.update.accepted;
+    case ResponseType::kStats:
+      return a.stats.epoch == b.stats.epoch &&
+             a.stats.uptime_seconds == b.stats.uptime_seconds &&
+             a.stats.solve_requests == b.stats.solve_requests;
+  }
+  return false;
+}
+
+/// One protocol fuzz case: returns a failure description, or "" on pass.
+std::string RunProtocolCase(uint64_t seed) {
+  Rng rng(seed);
+
+  // Round-trip: encode -> frame-assemble -> decode must reproduce the
+  // message bit-for-bit.
+  const Request request = RandomRequest(&rng);
+  const std::vector<uint8_t> request_frame = EncodeRequest(request);
+  const Response response = RandomResponse(&rng);
+  const std::vector<uint8_t> response_frame = EncodeResponse(response);
+
+  FrameAssembler assembler;
+  assembler.Append(request_frame);
+  assembler.Append(response_frame);
+  const auto request_body = assembler.NextFrame();
+  const auto response_body = assembler.NextFrame();
+  if (!request_body.has_value() || !response_body.has_value()) {
+    return "assembler failed to split back-to-back frames";
+  }
+  if (assembler.buffered_bytes() != 0) return "assembler retained bytes";
+  std::string error;
+  const auto request2 = DecodeRequest(*request_body, &error);
+  if (!request2.has_value()) return "request decode failed: " + error;
+  if (!RequestsEqual(request, *request2)) return "request round-trip drift";
+  const auto response2 = DecodeResponse(*response_body, &error);
+  if (!response2.has_value()) return "response decode failed: " + error;
+  if (!ResponsesEqual(response, *response2)) {
+    return "response round-trip drift";
+  }
+
+  // Every truncation of a valid body must be rejected or decode cleanly
+  // (never crash); same for random bit flips.
+  const std::vector<uint8_t> body(request_frame.begin() + 4,
+                                  request_frame.end());
+  for (size_t len = 0; len < body.size(); ++len) {
+    (void)DecodeRequest(std::span(body.data(), len));
+    (void)DecodeResponse(std::span(body.data(), len));
+  }
+  std::vector<uint8_t> mutated = body;
+  const int flips = static_cast<int>(rng.UniformInt(1, 16));
+  for (int i = 0; i < flips; ++i) {
+    const auto pos =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(
+                                                  mutated.size() - 1)));
+    mutated[pos] ^= static_cast<uint8_t>(1u << rng.UniformInt(0, 7));
+    (void)DecodeRequest(mutated);
+    (void)DecodeResponse(mutated);
+  }
+
+  // Garbage through the assembler: random bytes must never produce a
+  // frame longer than the cap and must poison on an oversized prefix.
+  FrameAssembler garbage;
+  const int chunks = static_cast<int>(rng.UniformInt(1, 4));
+  for (int i = 0; i < chunks; ++i) {
+    std::vector<uint8_t> noise(
+        static_cast<size_t>(rng.UniformInt(0, 256)));
+    for (uint8_t& byte : noise) {
+      byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    garbage.Append(noise);
+    while (const auto frame = garbage.NextFrame()) {
+      if (frame->size() > kMaxFrameBody) return "oversized frame emitted";
+      (void)DecodeRequest(*frame);
+      (void)DecodeResponse(*frame);
+    }
+  }
+  return "";
+}
+
+int RunProtocolFuzz(uint64_t cases) {
+  uint64_t run = 0;
+  uint64_t failures = 0;
+  for (uint64_t seed = 1; seed <= cases; ++seed) {
+    if (ShutdownRequested()) {
+      std::cerr << "interrupted after " << run << " cases\n";
+      break;
+    }
+    const std::string failure = RunProtocolCase(seed);
+    ++run;
+    if (!failure.empty()) {
+      ++failures;
+      std::cerr << "protocol seed " << seed << " FAILED: " << failure
+                << "\n";
+    }
+  }
+  std::cerr << "protocol fuzz done: " << run << " cases, " << failures
+            << " failures\n";
+  return failures == 0 ? 0 : 1;
+}
 
 }  // namespace
 
@@ -51,13 +360,21 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.UnknownFlags({"seed_begin", "seed_end",
                                            "reproducer_dir", "self_check",
-                                           "check_auxiliary", "help"});
+                                           "check_auxiliary", "protocol",
+                                           "help"});
   if (!unknown.empty()) {
     for (const std::string& name : unknown) {
       std::cerr << "error: unknown flag --" << name << "\n";
     }
     std::cerr << kUsage;
     return 2;
+  }
+
+  pinocchio::InstallShutdownHandlers();
+
+  if (const int64_t protocol_cases = flags.GetInt("protocol", 0);
+      protocol_cases > 0) {
+    return RunProtocolFuzz(static_cast<uint64_t>(protocol_cases));
   }
 
   const auto seed_begin =
@@ -74,6 +391,7 @@ int main(int argc, char** argv) {
   pinocchio::testing_diff::FuzzOptions options;
   options.reproducer_dir = flags.GetString("reproducer_dir", "");
   options.check_auxiliary = flags.GetBool("check_auxiliary", true);
+  options.should_stop = &pinocchio::ShutdownRequested;
 
   std::cerr << "fuzzing seeds [" << seed_begin << ", " << seed_end
             << "), self_check="
@@ -83,7 +401,8 @@ int main(int argc, char** argv) {
   const pinocchio::testing_diff::FuzzSummary summary =
       pinocchio::testing_diff::RunFuzzRange(seed_begin, seed_end, options,
                                             &std::cerr);
-  std::cerr << "done: " << summary.cases_run << " cases, "
+  std::cerr << "done: " << summary.cases_run << " cases"
+            << (summary.interrupted ? " (interrupted)" : "") << ", "
             << summary.failures.size() << " failures\n";
   return summary.ok() ? 0 : 1;
 }

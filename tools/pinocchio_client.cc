@@ -1,0 +1,269 @@
+// pinocchio_client — one-shot CLI for the influence query server.
+//
+// Connects to a running pinocchio_server, issues a single request named
+// by --op, prints the response as human-readable text (or a single JSON
+// object with --json) and exits. Exit code 0 on a successful response,
+// 1 on a server-side error response, 2 on usage errors, 3 on transport
+// failure.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace pinocchio;
+using namespace pinocchio::serve;
+
+constexpr char kUsage[] = R"(Usage: pinocchio_client --op=OP [flags]
+
+  --host=ADDR       Server address (default 127.0.0.1).
+  --port=N          Server port (default 7741).
+  --json            Print the response as one JSON object.
+
+Operations (--op=...):
+  solve             Full solve. --algo=pin-vo|pin|naive, --k=N ranking size.
+  topk              Top-k ranking. --k=N.
+  probe             Influence at a point. --x=F --y=F.
+  whatif            Solve under altered parameters without committing
+                    them: --tau=F --rho=F --lambda=F --k=N.
+  update            Append a candidate location: --x=F --y=F. (Object
+                    updates are exercised by the load generator.)
+  stats             Server statistics.
+)";
+
+void JsonField(std::ostream& out, bool* first, const char* key, double v) {
+  out << (*first ? "" : ", ") << '"' << key << "\": " << v;
+  *first = false;
+}
+
+void JsonField(std::ostream& out, bool* first, const char* key,
+               unsigned long long v) {
+  out << (*first ? "" : ", ") << '"' << key << "\": " << v;
+  *first = false;
+}
+
+void JsonField(std::ostream& out, bool* first, const char* key,
+               const std::string& v) {
+  out << (*first ? "" : ", ") << '"' << key << "\": \"" << v << '"';
+  *first = false;
+}
+
+int PrintResponse(const Response& response, bool json) {
+  std::ostringstream out;
+  bool first = true;
+  switch (response.type) {
+    case ResponseType::kError:
+      if (json) {
+        out << "{";
+        JsonField(out, &first, "error",
+                  std::string(ErrorCodeName(response.error.code)));
+        JsonField(out, &first, "message", response.error.message);
+        out << "}";
+        std::cout << out.str() << "\n";
+      } else {
+        std::cerr << "server error (" << ErrorCodeName(response.error.code)
+                  << "): " << response.error.message << "\n";
+      }
+      return 1;
+    case ResponseType::kSolve: {
+      const SolveResponse& s = response.solve;
+      if (json) {
+        out << "{";
+        JsonField(out, &first, "epoch", (unsigned long long)s.epoch);
+        JsonField(out, &first, "num_objects",
+                  (unsigned long long)s.num_objects);
+        JsonField(out, &first, "num_candidates",
+                  (unsigned long long)s.num_candidates);
+        JsonField(out, &first, "best_candidate",
+                  (unsigned long long)s.best_candidate);
+        out << ", \"best_influence\": " << s.best_influence;
+        JsonField(out, &first, "solve_seconds", s.solve_seconds);
+        out << ", \"topk\": [";
+        for (size_t i = 0; i < s.topk.size(); ++i) {
+          out << (i ? ", " : "") << "[" << s.topk[i].candidate << ", "
+              << s.topk[i].influence << "]";
+        }
+        out << "]}";
+      } else {
+        out << "epoch " << s.epoch << " (" << s.num_objects << " objects, "
+            << s.num_candidates << " candidates)\n"
+            << "best candidate " << s.best_candidate << " influence "
+            << s.best_influence << " in " << s.solve_seconds << " s\n";
+        for (size_t i = 0; i < s.topk.size(); ++i) {
+          out << "  #" << (i + 1) << "  candidate " << s.topk[i].candidate
+              << "  influence " << s.topk[i].influence << "\n";
+        }
+      }
+      std::cout << out.str() << (json ? "\n" : "");
+      return 0;
+    }
+    case ResponseType::kProbe: {
+      const ProbeResponse& p = response.probe;
+      if (json) {
+        out << "{";
+        JsonField(out, &first, "epoch", (unsigned long long)p.epoch);
+        JsonField(out, &first, "num_objects",
+                  (unsigned long long)p.num_objects);
+        out << ", \"influence\": " << p.influence;
+        JsonField(out, &first, "solve_seconds", p.solve_seconds);
+        out << "}";
+      } else {
+        out << "epoch " << p.epoch << ": influence " << p.influence
+            << " of " << p.num_objects << " objects in " << p.solve_seconds
+            << " s";
+      }
+      std::cout << out.str() << "\n";
+      return 0;
+    }
+    case ResponseType::kUpdate: {
+      const UpdateResponse& u = response.update;
+      if (json) {
+        out << "{";
+        JsonField(out, &first, "epoch", (unsigned long long)u.epoch);
+        JsonField(out, &first, "pending_updates",
+                  (unsigned long long)u.pending_updates);
+        out << ", \"accepted\": " << (u.accepted ? "true" : "false") << "}";
+      } else {
+        out << (u.accepted ? "accepted" : "rejected") << " at epoch "
+            << u.epoch << " (" << u.pending_updates
+            << " updates pending rebuild)";
+      }
+      std::cout << out.str() << "\n";
+      return u.accepted ? 0 : 1;
+    }
+    case ResponseType::kStats: {
+      const StatsResponse& s = response.stats;
+      if (json) {
+        out << "{";
+        JsonField(out, &first, "epoch", (unsigned long long)s.epoch);
+        JsonField(out, &first, "num_objects",
+                  (unsigned long long)s.num_objects);
+        JsonField(out, &first, "num_candidates",
+                  (unsigned long long)s.num_candidates);
+        JsonField(out, &first, "snapshot_swaps",
+                  (unsigned long long)s.snapshot_swaps);
+        JsonField(out, &first, "pending_updates",
+                  (unsigned long long)s.pending_updates);
+        JsonField(out, &first, "solve_requests",
+                  (unsigned long long)s.solve_requests);
+        JsonField(out, &first, "topk_requests",
+                  (unsigned long long)s.topk_requests);
+        JsonField(out, &first, "probe_requests",
+                  (unsigned long long)s.probe_requests);
+        JsonField(out, &first, "whatif_requests",
+                  (unsigned long long)s.whatif_requests);
+        JsonField(out, &first, "update_requests",
+                  (unsigned long long)s.update_requests);
+        JsonField(out, &first, "stats_requests",
+                  (unsigned long long)s.stats_requests);
+        JsonField(out, &first, "error_responses",
+                  (unsigned long long)s.error_responses);
+        JsonField(out, &first, "uptime_seconds", s.uptime_seconds);
+        out << "}";
+      } else {
+        out << "epoch " << s.epoch << ", " << s.num_objects << " objects, "
+            << s.num_candidates << " candidates, " << s.snapshot_swaps
+            << " swaps, " << s.pending_updates << " pending updates\n"
+            << "solve " << s.solve_requests << "  topk " << s.topk_requests
+            << "  probe " << s.probe_requests << "  whatif "
+            << s.whatif_requests << "  update " << s.update_requests
+            << "  stats " << s.stats_requests << "  errors "
+            << s.error_responses << "\nuptime " << s.uptime_seconds << " s";
+      }
+      std::cout << out.str() << "\n";
+      return 0;
+    }
+  }
+  std::cerr << "unexpected response type\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto unknown = flags.UnknownFlags({"op", "host", "port", "json",
+                                           "algo", "k", "x", "y", "tau",
+                                           "rho", "lambda", "help"});
+  if (!unknown.empty() || !flags.errors().empty()) {
+    for (const std::string& name : unknown) {
+      std::cerr << "error: unknown flag --" << name << "\n";
+    }
+    for (const std::string& error : flags.errors()) {
+      std::cerr << "error: " << error << "\n";
+    }
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  const auto op = flags.GetString("op");
+  if (!op.has_value()) {
+    std::cerr << "--op is required\n" << kUsage;
+    return 2;
+  }
+
+  Request request;
+  if (*op == "solve") {
+    request.type = RequestType::kSolve;
+    const std::string algo = flags.GetString("algo", "pin-vo");
+    if (algo == "pin-vo") {
+      request.solve.algorithm = WireAlgorithm::kPinVO;
+    } else if (algo == "pin") {
+      request.solve.algorithm = WireAlgorithm::kPin;
+    } else if (algo == "naive") {
+      request.solve.algorithm = WireAlgorithm::kNaive;
+    } else {
+      std::cerr << "unknown --algo '" << algo << "'\n";
+      return 2;
+    }
+    request.solve.top_k = static_cast<uint32_t>(flags.GetInt("k", 1));
+  } else if (*op == "topk") {
+    request.type = RequestType::kTopK;
+    request.top_k.k = static_cast<uint32_t>(flags.GetInt("k", 5));
+  } else if (*op == "probe") {
+    request.type = RequestType::kProbe;
+    request.probe.location =
+        Point{flags.GetDouble("x", 0.0), flags.GetDouble("y", 0.0)};
+  } else if (*op == "whatif") {
+    request.type = RequestType::kWhatIf;
+    request.what_if.tau = flags.GetDouble("tau", 0.7);
+    request.what_if.rho = flags.GetDouble("rho", 0.9);
+    request.what_if.lambda = flags.GetDouble("lambda", 1.0);
+    request.what_if.top_k = static_cast<uint32_t>(flags.GetInt("k", 1));
+  } else if (*op == "update") {
+    request.type = RequestType::kUpdate;
+    request.update.candidates.push_back(
+        Point{flags.GetDouble("x", 0.0), flags.GetDouble("y", 0.0)});
+  } else if (*op == "stats") {
+    request.type = RequestType::kStats;
+  } else {
+    std::cerr << "unknown --op '" << *op << "'\n" << kUsage;
+    return 2;
+  }
+
+  BlockingClient client;
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(flags.GetInt("port", 7741));
+  if (!client.Connect(host, port, /*timeout_seconds=*/5.0)) {
+    std::cerr << "cannot connect to " << host << ":" << port << "\n";
+    return 3;
+  }
+  std::string error;
+  const auto response = client.Call(request, &error);
+  if (!response.has_value()) {
+    std::cerr << "transport error: " << error << "\n";
+    return 3;
+  }
+  return PrintResponse(*response, flags.GetBool("json", false));
+}

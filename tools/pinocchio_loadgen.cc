@@ -1,0 +1,347 @@
+// pinocchio_loadgen — closed-loop load generator for pinocchio_server.
+//
+// Opens --connections TCP connections, each driven by its own thread
+// issuing a deterministic mixed stream of requests (topk / probe /
+// what-if / update / solve / stats, weights set by --mix) back-to-back
+// until --duration elapses. Per-request wall latency is recorded by
+// class; at the end the merged distributions are printed as p50/p95/p99
+// plus overall QPS, and — when $PINOCCHIO_BENCH_JSON is set — appended
+// as JSON lines named "BM_ServerLatency/<class>" whose "seconds" field
+// is the class p99, which scripts/check_bench_regression.py gates
+// against bench/baselines/server-baseline.jsonl.
+//
+// SIGINT/SIGTERM stops the run early and still flushes the partial
+// stats: a cancelled run reports what it measured instead of nothing.
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/shutdown.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+
+namespace {
+
+using namespace pinocchio;
+using namespace pinocchio::serve;
+
+constexpr char kUsage[] = R"(Usage: pinocchio_loadgen [flags]
+
+  --host=ADDR        Server address (default 127.0.0.1).
+  --port=N           Server port (default 7741).
+  --connections=N    Concurrent connections, one thread each (default 4).
+  --duration=F       Seconds to run (default 5).
+  --seed=N           Mix/point seed; runs are deterministic per seed (7).
+  --mix=SPEC         Comma-separated class:weight list (default
+                     "topk:30,probe:30,whatif:15,update:5,solve:15,stats:5").
+  --extent-km=F      Probe/update points are drawn uniformly from
+                     [0, extent]^2 km (default 39, the Foursquare extent).
+  --k=N              Ranking size for topk/solve/whatif requests (5).
+
+Set PINOCCHIO_BENCH_JSON=FILE to append machine-readable results.
+)";
+
+// Request classes in a fixed order so reports and JSONL are stable.
+enum Class : size_t {
+  kClassTopK = 0,
+  kClassProbe,
+  kClassWhatIf,
+  kClassUpdate,
+  kClassSolve,
+  kClassStats,
+  kNumClasses,
+};
+
+const char* const kClassNames[kNumClasses] = {"topk",   "probe", "whatif",
+                                              "update", "solve", "stats"};
+
+struct WorkerResult {
+  std::vector<double> latencies[kNumClasses];  // seconds per request
+  uint64_t transport_errors = 0;
+  uint64_t error_responses = 0;
+};
+
+struct RunConfig {
+  std::string host;
+  uint16_t port = 7741;
+  double duration_seconds = 5.0;
+  uint64_t seed = 7;
+  double extent_meters = 39000.0;
+  uint32_t k = 5;
+  std::vector<double> weights;  // size kNumClasses
+};
+
+Request MakeRequest(Class cls, const RunConfig& config, Rng* rng,
+                    uint32_t* next_object_id) {
+  Request request;
+  switch (cls) {
+    case kClassTopK:
+      request.type = RequestType::kTopK;
+      request.top_k.k = config.k;
+      break;
+    case kClassProbe:
+      request.type = RequestType::kProbe;
+      request.probe.location = Point{rng->Uniform(0.0, config.extent_meters),
+                                     rng->Uniform(0.0, config.extent_meters)};
+      break;
+    case kClassWhatIf:
+      request.type = RequestType::kWhatIf;
+      request.what_if.tau = rng->Uniform(0.5, 0.9);
+      request.what_if.rho = rng->Uniform(0.7, 0.95);
+      request.what_if.lambda = rng->Uniform(0.8, 1.2);
+      request.what_if.top_k = config.k;
+      break;
+    case kClassUpdate: {
+      request.type = RequestType::kUpdate;
+      UpdateObject object;
+      object.object_id = (*next_object_id)++;
+      const int positions = static_cast<int>(rng->UniformInt(2, 6));
+      for (int i = 0; i < positions; ++i) {
+        object.positions.push_back(
+            Point{rng->Uniform(0.0, config.extent_meters),
+                  rng->Uniform(0.0, config.extent_meters)});
+      }
+      request.update.objects.push_back(std::move(object));
+      break;
+    }
+    case kClassSolve:
+      request.type = RequestType::kSolve;
+      request.solve.algorithm = WireAlgorithm::kPinVO;
+      request.solve.top_k = config.k;
+      break;
+    case kClassStats:
+    default:
+      request.type = RequestType::kStats;
+      break;
+  }
+  return request;
+}
+
+void RunWorker(const RunConfig& config, size_t worker_index,
+               WorkerResult* result) {
+  BlockingClient client;
+  if (!client.Connect(config.host, config.port, /*timeout_seconds=*/5.0)) {
+    ++result->transport_errors;
+    return;
+  }
+  Rng rng(config.seed * 0x9e3779b9ull + worker_index + 1);
+  // Object ids appended by this worker must not collide across workers;
+  // carve out a generous per-worker range above typical dataset sizes.
+  uint32_t next_object_id =
+      static_cast<uint32_t>(1u << 24) +
+      static_cast<uint32_t>(worker_index) * (1u << 16);
+
+  Stopwatch run_clock;
+  Stopwatch request_clock;
+  uint64_t issued = 0;
+  while (run_clock.ElapsedSeconds() < config.duration_seconds &&
+         !ShutdownRequested()) {
+    // The first kNumClasses requests cover every class once so that even
+    // the shortest run reports all distributions; afterwards the mix is
+    // sampled from the configured weights.
+    const Class cls = issued < kNumClasses
+                          ? static_cast<Class>(issued)
+                          : static_cast<Class>(rng.Categorical(config.weights));
+    ++issued;
+    const Request request = MakeRequest(cls, config, &rng, &next_object_id);
+    request_clock.Restart();
+    std::string error;
+    const auto response = client.Call(request, &error);
+    if (!response.has_value()) {
+      ++result->transport_errors;
+      // The connection is gone (server draining, most likely); stop.
+      break;
+    }
+    result->latencies[cls].push_back(request_clock.ElapsedSeconds());
+    if (response->type == ResponseType::kError) ++result->error_responses;
+  }
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double q) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+bool ParseMix(const std::string& spec, std::vector<double>* weights,
+              std::string* error) {
+  weights->assign(kNumClasses, 0.0);
+  for (const std::string& part : Split(spec, ',')) {
+    const size_t colon = part.find(':');
+    double weight = 0.0;
+    if (colon == std::string::npos ||
+        !ParseDouble(part.substr(colon + 1), &weight) || weight < 0.0) {
+      *error = "malformed mix entry '" + part + "'";
+      return false;
+    }
+    const std::string name = part.substr(0, colon);
+    bool known = false;
+    for (size_t cls = 0; cls < kNumClasses; ++cls) {
+      if (name == kClassNames[cls]) {
+        (*weights)[cls] = weight;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      *error = "unknown request class '" + name + "'";
+      return false;
+    }
+  }
+  double total = 0.0;
+  for (double w : *weights) total += w;
+  if (total <= 0.0) {
+    *error = "mix has no positive weight";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto unknown = flags.UnknownFlags({"host", "port", "connections",
+                                           "duration", "seed", "mix",
+                                           "extent-km", "k", "help"});
+  if (!unknown.empty() || !flags.errors().empty()) {
+    for (const std::string& name : unknown) {
+      std::cerr << "error: unknown flag --" << name << "\n";
+    }
+    for (const std::string& error : flags.errors()) {
+      std::cerr << "error: " << error << "\n";
+    }
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  RunConfig config;
+  config.host = flags.GetString("host", "127.0.0.1");
+  config.port = static_cast<uint16_t>(flags.GetInt("port", 7741));
+  config.duration_seconds = flags.GetDouble("duration", 5.0);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  config.extent_meters = flags.GetDouble("extent-km", 39.0) * 1000.0;
+  config.k = static_cast<uint32_t>(flags.GetInt("k", 5));
+  const auto num_connections =
+      static_cast<size_t>(flags.GetInt("connections", 4));
+  if (num_connections == 0 || config.duration_seconds <= 0.0) {
+    std::cerr << "--connections and --duration must be positive\n";
+    return 2;
+  }
+  std::string mix_error;
+  if (!ParseMix(flags.GetString(
+                    "mix", "topk:30,probe:30,whatif:15,update:5,solve:15,"
+                           "stats:5"),
+                &config.weights, &mix_error)) {
+    std::cerr << "error: " << mix_error << "\n";
+    return 2;
+  }
+
+  InstallShutdownHandlers();
+
+  std::cout << "load: " << num_connections << " connections, "
+            << config.duration_seconds << " s against " << config.host << ":"
+            << config.port << " (seed " << config.seed << ")\n";
+
+  std::vector<WorkerResult> results(num_connections);
+  std::vector<std::thread> workers;
+  workers.reserve(num_connections);
+  Stopwatch wall;
+  for (size_t i = 0; i < num_connections; ++i) {
+    workers.emplace_back(RunWorker, std::cref(config), i, &results[i]);
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+  const bool interrupted = ShutdownRequested();
+
+  // ------------------------------------------------------------- report
+  std::vector<double> merged[kNumClasses];
+  uint64_t transport_errors = 0;
+  uint64_t error_responses = 0;
+  uint64_t total_requests = 0;
+  for (const WorkerResult& r : results) {
+    transport_errors += r.transport_errors;
+    error_responses += r.error_responses;
+    for (size_t cls = 0; cls < kNumClasses; ++cls) {
+      merged[cls].insert(merged[cls].end(), r.latencies[cls].begin(),
+                         r.latencies[cls].end());
+      total_requests += r.latencies[cls].size();
+    }
+  }
+  if (total_requests == 0) {
+    std::cerr << "no requests completed (server unreachable?)\n";
+    return 1;
+  }
+  const double qps = static_cast<double>(total_requests) / elapsed;
+
+  if (interrupted) std::cout << "(interrupted — partial results)\n";
+  std::cout << "\n  class    count      p50          p95          p99\n";
+  struct ClassSummary {
+    uint64_t count;
+    double p50, p95, p99;
+  } summaries[kNumClasses];
+  for (size_t cls = 0; cls < kNumClasses; ++cls) {
+    ClassSummary& s = summaries[cls];
+    s.count = merged[cls].size();
+    s.p50 = Percentile(&merged[cls], 0.50);
+    s.p95 = Percentile(&merged[cls], 0.95);
+    s.p99 = Percentile(&merged[cls], 0.99);
+    std::ostringstream row;
+    row.setf(std::ios::fixed);
+    row.precision(3);
+    row << "  " << kClassNames[cls];
+    for (size_t pad = row.str().size(); pad < 11; ++pad) row << ' ';
+    row << s.count << "\t" << s.p50 * 1e3 << " ms\t" << s.p95 * 1e3
+        << " ms\t" << s.p99 * 1e3 << " ms";
+    std::cout << row.str() << "\n";
+  }
+  std::cout << "\n  " << total_requests << " requests in " << elapsed
+            << " s = " << qps << " req/s; " << error_responses
+            << " error responses, " << transport_errors
+            << " transport errors\n";
+
+  if (const char* path = std::getenv("PINOCCHIO_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+      std::cerr << "cannot open PINOCCHIO_BENCH_JSON=" << path << "\n";
+    } else {
+      out << std::setprecision(9);
+      for (size_t cls = 0; cls < kNumClasses; ++cls) {
+        const ClassSummary& s = summaries[cls];
+        if (s.count == 0) continue;
+        out << "{\"name\":\"BM_ServerLatency/" << kClassNames[cls] << "\""
+            << ",\"seconds\":" << s.p99 << ",\"p50_seconds\":" << s.p50
+            << ",\"p95_seconds\":" << s.p95 << ",\"count\":" << s.count
+            << "}\n";
+      }
+      out << "{\"name\":\"ServerThroughput\",\"qps\":" << qps
+          << ",\"requests\":" << total_requests
+          << ",\"duration_seconds\":" << elapsed
+          << ",\"connections\":" << num_connections
+          << ",\"interrupted\":" << (interrupted ? "true" : "false")
+          << "}\n";
+    }
+  }
+  return transport_errors == 0 ? 0 : 1;
+}
