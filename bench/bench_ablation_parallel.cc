@@ -1,58 +1,138 @@
-// Parallel-solver ablation: speedup of the multi-threaded NA and PINOCCHIO
-// variants over their sequential counterparts across thread counts.
-// (An engineering extension; the paper's prototype is single-threaded.)
+// Morsel-engine scaling curve: PIN-P and PIN-VO-P against their sequential
+// counterparts across thread counts {1, 2, 4, hardware}, on one shared
+// PreparedInstance so only the query phase is timed. (An engineering
+// extension; the paper's prototype is single-threaded.)
+//
+// Emits google-benchmark-style JSON lines to $PINOCCHIO_BENCH_JSON —
+// "BM_ParallelScaling/PIN/<threads>" and "BM_ParallelScaling/PINVO/<threads>"
+// with speedup/efficiency fields — which scripts/check_bench_regression.py
+// gates in CI (--min-parallel-efficiency). Exits nonzero if any parallel
+// result diverges from the sequential solver: the engine's contract is
+// bit-identity at every thread count.
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "parallel/parallel_solvers.h"
+#include "util/stopwatch.h"
 
 namespace pinocchio {
 namespace bench {
 namespace {
 
+constexpr int kReps = 3;
+
+/// Best-of-kReps query time for `solver` on the shared prepared state.
+double TimeSolve(Solver& solver, const PreparedInstance& prepared,
+                 SolverResult* result) {
+  *result = solver.Solve(prepared);  // warm-up, and the result we compare
+  double best = result->stats.solve_seconds;
+  for (int i = 1; i < kReps; ++i) {
+    Stopwatch watch;
+    const SolverResult repeat = solver.Solve(prepared);
+    best = std::min(best, watch.ElapsedSeconds());
+    if (repeat.influence != result->influence) {
+      std::cerr << "[ablation_parallel] NON-DETERMINISM: " << solver.Name()
+                << " disagreed with itself across repetitions\n";
+      std::exit(1);
+    }
+  }
+  return best;
+}
+
+bool SameResult(const SolverResult& a, const SolverResult& b) {
+  return a.influence == b.influence && a.ranking == b.ranking &&
+         a.best_candidate == b.best_candidate &&
+         a.best_influence == b.best_influence;
+}
+
 void Main() {
   const BenchContext ctx = BenchContext::FromEnv();
   ctx.Announce("ablation_parallel");
-  std::cout << "  hardware concurrency: "
-            << std::thread::hardware_concurrency() << "\n";
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "  hardware concurrency: " << hardware << "\n";
 
   const CheckinDataset dataset = MakeGowalla(ctx);
   const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
   const ProblemInstance instance = MakeInstance(dataset, m, ctx.seed);
-  const SolverConfig config = DefaultConfig();
+  const PreparedInstance prepared(instance, DefaultConfig());
 
-  const SolverResult na_seq = NaiveSolver().Solve(instance, config);
-  const SolverResult pin_seq = PinocchioSolver().Solve(instance, config);
+  // Thread rungs: the canonical 1/2/4 curve plus whatever this machine
+  // actually has, deduplicated and sorted so tables read monotonically.
+  std::vector<size_t> rungs = {1, 2, 4, hardware};
+  std::sort(rungs.begin(), rungs.end());
+  rungs.erase(std::unique(rungs.begin(), rungs.end()), rungs.end());
 
-  TablePrinter table("Parallel speedup (Gowalla)",
-                     {"threads", "NA-P", "speedup", "PIN-P", "speedup",
-                      "results agree"});
-  table.AddRow({"1 (seq)", FormatSeconds(na_seq.stats.elapsed_seconds), "1.0x",
-                FormatSeconds(pin_seq.stats.elapsed_seconds), "1.0x", "-"});
-  for (size_t threads : {2u, 4u, 8u}) {
-    const SolverResult na_par =
-        ParallelNaiveSolver(threads).Solve(instance, config);
-    const SolverResult pin_par =
-        ParallelPinocchioSolver(threads).Solve(instance, config);
-    const bool agree = na_par.influence == na_seq.influence &&
-                       pin_par.influence == pin_seq.influence;
-    table.AddRow(
-        {std::to_string(threads),
-         FormatSeconds(na_par.stats.elapsed_seconds),
-         FormatDouble(na_seq.stats.elapsed_seconds /
-                          std::max(1e-9, na_par.stats.elapsed_seconds),
-                      1) +
-             "x",
-         FormatSeconds(pin_par.stats.elapsed_seconds),
-         FormatDouble(pin_seq.stats.elapsed_seconds /
-                          std::max(1e-9, pin_par.stats.elapsed_seconds),
-                      1) +
-             "x",
-         agree ? "yes" : "NO"});
+  PinocchioSolver pin_seq_solver;
+  PinocchioVOSolver vo_seq_solver;
+  SolverResult pin_seq, vo_seq;
+  const double pin_seq_seconds = TimeSolve(pin_seq_solver, prepared, &pin_seq);
+  const double vo_seq_seconds = TimeSolve(vo_seq_solver, prepared, &vo_seq);
+
+  const char* json_path = std::getenv("PINOCCHIO_BENCH_JSON");
+  std::ofstream json;
+  if (json_path != nullptr && *json_path != '\0') {
+    json.open(json_path, std::ios::app);
+    if (!json) {
+      std::cerr << "[bench] cannot open PINOCCHIO_BENCH_JSON=" << json_path
+                << "\n";
+    }
+  }
+
+  TablePrinter table("Morsel-engine scaling (Gowalla, best of 3)",
+                     {"threads", "PIN-P", "speedup", "eff", "PIN-VO-P",
+                      "speedup", "eff", "agree"});
+  table.AddRow({"seq", FormatSeconds(pin_seq_seconds), "1.0x", "-",
+                FormatSeconds(vo_seq_seconds), "1.0x", "-", "-"});
+
+  bool all_agree = true;
+  for (const size_t threads : rungs) {
+    ParallelPinocchioSolver pin_par_solver(threads);
+    ParallelPinocchioVOSolver vo_par_solver(threads);
+    SolverResult pin_par, vo_par;
+    const double pin_seconds = TimeSolve(pin_par_solver, prepared, &pin_par);
+    const double vo_seconds = TimeSolve(vo_par_solver, prepared, &vo_par);
+
+    const bool agree = SameResult(pin_par, pin_seq) && SameResult(vo_par, vo_seq);
+    all_agree = all_agree && agree;
+    const double pin_speedup =
+        pin_seconds > 0.0 ? pin_seq_seconds / pin_seconds : 0.0;
+    const double vo_speedup =
+        vo_seconds > 0.0 ? vo_seq_seconds / vo_seconds : 0.0;
+    const double pin_eff = pin_speedup / static_cast<double>(threads);
+    const double vo_eff = vo_speedup / static_cast<double>(threads);
+
+    table.AddRow({std::to_string(threads), FormatSeconds(pin_seconds),
+                  FormatDouble(pin_speedup, 2) + "x", FormatDouble(pin_eff, 2),
+                  FormatSeconds(vo_seconds),
+                  FormatDouble(vo_speedup, 2) + "x", FormatDouble(vo_eff, 2),
+                  agree ? "yes" : "NO"});
+
+    if (json.is_open()) {
+      json << "{\"name\": \"BM_ParallelScaling/PIN/" << threads
+           << "\", \"seconds\": " << pin_seconds << ", \"threads\": " << threads
+           << ", \"speedup\": " << pin_speedup
+           << ", \"efficiency\": " << pin_eff
+           << ", \"hardware_concurrency\": " << hardware << "}\n";
+      json << "{\"name\": \"BM_ParallelScaling/PINVO/" << threads
+           << "\", \"seconds\": " << vo_seconds << ", \"threads\": " << threads
+           << ", \"speedup\": " << vo_speedup
+           << ", \"efficiency\": " << vo_eff
+           << ", \"hardware_concurrency\": " << hardware << "}\n";
+    }
   }
   table.Print(std::cout);
+
+  if (!all_agree) {
+    std::cerr << "[ablation_parallel] RESULT MISMATCH: a parallel solver "
+                 "diverged from its sequential counterpart\n";
+    std::exit(1);
+  }
 }
 
 }  // namespace

@@ -12,7 +12,14 @@ bench/baselines/bench-baseline.jsonl and fails (exit 1) when
     (default 1.25, i.e. >25% slower than the baseline), or
   * the SIMD filter's speedup over the full-scan scalar reference on the
     n=780 case (machine-independent, taken from the fresh run's own
-    "speedup_vs_scalar" field) fell below --min-simd-speedup (default 2.0).
+    "speedup_vs_scalar" field) fell below --min-simd-speedup (default 2.0),
+    or
+  * with --min-parallel-efficiency set, the morsel engine's parallel
+    efficiency (speedup / threads, from the fresh run's own "efficiency"
+    field on BM_ParallelScaling/PIN/<--parallel-threads>) fell below the
+    floor. The gate self-skips when the fresh run's recorded
+    "hardware_concurrency" is below --parallel-threads: a 1-core runner
+    cannot demonstrate 4-way scaling and must not fail for it.
 
 Only names matching --filter (default "BM_Validation") are pinned; other
 lines ride along in the artifact but are not gated. Regenerate the
@@ -67,6 +74,13 @@ def main():
     parser.add_argument("--min-simd-speedup", type=float, default=2.0,
                         help="required BM_ValidationSimd/780 speedup over "
                              "the scalar reference (0 disables)")
+    parser.add_argument("--min-parallel-efficiency", type=float, default=0.0,
+                        help="required parallel efficiency (speedup/threads) "
+                             "on BM_ParallelScaling/PIN at --parallel-threads "
+                             "(0 disables; skipped when the runner has fewer "
+                             "cores than --parallel-threads)")
+    parser.add_argument("--parallel-threads", type=int, default=4,
+                        help="thread rung the efficiency floor applies to")
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline from the fresh run "
                              "instead of gating")
@@ -136,6 +150,33 @@ def main():
                     failures.append(
                         f"BM_ValidationSimd/780 speedup {speedup:.2f}x below "
                         f"the {args.min_simd_speedup:.2f}x floor")
+
+    if args.min_parallel_efficiency > 0:
+        name = f"BM_ParallelScaling/PIN/{args.parallel_threads}"
+        entry = fresh.get(name)
+        if entry is None:
+            failures.append(f"{name} missing from the fresh run; cannot "
+                            "verify the parallel efficiency floor")
+        else:
+            hardware = entry.get("hardware_concurrency")
+            efficiency = entry.get("efficiency")
+            if isinstance(hardware, (int, float)) and \
+                    hardware < args.parallel_threads:
+                print(f"  {name}: runner has {hardware:.0f} cores < "
+                      f"{args.parallel_threads} threads; efficiency gate "
+                      "skipped")
+            elif not isinstance(efficiency, (int, float)):
+                failures.append(f"{name} carries no 'efficiency' field")
+            else:
+                verdict = "ok" if efficiency >= args.min_parallel_efficiency \
+                    else "FAIL"
+                print(f"  {name}: parallel efficiency {efficiency:.2f} "
+                      f"(floor {args.min_parallel_efficiency:.2f}) "
+                      f"[{verdict}]")
+                if efficiency < args.min_parallel_efficiency:
+                    failures.append(
+                        f"{name} efficiency {efficiency:.2f} below the "
+                        f"{args.min_parallel_efficiency:.2f} floor")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

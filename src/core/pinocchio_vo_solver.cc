@@ -2,48 +2,58 @@
 
 #include <algorithm>
 #include <numeric>
-#include <queue>
 #include <utility>
 
 #include "core/prepared_instance.h"
-#include "core/prune_pipeline.h"
 #include "prob/influence_kernel.h"
-#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace pinocchio {
-namespace {
 
-// Running k-th-largest tracker for the generalised maxminInf cut-off.
-// With capacity 1 this is exactly the paper's global maxminInf.
-class CutoffTracker {
- public:
-  explicit CutoffTracker(size_t capacity) : capacity_(capacity) {
-    PINO_CHECK_GT(capacity, 0u);
-  }
+namespace vo_internal {
 
-  void Push(int64_t lower_bound) {
-    if (heap_.size() < capacity_) {
-      heap_.push(lower_bound);
-    } else if (lower_bound > heap_.top()) {
-      heap_.pop();
-      heap_.push(lower_bound);
+void ValidateBoundOrdered(
+    const PreparedInstance& prepared, const InfluenceKernel& kernel,
+    std::span<const uint32_t> order,
+    FunctionRef<std::span<const uint32_t>(uint32_t)> verification_set,
+    size_t top_k, std::vector<int64_t>* min_inf, std::vector<int64_t>* max_inf,
+    SolverResult* result) {
+  const ObjectStore& store = prepared.store();
+  CutoffTracker cutoff(std::min(top_k, order.size()));
+
+  for (uint32_t j : order) {
+    // Strategy 1 stop: every remaining candidate has maxInf no larger than
+    // this one's, so none can beat the k-th best validated influence.
+    if (cutoff.Saturated() && (*max_inf)[j] < cutoff.Value()) break;
+    ++result->stats.heap_pops;
+
+    const Point& c = prepared.candidate(j);
+    for (uint32_t rec_idx : verification_set(j)) {
+      // Strategy 1 mid-validation abort (Algorithm 3 lines 25-26).
+      if (cutoff.Saturated() && (*max_inf)[j] < cutoff.Value()) {
+        ++result->stats.strategy1_cutoffs;
+        break;
+      }
+      ++result->stats.pairs_validated;
+
+      // Strategy 2: the kernel scans the record's arena span until Lemma 4
+      // decides influence.
+      const InfluenceDecision decision =
+          kernel.Decide(c, store.positions(rec_idx));
+      result->stats.positions_scanned += decision.positions_seen;
+      if (decision.decided_early) ++result->stats.early_stops;
+
+      if (decision.influenced) {
+        ++(*min_inf)[j];
+      } else {
+        --(*max_inf)[j];
+      }
     }
+    cutoff.Push((*min_inf)[j]);
   }
+}
 
-  /// True once `capacity` bounds have been recorded; before that no
-  /// candidate may be discarded.
-  bool Saturated() const { return heap_.size() >= capacity_; }
-
-  /// The current cut-off (k-th largest recorded bound).
-  int64_t Value() const { return heap_.empty() ? 0 : heap_.top(); }
-
- private:
-  size_t capacity_;
-  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<>> heap_;
-};
-
-}  // namespace
+}  // namespace vo_internal
 
 SolverResult PinocchioVOSolver::Solve(const PreparedInstance& prepared) const {
   const SolverConfig& config = prepared.config();
@@ -111,46 +121,17 @@ SolverResult PinocchioVOSolver::Solve(const PreparedInstance& prepared) const {
   // ------------------------------------------------------------- validate
   // Max-heap over candidates ordered by maxInf, then minInf (Algorithm 3
   // line 13); realised as a sorted order since bounds of waiting candidates
-  // do not change once the prune phase is over.
+  // do not change once the prune phase is over. OrderBefore is a strict
+  // total order (index tie-break), so plain sort equals the stable sort of
+  // the (maxInf, minInf) key over the ascending-index input.
   std::vector<uint32_t> order(m);
-  for (size_t j = 0; j < m; ++j) order[j] = static_cast<uint32_t>(j);
-  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    if (max_inf[a] != max_inf[b]) return max_inf[a] > max_inf[b];
-    return min_inf[a] > min_inf[b];
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return vo_internal::OrderBefore(min_inf, max_inf, a, b);
   });
 
-  CutoffTracker cutoff(std::min(config.top_k, m));
-
-  for (uint32_t j : order) {
-    // Strategy 1 stop: every remaining candidate has maxInf no larger than
-    // this one's, so none can beat the k-th best validated influence.
-    if (cutoff.Saturated() && max_inf[j] < cutoff.Value()) break;
-    ++result.stats.heap_pops;
-
-    const Point& c = prepared.candidate(j);
-    for (uint32_t rec_idx : verification_set(j)) {
-      // Strategy 1 mid-validation abort (Algorithm 3 lines 25-26).
-      if (cutoff.Saturated() && max_inf[j] < cutoff.Value()) {
-        ++result.stats.strategy1_cutoffs;
-        break;
-      }
-      ++result.stats.pairs_validated;
-
-      // Strategy 2: the kernel scans the record's arena span until Lemma 4
-      // decides influence.
-      const InfluenceDecision decision =
-          kernel.Decide(c, store.positions(rec_idx));
-      result.stats.positions_scanned += decision.positions_seen;
-      if (decision.decided_early) ++result.stats.early_stops;
-
-      if (decision.influenced) {
-        ++min_inf[j];
-      } else {
-        --max_inf[j];
-      }
-    }
-    cutoff.Push(min_inf[j]);
-  }
+  vo_internal::ValidateBoundOrdered(prepared, kernel, order, verification_set,
+                                    config.top_k, &min_inf, &max_inf, &result);
 
   // minInf is exact for every fully validated candidate and a valid lower
   // bound for the rest; by construction the k best exact values dominate

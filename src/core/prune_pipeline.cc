@@ -6,10 +6,46 @@
 #include "index/grid_index.h"
 #include "prob/influence.h"
 #include "prob/influence_kernel.h"
+#include "prob/prune_filter_simd.h"
 #include "util/self_check.h"
 
 namespace pinocchio {
 namespace {
+
+/// Batches below this size run the exact scalar predicates directly: the
+/// fixed cost of gathering the batch outweighs the vector savings.
+constexpr size_t kMinBatchForPruneFilter = 8;
+
+/// Per-record scratch for the batched filter path, reused across the
+/// records of one Classify/PruneAndValidate call.
+struct PruneScratch {
+  std::vector<RTreeEntry> entries;
+  std::vector<Point> points;
+  std::vector<PruneLaneClass> classes;
+};
+
+/// Exact scalar classification of one candidate (the reference the filter
+/// must agree with).
+PruneLaneClass ClassifyExact(const ObjectRecord& rec, const Point& p) {
+  if (!rec.nib.Contains(p)) return PruneLaneClass::kOutside;
+  if (!rec.ia.IsEmpty() && rec.ia.Contains(p)) {
+    return PruneLaneClass::kIaCertified;
+  }
+  return PruneLaneClass::kRemnant;
+}
+
+void ReportPruneFilterViolation(const ObjectRecord& rec, const RTreeEntry& e,
+                                PruneLaneClass filter_class,
+                                PruneLaneClass exact_class) {
+  std::ostringstream msg;
+  msg.precision(17);
+  msg << "prune filter violated its certificate: candidate " << e.id
+      << " at (" << e.point.x << ", " << e.point.y << ") classified "
+      << static_cast<int>(filter_class) << " but exact predicates say "
+      << static_cast<int>(exact_class) << " (minMaxRadius "
+      << rec.min_max_radius << ")";
+  ReportSelfCheckViolation(msg.str());
+}
 
 void ReportClassificationViolation(const char* lemma, const RTreeEntry& entry,
                                    const InfluenceKernel& kernel,
@@ -52,27 +88,75 @@ void AuditClassification(const Index& index, const InfluenceArcsRegion& ia,
 }
 
 // The single QueryRect site of the prune phase: one record against every
-// candidate of `index`, instantiated for each candidate-index type.
+// candidate of `index`, instantiated for each candidate-index type. With a
+// filter (tiers above kScalar) the range-query hits are gathered and
+// classified as a SIMD batch; kUndecided lanes — and every lane under
+// self-check — are re-derived with the exact region predicates, so the
+// dispatched classes (and their visit order) are identical to the scalar
+// path on every input.
 template <typename Index>
 void ClassifyRecord(const Index& index, const ObjectStore& store,
                     const ObjectRecord& rec, uint32_t record_index,
                     size_t num_candidates, SolverStats* stats, bool self_check,
-                    const InfluenceKernel& kernel, const PruneIaFn& ia_certified,
+                    const InfluenceKernel& kernel,
+                    const SimdPruneFilter* filter, PruneScratch* scratch,
+                    const PruneIaFn& ia_certified,
                     const PruneRemnantFn& remnant) {
   if (self_check) {
     AuditClassification(index, rec.ia, rec.nib, kernel, store.positions(rec));
   }
   int64_t inside_nib = 0;
-  index.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
-    if (!rec.nib.Contains(e.point)) return;  // Lemma 3
+  const auto dispatch = [&](const RTreeEntry& e, PruneLaneClass cls) {
+    if (cls == PruneLaneClass::kOutside) return;  // Lemma 3
     ++inside_nib;
-    if (!rec.ia.IsEmpty() && rec.ia.Contains(e.point)) {  // Lemma 2
+    if (cls == PruneLaneClass::kIaCertified) {  // Lemma 2
       if (stats != nullptr) ++stats->pairs_pruned_by_ia;
       ia_certified(e, record_index);
     } else {
       remnant(e, record_index);
     }
-  });
+  };
+
+  bool batched = false;
+  if (filter != nullptr) {
+    scratch->entries.clear();
+    index.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
+      scratch->entries.push_back(e);
+    });
+    batched = scratch->entries.size() >= kMinBatchForPruneFilter;
+    if (batched) {
+      const size_t n = scratch->entries.size();
+      scratch->points.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        scratch->points[i] = scratch->entries[i].point;
+      }
+      scratch->classes.resize(n);
+      filter->Classify(rec.mbr, rec.min_max_radius, rec.ia.IsEmpty(),
+                       scratch->points, scratch->classes.data());
+      for (size_t i = 0; i < n; ++i) {
+        const RTreeEntry& e = scratch->entries[i];
+        PruneLaneClass cls = scratch->classes[i];
+        if (cls == PruneLaneClass::kUndecided) {
+          cls = ClassifyExact(rec, e.point);
+        } else if (self_check) {
+          const PruneLaneClass exact = ClassifyExact(rec, e.point);
+          if (exact != cls) {
+            ReportPruneFilterViolation(rec, e, cls, exact);
+            cls = exact;
+          }
+        }
+        dispatch(e, cls);
+      }
+    } else {
+      for (const RTreeEntry& e : scratch->entries) {
+        dispatch(e, ClassifyExact(rec, e.point));
+      }
+    }
+  } else {
+    index.QueryRect(rec.nib.BoundingBox(), [&](const RTreeEntry& e) {
+      dispatch(e, ClassifyExact(rec, e.point));
+    });
+  }
   if (stats != nullptr) {
     stats->pairs_pruned_by_nib +=
         static_cast<int64_t>(num_candidates) - inside_nib;
@@ -86,9 +170,14 @@ void ClassifyImpl(const Index& index, const ObjectStore& store,
                   SolverStats* stats, const PruneIaFn& ia_certified,
                   const PruneRemnantFn& remnant) {
   const bool self_check = SelfCheckEnabled();
+  const SimdPruneFilter filter(kernel.simd_tier());
+  const SimdPruneFilter* filter_ptr =
+      filter.tier() == SimdTier::kScalar ? nullptr : &filter;
+  PruneScratch scratch;
   for (uint32_t k = first_record; k < last_record; ++k) {
     ClassifyRecord(index, store, store.records()[k], k, num_candidates, stats,
-                   self_check, kernel, ia_certified, remnant);
+                   self_check, kernel, filter_ptr, &scratch, ia_certified,
+                   remnant);
   }
 }
 
@@ -98,6 +187,10 @@ void PruneAndValidateImpl(const Index& index, const ObjectStore& store,
                           uint32_t last_record, std::span<int64_t> influence,
                           SolverStats* stats) {
   const bool self_check = SelfCheckEnabled();
+  const SimdPruneFilter filter(kernel.simd_tier());
+  const SimdPruneFilter* filter_ptr =
+      filter.tier() == SimdTier::kScalar ? nullptr : &filter;
+  PruneScratch scratch;
   // Per-object scratch, reused across records: the remnant set stays tiny
   // relative to the candidate count whenever pruning bites.
   std::vector<Point> remnant_points;
@@ -109,6 +202,7 @@ void PruneAndValidateImpl(const Index& index, const ObjectStore& store,
     remnant_ids.clear();
     ClassifyRecord(
         index, store, rec, k, influence.size(), stats, self_check, kernel,
+        filter_ptr, &scratch,
         [&](const RTreeEntry& e, uint32_t) { ++influence[e.id]; },
         [&](const RTreeEntry& e, uint32_t) {
           remnant_points.push_back(e.point);

@@ -1,10 +1,14 @@
 #include "parallel/parallel_solvers.h"
 
+#include <algorithm>
+#include <numeric>
 #include <sstream>
+#include <utility>
 
+#include "core/pinocchio_vo_solver.h"
 #include "core/prepared_instance.h"
 #include "core/prune_pipeline.h"
-#include "parallel/thread_pool.h"
+#include "parallel/morsel_scheduler.h"
 #include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -12,14 +16,68 @@
 namespace pinocchio {
 namespace {
 
-size_t ResolveThreads(size_t requested) {
-  return requested == 0 ? ThreadPool::DefaultThreadCount() : requested;
+/// Candidates per NA morsel: each candidate costs a full position scan, so
+/// even small ranges amortise the claim CAS while stealing stays fine.
+constexpr size_t kNaiveCandidatesPerMorsel = 8;
+
+/// Morsels dealt per worker; >1 so drained workers find work to steal.
+constexpr size_t kMorselsPerWorker = 4;
+
+/// Per-worker accumulator, padded to its own cache lines so the hot
+/// per-pair counter increments of one worker never invalidate another's.
+struct alignas(128) WorkerAccumulator {
+  std::vector<int64_t> influence;
+  SolverStats stats;
+  int64_t positions_scanned = 0;
+};
+
+/// Tournament (winner-tree) merge of per-shard sorted runs under the
+/// strict total order `before`. Because the order has no ties and the
+/// shards partition the candidate ids, the merged sequence equals a global
+/// sort of the concatenated input — the sequential solver's order.
+template <typename Before>
+std::vector<uint32_t> TournamentMerge(
+    const std::vector<std::vector<uint32_t>>& runs, size_t total,
+    const Before& before) {
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  const size_t s = runs.size();
+  std::vector<uint32_t> out;
+  out.reserve(total);
+  if (s == 0) return out;
+
+  size_t leaves = 1;
+  while (leaves < s) leaves <<= 1;
+  std::vector<size_t> tree(2 * leaves, kNone);  // node -> winning run index
+  std::vector<size_t> pos(s, 0);
+
+  const auto exhausted = [&](size_t run) {
+    return run == kNone || pos[run] >= runs[run].size();
+  };
+  const auto winner = [&](size_t a, size_t b) {
+    if (exhausted(a)) return b;
+    if (exhausted(b)) return a;
+    return before(runs[a][pos[a]], runs[b][pos[b]]) ? a : b;
+  };
+
+  for (size_t i = 0; i < leaves; ++i) tree[leaves + i] = i < s ? i : kNone;
+  for (size_t i = leaves - 1; i >= 1; --i) {
+    tree[i] = winner(tree[2 * i], tree[2 * i + 1]);
+  }
+  while (!exhausted(tree[1])) {
+    const size_t run = tree[1];
+    out.push_back(runs[run][pos[run]]);
+    ++pos[run];
+    for (size_t node = (leaves + run) / 2; node >= 1; node /= 2) {
+      tree[node] = winner(tree[2 * node], tree[2 * node + 1]);
+    }
+  }
+  return out;
 }
 
 }  // namespace
 
 ParallelNaiveSolver::ParallelNaiveSolver(size_t num_threads)
-    : num_threads_(ResolveThreads(num_threads)) {}
+    : num_threads_(MorselScheduler(num_threads).num_threads()) {}
 
 std::string ParallelNaiveSolver::Name() const {
   std::ostringstream os;
@@ -37,23 +95,28 @@ SolverResult ParallelNaiveSolver::Solve(const PreparedInstance& prepared) const 
   const InfluenceKernel kernel(prepared.pf(), prepared.tau());
   const double tau = prepared.tau();
   const ObjectStore& store = prepared.store();
-  std::atomic<int64_t> positions_scanned{0};
-  ThreadPool pool(num_threads_);
-  ParallelForChunks(&pool, m, [&](size_t begin, size_t end) {
+
+  const MorselScheduler scheduler(num_threads_);
+  const std::vector<Morsel> morsels = PlanUniformMorsels(
+      m, kNaiveCandidatesPerMorsel, scheduler.num_threads() * kMorselsPerWorker);
+  std::vector<WorkerAccumulator> workers(scheduler.num_threads());
+  scheduler.Run(morsels, [&](size_t w, size_t, const Morsel& morsel) {
     int64_t local_positions = 0;
-    for (size_t j = begin; j < end; ++j) {
+    for (uint32_t j = morsel.first_record; j < morsel.last_record; ++j) {
       const Point& c = prepared.candidate(j);
       int64_t inf = 0;
       for (const ObjectRecord& rec : store.records()) {
         local_positions += static_cast<int64_t>(rec.position_count);
         if (kernel.Probability(c, store.positions(rec)) >= tau) ++inf;
       }
-      result.influence[j] = inf;  // exclusive slice: no synchronisation
+      result.influence[j] = inf;  // exclusive candidate range: no sync
     }
-    positions_scanned.fetch_add(local_positions, std::memory_order_relaxed);
+    workers[w].positions_scanned += local_positions;
   });
 
-  result.stats.positions_scanned = positions_scanned.load();
+  for (const WorkerAccumulator& w : workers) {
+    result.stats.positions_scanned += w.positions_scanned;
+  }
   result.stats.pairs_validated =
       static_cast<int64_t>(m) * static_cast<int64_t>(store.size());
   internal::FinalizeResultFromInfluence(&result);
@@ -62,7 +125,7 @@ SolverResult ParallelNaiveSolver::Solve(const PreparedInstance& prepared) const 
 }
 
 ParallelPinocchioSolver::ParallelPinocchioSolver(size_t num_threads)
-    : num_threads_(ResolveThreads(num_threads)) {}
+    : num_threads_(MorselScheduler(num_threads).num_threads()) {}
 
 std::string ParallelPinocchioSolver::Name() const {
   std::ostringstream os;
@@ -88,26 +151,141 @@ SolverResult ParallelPinocchioSolver::Solve(
   const ObjectStore& store = prepared.store();
   const RTree& rtree = prepared.candidate_rtree();
 
-  // Each worker runs the shared pipeline over its record slice into a
-  // private accumulator; merges are associative so the totals are
-  // bit-identical to the sequential solver.
-  ThreadPool pool(num_threads_);
-  std::mutex merge_mu;
-  ParallelForChunks(&pool, store.records().size(), [&](size_t begin,
-                                                       size_t end) {
-    std::vector<int64_t> influence(m, 0);
-    SolverStats stats;
-    PruneAndValidate(rtree, store, kernel, static_cast<uint32_t>(begin),
-                     static_cast<uint32_t>(end), influence, &stats);
-    std::lock_guard<std::mutex> lock(merge_mu);
-    for (size_t j = 0; j < m; ++j) result.influence[j] += influence[j];
-    result.stats.pairs_pruned_by_ia += stats.pairs_pruned_by_ia;
-    result.stats.pairs_pruned_by_nib += stats.pairs_pruned_by_nib;
-    result.stats.pairs_validated += stats.pairs_validated;
-    result.stats.positions_scanned += stats.positions_scanned;
-    result.stats.early_stops += stats.early_stops;
+  const MorselScheduler scheduler(num_threads_);
+  MorselPlanOptions plan;
+  plan.min_morsels = scheduler.num_threads() * kMorselsPerWorker;
+  const std::vector<Morsel> morsels = PlanMorsels(store, plan);
+
+  // Workers run the shared pipeline over stolen morsels into private
+  // accumulators; the merges below are associative integer sums, so the
+  // totals are bit-identical to the sequential solver regardless of which
+  // worker executed which morsel.
+  std::vector<WorkerAccumulator> workers(scheduler.num_threads());
+  for (WorkerAccumulator& w : workers) w.influence.assign(m, 0);
+  scheduler.Run(morsels, [&](size_t w, size_t, const Morsel& morsel) {
+    PruneAndValidate(rtree, store, kernel, morsel.first_record,
+                     morsel.last_record, workers[w].influence,
+                     &workers[w].stats);
   });
 
+  for (const WorkerAccumulator& w : workers) {
+    for (size_t j = 0; j < m; ++j) result.influence[j] += w.influence[j];
+    result.stats.pairs_pruned_by_ia += w.stats.pairs_pruned_by_ia;
+    result.stats.pairs_pruned_by_nib += w.stats.pairs_pruned_by_nib;
+    result.stats.pairs_validated += w.stats.pairs_validated;
+    result.stats.positions_scanned += w.stats.positions_scanned;
+    result.stats.early_stops += w.stats.early_stops;
+  }
+
+  internal::FinalizeResultFromInfluence(&result);
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
+  return result;
+}
+
+ParallelPinocchioVOSolver::ParallelPinocchioVOSolver(size_t num_threads)
+    : num_threads_(MorselScheduler(num_threads).num_threads()) {}
+
+std::string ParallelPinocchioVOSolver::Name() const {
+  std::ostringstream os;
+  os << "PIN-VO-P" << num_threads_;
+  return os.str();
+}
+
+SolverResult ParallelPinocchioVOSolver::Solve(
+    const PreparedInstance& prepared) const {
+  const SolverConfig& config = prepared.config();
+  PINO_CHECK_GT(config.top_k, 0u);
+  Stopwatch watch;
+  SolverResult result;
+  const size_t m = prepared.num_candidates();
+  const ObjectStore& store = prepared.store();
+  const auto r = static_cast<int64_t>(store.size());
+  result.influence.assign(m, 0);
+  result.influence_exact = false;
+  if (m == 0) {
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
+    return result;
+  }
+
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+  const RTree& rtree = prepared.candidate_rtree();
+  const MorselScheduler scheduler(num_threads_);
+
+  // -------------------------------------------------- phase 1: prune
+  // Morsel-parallel classification. minInf is a per-worker accumulator
+  // (additive, any order); remnant pairs go to per-morsel lists whose
+  // morsel-order concatenation reproduces the sequential (record-major,
+  // query-visit-minor) pair order exactly — the CSR built from it is
+  // byte-identical to the sequential solver's.
+  MorselPlanOptions plan;
+  plan.min_morsels = scheduler.num_threads() * kMorselsPerWorker;
+  const std::vector<Morsel> morsels = PlanMorsels(store, plan);
+
+  std::vector<WorkerAccumulator> workers(scheduler.num_threads());
+  for (WorkerAccumulator& w : workers) w.influence.assign(m, 0);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> morsel_pairs(
+      morsels.size());
+  scheduler.Run(morsels, [&](size_t w, size_t mi, const Morsel& morsel) {
+    WorkerAccumulator& acc = workers[w];
+    auto& pairs = morsel_pairs[mi];
+    ClassifyCandidates(
+        rtree, store, kernel, morsel.first_record, morsel.last_record, m,
+        &acc.stats, [&](const RTreeEntry& e, uint32_t) { ++acc.influence[e.id]; },
+        [&](const RTreeEntry& e, uint32_t k) { pairs.emplace_back(e.id, k); });
+  });
+
+  std::vector<int64_t> min_inf(m, 0);
+  for (const WorkerAccumulator& w : workers) {
+    for (size_t j = 0; j < m; ++j) min_inf[j] += w.influence[j];
+    result.stats.pairs_pruned_by_ia += w.stats.pairs_pruned_by_ia;
+    result.stats.pairs_pruned_by_nib += w.stats.pairs_pruned_by_nib;
+  }
+
+  std::vector<uint32_t> vs_offsets(m + 1, 0);
+  for (const auto& pairs : morsel_pairs) {
+    for (const auto& [cand, rec] : pairs) ++vs_offsets[cand + 1];
+  }
+  for (size_t j = 0; j < m; ++j) vs_offsets[j + 1] += vs_offsets[j];
+  std::vector<uint32_t> vs_data(vs_offsets[m]);
+  std::vector<uint32_t> cursor(vs_offsets.begin(), vs_offsets.end() - 1);
+  for (const auto& pairs : morsel_pairs) {
+    for (const auto& [cand, rec] : pairs) vs_data[cursor[cand]++] = rec;
+  }
+
+  std::vector<int64_t> max_inf(m, r);
+  for (size_t j = 0; j < m; ++j) {
+    max_inf[j] = min_inf[j] + (vs_offsets[j + 1] - vs_offsets[j]);
+  }
+
+  // -------------------------------------------------- phase 2: order
+  // Contention-free heap phase: each shard heapsorts its own candidate
+  // range (no shared heap, no locks), then a tournament tree merges the
+  // runs under vo_internal::OrderBefore — a strict total order, so the
+  // merged sequence equals the sequential solver's sorted order.
+  const auto before = [&](uint32_t a, uint32_t b) {
+    return vo_internal::OrderBefore(min_inf, max_inf, a, b);
+  };
+  const std::vector<Morsel> shards = PlanUniformMorsels(
+      m, (m + scheduler.num_threads() - 1) / scheduler.num_threads());
+  std::vector<std::vector<uint32_t>> runs(shards.size());
+  scheduler.Run(shards, [&](size_t, size_t si, const Morsel& shard) {
+    std::vector<uint32_t>& run = runs[si];
+    run.resize(shard.size());
+    std::iota(run.begin(), run.end(), shard.first_record);
+    std::make_heap(run.begin(), run.end(), before);
+    std::sort_heap(run.begin(), run.end(), before);
+  });
+  const std::vector<uint32_t> order = TournamentMerge(runs, m, before);
+
+  // -------------------------------------------------- phase 3: validate
+  const auto verification_set = [&](uint32_t j) -> std::span<const uint32_t> {
+    return std::span<const uint32_t>(vs_data).subspan(
+        vs_offsets[j], vs_offsets[j + 1] - vs_offsets[j]);
+  };
+  vo_internal::ValidateBoundOrdered(prepared, kernel, order, verification_set,
+                                    config.top_k, &min_inf, &max_inf, &result);
+
+  result.influence = std::move(min_inf);
   internal::FinalizeResultFromInfluence(&result);
   internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;

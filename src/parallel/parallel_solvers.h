@@ -1,8 +1,10 @@
 // Multi-threaded solver variants — an engineering extension beyond the
-// paper (its prototype is single-threaded): the exhaustive solver
-// parallelises over candidates, PINOCCHIO over objects with per-thread
-// influence accumulators merged at the end. Both return bit-identical
-// influence vectors to their sequential counterparts.
+// paper (its prototype is single-threaded). All three ride the morsel
+// scheduler (morsel_scheduler.h): work-stealing over position-count-sized
+// record ranges with per-worker accumulators merged once at the end, so
+// influence vectors stay bit-identical to the sequential counterparts by
+// construction (integer merges are associative, and order-sensitive state
+// is reassembled in morsel order).
 
 #ifndef PINOCCHIO_PARALLEL_PARALLEL_SOLVERS_H_
 #define PINOCCHIO_PARALLEL_PARALLEL_SOLVERS_H_
@@ -13,7 +15,8 @@
 
 namespace pinocchio {
 
-/// NA parallelised over candidates. `num_threads == 0` selects the
+/// NA parallelised over candidate-range morsels (candidates cost the same —
+/// a full scan — so uniform ranges balance). `num_threads == 0` selects the
 /// hardware concurrency.
 class ParallelNaiveSolver : public Solver {
  public:
@@ -28,13 +31,46 @@ class ParallelNaiveSolver : public Solver {
   size_t num_threads_;
 };
 
-/// PINOCCHIO (Algorithm 2) parallelised over objects: each worker runs the
-/// IA/NIB pruning and validation for a slice of the object store against
-/// the shared read-only candidate R-tree, accumulating influence and
-/// statistics thread-locally; the partial vectors are summed at the end.
+/// PINOCCHIO (Algorithm 2) parallelised over record morsels: each worker
+/// runs the shared prune pipeline (IA/NIB classification + validation) for
+/// stolen morsels against the read-only candidate R-tree, accumulating
+/// influence and statistics per worker; the partial vectors are summed once
+/// at the end (associative, hence bit-identical to sequential).
 class ParallelPinocchioSolver : public Solver {
  public:
   explicit ParallelPinocchioSolver(size_t num_threads = 0);
+
+  std::string Name() const override;
+
+  using Solver::Solve;
+  SolverResult Solve(const PreparedInstance& prepared) const override;
+
+ private:
+  size_t num_threads_;
+};
+
+/// PINOCCHIO-VO (Algorithm 3) with a morsel-parallel prune phase and a
+/// contention-free ordering phase, replaying the sequential solver's exact
+/// validation sequence:
+///
+///   1. Prune: record morsels classified in parallel; per-worker minInf
+///      accumulators are summed, and per-morsel remnant pair lists are
+///      concatenated in morsel order, reproducing the sequential pair order
+///      and hence a bit-identical verification-set CSR.
+///   2. Order: the candidate queue is built from per-shard heapsorts
+///      (contention-free: one heap per shard, no shared heap) merged by a
+///      tournament (loser) tree under the same strict total order the
+///      sequential solver sorts by — the merged order is identical.
+///   3. Validate: the cut-off-driven loop is order-dependent by design
+///      (Strategy 1's cut-off after candidate i gates candidate i+1), so it
+///      runs sequentially via the shared vo_internal::ValidateBoundOrdered.
+///
+/// Results — influence vector, ranking, best candidate and every stats
+/// counter — are bit-identical to PinocchioVOSolver on the same prepared
+/// instance; the differential fuzz harness enforces this.
+class ParallelPinocchioVOSolver : public Solver {
+ public:
+  explicit ParallelPinocchioVOSolver(size_t num_threads = 0);
 
   std::string Name() const override;
 

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "util/logging.h"
 
@@ -73,11 +74,24 @@ void ParallelForChunks(ThreadPool* pool, size_t count,
   // Over-decompose mildly so uneven chunks balance across workers.
   const size_t chunks = std::min(count, pool->num_threads() * 4);
   const size_t chunk_size = (count + chunks - 1) / chunks;
+  // A body exception must reach the caller, not std::terminate the worker:
+  // the first one is captured here and rethrown after the barrier (later
+  // chunks still run — the pool cannot retract submitted tasks).
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   for (size_t begin = 0; begin < count; begin += chunk_size) {
     const size_t end = std::min(count, begin + chunk_size);
-    pool->Submit([&body, begin, end] { body(begin, end); });
+    pool->Submit([&body, &error_mu, &first_error, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   pool->Wait();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace pinocchio

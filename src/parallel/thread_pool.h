@@ -53,6 +53,8 @@ class ThreadPool {
 /// Splits [0, count) into contiguous chunks and runs
 /// `body(begin, end)` for each chunk on the pool, blocking until all
 /// chunks are done. With a null pool or a single thread, runs inline.
+/// The first exception a body throws is rethrown here once every chunk
+/// has finished; the remaining chunks still run to completion.
 void ParallelForChunks(ThreadPool* pool, size_t count,
                        const std::function<void(size_t, size_t)>& body);
 

@@ -1,0 +1,82 @@
+// AVX2 tier of the prune filter: 4 candidate lanes per iteration. Compiled
+// with -mavx2 -mfma -ffp-contract=off in its own translation unit (see
+// src/prob/CMakeLists.txt); only explicit mul/add intrinsics appear here,
+// and contraction is off, so the per-lane q matches Mbr's scalar rounding
+// exactly — the certified thresholds' slack is pure safety margin.
+
+#include "prob/prune_filter_simd.h"
+
+#if defined(PINOCCHIO_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace pinocchio {
+namespace prune_internal {
+
+void ClassifyAvx2(const Mbr& mbr, const PruneThresholds& thresholds,
+                  bool ia_empty, const Point* points, size_t n,
+                  PruneLaneClass* out) {
+  const __m256d min_x = _mm256_set1_pd(mbr.min_x());
+  const __m256d max_x = _mm256_set1_pd(mbr.max_x());
+  const __m256d min_y = _mm256_set1_pd(mbr.min_y());
+  const __m256d max_y = _mm256_set1_pd(mbr.max_y());
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d accept = _mm256_set1_pd(thresholds.accept);
+  const __m256d reject = _mm256_set1_pd(thresholds.reject);
+
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // AoS -> SoA for four (x, y) pairs: regroup the 128-bit halves so the
+    // in-lane unpacks produce [x0 x1 x2 x3] / [y0 y1 y2 y3].
+    const __m256d a = _mm256_loadu_pd(&points[i].x);      // x0 y0 x1 y1
+    const __m256d b = _mm256_loadu_pd(&points[i + 2].x);  // x2 y2 x3 y3
+    const __m256d lo = _mm256_permute2f128_pd(a, b, 0x20);  // x0 y0 x2 y2
+    const __m256d hi = _mm256_permute2f128_pd(a, b, 0x31);  // x1 y1 x3 y3
+    const __m256d xs = _mm256_unpacklo_pd(lo, hi);
+    const __m256d ys = _mm256_unpackhi_pd(lo, hi);
+
+    const __m256d dx =
+        _mm256_max_pd(_mm256_max_pd(_mm256_sub_pd(min_x, xs), zero),
+                      _mm256_sub_pd(xs, max_x));
+    const __m256d dy =
+        _mm256_max_pd(_mm256_max_pd(_mm256_sub_pd(min_y, ys), zero),
+                      _mm256_sub_pd(ys, max_y));
+    const __m256d q_min =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+
+    const __m256d ax =
+        _mm256_max_pd(_mm256_and_pd(_mm256_sub_pd(xs, min_x), abs_mask),
+                      _mm256_and_pd(_mm256_sub_pd(xs, max_x), abs_mask));
+    const __m256d ay =
+        _mm256_max_pd(_mm256_and_pd(_mm256_sub_pd(ys, min_y), abs_mask),
+                      _mm256_and_pd(_mm256_sub_pd(ys, max_y), abs_mask));
+    const __m256d q_max =
+        _mm256_add_pd(_mm256_mul_pd(ax, ax), _mm256_mul_pd(ay, ay));
+
+    const int nib_in =
+        _mm256_movemask_pd(_mm256_cmp_pd(q_min, accept, _CMP_LE_OQ));
+    const int nib_out =
+        _mm256_movemask_pd(_mm256_cmp_pd(q_min, reject, _CMP_GT_OQ));
+    const int ia_in =
+        ia_empty ? 0
+                 : _mm256_movemask_pd(_mm256_cmp_pd(q_max, accept, _CMP_LE_OQ));
+    const int ia_out =
+        ia_empty ? 0xf
+                 : _mm256_movemask_pd(_mm256_cmp_pd(q_max, reject, _CMP_GT_OQ));
+    for (int lane = 0; lane < 4; ++lane) {
+      out[i + lane] =
+          CombineLane((nib_in >> lane) & 1, (nib_out >> lane) & 1,
+                      (ia_in >> lane) & 1, (ia_out >> lane) & 1);
+    }
+  }
+  if (i < n) {
+    ClassifyPortable(mbr, thresholds, ia_empty, points + i, n - i, out + i);
+  }
+}
+
+}  // namespace prune_internal
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_HAVE_AVX2

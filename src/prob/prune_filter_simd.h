@@ -1,0 +1,123 @@
+// SIMD filter-and-refine for the IA/NIB prune classification.
+//
+// The prune phase asks, per (record, candidate) pair, two membership
+// questions that share one radius r = minMaxRadius:
+//
+//   NIB (Lemma 3):  sqrt(fl(minDistSquared(mbr, p))) <= r
+//   IA  (Lemma 2):  sqrt(fl(maxDistSquared(mbr, p))) <= r
+//
+// The scalar predicates (geo/regions.cc) work in distance space because the
+// rim behaviour of sqrt matters for soundness. This filter answers both
+// questions for a whole batch of candidate points in squared space — no
+// sqrt, no per-point virtual dispatch — using two certified thresholds on
+// the squared distance q:
+//
+//   q <= accept  ==>  fl(sqrt(q')) <= r   for the scalar q'
+//   q >  reject  ==>  fl(sqrt(q')) >  r
+//
+// where accept = fl(r*r) nudged down and reject = fl(succ(r)^2) nudged up
+// by enough ulps to absorb (a) the monotone-rounding argument for sqrt and
+// (b) any few-ulp discrepancy between the vector q and the scalar q' (the
+// vector tiers mirror Mbr's exact operation sequence, so the discrepancy is
+// zero on strict-IEEE builds; the slack makes the certificate robust even
+// if a compiler contracts a multiply-add). Points whose q lands between the
+// thresholds — a band a few ulps wide around the rim — are kUndecided and
+// must be refined with the exact region predicates by the caller, so the
+// classification stays bit-identical to the scalar reference on every
+// input; the prune pipeline's self-check audits exactly that.
+//
+// Tier selection reuses the influence kernel's runtime dispatch
+// (influence_kernel_simd.h): kScalar disables the filter, kPortable runs
+// the threshold test on Mbr's own member functions, kSse2/kAvx2 vectorise
+// the distance arithmetic 2/4 candidate lanes wide.
+
+#ifndef PINOCCHIO_PROB_PRUNE_FILTER_SIMD_H_
+#define PINOCCHIO_PROB_PRUNE_FILTER_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+#include "prob/influence_kernel_simd.h"
+
+namespace pinocchio {
+
+/// Per-lane result of the batched prune classification.
+enum class PruneLaneClass : uint8_t {
+  kOutside = 0,      ///< certified outside the NIB (Lemma 3 prune)
+  kRemnant = 1,      ///< certified inside NIB, outside IA: needs validation
+  kIaCertified = 2,  ///< certified inside the IA (Lemma 2 influence)
+  kUndecided = 3,    ///< within ulps of a rim: refine with exact predicates
+};
+
+namespace prune_internal {
+
+/// Certified squared-distance thresholds for radius r (see file comment).
+/// Degenerate radii (negative sentinel, 0, values whose square leaves the
+/// normal range) yield never-firing thresholds — every lane comes back
+/// kUndecided and the exact predicates decide, which keeps the filter
+/// unconditionally sound.
+struct PruneThresholds {
+  double accept = -1.0;  ///< q <= accept certifies membership
+  double reject = 0.0;   ///< q >  reject certifies non-membership
+};
+
+PruneThresholds MakePruneThresholds(double radius);
+
+/// Combines the four conservative mask bits of one lane into its class.
+/// ia_in/ia_out must already account for an empty IA (in = false,
+/// out = true: the scalar path never certifies against an empty region).
+inline PruneLaneClass CombineLane(bool nib_in, bool nib_out, bool ia_in,
+                                  bool ia_out) {
+  if (nib_out) return PruneLaneClass::kOutside;
+  if (nib_in && ia_in) return PruneLaneClass::kIaCertified;
+  if (nib_in && ia_out) return PruneLaneClass::kRemnant;
+  return PruneLaneClass::kUndecided;
+}
+
+/// Tier entry points; each fills out[0, n). The portable tier evaluates the
+/// thresholds on Mbr::{Min,Max}DistSquared themselves (bit-identical q by
+/// construction); the vector tiers replay the same operation sequence in
+/// registers.
+void ClassifyPortable(const Mbr& mbr, const PruneThresholds& thresholds,
+                      bool ia_empty, const Point* points, size_t n,
+                      PruneLaneClass* out);
+#if defined(PINOCCHIO_SIMD_X86)
+void ClassifySse2(const Mbr& mbr, const PruneThresholds& thresholds,
+                  bool ia_empty, const Point* points, size_t n,
+                  PruneLaneClass* out);
+#endif
+#if defined(PINOCCHIO_HAVE_AVX2)
+void ClassifyAvx2(const Mbr& mbr, const PruneThresholds& thresholds,
+                  bool ia_empty, const Point* points, size_t n,
+                  PruneLaneClass* out);
+#endif
+
+}  // namespace prune_internal
+
+/// Stateless dispatcher: classify candidate points against one record's
+/// regions. `tier` should be the kernel's resolved tier so the prune and
+/// validation phases agree on one dispatch decision per solve.
+class SimdPruneFilter {
+ public:
+  explicit SimdPruneFilter(SimdTier tier) : tier_(tier) {}
+
+  SimdTier tier() const { return tier_; }
+
+  /// Fills out[i] for every points[i] against the record's MBR and
+  /// minMaxRadius. `ia_empty` is the record's ia.IsEmpty() (the IA can be
+  /// empty while the NIB is not; an empty NIB never reaches the filter —
+  /// its bounding box is empty, so the range query yields no batch).
+  /// kUndecided lanes carry no claim; callers refine them exactly.
+  void Classify(const Mbr& mbr, double min_max_radius, bool ia_empty,
+                std::span<const Point> points, PruneLaneClass* out) const;
+
+ private:
+  SimdTier tier_;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_PROB_PRUNE_FILTER_SIMD_H_

@@ -310,7 +310,8 @@ bool DecodeResponseBody(ByteReader* r, Response* out, std::string* error) {
           !r->U64(&s.topk_requests) || !r->U64(&s.probe_requests) ||
           !r->U64(&s.whatif_requests) || !r->U64(&s.update_requests) ||
           !r->U64(&s.stats_requests) || !r->U64(&s.error_responses) ||
-          !r->F64(&s.uptime_seconds)) {
+          !r->F64(&s.uptime_seconds) || !r->U64(&s.solve_threads) ||
+          !r->F64(&s.solve_busy_seconds)) {
         return Fail(error, "truncated stats response");
       }
       return true;
@@ -412,6 +413,8 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       w.U64(s.stats_requests);
       w.U64(s.error_responses);
       w.F64(s.uptime_seconds);
+      w.U64(s.solve_threads);
+      w.F64(s.solve_busy_seconds);
       break;
     }
   }

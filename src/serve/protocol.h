@@ -38,7 +38,8 @@ namespace pinocchio {
 namespace serve {
 
 /// Protocol version carried in every frame; bumped on breaking changes.
-inline constexpr uint8_t kProtocolVersion = 1;
+/// v2: StatsResponse gained solve_threads / solve_busy_seconds.
+inline constexpr uint8_t kProtocolVersion = 2;
 
 /// Upper bound on the frame body (version + type + payload) in bytes.
 /// Large enough for a multi-thousand-entry ranking or a bulk update,
@@ -180,6 +181,11 @@ struct StatsResponse {
   uint64_t stats_requests = 0;
   uint64_t error_responses = 0;
   double uptime_seconds = 0.0;
+  /// Solve-thread budget the service runs the morsel engine with.
+  uint64_t solve_threads = 0;
+  /// Process-wide morsel-engine worker busy time; utilisation is
+  /// solve_busy_seconds / (uptime_seconds * solve_threads).
+  double solve_busy_seconds = 0.0;
 };
 
 struct Response {

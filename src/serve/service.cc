@@ -7,6 +7,8 @@
 #include "core/naive_solver.h"
 #include "core/pinocchio_solver.h"
 #include "core/pinocchio_vo_solver.h"
+#include "parallel/morsel_scheduler.h"
+#include "parallel/parallel_solvers.h"
 #include "prob/power_law.h"
 #include "util/logging.h"
 
@@ -18,14 +20,19 @@ namespace {
 /// clamped (the frame cap would reject gigantic rankings anyway).
 constexpr size_t kMaxResponseTopK = 4096;
 
-std::unique_ptr<Solver> MakeSolver(WireAlgorithm algorithm) {
+// Every algorithm routes through its morsel-parallel variant: the results
+// are bit-identical to the sequential solvers by construction, a budget of
+// one thread runs inline on the request thread, and all solve work counts
+// into the engine's busy-time accounting either way.
+std::unique_ptr<Solver> MakeSolver(WireAlgorithm algorithm,
+                                   size_t solve_threads) {
   switch (algorithm) {
     case WireAlgorithm::kPinVO:
-      return std::make_unique<PinocchioVOSolver>();
+      return std::make_unique<ParallelPinocchioVOSolver>(solve_threads);
     case WireAlgorithm::kPin:
-      return std::make_unique<PinocchioSolver>();
+      return std::make_unique<ParallelPinocchioSolver>(solve_threads);
     case WireAlgorithm::kNaive:
-      return std::make_unique<NaiveSolver>();
+      return std::make_unique<ParallelNaiveSolver>(solve_threads);
   }
   return nullptr;
 }
@@ -120,7 +127,8 @@ Response InfluenceService::MakeSolveResponse(const ServerSnapshot& snap,
 }
 
 Response InfluenceService::DoSolve(const SolveRequest& request) {
-  const std::unique_ptr<Solver> solver = MakeSolver(request.algorithm);
+  const std::unique_ptr<Solver> solver =
+      MakeSolver(request.algorithm, options_.solve_threads);
   if (solver == nullptr) {
     error_responses_.fetch_add(1, std::memory_order_relaxed);
     return MakeError(ErrorCode::kBadRequest, "unknown algorithm");
@@ -141,9 +149,11 @@ Response InfluenceService::DoTopK(const TopKRequest& request) {
   // solver ranks every candidate.
   SolverResult result;
   if (k <= snap->prepared.config().top_k) {
-    result = PinocchioVOSolver().Solve(snap->prepared);
+    result = ParallelPinocchioVOSolver(options_.solve_threads)
+                 .Solve(snap->prepared);
   } else {
-    result = PinocchioSolver().Solve(snap->prepared);
+    result =
+        ParallelPinocchioSolver(options_.solve_threads).Solve(snap->prepared);
   }
   return MakeSolveResponse(*snap, result, k);
 }
@@ -246,6 +256,8 @@ Response InfluenceService::DoStats() {
   s.stats_requests = stats_requests_.load(std::memory_order_relaxed);
   s.error_responses = error_responses_.load(std::memory_order_relaxed);
   s.uptime_seconds = uptime_.ElapsedSeconds();
+  s.solve_threads = MorselScheduler(options_.solve_threads).num_threads();
+  s.solve_busy_seconds = MorselEngineBusySeconds();
   return response;
 }
 

@@ -51,6 +51,12 @@ struct ServiceOptions {
   /// Distance unit (metres) of the power-law PF rebuilt by what-if
   /// requests; must match the PF the service was constructed with.
   double pf_unit_meters = 100.0;
+  /// Worker budget for the morsel-parallel solve engine: solve/topk
+  /// requests run the parallel solvers with this many threads (0 selects
+  /// the hardware concurrency). Results are bit-identical to the
+  /// sequential solvers at any setting; 1 runs inline on the request
+  /// thread. What-if solves stay sequential (they hold a mutex anyway).
+  size_t solve_threads = 1;
 };
 
 class InfluenceService {

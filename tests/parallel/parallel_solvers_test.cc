@@ -4,6 +4,7 @@
 
 #include "core/naive_solver.h"
 #include "core/pinocchio_solver.h"
+#include "core/pinocchio_vo_solver.h"
 #include "testing/instance_helpers.h"
 
 namespace pinocchio {
@@ -52,6 +53,55 @@ TEST(ParallelPinocchioTest, EmptyInstance) {
 TEST(ParallelNaiveTest, NamesEncodeThreadCount) {
   EXPECT_EQ(ParallelNaiveSolver(3).Name(), "NA-P3");
   EXPECT_EQ(ParallelPinocchioSolver(5).Name(), "PIN-P5");
+  EXPECT_EQ(ParallelPinocchioVOSolver(7).Name(), "PIN-VO-P7");
+}
+
+// The morsel PIN-VO engine promises bit-identity with the sequential
+// solver: same influence vector (including inexact Strategy-1 lower
+// bounds), same ranking and best, same stats counters. Any divergence
+// means the prune pair order, the merged candidate order or the shared
+// validation loop drifted.
+TEST(ParallelPinocchioVOTest, BitIdenticalToSequential) {
+  const ProblemInstance instance = RandomInstance(603);
+  for (size_t top_k : {1u, 3u}) {
+    SolverConfig config = DefaultConfig();
+    config.top_k = top_k;
+    const SolverResult seq = PinocchioVOSolver().Solve(instance, config);
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      const SolverResult par =
+          ParallelPinocchioVOSolver(threads).Solve(instance, config);
+      EXPECT_EQ(par.influence, seq.influence)
+          << threads << " threads, top_k " << top_k;
+      EXPECT_EQ(par.best_candidate, seq.best_candidate);
+      EXPECT_EQ(par.best_influence, seq.best_influence);
+      EXPECT_EQ(par.ranking, seq.ranking);
+      EXPECT_EQ(par.stats.pairs_pruned_by_ia, seq.stats.pairs_pruned_by_ia);
+      EXPECT_EQ(par.stats.pairs_pruned_by_nib, seq.stats.pairs_pruned_by_nib);
+      EXPECT_EQ(par.stats.pairs_validated, seq.stats.pairs_validated);
+      EXPECT_EQ(par.stats.positions_scanned, seq.stats.positions_scanned);
+      EXPECT_EQ(par.stats.early_stops, seq.stats.early_stops);
+      EXPECT_EQ(par.stats.heap_pops, seq.stats.heap_pops);
+      EXPECT_EQ(par.stats.strategy1_cutoffs, seq.stats.strategy1_cutoffs);
+    }
+  }
+}
+
+TEST(ParallelPinocchioVOTest, EmptyInstance) {
+  ProblemInstance instance;
+  const SolverResult result =
+      ParallelPinocchioVOSolver(4).Solve(instance, DefaultConfig());
+  EXPECT_TRUE(result.influence.empty());
+}
+
+TEST(ParallelPinocchioVOTest, SingleObjectSingleCandidate) {
+  InstanceOptions opts{1, 1, 1, 3, 5000.0, 0.5};
+  const ProblemInstance instance = RandomInstance(604, opts);
+  const SolverConfig config = DefaultConfig();
+  const SolverResult seq = PinocchioVOSolver().Solve(instance, config);
+  const SolverResult par =
+      ParallelPinocchioVOSolver(8).Solve(instance, config);
+  EXPECT_EQ(par.influence, seq.influence);
+  EXPECT_EQ(par.best_candidate, seq.best_candidate);
 }
 
 TEST(ParallelNaiveTest, DefaultThreadCountResolves) {
@@ -85,6 +135,9 @@ TEST_P(ParallelShapeTest, AgreementAcrossInstanceShapes) {
             NaiveSolver().Solve(instance, config).influence);
   EXPECT_EQ(ParallelPinocchioSolver(threads).Solve(instance, config).influence,
             PinocchioSolver().Solve(instance, config).influence);
+  EXPECT_EQ(
+      ParallelPinocchioVOSolver(threads).Solve(instance, config).influence,
+      PinocchioVOSolver().Solve(instance, config).influence);
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, ParallelShapeTest,

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -88,6 +89,33 @@ TEST(ParallelForChunksTest, NullPoolRunsInline) {
 TEST(ParallelForChunksTest, ZeroCountIsNoOp) {
   ThreadPool pool(2);
   ParallelForChunks(&pool, 0, [&](size_t, size_t) { FAIL(); });
+}
+
+TEST(ParallelForChunksTest, PropagatesFirstBodyException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelForChunks(&pool, 100,
+                                 [&](size_t begin, size_t) {
+                                   ran.fetch_add(1);
+                                   if (begin == 0) {
+                                     throw std::runtime_error("chunk failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_GT(ran.load(), 0);
+  // The pool must survive a throwing batch and accept further work.
+  std::atomic<int> after{0};
+  ParallelForChunks(&pool, 10, [&](size_t begin, size_t end) {
+    after.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ParallelForChunksTest, InlineExceptionPropagates) {
+  EXPECT_THROW(ParallelForChunks(
+                   nullptr, 5,
+                   [&](size_t, size_t) { throw std::runtime_error("inline"); }),
+               std::runtime_error);
 }
 
 TEST(ParallelForChunksTest, MoreThreadsThanItems) {

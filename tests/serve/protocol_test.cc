@@ -158,11 +158,15 @@ TEST(ProtocolTest, ErrorAndUpdateAndStatsResponsesRoundTrip) {
   stats_response.stats.snapshot_swaps = 4;
   stats_response.stats.whatif_requests = 123;
   stats_response.stats.uptime_seconds = 17.5;
+  stats_response.stats.solve_threads = 6;
+  stats_response.stats.solve_busy_seconds = 2.25;
   decoded = DecodeResponse(Body(EncodeResponse(stats_response)));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->stats.snapshot_swaps, 4u);
   EXPECT_EQ(decoded->stats.whatif_requests, 123u);
   EXPECT_EQ(decoded->stats.uptime_seconds, 17.5);
+  EXPECT_EQ(decoded->stats.solve_threads, 6u);
+  EXPECT_EQ(decoded->stats.solve_busy_seconds, 2.25);
 }
 
 // ------------------------------------------------------- malformed input

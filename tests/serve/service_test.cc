@@ -240,6 +240,58 @@ TEST(ServiceTest, EmptyAndInvalidUpdatesAreRejected) {
   EXPECT_EQ(service.snapshot()->epoch, 1u);
 }
 
+TEST(ServiceTest, MultiThreadedSolvesMatchSequentialBitForBit) {
+  ServiceOptions options = TestOptions();
+  options.solve_threads = 3;
+  InfluenceService service(RandomInstance(21), DefaultConfig(), options);
+  const SnapshotPtr snap = service.snapshot();
+
+  for (const WireAlgorithm algorithm :
+       {WireAlgorithm::kPinVO, WireAlgorithm::kPin, WireAlgorithm::kNaive}) {
+    const Response response = service.Execute(SolveRequestFor(algorithm, 5));
+    ASSERT_EQ(response.type, ResponseType::kSolve);
+
+    std::unique_ptr<Solver> solver;
+    switch (algorithm) {
+      case WireAlgorithm::kPinVO:
+        solver = std::make_unique<PinocchioVOSolver>();
+        break;
+      case WireAlgorithm::kPin:
+        solver = std::make_unique<PinocchioSolver>();
+        break;
+      case WireAlgorithm::kNaive:
+        solver = std::make_unique<NaiveSolver>();
+        break;
+    }
+    const SolverResult direct = solver->Solve(snap->prepared);
+    EXPECT_EQ(response.solve.best_candidate, direct.best_candidate);
+    EXPECT_EQ(response.solve.best_influence, direct.best_influence);
+    ASSERT_EQ(response.solve.topk.size(),
+              std::min<size_t>(5, direct.ranking.size()));
+    for (size_t i = 0; i < response.solve.topk.size(); ++i) {
+      EXPECT_EQ(response.solve.topk[i].candidate, direct.ranking[i]);
+      EXPECT_EQ(response.solve.topk[i].influence,
+                direct.influence[direct.ranking[i]]);
+    }
+  }
+}
+
+TEST(ServiceTest, StatsReportSolveThreadBudgetAndBusyTime) {
+  ServiceOptions options = TestOptions();
+  options.solve_threads = 2;
+  InfluenceService service(RandomInstance(22), DefaultConfig(), options);
+  service.Execute(SolveRequestFor(WireAlgorithm::kPinVO, 3));
+
+  Request stats;
+  stats.type = RequestType::kStats;
+  const Response response = service.Execute(stats);
+  ASSERT_EQ(response.type, ResponseType::kStats);
+  EXPECT_EQ(response.stats.solve_threads, 2u);
+  // Busy time is process-wide and monotone; after at least one solve it
+  // must be positive (the inline path counts too).
+  EXPECT_GT(response.stats.solve_busy_seconds, 0.0);
+}
+
 TEST(ServiceTest, StatsCountRequestsPerType) {
   InfluenceService service(RandomInstance(18), DefaultConfig(),
                            TestOptions());

@@ -220,6 +220,7 @@ class CaseChecker {
     CheckExactSolver(ParallelPinocchioSolver(), prepared, naive);
     CheckVOSolver(PinocchioVOSolver(), prepared, naive);
     CheckVOSolver(PinocchioVOStarSolver(), prepared, naive);
+    CheckMorselVO(prepared, naive);
     CheckClassicalBaseline(BrnnStarSolver(), prepared);
     if (!fuzz_.instance.objects.empty()) {
       CheckClassicalBaseline(
@@ -294,6 +295,54 @@ class CaseChecker {
           Fail(msg.str());
           break;
         }
+      }
+    });
+  }
+
+  // The morsel-parallel PIN-VO engine promises results *bit-identical* to
+  // the sequential PinocchioVOSolver — same influence vector (including
+  // the inexact lower bounds of Strategy-1-eliminated candidates), same
+  // ranking and same stats counters — so it is diffed against the
+  // sequential solver, not just the naive oracle. The thread count varies
+  // with the seed to sweep different morsel/steal interleavings.
+  void CheckMorselVO(const PreparedInstance& prepared,
+                     const SolverResult& naive) {
+    (void)naive;  // the VO-vs-naive contract is checked on the sequential
+                  // solver; bit-identity below transfers it
+    const size_t threads = 2 + result_->seed % 3;
+    const ParallelPinocchioVOSolver parallel(threads);
+    Guard(parallel.Name(), [&] {
+      const SolverResult seq = PinocchioVOSolver().Solve(prepared);
+      const SolverResult par = parallel.Solve(prepared);
+      if (par.influence != seq.influence) {
+        Fail(DescribeVectorDiff(parallel.Name() + " vs PIN-VO", par.influence,
+                                seq.influence));
+      }
+      if (par.best_candidate != seq.best_candidate ||
+          par.best_influence != seq.best_influence ||
+          par.ranking != seq.ranking) {
+        std::ostringstream msg;
+        msg << parallel.Name() << ": best/ranking diverges from PIN-VO (best "
+            << par.best_candidate << "/" << par.best_influence << " vs "
+            << seq.best_candidate << "/" << seq.best_influence << ")";
+        Fail(msg.str());
+      }
+      const auto& a = par.stats;
+      const auto& b = seq.stats;
+      if (a.pairs_pruned_by_ia != b.pairs_pruned_by_ia ||
+          a.pairs_pruned_by_nib != b.pairs_pruned_by_nib ||
+          a.pairs_validated != b.pairs_validated ||
+          a.positions_scanned != b.positions_scanned ||
+          a.early_stops != b.early_stops || a.heap_pops != b.heap_pops ||
+          a.strategy1_cutoffs != b.strategy1_cutoffs) {
+        std::ostringstream msg;
+        msg << parallel.Name()
+            << ": stats counters diverge from PIN-VO (validated "
+            << a.pairs_validated << " vs " << b.pairs_validated
+            << ", scanned " << a.positions_scanned << " vs "
+            << b.positions_scanned << ", pops " << a.heap_pops << " vs "
+            << b.heap_pops << ")";
+        Fail(msg.str());
       }
     });
   }

@@ -166,6 +166,9 @@ int PrintResponse(const Response& response, bool json) {
         JsonField(out, &first, "error_responses",
                   (unsigned long long)s.error_responses);
         JsonField(out, &first, "uptime_seconds", s.uptime_seconds);
+        JsonField(out, &first, "solve_threads",
+                  (unsigned long long)s.solve_threads);
+        JsonField(out, &first, "solve_busy_seconds", s.solve_busy_seconds);
         out << "}";
       } else {
         out << "epoch " << s.epoch << ", " << s.num_objects << " objects, "
@@ -175,7 +178,9 @@ int PrintResponse(const Response& response, bool json) {
             << "  probe " << s.probe_requests << "  whatif "
             << s.whatif_requests << "  update " << s.update_requests
             << "  stats " << s.stats_requests << "  errors "
-            << s.error_responses << "\nuptime " << s.uptime_seconds << " s";
+            << s.error_responses << "\nuptime " << s.uptime_seconds
+            << " s, solve threads " << s.solve_threads << ", solve busy "
+            << s.solve_busy_seconds << " s";
       }
       std::cout << out.str() << "\n";
       return 0;

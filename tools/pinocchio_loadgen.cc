@@ -320,6 +320,38 @@ int main(int argc, char** argv) {
             << " error responses, " << transport_errors
             << " transport errors\n";
 
+  // One final stats round-trip: the server reports its morsel-engine busy
+  // time, from which the solve-thread utilisation over the whole server
+  // uptime (not just this run) is derived.
+  double server_utilisation = -1.0;
+  uint64_t server_solve_threads = 0;
+  {
+    BlockingClient stats_client;
+    if (stats_client.Connect(config.host, config.port,
+                             /*timeout_seconds=*/2.0)) {
+      Request request;
+      request.type = RequestType::kStats;
+      std::string error;
+      const auto response = stats_client.Call(request, &error);
+      if (response.has_value() && response->type == ResponseType::kStats) {
+        const StatsResponse& s = response->stats;
+        server_solve_threads = s.solve_threads;
+        if (s.uptime_seconds > 0.0 && s.solve_threads > 0) {
+          server_utilisation =
+              s.solve_busy_seconds /
+              (s.uptime_seconds * static_cast<double>(s.solve_threads));
+        }
+        std::cout << "  server: " << s.solve_threads
+                  << " solve threads, busy " << s.solve_busy_seconds
+                  << " s over " << s.uptime_seconds << " s uptime";
+        if (server_utilisation >= 0.0) {
+          std::cout << " = " << 100.0 * server_utilisation << "% utilisation";
+        }
+        std::cout << "\n";
+      }
+    }
+  }
+
   if (const char* path = std::getenv("PINOCCHIO_BENCH_JSON");
       path != nullptr && *path != '\0') {
     std::ofstream out(path, std::ios::app);
@@ -339,8 +371,12 @@ int main(int argc, char** argv) {
           << ",\"requests\":" << total_requests
           << ",\"duration_seconds\":" << elapsed
           << ",\"connections\":" << num_connections
-          << ",\"interrupted\":" << (interrupted ? "true" : "false")
-          << "}\n";
+          << ",\"interrupted\":" << (interrupted ? "true" : "false");
+      if (server_utilisation >= 0.0) {
+        out << ",\"solve_threads\":" << server_solve_threads
+            << ",\"solve_utilisation\":" << server_utilisation;
+      }
+      out << "}\n";
     }
   }
   return transport_errors == 0 ? 0 : 1;

@@ -39,6 +39,8 @@ constexpr char kUsage[] = R"(Usage: pinocchio_server [flags]
   --rho=F --lambda=F --unit-km=F
                     Power-law PF parameters (defaults 0.9 / 1.0 / 0.1).
   --topk-limit=N    top_k the snapshots are prepared with (default 16).
+  --solve_threads=N Morsel-engine worker budget per solve/topk request
+                    (default 1 = inline; 0 = hardware concurrency).
   --help            Show this message.
 
 Stop with SIGINT/SIGTERM; the server drains in-flight requests and
@@ -53,7 +55,15 @@ void PrintStats(const pinocchio::serve::StatsResponse& s, std::ostream& out) {
       << s.topk_requests << ", probe " << s.probe_requests << ", whatif "
       << s.whatif_requests << ", update " << s.update_requests << ", stats "
       << s.stats_requests << ", errors " << s.error_responses << "\n"
-      << "uptime " << s.uptime_seconds << " s\n";
+      << "uptime " << s.uptime_seconds << " s, solve threads "
+      << s.solve_threads << ", solve busy " << s.solve_busy_seconds << " s";
+  if (s.uptime_seconds > 0.0 && s.solve_threads > 0) {
+    out << " (utilisation "
+        << 100.0 * s.solve_busy_seconds /
+               (s.uptime_seconds * static_cast<double>(s.solve_threads))
+        << "%)";
+  }
+  out << "\n";
 }
 
 }  // namespace
@@ -68,7 +78,8 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.UnknownFlags(
       {"port", "bind", "workers", "in", "profile", "scale", "candidates",
-       "seed", "tau", "rho", "lambda", "unit-km", "topk-limit", "help"});
+       "seed", "tau", "rho", "lambda", "unit-km", "topk-limit",
+       "solve_threads", "help"});
   if (!unknown.empty() || !flags.errors().empty()) {
     for (const std::string& name : unknown) {
       std::cerr << "error: unknown flag --" << name << "\n";
@@ -163,6 +174,8 @@ int main(int argc, char** argv) {
   service_options.prepared_top_k =
       static_cast<size_t>(flags.GetInt("topk-limit", 16));
   service_options.pf_unit_meters = unit_meters;
+  service_options.solve_threads =
+      static_cast<size_t>(flags.GetInt("solve_threads", 1));
 
   std::cout << "preparing " << instance.objects.size() << " objects / "
             << instance.candidates.size() << " candidates (tau "
