@@ -1,125 +1,28 @@
 #include "core/multi_facility.h"
 
-#include <queue>
+#include <utility>
 
 #include "core/prepared_instance.h"
-#include "core/prune_pipeline.h"
-#include "prob/influence_kernel.h"
-#include "util/logging.h"
+#include "core/query_engine.h"
 #include "util/stopwatch.h"
 
 namespace pinocchio {
-namespace {
-
-void FinishTiming(MultiFacilityResult* result, double solve_seconds) {
-  result->solve_seconds = solve_seconds;
-  result->elapsed_seconds = result->prepare_seconds + solve_seconds;
-}
-
-}  // namespace
 
 MultiFacilityResult SelectFacilities(const PreparedInstance& prepared,
                                      size_t k) {
-  PINO_CHECK_GT(k, 0u);
-  Stopwatch watch;
+  // The classic multi-facility objective is diversified selection with no
+  // separation constraint: the engine builds the per-candidate influence
+  // sets through the shared prune pipeline and runs the same CELF lazy
+  // greedy this function used to own.
+  query::DiversifiedResult diversified =
+      query::SelectDiversified(prepared, k, /*min_separation=*/0.0);
   MultiFacilityResult result;
-  const size_t m = prepared.num_candidates();
-  const size_t r = prepared.num_objects();
-  if (m == 0) {
-    FinishTiming(&result, watch.ElapsedSeconds());
-    return result;
-  }
-
-  // Build each candidate's influence set once, via the shared pruning
-  // pipeline (object-major, as in PINOCCHIO, then transposed).
-  const ObjectStore& store = prepared.store();
-  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
-
-  std::vector<std::vector<uint32_t>> influenced(m);  // candidate -> objects
-  std::vector<Point> remnant_points;
-  std::vector<uint32_t> remnant_ids;
-  std::vector<uint8_t> remnant_influenced;
-  for (size_t idx = 0; idx < store.records().size(); ++idx) {
-    remnant_points.clear();
-    remnant_ids.clear();
-    ClassifyCandidates(
-        prepared.candidate_rtree(), store, kernel, static_cast<uint32_t>(idx),
-        static_cast<uint32_t>(idx + 1), m, nullptr,
-        [&](const RTreeEntry& e, uint32_t rec_idx) {
-          influenced[e.id].push_back(rec_idx);
-        },
-        [&](const RTreeEntry& e, uint32_t) {
-          remnant_points.push_back(e.point);
-          remnant_ids.push_back(e.id);
-        });
-    if (remnant_points.empty()) continue;
-    remnant_influenced.assign(remnant_points.size(), 0);
-    kernel.DecideMany(remnant_points, store.positions(idx), remnant_influenced);
-    for (size_t i = 0; i < remnant_ids.size(); ++i) {
-      if (remnant_influenced[i] != 0) {
-        influenced[remnant_ids[i]].push_back(static_cast<uint32_t>(idx));
-      }
-    }
-  }
-
-  // CELF lazy greedy: a max-heap of (cached gain, candidate, round the
-  // gain was computed in). A popped entry with a stale round is
-  // recomputed against the current coverage and pushed back.
-  std::vector<char> covered(r, 0);
-  int64_t covered_count = 0;
-
-  struct HeapEntry {
-    int64_t gain;
-    uint32_t candidate;
-    size_t round;
-    bool operator<(const HeapEntry& other) const {
-      return gain < other.gain;
-    }
-  };
-  std::priority_queue<HeapEntry> heap;
-  for (size_t j = 0; j < m; ++j) {
-    // Initial gains are exact (round 0, nothing covered yet).
-    heap.push({static_cast<int64_t>(influenced[j].size()),
-               static_cast<uint32_t>(j), 0});
-    ++result.gain_evaluations;
-  }
-
-  const auto recompute_gain = [&](uint32_t j) {
-    int64_t gain = 0;
-    for (uint32_t obj : influenced[j]) {
-      if (!covered[obj]) ++gain;
-    }
-    ++result.gain_evaluations;
-    return gain;
-  };
-
-  std::vector<char> selected(m, 0);
-  const size_t target = std::min(k, m);
-  for (size_t round = 1; result.selected.size() < target && !heap.empty();) {
-    HeapEntry top = heap.top();
-    heap.pop();
-    if (selected[top.candidate]) continue;
-    if (top.round != round) {
-      // Stale: refresh and reinsert (submodularity guarantees the true
-      // gain is <= the cached one, so the heap order stays valid).
-      top.gain = recompute_gain(top.candidate);
-      top.round = round;
-      heap.push(top);
-      continue;
-    }
-    // Fresh maximum: select it.
-    selected[top.candidate] = 1;
-    result.selected.push_back(top.candidate);
-    for (uint32_t obj : influenced[top.candidate]) {
-      if (!covered[obj]) {
-        covered[obj] = 1;
-        ++covered_count;
-      }
-    }
-    result.coverage.push_back(covered_count);
-    ++round;
-  }
-  FinishTiming(&result, watch.ElapsedSeconds());
+  result.selected = std::move(diversified.selected);
+  result.coverage = std::move(diversified.coverage);
+  result.gain_evaluations = diversified.gain_evaluations;
+  result.prepare_seconds = diversified.prepare_seconds;
+  result.solve_seconds = diversified.solve_seconds;
+  result.elapsed_seconds = diversified.elapsed_seconds;
   return result;
 }
 

@@ -1,10 +1,10 @@
 #include "core/pinocchio_vo_solver.h"
 
 #include <algorithm>
-#include <numeric>
 #include <utility>
 
 #include "core/prepared_instance.h"
+#include "core/query_engine.h"
 #include "prob/influence_kernel.h"
 #include "util/stopwatch.h"
 
@@ -18,39 +18,10 @@ void ValidateBoundOrdered(
     FunctionRef<std::span<const uint32_t>(uint32_t)> verification_set,
     size_t top_k, std::vector<int64_t>* min_inf, std::vector<int64_t>* max_inf,
     SolverResult* result) {
-  const ObjectStore& store = prepared.store();
-  CutoffTracker cutoff(std::min(top_k, order.size()));
-
-  for (uint32_t j : order) {
-    // Strategy 1 stop: every remaining candidate has maxInf no larger than
-    // this one's, so none can beat the k-th best validated influence.
-    if (cutoff.Saturated() && (*max_inf)[j] < cutoff.Value()) break;
-    ++result->stats.heap_pops;
-
-    const Point& c = prepared.candidate(j);
-    for (uint32_t rec_idx : verification_set(j)) {
-      // Strategy 1 mid-validation abort (Algorithm 3 lines 25-26).
-      if (cutoff.Saturated() && (*max_inf)[j] < cutoff.Value()) {
-        ++result->stats.strategy1_cutoffs;
-        break;
-      }
-      ++result->stats.pairs_validated;
-
-      // Strategy 2: the kernel scans the record's arena span until Lemma 4
-      // decides influence.
-      const InfluenceDecision decision =
-          kernel.Decide(c, store.positions(rec_idx));
-      result->stats.positions_scanned += decision.positions_seen;
-      if (decision.decided_early) ++result->stats.early_stops;
-
-      if (decision.influenced) {
-        ++(*min_inf)[j];
-      } else {
-        --(*max_inf)[j];
-      }
-    }
-    cutoff.Push((*min_inf)[j]);
-  }
+  query::TopKCutoffPolicy policy(std::min(top_k, order.size()), min_inf,
+                                 max_inf);
+  query::EvaluateBoundOrdered(prepared, kernel, order, verification_set,
+                              &result->stats, policy);
 }
 
 }  // namespace vo_internal
@@ -61,8 +32,6 @@ SolverResult PinocchioVOSolver::Solve(const PreparedInstance& prepared) const {
   Stopwatch watch;
   SolverResult result;
   const size_t m = prepared.num_candidates();
-  const ObjectStore& store = prepared.store();
-  const auto r = static_cast<int64_t>(store.size());
   result.influence.assign(m, 0);
   result.influence_exact = false;
   if (m == 0) {
@@ -72,72 +41,30 @@ SolverResult PinocchioVOSolver::Solve(const PreparedInstance& prepared) const {
 
   const InfluenceKernel kernel(prepared.pf(), prepared.tau());
 
-  // ---------------------------------------------------------------- prune
-  // minInf starts at 0 and counts IA certificates. The verification sets
-  // VS(c) — record indices whose NIB contains c but whose IA does not —
-  // are kept as one flat CSR layout (vs_data sliced by vs_offsets) instead
-  // of m private vectors, so the prune phase performs O(1) allocations
-  // however large the candidate set grows. maxInf = minInf + |VS| after
-  // the phase (every other object was excluded by its NIB).
-  std::vector<int64_t> min_inf(m, 0);
-  std::vector<int64_t> max_inf(m, r);
-  std::vector<uint32_t> vs_offsets(m + 1, 0);
-  std::vector<uint32_t> vs_data;
-  // VO* skips pruning: every candidate shares the identity verification
-  // set, iterated directly instead of materialising m copies of it.
-  std::vector<uint32_t> all_records;
+  // Prune phase: IA certificates as lower bounds, CSR verification sets,
+  // maxInf = minInf + |VS| (query_engine.h documents the invariants; VO*
+  // skips the phase and starts every candidate at [0, r]).
+  query::CandidateBrackets brackets =
+      query::BuildCandidateBrackets(prepared, kernel, use_pruning_,
+                                    &result.stats);
 
-  if (use_pruning_) {
-    // Size-then-fill: collect (candidate, record) remnant pairs once, then
-    // counting-sort them into the CSR slots. Stability preserves the
-    // record order of the per-candidate scans, keeping validation
-    // bit-identical to the per-candidate-vector layout it replaces.
-    std::vector<std::pair<uint32_t, uint32_t>> pairs;
-    ClassifyCandidates(
-        prepared.candidate_rtree(), store, kernel, 0, static_cast<uint32_t>(r),
-        m, &result.stats,
-        [&](const RTreeEntry& e, uint32_t) { ++min_inf[e.id]; },
-        [&](const RTreeEntry& e, uint32_t k) { pairs.emplace_back(e.id, k); });
-    for (const auto& [cand, rec] : pairs) ++vs_offsets[cand + 1];
-    for (size_t j = 0; j < m; ++j) vs_offsets[j + 1] += vs_offsets[j];
-    vs_data.resize(pairs.size());
-    std::vector<uint32_t> cursor(vs_offsets.begin(), vs_offsets.end() - 1);
-    for (const auto& [cand, rec] : pairs) vs_data[cursor[cand]++] = rec;
-    for (size_t j = 0; j < m; ++j) {
-      max_inf[j] = min_inf[j] + (vs_offsets[j + 1] - vs_offsets[j]);
-    }
-  } else {
-    // PINOCCHIO-VO*: no pruning phase; every object must be verified.
-    all_records.resize(static_cast<size_t>(r));
-    std::iota(all_records.begin(), all_records.end(), 0u);
-  }
-
-  const auto verification_set = [&](uint32_t j) -> std::span<const uint32_t> {
-    if (!use_pruning_) return all_records;
-    return std::span<const uint32_t>(vs_data)
-        .subspan(vs_offsets[j], vs_offsets[j + 1] - vs_offsets[j]);
-  };
-
-  // ------------------------------------------------------------- validate
   // Max-heap over candidates ordered by maxInf, then minInf (Algorithm 3
   // line 13); realised as a sorted order since bounds of waiting candidates
-  // do not change once the prune phase is over. OrderBefore is a strict
-  // total order (index tie-break), so plain sort equals the stable sort of
-  // the (maxInf, minInf) key over the ascending-index input.
-  std::vector<uint32_t> order(m);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return vo_internal::OrderBefore(min_inf, max_inf, a, b);
-  });
+  // do not change once the prune phase is over.
+  const std::vector<uint32_t> order = query::BoundDominationOrder(brackets);
 
+  const auto verification_set = [&](uint32_t j) -> std::span<const uint32_t> {
+    return brackets.VerificationSet(j);
+  };
   vo_internal::ValidateBoundOrdered(prepared, kernel, order, verification_set,
-                                    config.top_k, &min_inf, &max_inf, &result);
+                                    config.top_k, &brackets.min_inf,
+                                    &brackets.max_inf, &result);
 
   // minInf is exact for every fully validated candidate and a valid lower
   // bound for the rest; by construction the k best exact values dominate
   // all bounds of eliminated candidates, so sorting by minInf yields an
   // exact top-k prefix.
-  result.influence = std::move(min_inf);
+  result.influence = std::move(brackets.min_inf);
   internal::FinalizeResultFromInfluence(&result);
   internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;

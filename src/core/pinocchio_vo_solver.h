@@ -8,13 +8,12 @@
 #ifndef PINOCCHIO_CORE_PINOCCHIO_VO_SOLVER_H_
 #define PINOCCHIO_CORE_PINOCCHIO_VO_SOLVER_H_
 
-#include <queue>
 #include <span>
 #include <vector>
 
 #include "core/prune_pipeline.h"
+#include "core/query_engine.h"
 #include "core/solver.h"
-#include "util/logging.h"
 
 namespace pinocchio {
 
@@ -53,59 +52,22 @@ class PinocchioVOStarSolver : public PinocchioVOSolver {
 };
 
 // Pieces of Algorithm 3 shared between the sequential solver above and the
-// morsel-parallel ParallelPinocchioVOSolver (src/parallel/). The parallel
-// variant replays the exact sequential candidate order and validation
-// sequence, so both solvers must agree on the ordering predicate and the
-// cut-off-driven loop — they are defined once, here.
+// morsel-parallel ParallelPinocchioVOSolver (src/parallel/). The cut-off
+// tracker and the ordering predicate moved into the generic query engine
+// (core/query_engine.h) — the aliases below keep the historical
+// vo_internal:: spellings working for the parallel solver and the tests.
 namespace vo_internal {
 
-/// Running k-th-largest tracker for the generalised maxminInf cut-off.
-/// With capacity 1 this is exactly the paper's global maxminInf.
-class CutoffTracker {
- public:
-  explicit CutoffTracker(size_t capacity) : capacity_(capacity) {
-    PINO_CHECK_GT(capacity, 0u);
-  }
-
-  void Push(int64_t lower_bound) {
-    if (heap_.size() < capacity_) {
-      heap_.push(lower_bound);
-    } else if (lower_bound > heap_.top()) {
-      heap_.pop();
-      heap_.push(lower_bound);
-    }
-  }
-
-  /// True once `capacity` bounds have been recorded; before that no
-  /// candidate may be discarded.
-  bool Saturated() const { return heap_.size() >= capacity_; }
-
-  /// The current cut-off (k-th largest recorded bound).
-  int64_t Value() const { return heap_.empty() ? 0 : heap_.top(); }
-
- private:
-  size_t capacity_;
-  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<>> heap_;
-};
-
-/// Strict total order of the validation queue: maxInf descending, minInf
-/// descending, candidate index ascending. The index tie-break makes this
-/// exactly the order a stable sort by (maxInf, minInf) produces over an
-/// ascending-index input — the invariant the per-shard heapsort +
-/// tournament merge of the parallel solver relies on to replay it.
-inline bool OrderBefore(std::span<const int64_t> min_inf,
-                        std::span<const int64_t> max_inf, uint32_t a,
-                        uint32_t b) {
-  if (max_inf[a] != max_inf[b]) return max_inf[a] > max_inf[b];
-  if (min_inf[a] != min_inf[b]) return min_inf[a] > min_inf[b];
-  return a < b;
-}
+using query::CutoffTracker;
+using query::OrderBefore;
 
 /// The bound-ordered validation phase (Algorithm 3 lines 13-27): walks
 /// `order`, validates each candidate's verification set with Strategy 1
 /// cut-offs and Strategy 2 early exits, tightening min_inf/max_inf in
 /// place and filling the heap_pops / strategy1_cutoffs / pairs_validated /
-/// positions_scanned / early_stops counters of `result->stats`. This phase
+/// positions_scanned / early_stops counters of `result->stats`. This is
+/// query::EvaluateBoundOrdered under the exact top-k cut-off policy
+/// (query::TopKCutoffPolicy) with capacity min(top_k, |order|); this phase
 /// is inherently sequential — the cut-off after candidate i gates the work
 /// spent on candidate i+1 — which is why the parallel solver reuses it
 /// verbatim after its parallel prune and order phases.

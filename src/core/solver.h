@@ -80,7 +80,13 @@ struct SolverResult {
   std::vector<uint32_t> ranking;
   SolverStats stats;
 
-  /// The first k entries of `ranking`.
+  /// The first min(k, ranking.size()) entries of `ranking`: asking for
+  /// more candidates than exist clamps to the full ranking instead of
+  /// reading past it, and TopK(0) is empty. Note the exactness contract
+  /// is the solver's, not this accessor's — a VO solve prepared with
+  /// top_k = t guarantees exact influence only for the first min(t, m)
+  /// entries (influence_exact is false), so TopK(k) with k > t may
+  /// return candidates whose influence values are lower bounds.
   std::vector<uint32_t> TopK(size_t k) const;
 };
 

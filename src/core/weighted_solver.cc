@@ -6,11 +6,74 @@
 
 #include "core/prepared_instance.h"
 #include "core/prune_pipeline.h"
+#include "core/query_engine.h"
 #include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace pinocchio {
+namespace {
+
+/// Weighted Strategy-1 acceptance over the shared bound-domination engine:
+/// the bracket is the weight sum [running, running + remaining] instead of
+/// an integer pair, and domination compares against the best fully
+/// validated score. The floating-point accumulation order (remaining
+/// always debited before running is credited, record by record) is exactly
+/// the pre-engine loop's, keeping scores bit-identical.
+class WeightedCutoffPolicy {
+ public:
+  WeightedCutoffPolicy(std::span<const double> weights,
+                       std::span<const double> min_score,
+                       std::span<const double> undecided,
+                       WeightedVOResult* result)
+      : weights_(weights),
+        min_score_(min_score),
+        undecided_(undecided),
+        result_(result) {}
+
+  query::CandidateAdmission Admit(uint32_t j) {
+    if (min_score_[j] + undecided_[j] < best_) {
+      return query::CandidateAdmission::kStop;
+    }
+    running_ = min_score_[j];
+    remaining_ = undecided_[j];
+    return query::CandidateAdmission::kEvaluate;
+  }
+
+  bool AbortValidation(uint32_t /*j*/) const {
+    return running_ + remaining_ < best_;
+  }
+
+  void OnDecision(uint32_t /*j*/, uint32_t rec_idx, bool influenced) {
+    remaining_ -= weights_[rec_idx];
+    if (influenced) running_ += weights_[rec_idx];
+  }
+
+  void Settle(uint32_t j, bool complete) {
+    result_->score[j] = running_;
+    result_->score_exact[j] = complete;
+    if (complete && running_ > best_) {
+      best_ = running_;
+      best_candidate_ = j;
+    }
+  }
+
+  double best() const { return best_; }
+  uint32_t best_candidate() const { return best_candidate_; }
+  void set_best_candidate(uint32_t j) { best_candidate_ = j; }
+
+ private:
+  std::span<const double> weights_;
+  std::span<const double> min_score_;
+  std::span<const double> undecided_;
+  WeightedVOResult* result_;
+  double best_ = -1.0;
+  uint32_t best_candidate_ = 0;
+  double running_ = 0.0;
+  double remaining_ = 0.0;
+};
+
+}  // namespace
 
 WeightedSolverResult SolveWeightedPinocchio(const PreparedInstance& prepared,
                                             std::span<const double> weights) {
@@ -131,41 +194,16 @@ WeightedVOResult SolveWeightedPinocchioVO(const PreparedInstance& prepared,
     return min_score[a] + undecided[a] > min_score[b] + undecided[b];
   });
 
-  double best = -1.0;
-  uint32_t best_candidate = order.front();
-  for (uint32_t j : order) {
-    if (min_score[j] + undecided[j] < best) break;
-    ++result.stats.heap_pops;
-    const Point& c = prepared.candidate(j);
-    double running = min_score[j];
-    double remaining = undecided[j];
-    bool aborted = false;
-    const std::span<const uint32_t> vs =
-        std::span<const uint32_t>(vs_data).subspan(
-            vs_offsets[j], vs_offsets[j + 1] - vs_offsets[j]);
-    for (uint32_t rec_idx : vs) {
-      if (running + remaining < best) {
-        ++result.stats.strategy1_cutoffs;
-        aborted = true;
-        break;
-      }
-      ++result.stats.pairs_validated;
-      const InfluenceDecision decision =
-          kernel.Decide(c, store.positions(rec_idx));
-      result.stats.positions_scanned += decision.positions_seen;
-      if (decision.decided_early) ++result.stats.early_stops;
-      remaining -= weights[rec_idx];
-      if (decision.influenced) running += weights[rec_idx];
-    }
-    result.score[j] = running;
-    result.score_exact[j] = !aborted;
-    if (!aborted && running > best) {
-      best = running;
-      best_candidate = j;
-    }
-  }
-  result.best_candidate = best_candidate;
-  result.best_score = std::max(0.0, best);
+  WeightedCutoffPolicy policy(weights, min_score, undecided, &result);
+  policy.set_best_candidate(order.front());
+  const auto verification_set = [&](uint32_t j) -> std::span<const uint32_t> {
+    return std::span<const uint32_t>(vs_data).subspan(
+        vs_offsets[j], vs_offsets[j + 1] - vs_offsets[j]);
+  };
+  query::EvaluateBoundOrdered(prepared, kernel, order, verification_set,
+                              &result.stats, policy);
+  result.best_candidate = policy.best_candidate();
+  result.best_score = std::max(0.0, policy.best());
   internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;
 }

@@ -9,6 +9,7 @@
 #include "core/prepared_instance.h"
 #include "core/prune_pipeline.h"
 #include "parallel/morsel_scheduler.h"
+#include "parallel/parallel_query.h"
 #include "prob/influence_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -30,49 +31,6 @@ struct alignas(128) WorkerAccumulator {
   SolverStats stats;
   int64_t positions_scanned = 0;
 };
-
-/// Tournament (winner-tree) merge of per-shard sorted runs under the
-/// strict total order `before`. Because the order has no ties and the
-/// shards partition the candidate ids, the merged sequence equals a global
-/// sort of the concatenated input — the sequential solver's order.
-template <typename Before>
-std::vector<uint32_t> TournamentMerge(
-    const std::vector<std::vector<uint32_t>>& runs, size_t total,
-    const Before& before) {
-  constexpr size_t kNone = static_cast<size_t>(-1);
-  const size_t s = runs.size();
-  std::vector<uint32_t> out;
-  out.reserve(total);
-  if (s == 0) return out;
-
-  size_t leaves = 1;
-  while (leaves < s) leaves <<= 1;
-  std::vector<size_t> tree(2 * leaves, kNone);  // node -> winning run index
-  std::vector<size_t> pos(s, 0);
-
-  const auto exhausted = [&](size_t run) {
-    return run == kNone || pos[run] >= runs[run].size();
-  };
-  const auto winner = [&](size_t a, size_t b) {
-    if (exhausted(a)) return b;
-    if (exhausted(b)) return a;
-    return before(runs[a][pos[a]], runs[b][pos[b]]) ? a : b;
-  };
-
-  for (size_t i = 0; i < leaves; ++i) tree[leaves + i] = i < s ? i : kNone;
-  for (size_t i = leaves - 1; i >= 1; --i) {
-    tree[i] = winner(tree[2 * i], tree[2 * i + 1]);
-  }
-  while (!exhausted(tree[1])) {
-    const size_t run = tree[1];
-    out.push_back(runs[run][pos[run]]);
-    ++pos[run];
-    for (size_t node = (leaves + run) / 2; node >= 1; node /= 2) {
-      tree[node] = winner(tree[2 * node], tree[2 * node + 1]);
-    }
-  }
-  return out;
-}
 
 }  // namespace
 
@@ -198,8 +156,6 @@ SolverResult ParallelPinocchioVOSolver::Solve(
   Stopwatch watch;
   SolverResult result;
   const size_t m = prepared.num_candidates();
-  const ObjectStore& store = prepared.store();
-  const auto r = static_cast<int64_t>(store.size());
   result.influence.assign(m, 0);
   result.influence_exact = false;
   if (m == 0) {
@@ -208,84 +164,29 @@ SolverResult ParallelPinocchioVOSolver::Solve(
   }
 
   const InfluenceKernel kernel(prepared.pf(), prepared.tau());
-  const RTree& rtree = prepared.candidate_rtree();
   const MorselScheduler scheduler(num_threads_);
 
   // -------------------------------------------------- phase 1: prune
-  // Morsel-parallel classification. minInf is a per-worker accumulator
-  // (additive, any order); remnant pairs go to per-morsel lists whose
-  // morsel-order concatenation reproduces the sequential (record-major,
-  // query-visit-minor) pair order exactly — the CSR built from it is
-  // byte-identical to the sequential solver's.
-  MorselPlanOptions plan;
-  plan.min_morsels = scheduler.num_threads() * kMorselsPerWorker;
-  const std::vector<Morsel> morsels = PlanMorsels(store, plan);
-
-  std::vector<WorkerAccumulator> workers(scheduler.num_threads());
-  for (WorkerAccumulator& w : workers) w.influence.assign(m, 0);
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> morsel_pairs(
-      morsels.size());
-  scheduler.Run(morsels, [&](size_t w, size_t mi, const Morsel& morsel) {
-    WorkerAccumulator& acc = workers[w];
-    auto& pairs = morsel_pairs[mi];
-    ClassifyCandidates(
-        rtree, store, kernel, morsel.first_record, morsel.last_record, m,
-        &acc.stats, [&](const RTreeEntry& e, uint32_t) { ++acc.influence[e.id]; },
-        [&](const RTreeEntry& e, uint32_t k) { pairs.emplace_back(e.id, k); });
-  });
-
-  std::vector<int64_t> min_inf(m, 0);
-  for (const WorkerAccumulator& w : workers) {
-    for (size_t j = 0; j < m; ++j) min_inf[j] += w.influence[j];
-    result.stats.pairs_pruned_by_ia += w.stats.pairs_pruned_by_ia;
-    result.stats.pairs_pruned_by_nib += w.stats.pairs_pruned_by_nib;
-  }
-
-  std::vector<uint32_t> vs_offsets(m + 1, 0);
-  for (const auto& pairs : morsel_pairs) {
-    for (const auto& [cand, rec] : pairs) ++vs_offsets[cand + 1];
-  }
-  for (size_t j = 0; j < m; ++j) vs_offsets[j + 1] += vs_offsets[j];
-  std::vector<uint32_t> vs_data(vs_offsets[m]);
-  std::vector<uint32_t> cursor(vs_offsets.begin(), vs_offsets.end() - 1);
-  for (const auto& pairs : morsel_pairs) {
-    for (const auto& [cand, rec] : pairs) vs_data[cursor[cand]++] = rec;
-  }
-
-  std::vector<int64_t> max_inf(m, r);
-  for (size_t j = 0; j < m; ++j) {
-    max_inf[j] = min_inf[j] + (vs_offsets[j + 1] - vs_offsets[j]);
-  }
+  // Morsel-parallel bracket build (parallel/parallel_query.cc): the CSR is
+  // byte-identical to the sequential builder's.
+  query::CandidateBrackets brackets = query::BuildCandidateBracketsParallel(
+      prepared, kernel, scheduler, &result.stats);
 
   // -------------------------------------------------- phase 2: order
-  // Contention-free heap phase: each shard heapsorts its own candidate
-  // range (no shared heap, no locks), then a tournament tree merges the
-  // runs under vo_internal::OrderBefore — a strict total order, so the
-  // merged sequence equals the sequential solver's sorted order.
-  const auto before = [&](uint32_t a, uint32_t b) {
-    return vo_internal::OrderBefore(min_inf, max_inf, a, b);
-  };
-  const std::vector<Morsel> shards = PlanUniformMorsels(
-      m, (m + scheduler.num_threads() - 1) / scheduler.num_threads());
-  std::vector<std::vector<uint32_t>> runs(shards.size());
-  scheduler.Run(shards, [&](size_t, size_t si, const Morsel& shard) {
-    std::vector<uint32_t>& run = runs[si];
-    run.resize(shard.size());
-    std::iota(run.begin(), run.end(), shard.first_record);
-    std::make_heap(run.begin(), run.end(), before);
-    std::sort_heap(run.begin(), run.end(), before);
-  });
-  const std::vector<uint32_t> order = TournamentMerge(runs, m, before);
+  // Per-shard heapsort + tournament merge under query::OrderBefore,
+  // equal to the sequential sorted order.
+  const std::vector<uint32_t> order =
+      query::BoundDominationOrderParallel(brackets, scheduler);
 
   // -------------------------------------------------- phase 3: validate
   const auto verification_set = [&](uint32_t j) -> std::span<const uint32_t> {
-    return std::span<const uint32_t>(vs_data).subspan(
-        vs_offsets[j], vs_offsets[j + 1] - vs_offsets[j]);
+    return brackets.VerificationSet(j);
   };
   vo_internal::ValidateBoundOrdered(prepared, kernel, order, verification_set,
-                                    config.top_k, &min_inf, &max_inf, &result);
+                                    config.top_k, &brackets.min_inf,
+                                    &brackets.max_inf, &result);
 
-  result.influence = std::move(min_inf);
+  result.influence = std::move(brackets.min_inf);
   internal::FinalizeResultFromInfluence(&result);
   internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
   return result;

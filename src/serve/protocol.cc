@@ -155,6 +155,13 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
     }
     case RequestType::kStats:
       break;
+    case RequestType::kSkyline:
+      w.PointXY(request.skyline.cost_origin);
+      break;
+    case RequestType::kDiversified:
+      w.U32(request.diversified.k);
+      w.F64(request.diversified.min_separation);
+      break;
   }
   return FinishFrame(&w);
 }
@@ -243,6 +250,25 @@ bool DecodeRequestBody(ByteReader* r, Request* out, std::string* error) {
     case RequestType::kStats:
       out->type = RequestType::kStats;
       return true;
+    case RequestType::kSkyline:
+      out->type = RequestType::kSkyline;
+      if (!r->PointXY(&out->skyline.cost_origin)) {
+        return Fail(error, "truncated skyline request");
+      }
+      if (!FinitePoint(out->skyline.cost_origin)) {
+        return Fail(error, "non-finite skyline cost origin");
+      }
+      return true;
+    case RequestType::kDiversified:
+      out->type = RequestType::kDiversified;
+      if (!r->U32(&out->diversified.k) ||
+          !r->F64(&out->diversified.min_separation)) {
+        return Fail(error, "truncated diversified request");
+      }
+      if (!std::isfinite(out->diversified.min_separation)) {
+        return Fail(error, "non-finite min separation");
+      }
+      return true;
     default:
       return Fail(error, "unknown request type");
   }
@@ -270,15 +296,18 @@ bool DecodeResponseBody(ByteReader* r, Response* out, std::string* error) {
       if (!r->U64(&s.epoch) || !r->U64(&s.num_objects) ||
           !r->U64(&s.num_candidates) || !r->U32(&s.best_candidate) ||
           !r->I64(&s.best_influence) || !r->F64(&s.solve_seconds) ||
-          !r->Count(&k, 12)) {
+          !r->Count(&k, 13)) {
         return Fail(error, "truncated solve response");
       }
       s.topk.reserve(k);
       for (uint32_t i = 0; i < k; ++i) {
         RankedCandidate rc;
-        if (!r->U32(&rc.candidate) || !r->I64(&rc.influence)) {
+        uint8_t exact = 0;
+        if (!r->U32(&rc.candidate) || !r->I64(&rc.influence) ||
+            !r->U8(&exact) || exact > 1) {
           return Fail(error, "truncated ranking entry");
         }
+        rc.exact = exact != 0;
         s.topk.push_back(rc);
       }
       return true;
@@ -309,10 +338,49 @@ bool DecodeResponseBody(ByteReader* r, Response* out, std::string* error) {
           !r->U64(&s.pending_updates) || !r->U64(&s.solve_requests) ||
           !r->U64(&s.topk_requests) || !r->U64(&s.probe_requests) ||
           !r->U64(&s.whatif_requests) || !r->U64(&s.update_requests) ||
-          !r->U64(&s.stats_requests) || !r->U64(&s.error_responses) ||
+          !r->U64(&s.stats_requests) || !r->U64(&s.skyline_requests) ||
+          !r->U64(&s.diverse_requests) || !r->U64(&s.error_responses) ||
           !r->F64(&s.uptime_seconds) || !r->U64(&s.solve_threads) ||
           !r->F64(&s.solve_busy_seconds)) {
         return Fail(error, "truncated stats response");
+      }
+      return true;
+    }
+    case ResponseType::kSkyline: {
+      out->type = ResponseType::kSkyline;
+      SkylineResponse& s = out->skyline;
+      uint32_t n = 0;
+      if (!r->U64(&s.epoch) || !r->U64(&s.num_objects) ||
+          !r->U64(&s.num_candidates) || !r->U64(&s.bound_skipped) ||
+          !r->F64(&s.solve_seconds) || !r->Count(&n, 20)) {
+        return Fail(error, "truncated skyline response");
+      }
+      s.skyline.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        SkylineEntry e;
+        if (!r->U32(&e.candidate) || !r->I64(&e.influence) || !r->F64(&e.cost)) {
+          return Fail(error, "truncated skyline entry");
+        }
+        s.skyline.push_back(e);
+      }
+      return true;
+    }
+    case ResponseType::kDiversified: {
+      out->type = ResponseType::kDiversified;
+      DiverseResponse& s = out->diverse;
+      uint32_t n = 0;
+      if (!r->U64(&s.epoch) || !r->U64(&s.num_objects) ||
+          !r->U64(&s.num_candidates) || !r->U64(&s.gain_evaluations) ||
+          !r->F64(&s.solve_seconds) || !r->Count(&n, 12)) {
+        return Fail(error, "truncated diverse response");
+      }
+      s.selected.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        DiverseEntry e;
+        if (!r->U32(&e.candidate) || !r->I64(&e.coverage)) {
+          return Fail(error, "truncated diverse entry");
+        }
+        s.selected.push_back(e);
       }
       return true;
     }
@@ -384,6 +452,7 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       for (const RankedCandidate& rc : s.topk) {
         w.U32(rc.candidate);
         w.I64(rc.influence);
+        w.U8(rc.exact ? 1 : 0);
       }
       break;
     }
@@ -411,10 +480,41 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       w.U64(s.whatif_requests);
       w.U64(s.update_requests);
       w.U64(s.stats_requests);
+      w.U64(s.skyline_requests);
+      w.U64(s.diverse_requests);
       w.U64(s.error_responses);
       w.F64(s.uptime_seconds);
       w.U64(s.solve_threads);
       w.F64(s.solve_busy_seconds);
+      break;
+    }
+    case ResponseType::kSkyline: {
+      const SkylineResponse& s = response.skyline;
+      w.U64(s.epoch);
+      w.U64(s.num_objects);
+      w.U64(s.num_candidates);
+      w.U64(s.bound_skipped);
+      w.F64(s.solve_seconds);
+      w.U32(static_cast<uint32_t>(s.skyline.size()));
+      for (const SkylineEntry& e : s.skyline) {
+        w.U32(e.candidate);
+        w.I64(e.influence);
+        w.F64(e.cost);
+      }
+      break;
+    }
+    case ResponseType::kDiversified: {
+      const DiverseResponse& s = response.diverse;
+      w.U64(s.epoch);
+      w.U64(s.num_objects);
+      w.U64(s.num_candidates);
+      w.U64(s.gain_evaluations);
+      w.F64(s.solve_seconds);
+      w.U32(static_cast<uint32_t>(s.selected.size()));
+      for (const DiverseEntry& e : s.selected) {
+        w.U32(e.candidate);
+        w.I64(e.coverage);
+      }
       break;
     }
   }
@@ -455,6 +555,8 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kWhatIf: return "whatif";
     case RequestType::kUpdate: return "update";
     case RequestType::kStats: return "stats";
+    case RequestType::kSkyline: return "skyline";
+    case RequestType::kDiversified: return "diverse";
   }
   return "?";
 }
@@ -466,6 +568,8 @@ const char* ResponseTypeName(ResponseType type) {
     case ResponseType::kProbe: return "probe";
     case ResponseType::kUpdate: return "update";
     case ResponseType::kStats: return "stats";
+    case ResponseType::kSkyline: return "skyline";
+    case ResponseType::kDiversified: return "diverse";
   }
   return "?";
 }

@@ -39,7 +39,10 @@ namespace serve {
 
 /// Protocol version carried in every frame; bumped on breaking changes.
 /// v2: StatsResponse gained solve_threads / solve_busy_seconds.
-inline constexpr uint8_t kProtocolVersion = 2;
+/// v3: solve rankings carry a per-entry `exact` flag; new skyline and
+///     diversified query families; StatsResponse gained
+///     skyline_requests / diverse_requests.
+inline constexpr uint8_t kProtocolVersion = 3;
 
 /// Upper bound on the frame body (version + type + payload) in bytes.
 /// Large enough for a multi-thousand-entry ranking or a bulk update,
@@ -55,6 +58,8 @@ enum class RequestType : uint8_t {
   kWhatIf = 4,  // solve under altered (tau, rho, lambda) via Reprepare
   kUpdate = 5,  // append objects/candidates; triggers rebuild + swap
   kStats = 6,   // server/service statistics
+  kSkyline = 7,      // influence/cost skyline over all candidates
+  kDiversified = 8,  // greedy diversified top-k with min separation
 };
 
 /// Wire ids of the solvers a SolveRequest may name.
@@ -98,6 +103,20 @@ struct UpdateRequest {
 
 struct StatsRequest {};
 
+/// Influence/cost skyline: cost(c) is the distance from candidate c to
+/// `cost_origin` (e.g. a depot or a landmark the deployer must reach).
+struct SkylineRequest {
+  Point cost_origin{0.0, 0.0};
+};
+
+/// Greedy diversified top-k: maximise marginal influence coverage subject
+/// to every pair of selected candidates being >= min_separation apart.
+/// min_separation 0 reduces to plain multi-facility selection.
+struct DiversifiedRequest {
+  uint32_t k = 1;
+  double min_separation = 0.0;
+};
+
 /// A decoded request: `type` selects which member is meaningful.
 struct Request {
   RequestType type = RequestType::kStats;
@@ -106,6 +125,8 @@ struct Request {
   ProbeRequest probe;
   WhatIfRequest what_if;
   UpdateRequest update;
+  SkylineRequest skyline;
+  DiversifiedRequest diversified;
 };
 
 // -------------------------------------------------------------- responses
@@ -116,6 +137,8 @@ enum class ResponseType : uint8_t {
   kProbe = 3,
   kUpdate = 5,
   kStats = 6,
+  kSkyline = 7,
+  kDiversified = 8,
 };
 
 enum class ErrorCode : uint8_t {
@@ -136,6 +159,10 @@ struct ErrorResponse {
 struct RankedCandidate {
   uint32_t candidate = 0;
   int64_t influence = 0;
+  /// True when `influence` is the exact influence of this candidate;
+  /// false when it is only the VO solver's lower bound (candidates past
+  /// the top-k prefix whose validation was cut off early).
+  bool exact = true;
 };
 
 /// Answer to kSolve / kTopK / kWhatIf. Every field is computed against
@@ -156,6 +183,41 @@ struct ProbeResponse {
   uint64_t num_objects = 0;
   int64_t influence = 0;
   double solve_seconds = 0.0;
+};
+
+/// One skyline member: not dominated on (influence desc, cost asc) by any
+/// other candidate.
+struct SkylineEntry {
+  uint32_t candidate = 0;
+  int64_t influence = 0;
+  double cost = 0.0;
+};
+
+/// Answer to kSkyline; members are sorted by (cost asc, candidate asc).
+struct SkylineResponse {
+  uint64_t epoch = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_candidates = 0;
+  /// Candidates eliminated by bound domination without exact validation.
+  uint64_t bound_skipped = 0;
+  double solve_seconds = 0.0;
+  std::vector<SkylineEntry> skyline;
+};
+
+/// One greedy pick: `coverage` is the union influence after this pick.
+struct DiverseEntry {
+  uint32_t candidate = 0;
+  int64_t coverage = 0;
+};
+
+/// Answer to kDiversified; entries are in selection order.
+struct DiverseResponse {
+  uint64_t epoch = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_candidates = 0;
+  uint64_t gain_evaluations = 0;
+  double solve_seconds = 0.0;
+  std::vector<DiverseEntry> selected;
 };
 
 struct UpdateResponse {
@@ -179,6 +241,8 @@ struct StatsResponse {
   uint64_t whatif_requests = 0;
   uint64_t update_requests = 0;
   uint64_t stats_requests = 0;
+  uint64_t skyline_requests = 0;
+  uint64_t diverse_requests = 0;
   uint64_t error_responses = 0;
   double uptime_seconds = 0.0;
   /// Solve-thread budget the service runs the morsel engine with.
@@ -195,6 +259,8 @@ struct Response {
   ProbeResponse probe;
   UpdateResponse update;
   StatsResponse stats;
+  SkylineResponse skyline;
+  DiverseResponse diverse;
 };
 
 // ------------------------------------------------------------------ codec

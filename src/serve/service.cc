@@ -7,7 +7,9 @@
 #include "core/naive_solver.h"
 #include "core/pinocchio_solver.h"
 #include "core/pinocchio_vo_solver.h"
+#include "geo/point.h"
 #include "parallel/morsel_scheduler.h"
+#include "parallel/parallel_query.h"
 #include "parallel/parallel_solvers.h"
 #include "prob/power_law.h"
 #include "util/logging.h"
@@ -93,6 +95,12 @@ Response InfluenceService::Execute(const Request& request) {
     case RequestType::kStats:
       stats_requests_.fetch_add(1, std::memory_order_relaxed);
       return DoStats();
+    case RequestType::kSkyline:
+      skyline_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoSkyline(request.skyline);
+    case RequestType::kDiversified:
+      diverse_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoDiversified(request.diversified);
   }
   return MakeError(ErrorCode::kUnknownType, "unknown request type");
 }
@@ -118,10 +126,18 @@ Response InfluenceService::MakeSolveResponse(const ServerSnapshot& snap,
   s.best_influence = result.best_influence;
   s.solve_seconds = result.stats.solve_seconds;
   const size_t count = std::min(k, result.ranking.size());
+  // VO solves guarantee exact influence only for the prepared top-k
+  // prefix; entries past it may carry lower bounds. Exact solvers (PIN,
+  // NA) mark everything exact via influence_exact.
+  const size_t exact_prefix =
+      result.influence_exact
+          ? result.ranking.size()
+          : std::min(snap.prepared.config().top_k, result.ranking.size());
   s.topk.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     const uint32_t candidate = result.ranking[i];
-    s.topk.push_back({candidate, result.influence[candidate]});
+    s.topk.push_back({candidate, result.influence[candidate],
+                      /*exact=*/i < exact_prefix});
   }
   return response;
 }
@@ -254,10 +270,68 @@ Response InfluenceService::DoStats() {
   s.whatif_requests = whatif_requests_.load(std::memory_order_relaxed);
   s.update_requests = update_requests_.load(std::memory_order_relaxed);
   s.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  s.skyline_requests = skyline_requests_.load(std::memory_order_relaxed);
+  s.diverse_requests = diverse_requests_.load(std::memory_order_relaxed);
   s.error_responses = error_responses_.load(std::memory_order_relaxed);
   s.uptime_seconds = uptime_.ElapsedSeconds();
   s.solve_threads = MorselScheduler(options_.solve_threads).num_threads();
   s.solve_busy_seconds = MorselEngineBusySeconds();
+  return response;
+}
+
+Response InfluenceService::DoSkyline(const SkylineRequest& request) {
+  const SnapshotPtr snap = holder_.Acquire();
+  const size_t m = snap->prepared.num_candidates();
+  std::vector<double> cost(m);
+  for (size_t j = 0; j < m; ++j) {
+    cost[j] = Distance(snap->prepared.candidate(static_cast<uint32_t>(j)),
+                       request.cost_origin);
+  }
+  const query::SkylineResult result = query::SolveSkylineParallel(
+      snap->prepared, cost, options_.solve_threads);
+
+  Response response;
+  response.type = ResponseType::kSkyline;
+  SkylineResponse& s = response.skyline;
+  s.epoch = snap->epoch;
+  s.num_objects = snap->prepared.num_objects();
+  s.num_candidates = m;
+  s.bound_skipped = static_cast<uint64_t>(result.bound_skipped);
+  s.solve_seconds = result.stats.solve_seconds;
+  const size_t count = std::min(result.members.size(), kMaxResponseTopK);
+  s.skyline.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const query::SkylineMember& member = result.members[i];
+    s.skyline.push_back({member.candidate, member.influence, member.cost});
+  }
+  return response;
+}
+
+Response InfluenceService::DoDiversified(const DiversifiedRequest& request) {
+  if (request.min_separation < 0.0) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest, "negative min separation");
+  }
+  const SnapshotPtr snap = holder_.Acquire();
+  const size_t k =
+      std::min<size_t>(std::max<uint32_t>(1, request.k), kMaxResponseTopK);
+
+  Response response;
+  response.type = ResponseType::kDiversified;
+  DiverseResponse& s = response.diverse;
+  s.epoch = snap->epoch;
+  s.num_objects = snap->prepared.num_objects();
+  s.num_candidates = snap->prepared.num_candidates();
+  if (snap->prepared.num_candidates() == 0) return response;
+
+  const query::DiversifiedResult result = query::SelectDiversifiedParallel(
+      snap->prepared, k, request.min_separation, options_.solve_threads);
+  s.gain_evaluations = static_cast<uint64_t>(result.gain_evaluations);
+  s.solve_seconds = result.solve_seconds;
+  s.selected.reserve(result.selected.size());
+  for (size_t i = 0; i < result.selected.size(); ++i) {
+    s.selected.push_back({result.selected[i], result.coverage[i]});
+  }
   return response;
 }
 

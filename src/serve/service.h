@@ -97,6 +97,8 @@ class InfluenceService {
   Response DoWhatIf(const WhatIfRequest& request);
   Response DoUpdate(const UpdateRequest& request);
   Response DoStats();
+  Response DoSkyline(const SkylineRequest& request);
+  Response DoDiversified(const DiversifiedRequest& request);
   static Response MakeError(ErrorCode code, std::string message);
 
   /// Fills a SolveResponse from a result computed against `snap`.
@@ -133,6 +135,8 @@ class InfluenceService {
   std::atomic<uint64_t> whatif_requests_{0};
   std::atomic<uint64_t> update_requests_{0};
   std::atomic<uint64_t> stats_requests_{0};
+  std::atomic<uint64_t> skyline_requests_{0};
+  std::atomic<uint64_t> diverse_requests_{0};
   std::atomic<uint64_t> error_responses_{0};
   std::atomic<uint64_t> swaps_{0};
 };

@@ -119,7 +119,7 @@ TEST(ProtocolTest, SolveResponseRoundTrip) {
   response.solve.best_candidate = 42;
   response.solve.best_influence = -7;  // negative influence survives
   response.solve.solve_seconds = 0.001953125;
-  response.solve.topk = {{42, 99}, {7, 98}, {0, 0}};
+  response.solve.topk = {{42, 99, true}, {7, 98, true}, {0, 0, false}};
 
   const auto decoded = DecodeResponse(Body(EncodeResponse(response)));
   ASSERT_TRUE(decoded.has_value());
@@ -130,6 +130,159 @@ TEST(ProtocolTest, SolveResponseRoundTrip) {
   ASSERT_EQ(decoded->solve.topk.size(), 3u);
   EXPECT_EQ(decoded->solve.topk[1].candidate, 7u);
   EXPECT_EQ(decoded->solve.topk[1].influence, 98);
+  // The per-entry exactness flag (v3) survives the round trip.
+  EXPECT_TRUE(decoded->solve.topk[0].exact);
+  EXPECT_TRUE(decoded->solve.topk[1].exact);
+  EXPECT_FALSE(decoded->solve.topk[2].exact);
+}
+
+TEST(ProtocolTest, RankedCandidateExactFlagRejectsNonBooleanBytes) {
+  Response response;
+  response.type = ResponseType::kSolve;
+  response.solve.topk = {{3, 5, true}};
+  std::vector<uint8_t> frame = EncodeResponse(response);
+  // The exact flag is the last byte of the frame (u8 after the i64
+  // influence of the final topk entry).
+  ASSERT_EQ(frame.back(), 1u);
+  frame.back() = 2;  // neither 0 nor 1
+  std::string error;
+  EXPECT_FALSE(DecodeResponse(Body(frame), &error).has_value());
+}
+
+TEST(ProtocolTest, SkylineRequestAndResponseRoundTrip) {
+  Request request;
+  request.type = RequestType::kSkyline;
+  request.skyline.cost_origin = Point{0.1 + 0.2, -40075.016};
+  const auto decoded_request = DecodeRequest(Body(EncodeRequest(request)));
+  ASSERT_TRUE(decoded_request.has_value());
+  EXPECT_EQ(decoded_request->type, RequestType::kSkyline);
+  uint64_t sent_bits = 0;
+  uint64_t got_bits = 0;
+  std::memcpy(&sent_bits, &request.skyline.cost_origin.x, sizeof(sent_bits));
+  std::memcpy(&got_bits, &decoded_request->skyline.cost_origin.x,
+              sizeof(got_bits));
+  EXPECT_EQ(sent_bits, got_bits);
+  EXPECT_EQ(decoded_request->skyline.cost_origin.y, -40075.016);
+
+  Response response;
+  response.type = ResponseType::kSkyline;
+  response.skyline.epoch = 7;
+  response.skyline.num_objects = 321;
+  response.skyline.num_candidates = 99;
+  response.skyline.bound_skipped = 55;
+  response.skyline.solve_seconds = 0.25;
+  response.skyline.skyline = {{4, 120, 0.0}, {9, 80, 13.5}, {2, -1, 99.0}};
+  const auto decoded = DecodeResponse(Body(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, ResponseType::kSkyline);
+  EXPECT_EQ(decoded->skyline.epoch, 7u);
+  EXPECT_EQ(decoded->skyline.num_objects, 321u);
+  EXPECT_EQ(decoded->skyline.num_candidates, 99u);
+  EXPECT_EQ(decoded->skyline.bound_skipped, 55u);
+  EXPECT_EQ(decoded->skyline.solve_seconds, 0.25);
+  ASSERT_EQ(decoded->skyline.skyline.size(), 3u);
+  EXPECT_EQ(decoded->skyline.skyline[1].candidate, 9u);
+  EXPECT_EQ(decoded->skyline.skyline[1].influence, 80);
+  EXPECT_EQ(decoded->skyline.skyline[1].cost, 13.5);
+  EXPECT_EQ(decoded->skyline.skyline[2].influence, -1);
+}
+
+TEST(ProtocolTest, SkylineRequestRejectsNonFiniteOrigin) {
+  Request request;
+  request.type = RequestType::kSkyline;
+  request.skyline.cost_origin = Point{1.0, 2.0};
+  std::vector<uint8_t> frame = EncodeRequest(request);
+  const double inf = std::numeric_limits<double>::infinity();
+  std::memcpy(frame.data() + 6, &inf, sizeof(inf));  // overwrite x
+  std::string error;
+  EXPECT_FALSE(DecodeRequest(Body(frame), &error).has_value());
+}
+
+TEST(ProtocolTest, DiversifiedRequestAndResponseRoundTrip) {
+  Request request;
+  request.type = RequestType::kDiversified;
+  request.diversified.k = 12;
+  request.diversified.min_separation = 1234.5625;
+  const auto decoded_request = DecodeRequest(Body(EncodeRequest(request)));
+  ASSERT_TRUE(decoded_request.has_value());
+  EXPECT_EQ(decoded_request->type, RequestType::kDiversified);
+  EXPECT_EQ(decoded_request->diversified.k, 12u);
+  EXPECT_EQ(decoded_request->diversified.min_separation, 1234.5625);
+
+  Response response;
+  response.type = ResponseType::kDiversified;
+  response.diverse.epoch = 3;
+  response.diverse.num_objects = 50;
+  response.diverse.num_candidates = 40;
+  response.diverse.gain_evaluations = 777;
+  response.diverse.solve_seconds = 0.125;
+  response.diverse.selected = {{17, 25}, {3, 9}, {40, 0}};
+  const auto decoded = DecodeResponse(Body(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, ResponseType::kDiversified);
+  EXPECT_EQ(decoded->diverse.epoch, 3u);
+  EXPECT_EQ(decoded->diverse.gain_evaluations, 777u);
+  EXPECT_EQ(decoded->diverse.solve_seconds, 0.125);
+  ASSERT_EQ(decoded->diverse.selected.size(), 3u);
+  EXPECT_EQ(decoded->diverse.selected[0].candidate, 17u);
+  EXPECT_EQ(decoded->diverse.selected[0].coverage, 25);
+  EXPECT_EQ(decoded->diverse.selected[2].coverage, 0);
+}
+
+TEST(ProtocolTest, DiversifiedRequestRejectsNonFiniteSeparation) {
+  Request request;
+  request.type = RequestType::kDiversified;
+  request.diversified.k = 1;
+  request.diversified.min_separation = 0.0;
+  std::vector<uint8_t> frame = EncodeRequest(request);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // min_separation is the final 8 bytes (after version, type, and k).
+  std::memcpy(frame.data() + frame.size() - sizeof(nan), &nan, sizeof(nan));
+  std::string error;
+  EXPECT_FALSE(DecodeRequest(Body(frame), &error).has_value());
+}
+
+TEST(ProtocolTest, StatsResponseCountsNewFamilies) {
+  Response response;
+  response.type = ResponseType::kStats;
+  response.stats.skyline_requests = 41;
+  response.stats.diverse_requests = 17;
+  const auto decoded = DecodeResponse(Body(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->stats.skyline_requests, 41u);
+  EXPECT_EQ(decoded->stats.diverse_requests, 17u);
+}
+
+TEST(ProtocolTest, EveryNewFrameTruncationIsRejected) {
+  std::vector<std::vector<uint8_t>> frames;
+  Request skyline;
+  skyline.type = RequestType::kSkyline;
+  skyline.skyline.cost_origin = Point{5.0, 6.0};
+  frames.push_back(EncodeRequest(skyline));
+  Request diverse;
+  diverse.type = RequestType::kDiversified;
+  diverse.diversified.k = 3;
+  frames.push_back(EncodeRequest(diverse));
+  for (const auto& frame : frames) {
+    const std::span<const uint8_t> body = Body(frame);
+    for (size_t len = 0; len < body.size(); ++len) {
+      EXPECT_FALSE(DecodeRequest(body.first(len), nullptr).has_value());
+    }
+  }
+
+  Response skyline_response;
+  skyline_response.type = ResponseType::kSkyline;
+  skyline_response.skyline.skyline = {{1, 2, 3.0}};
+  Response diverse_response;
+  diverse_response.type = ResponseType::kDiversified;
+  diverse_response.diverse.selected = {{1, 2}};
+  for (const auto& frame : {EncodeResponse(skyline_response),
+                            EncodeResponse(diverse_response)}) {
+    const std::span<const uint8_t> body = Body(frame);
+    for (size_t len = 0; len < body.size(); ++len) {
+      EXPECT_FALSE(DecodeResponse(body.first(len), nullptr).has_value());
+    }
+  }
 }
 
 TEST(ProtocolTest, ErrorAndUpdateAndStatsResponsesRoundTrip) {

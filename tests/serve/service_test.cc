@@ -11,6 +11,8 @@
 
 #include "core/influence_query.h"
 #include "core/naive_solver.h"
+#include "core/query_engine.h"
+#include "geo/point.h"
 #include "core/pinocchio_solver.h"
 #include "core/pinocchio_vo_solver.h"
 #include "core/prepared_instance.h"
@@ -312,6 +314,111 @@ TEST(ServiceTest, StatsCountRequestsPerType) {
   EXPECT_EQ(response.stats.epoch, 1u);
   EXPECT_EQ(response.stats.snapshot_swaps, 0u);
   EXPECT_GE(response.stats.uptime_seconds, 0.0);
+}
+
+TEST(ServiceTest, SkylineMatchesDirectSolveOnTheSameSnapshot) {
+  const ProblemInstance instance = RandomInstance(23);
+  // solve_threads = 3 also exercises the parallel skyline path, which is
+  // bit-identical to the sequential reference computed below.
+  ServiceOptions options = TestOptions();
+  options.solve_threads = 3;
+  InfluenceService service(instance, DefaultConfig(), options);
+  const SnapshotPtr snap = service.snapshot();
+
+  Request request;
+  request.type = RequestType::kSkyline;
+  request.skyline.cost_origin = Point{12000.0, 8000.0};
+  const Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kSkyline);
+  EXPECT_EQ(response.skyline.epoch, snap->epoch);
+  EXPECT_EQ(response.skyline.num_objects, snap->prepared.num_objects());
+  EXPECT_EQ(response.skyline.num_candidates,
+            snap->prepared.num_candidates());
+
+  std::vector<double> cost(snap->prepared.num_candidates());
+  for (size_t j = 0; j < cost.size(); ++j) {
+    cost[j] =
+        Distance(snap->prepared.candidate(j), request.skyline.cost_origin);
+  }
+  const query::SkylineResult direct =
+      query::SolveSkyline(snap->prepared, cost);
+  EXPECT_EQ(response.skyline.bound_skipped,
+            static_cast<uint64_t>(direct.bound_skipped));
+  ASSERT_EQ(response.skyline.skyline.size(), direct.members.size());
+  for (size_t i = 0; i < direct.members.size(); ++i) {
+    EXPECT_EQ(response.skyline.skyline[i].candidate,
+              direct.members[i].candidate);
+    EXPECT_EQ(response.skyline.skyline[i].influence,
+              direct.members[i].influence);
+    EXPECT_EQ(response.skyline.skyline[i].cost, direct.members[i].cost);
+  }
+}
+
+TEST(ServiceTest, DiversifiedMatchesDirectSelection) {
+  const ProblemInstance instance = RandomInstance(24);
+  ServiceOptions options = TestOptions();
+  options.solve_threads = 3;
+  InfluenceService service(instance, DefaultConfig(), options);
+  const SnapshotPtr snap = service.snapshot();
+
+  Request request;
+  request.type = RequestType::kDiversified;
+  request.diversified.k = 4;
+  request.diversified.min_separation = 6000.0;
+  const Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kDiversified);
+  EXPECT_EQ(response.diverse.epoch, snap->epoch);
+
+  const query::DiversifiedResult direct =
+      query::SelectDiversified(snap->prepared, 4, 6000.0);
+  EXPECT_EQ(response.diverse.gain_evaluations,
+            static_cast<uint64_t>(direct.gain_evaluations));
+  ASSERT_EQ(response.diverse.selected.size(), direct.selected.size());
+  for (size_t i = 0; i < direct.selected.size(); ++i) {
+    EXPECT_EQ(response.diverse.selected[i].candidate, direct.selected[i]);
+    EXPECT_EQ(response.diverse.selected[i].coverage, direct.coverage[i]);
+  }
+}
+
+TEST(ServiceTest, DiversifiedRejectsNegativeSeparationAndClampsK) {
+  InfluenceService service(RandomInstance(25), DefaultConfig(),
+                           TestOptions());
+  Request request;
+  request.type = RequestType::kDiversified;
+  request.diversified.k = 1;
+  request.diversified.min_separation = -1.0;
+  Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kError);
+  EXPECT_EQ(response.error.code, ErrorCode::kBadRequest);
+
+  // k = 0 is clamped up to 1 rather than rejected.
+  request.diversified.k = 0;
+  request.diversified.min_separation = 0.0;
+  response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kDiversified);
+  EXPECT_EQ(response.diverse.selected.size(), 1u);
+}
+
+TEST(ServiceTest, StatsCountSkylineAndDiverseRequests) {
+  InfluenceService service(RandomInstance(26), DefaultConfig(),
+                           TestOptions());
+  Request skyline;
+  skyline.type = RequestType::kSkyline;
+  skyline.skyline.cost_origin = Point{0.0, 0.0};
+  service.Execute(skyline);
+  service.Execute(skyline);
+  Request diverse;
+  diverse.type = RequestType::kDiversified;
+  diverse.diversified.k = 2;
+  service.Execute(diverse);
+
+  Request stats;
+  stats.type = RequestType::kStats;
+  const Response response = service.Execute(stats);
+  ASSERT_EQ(response.type, ResponseType::kStats);
+  EXPECT_EQ(response.stats.skyline_requests, 2u);
+  EXPECT_EQ(response.stats.diverse_requests, 1u);
+  EXPECT_EQ(response.stats.error_responses, 0u);
 }
 
 TEST(ServiceTest, CoalescedUpdatesBuildMonotonicEpochs) {

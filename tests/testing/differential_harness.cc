@@ -19,10 +19,13 @@
 #include "core/pinocchio_solver.h"
 #include "core/pinocchio_vo_solver.h"
 #include "core/prepared_instance.h"
+#include "core/query_engine.h"
 #include "core/streaming.h"
 #include "core/weighted_solver.h"
 #include "data/binary_io.h"
 #include "data/checkin_dataset.h"
+#include "geo/point.h"
+#include "parallel/parallel_query.h"
 #include "parallel/parallel_solvers.h"
 #include "prob/alternative_pfs.h"
 #include "prob/influence.h"
@@ -41,6 +44,11 @@ using testing_helpers::RandomInstance;
 // Decorrelates the shaping stream from RandomInstance's position stream
 // (which seeds Rng with the raw seed).
 constexpr uint64_t kShapingSalt = 0xA3EC4E5F9C1D2B07ull;
+
+// Independent streams for the query-family checks, so adding them (or
+// changing their draws) never perturbs the pinned case generation above.
+constexpr uint64_t kSkylineSalt = 0x5D1E8A2C9B4F7E31ull;
+constexpr uint64_t kDiverseSalt = 0xC47B26D90E5A813Full;
 
 // Draws one of the five PF families of the paper (power law of Section 3
 // plus the four Figure-16 alternatives).
@@ -230,6 +238,8 @@ class CaseChecker {
     if (check_auxiliary) {
       CheckWeighted(prepared, naive);
       CheckMultiFacility(prepared, naive);
+      CheckSkyline(prepared, naive);
+      CheckDiversified(prepared, naive);
       CheckIncremental(naive);
       CheckStreaming(naive);
     }
@@ -415,6 +425,219 @@ class CaseChecker {
         msg << "MultiFacility(k=1): coverage " << mf.coverage[0]
             << " of candidate " << mf.selected[0]
             << " vs naive best influence " << naive.best_influence;
+        Fail(msg.str());
+      }
+    });
+  }
+
+  // Skyline over (influence, cost) against a brute-force O(m^2) domination
+  // sweep on the naive influence vector, with three cost regimes: distances
+  // from a random origin (the serving path), arbitrary uniform costs, and
+  // all-equal costs (every candidate in one group, so the result is exactly
+  // the maximum-influence set — the all-dominated edge case). The parallel
+  // entry point is then diffed bit-identically against the sequential one.
+  void CheckSkyline(const PreparedInstance& prepared,
+                    const SolverResult& naive) {
+    if (naive.influence.empty()) return;
+    Guard("Skyline", [&] {
+      Rng rng(result_->seed * 0x9E3779B97F4A7C15ull ^ kSkylineSalt);
+      const size_t m = naive.influence.size();
+      std::vector<double> cost(m);
+      const int64_t mode = rng.UniformInt(0, 2);
+      if (mode == 0) {
+        const Point origin{rng.Uniform(0.0, 40000.0),
+                           rng.Uniform(0.0, 40000.0)};
+        for (size_t j = 0; j < m; ++j) {
+          cost[j] =
+              Distance(prepared.candidate(static_cast<uint32_t>(j)), origin);
+        }
+      } else if (mode == 1) {
+        for (size_t j = 0; j < m; ++j) cost[j] = rng.Uniform(0.0, 100.0);
+      } else {
+        const double c = rng.Uniform(0.0, 100.0);
+        for (size_t j = 0; j < m; ++j) cost[j] = c;
+      }
+
+      // Brute-force reference: j survives iff no i strictly dominates it.
+      std::vector<uint32_t> expected;
+      for (uint32_t j = 0; j < m; ++j) {
+        bool dominated = false;
+        for (uint32_t i = 0; i < m && !dominated; ++i) {
+          dominated = cost[i] <= cost[j] &&
+                      naive.influence[i] >= naive.influence[j] &&
+                      (cost[i] < cost[j] ||
+                       naive.influence[i] > naive.influence[j]);
+        }
+        if (!dominated) expected.push_back(j);
+      }
+      std::sort(expected.begin(), expected.end(),
+                [&](uint32_t a, uint32_t b) {
+                  if (cost[a] != cost[b]) return cost[a] < cost[b];
+                  return a < b;
+                });
+
+      const query::SkylineResult got = query::SolveSkyline(prepared, cost);
+      bool match = got.members.size() == expected.size();
+      for (size_t i = 0; match && i < expected.size(); ++i) {
+        const query::SkylineMember& member = got.members[i];
+        match = member.candidate == expected[i] &&
+                member.influence == naive.influence[expected[i]] &&
+                member.cost == cost[expected[i]];
+      }
+      if (!match) {
+        std::ostringstream msg;
+        msg << "Skyline: " << got.members.size() << " members vs brute-force "
+            << expected.size() << " (cost mode " << mode << ")";
+        Fail(msg.str());
+      }
+
+      const size_t threads = 2 + result_->seed % 3;
+      const query::SkylineResult par =
+          query::SolveSkylineParallel(prepared, cost, threads);
+      bool par_match = par.members.size() == got.members.size() &&
+                       par.bound_skipped == got.bound_skipped;
+      for (size_t i = 0; par_match && i < got.members.size(); ++i) {
+        par_match = par.members[i].candidate == got.members[i].candidate &&
+                    par.members[i].influence == got.members[i].influence &&
+                    par.members[i].cost == got.members[i].cost;
+      }
+      if (par_match) {
+        const auto& a = par.stats;
+        const auto& b = got.stats;
+        par_match = a.pairs_pruned_by_ia == b.pairs_pruned_by_ia &&
+                    a.pairs_pruned_by_nib == b.pairs_pruned_by_nib &&
+                    a.pairs_validated == b.pairs_validated &&
+                    a.positions_scanned == b.positions_scanned &&
+                    a.early_stops == b.early_stops &&
+                    a.heap_pops == b.heap_pops &&
+                    a.strategy1_cutoffs == b.strategy1_cutoffs;
+      }
+      if (!par_match) {
+        std::ostringstream msg;
+        msg << "SkylineParallel(" << threads
+            << "): diverges from sequential skyline";
+        Fail(msg.str());
+      }
+    });
+  }
+
+  // Diversified selection against a recompute-every-round greedy built on
+  // influence sets derived from first principles (Definition 2 per pair),
+  // sweeping min_separation 0 (plain multi-facility, also diffed against
+  // SelectFacilities), a random separation up to the candidate diameter,
+  // and one larger than the diameter (only a single pick can ever be
+  // feasible). The parallel entry point is diffed bit-identically.
+  void CheckDiversified(const PreparedInstance& prepared,
+                        const SolverResult& naive) {
+    if (naive.influence.empty()) return;
+    Guard("Diversified", [&] {
+      Rng rng(result_->seed * 0x9E3779B97F4A7C15ull ^ kDiverseSalt);
+      const ObjectStore& store = prepared.store();
+      const size_t m = naive.influence.size();
+      const size_t r = store.size();
+      const size_t k = 1 + result_->seed % 4;
+
+      double diameter = 0.0;
+      for (uint32_t a = 0; a < m; ++a) {
+        for (uint32_t b = a + 1; b < m; ++b) {
+          diameter = std::max(
+              diameter, Distance(prepared.candidate(a), prepared.candidate(b)));
+        }
+      }
+      const int64_t mode = rng.UniformInt(0, 2);
+      double delta = 0.0;
+      if (mode == 1) delta = rng.Uniform(0.0, std::max(diameter, 1.0));
+      if (mode == 2) delta = diameter * 1.5 + 1.0;
+
+      // Influence sets from first principles.
+      std::vector<std::vector<uint32_t>> sets(m);
+      for (uint32_t j = 0; j < m; ++j) {
+        const Point& c = prepared.candidate(j);
+        for (uint32_t rec = 0; rec < r; ++rec) {
+          if (CumulativeInfluenceProbability(prepared.pf(), c,
+                                             store.positions(rec)) >=
+              prepared.tau()) {
+            sets[j].push_back(rec);
+          }
+        }
+      }
+
+      // Reference greedy: recompute every gain each round, pick the
+      // max-gain feasible candidate (smallest index on ties).
+      std::vector<uint32_t> want_selected;
+      std::vector<int64_t> want_coverage;
+      std::vector<char> covered(r, 0);
+      std::vector<char> picked(m, 0);
+      int64_t covered_count = 0;
+      while (want_selected.size() < std::min(k, m)) {
+        int64_t best_gain = -1;
+        uint32_t best_j = 0;
+        for (uint32_t j = 0; j < m; ++j) {
+          if (picked[j]) continue;
+          bool feasible = true;
+          for (uint32_t s : want_selected) {
+            if (Distance(prepared.candidate(s), prepared.candidate(j)) <
+                delta) {
+              feasible = false;
+              break;
+            }
+          }
+          if (!feasible) continue;
+          int64_t gain = 0;
+          for (uint32_t rec : sets[j]) gain += covered[rec] ? 0 : 1;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_j = j;
+          }
+        }
+        if (best_gain < 0) break;  // nothing feasible remains
+        picked[best_j] = 1;
+        want_selected.push_back(best_j);
+        for (uint32_t rec : sets[best_j]) {
+          if (!covered[rec]) {
+            covered[rec] = 1;
+            ++covered_count;
+          }
+        }
+        want_coverage.push_back(covered_count);
+      }
+
+      const query::DiversifiedResult got =
+          query::SelectDiversified(prepared, k, delta);
+      if (got.selected != want_selected || got.coverage != want_coverage) {
+        std::ostringstream msg;
+        msg << "Diversified(k=" << k << ", delta=" << delta << "): picked "
+            << got.selected.size() << " vs reference greedy "
+            << want_selected.size();
+        if (!got.selected.empty() && !want_selected.empty() &&
+            got.selected[0] != want_selected[0]) {
+          msg << " (first pick " << got.selected[0] << " vs "
+              << want_selected[0] << ")";
+        }
+        Fail(msg.str());
+      }
+      if (mode == 2 && got.selected.size() > 1) {
+        Fail("Diversified: multiple picks despite delta beyond the diameter");
+      }
+
+      if (delta == 0.0) {
+        // min_separation 0 must reduce exactly to multi-facility greedy.
+        const MultiFacilityResult mf = SelectFacilities(prepared, k);
+        if (mf.selected != got.selected || mf.coverage != got.coverage ||
+            mf.gain_evaluations != got.gain_evaluations) {
+          Fail("Diversified(delta=0): diverges from SelectFacilities");
+        }
+      }
+
+      const size_t threads = 2 + result_->seed % 3;
+      const query::DiversifiedResult par =
+          query::SelectDiversifiedParallel(prepared, k, delta, threads);
+      if (par.selected != got.selected || par.coverage != got.coverage ||
+          par.gain_evaluations != got.gain_evaluations ||
+          par.separation_rejections != got.separation_rejections) {
+        std::ostringstream msg;
+        msg << "DiversifiedParallel(" << threads
+            << "): diverges from sequential";
         Fail(msg.str());
       }
     });

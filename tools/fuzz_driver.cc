@@ -61,7 +61,7 @@ Point RandomPoint(Rng* rng) {
 
 Request RandomRequest(Rng* rng) {
   Request request;
-  switch (rng->UniformInt(0, 5)) {
+  switch (rng->UniformInt(0, 7)) {
     case 0:
       request.type = RequestType::kSolve;
       request.solve.algorithm =
@@ -101,6 +101,15 @@ Request RandomRequest(Rng* rng) {
       }
       break;
     }
+    case 5:
+      request.type = RequestType::kSkyline;
+      request.skyline.cost_origin = RandomPoint(rng);
+      break;
+    case 6:
+      request.type = RequestType::kDiversified;
+      request.diversified.k = static_cast<uint32_t>(rng->UniformInt(0, 64));
+      request.diversified.min_separation = rng->Uniform(0.0, 1e5);
+      break;
     default:
       request.type = RequestType::kStats;
       break;
@@ -110,7 +119,7 @@ Request RandomRequest(Rng* rng) {
 
 Response RandomResponse(Rng* rng) {
   Response response;
-  switch (rng->UniformInt(0, 4)) {
+  switch (rng->UniformInt(0, 6)) {
     case 0:
       response.type = ResponseType::kError;
       response.error.code = static_cast<ErrorCode>(rng->UniformInt(1, 6));
@@ -130,7 +139,8 @@ Response RandomResponse(Rng* rng) {
       for (int i = 0; i < k; ++i) {
         s.topk.push_back(
             RankedCandidate{static_cast<uint32_t>(rng->UniformInt(0, 1 << 20)),
-                            rng->UniformInt(0, 1 << 20)});
+                            rng->UniformInt(0, 1 << 20),
+                            rng->UniformInt(0, 1) == 1});
       }
       break;
     }
@@ -149,10 +159,47 @@ Response RandomResponse(Rng* rng) {
           static_cast<uint64_t>(rng->UniformInt(0, 64));
       response.update.accepted = rng->UniformInt(0, 1) == 1;
       break;
+    case 4: {
+      response.type = ResponseType::kSkyline;
+      SkylineResponse& s = response.skyline;
+      s.epoch = rng->Next();
+      s.num_objects = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.num_candidates = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.bound_skipped = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.solve_seconds = rng->NextDouble();
+      const int n = static_cast<int>(rng->UniformInt(0, 32));
+      for (int i = 0; i < n; ++i) {
+        s.skyline.push_back(
+            SkylineEntry{static_cast<uint32_t>(rng->UniformInt(0, 1 << 20)),
+                         rng->UniformInt(0, 1 << 20),
+                         rng->Uniform(0.0, 1e6)});
+      }
+      break;
+    }
+    case 5: {
+      response.type = ResponseType::kDiversified;
+      DiverseResponse& s = response.diverse;
+      s.epoch = rng->Next();
+      s.num_objects = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.num_candidates = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.gain_evaluations = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.solve_seconds = rng->NextDouble();
+      const int n = static_cast<int>(rng->UniformInt(0, 32));
+      for (int i = 0; i < n; ++i) {
+        s.selected.push_back(
+            DiverseEntry{static_cast<uint32_t>(rng->UniformInt(0, 1 << 20)),
+                         rng->UniformInt(0, 1 << 20)});
+      }
+      break;
+    }
     default:
       response.type = ResponseType::kStats;
       response.stats.epoch = rng->Next();
       response.stats.uptime_seconds = rng->NextDouble() * 1e4;
+      response.stats.skyline_requests =
+          static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      response.stats.diverse_requests =
+          static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
       break;
   }
   return response;
@@ -207,6 +254,11 @@ bool RequestsEqual(const Request& a, const Request& b) {
     }
     case RequestType::kStats:
       return true;
+    case RequestType::kSkyline:
+      return PointsEqual(a.skyline.cost_origin, b.skyline.cost_origin);
+    case RequestType::kDiversified:
+      return a.diversified.k == b.diversified.k &&
+             a.diversified.min_separation == b.diversified.min_separation;
   }
   return false;
 }
@@ -230,7 +282,8 @@ bool ResponsesEqual(const Response& a, const Response& b) {
       }
       for (size_t i = 0; i < x.topk.size(); ++i) {
         if (x.topk[i].candidate != y.topk[i].candidate ||
-            x.topk[i].influence != y.topk[i].influence) {
+            x.topk[i].influence != y.topk[i].influence ||
+            x.topk[i].exact != y.topk[i].exact) {
           return false;
         }
       }
@@ -248,7 +301,46 @@ bool ResponsesEqual(const Response& a, const Response& b) {
     case ResponseType::kStats:
       return a.stats.epoch == b.stats.epoch &&
              a.stats.uptime_seconds == b.stats.uptime_seconds &&
-             a.stats.solve_requests == b.stats.solve_requests;
+             a.stats.solve_requests == b.stats.solve_requests &&
+             a.stats.skyline_requests == b.stats.skyline_requests &&
+             a.stats.diverse_requests == b.stats.diverse_requests;
+    case ResponseType::kSkyline: {
+      const SkylineResponse& x = a.skyline;
+      const SkylineResponse& y = b.skyline;
+      if (x.epoch != y.epoch || x.num_objects != y.num_objects ||
+          x.num_candidates != y.num_candidates ||
+          x.bound_skipped != y.bound_skipped ||
+          x.solve_seconds != y.solve_seconds ||
+          x.skyline.size() != y.skyline.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < x.skyline.size(); ++i) {
+        if (x.skyline[i].candidate != y.skyline[i].candidate ||
+            x.skyline[i].influence != y.skyline[i].influence ||
+            x.skyline[i].cost != y.skyline[i].cost) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ResponseType::kDiversified: {
+      const DiverseResponse& x = a.diverse;
+      const DiverseResponse& y = b.diverse;
+      if (x.epoch != y.epoch || x.num_objects != y.num_objects ||
+          x.num_candidates != y.num_candidates ||
+          x.gain_evaluations != y.gain_evaluations ||
+          x.solve_seconds != y.solve_seconds ||
+          x.selected.size() != y.selected.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < x.selected.size(); ++i) {
+        if (x.selected[i].candidate != y.selected[i].candidate ||
+            x.selected[i].coverage != y.selected[i].coverage) {
+          return false;
+        }
+      }
+      return true;
+    }
   }
   return false;
 }

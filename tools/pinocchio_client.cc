@@ -36,6 +36,10 @@ Operations (--op=...):
   update            Append a candidate location: --x=F --y=F. (Object
                     updates are exercised by the load generator.)
   stats             Server statistics.
+  skyline           Influence/cost skyline; cost is the distance from each
+                    candidate to the origin --x=F --y=F.
+  diverse           Greedy diversified top-k: --k=N picks, each pair of
+                    picks >= --delta=F apart (0 = plain multi-facility).
 )";
 
 void JsonField(std::ostream& out, bool* first, const char* key, double v) {
@@ -87,8 +91,10 @@ int PrintResponse(const Response& response, bool json) {
         JsonField(out, &first, "solve_seconds", s.solve_seconds);
         out << ", \"topk\": [";
         for (size_t i = 0; i < s.topk.size(); ++i) {
-          out << (i ? ", " : "") << "[" << s.topk[i].candidate << ", "
-              << s.topk[i].influence << "]";
+          out << (i ? ", " : "") << "{\"candidate\": " << s.topk[i].candidate
+              << ", \"influence\": " << s.topk[i].influence
+              << ", \"influence_exact\": "
+              << (s.topk[i].exact ? "true" : "false") << "}";
         }
         out << "]}";
       } else {
@@ -98,7 +104,8 @@ int PrintResponse(const Response& response, bool json) {
             << s.best_influence << " in " << s.solve_seconds << " s\n";
         for (size_t i = 0; i < s.topk.size(); ++i) {
           out << "  #" << (i + 1) << "  candidate " << s.topk[i].candidate
-              << "  influence " << s.topk[i].influence << "\n";
+              << "  influence " << s.topk[i].influence
+              << (s.topk[i].exact ? "" : " (lower bound)") << "\n";
         }
       }
       std::cout << out.str() << (json ? "\n" : "");
@@ -163,6 +170,10 @@ int PrintResponse(const Response& response, bool json) {
                   (unsigned long long)s.update_requests);
         JsonField(out, &first, "stats_requests",
                   (unsigned long long)s.stats_requests);
+        JsonField(out, &first, "skyline_requests",
+                  (unsigned long long)s.skyline_requests);
+        JsonField(out, &first, "diverse_requests",
+                  (unsigned long long)s.diverse_requests);
         JsonField(out, &first, "error_responses",
                   (unsigned long long)s.error_responses);
         JsonField(out, &first, "uptime_seconds", s.uptime_seconds);
@@ -177,12 +188,82 @@ int PrintResponse(const Response& response, bool json) {
             << "solve " << s.solve_requests << "  topk " << s.topk_requests
             << "  probe " << s.probe_requests << "  whatif "
             << s.whatif_requests << "  update " << s.update_requests
-            << "  stats " << s.stats_requests << "  errors "
+            << "  stats " << s.stats_requests << "  skyline "
+            << s.skyline_requests << "  diverse " << s.diverse_requests
+            << "  errors "
             << s.error_responses << "\nuptime " << s.uptime_seconds
             << " s, solve threads " << s.solve_threads << ", solve busy "
             << s.solve_busy_seconds << " s";
       }
       std::cout << out.str() << "\n";
+      return 0;
+    }
+    case ResponseType::kSkyline: {
+      const SkylineResponse& s = response.skyline;
+      if (json) {
+        out << "{";
+        JsonField(out, &first, "epoch", (unsigned long long)s.epoch);
+        JsonField(out, &first, "num_objects",
+                  (unsigned long long)s.num_objects);
+        JsonField(out, &first, "num_candidates",
+                  (unsigned long long)s.num_candidates);
+        JsonField(out, &first, "bound_skipped",
+                  (unsigned long long)s.bound_skipped);
+        JsonField(out, &first, "solve_seconds", s.solve_seconds);
+        out << ", \"skyline\": [";
+        for (size_t i = 0; i < s.skyline.size(); ++i) {
+          out << (i ? ", " : "") << "{\"candidate\": "
+              << s.skyline[i].candidate
+              << ", \"influence\": " << s.skyline[i].influence
+              << ", \"cost\": " << s.skyline[i].cost << "}";
+        }
+        out << "]}";
+      } else {
+        out << "epoch " << s.epoch << " (" << s.num_objects << " objects, "
+            << s.num_candidates << " candidates)\n"
+            << s.skyline.size() << " skyline members ("
+            << s.bound_skipped << " bound-skipped) in " << s.solve_seconds
+            << " s\n";
+        for (size_t i = 0; i < s.skyline.size(); ++i) {
+          out << "  candidate " << s.skyline[i].candidate << "  influence "
+              << s.skyline[i].influence << "  cost " << s.skyline[i].cost
+              << "\n";
+        }
+      }
+      std::cout << out.str() << (json ? "\n" : "");
+      return 0;
+    }
+    case ResponseType::kDiversified: {
+      const DiverseResponse& s = response.diverse;
+      if (json) {
+        out << "{";
+        JsonField(out, &first, "epoch", (unsigned long long)s.epoch);
+        JsonField(out, &first, "num_objects",
+                  (unsigned long long)s.num_objects);
+        JsonField(out, &first, "num_candidates",
+                  (unsigned long long)s.num_candidates);
+        JsonField(out, &first, "gain_evaluations",
+                  (unsigned long long)s.gain_evaluations);
+        JsonField(out, &first, "solve_seconds", s.solve_seconds);
+        out << ", \"selected\": [";
+        for (size_t i = 0; i < s.selected.size(); ++i) {
+          out << (i ? ", " : "") << "{\"candidate\": "
+              << s.selected[i].candidate
+              << ", \"coverage\": " << s.selected[i].coverage << "}";
+        }
+        out << "]}";
+      } else {
+        out << "epoch " << s.epoch << " (" << s.num_objects << " objects, "
+            << s.num_candidates << " candidates)\n"
+            << s.selected.size() << " picks (" << s.gain_evaluations
+            << " gain evaluations) in " << s.solve_seconds << " s\n";
+        for (size_t i = 0; i < s.selected.size(); ++i) {
+          out << "  #" << (i + 1) << "  candidate "
+              << s.selected[i].candidate << "  coverage "
+              << s.selected[i].coverage << "\n";
+        }
+      }
+      std::cout << out.str() << (json ? "\n" : "");
       return 0;
     }
   }
@@ -200,7 +281,7 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.UnknownFlags({"op", "host", "port", "json",
                                            "algo", "k", "x", "y", "tau",
-                                           "rho", "lambda", "help"});
+                                           "rho", "lambda", "delta", "help"});
   if (!unknown.empty() || !flags.errors().empty()) {
     for (const std::string& name : unknown) {
       std::cerr << "error: unknown flag --" << name << "\n";
@@ -252,6 +333,14 @@ int main(int argc, char** argv) {
         Point{flags.GetDouble("x", 0.0), flags.GetDouble("y", 0.0)});
   } else if (*op == "stats") {
     request.type = RequestType::kStats;
+  } else if (*op == "skyline") {
+    request.type = RequestType::kSkyline;
+    request.skyline.cost_origin =
+        Point{flags.GetDouble("x", 0.0), flags.GetDouble("y", 0.0)};
+  } else if (*op == "diverse") {
+    request.type = RequestType::kDiversified;
+    request.diversified.k = static_cast<uint32_t>(flags.GetInt("k", 4));
+    request.diversified.min_separation = flags.GetDouble("delta", 0.0);
   } else {
     std::cerr << "unknown --op '" << *op << "'\n" << kUsage;
     return 2;

@@ -2,7 +2,8 @@
 //
 // Opens --connections TCP connections, each driven by its own thread
 // issuing a deterministic mixed stream of requests (topk / probe /
-// what-if / update / solve / stats, weights set by --mix) back-to-back
+// what-if / update / solve / stats / skyline / diverse, weights set by
+// --mix) back-to-back
 // until --duration elapses. Per-request wall latency is recorded by
 // class; at the end the merged distributions are printed as p50/p95/p99
 // plus overall QPS, and — when $PINOCCHIO_BENCH_JSON is set — appended
@@ -44,7 +45,8 @@ constexpr char kUsage[] = R"(Usage: pinocchio_loadgen [flags]
   --duration=F       Seconds to run (default 5).
   --seed=N           Mix/point seed; runs are deterministic per seed (7).
   --mix=SPEC         Comma-separated class:weight list (default
-                     "topk:30,probe:30,whatif:15,update:5,solve:15,stats:5").
+                     "topk:25,probe:25,whatif:10,update:5,solve:10,stats:5,
+                      skyline:12,diverse:8").
   --extent-km=F      Probe/update points are drawn uniformly from
                      [0, extent]^2 km (default 39, the Foursquare extent).
   --k=N              Ranking size for topk/solve/whatif requests (5).
@@ -60,11 +62,14 @@ enum Class : size_t {
   kClassUpdate,
   kClassSolve,
   kClassStats,
+  kClassSkyline,
+  kClassDiverse,
   kNumClasses,
 };
 
-const char* const kClassNames[kNumClasses] = {"topk",   "probe", "whatif",
-                                              "update", "solve", "stats"};
+const char* const kClassNames[kNumClasses] = {
+    "topk", "probe", "whatif", "update", "solve", "stats", "skyline",
+    "diverse"};
 
 struct WorkerResult {
   std::vector<double> latencies[kNumClasses];  // seconds per request
@@ -119,6 +124,18 @@ Request MakeRequest(Class cls, const RunConfig& config, Rng* rng,
       request.type = RequestType::kSolve;
       request.solve.algorithm = WireAlgorithm::kPinVO;
       request.solve.top_k = config.k;
+      break;
+    case kClassSkyline:
+      request.type = RequestType::kSkyline;
+      request.skyline.cost_origin =
+          Point{rng->Uniform(0.0, config.extent_meters),
+                rng->Uniform(0.0, config.extent_meters)};
+      break;
+    case kClassDiverse:
+      request.type = RequestType::kDiversified;
+      request.diversified.k = config.k;
+      request.diversified.min_separation =
+          rng->Uniform(0.0, config.extent_meters / 8.0);
       break;
     case kClassStats:
     default:
@@ -250,8 +267,8 @@ int main(int argc, char** argv) {
   }
   std::string mix_error;
   if (!ParseMix(flags.GetString(
-                    "mix", "topk:30,probe:30,whatif:15,update:5,solve:15,"
-                           "stats:5"),
+                    "mix", "topk:25,probe:25,whatif:10,update:5,solve:10,"
+                           "stats:5,skyline:12,diverse:8"),
                 &config.weights, &mix_error)) {
     std::cerr << "error: " << mix_error << "\n";
     return 2;
