@@ -1,0 +1,267 @@
+// Streaming ingestion benchmark: steady-state observation throughput of
+// the delta-maintained sliding window (IncrementalPrimeLS::AppendPosition
+// / ExpireOldestPosition) against the legacy remove-and-re-add SyncObject
+// path, on an identical observation stream.
+//
+// The delta engine fills a window of W positions (W = 1M at
+// PINOCCHIO_BENCH_SCALE=1.0), then ingests a timed steady-state slice in
+// which every observation also expires the oldest one on average. The
+// slice additionally records per-observation latencies, whose p99 is
+// reported as the best-lag: the worst-case delay between an observation
+// arriving and the maintained optimum reflecting it (reads of Best()
+// are O(1) against the maintained order, so ingest latency IS the
+// staleness).
+//
+// Rebuild throughput is measured on a smaller calibration window with
+// the SAME per-object position density and candidate count — the two
+// quantities its per-observation cost actually scales with (SyncObject
+// removes and re-adds one object's position set; the total window size
+// only enters through cache pressure, which favours the smaller run).
+// The reported speedup is therefore conservative for the full window.
+// A delta twin ingests the identical calibration stream so the two
+// maintenance modes can be compared state-for-state at the end.
+//
+// Emits google-benchmark-style JSON lines to $PINOCCHIO_BENCH_JSON —
+// "BM_StreamIngest/delta", "BM_StreamIngest/rebuild" and
+// "BM_StreamIngest/fill" — which scripts/check_bench_regression.py gates
+// in CI against bench/baselines/streaming-baseline.jsonl. Exits nonzero
+// if the two maintenance modes disagree on any influence counter, the
+// optimum, or the live-position count after the shared stream: the
+// modes' contract is exact equality at every step.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/streaming.h"
+#include "geo/point.h"
+#include "util/quantile.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+/// Window size in positions at PINOCCHIO_BENCH_SCALE=1.0.
+constexpr size_t kWindowPositionsFullScale = 1'000'000;
+/// Mean in-window positions per object — the quantity the rebuild path's
+/// per-observation cost scales with.
+constexpr size_t kPositionsPerObject = 128;
+/// Simulated inter-observation gap; the window spans W observations.
+constexpr double kObservationGapSeconds = 1e-3;
+
+struct TimedObservation {
+  uint32_t object_id;
+  double time;
+  Point position;
+};
+
+/// One shared stream for both engines: objects random-walk inside the
+/// candidate bounding box, observation times advance on a fixed grid.
+std::vector<TimedObservation> MakeStream(const ProblemInstance& instance,
+                                         size_t count, size_t num_objects,
+                                         uint64_t seed) {
+  Point lo = instance.candidates.front();
+  Point hi = lo;
+  for (const Point& c : instance.candidates) {
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+  }
+  Rng rng(seed);
+  std::vector<Point> cursor(num_objects);
+  for (Point& p : cursor) {
+    p = {rng.Uniform(lo.x, hi.x), rng.Uniform(lo.y, hi.y)};
+  }
+  const double step = std::max(hi.x - lo.x, hi.y - lo.y) / 200.0;
+  std::vector<TimedObservation> stream;
+  stream.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const auto id = static_cast<uint32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_objects) - 1));
+    Point& p = cursor[id];
+    p.x = std::clamp(p.x + rng.Uniform(-step, step), lo.x, hi.x);
+    p.y = std::clamp(p.y + rng.Uniform(-step, step), lo.y, hi.y);
+    stream.push_back(
+        {id, static_cast<double>(i + 1) * kObservationGapSeconds, p});
+  }
+  return stream;
+}
+
+struct IngestResult {
+  double fill_seconds = 0.0;
+  double steady_seconds = 0.0;
+  double best_lag_p99_seconds = 0.0;
+  uint64_t best_changes = 0;
+};
+
+/// Feeds the whole stream: the first `fill` observations populate the
+/// window, the remainder is the timed steady-state slice. `track_lag`
+/// additionally times every steady observation individually.
+IngestResult RunIngest(StreamingPrimeLS& engine,
+                       const std::vector<TimedObservation>& stream,
+                       size_t fill, bool track_lag) {
+  IngestResult result;
+  engine.SetBestChangedCallback(
+      [&result](const std::optional<std::pair<size_t, int64_t>>&, double) {
+        ++result.best_changes;
+      });
+  Stopwatch fill_watch;
+  for (size_t i = 0; i < fill; ++i) {
+    engine.Observe(stream[i].object_id, stream[i].time, stream[i].position);
+  }
+  result.fill_seconds = fill_watch.ElapsedSeconds();
+
+  result.best_changes = 0;
+  std::vector<double> lags;
+  if (track_lag) lags.reserve(stream.size() - fill);
+  Stopwatch steady_watch;
+  for (size_t i = fill; i < stream.size(); ++i) {
+    if (track_lag) {
+      Stopwatch op_watch;
+      engine.Observe(stream[i].object_id, stream[i].time, stream[i].position);
+      lags.push_back(op_watch.ElapsedSeconds());
+    } else {
+      engine.Observe(stream[i].object_id, stream[i].time, stream[i].position);
+    }
+  }
+  result.steady_seconds = steady_watch.ElapsedSeconds();
+  if (track_lag) {
+    SortForQuantiles(lags);
+    result.best_lag_p99_seconds = QuantileOfSorted(lags, 0.99);
+  }
+  engine.SetBestChangedCallback(nullptr);
+  return result;
+}
+
+/// The two modes must agree exactly after the shared stream; any
+/// divergence is a correctness bug in the delta maintenance.
+bool EnginesAgree(const StreamingPrimeLS& delta,
+                  const StreamingPrimeLS& rebuild, size_t num_candidates) {
+  if (delta.NumLivePositions() != rebuild.NumLivePositions() ||
+      delta.NumLiveObjects() != rebuild.NumLiveObjects() ||
+      delta.Best() != rebuild.Best()) {
+    return false;
+  }
+  for (size_t j = 0; j < num_candidates; ++j) {
+    if (delta.InfluenceOf(j) != rebuild.InfluenceOf(j)) return false;
+  }
+  return true;
+}
+
+int Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("streaming_ingest");
+
+  const size_t window_positions = std::max<size_t>(
+      20'000, static_cast<size_t>(
+                  static_cast<double>(kWindowPositionsFullScale) * ctx.scale));
+  const size_t steady = std::min<size_t>(20'000, window_positions / 4);
+  const size_t num_objects =
+      std::max<size_t>(64, window_positions / kPositionsPerObject);
+  // Calibration window for the rebuild path: same density, fewer objects.
+  const size_t cal_window = std::min<size_t>(window_positions, 20'000);
+  const size_t cal_steady = std::min<size_t>(5'000, cal_window / 4);
+  const size_t cal_objects = std::max<size_t>(64, cal_window / kPositionsPerObject);
+
+  const CheckinDataset dataset = MakeGowalla(ctx);
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+  const ProblemInstance instance = MakeInstance(dataset, m, ctx.seed);
+  const std::vector<TimedObservation> stream = MakeStream(
+      instance, window_positions + steady, num_objects, ctx.seed + 1);
+  const std::vector<TimedObservation> cal_stream =
+      MakeStream(instance, cal_window + cal_steady, cal_objects, ctx.seed + 2);
+
+  StreamingPrimeLS::Options options;
+  options.config = DefaultConfig();
+  options.window_seconds =
+      static_cast<double>(window_positions) * kObservationGapSeconds;
+
+  options.maintenance = StreamingPrimeLS::Maintenance::kDelta;
+  StreamingPrimeLS delta(instance.candidates, options);
+  const IngestResult delta_run =
+      RunIngest(delta, stream, window_positions, /*track_lag=*/true);
+
+  StreamingPrimeLS::Options cal_options = options;
+  cal_options.window_seconds =
+      static_cast<double>(cal_window) * kObservationGapSeconds;
+  cal_options.maintenance = StreamingPrimeLS::Maintenance::kRebuild;
+  StreamingPrimeLS rebuild(instance.candidates, cal_options);
+  const IngestResult rebuild_run =
+      RunIngest(rebuild, cal_stream, cal_window, /*track_lag=*/false);
+  cal_options.maintenance = StreamingPrimeLS::Maintenance::kDelta;
+  StreamingPrimeLS delta_twin(instance.candidates, cal_options);
+  RunIngest(delta_twin, cal_stream, cal_window, /*track_lag=*/false);
+
+  const double delta_pps =
+      static_cast<double>(steady) / delta_run.steady_seconds;
+  const double rebuild_pps =
+      static_cast<double>(cal_steady) / rebuild_run.steady_seconds;
+  const double fill_pps =
+      static_cast<double>(window_positions) / delta_run.fill_seconds;
+  const double speedup = delta_pps / rebuild_pps;
+  const bool agree =
+      EnginesAgree(delta_twin, rebuild, instance.candidates.size());
+
+  TablePrinter table(
+      "Streaming ingest (Gowalla candidates, " +
+          std::to_string(window_positions) + "-position window, " +
+          std::to_string(steady) + " steady observations)",
+      {"mode", "seconds", "positions/s", "best-lag p99", "agree"});
+  table.AddRow({"delta (steady)", FormatSeconds(delta_run.steady_seconds),
+                std::to_string(static_cast<uint64_t>(delta_pps)),
+                FormatSeconds(delta_run.best_lag_p99_seconds),
+                agree ? "yes" : "NO"});
+  table.AddRow({"rebuild (steady, " + std::to_string(cal_window) + "-pos cal)",
+                FormatSeconds(rebuild_run.steady_seconds),
+                std::to_string(static_cast<uint64_t>(rebuild_pps)), "-",
+                agree ? "yes" : "NO"});
+  table.AddRow({"delta (fill)", FormatSeconds(delta_run.fill_seconds),
+                std::to_string(static_cast<uint64_t>(fill_pps)), "-", "-"});
+  table.Print(std::cout);
+  std::cout << "  delta speedup over rebuild: " << speedup << "x ("
+            << delta_run.best_changes << " best changes in the steady slice)\n";
+
+  const char* json_path = std::getenv("PINOCCHIO_BENCH_JSON");
+  if (json_path != nullptr && *json_path != '\0') {
+    std::ofstream json(json_path, std::ios::app);
+    if (!json) {
+      std::cerr << "[bench] cannot open PINOCCHIO_BENCH_JSON=" << json_path
+                << "\n";
+    } else {
+      json << "{\"name\": \"BM_StreamIngest/delta\", \"seconds\": "
+           << delta_run.steady_seconds
+           << ", \"positions_per_sec\": " << delta_pps
+           << ", \"best_lag_p99_seconds\": " << delta_run.best_lag_p99_seconds
+           << ", \"best_changes\": " << delta_run.best_changes
+           << ", \"window_positions\": " << window_positions
+           << ", \"speedup_vs_rebuild\": " << speedup << "}\n";
+      json << "{\"name\": \"BM_StreamIngest/rebuild\", \"seconds\": "
+           << rebuild_run.steady_seconds
+           << ", \"positions_per_sec\": " << rebuild_pps << "}\n";
+      json << "{\"name\": \"BM_StreamIngest/fill\", \"seconds\": "
+           << delta_run.fill_seconds
+           << ", \"positions_per_sec\": " << fill_pps << "}\n";
+    }
+  }
+
+  if (!agree) {
+    std::cerr << "[bench] FATAL: delta and rebuild maintenance disagree "
+                 "after an identical stream\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() { return pinocchio::bench::Main(); }

@@ -1,14 +1,61 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
 
 #include "core/prune_pipeline.h"
 #include "geo/regions.h"
 #include "prob/influence.h"
 #include "prob/influence_kernel.h"
 #include "util/logging.h"
+#include "util/self_check.h"
 
 namespace pinocchio {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Watch-set pad parameters. A rebuilt watch set stays valid while the
+// object's minMaxRadius stays at or below the pad radius (sized for twice
+// the current position count, so radius-driven rebuilds are O(log) per
+// doubling) and its MBR has not grown past the pad slack on any side.
+// kExpansionSafety > sqrt(2) absorbs the worst-case corner shrinkage of a
+// point-to-box distance when the box inflates, plus rounding headroom.
+constexpr size_t kPadPositions = 16;
+constexpr double kPadRadiusShare = 0.25;
+constexpr double kMinPadSlack = 1e-6;
+constexpr double kExpansionSafety = 1.5;
+
+/// How far `mbr` sticks out past `pad` on its widest side (0 if inside).
+double ExpansionBeyond(const Mbr& pad, const Mbr& mbr) {
+  double expansion = 0.0;
+  expansion = std::max(expansion, pad.min_x() - mbr.min_x());
+  expansion = std::max(expansion, mbr.max_x() - pad.max_x());
+  expansion = std::max(expansion, pad.min_y() - mbr.min_y());
+  expansion = std::max(expansion, mbr.max_y() - pad.max_y());
+  return expansion;
+}
+
+using MonoDeque = std::deque<std::pair<uint64_t, double>>;
+
+void PushMin(MonoDeque& d, uint64_t seq, double value) {
+  while (!d.empty() && d.back().second >= value) d.pop_back();
+  d.emplace_back(seq, value);
+}
+
+void PushMax(MonoDeque& d, uint64_t seq, double value) {
+  while (!d.empty() && d.back().second <= value) d.pop_back();
+  d.emplace_back(seq, value);
+}
+
+void PopExpired(MonoDeque& d, uint64_t seq) {
+  if (!d.empty() && d.front().first == seq) d.pop_front();
+}
+
+}  // namespace
 
 IncrementalPrimeLS::IncrementalPrimeLS(std::vector<Point> candidates,
                                        SolverConfig config)
@@ -20,6 +67,7 @@ IncrementalPrimeLS::IncrementalPrimeLS(std::vector<Point> candidates,
       rtree_(config_.rtree_fanout) {
   PINO_CHECK(config_.pf != nullptr);
   rtree_ = BuildCandidateRTree(candidates_, config_.rtree_fanout);
+  for (uint32_t j = 0; j < candidates_.size(); ++j) order_.emplace(0, j);
 }
 
 double IncrementalPrimeLS::RadiusFor(size_t n) {
@@ -31,8 +79,19 @@ double IncrementalPrimeLS::RadiusFor(size_t n) {
   return it->second;
 }
 
+void IncrementalPrimeLS::BumpInfluence(uint32_t j, int64_t delta) {
+  if (delta == 0) return;
+  if (active_[j]) {
+    order_.erase({influence_[j], j});
+    influence_[j] += delta;
+    order_.emplace(influence_[j], j);
+  } else {
+    influence_[j] += delta;  // retired slot: counter is unobservable
+  }
+}
+
 std::vector<uint32_t> IncrementalPrimeLS::InfluencedCandidates(
-    const std::vector<Point>& positions, const Mbr& mbr, double radius) const {
+    std::span<const Point> positions, const Mbr& mbr, double radius) const {
   const InfluenceArcsRegion ia(mbr, radius);
   const NonInfluenceBoundary nib(mbr, radius);
   const InfluenceKernel kernel(*config_.pf, config_.tau);
@@ -51,6 +110,19 @@ std::vector<uint32_t> IncrementalPrimeLS::InfluencedCandidates(
   return influenced;
 }
 
+std::span<const Point> IncrementalPrimeLS::WindowSpan(
+    const LiveObject& live) const {
+  const size_t head = live.delta ? live.delta->head : 0;
+  return std::span<const Point>(live.positions.data() + head,
+                                live.positions.size() - head);
+}
+
+size_t IncrementalPrimeLS::NumPositionsOf(uint32_t object_id) const {
+  const auto it = objects_.find(object_id);
+  if (it == objects_.end()) return 0;
+  return WindowSpan(it->second).size();
+}
+
 size_t IncrementalPrimeLS::AddObject(const MovingObject& object) {
   PINO_CHECK(!object.positions.empty())
       << "object " << object.id << " has no positions";
@@ -62,16 +134,26 @@ size_t IncrementalPrimeLS::AddObject(const MovingObject& object) {
   live.min_max_radius = RadiusFor(object.positions.size());
   live.influenced =
       InfluencedCandidates(live.positions, live.mbr, live.min_max_radius);
-  for (uint32_t j : live.influenced) ++influence_[j];
+  for (uint32_t j : live.influenced) BumpInfluence(j, +1);
   const size_t count = live.influenced.size();
   objects_.emplace(object.id, std::move(live));
   return count;
 }
 
+void IncrementalPrimeLS::RemoveContributions(const LiveObject& live) {
+  if (live.delta) {
+    for (const WatchEntry& entry : live.delta->watch) {
+      if (entry.influenced) BumpInfluence(entry.candidate, -1);
+    }
+  } else {
+    for (uint32_t j : live.influenced) BumpInfluence(j, -1);
+  }
+}
+
 bool IncrementalPrimeLS::RemoveObject(uint32_t object_id) {
   auto it = objects_.find(object_id);
   if (it == objects_.end()) return false;
-  for (uint32_t j : it->second.influenced) --influence_[j];
+  RemoveContributions(it->second);
   objects_.erase(it);
   return true;
 }
@@ -83,13 +165,334 @@ bool IncrementalPrimeLS::UpdateObject(uint32_t object_id,
   auto it = objects_.find(object_id);
   if (it == objects_.end()) return false;
   LiveObject& live = it->second;
-  for (uint32_t j : live.influenced) --influence_[j];
+  RemoveContributions(live);
+  live.delta.reset();  // wholesale replacement: back to batch maintenance
   live.positions = std::move(positions);
   live.mbr = Mbr::Of(live.positions);
   live.min_max_radius = RadiusFor(live.positions.size());
   live.influenced =
       InfluencedCandidates(live.positions, live.mbr, live.min_max_radius);
-  for (uint32_t j : live.influenced) ++influence_[j];
+  for (uint32_t j : live.influenced) BumpInfluence(j, +1);
+  return true;
+}
+
+void IncrementalPrimeLS::EnsureDeltaKernel() {
+  if (delta_kernel_) return;
+  self_check_ = SelfCheckEnabled();
+  delta_kernel_.emplace(*config_.pf, config_.tau);
+  // Built for its threshold table only — Filter() is never called, so the
+  // portable tier is fine on every architecture and under every override.
+  delta_table_ = std::make_shared<const SimdInfluenceFilter>(
+      *config_.pf, config_.tau, delta_kernel_->early_exit_log_survival(),
+      SimdTier::kPortable);
+}
+
+void IncrementalPrimeLS::RefoldEntry(WatchEntry& entry,
+                                     std::span<const Point> span) const {
+  const ProbabilityFunction& pf = *config_.pf;
+  double lo = 0.0;
+  double hi = 0.0;
+  uint32_t certain = 0;
+  for (const Point& p : span) {
+    const double prob = pf(Distance(entry.location, p));
+    if (prob >= 1.0) {
+      ++certain;
+      continue;
+    }
+    const double t = std::log1p(-prob);
+    lo = std::nextafter(lo + t, -kInf);
+    hi = std::nextafter(hi + t, kInf);
+  }
+  entry.sum_lo = lo;
+  entry.sum_hi = hi;
+  entry.certain = certain;
+}
+
+namespace {
+
+/// Applies one position's scalar log-survival term to `entry`'s certified
+/// bracket, outward-rounded so the bracket keeps containing the true sum.
+/// Append and expire call this with the same (location, position) pair and
+/// opposite signs, so the term cancels bit-exactly on expiry.
+void ApplyTerm(const ProbabilityFunction& pf, const Point& location,
+               const Point& position, bool add, uint32_t* certain,
+               double* sum_lo, double* sum_hi) {
+  const double prob = pf(Distance(location, position));
+  if (prob >= 1.0) {
+    if (add) {
+      ++*certain;
+    } else {
+      PINO_CHECK_GT(*certain, 0u);
+      --*certain;
+    }
+    return;
+  }
+  const double term = std::log1p(-prob);
+  const double delta = add ? term : -term;
+  *sum_lo = std::nextafter(*sum_lo + delta, -kInf);
+  *sum_hi = std::nextafter(*sum_hi + delta, kInf);
+}
+
+}  // namespace
+
+void IncrementalPrimeLS::DecideEntry(WatchEntry& entry,
+                                     const LiveObject& live) {
+  const std::span<const Point> span = WindowSpan(live);
+  const auto terms = static_cast<uint64_t>(span.size());
+  const simd_internal::FilterTable& table = delta_table_->table();
+  bool influenced;
+  if (entry.certain > 0) {
+    influenced = true;  // a saturated position alone decides (Lemma 4)
+  } else if (entry.sum_hi <=
+             simd_internal::AdjustedInfluenceThreshold(table, terms)) {
+    influenced = true;
+  } else if (entry.sum_lo >=
+             simd_internal::AdjustedRejectThreshold(table, terms)) {
+    influenced = false;
+  } else {
+    // Boundary band: the exact scalar kernel decides, and the refold
+    // resets the interval widening the incremental updates accumulated.
+    influenced = delta_kernel_->Decide(entry.location, span).influenced;
+    RefoldEntry(entry, span);
+  }
+  if (self_check_) {
+    const bool exact = delta_kernel_->Decide(entry.location, span).influenced;
+    if (exact != influenced) {
+      std::ostringstream msg;
+      msg.precision(17);
+      msg << "delta bracket disagrees with kernel Decide: bracket says "
+          << (influenced ? "influenced" : "not influenced") << " but Decide "
+          << (exact ? "influenced" : "not influenced") << " for candidate "
+          << entry.candidate << " at (" << entry.location.x << ", "
+          << entry.location.y << ") over " << span.size()
+          << " positions (sum in [" << entry.sum_lo << ", " << entry.sum_hi
+          << "], certain=" << entry.certain << ")";
+      ReportSelfCheckViolation(msg.str());
+    }
+  }
+  if (influenced != entry.influenced) {
+    entry.influenced = influenced;
+    BumpInfluence(entry.candidate, influenced ? +1 : -1);
+  }
+}
+
+void IncrementalPrimeLS::RebuildWatch(LiveObject& live) {
+  DeltaState& d = *live.delta;
+  const std::span<const Point> span = WindowSpan(live);
+  const size_t n = span.size();
+  double pad_radius = RadiusFor(2 * n + kPadPositions);
+  // Guard against ulp-level non-monotonicity of the computed radius: the
+  // pad must dominate the current certificate.
+  pad_radius = std::max(pad_radius, live.min_max_radius);
+  const double pad_slack =
+      std::max(kPadRadiusShare * std::max(pad_radius, 0.0), kMinPadSlack);
+
+  // Carry surviving entries over untouched (their brackets stay sound);
+  // entries that fall outside the new pad must be uninfluenced — keep any
+  // influenced stragglers defensively so counters never go stale.
+  std::unordered_map<uint32_t, size_t> old_index;
+  old_index.reserve(d.watch.size());
+  for (size_t i = 0; i < d.watch.size(); ++i) {
+    old_index.emplace(d.watch[i].candidate, i);
+  }
+  std::vector<WatchEntry> fresh;
+  std::unordered_set<uint32_t> selected;
+  if (pad_radius >= 0.0) {
+    const double watch_radius = pad_radius + pad_slack;
+    rtree_.QueryRect(live.mbr.Inflated(watch_radius), [&](const RTreeEntry& e) {
+      if (live.mbr.MinDist(e.point) > watch_radius) return;
+      selected.insert(e.id);
+      const auto it = old_index.find(e.id);
+      if (it != old_index.end()) {
+        fresh.push_back(std::move(d.watch[it->second]));
+        return;
+      }
+      WatchEntry entry;
+      entry.candidate = e.id;
+      entry.location = e.point;
+      RefoldEntry(entry, span);
+      fresh.push_back(entry);
+      DecideEntry(fresh.back(), live);
+    });
+  }
+  for (WatchEntry& entry : d.watch) {
+    if (entry.influenced && selected.find(entry.candidate) == selected.end()) {
+      fresh.push_back(std::move(entry));
+    }
+  }
+  d.watch = std::move(fresh);
+  d.pad_mbr = live.mbr;
+  d.pad_radius = pad_radius;
+  d.pad_slack = pad_slack;
+}
+
+void IncrementalPrimeLS::EnsureDelta(LiveObject& live) {
+  if (live.delta) return;
+  EnsureDeltaKernel();
+  auto delta = std::make_unique<DeltaState>();
+  for (size_t i = 0; i < live.positions.size(); ++i) {
+    const Point& p = live.positions[i];
+    const auto seq = static_cast<uint64_t>(i);
+    PushMin(delta->min_x, seq, p.x);
+    PushMax(delta->max_x, seq, p.x);
+    PushMin(delta->min_y, seq, p.y);
+    PushMax(delta->max_y, seq, p.y);
+  }
+  delta->next_seq = live.positions.size();
+  live.delta = std::move(delta);
+  // Seed the watch set from the batch state: flags come from the cached
+  // influenced list, so no counter moves here. RebuildWatch would bump
+  // counters for entrants, hence the manual build.
+  DeltaState& d = *live.delta;
+  const std::span<const Point> span = WindowSpan(live);
+  const size_t n = span.size();
+  double pad_radius = RadiusFor(2 * n + kPadPositions);
+  pad_radius = std::max(pad_radius, live.min_max_radius);
+  const double pad_slack =
+      std::max(kPadRadiusShare * std::max(pad_radius, 0.0), kMinPadSlack);
+  const std::unordered_set<uint32_t> influenced_set(live.influenced.begin(),
+                                                    live.influenced.end());
+  std::unordered_set<uint32_t> selected;
+  if (pad_radius >= 0.0) {
+    const double watch_radius = pad_radius + pad_slack;
+    rtree_.QueryRect(live.mbr.Inflated(watch_radius), [&](const RTreeEntry& e) {
+      if (live.mbr.MinDist(e.point) > watch_radius) return;
+      selected.insert(e.id);
+      WatchEntry entry;
+      entry.candidate = e.id;
+      entry.location = e.point;
+      RefoldEntry(entry, span);
+      entry.influenced = influenced_set.find(e.id) != influenced_set.end();
+      d.watch.push_back(entry);
+    });
+  }
+  // Influenced candidates outside the selection (retired slots the R-tree
+  // no longer holds, or — defensively — boundary rounding) stay watched.
+  for (uint32_t j : live.influenced) {
+    if (selected.find(j) != selected.end()) continue;
+    WatchEntry entry;
+    entry.candidate = j;
+    entry.location = candidates_[j];
+    RefoldEntry(entry, span);
+    entry.influenced = true;
+    d.watch.push_back(entry);
+  }
+  d.pad_mbr = live.mbr;
+  d.pad_radius = pad_radius;
+  d.pad_slack = pad_slack;
+  live.influenced.clear();  // superseded by the watch flags
+  live.influenced.shrink_to_fit();
+}
+
+size_t IncrementalPrimeLS::AppendPosition(uint32_t object_id,
+                                          const Point& position) {
+  EnsureDeltaKernel();
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) {
+    // Delta-native creation: a one-position object through the batch path,
+    // then conversion — both are O(one R-tree query) at n = 1.
+    MovingObject object;
+    object.id = object_id;
+    object.positions.push_back(position);
+    AddObject(object);
+    EnsureDelta(objects_.find(object_id)->second);
+    return 1;
+  }
+  LiveObject& live = it->second;
+  EnsureDelta(live);
+  DeltaState& d = *live.delta;
+
+  live.positions.push_back(position);
+  const uint64_t seq = d.next_seq++;
+  PushMin(d.min_x, seq, position.x);
+  PushMax(d.max_x, seq, position.x);
+  PushMin(d.min_y, seq, position.y);
+  PushMax(d.max_y, seq, position.y);
+  live.mbr = Mbr(d.min_x.front().second, d.min_y.front().second,
+                 d.max_x.front().second, d.max_y.front().second);
+  const size_t n = live.positions.size() - d.head;
+  live.min_max_radius = RadiusFor(n);
+
+  for (WatchEntry& entry : d.watch) {
+    ApplyTerm(*config_.pf, entry.location, position, /*add=*/true,
+              &entry.certain, &entry.sum_lo, &entry.sum_hi);
+    DecideEntry(entry, live);
+  }
+
+  // Pad escape: the grown certificate may admit candidates the watch set
+  // does not hold; re-query and decide entrants.
+  if (live.min_max_radius > d.pad_radius ||
+      ExpansionBeyond(d.pad_mbr, live.mbr) * kExpansionSafety > d.pad_slack) {
+    RebuildWatch(live);
+  }
+
+  if (self_check_) {
+    const Mbr expect = Mbr::Of(WindowSpan(live));
+    if (!(expect == live.mbr)) {
+      std::ostringstream msg;
+      msg << "delta MBR diverged from Mbr::Of over the window for object "
+          << object_id;
+      ReportSelfCheckViolation(msg.str());
+    }
+  }
+  return n;
+}
+
+bool IncrementalPrimeLS::ExpireOldestPosition(uint32_t object_id) {
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) return false;
+  LiveObject& live = it->second;
+  if (WindowSpan(live).size() <= 1) {
+    // Last in-window position: the object leaves entirely.
+    RemoveContributions(live);
+    objects_.erase(it);
+    return true;
+  }
+  EnsureDelta(live);
+  DeltaState& d = *live.delta;
+
+  const Point expired = live.positions[d.head];
+  const uint64_t seq = d.base_seq++;
+  ++d.head;
+  PopExpired(d.min_x, seq);
+  PopExpired(d.max_x, seq);
+  PopExpired(d.min_y, seq);
+  PopExpired(d.max_y, seq);
+  live.mbr = Mbr(d.min_x.front().second, d.min_y.front().second,
+                 d.max_x.front().second, d.max_y.front().second);
+  const size_t n = live.positions.size() - d.head;
+  live.min_max_radius = RadiusFor(n);
+
+  for (WatchEntry& entry : d.watch) {
+    ApplyTerm(*config_.pf, entry.location, expired, /*add=*/false,
+              &entry.certain, &entry.sum_lo, &entry.sum_hi);
+    DecideEntry(entry, live);
+  }
+
+  // Shrinking MBR/radius cannot invalidate the pad, but computed radii are
+  // only monotone to a few ulps — recheck rather than assume.
+  if (live.min_max_radius > d.pad_radius ||
+      ExpansionBeyond(d.pad_mbr, live.mbr) * kExpansionSafety > d.pad_slack) {
+    RebuildWatch(live);
+  }
+
+  // Compact the expired prefix once it dominates the allocation.
+  if (d.head > 64 && d.head > live.positions.size() / 2) {
+    live.positions.erase(live.positions.begin(),
+                         live.positions.begin() +
+                             static_cast<std::ptrdiff_t>(d.head));
+    d.head = 0;
+  }
+
+  if (self_check_) {
+    const Mbr expect = Mbr::Of(WindowSpan(live));
+    if (!(expect == live.mbr)) {
+      std::ostringstream msg;
+      msg << "delta MBR diverged from Mbr::Of over the window for object "
+          << object_id;
+      ReportSelfCheckViolation(msg.str());
+    }
+  }
   return true;
 }
 
@@ -98,12 +501,30 @@ size_t IncrementalPrimeLS::AddCandidate(const Point& location) {
   candidates_.push_back(location);
   active_.push_back(true);
   influence_.push_back(0);
+  order_.emplace(0, j);
   ++live_candidates_;
   rtree_.Insert(location, j);
   // Account the new candidate into every live object's influence, using the
   // object's cached pruning geometry before paying for validation.
   for (auto& [id, live] : objects_) {
     (void)id;
+    if (live.delta) {
+      // Delta-maintained object: outside the padded certificate the
+      // candidate cannot be influenced until the next rebuild re-queries
+      // the R-tree (which now holds it); inside, it joins the watch set.
+      const double watch_radius = live.delta->pad_radius + live.delta->pad_slack;
+      if (live.delta->pad_radius < 0.0 ||
+          live.delta->pad_mbr.MinDist(location) > watch_radius) {
+        continue;
+      }
+      WatchEntry entry;
+      entry.candidate = j;
+      entry.location = location;
+      RefoldEntry(entry, WindowSpan(live));
+      live.delta->watch.push_back(entry);
+      DecideEntry(live.delta->watch.back(), live);
+      continue;
+    }
     if (live.mbr.MinDist(location) > live.min_max_radius) continue;  // NIB
     bool influenced;
     if (live.mbr.MaxDist(location) <= live.min_max_radius) {  // IA
@@ -114,7 +535,7 @@ size_t IncrementalPrimeLS::AddCandidate(const Point& location) {
     }
     if (influenced) {
       live.influenced.push_back(j);
-      ++influence_[j];
+      BumpInfluence(j, +1);
     }
   }
   return j;
@@ -124,6 +545,8 @@ bool IncrementalPrimeLS::RetireCandidate(size_t candidate_index) {
   if (candidate_index >= candidates_.size() || !active_[candidate_index]) {
     return false;
   }
+  order_.erase({influence_[candidate_index],
+                static_cast<uint32_t>(candidate_index)});
   active_[candidate_index] = false;
   --live_candidates_;
   // Physically remove from the index so future object insertions stop
@@ -139,27 +562,20 @@ int64_t IncrementalPrimeLS::InfluenceOf(size_t candidate_index) const {
 }
 
 std::optional<std::pair<size_t, int64_t>> IncrementalPrimeLS::Best() const {
-  std::optional<std::pair<size_t, int64_t>> best;
-  for (size_t j = 0; j < candidates_.size(); ++j) {
-    if (!active_[j]) continue;
-    if (!best || influence_[j] > best->second) {
-      best = {j, influence_[j]};
-    }
-  }
-  return best;
+  if (order_.empty()) return std::nullopt;
+  const auto& top = *order_.begin();
+  return std::make_pair(static_cast<size_t>(top.second), top.first);
 }
 
 std::vector<std::pair<size_t, int64_t>> IncrementalPrimeLS::TopK(
     size_t k) const {
-  std::vector<std::pair<size_t, int64_t>> live;
-  for (size_t j = 0; j < candidates_.size(); ++j) {
-    if (active_[j]) live.emplace_back(j, influence_[j]);
+  std::vector<std::pair<size_t, int64_t>> top;
+  top.reserve(std::min(k, order_.size()));
+  for (const auto& [influence, j] : order_) {
+    if (top.size() >= k) break;
+    top.emplace_back(static_cast<size_t>(j), influence);
   }
-  std::stable_sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
-    return a.second > b.second;
-  });
-  if (live.size() > k) live.resize(k);
-  return live;
+  return top;
 }
 
 }  // namespace pinocchio

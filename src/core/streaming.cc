@@ -13,6 +13,14 @@ StreamingPrimeLS::StreamingPrimeLS(std::vector<Point> candidates,
   PINO_CHECK_GT(options_.window_seconds, 0.0);
 }
 
+void StreamingPrimeLS::RequireMonotonicTime(double time) const {
+  // now_ starts at -infinity, so the first observation passes for any
+  // non-NaN time; a NaN fails the >= and is rejected like time travel.
+  PINO_CHECK_GE(time, now_)
+      << "observations must arrive in non-decreasing time order: got time="
+      << time << " with now=" << now_;
+}
+
 void StreamingPrimeLS::SyncObject(uint32_t object_id) {
   const auto it = buffers_.find(object_id);
   inner_.RemoveObject(object_id);  // drop the stale snapshot, if any
@@ -35,6 +43,7 @@ void StreamingPrimeLS::ExpireUntil(double time) {
   // only strictly older observations expire.
   const double horizon = time - options_.window_seconds;
   std::unordered_set<uint32_t> dirty;
+  const bool delta = options_.maintenance == Maintenance::kDelta;
   while (!expiry_.empty() && expiry_.front().first < horizon) {
     const uint32_t object_id = expiry_.front().second;
     expiry_.pop_front();
@@ -42,8 +51,13 @@ void StreamingPrimeLS::ExpireUntil(double time) {
     PINO_CHECK(it != buffers_.end());
     PINO_CHECK(!it->second.empty());
     it->second.pop_front();  // FIFO: oldest observation of this object
+    if (it->second.empty()) buffers_.erase(it);
     --live_positions_;
-    dirty.insert(object_id);
+    if (delta) {
+      inner_.ExpireOldestPosition(object_id);
+    } else {
+      dirty.insert(object_id);
+    }
   }
   for (uint32_t object_id : dirty) SyncObject(object_id);
 }
@@ -64,23 +78,22 @@ void StreamingPrimeLS::NotifyIfBestChanged() {
 
 void StreamingPrimeLS::Observe(uint32_t object_id, double time,
                                const Point& position) {
-  PINO_CHECK_GE(time, now_ == -std::numeric_limits<double>::infinity()
-                          ? time
-                          : now_)
-      << "observations must arrive in non-decreasing time order";
+  RequireMonotonicTime(time);
   now_ = std::max(now_, time);
   ExpireUntil(now_);
   buffers_[object_id].push_back({time, position});
   expiry_.emplace_back(time, object_id);
   ++live_positions_;
-  SyncObject(object_id);
+  if (options_.maintenance == Maintenance::kDelta) {
+    inner_.AppendPosition(object_id, position);
+  } else {
+    SyncObject(object_id);
+  }
   NotifyIfBestChanged();
 }
 
 void StreamingPrimeLS::AdvanceTo(double time) {
-  PINO_CHECK_GE(time, now_ == -std::numeric_limits<double>::infinity()
-                          ? time
-                          : now_);
+  RequireMonotonicTime(time);
   now_ = std::max(now_, time);
   ExpireUntil(now_);
   NotifyIfBestChanged();

@@ -12,6 +12,13 @@
 // influence counters for every candidate at all times: after any
 // Observe()/AdvanceTo() call, the counters equal what a batch solver would
 // compute on the window contents (positions with time >= now - window).
+//
+// Maintenance mode: by default each observation flows into the inner
+// index as a position-level delta (IncrementalPrimeLS::AppendPosition /
+// ExpireOldestPosition), so per-observation work scales with the object's
+// watch set, not its in-window position count. Options::maintenance
+// selects the legacy remove-and-re-add path (kRebuild), kept for
+// benchmarking and differential cross-checks.
 
 #ifndef PINOCCHIO_CORE_STREAMING_H_
 #define PINOCCHIO_CORE_STREAMING_H_
@@ -19,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -31,11 +39,22 @@ namespace pinocchio {
 /// Sliding-window PRIME-LS engine.
 class StreamingPrimeLS {
  public:
+  /// How window changes are applied to the inner incremental index.
+  enum class Maintenance {
+    /// Position-level deltas: append the new observation, expire the
+    /// oldest — O(watch set) per observation. The default.
+    kDelta,
+    /// Legacy: remove and re-add the touched object's entire position
+    /// set per observation — O(positions x candidates) at worst.
+    kRebuild,
+  };
+
   struct Options {
     SolverConfig config;
     /// Width of the trailing time window in seconds. The window is closed
     /// on both ends: observations with time >= now - window_seconds count.
     double window_seconds = 3600.0;
+    Maintenance maintenance = Maintenance::kDelta;
   };
 
   StreamingPrimeLS(std::vector<Point> candidates, Options options);
@@ -49,8 +68,9 @@ class StreamingPrimeLS {
 
   /// Invoked with (new best, current time) whenever the optimum — the
   /// winning candidate or its influence — changes as a result of an
-  /// Observe()/AdvanceTo() call. Checking the optimum is O(candidates)
-  /// per call, so only register a callback when you need live tracking.
+  /// Observe()/AdvanceTo() call. The optimum is read from the inner
+  /// index's maintained order (O(1)), so the callback is cheap enough for
+  /// per-observation tracking.
   using BestChangedCallback = std::function<void(
       const std::optional<std::pair<size_t, int64_t>>& best, double now)>;
   void SetBestChangedCallback(BestChangedCallback callback);
@@ -78,7 +98,12 @@ class StreamingPrimeLS {
     Point position;
   };
 
-  // Applies buffered window changes for `object_id` to the inner index.
+  /// Rejects time travel: `time` must be >= now_. The first call passes
+  /// trivially because now_ starts at -infinity.
+  void RequireMonotonicTime(double time) const;
+
+  // Applies buffered window changes for `object_id` to the inner index
+  // (kRebuild mode only).
   void SyncObject(uint32_t object_id);
   void ExpireUntil(double time);
   void NotifyIfBestChanged();

@@ -48,6 +48,12 @@ class InfluenceKernel {
   const ProbabilityFunction& pf() const { return *pf_; }
   double tau() const { return tau_; }
 
+  /// The certified Lemma-4 threshold: any computed log-survival fold at or
+  /// below this value implies the full-scan test -expm1(sum) >= tau.
+  /// Exposed so delta-maintenance code (core/incremental.h) can reuse the
+  /// kernel's decision boundary for its certified sum brackets.
+  double early_exit_log_survival() const { return early_exit_log_survival_; }
+
   /// The SIMD tier this kernel's DecideMany dispatches to, resolved once at
   /// construction (see ResolveSimdTier); kScalar means the filter is off
   /// and every decision takes the scalar path.

@@ -162,6 +162,17 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
       w.U32(request.diversified.k);
       w.F64(request.diversified.min_separation);
       break;
+    case RequestType::kObserve:
+      w.U32(static_cast<uint32_t>(request.observe.observations.size()));
+      for (const Observation& o : request.observe.observations) {
+        w.U32(o.object_id);
+        w.F64(o.time);
+        w.PointXY(o.position);
+      }
+      break;
+    case RequestType::kAdvance:
+      w.F64(request.advance.time);
+      break;
   }
   return FinishFrame(&w);
 }
@@ -269,6 +280,36 @@ bool DecodeRequestBody(ByteReader* r, Request* out, std::string* error) {
         return Fail(error, "non-finite min separation");
       }
       return true;
+    case RequestType::kObserve: {
+      out->type = RequestType::kObserve;
+      uint32_t count = 0;
+      // Each observation is id (4) + time (8) + position (16) = 28 bytes.
+      if (!r->Count(&count, 28)) {
+        return Fail(error, "bad observation count");
+      }
+      out->observe.observations.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        Observation o;
+        if (!r->U32(&o.object_id) || !r->F64(&o.time) ||
+            !r->PointXY(&o.position)) {
+          return Fail(error, "truncated observation");
+        }
+        if (!std::isfinite(o.time) || !FinitePoint(o.position)) {
+          return Fail(error, "non-finite observation");
+        }
+        out->observe.observations.push_back(o);
+      }
+      return true;
+    }
+    case RequestType::kAdvance:
+      out->type = RequestType::kAdvance;
+      if (!r->F64(&out->advance.time)) {
+        return Fail(error, "truncated advance request");
+      }
+      if (!std::isfinite(out->advance.time)) {
+        return Fail(error, "non-finite advance time");
+      }
+      return true;
     default:
       return Fail(error, "unknown request type");
   }
@@ -341,9 +382,26 @@ bool DecodeResponseBody(ByteReader* r, Response* out, std::string* error) {
           !r->U64(&s.stats_requests) || !r->U64(&s.skyline_requests) ||
           !r->U64(&s.diverse_requests) || !r->U64(&s.error_responses) ||
           !r->F64(&s.uptime_seconds) || !r->U64(&s.solve_threads) ||
-          !r->F64(&s.solve_busy_seconds)) {
+          !r->F64(&s.solve_busy_seconds) || !r->U64(&s.observe_requests) ||
+          !r->U64(&s.advance_requests) || !r->U64(&s.stream_observations) ||
+          !r->U64(&s.stream_live_objects) ||
+          !r->U64(&s.stream_live_positions) ||
+          !r->F64(&s.stream_window_seconds)) {
         return Fail(error, "truncated stats response");
       }
+      return true;
+    }
+    case ResponseType::kStream: {
+      out->type = ResponseType::kStream;
+      StreamResponse& s = out->stream;
+      uint8_t has_best = 0;
+      if (!r->F64(&s.now) || !r->U64(&s.live_objects) ||
+          !r->U64(&s.live_positions) || !r->U64(&s.applied) ||
+          !r->U8(&has_best) || has_best > 1 || !r->U32(&s.best_candidate) ||
+          !r->I64(&s.best_influence)) {
+        return Fail(error, "truncated stream response");
+      }
+      s.has_best = has_best != 0;
       return true;
     }
     case ResponseType::kSkyline: {
@@ -486,6 +544,23 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       w.F64(s.uptime_seconds);
       w.U64(s.solve_threads);
       w.F64(s.solve_busy_seconds);
+      w.U64(s.observe_requests);
+      w.U64(s.advance_requests);
+      w.U64(s.stream_observations);
+      w.U64(s.stream_live_objects);
+      w.U64(s.stream_live_positions);
+      w.F64(s.stream_window_seconds);
+      break;
+    }
+    case ResponseType::kStream: {
+      const StreamResponse& s = response.stream;
+      w.F64(s.now);
+      w.U64(s.live_objects);
+      w.U64(s.live_positions);
+      w.U64(s.applied);
+      w.U8(s.has_best ? 1 : 0);
+      w.U32(s.best_candidate);
+      w.I64(s.best_influence);
       break;
     }
     case ResponseType::kSkyline: {
@@ -557,6 +632,8 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kStats: return "stats";
     case RequestType::kSkyline: return "skyline";
     case RequestType::kDiversified: return "diverse";
+    case RequestType::kObserve: return "observe";
+    case RequestType::kAdvance: return "advance";
   }
   return "?";
 }
@@ -570,6 +647,7 @@ const char* ResponseTypeName(ResponseType type) {
     case ResponseType::kStats: return "stats";
     case ResponseType::kSkyline: return "skyline";
     case ResponseType::kDiversified: return "diverse";
+    case ResponseType::kStream: return "stream";
   }
   return "?";
 }

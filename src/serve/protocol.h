@@ -42,7 +42,10 @@ namespace serve {
 /// v3: solve rankings carry a per-entry `exact` flag; new skyline and
 ///     diversified query families; StatsResponse gained
 ///     skyline_requests / diverse_requests.
-inline constexpr uint8_t kProtocolVersion = 3;
+/// v4: streaming ingestion — kObserve (batched timestamped positions)
+///     and kAdvance requests answered by kStream; StatsResponse gained
+///     the stream_* / observe / advance counters.
+inline constexpr uint8_t kProtocolVersion = 4;
 
 /// Upper bound on the frame body (version + type + payload) in bytes.
 /// Large enough for a multi-thousand-entry ranking or a bulk update,
@@ -60,6 +63,8 @@ enum class RequestType : uint8_t {
   kStats = 6,   // server/service statistics
   kSkyline = 7,      // influence/cost skyline over all candidates
   kDiversified = 8,  // greedy diversified top-k with min separation
+  kObserve = 9,  // batched timestamped observations into the stream window
+  kAdvance = 10,  // advance the stream clock, expiring old observations
 };
 
 /// Wire ids of the solvers a SolveRequest may name.
@@ -117,6 +122,26 @@ struct DiversifiedRequest {
   double min_separation = 0.0;
 };
 
+/// One timestamped position observation for the streaming engine.
+struct Observation {
+  uint32_t object_id = 0;
+  double time = 0.0;
+  Point position{0.0, 0.0};
+};
+
+/// A batch of observations applied in order. Batching is the staleness
+/// lever: the stream state is exact as of the last applied observation,
+/// so a client that batches N observations per frame trades N round
+/// trips for a best answer that lags by at most one batch.
+struct ObserveRequest {
+  std::vector<Observation> observations;
+};
+
+/// Advances the stream clock without an observation (expiry only).
+struct AdvanceRequest {
+  double time = 0.0;
+};
+
 /// A decoded request: `type` selects which member is meaningful.
 struct Request {
   RequestType type = RequestType::kStats;
@@ -127,6 +152,8 @@ struct Request {
   UpdateRequest update;
   SkylineRequest skyline;
   DiversifiedRequest diversified;
+  ObserveRequest observe;
+  AdvanceRequest advance;
 };
 
 // -------------------------------------------------------------- responses
@@ -139,6 +166,7 @@ enum class ResponseType : uint8_t {
   kStats = 6,
   kSkyline = 7,
   kDiversified = 8,
+  kStream = 9,  // answers kObserve and kAdvance
 };
 
 enum class ErrorCode : uint8_t {
@@ -220,6 +248,21 @@ struct DiverseResponse {
   std::vector<DiverseEntry> selected;
 };
 
+/// Answer to kObserve / kAdvance: the stream state exactly as of the last
+/// applied observation (or the advanced clock).
+struct StreamResponse {
+  /// Stream clock after the request; the window is [now - W, now].
+  double now = 0.0;
+  uint64_t live_objects = 0;
+  uint64_t live_positions = 0;
+  /// Observations applied by this request (all-or-nothing: a rejected
+  /// batch applies none and returns kError instead).
+  uint64_t applied = 0;
+  bool has_best = false;
+  uint32_t best_candidate = 0;
+  int64_t best_influence = 0;
+};
+
 struct UpdateResponse {
   /// Epoch current when the update was accepted; the rebuilt snapshot
   /// will carry a strictly larger epoch.
@@ -250,6 +293,15 @@ struct StatsResponse {
   /// Process-wide morsel-engine worker busy time; utilisation is
   /// solve_busy_seconds / (uptime_seconds * solve_threads).
   double solve_busy_seconds = 0.0;
+  // ---- streaming (v4): all zero when the server runs without a window.
+  uint64_t observe_requests = 0;
+  uint64_t advance_requests = 0;
+  /// Observations applied into the stream window since startup.
+  uint64_t stream_observations = 0;
+  uint64_t stream_live_objects = 0;
+  uint64_t stream_live_positions = 0;
+  /// Configured window width; 0 means streaming is disabled.
+  double stream_window_seconds = 0.0;
 };
 
 struct Response {
@@ -261,6 +313,7 @@ struct Response {
   StatsResponse stats;
   SkylineResponse skyline;
   DiverseResponse diverse;
+  StreamResponse stream;
 };
 
 // ------------------------------------------------------------------ codec

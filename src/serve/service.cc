@@ -61,6 +61,13 @@ InfluenceService::InfluenceService(ProblemInstance instance,
     : options_(options) {
   PINO_CHECK(config.pf != nullptr) << "service requires a configured PF";
   config.top_k = std::max<size_t>(1, options_.prepared_top_k);
+  if (options_.stream_window_seconds > 0.0) {
+    StreamingPrimeLS::Options stream_options;
+    stream_options.config = config;
+    stream_options.window_seconds = options_.stream_window_seconds;
+    stream_ = std::make_unique<StreamingPrimeLS>(instance.candidates,
+                                                 std::move(stream_options));
+  }
   holder_.Publish(std::make_shared<const ServerSnapshot>(
       /*epoch=*/1, std::move(instance), config));
   rebuild_thread_ = std::thread(&InfluenceService::RebuildLoop, this);
@@ -101,6 +108,12 @@ Response InfluenceService::Execute(const Request& request) {
     case RequestType::kDiversified:
       diverse_requests_.fetch_add(1, std::memory_order_relaxed);
       return DoDiversified(request.diversified);
+    case RequestType::kObserve:
+      observe_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoObserve(request.observe);
+    case RequestType::kAdvance:
+      advance_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoAdvance(request.advance);
   }
   return MakeError(ErrorCode::kUnknownType, "unknown request type");
 }
@@ -276,6 +289,16 @@ Response InfluenceService::DoStats() {
   s.uptime_seconds = uptime_.ElapsedSeconds();
   s.solve_threads = MorselScheduler(options_.solve_threads).num_threads();
   s.solve_busy_seconds = MorselEngineBusySeconds();
+  s.observe_requests = observe_requests_.load(std::memory_order_relaxed);
+  s.advance_requests = advance_requests_.load(std::memory_order_relaxed);
+  s.stream_observations =
+      stream_observations_.load(std::memory_order_relaxed);
+  s.stream_window_seconds = options_.stream_window_seconds;
+  if (stream_ != nullptr) {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    s.stream_live_objects = stream_->NumLiveObjects();
+    s.stream_live_positions = stream_->NumLivePositions();
+  }
   return response;
 }
 
@@ -333,6 +356,74 @@ Response InfluenceService::DoDiversified(const DiversifiedRequest& request) {
     s.selected.push_back({result.selected[i], result.coverage[i]});
   }
   return response;
+}
+
+namespace {
+
+// Fills a kStream response from the engine; caller holds the stream lock.
+Response MakeStreamResponse(const StreamingPrimeLS& stream, uint64_t applied) {
+  Response response;
+  response.type = ResponseType::kStream;
+  StreamResponse& s = response.stream;
+  s.now = stream.now();
+  s.live_objects = stream.NumLiveObjects();
+  s.live_positions = stream.NumLivePositions();
+  s.applied = applied;
+  const auto best = stream.Best();
+  s.has_best = best.has_value();
+  if (best.has_value()) {
+    s.best_candidate = static_cast<uint32_t>(best->first);
+    s.best_influence = best->second;
+  }
+  return response;
+}
+
+}  // namespace
+
+Response InfluenceService::DoObserve(const ObserveRequest& request) {
+  if (stream_ == nullptr) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest,
+                     "streaming disabled (server started without a window)");
+  }
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  // Validate the whole batch before touching the engine: observations
+  // must be non-decreasing in time, starting no earlier than the stream
+  // clock. A rejected batch applies nothing (all-or-nothing), and the
+  // engine's own monotonicity check stays unreachable from the wire.
+  double last = stream_->now();
+  for (const Observation& o : request.observations) {
+    if (!(o.time >= last)) {
+      error_responses_.fetch_add(1, std::memory_order_relaxed);
+      return MakeError(ErrorCode::kBadRequest,
+                       "observation times must be non-decreasing and >= "
+                       "the stream clock");
+    }
+    last = o.time;
+  }
+  for (const Observation& o : request.observations) {
+    stream_->Observe(o.object_id, o.time, o.position);
+  }
+  const auto applied =
+      static_cast<uint64_t>(request.observations.size());
+  stream_observations_.fetch_add(applied, std::memory_order_relaxed);
+  return MakeStreamResponse(*stream_, applied);
+}
+
+Response InfluenceService::DoAdvance(const AdvanceRequest& request) {
+  if (stream_ == nullptr) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest,
+                     "streaming disabled (server started without a window)");
+  }
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  if (!(request.time >= stream_->now())) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest,
+                     "advance time must be >= the stream clock");
+  }
+  stream_->AdvanceTo(request.time);
+  return MakeStreamResponse(*stream_, /*applied=*/0);
 }
 
 void InfluenceService::DrainUpdates() {

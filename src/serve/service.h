@@ -35,6 +35,7 @@
 
 #include "core/moving_object.h"
 #include "core/solver.h"
+#include "core/streaming.h"
 #include "serve/protocol.h"
 #include "serve/snapshot.h"
 #include "util/stopwatch.h"
@@ -57,6 +58,12 @@ struct ServiceOptions {
   /// sequential solvers at any setting; 1 runs inline on the request
   /// thread. What-if solves stay sequential (they hold a mutex anyway).
   size_t solve_threads = 1;
+  /// Width of the streaming ingestion window in seconds; 0 disables the
+  /// kObserve/kAdvance request family. When enabled, the service runs a
+  /// StreamingPrimeLS over the construction-time candidate set, fed by
+  /// observe frames — independent of the snapshot path (see
+  /// docs/ARCHITECTURE.md, "Streaming ingestion").
+  double stream_window_seconds = 0.0;
 };
 
 class InfluenceService {
@@ -99,6 +106,8 @@ class InfluenceService {
   Response DoStats();
   Response DoSkyline(const SkylineRequest& request);
   Response DoDiversified(const DiversifiedRequest& request);
+  Response DoObserve(const ObserveRequest& request);
+  Response DoAdvance(const AdvanceRequest& request);
   static Response MakeError(ErrorCode code, std::string message);
 
   /// Fills a SolveResponse from a result computed against `snap`.
@@ -121,6 +130,15 @@ class InfluenceService {
   bool stopping_ = false;
   std::thread rebuild_thread_;
 
+  // Streaming ingestion state, guarded by stream_mu_. Constructed once
+  // over the epoch-1 candidate set when stream_window_seconds > 0; null
+  // when streaming is disabled. All client input is validated BEFORE any
+  // engine call — the engine's monotonic-time check must stay
+  // unreachable from the wire (a hostile frame must never abort the
+  // server).
+  std::mutex stream_mu_;
+  std::unique_ptr<StreamingPrimeLS> stream_;
+
   // What-if scratch state, guarded by whatif_mu_: a PreparedInstance
   // cloned from the current snapshot's instance and Repepared per
   // request. Rebuilt from scratch only when the snapshot epoch moved.
@@ -137,6 +155,9 @@ class InfluenceService {
   std::atomic<uint64_t> stats_requests_{0};
   std::atomic<uint64_t> skyline_requests_{0};
   std::atomic<uint64_t> diverse_requests_{0};
+  std::atomic<uint64_t> observe_requests_{0};
+  std::atomic<uint64_t> advance_requests_{0};
+  std::atomic<uint64_t> stream_observations_{0};
   std::atomic<uint64_t> error_responses_{0};
   std::atomic<uint64_t> swaps_{0};
 };

@@ -1,0 +1,36 @@
+// Quantiles over latency samples by linear interpolation between closest
+// ranks (the "R-7" / NumPy-default definition): for a sorted sample v of
+// size n, the q-quantile sits at rank q*(n-1) and interpolates linearly
+// between the two neighbouring order statistics. Callers sort once and
+// then read as many quantiles as they need — the helper never re-sorts.
+
+#ifndef PINOCCHIO_UTIL_QUANTILE_H_
+#define PINOCCHIO_UTIL_QUANTILE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pinocchio {
+
+/// The q-quantile (q in [0, 1]) of an ascending-sorted sample, linearly
+/// interpolated between closest ranks. Returns 0 for an empty sample.
+inline double QuantileOfSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Sorts `sample` ascending so repeated QuantileOfSorted reads are valid.
+inline void SortForQuantiles(std::vector<double>& sample) {
+  std::sort(sample.begin(), sample.end());
+}
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_UTIL_QUANTILE_H_

@@ -213,6 +213,100 @@ TEST(StreamingTest, StreamingEqualsBatchAfterRandomObserveAdvanceMix) {
   }
 }
 
+StreamingPrimeLS::Options MakeRebuildOptions(double window_seconds) {
+  StreamingPrimeLS::Options options = MakeOptions(window_seconds);
+  options.maintenance = StreamingPrimeLS::Maintenance::kRebuild;
+  return options;
+}
+
+// Delta maintenance must be observably identical to the legacy
+// remove-and-re-add path under a random interleaving of Observe and
+// AdvanceTo with heavy object-id reuse.
+TEST(StreamingTest, DeltaMatchesRebuildUnderRandomInterleaving) {
+  Rng rng(2718);
+  std::vector<Point> candidates;
+  for (int j = 0; j < 14; ++j) {
+    candidates.push_back({rng.Uniform(0, 28000), rng.Uniform(0, 28000)});
+  }
+  const double window = 200.0;
+  StreamingPrimeLS delta(candidates, MakeOptions(window));
+  StreamingPrimeLS rebuild(candidates, MakeRebuildOptions(window));
+
+  double now = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    now += rng.Uniform(0.0, 20.0);
+    if (rng.NextDouble() < 0.2) {
+      delta.AdvanceTo(now);
+      rebuild.AdvanceTo(now);
+    } else {
+      // Only 4 distinct ids: every object is re-observed many times while
+      // it still has live positions (duplicate-id pressure on the delta
+      // append path).
+      const auto id = static_cast<uint32_t>(rng.UniformInt(0, 3));
+      const Point p{rng.Uniform(0, 28000), rng.Uniform(0, 28000)};
+      delta.Observe(id, now, p);
+      rebuild.Observe(id, now, p);
+    }
+    ASSERT_EQ(delta.NumLiveObjects(), rebuild.NumLiveObjects()) << step;
+    ASSERT_EQ(delta.NumLivePositions(), rebuild.NumLivePositions()) << step;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      ASSERT_EQ(delta.InfluenceOf(j), rebuild.InfluenceOf(j))
+          << "step " << step << " candidate " << j;
+    }
+    ASSERT_EQ(delta.Best(), rebuild.Best()) << step;
+    ASSERT_EQ(delta.TopK(4), rebuild.TopK(4)) << step;
+  }
+}
+
+// Every timestamp lands exactly on a multiple of the window width, so
+// each advance puts the expiry horizon precisely on older observation
+// timestamps — the closed-boundary case the delta expiry path must get
+// right (expire strictly-older only, keep the boundary observation).
+TEST(StreamingTest, HorizonExactTimestampsMatchBatch) {
+  Rng rng(99);
+  std::vector<Point> candidates;
+  for (int j = 0; j < 10; ++j) {
+    candidates.push_back({rng.Uniform(0, 20000), rng.Uniform(0, 20000)});
+  }
+  const double window = 64.0;
+  StreamingPrimeLS engine(candidates, MakeOptions(window));
+
+  struct Event {
+    uint32_t id;
+    double time;
+    Point position;
+  };
+  std::vector<Event> history;
+
+  double now = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    // Steps are 0, W/4, W/2 or W: timestamps stay on the W/4 grid, so
+    // horizons repeatedly coincide with live observation times.
+    now += (window / 4.0) * static_cast<double>(rng.UniformInt(0, 4));
+    if (rng.NextDouble() < 0.25) {
+      engine.AdvanceTo(now);
+    } else {
+      const auto id = static_cast<uint32_t>(rng.UniformInt(0, 5));
+      const Point p{rng.Uniform(0, 20000), rng.Uniform(0, 20000)};
+      engine.Observe(id, now, p);
+      history.push_back({id, now, p});
+    }
+    std::map<uint32_t, std::vector<Point>> live;
+    for (const Event& e : history) {
+      if (e.time >= now - window) live[e.id].push_back(e.position);
+    }
+    const auto expected =
+        BatchInfluence(candidates, live, MakeOptions(window).config);
+    size_t live_positions = 0;
+    for (const auto& [id, positions] : live) live_positions += positions.size();
+    ASSERT_EQ(engine.NumLivePositions(), live_positions) << step;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      ASSERT_EQ(engine.InfluenceOf(j), expected[j])
+          << "step " << step << " candidate " << j;
+    }
+  }
+}
+
 TEST(StreamingTest, BestTracksWindow) {
   // Two candidate hubs; the crowd moves from hub A to hub B.
   const std::vector<Point> candidates = {{0, 0}, {20000, 20000}};

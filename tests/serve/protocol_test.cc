@@ -285,6 +285,121 @@ TEST(ProtocolTest, EveryNewFrameTruncationIsRejected) {
   }
 }
 
+TEST(ProtocolTest, ObserveRequestRoundTripIsBitIdentical) {
+  Request request;
+  request.type = RequestType::kObserve;
+  request.observe.observations = {
+      {7, 0.1 + 0.2, {1.5, -2.5}},
+      {0xffffffffu, 1e9, {0.0, -0.0}},
+      {0, 0.0, {1e308, -1e308}},
+  };
+  std::string error;
+  const auto decoded = DecodeRequest(Body(EncodeRequest(request)), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  ASSERT_EQ(decoded->observe.observations.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    const Observation& want = request.observe.observations[i];
+    const Observation& got = decoded->observe.observations[i];
+    EXPECT_EQ(got.object_id, want.object_id);
+    EXPECT_EQ(got.time, want.time);
+    EXPECT_EQ(got.position.x, want.position.x);
+    EXPECT_EQ(got.position.y, want.position.y);
+  }
+}
+
+TEST(ProtocolTest, AdvanceRequestRoundTrip) {
+  Request request;
+  request.type = RequestType::kAdvance;
+  request.advance.time = 12345.6789;
+  const auto decoded = DecodeRequest(Body(EncodeRequest(request)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, RequestType::kAdvance);
+  EXPECT_EQ(decoded->advance.time, 12345.6789);
+}
+
+TEST(ProtocolTest, ObserveRequestRejectsNonFiniteTime) {
+  Request request;
+  request.type = RequestType::kObserve;
+  request.observe.observations = {{1, 0.0, {2.0, 3.0}}};
+  std::vector<uint8_t> frame = EncodeRequest(request);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // The observation's time is right after version, type, count and id.
+  std::memcpy(frame.data() + 4 + 1 + 1 + 4 + 4, &nan, sizeof(nan));
+  EXPECT_FALSE(DecodeRequest(Body(frame), nullptr).has_value());
+}
+
+TEST(ProtocolTest, AdvanceRequestRejectsInfiniteTime) {
+  Request request;
+  request.type = RequestType::kAdvance;
+  request.advance.time = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(DecodeRequest(Body(EncodeRequest(request)), nullptr)
+                   .has_value());
+}
+
+TEST(ProtocolTest, StreamResponseRoundTrip) {
+  Response response;
+  response.type = ResponseType::kStream;
+  response.stream.now = 77.25;
+  response.stream.live_objects = 12;
+  response.stream.live_positions = 345;
+  response.stream.applied = 16;
+  response.stream.has_best = true;
+  response.stream.best_candidate = 9;
+  response.stream.best_influence = 42;
+  const auto decoded = DecodeResponse(Body(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.has_value());
+  const StreamResponse& s = decoded->stream;
+  EXPECT_EQ(s.now, 77.25);
+  EXPECT_EQ(s.live_objects, 12u);
+  EXPECT_EQ(s.live_positions, 345u);
+  EXPECT_EQ(s.applied, 16u);
+  EXPECT_TRUE(s.has_best);
+  EXPECT_EQ(s.best_candidate, 9u);
+  EXPECT_EQ(s.best_influence, 42);
+}
+
+TEST(ProtocolTest, StreamingFrameTruncationsAreRejected) {
+  Request observe;
+  observe.type = RequestType::kObserve;
+  observe.observe.observations = {{1, 2.0, {3.0, 4.0}}};
+  Request advance;
+  advance.type = RequestType::kAdvance;
+  advance.advance.time = 5.0;
+  for (const auto& frame : {EncodeRequest(observe), EncodeRequest(advance)}) {
+    const std::span<const uint8_t> body = Body(frame);
+    for (size_t len = 0; len < body.size(); ++len) {
+      EXPECT_FALSE(DecodeRequest(body.first(len), nullptr).has_value());
+    }
+  }
+  Response stream;
+  stream.type = ResponseType::kStream;
+  stream.stream.has_best = true;
+  const std::vector<uint8_t> frame = EncodeResponse(stream);
+  const std::span<const uint8_t> body = Body(frame);
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse(body.first(len), nullptr).has_value());
+  }
+}
+
+TEST(ProtocolTest, StatsResponseStreamingCountersRoundTrip) {
+  Response response;
+  response.type = ResponseType::kStats;
+  response.stats.observe_requests = 5;
+  response.stats.advance_requests = 2;
+  response.stats.stream_observations = 80;
+  response.stats.stream_live_objects = 7;
+  response.stats.stream_live_positions = 64;
+  response.stats.stream_window_seconds = 3600.0;
+  const auto decoded = DecodeResponse(Body(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->stats.observe_requests, 5u);
+  EXPECT_EQ(decoded->stats.advance_requests, 2u);
+  EXPECT_EQ(decoded->stats.stream_observations, 80u);
+  EXPECT_EQ(decoded->stats.stream_live_objects, 7u);
+  EXPECT_EQ(decoded->stats.stream_live_positions, 64u);
+  EXPECT_EQ(decoded->stats.stream_window_seconds, 3600.0);
+}
+
 TEST(ProtocolTest, ErrorAndUpdateAndStatsResponsesRoundTrip) {
   Response error_response;
   error_response.type = ResponseType::kError;

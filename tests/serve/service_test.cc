@@ -16,9 +16,11 @@
 #include "core/pinocchio_solver.h"
 #include "core/pinocchio_vo_solver.h"
 #include "core/prepared_instance.h"
+#include "core/streaming.h"
 #include "prob/power_law.h"
 #include "serve/service.h"
 #include "testing/instance_helpers.h"
+#include "util/random.h"
 
 namespace pinocchio {
 namespace serve {
@@ -445,6 +447,122 @@ TEST(ServiceTest, CoalescedUpdatesBuildMonotonicEpochs) {
     if (object.id >= 10000) ++appended;
   }
   EXPECT_EQ(appended, 5u);
+}
+
+// ------------------------------------------------------------- streaming
+
+TEST(ServiceTest, ObserveRejectedWhenStreamingDisabled) {
+  InfluenceService service(RandomInstance(3), DefaultConfig(), TestOptions());
+  Request request;
+  request.type = RequestType::kObserve;
+  request.observe.observations = {{1, 0.0, {10.0, 10.0}}};
+  const Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kError);
+  EXPECT_EQ(response.error.code, ErrorCode::kBadRequest);
+
+  Request advance;
+  advance.type = RequestType::kAdvance;
+  advance.advance.time = 1.0;
+  EXPECT_EQ(service.Execute(advance).type, ResponseType::kError);
+}
+
+TEST(ServiceTest, ObserveMatchesDirectStreamingEngine) {
+  const ProblemInstance instance = RandomInstance(17);
+  ServiceOptions options = TestOptions();
+  options.stream_window_seconds = 100.0;
+  InfluenceService service(instance, DefaultConfig(), options);
+
+  // The reference engine runs over the same candidates and config.
+  StreamingPrimeLS::Options stream_options;
+  stream_options.config = DefaultConfig();
+  stream_options.config.top_k = std::max<size_t>(1, options.prepared_top_k);
+  stream_options.window_seconds = options.stream_window_seconds;
+  StreamingPrimeLS reference(instance.candidates, stream_options);
+
+  Rng rng(5);
+  double now = 0.0;
+  for (int batch = 0; batch < 10; ++batch) {
+    Request request;
+    request.type = RequestType::kObserve;
+    for (int i = 0; i < 8; ++i) {
+      now += rng.Uniform(0.0, 5.0);
+      Observation o;
+      o.object_id = static_cast<uint32_t>(rng.UniformInt(0, 5));
+      o.time = now;
+      o.position = Point{rng.Uniform(0, 30000), rng.Uniform(0, 30000)};
+      request.observe.observations.push_back(o);
+      reference.Observe(o.object_id, o.time, o.position);
+    }
+    const Response response = service.Execute(request);
+    ASSERT_EQ(response.type, ResponseType::kStream);
+    const StreamResponse& s = response.stream;
+    EXPECT_EQ(s.applied, 8u);
+    EXPECT_EQ(s.now, reference.now());
+    EXPECT_EQ(s.live_objects, reference.NumLiveObjects());
+    EXPECT_EQ(s.live_positions, reference.NumLivePositions());
+    const auto best = reference.Best();
+    ASSERT_EQ(s.has_best, best.has_value());
+    if (best.has_value()) {
+      EXPECT_EQ(s.best_candidate, best->first);
+      EXPECT_EQ(s.best_influence, best->second);
+    }
+  }
+
+  // Advance far past the window: everything expires on both sides.
+  Request advance;
+  advance.type = RequestType::kAdvance;
+  advance.advance.time = now + 10 * options.stream_window_seconds;
+  reference.AdvanceTo(advance.advance.time);
+  const Response response = service.Execute(advance);
+  ASSERT_EQ(response.type, ResponseType::kStream);
+  EXPECT_EQ(response.stream.live_objects, 0u);
+  EXPECT_EQ(response.stream.live_positions, 0u);
+  // Best() reports a zero-influence candidate for an empty window (it is
+  // nullopt only when no live candidate exists) — same as the reference.
+  ASSERT_EQ(response.stream.has_best, reference.Best().has_value());
+  EXPECT_EQ(response.stream.best_influence, 0);
+}
+
+TEST(ServiceTest, ObserveBatchIsAllOrNothingOnBadTimes) {
+  ServiceOptions options = TestOptions();
+  options.stream_window_seconds = 50.0;
+  InfluenceService service(RandomInstance(7), DefaultConfig(), options);
+
+  Request good;
+  good.type = RequestType::kObserve;
+  good.observe.observations = {{1, 10.0, {5.0, 5.0}}};
+  ASSERT_EQ(service.Execute(good).type, ResponseType::kStream);
+
+  // A batch that goes back in time mid-way is rejected and applies
+  // nothing — the engine's state (including live counts) is unchanged.
+  Request bad;
+  bad.type = RequestType::kObserve;
+  bad.observe.observations = {{2, 20.0, {6.0, 6.0}}, {3, 15.0, {7.0, 7.0}}};
+  const Response rejected = service.Execute(bad);
+  ASSERT_EQ(rejected.type, ResponseType::kError);
+  EXPECT_EQ(rejected.error.code, ErrorCode::kBadRequest);
+
+  // A batch older than the stream clock is also rejected up front.
+  Request stale;
+  stale.type = RequestType::kObserve;
+  stale.observe.observations = {{4, 5.0, {8.0, 8.0}}};
+  EXPECT_EQ(service.Execute(stale).type, ResponseType::kError);
+
+  Request advance;
+  advance.type = RequestType::kAdvance;
+  advance.advance.time = 5.0;  // < stream clock
+  EXPECT_EQ(service.Execute(advance).type, ResponseType::kError);
+
+  Request stats;
+  stats.type = RequestType::kStats;
+  const Response after = service.Execute(stats);
+  ASSERT_EQ(after.type, ResponseType::kStats);
+  EXPECT_EQ(after.stats.stream_observations, 1u);
+  EXPECT_EQ(after.stats.stream_live_positions, 1u);
+  EXPECT_EQ(after.stats.stream_live_objects, 1u);
+  EXPECT_EQ(after.stats.observe_requests, 3u);
+  EXPECT_EQ(after.stats.advance_requests, 1u);
+  EXPECT_EQ(after.stats.stream_window_seconds, 50.0);
 }
 
 }  // namespace

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "baselines/brnn_star.h"
@@ -49,6 +51,7 @@ constexpr uint64_t kShapingSalt = 0xA3EC4E5F9C1D2B07ull;
 // changing their draws) never perturbs the pinned case generation above.
 constexpr uint64_t kSkylineSalt = 0x5D1E8A2C9B4F7E31ull;
 constexpr uint64_t kDiverseSalt = 0xC47B26D90E5A813Full;
+constexpr uint64_t kStreamingSalt = 0x91F3B7A50C6D2E84ull;
 
 // Draws one of the five PF families of the paper (power law of Section 3
 // plus the four Figure-16 alternatives).
@@ -656,6 +659,51 @@ class CaseChecker {
           break;
         }
       }
+      // Delta ops: slide each object's window by appending its own
+      // positions again and expiring the oldest, then diff against a
+      // from-scratch structure holding the slid windows.
+      std::unordered_map<uint32_t, std::deque<Point>> windows;
+      for (const MovingObject& o : fuzz_.instance.objects) {
+        windows.emplace(o.id,
+                        std::deque<Point>(o.positions.begin(),
+                                          o.positions.end()));
+      }
+      Rng rng(result_->seed ^ kStreamingSalt);
+      for (const MovingObject& o : fuzz_.instance.objects) {
+        std::deque<Point>& window = windows[o.id];
+        for (const Point& p : o.positions) {
+          if (rng.NextDouble() < 0.5) {
+            inc.AppendPosition(o.id, p);
+            window.push_back(p);
+          }
+          if (!window.empty() && rng.NextDouble() < 0.5) {
+            inc.ExpireOldestPosition(o.id);
+            window.pop_front();
+          }
+        }
+      }
+      IncrementalPrimeLS fresh(fuzz_.instance.candidates, fuzz_.config);
+      for (const auto& [id, window] : windows) {
+        if (window.empty()) continue;
+        MovingObject o;
+        o.id = id;
+        o.positions.assign(window.begin(), window.end());
+        fresh.AddObject(o);
+      }
+      for (size_t j = 0; j < fuzz_.instance.candidates.size(); ++j) {
+        if (inc.InfluenceOf(j) != fresh.InfluenceOf(j)) {
+          std::ostringstream msg;
+          msg << "IncrementalPrimeLS delta ops: influence[" << j << "] = "
+              << inc.InfluenceOf(j) << " vs from-scratch "
+              << fresh.InfluenceOf(j);
+          Fail(msg.str());
+          break;
+        }
+      }
+      if (inc.Best() != fresh.Best() || inc.TopK(5) != fresh.TopK(5)) {
+        Fail("IncrementalPrimeLS delta ops: Best/TopK diverge from "
+             "from-scratch");
+      }
     });
   }
 
@@ -682,6 +730,129 @@ class CaseChecker {
         }
       }
     });
+    Guard("StreamingPrimeLS/window", [&] { CheckStreamingWindowed(); });
+  }
+
+  // Sliding-window interleavings over the delta-maintenance path: every
+  // streamed state is compared against the legacy rebuild path (exact
+  // counter equality) and, at sampled points, against a from-scratch
+  // naive solve of the live window. The feed mixes duplicate object ids,
+  // zero time steps, horizon-exact steps (an observation landing exactly
+  // window_seconds after another keeps the older one live — the closed
+  // window) and occasional far AdvanceTo() drains.
+  void CheckStreamingWindowed() {
+    const ProblemInstance& instance = fuzz_.instance;
+    if (instance.objects.empty() || instance.candidates.empty()) return;
+    Rng rng(result_->seed ^ kStreamingSalt);
+    const size_t m = instance.candidates.size();
+    const double window = rng.Uniform(4.0, 32.0);
+
+    StreamingPrimeLS::Options delta_opts;
+    delta_opts.config = fuzz_.config;
+    delta_opts.window_seconds = window;
+    delta_opts.maintenance = StreamingPrimeLS::Maintenance::kDelta;
+    StreamingPrimeLS delta(instance.candidates, delta_opts);
+    StreamingPrimeLS::Options rebuild_opts = delta_opts;
+    rebuild_opts.maintenance = StreamingPrimeLS::Maintenance::kRebuild;
+    StreamingPrimeLS rebuild(instance.candidates, rebuild_opts);
+
+    // Mirror of the live window, expired with the engines' strict-<
+    // horizon rule, for the from-scratch reference.
+    std::unordered_map<uint32_t, std::deque<std::pair<double, Point>>> live;
+    auto expire_live = [&](double at) {
+      const double horizon = at - window;
+      for (auto it = live.begin(); it != live.end();) {
+        auto& dq = it->second;
+        while (!dq.empty() && dq.front().first < horizon) dq.pop_front();
+        it = dq.empty() ? live.erase(it) : std::next(it);
+      }
+    };
+    auto check_vs_rebuild = [&]() -> bool {
+      for (size_t j = 0; j < m; ++j) {
+        if (delta.InfluenceOf(j) != rebuild.InfluenceOf(j)) {
+          std::ostringstream msg;
+          msg << "StreamingPrimeLS/window: delta influence[" << j << "] = "
+              << delta.InfluenceOf(j) << " vs rebuild "
+              << rebuild.InfluenceOf(j) << " at now=" << delta.now();
+          Fail(msg.str());
+          return false;
+        }
+      }
+      if (delta.Best() != rebuild.Best() ||
+          delta.NumLiveObjects() != rebuild.NumLiveObjects() ||
+          delta.NumLivePositions() != rebuild.NumLivePositions()) {
+        Fail("StreamingPrimeLS/window: delta Best/live-counts diverge from "
+             "rebuild");
+        return false;
+      }
+      return true;
+    };
+    auto check_vs_batch = [&]() -> bool {
+      for (size_t j = 0; j < m; ++j) {
+        int64_t want = 0;
+        std::vector<Point> positions;
+        for (const auto& [id, dq] : live) {
+          (void)id;
+          positions.clear();
+          for (const auto& tp : dq) positions.push_back(tp.second);
+          if (Influences(*fuzz_.config.pf, instance.candidates[j], positions,
+                         fuzz_.config.tau)) {
+            ++want;
+          }
+        }
+        if (delta.InfluenceOf(j) != want) {
+          std::ostringstream msg;
+          msg << "StreamingPrimeLS/window: delta influence[" << j << "] = "
+              << delta.InfluenceOf(j) << " vs window batch " << want
+              << " at now=" << delta.now();
+          Fail(msg.str());
+          return false;
+        }
+      }
+      return true;
+    };
+
+    double now = 0.0;
+    size_t steps = 0;
+    for (const MovingObject& o : instance.objects) {
+      for (const Point& p : o.positions) {
+        const double roll = rng.NextDouble();
+        if (roll < 0.25) {
+          // burst: same timestamp as the previous observation
+        } else if (roll < 0.35) {
+          now += window;  // previous observations land exactly on the horizon
+        } else {
+          now += rng.Uniform(0.0, window / 4.0);
+        }
+        // Duplicate-id pressure: distinct instance objects fold into a few
+        // shared streaming ids.
+        const uint32_t id =
+            rng.NextDouble() < 0.3 ? o.id % 3 : o.id;
+        delta.Observe(id, now, p);
+        rebuild.Observe(id, now, p);
+        live[id].emplace_back(now, p);
+        expire_live(now);
+        if (!check_vs_rebuild()) return;
+        if (++steps % 13 == 0 && !check_vs_batch()) return;
+        if (rng.NextDouble() < 0.03) {
+          now += rng.Uniform(0.0, 2.0 * window);
+          delta.AdvanceTo(now);
+          rebuild.AdvanceTo(now);
+          expire_live(now);
+          if (!check_vs_rebuild()) return;
+        }
+      }
+    }
+    // Full drain, then the final state against the from-scratch batch.
+    now += 3.0 * window;
+    delta.AdvanceTo(now);
+    rebuild.AdvanceTo(now);
+    expire_live(now);
+    if (!check_vs_rebuild()) return;
+    if (!check_vs_batch()) return;
+    if (delta.NumLiveObjects() != 0 || delta.NumLivePositions() != 0) {
+      Fail("StreamingPrimeLS/window: window not empty after full drain");
+    }
   }
 
   const FuzzCase& fuzz_;

@@ -1,0 +1,56 @@
+#include "util/quantile.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+TEST(QuantileTest, EmptySampleIsZero) {
+  EXPECT_EQ(QuantileOfSorted({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  const std::vector<double> v = {42.0};
+  EXPECT_EQ(QuantileOfSorted(v, 0.0), 42.0);
+  EXPECT_EQ(QuantileOfSorted(v, 0.5), 42.0);
+  EXPECT_EQ(QuantileOfSorted(v, 1.0), 42.0);
+}
+
+TEST(QuantileTest, KnownLatencyVector) {
+  // A known 10-sample latency vector (milliseconds), deliberately unsorted
+  // the way per-request recordings arrive.
+  std::vector<double> v = {9.0, 1.0, 7.0, 3.0, 10.0, 2.0, 8.0, 5.0, 4.0, 6.0};
+  SortForQuantiles(v);  // 1..10
+  // Closest-ranks linear interpolation over n=10: rank = q * 9.
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.50), 5.5);    // rank 4.5
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.95), 9.55);   // rank 8.55
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.99), 9.91);   // rank 8.91
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 1.0), 10.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenRanks) {
+  const std::vector<double> v = {0.0, 100.0};
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.25), 25.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.75), 75.0);
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 1.5), 3.0);
+}
+
+TEST(QuantileTest, RepeatedReadsDoNotPerturbSample) {
+  std::vector<double> v = {3.0, 1.0, 2.0};
+  SortForQuantiles(v);
+  const std::vector<double> sorted = v;
+  (void)QuantileOfSorted(v, 0.5);
+  (void)QuantileOfSorted(v, 0.99);
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace pinocchio

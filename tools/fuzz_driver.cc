@@ -61,7 +61,7 @@ Point RandomPoint(Rng* rng) {
 
 Request RandomRequest(Rng* rng) {
   Request request;
-  switch (rng->UniformInt(0, 7)) {
+  switch (rng->UniformInt(0, 9)) {
     case 0:
       request.type = RequestType::kSolve;
       request.solve.algorithm =
@@ -110,6 +110,22 @@ Request RandomRequest(Rng* rng) {
       request.diversified.k = static_cast<uint32_t>(rng->UniformInt(0, 64));
       request.diversified.min_separation = rng->Uniform(0.0, 1e5);
       break;
+    case 7: {
+      request.type = RequestType::kObserve;
+      const int count = static_cast<int>(rng->UniformInt(0, 8));
+      for (int i = 0; i < count; ++i) {
+        Observation o;
+        o.object_id = static_cast<uint32_t>(rng->UniformInt(0, 1 << 20));
+        o.time = rng->Uniform(0.0, 1e9);
+        o.position = RandomPoint(rng);
+        request.observe.observations.push_back(o);
+      }
+      break;
+    }
+    case 8:
+      request.type = RequestType::kAdvance;
+      request.advance.time = rng->Uniform(0.0, 1e9);
+      break;
     default:
       request.type = RequestType::kStats;
       break;
@@ -119,7 +135,7 @@ Request RandomRequest(Rng* rng) {
 
 Response RandomResponse(Rng* rng) {
   Response response;
-  switch (rng->UniformInt(0, 6)) {
+  switch (rng->UniformInt(0, 7)) {
     case 0:
       response.type = ResponseType::kError;
       response.error.code = static_cast<ErrorCode>(rng->UniformInt(1, 6));
@@ -192,6 +208,18 @@ Response RandomResponse(Rng* rng) {
       }
       break;
     }
+    case 6: {
+      response.type = ResponseType::kStream;
+      StreamResponse& s = response.stream;
+      s.now = rng->Uniform(0.0, 1e9);
+      s.live_objects = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.live_positions = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.applied = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.has_best = rng->UniformInt(0, 1) == 1;
+      s.best_candidate = static_cast<uint32_t>(rng->UniformInt(0, 1 << 20));
+      s.best_influence = rng->UniformInt(0, 1 << 20);
+      break;
+    }
     default:
       response.type = ResponseType::kStats;
       response.stats.epoch = rng->Next();
@@ -200,6 +228,11 @@ Response RandomResponse(Rng* rng) {
           static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
       response.stats.diverse_requests =
           static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      response.stats.observe_requests =
+          static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      response.stats.stream_observations =
+          static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      response.stats.stream_window_seconds = rng->Uniform(0.0, 1e4);
       break;
   }
   return response;
@@ -259,6 +292,22 @@ bool RequestsEqual(const Request& a, const Request& b) {
     case RequestType::kDiversified:
       return a.diversified.k == b.diversified.k &&
              a.diversified.min_separation == b.diversified.min_separation;
+    case RequestType::kObserve: {
+      if (a.observe.observations.size() != b.observe.observations.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.observe.observations.size(); ++i) {
+        const Observation& x = a.observe.observations[i];
+        const Observation& y = b.observe.observations[i];
+        if (x.object_id != y.object_id || x.time != y.time ||
+            !PointsEqual(x.position, y.position)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case RequestType::kAdvance:
+      return a.advance.time == b.advance.time;
   }
   return false;
 }
@@ -303,7 +352,18 @@ bool ResponsesEqual(const Response& a, const Response& b) {
              a.stats.uptime_seconds == b.stats.uptime_seconds &&
              a.stats.solve_requests == b.stats.solve_requests &&
              a.stats.skyline_requests == b.stats.skyline_requests &&
-             a.stats.diverse_requests == b.stats.diverse_requests;
+             a.stats.diverse_requests == b.stats.diverse_requests &&
+             a.stats.observe_requests == b.stats.observe_requests &&
+             a.stats.stream_observations == b.stats.stream_observations &&
+             a.stats.stream_window_seconds == b.stats.stream_window_seconds;
+    case ResponseType::kStream:
+      return a.stream.now == b.stream.now &&
+             a.stream.live_objects == b.stream.live_objects &&
+             a.stream.live_positions == b.stream.live_positions &&
+             a.stream.applied == b.stream.applied &&
+             a.stream.has_best == b.stream.has_best &&
+             a.stream.best_candidate == b.stream.best_candidate &&
+             a.stream.best_influence == b.stream.best_influence;
     case ResponseType::kSkyline: {
       const SkylineResponse& x = a.skyline;
       const SkylineResponse& y = b.skyline;

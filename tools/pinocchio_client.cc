@@ -40,6 +40,10 @@ Operations (--op=...):
                     candidate to the origin --x=F --y=F.
   diverse           Greedy diversified top-k: --k=N picks, each pair of
                     picks >= --delta=F apart (0 = plain multi-facility).
+  observe           Stream one observation into the server's window:
+                    --id=N --time=F --x=F --y=F. Requires a server
+                    started with --stream-window.
+  advance           Advance the server's stream clock: --time=F.
 )";
 
 void JsonField(std::ostream& out, bool* first, const char* key, double v) {
@@ -180,6 +184,18 @@ int PrintResponse(const Response& response, bool json) {
         JsonField(out, &first, "solve_threads",
                   (unsigned long long)s.solve_threads);
         JsonField(out, &first, "solve_busy_seconds", s.solve_busy_seconds);
+        JsonField(out, &first, "observe_requests",
+                  (unsigned long long)s.observe_requests);
+        JsonField(out, &first, "advance_requests",
+                  (unsigned long long)s.advance_requests);
+        JsonField(out, &first, "stream_observations",
+                  (unsigned long long)s.stream_observations);
+        JsonField(out, &first, "stream_live_objects",
+                  (unsigned long long)s.stream_live_objects);
+        JsonField(out, &first, "stream_live_positions",
+                  (unsigned long long)s.stream_live_positions);
+        JsonField(out, &first, "stream_window_seconds",
+                  s.stream_window_seconds);
         out << "}";
       } else {
         out << "epoch " << s.epoch << ", " << s.num_objects << " objects, "
@@ -194,6 +210,13 @@ int PrintResponse(const Response& response, bool json) {
             << s.error_responses << "\nuptime " << s.uptime_seconds
             << " s, solve threads " << s.solve_threads << ", solve busy "
             << s.solve_busy_seconds << " s";
+        if (s.stream_window_seconds > 0.0) {
+          out << "\nstream: window " << s.stream_window_seconds << " s, "
+              << s.stream_observations << " observations ("
+              << s.observe_requests << " observe, " << s.advance_requests
+              << " advance), live " << s.stream_live_objects << " objects / "
+              << s.stream_live_positions << " positions";
+        }
       }
       std::cout << out.str() << "\n";
       return 0;
@@ -266,6 +289,37 @@ int PrintResponse(const Response& response, bool json) {
       std::cout << out.str() << (json ? "\n" : "");
       return 0;
     }
+    case ResponseType::kStream: {
+      const StreamResponse& s = response.stream;
+      if (json) {
+        out << "{";
+        JsonField(out, &first, "now", s.now);
+        JsonField(out, &first, "live_objects",
+                  (unsigned long long)s.live_objects);
+        JsonField(out, &first, "live_positions",
+                  (unsigned long long)s.live_positions);
+        JsonField(out, &first, "applied", (unsigned long long)s.applied);
+        out << ", \"has_best\": " << (s.has_best ? "true" : "false");
+        if (s.has_best) {
+          JsonField(out, &first, "best_candidate",
+                    (unsigned long long)s.best_candidate);
+          out << ", \"best_influence\": " << s.best_influence;
+        }
+        out << "}";
+      } else {
+        out << "stream now " << s.now << ": " << s.live_objects
+            << " objects / " << s.live_positions << " positions live, "
+            << s.applied << " applied";
+        if (s.has_best) {
+          out << "; best candidate " << s.best_candidate << " influence "
+              << s.best_influence;
+        } else {
+          out << "; no best (no live candidate)";
+        }
+      }
+      std::cout << out.str() << "\n";
+      return 0;
+    }
   }
   std::cerr << "unexpected response type\n";
   return 1;
@@ -281,7 +335,8 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.UnknownFlags({"op", "host", "port", "json",
                                            "algo", "k", "x", "y", "tau",
-                                           "rho", "lambda", "delta", "help"});
+                                           "rho", "lambda", "delta", "id",
+                                           "time", "help"});
   if (!unknown.empty() || !flags.errors().empty()) {
     for (const std::string& name : unknown) {
       std::cerr << "error: unknown flag --" << name << "\n";
@@ -341,6 +396,16 @@ int main(int argc, char** argv) {
     request.type = RequestType::kDiversified;
     request.diversified.k = static_cast<uint32_t>(flags.GetInt("k", 4));
     request.diversified.min_separation = flags.GetDouble("delta", 0.0);
+  } else if (*op == "observe") {
+    request.type = RequestType::kObserve;
+    Observation o;
+    o.object_id = static_cast<uint32_t>(flags.GetInt("id", 0));
+    o.time = flags.GetDouble("time", 0.0);
+    o.position = Point{flags.GetDouble("x", 0.0), flags.GetDouble("y", 0.0)};
+    request.observe.observations.push_back(o);
+  } else if (*op == "advance") {
+    request.type = RequestType::kAdvance;
+    request.advance.time = flags.GetDouble("time", 0.0);
   } else {
     std::cerr << "unknown --op '" << *op << "'\n" << kUsage;
     return 2;

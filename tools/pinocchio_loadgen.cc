@@ -15,6 +15,7 @@
 // stats: a cancelled run reports what it measured instead of nothing.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -27,6 +28,7 @@
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "util/flags.h"
+#include "util/quantile.h"
 #include "util/random.h"
 #include "util/shutdown.h"
 #include "util/stopwatch.h"
@@ -46,7 +48,11 @@ constexpr char kUsage[] = R"(Usage: pinocchio_loadgen [flags]
   --seed=N           Mix/point seed; runs are deterministic per seed (7).
   --mix=SPEC         Comma-separated class:weight list (default
                      "topk:25,probe:25,whatif:10,update:5,solve:10,stats:5,
-                      skyline:12,diverse:8").
+                      skyline:12,diverse:8,observe:0,advance:0").
+                     observe/advance need a server started with
+                     --stream-window; observe frames batch
+                     --observe-batch observations each (staleness lever).
+  --observe-batch=N  Observations per observe frame (default 16).
   --extent-km=F      Probe/update points are drawn uniformly from
                      [0, extent]^2 km (default 39, the Foursquare extent).
   --k=N              Ranking size for topk/solve/whatif requests (5).
@@ -64,12 +70,14 @@ enum Class : size_t {
   kClassStats,
   kClassSkyline,
   kClassDiverse,
+  kClassObserve,
+  kClassAdvance,
   kNumClasses,
 };
 
 const char* const kClassNames[kNumClasses] = {
     "topk", "probe", "whatif", "update", "solve", "stats", "skyline",
-    "diverse"};
+    "diverse", "observe", "advance"};
 
 struct WorkerResult {
   std::vector<double> latencies[kNumClasses];  // seconds per request
@@ -84,8 +92,17 @@ struct RunConfig {
   uint64_t seed = 7;
   double extent_meters = 39000.0;
   uint32_t k = 5;
+  uint32_t observe_batch = 16;
   std::vector<double> weights;  // size kNumClasses
 };
+
+// Global stream clock shared by all workers: observation times must be
+// non-decreasing across the whole connection pool (the server keeps one
+// stream), so every timestamp is drawn from one atomic counter. A worker
+// can still lose the race between drawing and sending — the server
+// rejects that batch (error response), which is the load we want to
+// measure, not a failure of the generator.
+std::atomic<uint64_t> g_stream_ticks{1};
 
 Request MakeRequest(Class cls, const RunConfig& config, Rng* rng,
                     uint32_t* next_object_id) {
@@ -137,6 +154,29 @@ Request MakeRequest(Class cls, const RunConfig& config, Rng* rng,
       request.diversified.min_separation =
           rng->Uniform(0.0, config.extent_meters / 8.0);
       break;
+    case kClassObserve: {
+      request.type = RequestType::kObserve;
+      const uint64_t base =
+          g_stream_ticks.fetch_add(config.observe_batch,
+                                   std::memory_order_relaxed);
+      request.observe.observations.reserve(config.observe_batch);
+      for (uint32_t i = 0; i < config.observe_batch; ++i) {
+        Observation o;
+        o.object_id = static_cast<uint32_t>(rng->UniformInt(0, 499));
+        o.time = static_cast<double>(base + i) * 0.01;
+        o.position = Point{rng->Uniform(0.0, config.extent_meters),
+                           rng->Uniform(0.0, config.extent_meters)};
+        request.observe.observations.push_back(o);
+      }
+      break;
+    }
+    case kClassAdvance:
+      request.type = RequestType::kAdvance;
+      request.advance.time =
+          static_cast<double>(
+              g_stream_ticks.fetch_add(1, std::memory_order_relaxed)) *
+          0.01;
+      break;
     case kClassStats:
     default:
       request.type = RequestType::kStats;
@@ -159,16 +199,23 @@ void RunWorker(const RunConfig& config, size_t worker_index,
       static_cast<uint32_t>(1u << 24) +
       static_cast<uint32_t>(worker_index) * (1u << 16);
 
+  // The first requests cover every positively weighted class once so that
+  // even the shortest run reports all requested distributions; afterwards
+  // the mix is sampled from the configured weights. Zero-weight classes
+  // (e.g. observe/advance against a server without a stream window) are
+  // never issued.
+  std::vector<Class> warmup;
+  for (size_t cls = 0; cls < kNumClasses; ++cls) {
+    if (config.weights[cls] > 0.0) warmup.push_back(static_cast<Class>(cls));
+  }
+
   Stopwatch run_clock;
   Stopwatch request_clock;
   uint64_t issued = 0;
   while (run_clock.ElapsedSeconds() < config.duration_seconds &&
          !ShutdownRequested()) {
-    // The first kNumClasses requests cover every class once so that even
-    // the shortest run reports all distributions; afterwards the mix is
-    // sampled from the configured weights.
-    const Class cls = issued < kNumClasses
-                          ? static_cast<Class>(issued)
+    const Class cls = issued < warmup.size()
+                          ? warmup[issued]
                           : static_cast<Class>(rng.Categorical(config.weights));
     ++issued;
     const Request request = MakeRequest(cls, config, &rng, &next_object_id);
@@ -183,17 +230,6 @@ void RunWorker(const RunConfig& config, size_t worker_index,
     result->latencies[cls].push_back(request_clock.ElapsedSeconds());
     if (response->type == ResponseType::kError) ++result->error_responses;
   }
-}
-
-double Percentile(std::vector<double>* sorted_in_place, double q) {
-  std::vector<double>& v = *sorted_in_place;
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const double rank = q * static_cast<double>(v.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, v.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
 }
 
 bool ParseMix(const std::string& spec, std::vector<double>* weights,
@@ -240,7 +276,8 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.UnknownFlags({"host", "port", "connections",
                                            "duration", "seed", "mix",
-                                           "extent-km", "k", "help"});
+                                           "extent-km", "k", "observe-batch",
+                                           "help"});
   if (!unknown.empty() || !flags.errors().empty()) {
     for (const std::string& name : unknown) {
       std::cerr << "error: unknown flag --" << name << "\n";
@@ -259,6 +296,8 @@ int main(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   config.extent_meters = flags.GetDouble("extent-km", 39.0) * 1000.0;
   config.k = static_cast<uint32_t>(flags.GetInt("k", 5));
+  config.observe_batch = static_cast<uint32_t>(
+      std::max<int64_t>(1, flags.GetInt("observe-batch", 16)));
   const auto num_connections =
       static_cast<size_t>(flags.GetInt("connections", 4));
   if (num_connections == 0 || config.duration_seconds <= 0.0) {
@@ -320,9 +359,10 @@ int main(int argc, char** argv) {
   for (size_t cls = 0; cls < kNumClasses; ++cls) {
     ClassSummary& s = summaries[cls];
     s.count = merged[cls].size();
-    s.p50 = Percentile(&merged[cls], 0.50);
-    s.p95 = Percentile(&merged[cls], 0.95);
-    s.p99 = Percentile(&merged[cls], 0.99);
+    SortForQuantiles(merged[cls]);  // once per class, not once per quantile
+    s.p50 = QuantileOfSorted(merged[cls], 0.50);
+    s.p95 = QuantileOfSorted(merged[cls], 0.95);
+    s.p99 = QuantileOfSorted(merged[cls], 0.99);
     std::ostringstream row;
     row.setf(std::ios::fixed);
     row.precision(3);

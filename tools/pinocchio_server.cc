@@ -41,6 +41,8 @@ constexpr char kUsage[] = R"(Usage: pinocchio_server [flags]
   --topk-limit=N    top_k the snapshots are prepared with (default 16).
   --solve_threads=N Morsel-engine worker budget per solve/topk request
                     (default 1 = inline; 0 = hardware concurrency).
+  --stream-window=F Streaming ingestion window in seconds; enables the
+                    observe/advance request family (default 0 = off).
   --help            Show this message.
 
 Stop with SIGINT/SIGTERM; the server drains in-flight requests and
@@ -57,6 +59,13 @@ void PrintStats(const pinocchio::serve::StatsResponse& s, std::ostream& out) {
       << s.stats_requests << ", errors " << s.error_responses << "\n"
       << "uptime " << s.uptime_seconds << " s, solve threads "
       << s.solve_threads << ", solve busy " << s.solve_busy_seconds << " s";
+  if (s.stream_window_seconds > 0.0) {
+    out << "\nstream: window " << s.stream_window_seconds << " s, "
+        << s.stream_observations << " observations over "
+        << s.observe_requests << " observe + " << s.advance_requests
+        << " advance requests; live " << s.stream_live_objects
+        << " objects / " << s.stream_live_positions << " positions";
+  }
   if (s.uptime_seconds > 0.0 && s.solve_threads > 0) {
     out << " (utilisation "
         << 100.0 * s.solve_busy_seconds /
@@ -79,7 +88,7 @@ int main(int argc, char** argv) {
   const auto unknown = flags.UnknownFlags(
       {"port", "bind", "workers", "in", "profile", "scale", "candidates",
        "seed", "tau", "rho", "lambda", "unit-km", "topk-limit",
-       "solve_threads", "help"});
+       "solve_threads", "stream-window", "help"});
   if (!unknown.empty() || !flags.errors().empty()) {
     for (const std::string& name : unknown) {
       std::cerr << "error: unknown flag --" << name << "\n";
@@ -176,6 +185,12 @@ int main(int argc, char** argv) {
   service_options.pf_unit_meters = unit_meters;
   service_options.solve_threads =
       static_cast<size_t>(flags.GetInt("solve_threads", 1));
+  service_options.stream_window_seconds =
+      flags.GetDouble("stream-window", 0.0);
+  if (service_options.stream_window_seconds < 0.0) {
+    std::cerr << "--stream-window must be >= 0\n";
+    return 2;
+  }
 
   std::cout << "preparing " << instance.objects.size() << " objects / "
             << instance.candidates.size() << " candidates (tau "
