@@ -1,0 +1,287 @@
+// Approximate-tier frontier benchmark: wall time and observed error of
+// the sampling-sketch top-k (core/approx_solver.h) against the exact
+// PIN-VO solver, sweeping epsilon across object-count rungs (the Omega
+// axis of the paper's scalability experiments).
+//
+// The sketch pays off exactly when Lemma-4 bounds cannot settle a
+// candidate cheaply but a small sample can: verification sets are large
+// (loose per-record bounds) while most candidates' influenced fractions
+// sit far from the top-k cutoff. The bench instance is built to be in
+// that regime — the "separated frontier" the approximate tier targets:
+//
+//   * 60% of objects live downtown (positions in a 500 m disc around the
+//     extent centre), 40% in eight suburbs on a 12 km ring;
+//   * every object additionally has ~20% stray positions uniform over
+//     the whole 40 x 27 km extent, so its MBR spans the map and Lemma-4
+//     bounds are vacuous — exact PIN-VO must validate every pair;
+//   * 16 candidates sit downtown (influence ~60% of Omega, they fill the
+//     top-k and are refined exactly), the rest scatter over suburbs and
+//     empty space (influence <= ~10% of Omega, settled as certified
+//     misses from ceil(ln(2/delta) / (2 eps^2)) sampled records each).
+//
+// Exact influences for every returned candidate come from the naive
+// oracle, giving two self-checks the binary enforces (exit 1):
+//
+//   * containment — the certified [lo, hi] bracket of every returned
+//     entry contains the candidate's exact influence, and
+//   * observed error — |estimate - exact| <= epsilon * num_objects.
+//
+// Emits JSON lines to $PINOCCHIO_BENCH_JSON named
+// "BM_ApproxFrontier/n<objects>/eps<epsilon>" carrying seconds (approx
+// solve, best of 3), exact_seconds, speedup_vs_exact, observed_error and
+// epsilon; scripts/check_bench_regression.py gates these in CI against
+// bench/baselines/approx-baseline.jsonl with --max-approx-error (every
+// rung) and --min-approx-speedup (largest rung, coarsest epsilon).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/approx_solver.h"
+#include "core/naive_solver.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace pinocchio {
+namespace bench {
+namespace {
+
+/// Largest Omega rung at PINOCCHIO_BENCH_SCALE=0.25 (the suite default);
+/// the bench scales it linearly from there, capped at 4x.
+constexpr size_t kObjectsBaseRung = 2400;
+constexpr double kRungFractions[] = {0.25, 0.5, 1.0};
+constexpr double kEpsilons[] = {0.05, 0.1, 0.2};
+constexpr double kDelta = 0.01;
+constexpr size_t kTopK = 16;
+constexpr size_t kDowntownCandidates = kTopK;
+constexpr uint64_t kSketchSeed = 42;
+constexpr int kRepetitions = 3;
+
+constexpr double kExtentX = 40'000.0;  // metres
+constexpr double kExtentY = 27'000.0;
+constexpr double kDowntownRadius = 500.0;
+constexpr double kSuburbRadius = 500.0;
+constexpr double kRingRadius = 12'000.0;
+constexpr size_t kNumSuburbs = 8;
+constexpr size_t kHomePositions = 51;
+constexpr size_t kStrayPositions = 13;
+
+Point JitterDisc(Rng& rng, const Point& centre, double radius) {
+  // Rejection-free disc sample (sqrt for area uniformity).
+  const double angle = rng.Uniform(0.0, 2.0 * 3.14159265358979323846);
+  const double distance = radius * std::sqrt(rng.Uniform(0.0, 1.0));
+  return {centre.x + distance * std::cos(angle),
+          centre.y + distance * std::sin(angle)};
+}
+
+Point UniformExtent(Rng& rng) {
+  return {rng.Uniform(0.0, kExtentX), rng.Uniform(0.0, kExtentY)};
+}
+
+/// The separated-frontier instance described in the header comment.
+ProblemInstance MakeFrontierInstance(size_t num_objects,
+                                     size_t num_candidates, uint64_t seed) {
+  Rng rng(seed);
+  const Point downtown{kExtentX / 2.0, kExtentY / 2.0};
+  std::vector<Point> suburbs(kNumSuburbs);
+  for (size_t s = 0; s < kNumSuburbs; ++s) {
+    const double angle = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(s) /
+                         static_cast<double>(kNumSuburbs);
+    suburbs[s] = {downtown.x + kRingRadius * std::cos(angle),
+                  downtown.y + kRingRadius * 0.9 * std::sin(angle)};
+  }
+
+  ProblemInstance instance;
+  instance.objects.reserve(num_objects);
+  for (size_t i = 0; i < num_objects; ++i) {
+    const bool resident = i % 5 < 3;  // 60% downtown, 40% suburban
+    const Point home =
+        resident ? downtown
+                 : suburbs[(i / 5) % kNumSuburbs];
+    MovingObject object;
+    object.id = static_cast<uint32_t>(i);
+    object.positions.reserve(kHomePositions + kStrayPositions);
+    for (size_t p = 0; p < kHomePositions; ++p) {
+      object.positions.push_back(JitterDisc(
+          rng, home, resident ? kDowntownRadius : kSuburbRadius));
+    }
+    // Strays blow the MBR up to the whole extent: Lemma-4 bounds cannot
+    // settle any (candidate, object) pair, so every record of every
+    // verification set survives to validation.
+    for (size_t p = 0; p < kStrayPositions; ++p) {
+      object.positions.push_back(UniformExtent(rng));
+    }
+    instance.objects.push_back(std::move(object));
+  }
+
+  instance.candidates.reserve(num_candidates);
+  for (size_t j = 0; j < num_candidates && j < kDowntownCandidates; ++j) {
+    instance.candidates.push_back(JitterDisc(rng, downtown, 300.0));
+  }
+  for (size_t j = kDowntownCandidates; j < num_candidates; ++j) {
+    if (j % 2 == 0) {
+      instance.candidates.push_back(
+          JitterDisc(rng, suburbs[j % kNumSuburbs], 800.0));
+    } else {
+      instance.candidates.push_back(UniformExtent(rng));
+    }
+  }
+  return instance;
+}
+
+/// Best-of-N wall time of `body` (N = kRepetitions); the result of the
+/// last run is kept by the caller via the closure.
+template <typename Fn>
+double TimeBest(Fn&& body) {
+  double best = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Stopwatch watch;
+    body();
+    const double elapsed = watch.ElapsedSeconds();
+    if (rep == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+std::string FormatEps(double epsilon) {
+  std::ostringstream out;
+  out << epsilon;
+  return out.str();
+}
+
+int Main() {
+  const BenchContext ctx = BenchContext::FromEnv();
+  ctx.Announce("approx_frontier");
+
+  const double rung_scale = std::min(4.0, ctx.scale / 0.25);
+  const size_t largest_rung = std::max<size_t>(
+      400, static_cast<size_t>(static_cast<double>(kObjectsBaseRung) *
+                               rung_scale));
+  const size_t m = ScaledCandidates(ctx, kDefaultCandidates);
+
+  SolverConfig config = DefaultConfig();
+  config.top_k = kTopK;
+
+  const char* json_path = std::getenv("PINOCCHIO_BENCH_JSON");
+  std::ofstream json;
+  if (json_path != nullptr && *json_path != '\0') {
+    json.open(json_path, std::ios::app);
+    if (!json) {
+      std::cerr << "[bench] cannot open PINOCCHIO_BENCH_JSON=" << json_path
+                << "\n";
+    }
+  }
+
+  TablePrinter table(
+      "Approximate frontier (separated instance, k=" + std::to_string(kTopK) +
+          ", delta=" + FormatEps(kDelta) + ")",
+      {"objects", "eps", "exact", "approx", "speedup", "max err", "skipped"});
+  size_t violations = 0;
+
+  for (const double fraction : kRungFractions) {
+    const size_t count = std::max<size_t>(
+        200, static_cast<size_t>(static_cast<double>(largest_rung) *
+                                 fraction));
+    const ProblemInstance instance =
+        MakeFrontierInstance(count, m, ctx.seed + count);
+    const PreparedInstance prepared(instance, config);
+    const auto num_objects = static_cast<double>(count);
+
+    const SolverResult naive = NaiveSolver().Solve(prepared);
+    if (std::getenv("PINOCCHIO_BENCH_DEBUG") != nullptr) {
+      std::vector<int64_t> sorted = naive.influence;
+      std::sort(sorted.begin(), sorted.end(), std::greater<>());
+      std::cerr << "[debug] n=" << count << " influence deciles:";
+      for (size_t d = 0; d <= 10; ++d) {
+        std::cerr << " " << sorted[std::min(sorted.size() - 1,
+                                            d * (sorted.size() - 1) / 10)];
+      }
+      std::cerr << " | top-" << kTopK << " cutoff " << sorted[kTopK - 1]
+                << "\n";
+    }
+    SolverResult exact;
+    const double exact_seconds =
+        TimeBest([&] { exact = PinocchioVOSolver().Solve(prepared); });
+    if (exact.best_influence != naive.best_influence) {
+      std::cerr << "[bench] FATAL: PIN-VO and naive disagree on the optimum\n";
+      return 1;
+    }
+
+    for (const double epsilon : kEpsilons) {
+      const SketchParams params{epsilon, kDelta, kSketchSeed};
+      ApproxTopKResult approx;
+      const double approx_seconds =
+          TimeBest([&] { approx = SolveApproxTopK(prepared, kTopK, params); });
+      const double speedup = exact_seconds / approx_seconds;
+
+      double observed_error = 0.0;
+      for (const ApproxEntry& e : approx.entries) {
+        const int64_t truth = naive.influence[e.candidate];
+        if (truth < e.lo || truth > e.hi) {
+          ++violations;
+          std::cerr << "[bench] bracket violation: candidate " << e.candidate
+                    << " exact " << truth << " outside [" << e.lo << ", "
+                    << e.hi << "] at eps=" << epsilon << " n=" << count
+                    << "\n";
+        }
+        const double err =
+            std::abs(static_cast<double>(e.estimate - truth)) / num_objects;
+        observed_error = std::max(observed_error, err);
+      }
+      if (observed_error > epsilon) {
+        ++violations;
+        std::cerr << "[bench] observed error " << observed_error
+                  << " exceeds certified eps=" << epsilon << " at n=" << count
+                  << "\n";
+      }
+
+      std::ostringstream err_text;
+      err_text.precision(4);
+      err_text << observed_error;
+      std::ostringstream speed_text;
+      speed_text.precision(3);
+      speed_text << speedup << "x";
+      table.AddRow({std::to_string(count), FormatEps(epsilon),
+                    FormatSeconds(exact_seconds),
+                    FormatSeconds(approx_seconds), speed_text.str(),
+                    err_text.str(), std::to_string(approx.pairs_skipped)});
+
+      if (json) {
+        json << "{\"name\": \"BM_ApproxFrontier/n" << count << "/eps"
+             << FormatEps(epsilon) << "\", \"seconds\": " << approx_seconds
+             << ", \"exact_seconds\": " << exact_seconds
+             << ", \"speedup_vs_exact\": " << speedup
+             << ", \"observed_error\": " << observed_error
+             << ", \"epsilon\": " << epsilon << ", \"delta\": " << kDelta
+             << ", \"num_objects\": " << count
+             << ", \"num_candidates\": " << instance.candidates.size()
+             << ", \"sample_budget\": " << approx.sample_budget
+             << ", \"pairs_skipped\": " << approx.pairs_skipped
+             << ", \"pairs_refined\": " << approx.pairs_refined << "}\n";
+      }
+    }
+  }
+
+  table.Print(std::cout);
+  if (violations != 0) {
+    std::cerr << "[bench] FATAL: " << violations
+              << " certified-bracket violations\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinocchio
+
+int main() { return pinocchio::bench::Main(); }

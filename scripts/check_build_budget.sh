@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Enforce the checked-in cold-cache build-time budget.
+#
+# Usage: scripts/check_build_budget.sh <elapsed-seconds>
+#
+# The budget (seconds, .github/build-time-budget.txt) applies only to
+# COLD-cache builds: when ccache served >= 25% of cacheable compile calls
+# since the last `ccache -z`, a fast wall time proves nothing about the
+# from-scratch cost and a slow one is the runner's problem, so the gate
+# reports and exits 0. Run `ccache -z` immediately before the timed
+# configure+build so the stats window covers exactly this build.
+#
+# Raise the budget deliberately (with the PR that needs it) when the
+# build legitimately grows; the point is to catch accidental build-time
+# explosions — template blowups, header fan-out, generator loops — not
+# to haggle over seconds.
+
+set -euo pipefail
+
+if [ "$#" -ne 1 ]; then
+  echo "usage: $0 <elapsed-seconds>" >&2
+  exit 2
+fi
+elapsed="$1"
+budget_file="$(dirname "$0")/../.github/build-time-budget.txt"
+budget="$(tr -dc '0-9' < "${budget_file}")"
+if [ -z "${budget}" ]; then
+  echo "::error::${budget_file} does not contain a number" >&2
+  exit 2
+fi
+
+# Hit counts from the machine-readable stats (ccache >= 4.0). When the
+# stats are unavailable the build is treated as cold: enforcing the
+# budget spuriously on a warm build is better than never enforcing it.
+hits=0
+misses=0
+if stats="$(ccache --print-stats 2>/dev/null)"; then
+  while IFS=$'\t' read -r key value; do
+    case "${key}" in
+      direct_cache_hit|preprocessed_cache_hit) hits=$((hits + value)) ;;
+      cache_miss) misses=$((misses + value)) ;;
+    esac
+  done <<< "${stats}"
+fi
+total=$((hits + misses))
+
+summary() {
+  echo "$1"
+  if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    echo "$1" >> "${GITHUB_STEP_SUMMARY}"
+  fi
+}
+
+if [ "${total}" -gt 0 ] && [ $((hits * 4)) -ge "${total}" ]; then
+  summary "build budget: warm cache (${hits}/${total} ccache hits), \
+${elapsed}s informational only (budget ${budget}s)"
+  exit 0
+fi
+
+if [ "${elapsed}" -gt "${budget}" ]; then
+  summary "build budget: COLD build took ${elapsed}s, budget is ${budget}s"
+  echo "::error file=.github/build-time-budget.txt::cold-cache \
+configure+build took ${elapsed}s, exceeding the ${budget}s budget; \
+investigate the build-time regression (or raise the budget deliberately)"
+  exit 1
+fi
+summary "build budget: cold build ${elapsed}s within the ${budget}s budget \
+(${hits}/${total} ccache hits)"

@@ -153,6 +153,12 @@ enum class CandidateAdmission : uint8_t {
 ///   void Settle(uint32_t j, bool complete)           — after the set;
 ///       `complete` is false iff validation aborted early
 ///
+/// `verification_set` need not return the full prune-phase set: the
+/// approximate tier (core/approx_solver.h) returns a deterministic sample
+/// of it per candidate and scales the observed decisions into a certified
+/// influence bracket — the loop is agnostic as long as the span stays
+/// alive for the candidate's walk.
+///
 /// The loop is inherently sequential — what the policy learns from
 /// candidate i gates the work spent on candidate i+1 — which is why the
 /// parallel solvers reuse it verbatim after their parallel prune and order

@@ -196,5 +196,28 @@ DiversifiedResult SelectDiversifiedParallel(const PreparedInstance& prepared,
   return result;
 }
 
+ApproxTopKResult SolveApproxTopKParallel(const PreparedInstance& prepared,
+                                         size_t k, const SketchParams& params,
+                                         size_t num_threads) {
+  PINO_CHECK_GT(k, 0u);
+  Stopwatch watch;
+  ApproxTopKResult result;
+  if (prepared.num_candidates() == 0) {
+    internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
+    return result;
+  }
+  const InfluenceKernel kernel(prepared.pf(), prepared.tau());
+  const MorselScheduler scheduler(num_threads);
+  CandidateBrackets brackets =
+      BuildCandidateBracketsParallel(prepared, kernel, scheduler,
+                                     &result.stats);
+  const std::vector<uint32_t> order =
+      BoundDominationOrderParallel(brackets, scheduler);
+  SolveApproxTopKOnBrackets(prepared, kernel, params, k, order, &brackets,
+                            &result);
+  internal::FinishSolveTiming(&result.stats, watch.ElapsedSeconds());
+  return result;
+}
+
 }  // namespace query
 }  // namespace pinocchio

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "core/approx_solver.h"
 #include "core/query_engine.h"
 #include "parallel/morsel_scheduler.h"
 
@@ -59,6 +60,15 @@ SkylineResult SolveSkylineParallel(const PreparedInstance& prepared,
 DiversifiedResult SelectDiversifiedParallel(const PreparedInstance& prepared,
                                             size_t k, double min_separation,
                                             size_t num_threads);
+
+/// SolveApproxTopK with the prune and order phases on the morsel engine.
+/// The sketch-validated evaluation walk is sequential and its verdicts are
+/// pure in (seed, record, candidate), so results — certified brackets
+/// included — are bit-identical to the sequential SolveApproxTopK at any
+/// thread count.
+ApproxTopKResult SolveApproxTopKParallel(const PreparedInstance& prepared,
+                                         size_t k, const SketchParams& params,
+                                         size_t num_threads);
 
 }  // namespace query
 }  // namespace pinocchio

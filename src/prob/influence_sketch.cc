@@ -1,0 +1,108 @@
+#include "prob/influence_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pinocchio {
+namespace {
+
+// Sample budgets above this never beat deciding a uint32-indexed set in
+// full, so larger requests (eps -> 0) degenerate to exact cleanly without
+// risking size_t overflow in the ceil().
+constexpr double kMaxSamples = 1e15;
+
+// Decouples the per-candidate sample stream from seeds that differ by
+// small deltas (0x9E3779B97F4A7C15 is the 64-bit golden-ratio increment).
+uint64_t CandidateStreamSeed(uint64_t seed, uint32_t candidate_index) {
+  return seed ^ ((static_cast<uint64_t>(candidate_index) + 1) *
+                 0x9E3779B97F4A7C15ull);
+}
+
+}  // namespace
+
+InfluenceSketch::InfluenceSketch(const SketchParams& params)
+    : params_(params) {
+  PINO_CHECK_GT(params.epsilon, 0.0);
+  PINO_CHECK_LE(params.epsilon, 1.0);
+  PINO_CHECK_GT(params.delta, 0.0);
+  PINO_CHECK_LT(params.delta, 1.0);
+  const double raw = std::ceil(std::log(2.0 / params.delta) /
+                               (2.0 * params.epsilon * params.epsilon));
+  samples_ = static_cast<size_t>(std::min(std::max(raw, 1.0), kMaxSamples));
+  half_width_ = std::sqrt(std::log(2.0 / params.delta) /
+                          (2.0 * static_cast<double>(samples_)));
+}
+
+size_t InfluenceSketch::SampleSize(size_t set_size) const {
+  return std::min(samples_, set_size);
+}
+
+std::vector<uint32_t> InfluenceSketch::SamplePositions(
+    uint32_t candidate_index, size_t set_size) const {
+  std::vector<uint32_t> positions;
+  if (samples_ >= set_size) {
+    positions.resize(set_size);
+    for (size_t i = 0; i < set_size; ++i) {
+      positions[i] = static_cast<uint32_t>(i);
+    }
+    return positions;
+  }
+  Rng rng(CandidateStreamSeed(params_.seed, candidate_index));
+  const std::vector<size_t> drawn =
+      rng.SampleWithoutReplacement(set_size, samples_);
+  positions.reserve(drawn.size());
+  for (size_t p : drawn) positions.push_back(static_cast<uint32_t>(p));
+  // Set order keeps the arena walk forward-moving and the layout
+  // independent of the draw order.
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+std::vector<uint32_t> InfluenceSketch::SampleRecords(
+    uint32_t candidate_index, std::span<const uint32_t> records) const {
+  const std::vector<uint32_t> positions =
+      SamplePositions(candidate_index, records.size());
+  std::vector<uint32_t> sampled;
+  sampled.reserve(positions.size());
+  for (uint32_t p : positions) sampled.push_back(records[p]);
+  return sampled;
+}
+
+SketchBracket InfluenceSketch::Bracket(size_t set_size, size_t sampled,
+                                       size_t influenced) const {
+  PINO_CHECK_EQ(sampled, SampleSize(set_size));
+  PINO_CHECK_LE(influenced, sampled);
+  SketchBracket bracket;
+  if (sampled >= set_size) {
+    bracket.lo = bracket.hi = static_cast<int64_t>(influenced);
+    bracket.exact = true;
+    return bracket;
+  }
+  const double n = static_cast<double>(set_size);
+  const double p_hat =
+      static_cast<double>(influenced) / static_cast<double>(sampled);
+  // C is an integer, so the real-valued Hoeffding bracket rounds inward;
+  // the certain envelope [influenced, set_size - (sampled - influenced)]
+  // (sampled records are decided unconditionally) intersects it.
+  const auto certain_lo = static_cast<int64_t>(influenced);
+  const auto certain_hi =
+      static_cast<int64_t>(set_size - (sampled - influenced));
+  bracket.lo = std::max(
+      certain_lo,
+      static_cast<int64_t>(std::ceil(n * (p_hat - half_width_))));
+  bracket.hi = std::min(
+      certain_hi,
+      static_cast<int64_t>(std::floor(n * (p_hat + half_width_))));
+  // Guard against degenerate rounding (possible only when the bracket is
+  // already tight): keep lo <= hi.
+  if (bracket.lo > bracket.hi) {
+    bracket.lo = certain_lo;
+    bracket.hi = certain_hi;
+  }
+  return bracket;
+}
+
+}  // namespace pinocchio

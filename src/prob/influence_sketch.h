@@ -1,0 +1,115 @@
+// Sampling sketch for per-candidate influence: Hoeffding-certified
+// [lo, hi] influence brackets from a deterministic sample of the
+// candidate's undecided verification set (the approximate tier's
+// probabilistic primitive).
+//
+// The exact validation phase decides every undecided (candidate, object)
+// pair by folding survival terms over the object's full position span in
+// the columnar arena. The sketch instead draws `s` records uniformly
+// WITHOUT replacement from the candidate's verification set, decides only
+// those through the exact kernel (Lemma-4 early exits and the SIMD filter
+// included), and scales the observed influenced fraction p_hat into a
+// confidence bracket for the set's true influenced count C over N records:
+//
+//   P(|p_hat - C/N| >= t) <= 2 exp(-2 s t^2)        (Hoeffding, 1963 —
+//                                                    valid for sampling
+//                                                    without replacement)
+//
+// so with s = ceil(ln(2/delta) / (2 eps^2)) samples the bracket
+// [N (p_hat - eps), N (p_hat + eps)] contains C with probability at least
+// 1 - delta, and its width is at most 2 eps N. Record-level sampling is
+// the sound unit here: sampling POSITIONS cannot certify non-influence,
+// because one unsampled position whose survival term crosses the log1p(-tau)
+// boundary flips the pair by itself — whereas each sampled record is
+// decided unconditionally, so the only uncertainty is binomial and Hoeffding
+// applies cleanly.
+//
+// Determinism: the sample is keyed by (seed, candidate index) through the
+// repo Rng, so a pair's membership in the sample — and hence every bracket
+// — is a pure function of the inputs, independent of evaluation order and
+// thread count. When s >= N the sketch degenerates to the full exact set
+// (the eps -> 0 and delta -> 1 limits are exact, never merely "probably
+// right").
+
+#ifndef PINOCCHIO_PROB_INFLUENCE_SKETCH_H_
+#define PINOCCHIO_PROB_INFLUENCE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pinocchio {
+
+/// User-facing accuracy contract of the approximate tier.
+struct SketchParams {
+  /// Additive error target on the influenced FRACTION of a verification
+  /// set; the bracket width is at most 2 * epsilon * |set|. In (0, 1].
+  double epsilon = 0.05;
+  /// Per-candidate failure probability of the certified bracket. In (0, 1).
+  double delta = 0.01;
+  /// Sampling seed. Samples are deterministic in (seed, candidate index).
+  uint64_t seed = 0;
+};
+
+/// Integer influence bracket over one verification set, before adding the
+/// candidate's IA-certified lower bound.
+struct SketchBracket {
+  /// Certified bounds on the set's influenced count: lo <= C <= hi with
+  /// probability >= 1 - delta (exactly, when `exact`).
+  int64_t lo = 0;
+  int64_t hi = 0;
+  /// True when the sample covered the whole set — the bracket is then
+  /// [C, C] unconditionally.
+  bool exact = false;
+};
+
+/// Immutable sampling plan derived from (eps, delta, seed). Cheap to
+/// construct per solve; safe to share across threads (all methods are
+/// const and touch no mutable state).
+class InfluenceSketch {
+ public:
+  explicit InfluenceSketch(const SketchParams& params);
+
+  /// Records to decide for a set of `set_size`; min(sample_budget, size).
+  size_t SampleSize(size_t set_size) const;
+
+  /// The deterministic sample for candidate `candidate_index` over a
+  /// verification set `records`: min(budget, N) record indices in set
+  /// order (ascending positions of `records`), drawn without replacement
+  /// and keyed by (seed, candidate_index) only. When the budget covers the
+  /// set, returns the set itself unshuffled.
+  std::vector<uint32_t> SampleRecords(uint32_t candidate_index,
+                                      std::span<const uint32_t> records) const;
+
+  /// Positions (within the set) chosen by SampleRecords, sorted ascending —
+  /// the complement is what straddler refinement still has to decide.
+  std::vector<uint32_t> SamplePositions(uint32_t candidate_index,
+                                        size_t set_size) const;
+
+  /// The certified bracket for a set of `set_size` records of which
+  /// `sampled` were decided and `influenced` of those were influenced.
+  /// Requires sampled == SampleSize(set_size).
+  SketchBracket Bracket(size_t set_size, size_t sampled,
+                        size_t influenced) const;
+
+  /// Samples drawn per candidate whose verification set is larger; smaller
+  /// sets are decided in full (the exact degeneration).
+  size_t sample_budget() const { return samples_; }
+
+  /// Hoeffding half-width of the influenced-fraction estimate (<= eps).
+  double half_width() const { return half_width_; }
+
+  const SketchParams& params() const { return params_; }
+
+ private:
+  SketchParams params_;
+  /// s = ceil(ln(2/delta) / (2 eps^2)), clamped so the eps -> 0 limit
+  /// degenerates to the exact path without overflow.
+  size_t samples_ = 0;
+  double half_width_ = 0.0;
+};
+
+}  // namespace pinocchio
+
+#endif  // PINOCCHIO_PROB_INFLUENCE_SKETCH_H_

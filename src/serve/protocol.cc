@@ -173,6 +173,12 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
     case RequestType::kAdvance:
       w.F64(request.advance.time);
       break;
+    case RequestType::kApproxTopK:
+      w.U32(request.approx.k);
+      w.F64(request.approx.epsilon);
+      w.F64(request.approx.delta);
+      w.U64(request.approx.seed);
+      break;
   }
   return FinishFrame(&w);
 }
@@ -310,6 +316,22 @@ bool DecodeRequestBody(ByteReader* r, Request* out, std::string* error) {
         return Fail(error, "non-finite advance time");
       }
       return true;
+    case RequestType::kApproxTopK: {
+      out->type = RequestType::kApproxTopK;
+      ApproxTopKRequest& a = out->approx;
+      if (!r->U32(&a.k) || !r->F64(&a.epsilon) || !r->F64(&a.delta) ||
+          !r->U64(&a.seed)) {
+        return Fail(error, "truncated approx-topk request");
+      }
+      if (!(a.epsilon > 0.0) || !(a.epsilon <= 1.0) ||
+          !std::isfinite(a.epsilon)) {
+        return Fail(error, "epsilon outside (0, 1]");
+      }
+      if (!(a.delta > 0.0) || !(a.delta < 1.0) || !std::isfinite(a.delta)) {
+        return Fail(error, "delta outside (0, 1)");
+      }
+      return true;
+    }
     default:
       return Fail(error, "unknown request type");
   }
@@ -386,7 +408,8 @@ bool DecodeResponseBody(ByteReader* r, Response* out, std::string* error) {
           !r->U64(&s.advance_requests) || !r->U64(&s.stream_observations) ||
           !r->U64(&s.stream_live_objects) ||
           !r->U64(&s.stream_live_positions) ||
-          !r->F64(&s.stream_window_seconds)) {
+          !r->F64(&s.stream_window_seconds) ||
+          !r->U64(&s.approx_requests)) {
         return Fail(error, "truncated stats response");
       }
       return true;
@@ -439,6 +462,32 @@ bool DecodeResponseBody(ByteReader* r, Response* out, std::string* error) {
           return Fail(error, "truncated diverse entry");
         }
         s.selected.push_back(e);
+      }
+      return true;
+    }
+    case ResponseType::kApprox: {
+      out->type = ResponseType::kApprox;
+      ApproxResponse& s = out->approx;
+      uint32_t n = 0;
+      // Each entry is candidate (4) + three i64 (24) + exact flag (1).
+      if (!r->U64(&s.epoch) || !r->U64(&s.num_objects) ||
+          !r->U64(&s.num_candidates) || !r->F64(&s.solve_seconds) ||
+          !r->Count(&n, 29)) {
+        return Fail(error, "truncated approx response");
+      }
+      s.entries.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        ApproxRankedCandidate e;
+        uint8_t exact = 0;
+        if (!r->U32(&e.candidate) || !r->I64(&e.estimate) || !r->I64(&e.lo) ||
+            !r->I64(&e.hi) || !r->U8(&exact) || exact > 1) {
+          return Fail(error, "truncated approx entry");
+        }
+        if (e.lo > e.estimate || e.estimate > e.hi) {
+          return Fail(error, "approx entry estimate outside bracket");
+        }
+        e.exact = exact != 0;
+        s.entries.push_back(e);
       }
       return true;
     }
@@ -550,6 +599,7 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       w.U64(s.stream_live_objects);
       w.U64(s.stream_live_positions);
       w.F64(s.stream_window_seconds);
+      w.U64(s.approx_requests);
       break;
     }
     case ResponseType::kStream: {
@@ -589,6 +639,22 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       for (const DiverseEntry& e : s.selected) {
         w.U32(e.candidate);
         w.I64(e.coverage);
+      }
+      break;
+    }
+    case ResponseType::kApprox: {
+      const ApproxResponse& s = response.approx;
+      w.U64(s.epoch);
+      w.U64(s.num_objects);
+      w.U64(s.num_candidates);
+      w.F64(s.solve_seconds);
+      w.U32(static_cast<uint32_t>(s.entries.size()));
+      for (const ApproxRankedCandidate& e : s.entries) {
+        w.U32(e.candidate);
+        w.I64(e.estimate);
+        w.I64(e.lo);
+        w.I64(e.hi);
+        w.U8(e.exact ? 1 : 0);
       }
       break;
     }
@@ -634,6 +700,7 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kDiversified: return "diverse";
     case RequestType::kObserve: return "observe";
     case RequestType::kAdvance: return "advance";
+    case RequestType::kApproxTopK: return "approx-topk";
   }
   return "?";
 }
@@ -648,6 +715,7 @@ const char* ResponseTypeName(ResponseType type) {
     case ResponseType::kSkyline: return "skyline";
     case ResponseType::kDiversified: return "diverse";
     case ResponseType::kStream: return "stream";
+    case ResponseType::kApprox: return "approx";
   }
   return "?";
 }

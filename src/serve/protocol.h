@@ -45,7 +45,10 @@ namespace serve {
 /// v4: streaming ingestion — kObserve (batched timestamped positions)
 ///     and kAdvance requests answered by kStream; StatsResponse gained
 ///     the stream_* / observe / advance counters.
-inline constexpr uint8_t kProtocolVersion = 4;
+/// v5: approximate tier — kApproxTopK (k, epsilon, delta, seed) answered
+///     by kApprox (entries flagged approximate with certified [lo, hi]
+///     influence brackets); StatsResponse gained approx_requests.
+inline constexpr uint8_t kProtocolVersion = 5;
 
 /// Upper bound on the frame body (version + type + payload) in bytes.
 /// Large enough for a multi-thousand-entry ranking or a bulk update,
@@ -65,6 +68,7 @@ enum class RequestType : uint8_t {
   kDiversified = 8,  // greedy diversified top-k with min separation
   kObserve = 9,  // batched timestamped observations into the stream window
   kAdvance = 10,  // advance the stream clock, expiring old observations
+  kApproxTopK = 11,  // sampling-sketch top-k with certified error brackets
 };
 
 /// Wire ids of the solvers a SolveRequest may name.
@@ -142,6 +146,19 @@ struct AdvanceRequest {
   double time = 0.0;
 };
 
+/// Approximate top-k through the sampling-sketch tier: every returned
+/// influence is a certified [lo, hi] bracket containing the exact value
+/// with probability >= 1 - delta per candidate, of width at most
+/// 2 * epsilon * num_objects. Epsilon in (0, 1], delta in (0, 1); the
+/// seed keys the deterministic sample, so equal requests against the
+/// same epoch return bit-identical answers.
+struct ApproxTopKRequest {
+  uint32_t k = 1;
+  double epsilon = 0.05;
+  double delta = 0.01;
+  uint64_t seed = 0;
+};
+
 /// A decoded request: `type` selects which member is meaningful.
 struct Request {
   RequestType type = RequestType::kStats;
@@ -154,6 +171,7 @@ struct Request {
   DiversifiedRequest diversified;
   ObserveRequest observe;
   AdvanceRequest advance;
+  ApproxTopKRequest approx;
 };
 
 // -------------------------------------------------------------- responses
@@ -167,6 +185,7 @@ enum class ResponseType : uint8_t {
   kSkyline = 7,
   kDiversified = 8,
   kStream = 9,  // answers kObserve and kAdvance
+  kApprox = 10,  // answers kApproxTopK
 };
 
 enum class ErrorCode : uint8_t {
@@ -263,6 +282,28 @@ struct StreamResponse {
   int64_t best_influence = 0;
 };
 
+/// One approximate ranking entry. `estimate` is the bracket midpoint;
+/// [lo, hi] is the certified influence bracket. `exact` marks entries
+/// whose whole verification set was decided (degenerate bracket,
+/// unconditional) — including every entry when the service refined the
+/// answer exactly.
+struct ApproxRankedCandidate {
+  uint32_t candidate = 0;
+  int64_t estimate = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool exact = false;
+};
+
+/// Answer to kApproxTopK; entries are estimate-descending.
+struct ApproxResponse {
+  uint64_t epoch = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_candidates = 0;
+  double solve_seconds = 0.0;
+  std::vector<ApproxRankedCandidate> entries;
+};
+
 struct UpdateResponse {
   /// Epoch current when the update was accepted; the rebuilt snapshot
   /// will carry a strictly larger epoch.
@@ -302,6 +343,8 @@ struct StatsResponse {
   uint64_t stream_live_positions = 0;
   /// Configured window width; 0 means streaming is disabled.
   double stream_window_seconds = 0.0;
+  // ---- approximate tier (v5).
+  uint64_t approx_requests = 0;
 };
 
 struct Response {
@@ -314,6 +357,7 @@ struct Response {
   SkylineResponse skyline;
   DiverseResponse diverse;
   StreamResponse stream;
+  ApproxResponse approx;
 };
 
 // ------------------------------------------------------------------ codec

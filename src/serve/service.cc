@@ -114,6 +114,9 @@ Response InfluenceService::Execute(const Request& request) {
     case RequestType::kAdvance:
       advance_requests_.fetch_add(1, std::memory_order_relaxed);
       return DoAdvance(request.advance);
+    case RequestType::kApproxTopK:
+      approx_requests_.fetch_add(1, std::memory_order_relaxed);
+      return DoApproxTopK(request.approx);
   }
   return MakeError(ErrorCode::kUnknownType, "unknown request type");
 }
@@ -170,9 +173,10 @@ Response InfluenceService::DoSolve(const SolveRequest& request) {
 }
 
 Response InfluenceService::DoTopK(const TopKRequest& request) {
-  const SnapshotPtr snap = holder_.Acquire();
   const size_t k =
       std::min<size_t>(std::max<uint32_t>(1, request.k), kMaxResponseTopK);
+  if (options_.approx_default) return DoTopKViaApprox(k);
+  const SnapshotPtr snap = holder_.Acquire();
   // The snapshot is prepared with top_k = prepared_top_k, so VO results
   // are exact for that many leading candidates; beyond it the exact PIN
   // solver ranks every candidate.
@@ -185,6 +189,87 @@ Response InfluenceService::DoTopK(const TopKRequest& request) {
         ParallelPinocchioSolver(options_.solve_threads).Solve(snap->prepared);
   }
   return MakeSolveResponse(*snap, result, k);
+}
+
+Response InfluenceService::DoApproxTopK(const ApproxTopKRequest& request) {
+  // The decoder rejects out-of-range parameters on the wire, but Execute()
+  // is also a direct API (tests, harness) — validate here too.
+  if (!(request.epsilon > 0.0) || !(request.epsilon <= 1.0)) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest, "epsilon must be in (0, 1]");
+  }
+  if (!(request.delta > 0.0) || !(request.delta < 1.0)) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    return MakeError(ErrorCode::kBadRequest, "delta must be in (0, 1)");
+  }
+  const SnapshotPtr snap = holder_.Acquire();
+  const size_t k =
+      std::min<size_t>(std::max<uint32_t>(1, request.k), kMaxResponseTopK);
+  const SketchParams params{request.epsilon, request.delta, request.seed};
+  const ApproxTopKResult result = query::SolveApproxTopKParallel(
+      snap->prepared, k, params, options_.solve_threads);
+
+  Response response;
+  response.type = ResponseType::kApprox;
+  ApproxResponse& s = response.approx;
+  s.epoch = snap->epoch;
+  s.num_objects = snap->prepared.num_objects();
+  s.num_candidates = snap->prepared.num_candidates();
+  s.solve_seconds = result.stats.solve_seconds;
+  s.entries.reserve(result.entries.size());
+  for (const ApproxEntry& e : result.entries) {
+    s.entries.push_back({e.candidate, e.estimate, e.lo, e.hi, e.exact});
+  }
+  return response;
+}
+
+Response InfluenceService::DoTopKViaApprox(size_t k) {
+  const SnapshotPtr snap = holder_.Acquire();
+  Stopwatch watch;
+  const SketchParams params{options_.approx_epsilon, options_.approx_delta,
+                            options_.approx_seed};
+  const ApproxTopKResult approx = query::SolveApproxTopKParallel(
+      snap->prepared, k, params, options_.solve_threads);
+
+  // Exact refinement: the approximate tier SELECTED the candidates; each
+  // one's influence is recomputed exactly, so every reported value (and
+  // the per-entry exact flag) is unconditional. Only the membership of
+  // the k-set carries the sketch's probabilistic guarantee.
+  struct Refined {
+    uint32_t candidate;
+    int64_t influence;
+  };
+  std::vector<Refined> refined;
+  refined.reserve(approx.entries.size());
+  for (const ApproxEntry& e : approx.entries) {
+    const int64_t influence =
+        e.exact ? e.estimate
+                : InfluenceOfCandidate(snap->prepared,
+                                       snap->prepared.candidate(e.candidate));
+    refined.push_back({e.candidate, influence});
+  }
+  std::sort(refined.begin(), refined.end(),
+            [](const Refined& a, const Refined& b) {
+              if (a.influence != b.influence) return a.influence > b.influence;
+              return a.candidate < b.candidate;
+            });
+
+  Response response;
+  response.type = ResponseType::kSolve;
+  SolveResponse& s = response.solve;
+  s.epoch = snap->epoch;
+  s.num_objects = snap->prepared.num_objects();
+  s.num_candidates = snap->prepared.num_candidates();
+  if (!refined.empty()) {
+    s.best_candidate = refined.front().candidate;
+    s.best_influence = refined.front().influence;
+  }
+  s.solve_seconds = watch.ElapsedSeconds();
+  s.topk.reserve(refined.size());
+  for (const Refined& r : refined) {
+    s.topk.push_back({r.candidate, r.influence, /*exact=*/true});
+  }
+  return response;
 }
 
 Response InfluenceService::DoProbe(const ProbeRequest& request) {
@@ -294,6 +379,7 @@ Response InfluenceService::DoStats() {
   s.stream_observations =
       stream_observations_.load(std::memory_order_relaxed);
   s.stream_window_seconds = options_.stream_window_seconds;
+  s.approx_requests = approx_requests_.load(std::memory_order_relaxed);
   if (stream_ != nullptr) {
     std::lock_guard<std::mutex> lock(stream_mu_);
     s.stream_live_objects = stream_->NumLiveObjects();

@@ -64,6 +64,15 @@ struct ServiceOptions {
   /// observe frames — independent of the snapshot path (see
   /// docs/ARCHITECTURE.md, "Streaming ingestion").
   double stream_window_seconds = 0.0;
+  /// When true, kTopK requests ride the approximate tier at the default
+  /// (epsilon, delta) below and the returned candidates are then refined
+  /// to exact influences — the candidate SELECTION is approximate, every
+  /// reported influence is exact. kApproxTopK requests always use their
+  /// own parameters regardless of this flag.
+  bool approx_default = false;
+  double approx_epsilon = 0.05;
+  double approx_delta = 0.01;
+  uint64_t approx_seed = 0;
 };
 
 class InfluenceService {
@@ -108,6 +117,10 @@ class InfluenceService {
   Response DoDiversified(const DiversifiedRequest& request);
   Response DoObserve(const ObserveRequest& request);
   Response DoAdvance(const AdvanceRequest& request);
+  Response DoApproxTopK(const ApproxTopKRequest& request);
+  /// The approx_default fast-path behind DoTopK: approximate selection,
+  /// exact per-candidate refinement.
+  Response DoTopKViaApprox(size_t k);
   static Response MakeError(ErrorCode code, std::string message);
 
   /// Fills a SolveResponse from a result computed against `snap`.
@@ -157,6 +170,7 @@ class InfluenceService {
   std::atomic<uint64_t> diverse_requests_{0};
   std::atomic<uint64_t> observe_requests_{0};
   std::atomic<uint64_t> advance_requests_{0};
+  std::atomic<uint64_t> approx_requests_{0};
   std::atomic<uint64_t> stream_observations_{0};
   std::atomic<uint64_t> error_responses_{0};
   std::atomic<uint64_t> swaps_{0};

@@ -1,0 +1,135 @@
+#include "prob/influence_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pinocchio {
+namespace {
+
+TEST(InfluenceSketchTest, SampleBudgetMatchesHoeffding) {
+  const InfluenceSketch sketch({0.1, 0.05, 7});
+  const double expected =
+      std::ceil(std::log(2.0 / 0.05) / (2.0 * 0.1 * 0.1));
+  EXPECT_EQ(sketch.sample_budget(), static_cast<size_t>(expected));
+  EXPECT_LE(sketch.half_width(), 0.1);
+  EXPECT_GT(sketch.half_width(), 0.0);
+}
+
+TEST(InfluenceSketchTest, BudgetGrowsAsEpsilonShrinks) {
+  const InfluenceSketch loose({0.2, 0.05, 7});
+  const InfluenceSketch tight({0.05, 0.05, 7});
+  EXPECT_GT(tight.sample_budget(), loose.sample_budget());
+}
+
+TEST(InfluenceSketchTest, TinyEpsilonBudgetExceedsAnyRealSet) {
+  const InfluenceSketch sketch({1e-9, 0.5, 3});
+  EXPECT_GE(sketch.sample_budget(), (1ull << 32));
+  // Every realistic set degenerates to the exact path.
+  EXPECT_EQ(sketch.SampleSize(1000000), 1000000u);
+}
+
+TEST(InfluenceSketchTest, SamplePositionsAreDeterministicSortedAndDistinct) {
+  const InfluenceSketch sketch({0.1, 0.05, 42});
+  const std::vector<uint32_t> a = sketch.SamplePositions(5, 10000);
+  const std::vector<uint32_t> b = sketch.SamplePositions(5, 10000);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), sketch.SampleSize(10000));
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  const std::set<uint32_t> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), a.size());
+  for (uint32_t p : a) {
+    EXPECT_LT(p, 10000u);
+  }
+}
+
+TEST(InfluenceSketchTest, DifferentCandidatesDrawDifferentSamples) {
+  const InfluenceSketch sketch({0.1, 0.05, 42});
+  const std::vector<uint32_t> a = sketch.SamplePositions(1, 100000);
+  const std::vector<uint32_t> b = sketch.SamplePositions(2, 100000);
+  EXPECT_NE(a, b);
+}
+
+TEST(InfluenceSketchTest, BudgetCoveringSetReturnsIdentity) {
+  const InfluenceSketch sketch({0.5, 0.5, 9});
+  ASSERT_GE(sketch.sample_budget(), 3u);
+  const std::vector<uint32_t> positions = sketch.SamplePositions(0, 3);
+  EXPECT_EQ(positions, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(InfluenceSketchTest, SampleRecordsPicksTheSampledPositions) {
+  const InfluenceSketch sketch({0.2, 0.1, 11});
+  std::vector<uint32_t> records(500);
+  // Distinct payloads so records[p] identifies p.
+  std::iota(records.begin(), records.end(), 1000u);
+  const std::vector<uint32_t> positions =
+      sketch.SamplePositions(3, records.size());
+  const std::vector<uint32_t> sampled = sketch.SampleRecords(3, records);
+  ASSERT_EQ(sampled.size(), positions.size());
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    EXPECT_EQ(sampled[i], records[positions[i]]);
+  }
+}
+
+TEST(InfluenceSketchTest, FullCoverageBracketIsExact) {
+  const InfluenceSketch sketch({0.3, 0.1, 5});
+  const size_t n = std::min<size_t>(sketch.sample_budget(), 7);
+  const SketchBracket bracket = sketch.Bracket(n, n, 2);
+  EXPECT_TRUE(bracket.exact);
+  EXPECT_EQ(bracket.lo, 2);
+  EXPECT_EQ(bracket.hi, 2);
+}
+
+TEST(InfluenceSketchTest, BracketContainsScaledEstimateAndStaysInEnvelope) {
+  const InfluenceSketch sketch({0.1, 0.05, 13});
+  const size_t set_size = 100000;
+  const size_t s = sketch.SampleSize(set_size);
+  ASSERT_LT(s, set_size);
+  for (size_t influenced : {size_t{0}, s / 4, s / 2, s}) {
+    const SketchBracket bracket = sketch.Bracket(set_size, s, influenced);
+    EXPECT_FALSE(bracket.exact);
+    const double p_hat =
+        static_cast<double>(influenced) / static_cast<double>(s);
+    const double scaled = p_hat * static_cast<double>(set_size);
+    EXPECT_LE(static_cast<double>(bracket.lo), scaled + 1.0);
+    EXPECT_GE(static_cast<double>(bracket.hi), scaled - 1.0);
+    // Certain envelope: sampled records are decided unconditionally.
+    EXPECT_GE(bracket.lo, static_cast<int64_t>(influenced));
+    EXPECT_LE(bracket.hi, static_cast<int64_t>(set_size - (s - influenced)));
+    // Hoeffding width.
+    EXPECT_LE(bracket.hi - bracket.lo,
+              static_cast<int64_t>(2.0 * 0.1 * set_size) + 1);
+    EXPECT_LE(bracket.lo, bracket.hi);
+  }
+}
+
+TEST(InfluenceSketchTest, AllInfluencedSampleYieldsHighBracket) {
+  const InfluenceSketch sketch({0.1, 0.05, 13});
+  const size_t set_size = 10000;
+  const size_t s = sketch.SampleSize(set_size);
+  const SketchBracket bracket = sketch.Bracket(set_size, s, s);
+  // p_hat == 1 pins the upper end at the certain envelope.
+  EXPECT_EQ(bracket.hi, static_cast<int64_t>(set_size));
+  EXPECT_GE(bracket.lo,
+            static_cast<int64_t>((1.0 - 2.0 * 0.1) * set_size));
+}
+
+TEST(InfluenceSketchDeathTest, RejectsInvalidParams) {
+  EXPECT_DEATH({ InfluenceSketch sketch({0.0, 0.05, 7}); }, "Check failed");
+  EXPECT_DEATH({ InfluenceSketch sketch({1.5, 0.05, 7}); }, "Check failed");
+  EXPECT_DEATH({ InfluenceSketch sketch({0.1, 0.0, 7}); }, "Check failed");
+  EXPECT_DEATH({ InfluenceSketch sketch({0.1, 1.0, 7}); }, "Check failed");
+}
+
+TEST(InfluenceSketchDeathTest, BracketChecksSampleSize) {
+  const InfluenceSketch sketch({0.1, 0.05, 7});
+  EXPECT_DEATH({ sketch.Bracket(100000, 1, 0); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace pinocchio

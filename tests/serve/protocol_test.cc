@@ -8,6 +8,7 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -435,6 +436,116 @@ TEST(ProtocolTest, ErrorAndUpdateAndStatsResponsesRoundTrip) {
   EXPECT_EQ(decoded->stats.uptime_seconds, 17.5);
   EXPECT_EQ(decoded->stats.solve_threads, 6u);
   EXPECT_EQ(decoded->stats.solve_busy_seconds, 2.25);
+}
+
+// ------------------------------------------------------------ approx (v5)
+
+TEST(ProtocolTest, ApproxTopKRequestRoundTripIsBitIdentical) {
+  Request request;
+  request.type = RequestType::kApproxTopK;
+  request.approx.k = 17;
+  request.approx.epsilon = 0.1 + 0.2;  // != 0.3 exactly; bits must survive
+  request.approx.delta = 0.05;
+  request.approx.seed = 0xdeadbeefcafef00dull;
+  std::string error;
+  const auto decoded = DecodeRequest(Body(EncodeRequest(request)), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->type, RequestType::kApproxTopK);
+  EXPECT_EQ(decoded->approx.k, 17u);
+  EXPECT_EQ(decoded->approx.epsilon, 0.1 + 0.2);
+  EXPECT_EQ(decoded->approx.delta, 0.05);
+  EXPECT_EQ(decoded->approx.seed, 0xdeadbeefcafef00dull);
+}
+
+TEST(ProtocolTest, ApproxTopKRequestRejectsOutOfRangeParameters) {
+  Request request;
+  request.type = RequestType::kApproxTopK;
+  for (const auto& [epsilon, delta] :
+       std::vector<std::pair<double, double>>{
+           {0.0, 0.5},
+           {-0.1, 0.5},
+           {1.5, 0.5},
+           {std::numeric_limits<double>::quiet_NaN(), 0.5},
+           {0.1, 0.0},
+           {0.1, 1.0},
+           {0.1, std::numeric_limits<double>::quiet_NaN()},
+       }) {
+    request.approx.epsilon = epsilon;
+    request.approx.delta = delta;
+    EXPECT_FALSE(DecodeRequest(Body(EncodeRequest(request)), nullptr)
+                     .has_value())
+        << "epsilon " << epsilon << " delta " << delta;
+  }
+}
+
+TEST(ProtocolTest, ApproxResponseRoundTrip) {
+  Response response;
+  response.type = ResponseType::kApprox;
+  response.approx.epoch = 3;
+  response.approx.num_objects = 2000;
+  response.approx.num_candidates = 64;
+  response.approx.solve_seconds = 0.125;
+  response.approx.entries = {
+      {9, 150, 120, 181, false},
+      {4, 77, 77, 77, true},
+  };
+  std::string error;
+  const auto decoded = DecodeResponse(Body(EncodeResponse(response)), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  const ApproxResponse& s = decoded->approx;
+  EXPECT_EQ(s.epoch, 3u);
+  EXPECT_EQ(s.num_objects, 2000u);
+  EXPECT_EQ(s.num_candidates, 64u);
+  EXPECT_EQ(s.solve_seconds, 0.125);
+  ASSERT_EQ(s.entries.size(), 2u);
+  EXPECT_EQ(s.entries[0].candidate, 9u);
+  EXPECT_EQ(s.entries[0].estimate, 150);
+  EXPECT_EQ(s.entries[0].lo, 120);
+  EXPECT_EQ(s.entries[0].hi, 181);
+  EXPECT_FALSE(s.entries[0].exact);
+  EXPECT_EQ(s.entries[1].candidate, 4u);
+  EXPECT_TRUE(s.entries[1].exact);
+}
+
+TEST(ProtocolTest, ApproxResponseRejectsEstimateOutsideBracket) {
+  Response response;
+  response.type = ResponseType::kApprox;
+  response.approx.entries = {{1, 200, 120, 181, false}};  // estimate > hi
+  EXPECT_FALSE(
+      DecodeResponse(Body(EncodeResponse(response)), nullptr).has_value());
+  response.approx.entries = {{1, 100, 120, 181, false}};  // estimate < lo
+  EXPECT_FALSE(
+      DecodeResponse(Body(EncodeResponse(response)), nullptr).has_value());
+}
+
+TEST(ProtocolTest, ApproxFrameTruncationsAreRejected) {
+  Request request;
+  request.type = RequestType::kApproxTopK;
+  request.approx.k = 3;
+  {
+    const std::vector<uint8_t> frame = EncodeRequest(request);
+    const std::span<const uint8_t> body = Body(frame);
+    for (size_t len = 0; len < body.size(); ++len) {
+      EXPECT_FALSE(DecodeRequest(body.first(len), nullptr).has_value());
+    }
+  }
+  Response response;
+  response.type = ResponseType::kApprox;
+  response.approx.entries = {{1, 10, 5, 15, false}};
+  const std::vector<uint8_t> frame = EncodeResponse(response);
+  const std::span<const uint8_t> body = Body(frame);
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse(body.first(len), nullptr).has_value());
+  }
+}
+
+TEST(ProtocolTest, StatsResponseApproxCounterRoundTrips) {
+  Response response;
+  response.type = ResponseType::kStats;
+  response.stats.approx_requests = 321;
+  const auto decoded = DecodeResponse(Body(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->stats.approx_requests, 321u);
 }
 
 // ------------------------------------------------------- malformed input

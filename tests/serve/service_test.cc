@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/approx_solver.h"
 #include "core/influence_query.h"
 #include "core/naive_solver.h"
 #include "core/query_engine.h"
@@ -563,6 +564,123 @@ TEST(ServiceTest, ObserveBatchIsAllOrNothingOnBadTimes) {
   EXPECT_EQ(after.stats.observe_requests, 3u);
   EXPECT_EQ(after.stats.advance_requests, 1u);
   EXPECT_EQ(after.stats.stream_window_seconds, 50.0);
+}
+
+TEST(ServiceTest, ApproxTopKMatchesDirectApproxSolveOnTheSameSnapshot) {
+  const ProblemInstance instance =
+      RandomInstance(31, InstanceOptions{.num_objects = 200});
+  InfluenceService service(instance, DefaultConfig(), TestOptions());
+  const SnapshotPtr snap = service.snapshot();
+
+  Request request;
+  request.type = RequestType::kApproxTopK;
+  request.approx.k = 5;
+  request.approx.epsilon = 0.2;
+  request.approx.delta = 0.05;
+  request.approx.seed = 99;
+  const Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kApprox);
+  EXPECT_EQ(response.approx.epoch, snap->epoch);
+  EXPECT_EQ(response.approx.num_objects, snap->prepared.num_objects());
+  EXPECT_EQ(response.approx.num_candidates, snap->prepared.num_candidates());
+
+  const ApproxTopKResult direct =
+      SolveApproxTopK(snap->prepared, 5, {0.2, 0.05, 99});
+  ASSERT_EQ(response.approx.entries.size(), direct.entries.size());
+  for (size_t i = 0; i < direct.entries.size(); ++i) {
+    EXPECT_EQ(response.approx.entries[i].candidate,
+              direct.entries[i].candidate);
+    EXPECT_EQ(response.approx.entries[i].estimate, direct.entries[i].estimate);
+    EXPECT_EQ(response.approx.entries[i].lo, direct.entries[i].lo);
+    EXPECT_EQ(response.approx.entries[i].hi, direct.entries[i].hi);
+    EXPECT_EQ(response.approx.entries[i].exact, direct.entries[i].exact);
+  }
+
+  // Approximate answers are deterministic: the same request against the
+  // same epoch is bit-identical.
+  const Response again = service.Execute(request);
+  ASSERT_EQ(again.type, ResponseType::kApprox);
+  ASSERT_EQ(again.approx.entries.size(), response.approx.entries.size());
+  for (size_t i = 0; i < again.approx.entries.size(); ++i) {
+    EXPECT_EQ(again.approx.entries[i].estimate,
+              response.approx.entries[i].estimate);
+  }
+
+  Request stats;
+  stats.type = RequestType::kStats;
+  const Response after = service.Execute(stats);
+  ASSERT_EQ(after.type, ResponseType::kStats);
+  EXPECT_EQ(after.stats.approx_requests, 2u);
+}
+
+TEST(ServiceTest, ApproxTopKBracketsContainExactInfluence) {
+  const ProblemInstance instance =
+      RandomInstance(32, InstanceOptions{.num_objects = 300});
+  InfluenceService service(instance, DefaultConfig(), TestOptions());
+  const SnapshotPtr snap = service.snapshot();
+  const SolverResult exact = NaiveSolver().Solve(snap->prepared);
+
+  Request request;
+  request.type = RequestType::kApproxTopK;
+  request.approx.k = 4;
+  request.approx.epsilon = 0.15;
+  request.approx.delta = 0.05;
+  request.approx.seed = 7;
+  const Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kApprox);
+  for (const ApproxRankedCandidate& e : response.approx.entries) {
+    EXPECT_LE(e.lo, exact.influence[e.candidate]) << e.candidate;
+    EXPECT_GE(e.hi, exact.influence[e.candidate]) << e.candidate;
+  }
+}
+
+TEST(ServiceTest, ApproxTopKRejectsOutOfRangeParameters) {
+  InfluenceService service(RandomInstance(33), DefaultConfig(), TestOptions());
+  Request request;
+  request.type = RequestType::kApproxTopK;
+  request.approx.k = 2;
+  request.approx.epsilon = 0.0;
+  request.approx.delta = 0.5;
+  Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kError);
+  EXPECT_EQ(response.error.code, ErrorCode::kBadRequest);
+  request.approx.epsilon = 0.1;
+  request.approx.delta = 1.0;
+  response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kError);
+  EXPECT_EQ(response.error.code, ErrorCode::kBadRequest);
+}
+
+TEST(ServiceTest, ApproxDefaultTopKReturnsExactInfluences) {
+  const ProblemInstance instance =
+      RandomInstance(34, InstanceOptions{.num_objects = 200});
+  ServiceOptions options = TestOptions();
+  options.approx_default = true;
+  options.approx_epsilon = 0.2;
+  options.approx_delta = 0.05;
+  options.approx_seed = 17;
+  InfluenceService service(instance, DefaultConfig(), options);
+  const SnapshotPtr snap = service.snapshot();
+  const SolverResult exact = NaiveSolver().Solve(snap->prepared);
+
+  Request request;
+  request.type = RequestType::kTopK;
+  request.top_k.k = 5;
+  const Response response = service.Execute(request);
+  ASSERT_EQ(response.type, ResponseType::kSolve);
+  ASSERT_EQ(response.solve.topk.size(), 5u);
+  // Selection is approximate, but every reported influence is exact and
+  // flagged as such, and entries are influence-descending.
+  for (size_t i = 0; i < response.solve.topk.size(); ++i) {
+    const RankedCandidate& rc = response.solve.topk[i];
+    EXPECT_TRUE(rc.exact);
+    EXPECT_EQ(rc.influence, exact.influence[rc.candidate]);
+    if (i > 0) {
+      EXPECT_GE(response.solve.topk[i - 1].influence, rc.influence);
+    }
+  }
+  EXPECT_EQ(response.solve.best_candidate, response.solve.topk[0].candidate);
+  EXPECT_EQ(response.solve.best_influence, response.solve.topk[0].influence);
 }
 
 }  // namespace

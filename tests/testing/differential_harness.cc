@@ -12,6 +12,7 @@
 
 #include "baselines/brnn_star.h"
 #include "baselines/range_solver.h"
+#include "core/approx_solver.h"
 #include "core/incremental.h"
 #include "core/multi_facility.h"
 #include "core/naive_solver.h"
@@ -52,6 +53,7 @@ constexpr uint64_t kShapingSalt = 0xA3EC4E5F9C1D2B07ull;
 constexpr uint64_t kSkylineSalt = 0x5D1E8A2C9B4F7E31ull;
 constexpr uint64_t kDiverseSalt = 0xC47B26D90E5A813Full;
 constexpr uint64_t kStreamingSalt = 0x91F3B7A50C6D2E84ull;
+constexpr uint64_t kApproxSalt = 0x7C91E04B5A3D268Full;
 
 // Draws one of the five PF families of the paper (power law of Section 3
 // plus the four Figure-16 alternatives).
@@ -243,6 +245,7 @@ class CaseChecker {
       CheckMultiFacility(prepared, naive);
       CheckSkyline(prepared, naive);
       CheckDiversified(prepared, naive);
+      CheckApprox(prepared, naive);
       CheckIncremental(naive);
       CheckStreaming(naive);
     }
@@ -520,6 +523,139 @@ class CaseChecker {
         msg << "SkylineParallel(" << threads
             << "): diverges from sequential skyline";
         Fail(msg.str());
+      }
+    });
+  }
+
+  // The approximate tier certifies: with probability >= 1 - delta the
+  // returned bracket contains the exact influence. The harness asserts
+  // containment on EVERY seed with zero tolerated violations, so the
+  // sampled regime runs at (0.4, 1e-6) — a 46-record budget whose real
+  // two-sided failure probability is below 1e-7 even before the
+  // without-replacement correction, yet small enough to leave genuine
+  // sampling on fuzz-sized verification sets. The epsilon -> 0 regime
+  // must degenerate to the exact top-k bit-for-bit, and the delta -> 1
+  // regime (a near-vacuous certificate: a 2-record budget) still has to
+  // hold the structural invariants. Each regime is additionally diffed
+  // bit-identically against the morsel-parallel entry point.
+  void CheckApprox(const PreparedInstance& prepared,
+                   const SolverResult& naive) {
+    if (naive.influence.empty()) return;
+    Guard("ApproxTopK", [&] {
+      Rng rng(result_->seed * 0x9E3779B97F4A7C15ull ^ kApproxSalt);
+      const size_t m = naive.influence.size();
+      const size_t k = 1 + result_->seed % 5;
+      const auto r = static_cast<int64_t>(prepared.store().size());
+      const size_t threads = 2 + result_->seed % 3;
+
+      const SketchParams regimes[] = {
+          {0.4, 1e-6, rng.Next()},   // sampling engaged, >5-sigma bracket
+          {1e-9, 0.999, rng.Next()},  // budget >= any set: exact tier
+          {0.45, 0.999, rng.Next()},  // delta near 1: structural only
+      };
+      for (size_t which = 0; which < 3; ++which) {
+        const SketchParams& params = regimes[which];
+        std::ostringstream tag;
+        tag << "ApproxTopK[eps=" << params.epsilon
+            << ",delta=" << params.delta << "]";
+        const ApproxTopKResult res = SolveApproxTopK(prepared, k, params);
+
+        if (res.entries.size() != std::min(k, m)) {
+          std::ostringstream msg;
+          msg << tag.str() << ": " << res.entries.size() << " entries for k="
+              << k << " over " << m << " candidates";
+          Fail(msg.str());
+          continue;
+        }
+        for (size_t i = 0; i < res.entries.size(); ++i) {
+          const ApproxEntry& e = res.entries[i];
+          std::ostringstream msg;
+          msg << tag.str() << ": entry " << i << " (candidate " << e.candidate
+              << ", estimate " << e.estimate << ", [" << e.lo << ", " << e.hi
+              << "])";
+          if (e.candidate >= m) {
+            Fail(msg.str() + " names a candidate out of range");
+            break;
+          }
+          if (e.lo < 0 || e.hi > r || e.lo > e.estimate || e.estimate > e.hi) {
+            Fail(msg.str() + " breaks the bracket invariants");
+            break;
+          }
+          if (i > 0 && res.entries[i - 1].estimate < e.estimate) {
+            Fail(msg.str() + " is not in descending estimate order");
+            break;
+          }
+          const int64_t exact = naive.influence[e.candidate];
+          if (e.exact && (e.lo != exact || e.hi != exact)) {
+            Fail(msg.str() + " is flagged exact but disagrees with naive");
+            break;
+          }
+          if (which == 0) {
+            if (exact < e.lo || exact > e.hi) {
+              std::ostringstream v;
+              v << msg.str() << " does not contain the exact influence "
+                << exact;
+              Fail(v.str());
+              break;
+            }
+            const auto width_cap = static_cast<int64_t>(
+                2.0 * params.epsilon * static_cast<double>(r));
+            if (e.hi - e.lo > width_cap) {
+              Fail(msg.str() + " is wider than the certified 2*eps*N cap");
+              break;
+            }
+          }
+        }
+
+        if (which == 1) {
+          // The tiny-epsilon budget covers any verification set, so the
+          // answer must be the exact top-k under the solver's tie-break
+          // (influence descending, candidate ascending) with nothing
+          // sampled away.
+          if (res.pairs_skipped != 0) {
+            Fail(tag.str() + ": exact-degenerate run still skipped pairs");
+          }
+          std::vector<uint32_t> expected(m);
+          for (uint32_t j = 0; j < m; ++j) expected[j] = j;
+          std::sort(expected.begin(), expected.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (naive.influence[a] != naive.influence[b]) {
+                        return naive.influence[a] > naive.influence[b];
+                      }
+                      return a < b;
+                    });
+          for (size_t i = 0; i < res.entries.size(); ++i) {
+            if (!res.entries[i].exact ||
+                res.entries[i].candidate != expected[i] ||
+                res.entries[i].estimate != naive.influence[expected[i]]) {
+              std::ostringstream msg;
+              msg << tag.str() << ": entry " << i
+                  << " diverges from the exact top-k";
+              Fail(msg.str());
+              break;
+            }
+          }
+        }
+
+        const ApproxTopKResult par =
+            query::SolveApproxTopKParallel(prepared, k, params, threads);
+        bool same = par.entries.size() == res.entries.size() &&
+                    par.sample_budget == res.sample_budget &&
+                    par.pairs_skipped == res.pairs_skipped &&
+                    par.pairs_refined == res.pairs_refined;
+        for (size_t i = 0; same && i < res.entries.size(); ++i) {
+          same = par.entries[i].candidate == res.entries[i].candidate &&
+                 par.entries[i].estimate == res.entries[i].estimate &&
+                 par.entries[i].lo == res.entries[i].lo &&
+                 par.entries[i].hi == res.entries[i].hi &&
+                 par.entries[i].exact == res.entries[i].exact;
+        }
+        if (!same) {
+          std::ostringstream msg;
+          msg << tag.str() << ": parallel(" << threads
+              << ") diverges from the sequential tier";
+          Fail(msg.str());
+        }
       }
     });
   }

@@ -61,7 +61,7 @@ Point RandomPoint(Rng* rng) {
 
 Request RandomRequest(Rng* rng) {
   Request request;
-  switch (rng->UniformInt(0, 9)) {
+  switch (rng->UniformInt(0, 10)) {
     case 0:
       request.type = RequestType::kSolve;
       request.solve.algorithm =
@@ -126,6 +126,16 @@ Request RandomRequest(Rng* rng) {
       request.type = RequestType::kAdvance;
       request.advance.time = rng->Uniform(0.0, 1e9);
       break;
+    case 9:
+      // Parameters stay in the valid open ranges: the round-trip check
+      // needs a frame the decoder accepts (out-of-range rejection has its
+      // own unit tests).
+      request.type = RequestType::kApproxTopK;
+      request.approx.k = static_cast<uint32_t>(rng->UniformInt(0, 1000));
+      request.approx.epsilon = rng->Uniform(1e-6, 1.0);
+      request.approx.delta = rng->Uniform(1e-6, 0.999);
+      request.approx.seed = rng->Next();
+      break;
     default:
       request.type = RequestType::kStats;
       break;
@@ -135,7 +145,7 @@ Request RandomRequest(Rng* rng) {
 
 Response RandomResponse(Rng* rng) {
   Response response;
-  switch (rng->UniformInt(0, 7)) {
+  switch (rng->UniformInt(0, 8)) {
     case 0:
       response.type = ResponseType::kError;
       response.error.code = static_cast<ErrorCode>(rng->UniformInt(1, 6));
@@ -218,6 +228,27 @@ Response RandomResponse(Rng* rng) {
       s.has_best = rng->UniformInt(0, 1) == 1;
       s.best_candidate = static_cast<uint32_t>(rng->UniformInt(0, 1 << 20));
       s.best_influence = rng->UniformInt(0, 1 << 20);
+      break;
+    }
+    case 7: {
+      response.type = ResponseType::kApprox;
+      ApproxResponse& s = response.approx;
+      s.epoch = rng->Next();
+      s.num_objects = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.num_candidates = static_cast<uint64_t>(rng->UniformInt(0, 1 << 20));
+      s.solve_seconds = rng->NextDouble();
+      const int n = static_cast<int>(rng->UniformInt(0, 32));
+      for (int i = 0; i < n; ++i) {
+        // The decoder enforces lo <= estimate <= hi, so generate the
+        // bracket around the estimate rather than independently.
+        ApproxRankedCandidate e;
+        e.candidate = static_cast<uint32_t>(rng->UniformInt(0, 1 << 20));
+        e.estimate = rng->UniformInt(0, 1 << 20);
+        e.lo = e.estimate - rng->UniformInt(0, 1 << 10);
+        e.hi = e.estimate + rng->UniformInt(0, 1 << 10);
+        e.exact = rng->UniformInt(0, 1) == 1;
+        s.entries.push_back(e);
+      }
       break;
     }
     default:
@@ -308,6 +339,11 @@ bool RequestsEqual(const Request& a, const Request& b) {
     }
     case RequestType::kAdvance:
       return a.advance.time == b.advance.time;
+    case RequestType::kApproxTopK:
+      return a.approx.k == b.approx.k &&
+             a.approx.epsilon == b.approx.epsilon &&
+             a.approx.delta == b.approx.delta &&
+             a.approx.seed == b.approx.seed;
   }
   return false;
 }
@@ -378,6 +414,26 @@ bool ResponsesEqual(const Response& a, const Response& b) {
         if (x.skyline[i].candidate != y.skyline[i].candidate ||
             x.skyline[i].influence != y.skyline[i].influence ||
             x.skyline[i].cost != y.skyline[i].cost) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ResponseType::kApprox: {
+      const ApproxResponse& x = a.approx;
+      const ApproxResponse& y = b.approx;
+      if (x.epoch != y.epoch || x.num_objects != y.num_objects ||
+          x.num_candidates != y.num_candidates ||
+          x.solve_seconds != y.solve_seconds ||
+          x.entries.size() != y.entries.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < x.entries.size(); ++i) {
+        if (x.entries[i].candidate != y.entries[i].candidate ||
+            x.entries[i].estimate != y.entries[i].estimate ||
+            x.entries[i].lo != y.entries[i].lo ||
+            x.entries[i].hi != y.entries[i].hi ||
+            x.entries[i].exact != y.entries[i].exact) {
           return false;
         }
       }

@@ -44,6 +44,10 @@ Operations (--op=...):
                     --id=N --time=F --x=F --y=F. Requires a server
                     started with --stream-window.
   advance           Advance the server's stream clock: --time=F.
+  approx            Approximate top-k with certified error brackets:
+                    --k=N --epsilon=F --delta=F --seed=N. Each entry
+                    carries [lo, hi] containing the exact influence with
+                    probability >= 1 - delta.
 )";
 
 void JsonField(std::ostream& out, bool* first, const char* key, double v) {
@@ -196,6 +200,8 @@ int PrintResponse(const Response& response, bool json) {
                   (unsigned long long)s.stream_live_positions);
         JsonField(out, &first, "stream_window_seconds",
                   s.stream_window_seconds);
+        JsonField(out, &first, "approx_requests",
+                  (unsigned long long)s.approx_requests);
         out << "}";
       } else {
         out << "epoch " << s.epoch << ", " << s.num_objects << " objects, "
@@ -206,7 +212,7 @@ int PrintResponse(const Response& response, bool json) {
             << s.whatif_requests << "  update " << s.update_requests
             << "  stats " << s.stats_requests << "  skyline "
             << s.skyline_requests << "  diverse " << s.diverse_requests
-            << "  errors "
+            << "  approx " << s.approx_requests << "  errors "
             << s.error_responses << "\nuptime " << s.uptime_seconds
             << " s, solve threads " << s.solve_threads << ", solve busy "
             << s.solve_busy_seconds << " s";
@@ -289,6 +295,41 @@ int PrintResponse(const Response& response, bool json) {
       std::cout << out.str() << (json ? "\n" : "");
       return 0;
     }
+    case ResponseType::kApprox: {
+      const ApproxResponse& s = response.approx;
+      if (json) {
+        out << "{";
+        JsonField(out, &first, "epoch", (unsigned long long)s.epoch);
+        JsonField(out, &first, "num_objects",
+                  (unsigned long long)s.num_objects);
+        JsonField(out, &first, "num_candidates",
+                  (unsigned long long)s.num_candidates);
+        JsonField(out, &first, "solve_seconds", s.solve_seconds);
+        out << ", \"entries\": [";
+        for (size_t i = 0; i < s.entries.size(); ++i) {
+          out << (i ? ", " : "") << "{\"candidate\": "
+              << s.entries[i].candidate
+              << ", \"estimate\": " << s.entries[i].estimate
+              << ", \"lo\": " << s.entries[i].lo
+              << ", \"hi\": " << s.entries[i].hi << ", \"exact\": "
+              << (s.entries[i].exact ? "true" : "false") << "}";
+        }
+        out << "]}";
+      } else {
+        out << "epoch " << s.epoch << " (" << s.num_objects << " objects, "
+            << s.num_candidates << " candidates)\n"
+            << s.entries.size() << " approximate entries in "
+            << s.solve_seconds << " s\n";
+        for (size_t i = 0; i < s.entries.size(); ++i) {
+          out << "  #" << (i + 1) << "  candidate " << s.entries[i].candidate
+              << "  influence ~" << s.entries[i].estimate << "  ["
+              << s.entries[i].lo << ", " << s.entries[i].hi << "]"
+              << (s.entries[i].exact ? " (exact)" : "") << "\n";
+        }
+      }
+      std::cout << out.str() << (json ? "\n" : "");
+      return 0;
+    }
     case ResponseType::kStream: {
       const StreamResponse& s = response.stream;
       if (json) {
@@ -336,7 +377,7 @@ int main(int argc, char** argv) {
   const auto unknown = flags.UnknownFlags({"op", "host", "port", "json",
                                            "algo", "k", "x", "y", "tau",
                                            "rho", "lambda", "delta", "id",
-                                           "time", "help"});
+                                           "time", "epsilon", "seed", "help"});
   if (!unknown.empty() || !flags.errors().empty()) {
     for (const std::string& name : unknown) {
       std::cerr << "error: unknown flag --" << name << "\n";
@@ -406,6 +447,12 @@ int main(int argc, char** argv) {
   } else if (*op == "advance") {
     request.type = RequestType::kAdvance;
     request.advance.time = flags.GetDouble("time", 0.0);
+  } else if (*op == "approx") {
+    request.type = RequestType::kApproxTopK;
+    request.approx.k = static_cast<uint32_t>(flags.GetInt("k", 5));
+    request.approx.epsilon = flags.GetDouble("epsilon", 0.05);
+    request.approx.delta = flags.GetDouble("delta", 0.01);
+    request.approx.seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
   } else {
     std::cerr << "unknown --op '" << *op << "'\n" << kUsage;
     return 2;

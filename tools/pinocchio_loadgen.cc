@@ -48,7 +48,7 @@ constexpr char kUsage[] = R"(Usage: pinocchio_loadgen [flags]
   --seed=N           Mix/point seed; runs are deterministic per seed (7).
   --mix=SPEC         Comma-separated class:weight list (default
                      "topk:25,probe:25,whatif:10,update:5,solve:10,stats:5,
-                      skyline:12,diverse:8,observe:0,advance:0").
+                      skyline:12,diverse:8,approx:0,observe:0,advance:0").
                      observe/advance need a server started with
                      --stream-window; observe frames batch
                      --observe-batch observations each (staleness lever).
@@ -70,6 +70,7 @@ enum Class : size_t {
   kClassStats,
   kClassSkyline,
   kClassDiverse,
+  kClassApprox,
   kClassObserve,
   kClassAdvance,
   kNumClasses,
@@ -77,7 +78,7 @@ enum Class : size_t {
 
 const char* const kClassNames[kNumClasses] = {
     "topk", "probe", "whatif", "update", "solve", "stats", "skyline",
-    "diverse", "observe", "advance"};
+    "diverse", "approx", "observe", "advance"};
 
 struct WorkerResult {
   std::vector<double> latencies[kNumClasses];  // seconds per request
@@ -153,6 +154,13 @@ Request MakeRequest(Class cls, const RunConfig& config, Rng* rng,
       request.diversified.k = config.k;
       request.diversified.min_separation =
           rng->Uniform(0.0, config.extent_meters / 8.0);
+      break;
+    case kClassApprox:
+      request.type = RequestType::kApproxTopK;
+      request.approx.k = config.k;
+      request.approx.epsilon = rng->Uniform(0.05, 0.3);
+      request.approx.delta = 0.05;
+      request.approx.seed = rng->UniformInt(0, 1u << 20);
       break;
     case kClassObserve: {
       request.type = RequestType::kObserve;
